@@ -1,0 +1,21 @@
+//! Bench regenerating Fig. 1 (loop runtime fractions) at Tiny scale.
+
+use cbws_harness::experiments::fig01_loop_fraction;
+use cbws_workloads::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01");
+    g.sample_size(10);
+    g.bench_function("loop_fraction_tiny", |b| {
+        b.iter(|| black_box(fig01_loop_fraction(Scale::Tiny)))
+    });
+    g.finish();
+
+    // Emit the regenerated artifact once so bench logs double as results.
+    eprintln!("\nFig. 1 (Tiny):\n{}", fig01_loop_fraction(Scale::Tiny));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

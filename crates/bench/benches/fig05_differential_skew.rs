@@ -1,0 +1,20 @@
+//! Bench regenerating Fig. 5 (differential skew CDF) at Tiny scale.
+
+use cbws_harness::experiments::fig05_differential_skew;
+use cbws_workloads::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05");
+    g.sample_size(10);
+    g.bench_function("differential_skew_tiny", |b| {
+        b.iter(|| black_box(fig05_differential_skew(Scale::Tiny)))
+    });
+    g.finish();
+
+    eprintln!("\nFig. 5 (Tiny):\n{}", fig05_differential_skew(Scale::Tiny));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Bench regenerating Fig. 12 (MPKI matrix) on a representative subset.
+
+use cbws_bench::{tiny_sweep, REPRESENTATIVE};
+use cbws_harness::experiments::fig12_mpki;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("mpki_sweep_tiny", |b| {
+        b.iter(|| black_box(tiny_sweep(&REPRESENTATIVE)))
+    });
+    g.finish();
+
+    let records = tiny_sweep(&REPRESENTATIVE);
+    eprintln!("\nFig. 12 (Tiny, subset):\n{}", fig12_mpki(&records));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

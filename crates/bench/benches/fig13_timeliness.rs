@@ -1,0 +1,27 @@
+//! Bench regenerating Fig. 13 (timeliness/accuracy) on a representative
+//! subset.
+
+use cbws_bench::{tiny_sweep, REPRESENTATIVE};
+use cbws_harness::experiments::fig13_timeliness;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let records = tiny_sweep(&REPRESENTATIVE);
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("timeliness_table", |b| {
+        b.iter(|| black_box(fig13_timeliness(&records)))
+    });
+    g.finish();
+
+    eprintln!("\nFig. 13 (Tiny, subset, averages only):");
+    let t = fig13_timeliness(&records);
+    let rows = t.csv_rows();
+    for row in rows.iter().filter(|r| r[0].starts_with("average")) {
+        eprintln!("  {}", row.join("  "));
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench regenerating Fig. 14 (IPC normalized to SMS) — the headline
+//! result — on a representative subset.
+
+use cbws_bench::{tiny_sweep, REPRESENTATIVE};
+use cbws_harness::experiments::fig14_speedup;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("speedup_sweep_tiny", |b| {
+        b.iter(|| {
+            let records = tiny_sweep(&REPRESENTATIVE);
+            black_box(fig14_speedup(&records))
+        })
+    });
+    g.finish();
+
+    let records = tiny_sweep(&REPRESENTATIVE);
+    eprintln!("\nFig. 14 (Tiny, subset):\n{}", fig14_speedup(&records));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

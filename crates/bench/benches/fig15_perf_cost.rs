@@ -1,0 +1,22 @@
+//! Bench regenerating Fig. 15 (performance/cost) on a representative
+//! subset.
+
+use cbws_bench::{tiny_sweep, REPRESENTATIVE};
+use cbws_harness::experiments::fig15_perf_cost;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let records = tiny_sweep(&REPRESENTATIVE);
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("perf_cost_table", |b| {
+        b.iter(|| black_box(fig15_perf_cost(&records)))
+    });
+    g.finish();
+
+    eprintln!("\nFig. 15 (Tiny, subset):\n{}", fig15_perf_cost(&records));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

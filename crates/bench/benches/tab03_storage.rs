@@ -1,0 +1,18 @@
+//! Bench regenerating Table III (storage budgets) — trivial computation,
+//! benched to keep one target per paper artifact.
+
+use cbws_harness::experiments::tab03_storage;
+use cbws_harness::SystemConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = SystemConfig::default();
+    c.bench_function("tab03/storage_budgets", |b| {
+        b.iter(|| black_box(tab03_storage(&cfg)))
+    });
+    eprintln!("\nTable III:\n{}", tab03_storage(&cfg));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Shared helpers for the Criterion benches that regenerate the paper's
+//! tables and figures on reduced (`Scale::Tiny`) workloads.
+//!
+//! Each bench target in `benches/` corresponds to one experiment id of
+//! DESIGN.md §6; `cargo bench` therefore doubles as a smoke-run of the full
+//! evaluation pipeline. For paper-scale numbers use the `cbws-harness`
+//! binaries at `--scale full`.
+
+use cbws_harness::experiments;
+use cbws_harness::{PrefetcherKind, Simulator, SystemConfig};
+use cbws_stats::RunRecord;
+use cbws_workloads::{by_name, Scale, WorkloadSpec};
+
+/// Resolves a workload by name, panicking with a clear message.
+///
+/// # Panics
+///
+/// Panics if the workload is not registered.
+pub fn workload(name: &str) -> &'static WorkloadSpec {
+    by_name(name).unwrap_or_else(|| panic!("workload {name} not registered"))
+}
+
+/// Runs the (workloads x all-prefetchers) sweep at Tiny scale.
+pub fn tiny_sweep(names: &[&str]) -> Vec<RunRecord> {
+    let picks: Vec<&'static WorkloadSpec> = names.iter().map(|n| workload(n)).collect();
+    experiments::sweep(Scale::Tiny, &picks)
+}
+
+/// Runs one (workload, prefetcher) simulation at the given scale.
+pub fn run_one(name: &str, scale: Scale, kind: PrefetcherKind) -> RunRecord {
+    let trace = workload(name).generate(scale);
+    Simulator::new(SystemConfig::default()).run(name, true, &trace, kind)
+}
+
+/// A small representative subset of the MI suite used by the per-figure
+/// benches (keeps `cargo bench` minutes, not hours).
+pub const REPRESENTATIVE: [&str; 6] = [
+    "stencil-default",
+    "sgemm-medium",
+    "histo-large",
+    "401.bzip2-source",
+    "fft-simlarge",
+    "nw",
+];

@@ -1,0 +1,633 @@
+//! The CBWS prediction hardware (paper §IV-C, §V, Algorithm 1, Fig. 8-11).
+
+use crate::vector::{CbwsVec, Differential};
+use cbws_prefetchers::{PrefetchContext, Prefetcher};
+use cbws_trace::{BlockId, LineAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration of the CBWS predictor (defaults per Fig. 8 / Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CbwsConfig {
+    /// Maximum distinct lines traced per block ("Max. Vector Members 16").
+    pub max_vector: usize,
+    /// Predecessor CBWSs stored ("# Last CBWS Stored 4"), which is also the
+    /// number of multi-step differentials maintained.
+    pub max_step: usize,
+    /// How many future iterations to prefetch at each `BLOCK_END` (Fig. 7
+    /// illustrates 1-step and 2-step prediction; Algorithm 1 predicts up to
+    /// `max_step - 1` steps). Must be ≤ `max_step`.
+    pub prediction_depth: usize,
+    /// Depth of each history shift register (§V-A: 3-deep).
+    pub history_depth: usize,
+    /// Differential history table entries (16, fully associative, random
+    /// replacement).
+    pub table_entries: usize,
+    /// Observe L1 hits as well as misses when tracing working sets. The
+    /// paper's central claim is that compiler hints make this aggressive
+    /// setting safe inside tight loops; `false` is the ablation.
+    pub observe_l1_hits: bool,
+}
+
+impl Default for CbwsConfig {
+    fn default() -> Self {
+        CbwsConfig {
+            max_vector: 16,
+            max_step: 4,
+            prediction_depth: 3,
+            history_depth: 3,
+            table_entries: 16,
+            observe_l1_hits: true,
+        }
+    }
+}
+
+impl CbwsConfig {
+    /// Storage budget in bits, itemized as in Fig. 8.
+    pub fn storage_bits(&self) -> u64 {
+        let v = self.max_vector as u64;
+        let s = self.max_step as u64;
+        let current_cbws = v * 32;
+        let last_cbws = s * v * 32;
+        let current_diffs = s * v * 16;
+        let history_regs = s * self.history_depth as u64 * 12;
+        let table = self.table_entries as u64 * (16 + v * 16);
+        current_cbws + last_cbws + current_diffs + history_regs + table
+    }
+}
+
+/// One history shift register: a BHR-like FIFO of 12-bit differential
+/// hashes (§V-A).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct HistoryShiftRegister {
+    entries: VecDeque<u16>,
+    depth: usize,
+}
+
+impl HistoryShiftRegister {
+    fn new(depth: usize) -> Self {
+        HistoryShiftRegister { entries: VecDeque::with_capacity(depth), depth }
+    }
+
+    fn shift(&mut self, hash12: u16) {
+        if self.entries.len() == self.depth {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(hash12 & 0xFFF);
+    }
+
+    /// Whether the register holds a full history (predictions before that
+    /// would index the table with mostly-empty state).
+    fn is_warm(&self) -> bool {
+        self.entries.len() == self.depth
+    }
+
+    /// Folds the register contents into a 16-bit tag, salted by the step
+    /// index so different step distances do not alias in the shared table.
+    fn tag(&self, step: usize) -> u16 {
+        let mut t: u16 = (step as u16).wrapping_mul(0x9E37);
+        for (i, &e) in self.entries.iter().enumerate() {
+            t ^= e.rotate_left((i as u32 * 5) % 16);
+        }
+        t
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// The 16-entry, fully-associative differential history table with random
+/// replacement (§V-A). Randomness comes from a deterministic xorshift so
+/// simulations are reproducible.
+#[derive(Debug, Clone)]
+struct DiffHistoryTable {
+    entries: Vec<Option<(u16, Differential)>>,
+    rng: u32,
+}
+
+impl DiffHistoryTable {
+    fn new(entries: usize) -> Self {
+        DiffHistoryTable { entries: vec![None; entries], rng: 0x2545_F491 }
+    }
+
+    fn next_random(&mut self) -> u32 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.rng = x;
+        x
+    }
+
+    fn lookup(&self, tag: u16) -> Option<&Differential> {
+        self.entries
+            .iter()
+            .flatten()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, d)| d)
+    }
+
+    fn insert(&mut self, tag: u16, diff: Differential) {
+        if let Some(slot) = self.entries.iter_mut().flatten().find(|(t, _)| *t == tag) {
+            slot.1 = diff;
+            return;
+        }
+        if let Some(free) = self.entries.iter_mut().find(|e| e.is_none()) {
+            *free = Some((tag, diff));
+            return;
+        }
+        let victim = self.next_random() as usize % self.entries.len();
+        self.entries[victim] = Some((tag, diff));
+    }
+
+    fn occupancy(&self) -> usize {
+        self.entries.iter().flatten().count()
+    }
+}
+
+/// Counters exposed by the CBWS predictor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CbwsStats {
+    /// Dynamic block instances completed.
+    pub blocks: u64,
+    /// `BLOCK_END` events where at least one table lookup hit.
+    pub prediction_hits: u64,
+    /// `BLOCK_END` events where every lookup missed (standalone CBWS stays
+    /// silent; the hybrid falls back to SMS).
+    pub prediction_misses: u64,
+    /// Lines whose tracing was dropped because the vector was full.
+    pub vector_overflows: u64,
+    /// Context switches between different static blocks.
+    pub block_switches: u64,
+}
+
+/// The CBWS prediction engine: tracks the current block's working set,
+/// maintains multi-step differentials against the last `max_step` CBWSs,
+/// and predicts future working sets at each `BLOCK_END` (Algorithm 1).
+///
+/// This struct is the raw hardware model; [`CbwsPrefetcher`] wraps it in the
+/// [`Prefetcher`] trait for the simulation harness.
+#[derive(Debug, Clone)]
+pub struct CbwsPredictor {
+    cfg: CbwsConfig,
+    current_block: Option<BlockId>,
+    curr: CbwsVec,
+    /// Incrementally-built strides against each predecessor CBWS
+    /// (`curr_diff[i]` in Algorithm 1; index 0 = 1-step).
+    curr_diffs: Vec<Vec<i64>>,
+    /// Predecessor CBWSs, most recent first (`last_cbws`).
+    last: VecDeque<CbwsVec>,
+    /// One history shift register per step distance.
+    histories: Vec<HistoryShiftRegister>,
+    table: DiffHistoryTable,
+    confident: bool,
+    last_block_overflowed: bool,
+    last_prediction_span: u64,
+    stats: CbwsStats,
+}
+
+impl CbwsPredictor {
+    /// Creates a predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (`prediction_depth`
+    /// exceeding `max_step`, or any zero-sized structure).
+    pub fn new(cfg: CbwsConfig) -> Self {
+        assert!(cfg.max_vector > 0, "max_vector must be non-zero");
+        assert!(cfg.max_step > 0, "max_step must be non-zero");
+        assert!(cfg.history_depth > 0, "history_depth must be non-zero");
+        assert!(cfg.table_entries > 0, "table_entries must be non-zero");
+        assert!(
+            cfg.prediction_depth >= 1 && cfg.prediction_depth <= cfg.max_step,
+            "prediction_depth must be in 1..=max_step"
+        );
+        CbwsPredictor {
+            curr: CbwsVec::new(cfg.max_vector),
+            curr_diffs: vec![Vec::new(); cfg.max_step],
+            last: VecDeque::with_capacity(cfg.max_step),
+            histories: (0..cfg.max_step)
+                .map(|_| HistoryShiftRegister::new(cfg.history_depth))
+                .collect(),
+            table: DiffHistoryTable::new(cfg.table_entries),
+            cfg,
+            current_block: None,
+            confident: false,
+            last_block_overflowed: false,
+            last_prediction_span: 0,
+            stats: CbwsStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CbwsConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &CbwsStats {
+        &self.stats
+    }
+
+    /// Whether the most recent `BLOCK_END` produced a table hit. The hybrid
+    /// policy uses this as the CBWS-confidence signal.
+    pub fn is_confident(&self) -> bool {
+        self.confident
+    }
+
+    /// Whether the most recently completed block's working set overflowed
+    /// the CBWS capacity (the `bzip2` case, §VII-C): even a confident
+    /// prediction then covers only a prefix of the block's footprint, so
+    /// the hybrid must not silence its fallback prefetcher.
+    pub fn last_block_overflowed(&self) -> bool {
+        self.last_block_overflowed
+    }
+
+    /// Largest absolute stride (in lines) among the differentials of the
+    /// most recent prediction; 0 when the last lookup missed or predicted a
+    /// stationary working set. The hybrid compares this against the SMS
+    /// region size: working sets that leap across regions are exactly the
+    /// patterns SMS cannot follow (§II).
+    pub fn last_prediction_span(&self) -> u64 {
+        self.last_prediction_span
+    }
+
+    /// Current differential-table occupancy (diagnostics).
+    pub fn table_occupancy(&self) -> usize {
+        self.table.occupancy()
+    }
+
+    /// `BLOCK_BEGIN(id)`: clears the current-CBWS tracing (Fig. 9). A
+    /// different static block id flushes all cross-iteration state, since
+    /// the single hardware context tracks one loop at a time.
+    pub fn block_begin(&mut self, id: BlockId) {
+        if self.current_block != Some(id) {
+            if self.current_block.is_some() {
+                self.stats.block_switches += 1;
+            }
+            self.current_block = Some(id);
+            self.last.clear();
+            for h in &mut self.histories {
+                h.clear();
+            }
+            self.confident = false;
+        }
+        self.curr.clear();
+        for d in &mut self.curr_diffs {
+            d.clear();
+        }
+    }
+
+    /// A committed memory access to `line` inside the current block
+    /// (Fig. 10): appends to the current CBWS and extends the multi-step
+    /// differentials with one adder per step.
+    pub fn observe(&mut self, line: LineAddr) {
+        if self.current_block.is_none() {
+            return;
+        }
+        let before = self.curr.overflowed();
+        if !self.curr.observe(line) {
+            self.stats.vector_overflows += self.curr.overflowed() - before;
+            return;
+        }
+        let idx = self.curr.len() - 1;
+        for (step_idx, diffs) in self.curr_diffs.iter_mut().enumerate() {
+            if let Some(prev) = self.last.get(step_idx) {
+                if let Some(prev_line) = prev.get(idx) {
+                    // Differentials align to the shorter vector, so only
+                    // extend while still contiguous with the predecessor.
+                    if diffs.len() == idx {
+                        diffs.push(line.delta(prev_line));
+                    }
+                }
+            }
+        }
+    }
+
+    /// `BLOCK_END(id)` (Fig. 11): trains the differential history table,
+    /// rotates the predecessor buffers, and returns the predicted working
+    /// sets of pending iterations.
+    pub fn block_end(&mut self, id: BlockId) -> Vec<LineAddr> {
+        if self.current_block != Some(id) {
+            return Vec::new();
+        }
+        self.stats.blocks += 1;
+        self.last_block_overflowed = self.curr.overflowed() > 0;
+
+        // 1-2: store each step's new differential under the *previous*
+        // history tag, then shift the history register.
+        for step in 0..self.cfg.max_step {
+            let diff = Differential::from_strides(self.curr_diffs[step].iter().copied());
+            if diff.is_empty() {
+                continue;
+            }
+            if self.histories[step].is_warm() {
+                let tag = self.histories[step].tag(step);
+                self.table.insert(tag, diff.clone());
+            }
+            self.histories[step].shift(diff.hash12());
+        }
+
+        // Rotate the last-CBWSs buffer: the completed CBWS becomes the most
+        // recent predecessor.
+        if self.last.len() == self.cfg.max_step {
+            self.last.pop_back();
+        }
+        self.last.push_front(self.curr.clone());
+
+        // 3-4: look up the updated histories and predict future CBWSs.
+        let mut out = Vec::new();
+        let mut hit = false;
+        let mut span: u64 = 0;
+        let base = self.last.front().expect("just pushed");
+        for step in 0..self.cfg.prediction_depth {
+            if !self.histories[step].is_warm() {
+                continue;
+            }
+            let tag = self.histories[step].tag(step);
+            if let Some(pred) = self.table.lookup(tag) {
+                hit = true;
+                span = span
+                    .max(pred.strides().iter().map(|s| s.unsigned_abs() as u64).max().unwrap_or(0));
+                if !pred.is_zero() {
+                    out.extend(pred.apply(base));
+                }
+            }
+        }
+        self.confident = hit;
+        self.last_prediction_span = span;
+        if hit {
+            self.stats.prediction_hits += 1;
+        } else {
+            self.stats.prediction_misses += 1;
+        }
+
+        self.curr.clear();
+        for d in &mut self.curr_diffs {
+            d.clear();
+        }
+        out
+    }
+}
+
+/// The standalone CBWS prefetcher (§VII evaluation mode "CBWS"): issues
+/// prefetches only on a differential-history-table hit; on a miss it stays
+/// silent.
+#[derive(Debug, Clone)]
+pub struct CbwsPrefetcher {
+    predictor: CbwsPredictor,
+    in_block: bool,
+}
+
+impl CbwsPrefetcher {
+    /// Creates a standalone CBWS prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (see [`CbwsPredictor::new`]).
+    pub fn new(cfg: CbwsConfig) -> Self {
+        CbwsPrefetcher { predictor: CbwsPredictor::new(cfg), in_block: false }
+    }
+
+    /// The underlying prediction engine.
+    pub fn predictor(&self) -> &CbwsPredictor {
+        &self.predictor
+    }
+}
+
+impl Default for CbwsPrefetcher {
+    fn default() -> Self {
+        CbwsPrefetcher::new(CbwsConfig::default())
+    }
+}
+
+impl Prefetcher for CbwsPrefetcher {
+    fn name(&self) -> &'static str {
+        "CBWS"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.predictor.cfg.storage_bits()
+    }
+
+    fn on_access(&mut self, ctx: &PrefetchContext, _out: &mut Vec<LineAddr>) {
+        if !self.in_block {
+            return;
+        }
+        if self.predictor.cfg.observe_l1_hits || ctx.reached_l2() {
+            self.predictor.observe(ctx.addr.line());
+        }
+    }
+
+    fn on_block_begin(&mut self, id: BlockId) {
+        self.in_block = true;
+        self.predictor.block_begin(id);
+    }
+
+    fn on_block_end(&mut self, id: BlockId, out: &mut Vec<LineAddr>) {
+        self.in_block = false;
+        out.extend(self.predictor.block_end(id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbws_trace::LineAddr;
+
+    /// Runs `iters` iterations of a synthetic loop whose i-th iteration
+    /// touches `base + i * stride + offsets`.
+    fn run_strided(
+        p: &mut CbwsPredictor,
+        id: BlockId,
+        iters: u64,
+        base: u64,
+        stride: u64,
+        offsets: &[u64],
+    ) -> Vec<Vec<LineAddr>> {
+        let mut preds = Vec::new();
+        for i in 0..iters {
+            p.block_begin(id);
+            for &o in offsets {
+                p.observe(LineAddr(base + i * stride + o));
+            }
+            preds.push(p.block_end(id));
+        }
+        preds
+    }
+
+    #[test]
+    fn constant_stride_loop_predicts_next_ws() {
+        let mut p = CbwsPredictor::new(CbwsConfig::default());
+        let preds = run_strided(&mut p, BlockId(0), 12, 1000, 16, &[0, 3, 7]);
+        // After warm-up (history depth 3 + training), predictions appear.
+        let last = preds.last().unwrap();
+        assert!(!last.is_empty(), "steady-state loop should predict");
+        // 1-step prediction of iteration 12: lines 1000+12*16 + {0,3,7}.
+        let expect: Vec<LineAddr> =
+            [0u64, 3, 7].map(|o| LineAddr(1000 + 12 * 16 + o)).to_vec();
+        assert_eq!(&last[..3], &expect[..]);
+        assert!(p.is_confident());
+        assert!(p.stats().prediction_hits > 0);
+    }
+
+    #[test]
+    fn two_step_prediction_reaches_farther() {
+        let cfg = CbwsConfig { prediction_depth: 2, ..CbwsConfig::default() };
+        let mut p = CbwsPredictor::new(cfg);
+        let preds = run_strided(&mut p, BlockId(0), 12, 0, 100, &[0]);
+        let last = preds.last().unwrap();
+        // Steps 1 and 2 predict iterations 12 and 13.
+        assert!(last.contains(&LineAddr(1200)));
+        assert!(last.contains(&LineAddr(1300)));
+    }
+
+    #[test]
+    fn cold_start_is_silent() {
+        let mut p = CbwsPredictor::new(CbwsConfig::default());
+        let preds = run_strided(&mut p, BlockId(0), 3, 0, 64, &[0, 1]);
+        for pred in &preds {
+            assert!(pred.is_empty(), "no prediction before the table is trained");
+        }
+    }
+
+    #[test]
+    fn random_walk_never_gains_confidence() {
+        let mut p = CbwsPredictor::new(CbwsConfig::default());
+        let mut x: u64 = 7;
+        for _ in 0..50 {
+            p.block_begin(BlockId(0));
+            for _ in 0..4 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                p.observe(LineAddr(x >> 40));
+            }
+            let _ = p.block_end(BlockId(0));
+        }
+        // Data-dependent working sets (the histo case, Fig. 16): hit rate
+        // should be negligible.
+        let s = p.stats();
+        assert!(
+            s.prediction_hits * 10 < s.blocks,
+            "random differentials predicted too often: {s:?}"
+        );
+    }
+
+    #[test]
+    fn block_switch_flushes_state() {
+        let mut p = CbwsPredictor::new(CbwsConfig::default());
+        run_strided(&mut p, BlockId(0), 10, 0, 64, &[0]);
+        assert!(p.is_confident());
+        // A different static block flushes per-loop state and confidence.
+        p.block_begin(BlockId(1));
+        assert!(!p.is_confident());
+        assert_eq!(p.stats().block_switches, 1);
+        p.observe(LineAddr(5));
+        let pred = p.block_end(BlockId(1));
+        assert!(pred.is_empty());
+    }
+
+    #[test]
+    fn vector_overflow_counted_and_capped() {
+        let cfg = CbwsConfig { max_vector: 4, ..CbwsConfig::default() };
+        let mut p = CbwsPredictor::new(cfg);
+        p.block_begin(BlockId(0));
+        for i in 0..10 {
+            p.observe(LineAddr(i));
+        }
+        let _ = p.block_end(BlockId(0));
+        assert_eq!(p.stats().vector_overflows, 6);
+    }
+
+    #[test]
+    fn mismatched_block_end_ignored() {
+        let mut p = CbwsPredictor::new(CbwsConfig::default());
+        p.block_begin(BlockId(0));
+        p.observe(LineAddr(1));
+        let out = p.block_end(BlockId(9));
+        assert!(out.is_empty());
+        assert_eq!(p.stats().blocks, 0);
+    }
+
+    #[test]
+    fn observe_outside_block_ignored() {
+        let mut p = CbwsPredictor::new(CbwsConfig::default());
+        p.observe(LineAddr(1));
+        assert_eq!(p.stats().blocks, 0);
+    }
+
+    #[test]
+    fn table_survives_many_distinct_patterns_without_growth() {
+        let mut p = CbwsPredictor::new(CbwsConfig::default());
+        // Alternate between many differential alphabets (the fft /
+        // streamcluster failure mode): the 16-entry table must bound state.
+        for phase in 0..40u64 {
+            run_strided(&mut p, BlockId(0), 6, phase * 100_000, 17 + phase * 3, &[0, 2]);
+        }
+        assert!(p.table_occupancy() <= 16);
+    }
+
+    #[test]
+    fn prediction_depth_validated() {
+        let cfg = CbwsConfig { prediction_depth: 5, max_step: 4, ..CbwsConfig::default() };
+        assert!(std::panic::catch_unwind(|| CbwsPredictor::new(cfg)).is_err());
+    }
+
+    #[test]
+    fn storage_is_under_1kb() {
+        let cfg = CbwsConfig::default();
+        let bits = cfg.storage_bits();
+        assert!(bits < 8 * 1024, "paper claims < 1KB, got {} bits", bits);
+        assert_eq!(bits, 8080);
+    }
+
+    #[test]
+    fn standalone_prefetcher_trait_flow() {
+        use cbws_prefetchers::PrefetchContext;
+        use cbws_trace::{Addr, Pc};
+        let mut pf = CbwsPrefetcher::default();
+        let mut out = Vec::new();
+        for i in 0..12u64 {
+            pf.on_block_begin(BlockId(0));
+            for o in [0u64, 5] {
+                let ctx = PrefetchContext {
+                    pc: Pc(0x40),
+                    addr: Addr((1000 + i * 8 + o) * 64),
+                    is_store: false,
+                    l1_hit: true, // CBWS observes hits too
+                    l2_hit: true,
+                    in_block: true,
+                };
+                pf.on_access(&ctx, &mut out);
+            }
+            out.clear();
+            pf.on_block_end(BlockId(0), &mut out);
+        }
+        assert!(!out.is_empty(), "steady-state loop should prefetch");
+        assert_eq!(pf.name(), "CBWS");
+        assert!(pf.storage_bits() < 8192);
+    }
+
+    #[test]
+    fn misses_only_ablation_ignores_hits() {
+        let cfg = CbwsConfig { observe_l1_hits: false, ..CbwsConfig::default() };
+        let mut pf = CbwsPrefetcher::new(cfg);
+        let mut out = Vec::new();
+        use cbws_prefetchers::PrefetchContext;
+        use cbws_trace::{Addr, Pc};
+        for i in 0..12u64 {
+            pf.on_block_begin(BlockId(0));
+            let ctx = PrefetchContext {
+                pc: Pc(0),
+                addr: Addr(i * 64 * 8),
+                is_store: false,
+                l1_hit: true,
+                l2_hit: true,
+                in_block: true,
+            };
+            pf.on_access(&ctx, &mut out);
+            pf.on_block_end(BlockId(0), &mut out);
+        }
+        assert!(out.is_empty(), "hits must be invisible in misses-only mode");
+    }
+}

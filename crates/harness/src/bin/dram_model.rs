@@ -1,0 +1,64 @@
+//! **Extension experiment**: re-runs the headline comparison under the
+//! banked-DRAM memory model instead of the paper's flat 300-cycle latency.
+//!
+//! Under DRAM, wrong prefetches occupy banks and delay demand fills, so a
+//! wasteful prefetcher pays a *performance* price, not just a bandwidth
+//! one — a stress test for the CBWS+SMS result.
+//!
+//! Usage: `cargo run --release -p cbws-harness --bin dram_model
+//! [--scale tiny|small|full]`
+
+use cbws_harness::experiments::{get, save_csv, scale_from_args};
+use cbws_harness::{PrefetcherKind, Simulator, SystemConfig};
+use cbws_sim_mem::DramConfig;
+use cbws_stats::{geomean, RunRecord, TextTable};
+use cbws_workloads::mi_suite;
+
+fn run_suite(scale: cbws_workloads::Scale, cfg: SystemConfig) -> Vec<RunRecord> {
+    let sim = Simulator::new(cfg);
+    let mut records = Vec::new();
+    for w in mi_suite() {
+        let trace = w.generate(scale);
+        for kind in [PrefetcherKind::None, PrefetcherKind::Sms, PrefetcherKind::CbwsSms] {
+            records.push(sim.run(w.name, true, &trace, kind));
+        }
+    }
+    records
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("[dram] scale = {scale}");
+
+    let flat_cfg = SystemConfig::default();
+    let mut dram_cfg = SystemConfig::default();
+    dram_cfg.mem.dram = Some(DramConfig::default());
+
+    eprintln!("[dram] flat model...");
+    let flat = run_suite(scale, flat_cfg);
+    eprintln!("[dram] banked DRAM model...");
+    let dram = run_suite(scale, dram_cfg);
+
+    let mut table = TextTable::new(vec![
+        "benchmark".into(),
+        "flat: CBWS+SMS/SMS".into(),
+        "dram: CBWS+SMS/SMS".into(),
+    ]);
+    let mut flat_ratios = Vec::new();
+    let mut dram_ratios = Vec::new();
+    for w in mi_suite() {
+        let fr = get(&flat, w.name, "CBWS+SMS").ipc() / get(&flat, w.name, "SMS").ipc();
+        let dr = get(&dram, w.name, "CBWS+SMS").ipc() / get(&dram, w.name, "SMS").ipc();
+        flat_ratios.push(fr);
+        dram_ratios.push(dr);
+        table.row(vec![w.name.to_string(), format!("{fr:.3}"), format!("{dr:.3}")]);
+    }
+    table.row(vec![
+        "geomean".into(),
+        format!("{:.3}", geomean(flat_ratios)),
+        format!("{:.3}", geomean(dram_ratios)),
+    ]);
+
+    println!("Headline speedup under flat vs banked-DRAM memory\n\n{table}");
+    save_csv("dram_model", &table);
+}

@@ -1,0 +1,76 @@
+//! **Extension experiment** (beyond the paper): compares the paper's seven
+//! configurations against five additional schemes —
+//!
+//! * AMPM (Ishii et al.), the zone-based prefetcher the paper's related
+//!   work argues finds within-iteration patterns before cross-iteration
+//!   ones;
+//! * FDP(SMS) (Srinath et al.), dynamic-feedback throttling on SMS, versus
+//!   CBWS's *static* compiler-hint-driven aggressiveness;
+//! * CBWSx4, a four-context CBWS that survives interleaved tight loops;
+//! * STeMS-lite (Somogyi et al.), temporally chained paced footprints at
+//!   the ~640 KB storage point the paper contrasts against;
+//! * Markov (Joseph & Grunwald), pair-correlation prefetching.
+//!
+//! Usage: `cargo run --release -p cbws-harness --bin ext_comparison
+//! [--scale tiny|small|full]`
+
+use cbws_harness::experiments::{get, save_csv, scale_from_args};
+use cbws_harness::{PrefetcherKind, Simulator, SystemConfig};
+use cbws_stats::{geomean, RunRecord, TextTable};
+use cbws_workloads::mi_suite;
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("[ext] scale = {scale}");
+    let kinds: Vec<PrefetcherKind> = PrefetcherKind::ALL
+        .into_iter()
+        .chain(PrefetcherKind::EXTENDED)
+        .collect();
+
+    let sim = Simulator::new(SystemConfig::default());
+    let mut records: Vec<RunRecord> = Vec::new();
+    for w in mi_suite() {
+        let trace = w.generate(scale);
+        eprintln!("[ext] {}", w.name);
+        for &kind in &kinds {
+            records.push(sim.run(w.name, true, &trace, kind));
+        }
+    }
+
+    let mut table = TextTable::new(
+        std::iter::once("benchmark".to_string())
+            .chain(kinds.iter().map(|k| k.name().to_string()))
+            .collect(),
+    );
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+    for w in mi_suite() {
+        let sms = get(&records, w.name, "SMS").ipc();
+        let mut row = vec![w.name.to_string()];
+        for (i, &kind) in kinds.iter().enumerate() {
+            let v = get(&records, w.name, kind.name()).ipc() / sms;
+            row.push(format!("{v:.3}"));
+            cols[i].push(v);
+        }
+        table.row(row);
+    }
+    let mut avg = vec!["geomean".to_string()];
+    for c in &cols {
+        avg.push(format!("{:.3}", geomean(c.iter().copied())));
+    }
+    table.row(avg);
+
+    println!("Extended comparison — IPC normalized to SMS (MI suite)\n");
+    println!("{table}");
+    save_csv("ext_comparison", &table);
+
+    // Storage context for the comparison.
+    let cfg = SystemConfig::default();
+    println!("Storage budgets:");
+    for &kind in &kinds {
+        println!(
+            "  {:<10} {:>7.2} KB",
+            kind.name(),
+            kind.storage_bits(&cfg) as f64 / 8192.0
+        );
+    }
+}

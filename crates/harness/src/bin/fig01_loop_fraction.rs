@@ -1,0 +1,16 @@
+//! Regenerates **Fig. 1**: fraction of runtime spent executing tight,
+//! innermost loops for the memory-intensive benchmarks.
+//!
+//! Usage: `cargo run --release -p cbws-harness --bin fig01_loop_fraction
+//! [--scale tiny|small|full]`
+
+use cbws_harness::experiments::{fig01_loop_fraction, save_csv, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("[fig01] scale = {scale}");
+    let table = fig01_loop_fraction(scale);
+    println!("Fig. 1 — runtime fraction in tight innermost loops (no-prefetch)\n");
+    println!("{table}");
+    save_csv("fig01_loop_fraction", &table);
+}

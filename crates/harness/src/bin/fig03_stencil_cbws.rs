@@ -1,0 +1,12 @@
+//! Regenerates **Figs. 3 & 4** (and the flavour of Table I): the CBWS
+//! access matrix of the Parboil Stencil inner loop and its constant
+//! differential vectors.
+//!
+//! Usage: `cargo run --release -p cbws-harness --bin fig03_stencil_cbws`
+
+use cbws_harness::experiments::fig03_stencil_cbws;
+
+fn main() {
+    println!("Figs. 3 & 4 — Stencil CBWS vectors and differentials\n");
+    print!("{}", fig03_stencil_cbws(8));
+}

@@ -1,0 +1,19 @@
+//! Regenerates **Fig. 5**: the skewed distribution of distinct CBWS
+//! differential vectors — how few vectors cover how many loop iterations.
+//!
+//! Usage: `cargo run --release -p cbws-harness --bin fig05_differential_skew
+//! [--scale tiny|small|full]`
+
+use cbws_harness::experiments::{fig05_differential_skew, save_csv, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("[fig05] scale = {scale}");
+    let table = fig05_differential_skew(scale);
+    println!(
+        "Fig. 5 — % of iterations covered by the most frequent X% of\n\
+         distinct CBWS differential vectors\n"
+    );
+    println!("{table}");
+    save_csv("fig05_differential_skew", &table);
+}

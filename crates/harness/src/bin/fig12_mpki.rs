@@ -1,0 +1,17 @@
+//! Regenerates **Fig. 12**: last-level-cache MPKI for every prefetcher on
+//! the memory-intensive suite (lower is better).
+//!
+//! Usage: `cargo run --release -p cbws-harness --bin fig12_mpki
+//! [--scale tiny|small|full]`
+
+use cbws_harness::experiments::{fig12_mpki, save_csv, scale_from_args, sweep};
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("[fig12] scale = {scale}");
+    let records = sweep(scale, &cbws_workloads::mi_suite());
+    let table = fig12_mpki(&records);
+    println!("Fig. 12 — L2 misses per kilo-instruction (lower is better)\n");
+    println!("{table}");
+    save_csv("fig12_mpki", &table);
+}

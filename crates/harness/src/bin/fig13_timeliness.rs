@@ -1,0 +1,18 @@
+//! Regenerates **Fig. 13**: the 5-way timeliness/accuracy breakdown
+//! (timely / shorter-waiting-time / non-timely / missing / wrong) for every
+//! prefetcher on the memory-intensive suite.
+//!
+//! Usage: `cargo run --release -p cbws-harness --bin fig13_timeliness
+//! [--scale tiny|small|full]`
+
+use cbws_harness::experiments::{fig13_timeliness, save_csv, scale_from_args, sweep};
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("[fig13] scale = {scale}");
+    let records = sweep(scale, &cbws_workloads::mi_suite());
+    let table = fig13_timeliness(&records);
+    println!("Fig. 13 — timeliness and accuracy, % of demand L2 accesses\n");
+    println!("{table}");
+    save_csv("fig13_timeliness", &table);
+}

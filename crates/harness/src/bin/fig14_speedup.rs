@@ -1,0 +1,18 @@
+//! Regenerates **Fig. 14**: IPC normalized to SMS for all 30 benchmarks
+//! (higher is better) — the paper's headline result.
+//!
+//! Usage: `cargo run --release -p cbws-harness --bin fig14_speedup
+//! [--scale tiny|small|full]`
+
+use cbws_harness::experiments::{fig14_speedup, save_csv, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("[fig14] scale = {scale}");
+    let all: Vec<_> = cbws_workloads::ALL.iter().collect();
+    let records = cbws_harness::experiments::sweep_parallel(scale, &all);
+    let table = fig14_speedup(&records);
+    println!("Fig. 14 — IPC normalized to SMS (higher is better)\n");
+    println!("{table}");
+    save_csv("fig14_speedup", &table);
+}

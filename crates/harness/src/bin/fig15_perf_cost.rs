@@ -1,0 +1,17 @@
+//! Regenerates **Fig. 15**: performance/cost — IPC per byte read from
+//! memory, normalized to the no-prefetch configuration (higher is better).
+//!
+//! Usage: `cargo run --release -p cbws-harness --bin fig15_perf_cost
+//! [--scale tiny|small|full]`
+
+use cbws_harness::experiments::{fig15_perf_cost, save_csv, scale_from_args, sweep};
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("[fig15] scale = {scale}");
+    let records = sweep(scale, &cbws_workloads::mi_suite());
+    let table = fig15_perf_cost(&records);
+    println!("Fig. 15 — IPC / bytes read, normalized to no-prefetch\n");
+    println!("{table}");
+    save_csv("fig15_perf_cost", &table);
+}

@@ -1,0 +1,57 @@
+//! **Extension experiment**: sensitivity of the headline result to the L2
+//! capacity and to the memory latency. The paper evaluates a single design
+//! point (2 MB L2, 300-cycle memory); this sweep checks that the CBWS+SMS
+//! advantage is not an artifact of that point.
+//!
+//! Usage: `cargo run --release -p cbws-harness --bin sensitivity
+//! [--scale tiny|small|full]`
+
+use cbws_harness::experiments::{save_csv, scale_from_args};
+use cbws_harness::{PrefetcherKind, Simulator, SystemConfig};
+use cbws_stats::{geomean, TextTable};
+use cbws_workloads::{mi_suite, Scale};
+
+fn geomean_speedup(scale: Scale, cfg: SystemConfig) -> f64 {
+    let sim = Simulator::new(cfg);
+    let mut ratios = Vec::new();
+    for w in mi_suite() {
+        let trace = w.generate(scale);
+        let sms = sim.run(w.name, true, &trace, PrefetcherKind::Sms);
+        let hybrid = sim.run(w.name, true, &trace, PrefetcherKind::CbwsSms);
+        ratios.push(hybrid.ipc() / sms.ipc());
+    }
+    geomean(ratios)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("[sensitivity] scale = {scale}");
+
+    // L2 capacity sweep.
+    let mut l2 = TextTable::new(vec!["L2 size".into(), "CBWS+SMS vs SMS (geomean, MI)".into()]);
+    for mb in [1u64, 2, 4] {
+        let mut cfg = SystemConfig::default();
+        cfg.mem.l2.size_bytes = mb * 1024 * 1024;
+        eprintln!("[sensitivity] L2 = {mb} MB");
+        l2.row(vec![format!("{mb} MB"), format!("{:.3}", geomean_speedup(scale, cfg))]);
+    }
+    println!("Sensitivity — L2 capacity (Table II point: 2 MB)\n\n{l2}");
+    save_csv("sensitivity_l2", &l2);
+
+    // Memory latency sweep.
+    let mut lat = TextTable::new(vec![
+        "memory latency".into(),
+        "CBWS+SMS vs SMS (geomean, MI)".into(),
+    ]);
+    for cycles in [150u64, 300, 600] {
+        let mut cfg = SystemConfig::default();
+        cfg.mem.memory_latency = cycles;
+        eprintln!("[sensitivity] memory = {cycles} cycles");
+        lat.row(vec![
+            format!("{cycles} cycles"),
+            format!("{:.3}", geomean_speedup(scale, cfg)),
+        ]);
+    }
+    println!("Sensitivity — memory latency (Table II point: 300 cycles)\n\n{lat}");
+    save_csv("sensitivity_latency", &lat);
+}

@@ -1,0 +1,100 @@
+//! General-purpose trace-driven simulation CLI: run any registered
+//! workload — or an externally supplied JSON trace — under any prefetcher
+//! and print the full metric set. Also exports generated traces to JSON so
+//! they can be archived, inspected, or replayed elsewhere.
+//!
+//! ```text
+//! simulate --workload stencil-default [--scale small] [--prefetcher SMS] \
+//!          [--dram] [--export trace.json]
+//! simulate --trace mytrace.json --prefetcher CBWS+SMS
+//! ```
+//!
+//! With no `--prefetcher`, all seven paper configurations run.
+
+use cbws_harness::experiments::scale_from_args;
+use cbws_harness::{PrefetcherKind, Simulator, SystemConfig};
+use cbws_sim_mem::DramConfig;
+use cbws_stats::TextTable;
+use cbws_trace::Trace;
+use cbws_workloads::by_name;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: simulate (--workload <name> | --trace <file.json>) \
+         [--scale tiny|small|full] [--prefetcher <name>] [--dram] \
+         [--export <file.json>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    let (label, trace): (String, Trace) = if let Some(name) = arg_value(&args, "--workload") {
+        let Some(w) = by_name(&name) else {
+            fail(&format!("unknown workload `{name}` (see `trace_info --list`)"));
+        };
+        (name, w.generate(scale_from_args()))
+    } else if let Some(path) = arg_value(&args, "--trace") {
+        let data = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let trace = serde_json::from_str(&data)
+            .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+        (path, trace)
+    } else {
+        fail("one of --workload or --trace is required");
+    };
+
+    if let Some(out) = arg_value(&args, "--export") {
+        let json = serde_json::to_string(&trace).expect("traces serialize");
+        std::fs::write(&out, json).unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+        eprintln!("[simulate] exported {} events to {out}", trace.len());
+    }
+
+    let kinds: Vec<PrefetcherKind> = match arg_value(&args, "--prefetcher") {
+        Some(name) => vec![PrefetcherKind::from_name(&name)
+            .unwrap_or_else(|| fail(&format!("unknown prefetcher `{name}`")))],
+        None => PrefetcherKind::ALL.to_vec(),
+    };
+
+    let mut cfg = SystemConfig::default();
+    if args.iter().any(|a| a == "--dram") {
+        cfg.mem.dram = Some(DramConfig::default());
+    }
+    let sim = Simulator::new(cfg);
+
+    let s = trace.stats();
+    println!(
+        "trace `{label}`: {} instructions, {} accesses, {} block instances\n",
+        s.instructions, s.mem_accesses, s.dynamic_blocks
+    );
+
+    let mut table = TextTable::new(vec![
+        "prefetcher".into(),
+        "IPC".into(),
+        "MPKI".into(),
+        "timely %".into(),
+        "wrong %".into(),
+        "bytes read".into(),
+        "pollution".into(),
+    ]);
+    for kind in kinds {
+        let r = sim.run(&label, true, &trace, kind);
+        let t = r.timeliness();
+        table.row(vec![
+            r.prefetcher.clone(),
+            format!("{:.3}", r.ipc()),
+            format!("{:.2}", r.mpki()),
+            format!("{:.1}", t.timely * 100.0),
+            format!("{:.1}", t.wrong * 100.0),
+            r.mem.bytes_read().to_string(),
+            r.mem.pollution_evictions.to_string(),
+        ]);
+    }
+    println!("{table}");
+}

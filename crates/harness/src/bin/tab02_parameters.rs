@@ -1,0 +1,13 @@
+//! Prints **Table II**: the simulation parameters in force.
+//!
+//! Usage: `cargo run --release -p cbws-harness --bin tab02_parameters`
+
+use cbws_harness::experiments::{save_csv, tab02_parameters};
+use cbws_harness::SystemConfig;
+
+fn main() {
+    let table = tab02_parameters(&SystemConfig::default());
+    println!("Table II — simulation parameters\n");
+    println!("{table}");
+    save_csv("tab02_parameters", &table);
+}

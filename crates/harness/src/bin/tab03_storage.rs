@@ -1,0 +1,14 @@
+//! Regenerates **Table III**: hardware storage requirements of the
+//! evaluated prefetchers.
+//!
+//! Usage: `cargo run --release -p cbws-harness --bin tab03_storage`
+
+use cbws_harness::experiments::{save_csv, tab03_storage};
+use cbws_harness::SystemConfig;
+
+fn main() {
+    let table = tab03_storage(&SystemConfig::default());
+    println!("Table III — prefetcher storage budgets\n");
+    println!("{table}");
+    save_csv("tab03_storage", &table);
+}

@@ -1,0 +1,241 @@
+//! System configuration (Table II) and the simulation runner.
+
+use crate::prefetched::PrefetchedMemory;
+use cbws_core::{CbwsConfig, CbwsPrefetcher, CbwsSmsPrefetcher, MultiCbwsPrefetcher};
+use cbws_prefetchers::{
+    AmpmConfig, AmpmPrefetcher, FeedbackDirected, GhbConfig, GhbPrefetcher, MarkovConfig,
+    MarkovPrefetcher, NullPrefetcher, Prefetcher, SmsConfig, SmsPrefetcher, StemsConfig,
+    StemsPrefetcher, StrideConfig, StridePrefetcher,
+};
+use cbws_sim_cpu::{Core, CoreConfig};
+use cbws_sim_mem::{HierarchyConfig, MemoryHierarchy};
+use cbws_stats::RunRecord;
+use cbws_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Full simulated-system configuration (Table II defaults).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Core parameters.
+    pub core: CoreConfig,
+    /// Cache hierarchy parameters.
+    pub mem: HierarchyConfig,
+}
+
+impl SystemConfig {
+    /// CBWS predictor parameters (Fig. 8 defaults).
+    pub fn cbws(&self) -> CbwsConfig {
+        CbwsConfig::default()
+    }
+
+    /// SMS parameters (Table II defaults).
+    pub fn sms(&self) -> SmsConfig {
+        SmsConfig::default()
+    }
+}
+
+/// The seven prefetcher configurations evaluated in §VII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrefetcherKind {
+    /// No prefetching.
+    None,
+    /// 256-entry PC-indexed stride prefetcher.
+    Stride,
+    /// GHB PC/DC.
+    GhbPcDc,
+    /// GHB G/DC.
+    GhbGDc,
+    /// Spatial memory streaming.
+    Sms,
+    /// Standalone CBWS.
+    Cbws,
+    /// The integrated CBWS+SMS policy.
+    CbwsSms,
+    /// Access Map Pattern Matching (extension; §III-A related work).
+    Ampm,
+    /// Feedback-directed throttling wrapped around SMS (extension;
+    /// Srinath et al., whose taxonomy Fig. 13 borrows).
+    FdpSms,
+    /// CBWS with four per-block tracking contexts (extension).
+    MultiCbws,
+    /// STeMS-lite: temporally chained, paced spatial footprints
+    /// (extension; §III-A's ~640 KB comparator).
+    Stems,
+    /// Markov pair-correlation prefetching (extension; §III-A).
+    Markov,
+}
+
+impl PrefetcherKind {
+    /// The paper's seven evaluated configurations, in figure order.
+    pub const ALL: [PrefetcherKind; 7] = [
+        PrefetcherKind::None,
+        PrefetcherKind::Stride,
+        PrefetcherKind::GhbPcDc,
+        PrefetcherKind::GhbGDc,
+        PrefetcherKind::Sms,
+        PrefetcherKind::Cbws,
+        PrefetcherKind::CbwsSms,
+    ];
+
+    /// The beyond-paper extension configurations (see EXPERIMENTS.md and
+    /// the `ext_comparison` binary).
+    pub const EXTENDED: [PrefetcherKind; 5] = [
+        PrefetcherKind::Ampm,
+        PrefetcherKind::FdpSms,
+        PrefetcherKind::MultiCbws,
+        PrefetcherKind::Stems,
+        PrefetcherKind::Markov,
+    ];
+
+    /// Parses a display name (as printed by [`PrefetcherKind::name`],
+    /// case-insensitively) back into a kind.
+    pub fn from_name(name: &str) -> Option<Self> {
+        PrefetcherKind::ALL
+            .into_iter()
+            .chain(PrefetcherKind::EXTENDED)
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "No-Prefetch",
+            PrefetcherKind::Stride => "Stride",
+            PrefetcherKind::GhbPcDc => "GHB-PC/DC",
+            PrefetcherKind::GhbGDc => "GHB-G/DC",
+            PrefetcherKind::Sms => "SMS",
+            PrefetcherKind::Cbws => "CBWS",
+            PrefetcherKind::CbwsSms => "CBWS+SMS",
+            PrefetcherKind::Ampm => "AMPM",
+            PrefetcherKind::FdpSms => "FDP(SMS)",
+            PrefetcherKind::MultiCbws => "CBWSx4",
+            PrefetcherKind::Stems => "STeMS",
+            PrefetcherKind::Markov => "Markov",
+        }
+    }
+
+    /// Builds the prefetcher with its Table II configuration.
+    pub fn build(self, cfg: &SystemConfig) -> Box<dyn Prefetcher> {
+        match self {
+            PrefetcherKind::None => Box::new(NullPrefetcher),
+            PrefetcherKind::Stride => Box::new(StridePrefetcher::new(StrideConfig::default())),
+            PrefetcherKind::GhbPcDc => Box::new(GhbPrefetcher::new(GhbConfig::pcdc())),
+            PrefetcherKind::GhbGDc => Box::new(GhbPrefetcher::new(GhbConfig::gdc())),
+            PrefetcherKind::Sms => Box::new(SmsPrefetcher::new(cfg.sms())),
+            PrefetcherKind::Cbws => Box::new(CbwsPrefetcher::new(cfg.cbws())),
+            PrefetcherKind::CbwsSms => {
+                Box::new(CbwsSmsPrefetcher::new(cfg.cbws(), cfg.sms()))
+            }
+            PrefetcherKind::Ampm => Box::new(AmpmPrefetcher::new(AmpmConfig::default())),
+            PrefetcherKind::FdpSms => {
+                Box::new(FeedbackDirected::new(SmsPrefetcher::new(cfg.sms())))
+            }
+            PrefetcherKind::MultiCbws => Box::new(MultiCbwsPrefetcher::new(cfg.cbws(), 4)),
+            PrefetcherKind::Stems => {
+                Box::new(StemsPrefetcher::new(StemsConfig::default()))
+            }
+            PrefetcherKind::Markov => {
+                Box::new(MarkovPrefetcher::new(MarkovConfig::default()))
+            }
+        }
+    }
+
+    /// Storage budget in bits (Table III).
+    pub fn storage_bits(self, cfg: &SystemConfig) -> u64 {
+        self.build(cfg).storage_bits()
+    }
+}
+
+/// Runs full simulations for (workload, prefetcher) pairs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Simulator {
+    cfg: SystemConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given system configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        Simulator { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Simulates `trace` under `kind` and returns the run record.
+    pub fn run(
+        &self,
+        workload: &str,
+        memory_intensive: bool,
+        trace: &Trace,
+        kind: PrefetcherKind,
+    ) -> RunRecord {
+        let hierarchy = MemoryHierarchy::new(self.cfg.mem);
+        let mut mem = PrefetchedMemory::new(hierarchy, kind.build(&self.cfg));
+        let cpu = Core::new(self.cfg.core).run(trace, &mut mem);
+        let mem = mem.finish();
+        RunRecord {
+            workload: workload.to_string(),
+            memory_intensive,
+            prefetcher: kind.name().to_string(),
+            cpu,
+            mem,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbws_workloads::{by_name, Scale};
+
+    #[test]
+    fn storage_budgets_match_table3() {
+        let cfg = SystemConfig::default();
+        let kb = |bits: u64| bits as f64 / 8192.0;
+        assert!((kb(PrefetcherKind::Stride.storage_bits(&cfg)) - 2.25).abs() < 0.01);
+        assert!((kb(PrefetcherKind::GhbGDc.storage_bits(&cfg)) - 2.25).abs() < 0.01);
+        assert!((kb(PrefetcherKind::GhbPcDc.storage_bits(&cfg)) - 3.75).abs() < 0.01);
+        assert!((kb(PrefetcherKind::Sms.storage_bits(&cfg)) - 5.07).abs() < 0.05);
+        assert!(kb(PrefetcherKind::Cbws.storage_bits(&cfg)) < 1.0, "CBWS must be under 1KB");
+        assert_eq!(PrefetcherKind::None.storage_bits(&cfg), 0);
+    }
+
+    #[test]
+    fn all_kinds_run_a_tiny_workload() {
+        let trace = by_name("sgemm-medium").unwrap().generate(Scale::Tiny);
+        let sim = Simulator::default();
+        for kind in PrefetcherKind::ALL {
+            let r = sim.run("sgemm-medium", true, &trace, kind);
+            assert!(r.cpu.instructions > 0, "{}", kind.name());
+            assert!(r.mem.classification_is_partition(), "{}", kind.name());
+            assert_eq!(r.prefetcher, kind.name());
+        }
+    }
+
+    #[test]
+    fn extended_kinds_run_and_account() {
+        let trace = by_name("radix-simlarge").unwrap().generate(Scale::Tiny);
+        let sim = Simulator::default();
+        let cfg = SystemConfig::default();
+        for kind in PrefetcherKind::EXTENDED {
+            let r = sim.run("radix-simlarge", true, &trace, kind);
+            assert!(r.cpu.instructions > 0, "{}", kind.name());
+            assert!(r.mem.classification_is_partition(), "{}", kind.name());
+            assert!(kind.storage_bits(&cfg) > 0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn identical_instruction_counts_across_kinds() {
+        // Prefetching must never change committed work, only timing.
+        let trace = by_name("nw").unwrap().generate(Scale::Tiny);
+        let sim = Simulator::default();
+        let counts: Vec<u64> = PrefetcherKind::ALL
+            .iter()
+            .map(|&k| sim.run("nw", true, &trace, k).cpu.instructions)
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+}

@@ -1,0 +1,331 @@
+//! STeMS-lite: spatio-temporal memory streaming (Somogyi et al., ISCA
+//! 2009), simplified.
+//!
+//! **Extension beyond the paper's evaluation.** The paper's related work
+//! (§III-A) singles out STeMS for two properties: it chains SMS's spatial
+//! footprints *temporally* (so whole sequences of regions stream in,
+//! paced, rather than one region at a time) and it "imposes a fairly large
+//! storage overhead (~640 KB)" — two orders of magnitude above CBWS's
+//! 1 KB. This module reproduces both properties with a simplified design:
+//!
+//! * a direct-mapped **footprint table** remembers the line bitmap each
+//!   spatial region exhibited in its last generation;
+//! * a direct-mapped **transition table** remembers which region followed
+//!   which (the temporal chain);
+//! * on entering a region, the predicted next regions' footprints are
+//!   queued and released *paced* — a few lines per demand access — which
+//!   is STeMS's mechanism for avoiding untimely-prefetch pollution.
+//!
+//! Deliberate simplifications versus the original: no per-miss temporal
+//! log reconstruction and no reorder buffer for interleaved streams; the
+//! region granularity carries both roles. The storage accounting, with the
+//! default 32 K-entry tables, lands at the paper's quoted ~640 KB scale.
+
+use crate::{PrefetchContext, Prefetcher};
+use cbws_trace::{LineAddr, LINE_BYTES};
+
+/// STeMS-lite parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StemsConfig {
+    /// Spatial region size in bytes (power of two, at most 64 lines).
+    pub region_bytes: u64,
+    /// Entries in the (direct-mapped) footprint table.
+    pub footprint_entries: usize,
+    /// Entries in the (direct-mapped) region-transition table.
+    pub transition_entries: usize,
+    /// How many regions ahead to chain on a region entry.
+    pub chain_depth: usize,
+    /// Lines released from the paced queue per demand access.
+    pub pace: usize,
+    /// Paced-queue capacity (oldest dropped on overflow).
+    pub queue_capacity: usize,
+}
+
+impl Default for StemsConfig {
+    fn default() -> Self {
+        StemsConfig {
+            region_bytes: 2048,
+            footprint_entries: 32768,
+            transition_entries: 32768,
+            chain_depth: 2,
+            pace: 4,
+            queue_capacity: 256,
+        }
+    }
+}
+
+impl StemsConfig {
+    /// Lines per region.
+    pub fn region_lines(&self) -> u32 {
+        (self.region_bytes / LINE_BYTES) as u32
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Footprint {
+    region: u64,
+    valid: bool,
+    pattern: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Transition {
+    region: u64,
+    valid: bool,
+    next: u64,
+}
+
+/// The STeMS-lite prefetcher. Observes demand accesses that reach the L2.
+#[derive(Debug, Clone)]
+pub struct StemsPrefetcher {
+    cfg: StemsConfig,
+    footprints: Vec<Footprint>,
+    transitions: Vec<Transition>,
+    /// Region currently being accumulated, with its live pattern.
+    current: Option<(u64, u64)>,
+    /// Paced release buffer.
+    pending: std::collections::VecDeque<LineAddr>,
+}
+
+impl StemsPrefetcher {
+    /// Creates a STeMS-lite prefetcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry (zero tables, region over 64 lines,
+    /// zero pace).
+    pub fn new(cfg: StemsConfig) -> Self {
+        assert!(cfg.region_bytes.is_power_of_two(), "region size must be a power of two");
+        assert!(cfg.region_lines() >= 1 && cfg.region_lines() <= 64, "region must be 1..=64 lines");
+        assert!(
+            cfg.footprint_entries.is_power_of_two() && cfg.transition_entries.is_power_of_two(),
+            "table sizes must be powers of two"
+        );
+        assert!(cfg.pace > 0 && cfg.chain_depth > 0, "pace and chain depth must be non-zero");
+        StemsPrefetcher {
+            footprints: vec![Footprint::default(); cfg.footprint_entries],
+            transitions: vec![Transition::default(); cfg.transition_entries],
+            cfg,
+            current: None,
+            pending: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &StemsConfig {
+        &self.cfg
+    }
+
+    /// Lines waiting in the paced queue (diagnostics).
+    pub fn pending_lines(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn region_of(&self, line: LineAddr) -> (u64, u32) {
+        let lines = u64::from(self.cfg.region_lines());
+        (line.0 / lines, (line.0 % lines) as u32)
+    }
+
+    fn store_footprint(&mut self, region: u64, pattern: u64) {
+        let slot = (region as usize) & (self.cfg.footprint_entries - 1);
+        self.footprints[slot] = Footprint { region, valid: true, pattern };
+    }
+
+    fn footprint(&self, region: u64) -> Option<u64> {
+        let slot = (region as usize) & (self.cfg.footprint_entries - 1);
+        let f = self.footprints[slot];
+        (f.valid && f.region == region).then_some(f.pattern)
+    }
+
+    fn store_transition(&mut self, from: u64, to: u64) {
+        let slot = (from as usize) & (self.cfg.transition_entries - 1);
+        self.transitions[slot] = Transition { region: from, valid: true, next: to };
+    }
+
+    fn transition(&self, from: u64) -> Option<u64> {
+        let slot = (from as usize) & (self.cfg.transition_entries - 1);
+        let t = self.transitions[slot];
+        (t.valid && t.region == from).then_some(t.next)
+    }
+
+    /// Queues the remembered footprint of `region`, skipping `skip_offset`.
+    fn queue_region(&mut self, region: u64, skip_offset: Option<u32>) {
+        let Some(pattern) = self.footprint(region) else { return };
+        let base = region * u64::from(self.cfg.region_lines());
+        for o in 0..self.cfg.region_lines() {
+            if Some(o) == skip_offset || pattern & (1 << o) == 0 {
+                continue;
+            }
+            if self.pending.len() == self.cfg.queue_capacity {
+                self.pending.pop_front();
+            }
+            self.pending.push_back(LineAddr(base + u64::from(o)));
+        }
+    }
+
+    fn release(&mut self, out: &mut Vec<LineAddr>) {
+        for _ in 0..self.cfg.pace {
+            match self.pending.pop_front() {
+                Some(l) => out.push(l),
+                None => break,
+            }
+        }
+    }
+}
+
+impl Default for StemsPrefetcher {
+    fn default() -> Self {
+        StemsPrefetcher::new(StemsConfig::default())
+    }
+}
+
+impl Prefetcher for StemsPrefetcher {
+    fn name(&self) -> &'static str {
+        "STeMS"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Footprint entry: 36-bit region tag + per-line pattern bit + valid.
+        let fp = (36 + u64::from(self.cfg.region_lines()) + 1) * self.cfg.footprint_entries as u64;
+        // Transition entry: 36-bit tag + 36-bit next-region + valid.
+        let tr = (36 + 36 + 1) * self.cfg.transition_entries as u64;
+        // Paced queue: 32-bit line addresses.
+        let q = 32 * self.cfg.queue_capacity as u64;
+        fp + tr + q
+    }
+
+    fn on_access(&mut self, ctx: &PrefetchContext, out: &mut Vec<LineAddr>) {
+        if !ctx.reached_l2() {
+            return;
+        }
+        let (region, offset) = self.region_of(ctx.addr.line());
+
+        match self.current {
+            Some((cur, ref mut pattern)) if cur == region => {
+                *pattern |= 1 << offset;
+            }
+            Some((prev, pattern)) => {
+                // Region transition: retire the finished generation and
+                // learn the temporal edge.
+                self.store_footprint(prev, pattern);
+                self.store_transition(prev, region);
+                self.current = Some((region, 1 << offset));
+                // Stream the predicted chain, paced.
+                self.queue_region(region, Some(offset));
+                let mut hop = region;
+                for _ in 1..self.cfg.chain_depth {
+                    match self.transition(hop) {
+                        Some(next) => {
+                            self.queue_region(next, None);
+                            hop = next;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            None => {
+                self.current = Some((region, 1 << offset));
+            }
+        }
+        self.release(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbws_trace::{Addr, Pc};
+
+    fn miss(line: u64) -> PrefetchContext {
+        PrefetchContext::demand_miss(Pc(0x40), Addr(line * 64))
+    }
+
+    /// Touches offsets of a region (32 lines per region by default).
+    fn touch(pf: &mut StemsPrefetcher, region: u64, offsets: &[u64], out: &mut Vec<LineAddr>) {
+        for &o in offsets {
+            pf.on_access(&miss(region * 32 + o), out);
+        }
+    }
+
+    #[test]
+    fn temporal_chain_streams_next_region_footprint() {
+        let mut pf = StemsPrefetcher::default();
+        let mut sink = Vec::new();
+        // Epoch 1: visit regions 10 -> 11 with distinct footprints.
+        touch(&mut pf, 10, &[0, 3], &mut sink);
+        touch(&mut pf, 11, &[1, 5], &mut sink);
+        touch(&mut pf, 12, &[0], &mut sink); // retire region 11
+        sink.clear();
+        // Epoch 2: re-enter region 10; the chain predicts 10's own
+        // remembered lines plus region 11's footprint.
+        let mut out = Vec::new();
+        touch(&mut pf, 10, &[0], &mut out);
+        touch(&mut pf, 10, &[3], &mut out); // pace releases more
+        assert!(out.contains(&LineAddr(10 * 32 + 3)), "own footprint: {out:?}");
+        assert!(
+            out.contains(&LineAddr(11 * 32 + 1)) || out.contains(&LineAddr(11 * 32 + 5)),
+            "chained region 11 footprint: {out:?}"
+        );
+    }
+
+    #[test]
+    fn release_is_paced() {
+        let cfg = StemsConfig { pace: 1, ..StemsConfig::default() };
+        let mut pf = StemsPrefetcher::new(cfg);
+        let mut sink = Vec::new();
+        // Learn a dense region footprint, then re-trigger it.
+        touch(&mut pf, 20, &(0..8u64).collect::<Vec<_>>(), &mut sink);
+        touch(&mut pf, 21, &[0], &mut sink);
+        sink.clear();
+        let mut out = Vec::new();
+        pf.on_access(&miss(20 * 32), &mut out);
+        assert!(out.len() <= 1, "pace=1 must release at most one line: {out:?}");
+        assert!(pf.pending_lines() > 0, "the rest stays queued");
+    }
+
+    #[test]
+    fn cold_regions_are_silent() {
+        let mut pf = StemsPrefetcher::default();
+        let mut out = Vec::new();
+        touch(&mut pf, 1, &[0, 1], &mut out);
+        touch(&mut pf, 2, &[0], &mut out);
+        assert!(out.is_empty(), "nothing learned yet: {out:?}");
+    }
+
+    #[test]
+    fn storage_is_about_640kb() {
+        let pf = StemsPrefetcher::default();
+        let kb = pf.storage_bits() as f64 / 8192.0;
+        assert!(
+            (550.0..750.0).contains(&kb),
+            "paper quotes ~640 KB for STeMS, got {kb:.0} KB"
+        );
+    }
+
+    #[test]
+    fn l1_hits_ignored() {
+        let mut pf = StemsPrefetcher::default();
+        let mut out = Vec::new();
+        let mut c = miss(0);
+        c.l1_hit = true;
+        pf.on_access(&c, &mut out);
+        assert!(out.is_empty());
+        assert!(pf.current.is_none());
+    }
+
+    #[test]
+    fn direct_mapped_tables_alias_safely() {
+        let cfg = StemsConfig {
+            footprint_entries: 4,
+            transition_entries: 4,
+            ..StemsConfig::default()
+        };
+        let mut pf = StemsPrefetcher::new(cfg);
+        let mut out = Vec::new();
+        for r in 0..64u64 {
+            touch(&mut pf, r, &[0, 1], &mut out);
+        }
+        // Aliased entries were overwritten; no panic, bounded state.
+        assert_eq!(pf.footprints.len(), 4);
+    }
+}

@@ -1,0 +1,225 @@
+//! Tournament branch predictor (Table II: 4K entries, 11-bit history),
+//! after Yeh & Patt two-level prediction with a McFarling-style chooser.
+
+use cbws_trace::Pc;
+use serde::{Deserialize, Serialize};
+
+/// A saturating 2-bit counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct Counter2(u8);
+
+impl Counter2 {
+    fn taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+
+    fn weakly_taken() -> Self {
+        Counter2(2)
+    }
+}
+
+/// Tournament predictor: a PC-indexed local two-level predictor and a gshare
+/// global predictor, arbitrated by a chooser table of 2-bit counters.
+#[derive(Debug, Clone)]
+pub struct TournamentPredictor {
+    local_history: Vec<u16>,
+    local_ctrs: Vec<Counter2>,
+    global_ctrs: Vec<Counter2>,
+    chooser: Vec<Counter2>,
+    global_history: u64,
+    history_mask: u64,
+    entries_mask: usize,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl TournamentPredictor {
+    /// Creates a predictor with `entries` counters per table (rounded up to
+    /// a power of two) and `history_bits` of global/local history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `history_bits` exceeds 16.
+    pub fn new(entries: usize, history_bits: u32) -> Self {
+        assert!(entries > 0, "predictor needs at least one entry");
+        assert!(history_bits <= 16, "history wider than 16 bits is unsupported");
+        let n = entries.next_power_of_two();
+        TournamentPredictor {
+            local_history: vec![0; n],
+            local_ctrs: vec![Counter2::weakly_taken(); n],
+            global_ctrs: vec![Counter2::weakly_taken(); n],
+            chooser: vec![Counter2::weakly_taken(); n],
+            global_history: 0,
+            history_mask: (1u64 << history_bits) - 1,
+            entries_mask: n - 1,
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    fn pc_index(&self, pc: Pc) -> usize {
+        // Drop the low 2 bits (instruction alignment) before indexing.
+        (pc.0 >> 2) as usize & self.entries_mask
+    }
+
+    fn local_index(&self, pc: Pc) -> usize {
+        let hist = self.local_history[self.pc_index(pc)] as usize;
+        (hist ^ (pc.0 >> 2) as usize) & self.entries_mask
+    }
+
+    fn global_index(&self, pc: Pc) -> usize {
+        ((self.global_history ^ (pc.0 >> 2)) as usize) & self.entries_mask
+    }
+
+    /// Predicts the direction of the branch at `pc`, then trains all tables
+    /// with the actual `taken` outcome. Returns `true` if the prediction was
+    /// correct.
+    pub fn predict_and_train(&mut self, pc: Pc, taken: bool) -> bool {
+        let li = self.local_index(pc);
+        let gi = self.global_index(pc);
+        let ci = self.pc_index(pc);
+
+        let local_pred = self.local_ctrs[li].taken();
+        let global_pred = self.global_ctrs[gi].taken();
+        let use_global = self.chooser[ci].taken();
+        let pred = if use_global { global_pred } else { local_pred };
+
+        // Train the chooser toward whichever component was right (only when
+        // they disagree).
+        if local_pred != global_pred {
+            self.chooser[ci].update(global_pred == taken);
+        }
+        self.local_ctrs[li].update(taken);
+        self.global_ctrs[gi].update(taken);
+
+        let pci = self.pc_index(pc);
+        self.local_history[pci] =
+            (((self.local_history[pci] as u64) << 1 | u64::from(taken)) & self.history_mask) as u16;
+        self.global_history = (self.global_history << 1 | u64::from(taken)) & self.history_mask;
+
+        self.predictions += 1;
+        let correct = pred == taken;
+        if !correct {
+            self.mispredictions += 1;
+        }
+        correct
+    }
+
+    /// Total predictions made.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Total mispredictions.
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// Misprediction rate in 0..=1 (0 when no predictions were made).
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+impl Default for TournamentPredictor {
+    fn default() -> Self {
+        TournamentPredictor::new(4096, 11)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter2(0);
+        for _ in 0..10 {
+            c.update(true);
+        }
+        assert_eq!(c.0, 3);
+        for _ in 0..10 {
+            c.update(false);
+        }
+        assert_eq!(c.0, 0);
+    }
+
+    #[test]
+    fn learns_always_taken() {
+        let mut p = TournamentPredictor::default();
+        let pc = Pc(0x400);
+        let mut correct = 0;
+        for _ in 0..100 {
+            if p.predict_and_train(pc, true) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 98, "always-taken should be near-perfect, got {correct}");
+    }
+
+    #[test]
+    fn learns_loop_exit_pattern() {
+        // Taken 7 times then not-taken, repeated: a tight loop of 8
+        // iterations. History-based prediction should learn the exit.
+        let mut p = TournamentPredictor::default();
+        let pc = Pc(0x500);
+        let mut late_correct = 0;
+        let mut total_late = 0;
+        for rep in 0..200 {
+            for i in 0..8 {
+                let taken = i != 7;
+                let ok = p.predict_and_train(pc, taken);
+                if rep >= 100 {
+                    total_late += 1;
+                    if ok {
+                        late_correct += 1;
+                    }
+                }
+            }
+        }
+        let rate = late_correct as f64 / total_late as f64;
+        assert!(rate > 0.9, "loop pattern should be learned, rate = {rate}");
+    }
+
+    #[test]
+    fn random_branches_mispredict_often() {
+        let mut p = TournamentPredictor::default();
+        let pc = Pc(0x600);
+        // Pseudo-random (LCG) outcomes: should hover near 50% accuracy.
+        let mut x: u64 = 12345;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            p.predict_and_train(pc, (x >> 63) != 0);
+        }
+        let rate = p.misprediction_rate();
+        assert!(rate > 0.3, "random stream should mispredict frequently, rate = {rate}");
+    }
+
+    #[test]
+    fn stats_counters() {
+        let mut p = TournamentPredictor::default();
+        for i in 0..10 {
+            p.predict_and_train(Pc(i * 4), i % 2 == 0);
+        }
+        assert_eq!(p.predictions(), 10);
+        assert!(p.mispredictions() <= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        TournamentPredictor::new(0, 11);
+    }
+}

@@ -1,0 +1,484 @@
+//! The approximate out-of-order core timing model.
+//!
+//! # Modelling contract
+//!
+//! The model is trace-driven: it walks committed instructions in program
+//! order and computes, per instruction, a *dispatch* time (front-end,
+//! width-limited, stalled by ROB/LDQ/STQ occupancy and branch flushes) and a
+//! *completion* time (dispatch + latency). Commit is in order. This
+//! preserves the first-order effects a prefetcher study depends on:
+//!
+//! * the width-limited CPI floor,
+//! * memory-level parallelism bounded by the ROB window, the LDQ, and the
+//!   L1 MSHRs,
+//! * serialization of dependent (pointer-chasing) loads,
+//! * branch-misprediction flushes, and
+//! * in-order commit, which is the order in which the CBWS hardware observes
+//!   memory accesses (paper §V-B).
+//!
+//! It deliberately does not model renaming, functional-unit contention
+//! beyond width, or wrong-path fetches. A documented approximation: a load
+//! that misses when all L1 MSHRs are busy still *probes* the hierarchy at
+//! its dispatch time but its completion is pushed back until an MSHR frees.
+
+use crate::branch::TournamentPredictor;
+use crate::config::CoreConfig;
+use cbws_sim_mem::MemoryHierarchy;
+use cbws_trace::{BlockId, MemAccess, MemKind, Dependence, Trace, TraceEvent};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Result of one memory access as seen by the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemResult {
+    /// End-to-end latency in cycles.
+    pub latency: u64,
+    /// Whether the access hit in the L1 (misses occupy an L1 MSHR).
+    pub l1_hit: bool,
+}
+
+/// The core's view of the memory system.
+///
+/// The harness implements this by wiring a [`MemoryHierarchy`] to a
+/// prefetcher; the trivial impl for a bare [`MemoryHierarchy`] runs without
+/// prefetching. The block hooks exist so prefetchers that consume the
+/// paper's `BLOCK_BEGIN`/`BLOCK_END` instructions see them in commit order
+/// with timestamps.
+pub trait MemSystem {
+    /// Performs a demand access at cycle `now`.
+    fn access(&mut self, now: u64, access: &MemAccess) -> MemResult;
+
+    /// A `BLOCK_BEGIN(id)` instruction committed at cycle `now`.
+    fn block_begin(&mut self, _now: u64, _id: BlockId) {}
+
+    /// A `BLOCK_END(id)` instruction committed at cycle `now`.
+    fn block_end(&mut self, _now: u64, _id: BlockId) {}
+}
+
+impl MemSystem for MemoryHierarchy {
+    fn access(&mut self, now: u64, access: &MemAccess) -> MemResult {
+        let out = self.demand_access(now, access.addr, access.kind.is_store());
+        MemResult { latency: out.latency, l1_hit: out.l1_hit }
+    }
+}
+
+/// An ideal memory that services every access in a fixed latency; useful for
+/// tests and for isolating front-end behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct IdealMemory {
+    /// Fixed latency returned for every access.
+    pub latency: u64,
+}
+
+impl MemSystem for IdealMemory {
+    fn access(&mut self, _now: u64, _access: &MemAccess) -> MemResult {
+        MemResult { latency: self.latency, l1_hit: true }
+    }
+}
+
+/// Timing statistics produced by [`Core::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpuStats {
+    /// Total cycles to commit the trace.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Committed memory accesses.
+    pub mem_accesses: u64,
+    /// Committed branches.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredictions: u64,
+    /// Cycles spent between `BLOCK_BEGIN` and `BLOCK_END` (tight loops);
+    /// numerator of the paper's Fig. 1.
+    pub block_cycles: u64,
+}
+
+impl CpuStats {
+    /// Instructions per cycle. Returns 0 for an empty run.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles spent inside annotated tight loops (Fig. 1),
+    /// clamped to 1.
+    pub fn loop_cycle_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.block_cycles as f64 / self.cycles as f64).min(1.0)
+        }
+    }
+}
+
+/// Bounded FIFO of completion times modelling a queue resource (ROB, LDQ,
+/// STQ, MSHRs): dispatch of a new occupant stalls until the oldest entry
+/// completes when the queue is full.
+#[derive(Debug, Clone)]
+struct OccupancyQueue {
+    cap: usize,
+    times: VecDeque<u64>,
+}
+
+impl OccupancyQueue {
+    fn new(cap: usize) -> Self {
+        OccupancyQueue { cap, times: VecDeque::with_capacity(cap.min(1024)) }
+    }
+
+    /// Earliest time a new entry may be allocated if dispatch happens at `t`.
+    fn allocate(&mut self, t: u64) -> u64 {
+        if self.times.len() == self.cap {
+            let oldest = self.times.pop_front().expect("cap > 0");
+            t.max(oldest)
+        } else {
+            t
+        }
+    }
+
+    fn push(&mut self, completion: u64) {
+        debug_assert!(self.times.len() < self.cap);
+        self.times.push_back(completion);
+    }
+
+    /// Drops entries already completed by time `t` (keeps the queue short).
+    fn retire_until(&mut self, t: u64) {
+        while self.times.front().is_some_and(|&c| c <= t) {
+            self.times.pop_front();
+        }
+    }
+}
+
+/// The approximate out-of-order core.
+///
+/// ```
+/// use cbws_sim_cpu::{Core, CoreConfig, IdealMemory};
+/// use cbws_trace::{TraceBuilder, Pc};
+///
+/// let mut b = TraceBuilder::new();
+/// b.alu(Pc(0), 400);
+/// let trace = b.finish();
+/// let stats = Core::new(CoreConfig::default()).run(&trace, &mut IdealMemory { latency: 2 });
+/// // A pure-ALU trace commits at full width (IPC ~ 4).
+/// assert!(stats.ipc() > 3.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Core {
+    cfg: CoreConfig,
+    predictor: TournamentPredictor,
+}
+
+impl Core {
+    /// Creates a core with a fresh branch predictor.
+    pub fn new(cfg: CoreConfig) -> Self {
+        let predictor = TournamentPredictor::new(cfg.bp_entries, cfg.bp_history_bits);
+        Core { cfg, predictor }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Runs `trace` to completion against `mem` and returns timing stats.
+    ///
+    /// The core state (branch predictor) is trained across the run; create a
+    /// fresh [`Core`] for an independent experiment.
+    pub fn run(&mut self, trace: &Trace, mem: &mut impl MemSystem) -> CpuStats {
+        let cfg = self.cfg;
+        let mut stats = CpuStats::default();
+
+        // Front end: `front_cycle` is the cycle of the next dispatch slot;
+        // `front_subslot` counts instructions already dispatched that cycle.
+        let mut front_cycle: u64 = 0;
+        let mut front_subslot: u32 = 0;
+
+        let mut rob = OccupancyQueue::new(cfg.rob_entries.max(1));
+        let mut ldq = OccupancyQueue::new(cfg.ldq_entries.max(1));
+        let mut stq = OccupancyQueue::new(cfg.stq_entries.max(1));
+        let mut mshrs = OccupancyQueue::new(cfg.l1_mshrs.max(1));
+
+        // In-order commit frontier.
+        let mut last_commit: u64 = 0;
+        // Completion of the most recent load, for dependent addressing.
+        let mut last_load_complete: u64 = 0;
+        // Commit frontier at the current block's `BLOCK_BEGIN`; block time
+        // is measured on the commit timeline so stalls caused by in-block
+        // instructions are attributed to the loop (Fig. 1).
+        let mut block_start: Option<u64> = None;
+
+        let dispatch = |front_cycle: &mut u64, front_subslot: &mut u32| -> u64 {
+            let t = *front_cycle;
+            *front_subslot += 1;
+            if *front_subslot >= cfg.width {
+                *front_cycle += 1;
+                *front_subslot = 0;
+            }
+            t
+        };
+        let stall_until = |front_cycle: &mut u64, front_subslot: &mut u32, t: u64| {
+            if t > *front_cycle {
+                *front_cycle = t;
+                *front_subslot = 0;
+            }
+        };
+
+        for event in trace {
+            match event {
+                TraceEvent::Alu { count, .. } => {
+                    for _ in 0..*count {
+                        let t0 = dispatch(&mut front_cycle, &mut front_subslot);
+                        let t = rob.allocate(t0);
+                        stall_until(&mut front_cycle, &mut front_subslot, t);
+                        let complete = t + 1;
+                        last_commit = last_commit.max(complete);
+                        rob.push(last_commit);
+                        stats.instructions += 1;
+                    }
+                }
+                TraceEvent::Mem(m) => {
+                    let t0 = dispatch(&mut front_cycle, &mut front_subslot);
+                    let mut t = rob.allocate(t0);
+                    stall_until(&mut front_cycle, &mut front_subslot, t);
+                    if m.dep == Dependence::PrevLoad {
+                        t = t.max(last_load_complete);
+                    }
+                    let complete = match m.kind {
+                        MemKind::Load => {
+                            t = ldq.allocate(t);
+                            let r = mem.access(t, m);
+                            let done = if r.l1_hit {
+                                t + r.latency
+                            } else {
+                                // L1 miss: wait for a free MSHR, then the
+                                // full latency applies.
+                                let issue = mshrs.allocate(t);
+                                let done = issue + r.latency;
+                                mshrs.push(done);
+                                done
+                            };
+                            ldq.push(done);
+                            last_load_complete = done;
+                            done
+                        }
+                        MemKind::Store => {
+                            t = stq.allocate(t);
+                            let r = mem.access(t, m);
+                            // The store buffer hides the store's latency from
+                            // commit, but the STQ entry is held until the
+                            // write completes.
+                            stq.push(t + r.latency);
+                            t + 1
+                        }
+                    };
+                    last_commit = last_commit.max(complete);
+                    rob.push(last_commit);
+                    stats.instructions += 1;
+                    stats.mem_accesses += 1;
+                    mshrs.retire_until(t);
+                }
+                TraceEvent::Branch(br) => {
+                    let t0 = dispatch(&mut front_cycle, &mut front_subslot);
+                    let t = rob.allocate(t0);
+                    stall_until(&mut front_cycle, &mut front_subslot, t);
+                    let correct = self.predictor.predict_and_train(br.pc, br.taken);
+                    let complete = t + 1;
+                    if !correct {
+                        stats.mispredictions += 1;
+                        // Redirect: the front end resumes after the flush.
+                        stall_until(
+                            &mut front_cycle,
+                            &mut front_subslot,
+                            complete + cfg.mispredict_penalty,
+                        );
+                    }
+                    last_commit = last_commit.max(complete);
+                    rob.push(last_commit);
+                    stats.instructions += 1;
+                    stats.branches += 1;
+                }
+                TraceEvent::BlockBegin { id } => {
+                    let t0 = dispatch(&mut front_cycle, &mut front_subslot);
+                    let t = rob.allocate(t0);
+                    stall_until(&mut front_cycle, &mut front_subslot, t);
+                    mem.block_begin(t, *id);
+                    last_commit = last_commit.max(t + 1);
+                    block_start = Some(last_commit);
+                    rob.push(last_commit);
+                    stats.instructions += 1;
+                }
+                TraceEvent::BlockEnd { id } => {
+                    let t0 = dispatch(&mut front_cycle, &mut front_subslot);
+                    let t = rob.allocate(t0);
+                    stall_until(&mut front_cycle, &mut front_subslot, t);
+                    mem.block_end(t, *id);
+                    last_commit = last_commit.max(t + 1);
+                    if let Some(start) = block_start.take() {
+                        stats.block_cycles += last_commit.saturating_sub(start);
+                    }
+                    rob.push(last_commit);
+                    stats.instructions += 1;
+                }
+            }
+        }
+
+        stats.cycles = last_commit.max(front_cycle);
+        stats.branches = stats.branches.max(self.predictor.predictions());
+        stats
+    }
+
+    /// Branch predictor statistics accumulated so far.
+    pub fn predictor(&self) -> &TournamentPredictor {
+        &self.predictor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbws_sim_mem::HierarchyConfig;
+    use cbws_trace::{Addr, Pc, TraceBuilder};
+
+    fn alu_trace(n: u32) -> Trace {
+        let mut b = TraceBuilder::new();
+        b.alu(Pc(0), n);
+        b.finish()
+    }
+
+    #[test]
+    fn alu_trace_runs_at_width() {
+        let stats =
+            Core::new(CoreConfig::default()).run(&alu_trace(4000), &mut IdealMemory { latency: 2 });
+        assert_eq!(stats.instructions, 4000);
+        let ipc = stats.ipc();
+        assert!(ipc > 3.5 && ipc <= 4.0, "ipc = {ipc}");
+    }
+
+    #[test]
+    fn width_one_runs_at_one() {
+        let cfg = CoreConfig { width: 1, ..CoreConfig::default() };
+        let stats = Core::new(cfg).run(&alu_trace(1000), &mut IdealMemory { latency: 2 });
+        let ipc = stats.ipc();
+        assert!(ipc <= 1.0 && ipc > 0.9, "ipc = {ipc}");
+    }
+
+    #[test]
+    fn independent_misses_overlap() {
+        // 8 independent loads to distinct lines: with 4 MSHRs they should
+        // overlap substantially rather than serialize at 332 cycles each.
+        let mut b = TraceBuilder::new();
+        for i in 0..8u64 {
+            b.load(Pc(0x100), Addr(i * 4096));
+        }
+        let trace = b.finish();
+        let mut mem = cbws_sim_mem::MemoryHierarchy::new(HierarchyConfig::default());
+        let stats = Core::new(CoreConfig::default()).run(&trace, &mut mem);
+        assert!(stats.cycles < 8 * 332, "no MLP: {} cycles", stats.cycles);
+        assert!(stats.cycles >= 2 * 332, "more MLP than 4 MSHRs allow: {}", stats.cycles);
+    }
+
+    #[test]
+    fn dependent_loads_serialize() {
+        // 8 dependent loads must serialize: ~8 * full-miss latency.
+        let mut b = TraceBuilder::new();
+        b.load(Pc(0x100), Addr(0));
+        for i in 1..8u64 {
+            b.load_dep(Pc(0x100), Addr(i * 4096));
+        }
+        let trace = b.finish();
+        let mut mem = cbws_sim_mem::MemoryHierarchy::new(HierarchyConfig::default());
+        let stats = Core::new(CoreConfig::default()).run(&trace, &mut mem);
+        assert!(stats.cycles >= 8 * 332, "dependent loads overlapped: {}", stats.cycles);
+    }
+
+    #[test]
+    fn rob_limits_window() {
+        // With a 1-entry ROB everything serializes, even ideal memory.
+        let cfg = CoreConfig { rob_entries: 1, ..CoreConfig::default() };
+        let stats = Core::new(cfg).run(&alu_trace(100), &mut IdealMemory { latency: 2 });
+        assert!(stats.ipc() <= 1.0, "ipc = {}", stats.ipc());
+    }
+
+    #[test]
+    fn mispredictions_cost_cycles() {
+        // Alternating-direction branch at one PC is learnable; a pseudo-random
+        // one is not. Compare cycle counts.
+        let mut well = TraceBuilder::new();
+        let mut badly = TraceBuilder::new();
+        let mut x: u64 = 99;
+        for i in 0..2000 {
+            well.branch(Pc(0x40), true);
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            badly.branch(Pc(0x40), (x >> 63) != 0);
+            let _ = i;
+        }
+        let w = Core::new(CoreConfig::default())
+            .run(&well.finish(), &mut IdealMemory { latency: 2 });
+        let b = Core::new(CoreConfig::default())
+            .run(&badly.finish(), &mut IdealMemory { latency: 2 });
+        assert!(
+            b.cycles > w.cycles * 3,
+            "mispredict penalty missing: well={} badly={}",
+            w.cycles,
+            b.cycles
+        );
+        assert!(b.mispredictions > 500);
+    }
+
+    #[test]
+    fn block_cycle_accounting() {
+        let mut b = TraceBuilder::new();
+        b.alu(Pc(0), 100); // outside
+        b.annotated_loop(cbws_trace::BlockId(0), 10, |b, _| {
+            b.alu(Pc(4), 100);
+        });
+        let trace = b.finish();
+        let stats = Core::new(CoreConfig::default()).run(&trace, &mut IdealMemory { latency: 2 });
+        let frac = stats.loop_cycle_fraction();
+        assert!(frac > 0.8 && frac <= 1.0, "frac = {frac}");
+    }
+
+    #[test]
+    fn stores_do_not_block_commit() {
+        // Stores retire through the store buffer: a stream of store misses
+        // should commit far faster than the same stream of load misses.
+        let mut ld = TraceBuilder::new();
+        let mut st = TraceBuilder::new();
+        for i in 0..64u64 {
+            ld.load(Pc(0), Addr(i * 4096));
+            ld.load_dep(Pc(4), Addr(i * 4096 + 1024 * 1024));
+            st.store(Pc(0), Addr(i * 4096));
+            st.store(Pc(4), Addr(i * 4096 + 1024 * 1024));
+        }
+        let mut m1 = cbws_sim_mem::MemoryHierarchy::new(HierarchyConfig::default());
+        let mut m2 = cbws_sim_mem::MemoryHierarchy::new(HierarchyConfig::default());
+        let l = Core::new(CoreConfig::default()).run(&ld.finish(), &mut m1);
+        let s = Core::new(CoreConfig::default()).run(&st.finish(), &mut m2);
+        assert!(s.cycles < l.cycles, "stores should hide latency: {} vs {}", s.cycles, l.cycles);
+    }
+
+    #[test]
+    fn cycles_monotone_in_memory_latency() {
+        let mut b = TraceBuilder::new();
+        for i in 0..200u64 {
+            b.load(Pc(0), Addr(i * 4096));
+            b.alu(Pc(4), 3);
+        }
+        let trace = b.finish();
+        let fast = Core::new(CoreConfig::default()).run(&trace, &mut IdealMemory { latency: 2 });
+        let slow = Core::new(CoreConfig::default()).run(&trace, &mut IdealMemory { latency: 50 });
+        assert!(slow.cycles > fast.cycles);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let stats = Core::new(CoreConfig::default())
+            .run(&Trace::default(), &mut IdealMemory { latency: 2 });
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(stats.ipc(), 0.0);
+        assert_eq!(stats.loop_cycle_fraction(), 0.0);
+    }
+}

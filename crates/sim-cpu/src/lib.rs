@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Approximate out-of-order core timing model for the CBWS reproduction.
+//!
+//! This crate is the stand-in for the paper's gem5 CPU model (Table II: a
+//! 2 GHz, 4-wide out-of-order core with a 128-entry ROB, 32-entry load and
+//! store queues, and a tournament branch predictor). See [`Core`] for the
+//! modelling contract and its documented approximations.
+//!
+//! The core walks a committed-instruction [`cbws_trace::Trace`] and charges
+//! cycles against a [`MemSystem`] — either a bare
+//! [`cbws_sim_mem::MemoryHierarchy`] (no prefetching) or the harness's
+//! prefetcher-wired implementation.
+//!
+//! # Example
+//!
+//! ```
+//! use cbws_sim_cpu::{Core, CoreConfig};
+//! use cbws_sim_mem::{MemoryHierarchy, HierarchyConfig};
+//! use cbws_trace::{TraceBuilder, Pc, Addr};
+//!
+//! let mut b = TraceBuilder::new();
+//! for i in 0..100u64 {
+//!     b.load(Pc(0x10), Addr(i * 64));
+//!     b.alu(Pc(0x14), 3);
+//! }
+//! let trace = b.finish();
+//! let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+//! let stats = Core::new(CoreConfig::default()).run(&trace, &mut mem);
+//! assert!(stats.ipc() > 0.0);
+//! ```
+
+mod branch;
+mod config;
+mod core;
+
+pub use crate::core::{Core, CpuStats, IdealMemory, MemResult, MemSystem};
+pub use branch::TournamentPredictor;
+pub use config::CoreConfig;

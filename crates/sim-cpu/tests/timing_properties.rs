@@ -1,0 +1,111 @@
+//! Property tests for the core timing model's global invariants.
+
+use cbws_sim_cpu::{Core, CoreConfig, IdealMemory, MemResult, MemSystem};
+use cbws_trace::{Addr, BlockId, MemAccess, Pc, Trace, TraceBuilder};
+use proptest::prelude::*;
+
+/// A memory with a programmable latency per access index (deterministic).
+struct ScriptedMemory {
+    latencies: Vec<u64>,
+    cursor: usize,
+}
+
+impl MemSystem for ScriptedMemory {
+    fn access(&mut self, _now: u64, _access: &MemAccess) -> MemResult {
+        let latency = self.latencies[self.cursor % self.latencies.len()];
+        self.cursor += 1;
+        MemResult { latency, l1_hit: latency <= 2 }
+    }
+}
+
+/// A random but structurally valid trace.
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..1 << 18).prop_map(|a| (0u8, a)),
+            (0u64..1 << 18).prop_map(|a| (1u8, a)),
+            (1u64..8).prop_map(|n| (2u8, n)),
+            (0u64..2).prop_map(|t| (3u8, t)),
+            Just((4u8, 0u64)),
+        ],
+        1..120,
+    )
+    .prop_map(|ops| {
+        let mut b = TraceBuilder::new();
+        let mut in_block = false;
+        for (kind, v) in ops {
+            match kind {
+                0 => b.load(Pc(0x10), Addr(v * 64)),
+                1 => b.store(Pc(0x14), Addr(v * 64)),
+                2 => b.alu(Pc(0x18), v as u32),
+                3 => b.branch(Pc(0x1c), v == 1),
+                _ => {
+                    if in_block {
+                        b.end_block(BlockId(0));
+                    } else {
+                        b.begin_block(BlockId(0));
+                    }
+                    in_block = !in_block;
+                }
+            }
+        }
+        if in_block {
+            b.end_block(BlockId(0));
+        }
+        b.finish()
+    })
+}
+
+proptest! {
+    /// IPC can never exceed the machine width, and cycles are at least
+    /// instructions / width.
+    #[test]
+    fn ipc_bounded_by_width(trace in trace_strategy(), lat in 1u64..400) {
+        let cfg = CoreConfig::default();
+        let stats = Core::new(cfg).run(&trace, &mut IdealMemory { latency: lat });
+        prop_assert!(stats.ipc() <= f64::from(cfg.width) + 1e-9, "ipc = {}", stats.ipc());
+        if stats.instructions > 0 {
+            prop_assert!(stats.cycles >= stats.instructions / u64::from(cfg.width));
+        }
+    }
+
+    /// Monotonicity: uniformly slower memory never reduces total cycles.
+    #[test]
+    fn cycles_monotone_in_latency(trace in trace_strategy()) {
+        let fast = Core::new(CoreConfig::default()).run(&trace, &mut IdealMemory { latency: 2 });
+        let slow = Core::new(CoreConfig::default()).run(&trace, &mut IdealMemory { latency: 200 });
+        prop_assert!(slow.cycles >= fast.cycles, "{} < {}", slow.cycles, fast.cycles);
+    }
+
+    /// A narrower machine is never faster.
+    #[test]
+    fn cycles_monotone_in_width(trace in trace_strategy()) {
+        let wide = CoreConfig { width: 4, ..CoreConfig::default() };
+        let narrow = CoreConfig { width: 1, ..CoreConfig::default() };
+        let w = Core::new(wide).run(&trace, &mut IdealMemory { latency: 2 });
+        let n = Core::new(narrow).run(&trace, &mut IdealMemory { latency: 2 });
+        prop_assert!(n.cycles >= w.cycles);
+    }
+
+    /// A smaller ROB is never faster.
+    #[test]
+    fn cycles_monotone_in_rob(trace in trace_strategy()) {
+        let big = CoreConfig { rob_entries: 128, ..CoreConfig::default() };
+        let small = CoreConfig { rob_entries: 4, ..CoreConfig::default() };
+        let b = Core::new(big).run(&trace, &mut ScriptedMemory { latencies: vec![2, 300, 30], cursor: 0 });
+        let s = Core::new(small).run(&trace, &mut ScriptedMemory { latencies: vec![2, 300, 30], cursor: 0 });
+        prop_assert!(s.cycles >= b.cycles);
+    }
+
+    /// Block cycles never exceed total cycles, and instruction accounting
+    /// matches the trace exactly.
+    #[test]
+    fn accounting_invariants(trace in trace_strategy(), lat in 1u64..350) {
+        let stats = Core::new(CoreConfig::default()).run(&trace, &mut IdealMemory { latency: lat });
+        let ts = trace.stats();
+        prop_assert_eq!(stats.instructions, ts.instructions);
+        prop_assert_eq!(stats.mem_accesses, ts.mem_accesses);
+        prop_assert!(stats.loop_cycle_fraction() <= 1.0);
+        prop_assert!(stats.mispredictions <= stats.branches);
+    }
+}

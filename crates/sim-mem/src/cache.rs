@@ -1,0 +1,310 @@
+//! Set-associative cache with true-LRU replacement and per-line prefetch
+//! metadata.
+
+use crate::config::CacheConfig;
+use cbws_trace::LineAddr;
+use serde::{Deserialize, Serialize};
+
+/// Metadata attached to a line that was installed by a prefetch.
+///
+/// Drives the paper's Fig. 13 classification: a prefetched line that is
+/// evicted (or still resident at the end of simulation) without ever being
+/// demand-referenced counts as a *wrong* prefetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchMeta {
+    /// Cycle at which the prefetch was issued to memory.
+    pub issue_time: u64,
+    /// Cycle at which the fill completed.
+    pub fill_time: u64,
+    /// Whether a demand access has referenced the line since the fill.
+    pub referenced: bool,
+}
+
+/// A line pushed out of the cache by an insertion or invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The victim's line address.
+    pub line: LineAddr,
+    /// Whether the victim was dirty (requires write-back).
+    pub dirty: bool,
+    /// Prefetch metadata if the victim was prefetched.
+    pub prefetch: Option<PrefetchMeta>,
+}
+
+#[derive(Debug, Clone)]
+struct Way {
+    line: LineAddr,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+    prefetch: Option<PrefetchMeta>,
+}
+
+impl Way {
+    fn empty() -> Self {
+        Way { line: LineAddr(0), valid: false, dirty: false, last_use: 0, prefetch: None }
+    }
+}
+
+/// A set-associative, true-LRU, write-back cache over line addresses.
+///
+/// Purely structural: it holds no data, only tags plus the dirty bit and
+/// prefetch metadata needed by the evaluation.
+///
+/// ```
+/// use cbws_sim_mem::{Cache, CacheConfig};
+/// use cbws_trace::LineAddr;
+///
+/// let mut c = Cache::new(CacheConfig { size_bytes: 1024, assoc: 2, latency: 1, mshrs: 4 });
+/// assert!(!c.touch(LineAddr(3), false));
+/// c.insert(LineAddr(3), false, None);
+/// assert!(c.touch(LineAddr(3), false));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    set_mask: u64,
+    stamp: u64,
+    resident: usize,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry (see [`CacheConfig::sets`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Cache {
+            cfg,
+            sets: vec![vec![Way::empty(); cfg.assoc]; sets],
+            set_mask: sets as u64 - 1,
+            stamp: 0,
+            resident: 0,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.resident
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.0 & self.set_mask) as usize
+    }
+
+    /// Checks residency without updating LRU state or prefetch metadata.
+    pub fn probe(&self, line: LineAddr) -> bool {
+        self.sets[self.set_index(line)].iter().any(|w| w.valid && w.line == line)
+    }
+
+    /// Demand-touches `line`: on hit, updates LRU, sets the dirty bit if
+    /// `store`, marks prefetch metadata as referenced, and returns `true`.
+    /// On miss returns `false` and changes nothing.
+    pub fn touch(&mut self, line: LineAddr, store: bool) -> bool {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let idx = self.set_index(line);
+        for w in &mut self.sets[idx] {
+            if w.valid && w.line == line {
+                w.last_use = stamp;
+                w.dirty |= store;
+                if let Some(meta) = &mut w.prefetch {
+                    meta.referenced = true;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns the prefetch metadata of a resident line, if any, without
+    /// updating LRU state.
+    pub fn prefetch_meta(&self, line: LineAddr) -> Option<PrefetchMeta> {
+        self.sets[self.set_index(line)]
+            .iter()
+            .find(|w| w.valid && w.line == line)
+            .and_then(|w| w.prefetch)
+    }
+
+    /// Installs `line`, evicting the LRU way of its set if the set is full.
+    /// If the line is already resident this behaves like [`Cache::touch`]
+    /// plus a metadata overwrite and evicts nothing.
+    pub fn insert(
+        &mut self,
+        line: LineAddr,
+        dirty: bool,
+        prefetch: Option<PrefetchMeta>,
+    ) -> Option<EvictedLine> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.line == line) {
+            w.last_use = stamp;
+            w.dirty |= dirty;
+            if prefetch.is_some() {
+                w.prefetch = prefetch;
+            }
+            return None;
+        }
+
+        let victim = match set.iter_mut().find(|w| !w.valid) {
+            Some(w) => w,
+            None => set.iter_mut().min_by_key(|w| w.last_use).expect("assoc > 0"),
+        };
+
+        let evicted = victim.valid.then_some(EvictedLine {
+            line: victim.line,
+            dirty: victim.dirty,
+            prefetch: victim.prefetch,
+        });
+        if !victim.valid {
+            self.resident += 1;
+        }
+        *victim = Way { line, valid: true, dirty, last_use: stamp, prefetch };
+        evicted
+    }
+
+    /// Removes `line` if resident, returning its state (used for inclusive-L2
+    /// back-invalidation of the L1).
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedLine> {
+        let idx = self.set_index(line);
+        let w = self.sets[idx].iter_mut().find(|w| w.valid && w.line == line)?;
+        w.valid = false;
+        self.resident -= 1;
+        Some(EvictedLine { line: w.line, dirty: w.dirty, prefetch: w.prefetch })
+    }
+
+    /// Iterates over all resident lines (order unspecified). Used at the end
+    /// of a simulation to count never-referenced prefetched lines as wrong.
+    pub fn resident(&self) -> impl Iterator<Item = (LineAddr, Option<PrefetchMeta>)> + '_ {
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|w| w.valid)
+            .map(|w| (w.line, w.prefetch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways.
+        Cache::new(CacheConfig { size_bytes: 4 * 64, assoc: 2, latency: 1, mshrs: 1 })
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = tiny();
+        assert!(c.insert(LineAddr(4), false, None).is_none());
+        assert!(c.probe(LineAddr(4)));
+        assert!(c.touch(LineAddr(4), false));
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn miss_on_empty() {
+        let mut c = tiny();
+        assert!(!c.touch(LineAddr(4), false));
+        assert!(!c.probe(LineAddr(4)));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (2 sets).
+        c.insert(LineAddr(0), false, None);
+        c.insert(LineAddr(2), false, None);
+        c.touch(LineAddr(0), false); // 2 is now LRU
+        let ev = c.insert(LineAddr(4), false, None).unwrap();
+        assert_eq!(ev.line, LineAddr(2));
+        assert!(c.probe(LineAddr(0)));
+        assert!(c.probe(LineAddr(4)));
+    }
+
+    #[test]
+    fn dirty_propagates_to_eviction() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), false, None);
+        c.touch(LineAddr(0), true);
+        c.insert(LineAddr(2), false, None);
+        let ev = c.insert(LineAddr(4), false, None).unwrap();
+        assert_eq!(ev.line, LineAddr(0));
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn reinsert_does_not_evict_or_duplicate() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), false, None);
+        assert!(c.insert(LineAddr(0), true, None).is_none());
+        assert_eq!(c.resident_lines(), 1);
+        // Dirty bit merged.
+        c.insert(LineAddr(2), false, None);
+        let ev = c.insert(LineAddr(4), false, None).unwrap();
+        assert!(ev.dirty || ev.line != LineAddr(0), "line 0 should be MRU");
+    }
+
+    #[test]
+    fn prefetch_meta_tracked_and_referenced() {
+        let mut c = tiny();
+        let meta = PrefetchMeta { issue_time: 10, fill_time: 310, referenced: false };
+        c.insert(LineAddr(6), false, Some(meta));
+        assert!(!c.prefetch_meta(LineAddr(6)).unwrap().referenced);
+        c.touch(LineAddr(6), false);
+        assert!(c.prefetch_meta(LineAddr(6)).unwrap().referenced);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.insert(LineAddr(8), true, None);
+        let ev = c.invalidate(LineAddr(8)).unwrap();
+        assert!(ev.dirty);
+        assert!(!c.probe(LineAddr(8)));
+        assert!(c.invalidate(LineAddr(8)).is_none());
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = tiny();
+        for i in 0..100 {
+            c.insert(LineAddr(i), false, None);
+            assert!(c.resident_lines() <= 4);
+        }
+        assert_eq!(c.resident_lines(), 4);
+    }
+
+    #[test]
+    fn resident_iterates_valid_lines() {
+        let mut c = tiny();
+        c.insert(LineAddr(1), false, None);
+        c.insert(LineAddr(2), false, None);
+        let mut lines: Vec<u64> = c.resident().map(|(l, _)| l.0).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![1, 2]);
+    }
+
+    #[test]
+    fn sets_isolated() {
+        let mut c = tiny();
+        // Set 0: lines 0,2; set 1: lines 1,3. Filling set 0 must not evict set 1.
+        c.insert(LineAddr(1), false, None);
+        c.insert(LineAddr(0), false, None);
+        c.insert(LineAddr(2), false, None);
+        c.insert(LineAddr(4), false, None); // evicts within set 0 only
+        assert!(c.probe(LineAddr(1)));
+    }
+}

@@ -1,0 +1,139 @@
+//! Hierarchy configuration (Table II of the paper).
+
+use crate::dram::DramConfig;
+use cbws_trace::LINE_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Set associativity (ways per set).
+    pub assoc: usize,
+    /// Access latency in cycles.
+    pub latency: u64,
+    /// Miss status holding registers (outstanding-miss limit).
+    pub mshrs: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, or capacity smaller
+    /// than one set).
+    pub fn sets(&self) -> usize {
+        assert!(self.assoc > 0, "associativity must be non-zero");
+        let lines = self.size_bytes / LINE_BYTES;
+        let sets = lines as usize / self.assoc;
+        assert!(sets > 0, "cache smaller than one set");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+
+    /// Total number of lines the cache can hold.
+    pub fn lines(&self) -> usize {
+        (self.size_bytes / LINE_BYTES) as usize
+    }
+}
+
+/// Full hierarchy configuration.
+///
+/// Defaults reproduce Table II: 32 KB 4-way 2-cycle L1D with 4 MSHRs,
+/// 2 MB 8-way 30-cycle inclusive L2 with 32 MSHRs, 300-cycle memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified, inclusive L2.
+    pub l2: CacheConfig,
+    /// Main memory latency in cycles (Table II's flat 300-cycle model;
+    /// ignored when [`HierarchyConfig::dram`] is set).
+    pub memory_latency: u64,
+    /// Optional banked-DRAM timing below the L2 (see
+    /// [`crate::MemoryModel::Dram`]); `None` keeps the paper's flat model.
+    pub dram: Option<DramConfig>,
+    /// L2 MSHRs reserved for demand misses; prefetches may occupy at most
+    /// `l2.mshrs - demand_reserved_mshrs` slots. The paper's L1 allows only
+    /// 4 outstanding demand misses, so reserving 4 keeps demand unblocked.
+    pub demand_reserved_mshrs: usize,
+    /// Capacity of the prefetch request queue; requests beyond this are
+    /// dropped oldest-first (and counted in [`crate::MemStats`]).
+    pub prefetch_queue_capacity: usize,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            l1d: CacheConfig { size_bytes: 32 * 1024, assoc: 4, latency: 2, mshrs: 4 },
+            l2: CacheConfig { size_bytes: 2 * 1024 * 1024, assoc: 8, latency: 30, mshrs: 32 },
+            memory_latency: 300,
+            dram: None,
+            demand_reserved_mshrs: 4,
+            prefetch_queue_capacity: 64,
+        }
+    }
+}
+
+impl HierarchyConfig {
+    /// Maximum number of prefetches allowed in flight simultaneously.
+    pub fn prefetch_mshrs(&self) -> usize {
+        self.l2.mshrs.saturating_sub(self.demand_reserved_mshrs)
+    }
+
+    /// Latency of a demand access that hits in the L1.
+    pub fn l1_hit_latency(&self) -> u64 {
+        self.l1d.latency
+    }
+
+    /// Latency of a demand access that hits in the L2.
+    pub fn l2_hit_latency(&self) -> u64 {
+        self.l1d.latency + self.l2.latency
+    }
+
+    /// Nominal latency of a demand access that misses everywhere (exact
+    /// under the flat model; the unqueued row-miss case under DRAM).
+    pub fn full_miss_latency(&self) -> u64 {
+        self.l1d.latency + self.l2.latency + self.memory_model().nominal_latency()
+    }
+
+    /// The memory model implied by `dram`/`memory_latency`.
+    pub fn memory_model(&self) -> crate::MemoryModel {
+        match self.dram {
+            Some(d) => crate::MemoryModel::Dram(d),
+            None => crate::MemoryModel::Flat { latency: self.memory_latency },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults() {
+        let c = HierarchyConfig::default();
+        assert_eq!(c.l1d.sets(), 128); // 32KB / (64B * 4 ways)
+        assert_eq!(c.l2.sets(), 4096); // 2MB / (64B * 8 ways)
+        assert_eq!(c.l1d.lines(), 512);
+        assert_eq!(c.l2.lines(), 32768);
+        assert_eq!(c.full_miss_latency(), 332);
+        assert_eq!(c.l2_hit_latency(), 32);
+        assert_eq!(c.l1_hit_latency(), 2);
+        assert_eq!(c.prefetch_mshrs(), 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        CacheConfig { size_bytes: 3 * 64 * 4, assoc: 4, latency: 1, mshrs: 1 }.sets();
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity")]
+    fn zero_assoc_rejected() {
+        CacheConfig { size_bytes: 1024, assoc: 0, latency: 1, mshrs: 1 }.sets();
+    }
+}

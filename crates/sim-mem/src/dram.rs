@@ -1,0 +1,214 @@
+//! Main-memory timing models.
+//!
+//! The paper's Table II specifies a flat 300-cycle memory, which
+//! [`MemoryModel::Flat`] reproduces and the hierarchy uses by default. The
+//! optional [`MemoryModel::Dram`] model adds the two properties a flat
+//! latency cannot express and that matter for prefetcher studies:
+//!
+//! * **bank-level bandwidth** — each request occupies its bank, so a
+//!   wasteful prefetcher's wrong fetches queue behind (and delay) demand
+//!   fills, making the Fig. 15 performance/cost trade-off physical;
+//! * **row-buffer locality** — sequential streams hit open rows and
+//!   complete faster than scattered accesses.
+//!
+//! The `dram_model` binary re-runs the headline comparison under both
+//! models.
+
+use cbws_trace::LineAddr;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the banked DRAM model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Number of independent banks.
+    pub banks: usize,
+    /// Row-buffer size in bytes (power of two).
+    pub row_bytes: u64,
+    /// Latency of a request hitting the open row, in cycles.
+    pub row_hit: u64,
+    /// Latency of a request that must activate a new row.
+    pub row_miss: u64,
+    /// Bank occupancy per request (inverse bandwidth), in cycles.
+    pub bank_busy: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        // Roughly DDR3-era numbers at a 2 GHz core clock.
+        DramConfig { banks: 16, row_bytes: 8192, row_hit: 150, row_miss: 300, bank_busy: 24 }
+    }
+}
+
+/// The memory-timing model used below the L2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemoryModel {
+    /// Fixed latency, unlimited bandwidth (Table II's 300 cycles).
+    Flat {
+        /// Latency in cycles.
+        latency: u64,
+    },
+    /// Banked DRAM with row buffers and per-bank occupancy.
+    Dram(DramConfig),
+}
+
+impl MemoryModel {
+    /// The nominal (worst-case single-request) latency, used for docs and
+    /// for sizing the finish horizon.
+    pub fn nominal_latency(&self) -> u64 {
+        match self {
+            MemoryModel::Flat { latency } => *latency,
+            MemoryModel::Dram(d) => d.row_miss,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    next_free: u64,
+    open_row: Option<u64>,
+}
+
+/// Stateful main-memory timing engine.
+#[derive(Debug, Clone)]
+pub struct MainMemory {
+    model: MemoryModel,
+    banks: Vec<Bank>,
+    requests: u64,
+    row_hits: u64,
+}
+
+impl MainMemory {
+    /// Creates the engine for a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate DRAM geometry.
+    pub fn new(model: MemoryModel) -> Self {
+        let banks = match model {
+            MemoryModel::Flat { .. } => Vec::new(),
+            MemoryModel::Dram(d) => {
+                assert!(d.banks > 0, "DRAM needs at least one bank");
+                assert!(
+                    d.row_bytes.is_power_of_two() && d.row_bytes >= 64,
+                    "row size must be a power of two of at least one line"
+                );
+                assert!(d.row_hit <= d.row_miss, "row hit cannot be slower than a miss");
+                vec![Bank { next_free: 0, open_row: None }; d.banks]
+            }
+        };
+        MainMemory { model, banks, requests: 0, row_hits: 0 }
+    }
+
+    /// The model in use.
+    pub fn model(&self) -> &MemoryModel {
+        &self.model
+    }
+
+    /// Issues a line fill at cycle `now`; returns its completion time.
+    pub fn access(&mut self, now: u64, line: LineAddr) -> u64 {
+        self.requests += 1;
+        match self.model {
+            MemoryModel::Flat { latency } => now + latency,
+            MemoryModel::Dram(d) => {
+                let row = line.base().0 / d.row_bytes;
+                let bank = &mut self.banks[(row % d.banks as u64) as usize];
+                let start = now.max(bank.next_free);
+                let latency = if bank.open_row == Some(row) {
+                    self.row_hits += 1;
+                    d.row_hit
+                } else {
+                    d.row_miss
+                };
+                bank.open_row = Some(row);
+                bank.next_free = start + d.bank_busy;
+                start + latency
+            }
+        }
+    }
+
+    /// Total requests serviced.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Row-buffer hit rate in 0..=1 (always 0 for the flat model).
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> MainMemory {
+        MainMemory::new(MemoryModel::Dram(DramConfig::default()))
+    }
+
+    #[test]
+    fn flat_model_is_constant() {
+        let mut m = MainMemory::new(MemoryModel::Flat { latency: 300 });
+        assert_eq!(m.access(0, LineAddr(0)), 300);
+        assert_eq!(m.access(5, LineAddr(999)), 305);
+        assert_eq!(m.row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn row_hits_are_faster() {
+        let mut m = dram();
+        let first = m.access(0, LineAddr(0));
+        // Next line in the same 8 KB row: row hit, but queued behind the
+        // first request's bank occupancy.
+        let second = m.access(0, LineAddr(1));
+        assert_eq!(first, 300);
+        assert_eq!(second, 24 + 150);
+        assert!(m.row_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn different_banks_proceed_in_parallel() {
+        let mut m = dram();
+        // Rows 0 and 1 map to different banks: both complete at 300.
+        let a = m.access(0, LineAddr(0));
+        let b = m.access(0, LineAddr(8192 / 64));
+        assert_eq!(a, 300);
+        assert_eq!(b, 300);
+    }
+
+    #[test]
+    fn same_bank_requests_queue() {
+        let mut m = dram();
+        let rows_per_cycle = 8192 / 64;
+        // Row 0 and row 16 hit the same bank (16 banks): second queues.
+        let a = m.access(0, LineAddr(0));
+        let b = m.access(0, LineAddr(16 * rows_per_cycle));
+        assert_eq!(a, 300);
+        assert_eq!(b, 24 + 300, "row conflict: queued and misses the row");
+    }
+
+    #[test]
+    fn row_conflict_closes_previous_row() {
+        let mut m = dram();
+        let rows_per_cycle = 8192 / 64;
+        m.access(0, LineAddr(0));
+        m.access(1000, LineAddr(16 * rows_per_cycle)); // same bank, new row
+        let back = m.access(2000, LineAddr(1)); // row 0 again: miss now
+        assert_eq!(back, 2000 + 300);
+    }
+
+    #[test]
+    fn nominal_latencies() {
+        assert_eq!(MemoryModel::Flat { latency: 300 }.nominal_latency(), 300);
+        assert_eq!(MemoryModel::Dram(DramConfig::default()).nominal_latency(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        MainMemory::new(MemoryModel::Dram(DramConfig { banks: 0, ..DramConfig::default() }));
+    }
+}

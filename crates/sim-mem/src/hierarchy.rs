@@ -1,0 +1,618 @@
+//! The two-level, inclusive memory hierarchy with prefetch-into-L2.
+
+use crate::cache::{Cache, PrefetchMeta};
+use crate::config::HierarchyConfig;
+use crate::dram::MainMemory;
+use crate::stats::MemStats;
+use cbws_trace::{Addr, LineAddr};
+use std::collections::VecDeque;
+
+/// How a demand L2 access interacted with prefetching (the paper's Fig. 13
+/// taxonomy, minus `wrong`, which is a property of prefetched lines rather
+/// than of demand accesses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemandClass {
+    /// Hit on a demand-fetched (or already-referenced) line.
+    PlainHit,
+    /// First hit on a completed prefetch: miss eliminated.
+    Timely,
+    /// The prefetch was in flight: latency reduced, not eliminated.
+    ShorterWaitingTime,
+    /// The line was identified and queued but not yet issued.
+    NonTimely,
+    /// No prefetch involvement: plain miss.
+    Missing,
+}
+
+/// Result of one demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// End-to-end latency in cycles, from issue to data return.
+    pub latency: u64,
+    /// Whether the access hit in the L1D.
+    pub l1_hit: bool,
+    /// Classification of the L2 interaction. `None` when the access hit in
+    /// the L1 and never reached the L2.
+    pub class: Option<DemandClass>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedPrefetch {
+    line: LineAddr,
+    enqueue_time: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlightPrefetch {
+    line: LineAddr,
+    issue_time: u64,
+    fill_time: u64,
+    /// Set when a demand access arrives while the fill is in flight
+    /// (shorter-waiting-time); the filled line is then born referenced.
+    demand_hit: bool,
+}
+
+/// The simulated memory hierarchy: L1D + inclusive L2 + flat-latency memory,
+/// with a prefetch engine that fills into the L2.
+///
+/// See the crate-level docs for the modelling contract. All methods take the
+/// current cycle `now`; callers must present accesses in non-decreasing time
+/// order.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    cfg: HierarchyConfig,
+    l1d: Cache,
+    l2: Cache,
+    memory: MainMemory,
+    queue: VecDeque<QueuedPrefetch>,
+    inflight: Vec<InFlightPrefetch>,
+    stats: MemStats,
+}
+
+impl MemoryHierarchy {
+    /// Creates an empty hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        MemoryHierarchy {
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            memory: MainMemory::new(cfg.memory_model()),
+            cfg,
+            queue: VecDeque::new(),
+            inflight: Vec::new(),
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Read-only view of the L2 (for tests and residency queries).
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Read-only view of the L1D.
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// The main-memory timing engine (row-hit statistics, model).
+    pub fn memory(&self) -> &MainMemory {
+        &self.memory
+    }
+
+    /// Whether `line` is resident in the L2 or has a prefetch queued or in
+    /// flight. Prefetchers use this to skip already-covered lines (the paper
+    /// skips addresses that are already cached).
+    pub fn is_covered(&self, line: LineAddr) -> bool {
+        self.l2.probe(line)
+            || self.inflight.iter().any(|p| p.line == line)
+            || self.queue.iter().any(|q| q.line == line)
+    }
+
+    /// Requests a prefetch of `line` into the L2.
+    ///
+    /// Deduplicated against resident, queued, and in-flight lines. If the
+    /// queue is full the oldest request is dropped.
+    pub fn enqueue_prefetch(&mut self, now: u64, line: LineAddr) {
+        self.advance(now);
+        if self.is_covered(line) {
+            self.stats.prefetch_dedup_dropped += 1;
+            return;
+        }
+        if self.queue.len() >= self.cfg.prefetch_queue_capacity {
+            self.queue.pop_front();
+            self.stats.prefetch_overflow_dropped += 1;
+        }
+        self.queue.push_back(QueuedPrefetch { line, enqueue_time: now });
+        self.stats.prefetch_enqueued += 1;
+    }
+
+    /// Performs one demand access at cycle `now` and returns its latency and
+    /// prefetch classification.
+    pub fn demand_access(&mut self, now: u64, addr: Addr, store: bool) -> AccessOutcome {
+        self.advance(now);
+        let line = addr.line();
+        self.stats.l1_accesses += 1;
+
+        if self.l1d.touch(line, store) {
+            self.stats.l1_hits += 1;
+            return AccessOutcome {
+                latency: self.cfg.l1_hit_latency(),
+                l1_hit: true,
+                class: None,
+            };
+        }
+
+        self.stats.l2_demand_accesses += 1;
+        let l2_time = now + self.cfg.l1d.latency;
+
+        // L2 hit path. Capture the first-reference flag before touching.
+        let was_unreferenced_prefetch =
+            self.l2.prefetch_meta(line).is_some_and(|m| !m.referenced);
+        if self.l2.touch(line, false) {
+            let class = if was_unreferenced_prefetch {
+                self.stats.timely += 1;
+                DemandClass::Timely
+            } else {
+                self.stats.plain_hits += 1;
+                DemandClass::PlainHit
+            };
+            self.fill_l1(line, store);
+            return AccessOutcome {
+                latency: self.cfg.l2_hit_latency(),
+                l1_hit: false,
+                class: Some(class),
+            };
+        }
+
+        // In-flight prefetch: the demand piggybacks on the outstanding
+        // fill. The line is installed now (inclusion with the L1 fill
+        // below; the full residual latency is charged to this access) while
+        // the MSHR slot stays occupied until the fill's completion time.
+        if let Some(p) = self.inflight.iter_mut().find(|p| p.line == line) {
+            p.demand_hit = true;
+            let meta = PrefetchMeta {
+                issue_time: p.issue_time,
+                fill_time: p.fill_time,
+                referenced: true,
+            };
+            let remaining = p.fill_time.saturating_sub(l2_time);
+            self.stats.shorter_waiting_time += 1;
+            self.fill_l2(line, Some(meta));
+            self.fill_l1(line, store);
+            return AccessOutcome {
+                latency: self.cfg.l2_hit_latency() + remaining,
+                l1_hit: false,
+                class: Some(DemandClass::ShorterWaitingTime),
+            };
+        }
+
+        // Queued but never issued: the prefetcher identified the line but
+        // was too late. The demand fetch supersedes the queued request.
+        let class = if let Some(pos) = self.queue.iter().position(|q| q.line == line) {
+            self.queue.remove(pos);
+            self.stats.non_timely += 1;
+            DemandClass::NonTimely
+        } else {
+            self.stats.missing += 1;
+            DemandClass::Missing
+        };
+
+        let request_time = l2_time + self.cfg.l2.latency;
+        let completion = self.memory.access(request_time, line);
+        self.fill_l2(line, None);
+        self.stats.demand_fills += 1;
+        self.fill_l1(line, store);
+        AccessOutcome {
+            latency: self.cfg.l2_hit_latency() + (completion - request_time),
+            l1_hit: false,
+            class: Some(class),
+        }
+    }
+
+    /// Completes in-flight prefetch fills due by `now` and issues queued
+    /// prefetches into freed MSHR slots. A request that had to wait for a
+    /// slot is issued at the completion time of the fill that freed it.
+    pub fn advance(&mut self, now: u64) {
+        loop {
+            // Fill any free slots; these requests never waited, so they
+            // issue at their enqueue times.
+            while self.inflight.len() < self.cfg.prefetch_mshrs() && self.issue_one(0) {}
+            // Complete the earliest due fill, freeing an MSHR slot.
+            let due = self
+                .inflight
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.fill_time <= now)
+                .min_by_key(|(_, p)| p.fill_time)
+                .map(|(i, _)| i);
+            match due {
+                Some(i) => {
+                    let p = self.inflight.swap_remove(i);
+                    let meta = PrefetchMeta {
+                        issue_time: p.issue_time,
+                        fill_time: p.fill_time,
+                        referenced: p.demand_hit,
+                    };
+                    self.fill_l2(p.line, Some(meta));
+                    self.stats.prefetch_fills += 1;
+                    // The freed slot becomes usable at the fill time.
+                    self.issue_one(p.fill_time);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Finalizes the run at cycle `now`: lands all in-flight prefetches and
+    /// counts every never-referenced prefetched line (resident or in flight)
+    /// as a wrong prefetch. Call exactly once, after the last access.
+    pub fn finish(&mut self, now: u64) -> MemStats {
+        // Give queued requests one last chance at the free MSHR slots of
+        // cycle `now`; whatever still cannot issue is discarded (it consumed
+        // no bandwidth and is not counted as wrong).
+        self.advance(now);
+        self.queue.clear();
+        while let Some(h) = self.inflight.iter().map(|p| p.fill_time).max() {
+            self.advance(h + 1);
+        }
+        let resident_wrong = self
+            .l2
+            .resident()
+            .filter(|(_, meta)| meta.is_some_and(|m| !m.referenced))
+            .count() as u64;
+        self.stats.wrong += resident_wrong;
+        self.stats
+    }
+
+    /// Installs `line` into the L1, handling L1 victim write-back into the
+    /// L2 (which must hold the line, by inclusion).
+    fn fill_l1(&mut self, line: LineAddr, store: bool) {
+        if let Some(victim) = self.l1d.insert(line, store, None) {
+            if victim.dirty {
+                // Write-back to L2. By inclusion the victim is resident in
+                // the L2 unless it was just back-invalidated (in which case
+                // it has already been written back to memory).
+                if !self.l2.touch(victim.line, true) {
+                    self.stats.writebacks += 1;
+                }
+            }
+        }
+    }
+
+    /// Installs `line` into the L2, maintaining inclusion and wrong-prefetch
+    /// / pollution accounting for the victim.
+    fn fill_l2(&mut self, line: LineAddr, meta: Option<PrefetchMeta>) {
+        if let Some(victim) = self.l2.insert(line, false, meta) {
+            if victim.prefetch.is_some_and(|m| !m.referenced) {
+                self.stats.wrong += 1;
+            }
+            if meta.is_some() && victim.prefetch.is_none() {
+                self.stats.pollution_evictions += 1;
+            }
+            let mut dirty = victim.dirty;
+            // Inclusive hierarchy: evicting from L2 back-invalidates the L1.
+            if let Some(l1_victim) = self.l1d.invalidate(victim.line) {
+                dirty |= l1_victim.dirty;
+            }
+            if dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+    }
+
+    /// Issues the next still-relevant queued prefetch at time
+    /// `max(enqueue_time, slot_free_time)`. Returns whether one was issued.
+    fn issue_one(&mut self, slot_free_time: u64) -> bool {
+        while let Some(q) = self.queue.pop_front() {
+            if self.l2.probe(q.line) || self.inflight.iter().any(|p| p.line == q.line) {
+                self.stats.prefetch_dedup_dropped += 1;
+                continue;
+            }
+            let issue_time = q.enqueue_time.max(slot_free_time);
+            let fill_time = self.memory.access(issue_time, q.line);
+            self.inflight.push(InFlightPrefetch {
+                line: q.line,
+                issue_time,
+                fill_time,
+                demand_hit: false,
+            });
+            self.stats.prefetch_issued += 1;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> HierarchyConfig {
+        HierarchyConfig {
+            l1d: crate::CacheConfig { size_bytes: 4 * 64, assoc: 2, latency: 2, mshrs: 4 },
+            l2: crate::CacheConfig { size_bytes: 16 * 64, assoc: 4, latency: 30, mshrs: 8 },
+            memory_latency: 300,
+            dram: None,
+            demand_reserved_mshrs: 4,
+            prefetch_queue_capacity: 8,
+        }
+    }
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr(n)
+    }
+
+    fn addr(n: u64) -> Addr {
+        LineAddr(n).base()
+    }
+
+    #[test]
+    fn cold_miss_full_latency() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        let out = m.demand_access(0, addr(100), false);
+        assert_eq!(out.latency, 332);
+        assert_eq!(out.class, Some(DemandClass::Missing));
+        assert!(!out.l1_hit);
+    }
+
+    #[test]
+    fn second_access_hits_l1() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        m.demand_access(0, addr(100), false);
+        let out = m.demand_access(400, addr(100), false);
+        assert!(out.l1_hit);
+        assert_eq!(out.latency, 2);
+        assert_eq!(out.class, None);
+    }
+
+    #[test]
+    fn timely_prefetch_eliminates_miss() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        m.enqueue_prefetch(0, line(5));
+        let out = m.demand_access(1000, addr(5), false);
+        assert_eq!(out.class, Some(DemandClass::Timely));
+        assert_eq!(out.latency, 32);
+        assert_eq!(m.stats().timely, 1);
+        // Second access to the same line from L2's view is a plain hit
+        // (after L1 eviction), but here it hits L1.
+        let out2 = m.demand_access(1100, addr(5), false);
+        assert!(out2.l1_hit);
+    }
+
+    #[test]
+    fn inflight_prefetch_shortens_wait() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        m.enqueue_prefetch(0, line(9));
+        // Demand arrives at cycle 100; fill completes at 300.
+        let out = m.demand_access(100, addr(9), false);
+        assert_eq!(out.class, Some(DemandClass::ShorterWaitingTime));
+        // l2_time = 102, remaining = 300 - 102 = 198, total = 32 + 198.
+        assert_eq!(out.latency, 230);
+        assert!(out.latency < 332);
+        // The fill must not later be counted wrong.
+        let stats = m.finish(1000);
+        assert_eq!(stats.wrong, 0);
+        assert_eq!(stats.shorter_waiting_time, 1);
+    }
+
+    #[test]
+    fn queued_unissued_prefetch_is_non_timely() {
+        let mut m = MemoryHierarchy::new(small_cfg());
+        // Fill all 4 prefetch MSHRs, then queue one more.
+        for i in 0..5 {
+            m.enqueue_prefetch(0, line(100 + i));
+        }
+        // At time 10, lines 100..104 are in flight, 104 is queued.
+        let out = m.demand_access(10, addr(104), false);
+        assert_eq!(out.class, Some(DemandClass::NonTimely));
+        assert_eq!(out.latency, 332);
+        assert_eq!(m.stats().non_timely, 1);
+    }
+
+    #[test]
+    fn wrong_prefetch_counted_at_finish() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        m.enqueue_prefetch(0, line(42));
+        m.enqueue_prefetch(0, line(43));
+        m.demand_access(1000, addr(42), false);
+        let stats = m.finish(2000);
+        assert_eq!(stats.wrong, 1); // line 43 never referenced
+        assert_eq!(stats.timely, 1);
+    }
+
+    #[test]
+    fn wrong_prefetch_counted_at_eviction() {
+        let mut m = MemoryHierarchy::new(small_cfg());
+        // L2 has 4 sets x 4 ways; lines 0,4,8,... map to set 0.
+        m.enqueue_prefetch(0, line(0));
+        m.advance(400);
+        // Evict it with demand fills to the same set.
+        for i in 1..=4 {
+            m.demand_access(500 + i * 400, addr(i * 4), false);
+        }
+        assert_eq!(m.stats().wrong, 1);
+    }
+
+    #[test]
+    fn dedup_drops_resident_and_duplicate_requests() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        m.demand_access(0, addr(7), false);
+        m.enqueue_prefetch(400, line(7)); // resident in L2 already
+        assert_eq!(m.stats().prefetch_dedup_dropped, 1);
+        m.enqueue_prefetch(400, line(8));
+        m.enqueue_prefetch(401, line(8)); // in flight already
+        assert_eq!(m.stats().prefetch_dedup_dropped, 2);
+    }
+
+    #[test]
+    fn queue_overflow_drops_oldest() {
+        let cfg = small_cfg();
+        let mut m = MemoryHierarchy::new(cfg);
+        // 4 in flight + 8 queue capacity; request 13 evicts the oldest queued.
+        for i in 0..13 {
+            m.enqueue_prefetch(0, line(200 + i));
+        }
+        assert_eq!(m.stats().prefetch_overflow_dropped, 1);
+    }
+
+    #[test]
+    fn inclusion_back_invalidates_l1() {
+        let mut m = MemoryHierarchy::new(small_cfg());
+        // Bring line 0 into both levels.
+        m.demand_access(0, addr(0), false);
+        assert!(m.l1d().probe(line(0)));
+        // Evict line 0 from L2 set 0 (4 ways): fill lines 4, 8, 12, 16.
+        let mut t = 400;
+        for l in [4u64, 8, 12, 16] {
+            m.demand_access(t, addr(l), false);
+            t += 400;
+        }
+        assert!(!m.l2().probe(line(0)));
+        assert!(!m.l1d().probe(line(0)), "inclusion violated: L1 holds an L2-evicted line");
+    }
+
+    #[test]
+    fn store_dirty_writeback_chain() {
+        let mut m = MemoryHierarchy::new(small_cfg());
+        // Dirty a line in L1, evict through both levels, expect a writeback.
+        m.demand_access(0, addr(0), true);
+        let mut t = 400;
+        // L1 has 2 sets x 2 ways; lines 0,2,4.. map to set 0.
+        for l in [2u64, 4, 6] {
+            m.demand_access(t, addr(l), true);
+            t += 400;
+        }
+        // line 0 evicted from L1 dirty -> merged into L2. Now evict from L2.
+        for l in [8u64, 12, 16, 20] {
+            m.demand_access(t, addr(l), false);
+            t += 400;
+        }
+        assert!(m.stats().writebacks >= 1);
+    }
+
+    #[test]
+    fn classification_partitions_demand_accesses() {
+        let mut m = MemoryHierarchy::new(small_cfg());
+        let mut t = 0;
+        for i in 0..200u64 {
+            if i % 3 == 0 {
+                m.enqueue_prefetch(t, line(i + 1));
+            }
+            m.demand_access(t, addr(i % 40), i % 7 == 0);
+            t += 50;
+        }
+        let stats = m.finish(t);
+        assert!(stats.classification_is_partition());
+    }
+
+    #[test]
+    fn prefetch_fill_time_respects_memory_latency() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        m.enqueue_prefetch(100, line(77));
+        // At cycle 399 the fill (due 400) has not landed: in-flight hit.
+        let out = m.demand_access(399, addr(77), false);
+        assert_eq!(out.class, Some(DemandClass::ShorterWaitingTime));
+    }
+
+    #[test]
+    fn pollution_counted_when_prefetch_evicts_demand_line() {
+        let mut m = MemoryHierarchy::new(small_cfg());
+        // Demand-fill L2 set 0 (4 ways: lines 0,4,8,12), then prefetch four
+        // more lines of the same set: each fill evicts a demand line.
+        let mut t = 0;
+        for l in [0u64, 4, 8, 12] {
+            m.demand_access(t, addr(l), false);
+            t += 400;
+        }
+        for l in [16u64, 20, 24, 28] {
+            m.enqueue_prefetch(t, line(l));
+        }
+        let stats = m.finish(t + 10_000);
+        assert_eq!(stats.pollution_evictions, 4);
+    }
+
+    #[test]
+    fn demand_fills_do_not_count_as_pollution() {
+        let mut m = MemoryHierarchy::new(small_cfg());
+        let mut t = 0;
+        for l in [0u64, 4, 8, 12, 16] {
+            m.demand_access(t, addr(l), false);
+            t += 400;
+        }
+        assert_eq!(m.stats().pollution_evictions, 0);
+    }
+
+    #[test]
+    fn finish_on_empty_hierarchy_is_clean() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        let stats = m.finish(0);
+        assert_eq!(stats, MemStats::default());
+    }
+
+    #[test]
+    fn store_to_prefetched_line_counts_timely_and_dirties() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        m.enqueue_prefetch(0, line(11));
+        let out = m.demand_access(500, addr(11), true);
+        assert_eq!(out.class, Some(DemandClass::Timely));
+        // Evict it through the L1 (2 sets x ... default L1 is 128 sets x 4
+        // ways; lines 11, 11+128, ... share a set) and verify the dirty
+        // data eventually writes back through the hierarchy.
+        let mut t = 1000;
+        for k in 1..=4u64 {
+            m.demand_access(t, addr(11 + k * 128), true);
+            t += 400;
+        }
+        // The L1 victim writes back into the resident L2 copy, not memory.
+        assert_eq!(m.stats().writebacks, 0);
+        assert!(m.l2().probe(line(11)));
+    }
+
+    #[test]
+    fn demand_then_prefetch_request_is_dedup_dropped_not_wrong() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        m.demand_access(0, addr(99), false);
+        m.enqueue_prefetch(400, line(99));
+        let stats = m.finish(1000);
+        assert_eq!(stats.wrong, 0);
+        assert_eq!(stats.prefetch_dedup_dropped, 1);
+        assert_eq!(stats.prefetch_issued, 0);
+    }
+
+    #[test]
+    fn non_decreasing_time_with_large_gaps() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::default());
+        m.enqueue_prefetch(0, line(5));
+        // Jump far into the future: the fill must have landed exactly once.
+        m.advance(1_000_000);
+        assert_eq!(m.stats().prefetch_fills, 1);
+        m.advance(2_000_000);
+        assert_eq!(m.stats().prefetch_fills, 1);
+    }
+
+    #[test]
+    fn mshr_backpressure_limits_inflight() {
+        let cfg = small_cfg(); // 4 prefetch MSHRs
+        let mut m = MemoryHierarchy::new(cfg);
+        for i in 0..8 {
+            m.enqueue_prefetch(0, line(300 + i));
+        }
+        // Only 4 issued immediately.
+        assert_eq!(m.stats().prefetch_issued, 4);
+        // After one memory latency, the next batch issues.
+        m.advance(301);
+        assert_eq!(m.stats().prefetch_issued, 8);
+        let stats = m.finish(10_000);
+        assert_eq!(stats.prefetch_fills, 8);
+        assert_eq!(stats.wrong, 8);
+    }
+}

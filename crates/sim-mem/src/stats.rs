@@ -1,0 +1,136 @@
+//! Counters collected by the memory hierarchy.
+
+use cbws_trace::LINE_BYTES;
+use serde::{Deserialize, Serialize};
+
+/// Event counters for one simulation run of the memory hierarchy.
+///
+/// The five classification counters (`timely`, `shorter_waiting_time`,
+/// `non_timely`, `missing`, `wrong`) implement the taxonomy of the paper's
+/// Fig. 13. The first four classify *demand L2 accesses*; `wrong` counts
+/// prefetched lines that were never demand-referenced and is therefore
+/// "beyond 100%" when scaled to demand accesses, exactly as the paper plots
+/// it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Demand accesses presented to the L1D.
+    pub l1_accesses: u64,
+    /// Demand accesses that hit in the L1D.
+    pub l1_hits: u64,
+    /// Demand accesses that reached the L2 (i.e. L1 misses).
+    pub l2_demand_accesses: u64,
+    /// Demand L2 accesses that hit on a line *not* installed by a prefetch
+    /// (or already demand-referenced earlier).
+    pub plain_hits: u64,
+    /// Demand L2 accesses that hit, for the first time, on a line installed
+    /// by a completed prefetch: the miss was eliminated.
+    pub timely: u64,
+    /// Demand L2 accesses that found their line still in flight from a
+    /// prefetch: latency was reduced but not eliminated.
+    pub shorter_waiting_time: u64,
+    /// Demand L2 accesses whose line sat in the prefetch queue, identified
+    /// but not yet issued.
+    pub non_timely: u64,
+    /// Demand L2 accesses with no prefetch involvement: a plain miss.
+    pub missing: u64,
+    /// Prefetched lines never demand-referenced before eviction / end of
+    /// simulation: wasted bandwidth and cache space.
+    pub wrong: u64,
+    /// Prefetch requests accepted into the queue.
+    pub prefetch_enqueued: u64,
+    /// Prefetch requests dropped because the target line was already
+    /// resident, queued, or in flight.
+    pub prefetch_dedup_dropped: u64,
+    /// Prefetch requests dropped due to queue overflow.
+    pub prefetch_overflow_dropped: u64,
+    /// Prefetches actually issued to memory.
+    pub prefetch_issued: u64,
+    /// Prefetch fills that completed into the L2.
+    pub prefetch_fills: u64,
+    /// Demand fills from memory into the L2.
+    pub demand_fills: u64,
+    /// Dirty lines written back to memory.
+    pub writebacks: u64,
+    /// Demand-fetched L2 lines evicted by a *prefetch* fill — the cache
+    /// pollution an over-aggressive prefetcher causes (§II's argument for
+    /// why static prefetchers must stay conservative outside loops).
+    pub pollution_evictions: u64,
+}
+
+impl MemStats {
+    /// Demand L2 misses for MPKI purposes (Fig. 12): accesses for which no
+    /// fill was underway — `missing` plus `non_timely`. An access that
+    /// merges into an in-flight prefetch is an MSHR hit, not a new LLC
+    /// miss, in gem5's accounting; its residual latency still shows up in
+    /// IPC (and in Fig. 13's *shorter-waiting-time* class).
+    pub fn l2_misses(&self) -> u64 {
+        self.missing + self.non_timely
+    }
+
+    /// Demand L2 hits (plain, prefetch-eliminated, and in-flight merges).
+    pub fn l2_hits(&self) -> u64 {
+        self.plain_hits + self.timely + self.shorter_waiting_time
+    }
+
+    /// Total bytes read from main memory (demand fills + prefetch fills).
+    /// This is the denominator of the paper's Fig. 15 performance/cost
+    /// metric.
+    pub fn bytes_read(&self) -> u64 {
+        (self.demand_fills + self.prefetch_fills) * LINE_BYTES
+    }
+
+    /// Total bytes written back to main memory.
+    pub fn bytes_written(&self) -> u64 {
+        self.writebacks * LINE_BYTES
+    }
+
+    /// Misses per kilo-instruction given a committed instruction count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions` is zero.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        assert!(instructions > 0, "MPKI requires a non-zero instruction count");
+        self.l2_misses() as f64 * 1000.0 / instructions as f64
+    }
+
+    /// Checks the classification partition invariant: every demand L2 access
+    /// is classified exactly once.
+    pub fn classification_is_partition(&self) -> bool {
+        self.plain_hits + self.timely + self.shorter_waiting_time + self.non_timely + self.missing
+            == self.l2_demand_accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_counters() {
+        let s = MemStats {
+            l2_demand_accesses: 10,
+            plain_hits: 2,
+            timely: 3,
+            shorter_waiting_time: 1,
+            non_timely: 1,
+            missing: 3,
+            demand_fills: 4,
+            prefetch_fills: 6,
+            writebacks: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.l2_misses(), 4);
+        assert_eq!(s.l2_hits(), 6);
+        assert!(s.classification_is_partition());
+        assert_eq!(s.bytes_read(), 640);
+        assert_eq!(s.bytes_written(), 128);
+        assert!((s.mpki(1000) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn mpki_rejects_zero_instructions() {
+        MemStats::default().mpki(0);
+    }
+}

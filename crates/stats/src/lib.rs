@@ -1,0 +1,187 @@
+#![warn(missing_docs)]
+
+//! Evaluation metrics and table rendering for the CBWS reproduction.
+//!
+//! Implements the derived metrics the paper reports:
+//!
+//! * **MPKI** (Fig. 12) — last-level-cache demand misses per kilo-instruction;
+//! * **timeliness/accuracy** (Fig. 13) — the 5-way breakdown of Srinath et
+//!   al. scaled to demand L2 accesses, with *wrong* plotted beyond 100%;
+//! * **normalized IPC** (Fig. 14) — speedup against a chosen baseline;
+//! * **performance/cost** (Fig. 15) — IPC per byte read from memory,
+//!   normalized to the no-prefetch configuration.
+//!
+//! Plus a small [`TextTable`] renderer and CSV writer used by every
+//! experiment binary.
+
+mod svg;
+mod table;
+mod timeliness;
+
+pub use svg::{GroupedBarChart, LineChart, StackedBarChart, PALETTE};
+pub use table::TextTable;
+pub use timeliness::TimelinessBreakdown;
+
+use cbws_sim_cpu::CpuStats;
+use cbws_sim_mem::MemStats;
+use serde::{Deserialize, Serialize};
+
+/// The result of one (workload, prefetcher) simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Workload name (figure label).
+    pub workload: String,
+    /// Whether the workload is in the memory-intensive group.
+    pub memory_intensive: bool,
+    /// Prefetcher display name.
+    pub prefetcher: String,
+    /// Core timing stats.
+    pub cpu: CpuStats,
+    /// Memory hierarchy stats.
+    pub mem: MemStats,
+}
+
+impl RunRecord {
+    /// Last-level-cache misses per kilo-instruction (Fig. 12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run committed no instructions.
+    pub fn mpki(&self) -> f64 {
+        self.mem.mpki(self.cpu.instructions)
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.cpu.ipc()
+    }
+
+    /// Raw performance/cost: IPC per byte read from memory. Zero bytes read
+    /// (possible only for empty runs) yields 0.
+    pub fn perf_cost(&self) -> f64 {
+        let bytes = self.mem.bytes_read();
+        if bytes == 0 {
+            0.0
+        } else {
+            self.ipc() / bytes as f64
+        }
+    }
+
+    /// The Fig. 13 breakdown for this run.
+    pub fn timeliness(&self) -> TimelinessBreakdown {
+        TimelinessBreakdown::from_mem(&self.mem)
+    }
+}
+
+/// Geometric mean of an iterator of positive ratios; 0 if empty.
+///
+/// The paper reports average speedups of ratio metrics (Figs. 14-15);
+/// geometric means are the standard aggregation for those.
+pub fn geomean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v > 0.0, "geomean requires positive values, got {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Arithmetic mean; 0 if empty. Used for averaging MPKI and the timeliness
+/// fractions (absolute quantities, matching the paper's `average-MI` /
+/// `average-ALL` bars).
+pub fn mean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Writes records as a CSV file with a header row.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_csv<W: std::io::Write>(
+    mut w: W,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    writeln!(w, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(w, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(instr: u64, cycles: u64, missing: u64, fills: u64) -> RunRecord {
+        RunRecord {
+            workload: "w".into(),
+            memory_intensive: true,
+            prefetcher: "p".into(),
+            cpu: CpuStats { cycles, instructions: instr, ..Default::default() },
+            mem: MemStats {
+                l2_demand_accesses: missing,
+                missing,
+                demand_fills: fills,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn mpki_and_ipc() {
+        let r = record(10_000, 5_000, 50, 50);
+        assert!((r.mpki() - 5.0).abs() < 1e-12);
+        assert!((r.ipc() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perf_cost_scales_with_traffic() {
+        let cheap = record(10_000, 5_000, 50, 50);
+        let wasteful = record(10_000, 5_000, 50, 500);
+        assert!(cheap.perf_cost() > wasteful.perf_cost());
+    }
+
+    #[test]
+    fn geomean_of_ratios() {
+        let g = geomean([1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean([1.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert!((mean([1.0, 2.0, 6.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(mean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,406 @@
+//! Minimal, dependency-free SVG chart rendering, so the experiment
+//! binaries can regenerate the paper's *figures* (grouped bars for
+//! Figs. 12/14/15, stacked bars for Fig. 13, curves for Fig. 5) and not
+//! just their data tables.
+//!
+//! The output is plain SVG 1.1 and renders in any browser. The API is
+//! deliberately small: construct a chart, add series, render to a string.
+
+use std::fmt::Write as _;
+
+/// Default categorical palette (seven series, one per prefetcher).
+pub const PALETTE: [&str; 8] = [
+    "#7f7f7f", "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#17becf",
+];
+
+const W: f64 = 1060.0;
+const H: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 180.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 120.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn header(title: &str) -> String {
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{H}\" \
+         viewBox=\"0 0 {W} {H}\" font-family=\"sans-serif\" font-size=\"11\">\n\
+         <rect width=\"{W}\" height=\"{H}\" fill=\"white\"/>\n\
+         <text x=\"{}\" y=\"22\" text-anchor=\"middle\" font-size=\"15\">{}</text>\n",
+        W / 2.0,
+        esc(title)
+    )
+}
+
+fn legend(out: &mut String, names: &[String]) {
+    let x = W - MARGIN_R + 16.0;
+    for (i, name) in names.iter().enumerate() {
+        let y = MARGIN_T + 14.0 + i as f64 * 18.0;
+        let color = PALETTE[i % PALETTE.len()];
+        let _ = writeln!(
+            out,
+            "<rect x=\"{x}\" y=\"{}\" width=\"12\" height=\"12\" fill=\"{color}\"/>\
+             <text x=\"{}\" y=\"{}\">{}</text>",
+            y - 10.0,
+            x + 16.0,
+            y,
+            esc(name)
+        );
+    }
+}
+
+fn y_axis(out: &mut String, max: f64, label: &str) {
+    let plot_h = H - MARGIN_T - MARGIN_B;
+    for k in 0..=5 {
+        let v = max * f64::from(k) / 5.0;
+        let y = H - MARGIN_B - plot_h * f64::from(k) / 5.0;
+        let _ = writeln!(
+            out,
+            "<line x1=\"{MARGIN_L}\" y1=\"{y}\" x2=\"{}\" y2=\"{y}\" \
+             stroke=\"#ddd\"/>\
+             <text x=\"{}\" y=\"{}\" text-anchor=\"end\">{v:.2}</text>",
+            W - MARGIN_R,
+            MARGIN_L - 6.0,
+            y + 4.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "<text x=\"16\" y=\"{}\" transform=\"rotate(-90 16 {})\" \
+         text-anchor=\"middle\">{}</text>",
+        (H - MARGIN_B + MARGIN_T) / 2.0,
+        (H - MARGIN_B + MARGIN_T) / 2.0,
+        esc(label)
+    );
+}
+
+/// A grouped bar chart: one category per benchmark, one bar per series
+/// (Figs. 12, 14, 15).
+#[derive(Debug, Clone)]
+pub struct GroupedBarChart {
+    title: String,
+    y_label: String,
+    categories: Vec<String>,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+impl GroupedBarChart {
+    /// Creates an empty chart.
+    pub fn new(title: impl Into<String>, y_label: impl Into<String>) -> Self {
+        GroupedBarChart {
+            title: title.into(),
+            y_label: y_label.into(),
+            categories: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the category (x-axis) labels.
+    pub fn categories<I: IntoIterator<Item = String>>(mut self, cats: I) -> Self {
+        self.categories = cats.into_iter().collect();
+        self
+    }
+
+    /// Adds one series; its values align with the categories (missing
+    /// values are treated as 0, extras ignored).
+    pub fn series(mut self, name: impl Into<String>, values: Vec<f64>) -> Self {
+        self.series.push((name.into(), values));
+        self
+    }
+
+    /// Renders the chart to an SVG string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chart has no categories or no series.
+    pub fn render(&self) -> String {
+        assert!(!self.categories.is_empty(), "chart needs categories");
+        assert!(!self.series.is_empty(), "chart needs at least one series");
+        let max = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter())
+            .fold(0.0f64, |m, &v| m.max(v))
+            .max(1e-9);
+        let plot_w = W - MARGIN_L - MARGIN_R;
+        let plot_h = H - MARGIN_T - MARGIN_B;
+        let ncat = self.categories.len() as f64;
+        let nser = self.series.len() as f64;
+        let slot = plot_w / ncat;
+        let bar = (slot * 0.85) / nser;
+
+        let mut out = header(&self.title);
+        y_axis(&mut out, max, &self.y_label);
+        for (si, (_, values)) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            for (ci, _) in self.categories.iter().enumerate() {
+                let v = values.get(ci).copied().unwrap_or(0.0).max(0.0).min(max);
+                let h = plot_h * v / max;
+                let x = MARGIN_L + ci as f64 * slot + slot * 0.075 + si as f64 * bar;
+                let y = H - MARGIN_B - h;
+                let _ = writeln!(
+                    out,
+                    "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bar:.1}\" \
+                     height=\"{h:.1}\" fill=\"{color}\"/>"
+                );
+            }
+        }
+        for (ci, cat) in self.categories.iter().enumerate() {
+            let x = MARGIN_L + (ci as f64 + 0.5) * slot;
+            let y = H - MARGIN_B + 10.0;
+            let _ = writeln!(
+                out,
+                "<text x=\"{x:.1}\" y=\"{y:.1}\" text-anchor=\"end\" \
+                 transform=\"rotate(-45 {x:.1} {y:.1})\">{}</text>",
+                esc(cat)
+            );
+        }
+        legend(&mut out, &self.series.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>());
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+/// A line chart with one polyline per series over shared x positions
+/// (Fig. 5's coverage curves).
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl LineChart {
+    /// Creates an empty line chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds one series of (x, y) points (x and y in 0..=1 for Fig. 5).
+    pub fn series(mut self, name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        self.series.push((name.into(), points));
+        self
+    }
+
+    /// Renders the chart to an SVG string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series were added.
+    pub fn render(&self) -> String {
+        assert!(!self.series.is_empty(), "chart needs at least one series");
+        let (mut xmax, mut ymax) = (1e-9f64, 1e-9f64);
+        for (_, pts) in &self.series {
+            for &(x, y) in pts {
+                xmax = xmax.max(x);
+                ymax = ymax.max(y);
+            }
+        }
+        let plot_w = W - MARGIN_L - MARGIN_R;
+        let plot_h = H - MARGIN_T - MARGIN_B;
+        let px = |x: f64| MARGIN_L + plot_w * (x / xmax).clamp(0.0, 1.0);
+        let py = |y: f64| H - MARGIN_B - plot_h * (y / ymax).clamp(0.0, 1.0);
+
+        let mut out = header(&self.title);
+        y_axis(&mut out, ymax, &self.y_label);
+        for k in 0..=5 {
+            let v = xmax * f64::from(k) / 5.0;
+            let x = px(v);
+            let _ = writeln!(
+                out,
+                "<text x=\"{x:.1}\" y=\"{}\" text-anchor=\"middle\">{v:.2}</text>",
+                H - MARGIN_B + 16.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+            MARGIN_L + plot_w / 2.0,
+            H - MARGIN_B + 40.0,
+            esc(&self.x_label)
+        );
+        for (si, (_, pts)) in self.series.iter().enumerate() {
+            if pts.is_empty() {
+                continue;
+            }
+            let color = PALETTE[si % PALETTE.len()];
+            let path: String = pts
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                out,
+                "<polyline points=\"{path}\" fill=\"none\" stroke=\"{color}\" \
+                 stroke-width=\"2\"/>"
+            );
+        }
+        legend(&mut out, &self.series.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>());
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+/// A stacked bar chart: one bar per category, segments per series
+/// (Fig. 13's timeliness breakdown).
+#[derive(Debug, Clone)]
+pub struct StackedBarChart {
+    title: String,
+    y_label: String,
+    categories: Vec<String>,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+impl StackedBarChart {
+    /// Creates an empty chart.
+    pub fn new(title: impl Into<String>, y_label: impl Into<String>) -> Self {
+        StackedBarChart {
+            title: title.into(),
+            y_label: y_label.into(),
+            categories: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the category (x-axis) labels.
+    pub fn categories<I: IntoIterator<Item = String>>(mut self, cats: I) -> Self {
+        self.categories = cats.into_iter().collect();
+        self
+    }
+
+    /// Adds one stack segment series.
+    pub fn series(mut self, name: impl Into<String>, values: Vec<f64>) -> Self {
+        self.series.push((name.into(), values));
+        self
+    }
+
+    /// Renders the chart to an SVG string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chart has no categories or no series.
+    pub fn render(&self) -> String {
+        assert!(!self.categories.is_empty(), "chart needs categories");
+        assert!(!self.series.is_empty(), "chart needs at least one series");
+        let totals: Vec<f64> = (0..self.categories.len())
+            .map(|ci| self.series.iter().map(|(_, v)| v.get(ci).copied().unwrap_or(0.0)).sum())
+            .collect();
+        let max = totals.iter().fold(0.0f64, |m, &v| m.max(v)).max(1e-9);
+        let plot_w = W - MARGIN_L - MARGIN_R;
+        let plot_h = H - MARGIN_T - MARGIN_B;
+        let slot = plot_w / self.categories.len() as f64;
+        let bar = slot * 0.7;
+
+        let mut out = header(&self.title);
+        y_axis(&mut out, max, &self.y_label);
+        let mut stack = vec![0.0f64; self.categories.len()];
+        for (si, (_, values)) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            for (ci, acc) in stack.iter_mut().enumerate() {
+                let v = values.get(ci).copied().unwrap_or(0.0).max(0.0);
+                let y0 = *acc;
+                *acc += v;
+                let h = plot_h * v / max;
+                let y = H - MARGIN_B - plot_h * *acc / max;
+                let x = MARGIN_L + ci as f64 * slot + (slot - bar) / 2.0;
+                let _ = writeln!(
+                    out,
+                    "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bar:.1}\" \
+                     height=\"{h:.1}\" fill=\"{color}\"/>"
+                );
+                let _ = y0;
+            }
+        }
+        for (ci, cat) in self.categories.iter().enumerate() {
+            let x = MARGIN_L + (ci as f64 + 0.5) * slot;
+            let y = H - MARGIN_B + 10.0;
+            let _ = writeln!(
+                out,
+                "<text x=\"{x:.1}\" y=\"{y:.1}\" text-anchor=\"end\" \
+                 transform=\"rotate(-45 {x:.1} {y:.1})\">{}</text>",
+                esc(cat)
+            );
+        }
+        legend(&mut out, &self.series.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>());
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_bars_render_all_elements() {
+        let svg = GroupedBarChart::new("Fig. X", "MPKI")
+            .categories(vec!["a".into(), "b".into()])
+            .series("SMS", vec![1.0, 2.0])
+            .series("CBWS+SMS", vec![0.5, 1.0])
+            .render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count(), 1 + 4 + 2); // bg + bars + legend
+        assert!(svg.contains("CBWS+SMS"));
+        assert!(svg.contains("Fig. X"));
+    }
+
+    #[test]
+    fn line_chart_renders_polylines() {
+        let svg = LineChart::new("Fig. 5", "% vectors", "% iterations")
+            .series("soplex", vec![(0.0, 0.0), (0.5, 0.9), (1.0, 1.0)])
+            .series("stencil", vec![(0.0, 0.97), (1.0, 1.0)])
+            .render();
+        assert_eq!(svg.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    fn stacked_bars_sum_to_total_height() {
+        let svg = StackedBarChart::new("Fig. 13", "%")
+            .categories(vec!["SMS".into()])
+            .series("timely", vec![0.3])
+            .series("missing", vec![0.7])
+            .render();
+        assert_eq!(svg.matches("<rect").count(), 1 + 2 + 2);
+    }
+
+    #[test]
+    fn escaping_applied_to_labels() {
+        let svg = GroupedBarChart::new("a<b & c", "y")
+            .categories(vec!["x<y".into()])
+            .series("s&t", vec![1.0])
+            .render();
+        assert!(svg.contains("a&lt;b &amp; c"));
+        assert!(svg.contains("x&lt;y"));
+        assert!(svg.contains("s&amp;t"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "categories")]
+    fn empty_chart_rejected() {
+        GroupedBarChart::new("t", "y").series("s", vec![1.0]).render();
+    }
+
+    #[test]
+    fn zero_values_render_without_nan() {
+        let svg = GroupedBarChart::new("t", "y")
+            .categories(vec!["a".into()])
+            .series("s", vec![0.0])
+            .render();
+        assert!(!svg.contains("NaN"));
+    }
+}

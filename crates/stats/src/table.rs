@@ -1,0 +1,120 @@
+//! Minimal aligned-text table renderer for the experiment binaries.
+
+use std::fmt;
+
+/// A right-aligned text table with a left-aligned first (label) column.
+///
+/// ```
+/// use cbws_stats::TextTable;
+///
+/// let mut t = TextTable::new(vec!["bench".into(), "MPKI".into()]);
+/// t.row(vec!["stencil".into(), "24.1".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("stencil"));
+/// assert!(s.contains("MPKI"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new(header: Vec<String>) -> Self {
+        assert!(!header.is_empty(), "a table needs at least one column");
+        TextTable { header, rows: Vec::new() }
+    }
+
+    /// Appends a row, padding or truncating to the header width.
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows as CSV-ready string vectors.
+    pub fn csv_rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The header labels.
+    pub fn header(&self) -> Vec<&str> {
+        self.header.iter().map(String::as_str).collect()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    write!(f, "{:<width$}", c, width = widths[0])?;
+                } else {
+                    write!(f, "  {:>width$}", c, width = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        render(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name".into(), "x".into()]);
+        t.row(vec!["a".into(), "1.5".into()]);
+        t.row(vec!["longer".into(), "10.25".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have equal rendered width.
+        assert_eq!(lines[0].len(), lines[2].len().max(lines[0].len()));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["x".into()]);
+        assert_eq!(t.csv_rows()[0].len(), 3);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_header_rejected() {
+        TextTable::new(vec![]);
+    }
+}

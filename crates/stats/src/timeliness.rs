@@ -1,0 +1,123 @@
+//! The Fig. 13 timeliness/accuracy breakdown.
+
+use cbws_sim_mem::MemStats;
+use serde::{Deserialize, Serialize};
+
+/// The five timeliness/accuracy classes of Fig. 13, as fractions of demand
+/// L2 accesses. `timely + shorter_waiting_time + non_timely + missing +
+/// plain_hits = 1`; `wrong` is additional traffic plotted beyond 100%.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimelinessBreakdown {
+    /// Fraction of demand L2 accesses whose miss a prefetch eliminated.
+    pub timely: f64,
+    /// Fraction that found their prefetch still in flight.
+    pub shorter_waiting_time: f64,
+    /// Fraction whose prefetch was queued but never issued.
+    pub non_timely: f64,
+    /// Fraction missed with no prefetch involvement.
+    pub missing: f64,
+    /// Fraction that hit on demand-fetched data (not plotted by the paper,
+    /// but needed for the partition invariant).
+    pub plain_hits: f64,
+    /// Wrong prefetches as a fraction of demand L2 accesses (can exceed 1).
+    pub wrong: f64,
+}
+
+impl TimelinessBreakdown {
+    /// Computes the breakdown from raw hierarchy counters. All-zero when
+    /// there were no demand L2 accesses.
+    pub fn from_mem(mem: &MemStats) -> Self {
+        let d = mem.l2_demand_accesses;
+        if d == 0 {
+            return Self::default();
+        }
+        let f = |x: u64| x as f64 / d as f64;
+        TimelinessBreakdown {
+            timely: f(mem.timely),
+            shorter_waiting_time: f(mem.shorter_waiting_time),
+            non_timely: f(mem.non_timely),
+            missing: f(mem.missing),
+            plain_hits: f(mem.plain_hits),
+            wrong: f(mem.wrong),
+        }
+    }
+
+    /// The partition invariant: the five demand classes sum to 1 (within
+    /// floating-point tolerance). Vacuously true for empty breakdowns.
+    pub fn is_partition(&self) -> bool {
+        let sum = self.timely
+            + self.shorter_waiting_time
+            + self.non_timely
+            + self.missing
+            + self.plain_hits;
+        sum == 0.0 || (sum - 1.0).abs() < 1e-9
+    }
+
+    /// Element-wise arithmetic mean over several breakdowns (the paper's
+    /// `average-MI` / `average-ALL` bars).
+    pub fn mean<'a, I: IntoIterator<Item = &'a TimelinessBreakdown>>(items: I) -> Self {
+        let mut acc = TimelinessBreakdown::default();
+        let mut n = 0usize;
+        for b in items {
+            acc.timely += b.timely;
+            acc.shorter_waiting_time += b.shorter_waiting_time;
+            acc.non_timely += b.non_timely;
+            acc.missing += b.missing;
+            acc.plain_hits += b.plain_hits;
+            acc.wrong += b.wrong;
+            n += 1;
+        }
+        if n > 0 {
+            let k = n as f64;
+            acc.timely /= k;
+            acc.shorter_waiting_time /= k;
+            acc.non_timely /= k;
+            acc.missing /= k;
+            acc.plain_hits /= k;
+            acc.wrong /= k;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemStats {
+        MemStats {
+            l2_demand_accesses: 100,
+            timely: 30,
+            shorter_waiting_time: 5,
+            non_timely: 5,
+            missing: 40,
+            plain_hits: 20,
+            wrong: 12,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fractions_and_partition() {
+        let b = TimelinessBreakdown::from_mem(&mem());
+        assert!((b.timely - 0.30).abs() < 1e-12);
+        assert!((b.wrong - 0.12).abs() < 1e-12);
+        assert!(b.is_partition());
+    }
+
+    #[test]
+    fn empty_is_all_zero() {
+        let b = TimelinessBreakdown::from_mem(&MemStats::default());
+        assert_eq!(b, TimelinessBreakdown::default());
+        assert!(b.is_partition());
+    }
+
+    #[test]
+    fn mean_averages_elementwise() {
+        let a = TimelinessBreakdown::from_mem(&mem());
+        let zero = TimelinessBreakdown::default();
+        let m = TimelinessBreakdown::mean([&a, &zero]);
+        assert!((m.timely - 0.15).abs() < 1e-12);
+        assert!((m.wrong - 0.06).abs() < 1e-12);
+    }
+}

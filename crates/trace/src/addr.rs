@@ -1,0 +1,210 @@
+//! Address-space vocabulary types.
+//!
+//! All simulated structures in the workspace use a fixed 64-byte cache line,
+//! matching Table II of the paper (L1 and L2 both use 64-byte lines).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Adds a signed delta to an unsigned value, saturating at both ends.
+fn saturating_add_signed(value: u64, delta: i64) -> u64 {
+    if delta >= 0 {
+        value.saturating_add(delta as u64)
+    } else {
+        value.saturating_sub(delta.unsigned_abs())
+    }
+}
+
+/// Cache line size in bytes (Table II: 64 bytes at every level).
+pub const LINE_BYTES: u64 = 64;
+
+/// `log2(LINE_BYTES)`.
+pub const LINE_SHIFT: u32 = 6;
+
+/// A byte address in the simulated virtual address space.
+///
+/// ```
+/// use cbws_trace::{Addr, LineAddr};
+/// assert_eq!(Addr(0x1040).line(), LineAddr(0x41));
+/// assert_eq!(Addr(0x1040).line_offset(), 0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache line containing this byte address.
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// Offset of this byte within its cache line, in `0..LINE_BYTES`.
+    pub fn line_offset(self) -> u64 {
+        self.0 & (LINE_BYTES - 1)
+    }
+
+    /// Returns the address shifted by a signed byte delta, saturating at 0.
+    pub fn offset(self, delta: i64) -> Addr {
+        Addr(saturating_add_signed(self.0, delta))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+/// A cache-line address (byte address divided by [`LINE_BYTES`]).
+///
+/// Line addresses are what CBWS vectors are made of: Eq. 1 of the paper
+/// defines a CBWS as a time-ordered set of unique *line* addresses.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// First byte address of this line.
+    pub fn base(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+
+    /// Signed distance in lines between two line addresses (`self - other`).
+    ///
+    /// This is the element-wise operation from which CBWS differentials
+    /// (Eq. 2) are built.
+    pub fn delta(self, other: LineAddr) -> i64 {
+        self.0 as i64 - other.0 as i64
+    }
+
+    /// Returns this line shifted by a signed line delta, saturating at 0.
+    pub fn offset(self, delta: i64) -> LineAddr {
+        LineAddr(saturating_add_signed(self.0, delta))
+    }
+
+    /// The lower 32 bits of the line address, as stored by the paper's
+    /// "current CBWS buffer" (Fig. 8 stores 32-bit line addresses).
+    pub fn low32(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(v: u64) -> Self {
+        LineAddr(v)
+    }
+}
+
+/// A static program counter identifying a memory instruction.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Pc(pub u64);
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Pc {
+    fn from(v: u64) -> Self {
+        Pc(v)
+    }
+}
+
+/// The static identifier assigned to an annotated code block (tight loop
+/// body) by the compiler pass (§IV-A of the paper).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk{}", self.0)
+    }
+}
+
+impl From<u32> for BlockId {
+    fn from(v: u32) -> Self {
+        BlockId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_offset_roundtrip() {
+        let a = Addr(0x12345);
+        assert_eq!(a.line().base().0 + a.line_offset(), a.0);
+    }
+
+    #[test]
+    fn line_delta_is_signed() {
+        assert_eq!(LineAddr(10).delta(LineAddr(14)), -4);
+        assert_eq!(LineAddr(14).delta(LineAddr(10)), 4);
+        assert_eq!(LineAddr(7).delta(LineAddr(7)), 0);
+    }
+
+    #[test]
+    fn line_offset_saturates_at_zero() {
+        assert_eq!(LineAddr(3).offset(-10), LineAddr(0));
+        assert_eq!(LineAddr(3).offset(4), LineAddr(7));
+    }
+
+    #[test]
+    fn addr_offset_saturates_at_zero() {
+        assert_eq!(Addr(5).offset(-100), Addr(0));
+        assert_eq!(Addr(5).offset(100), Addr(105));
+    }
+
+    #[test]
+    fn delta_applied_to_line_recovers_target() {
+        let a = LineAddr(0x5499);
+        let b = LineAddr(0x6523);
+        let d = b.delta(a);
+        assert_eq!(a.offset(d), b);
+    }
+
+    #[test]
+    fn low32_truncates() {
+        assert_eq!(LineAddr(0x1_0000_00FF).low32(), 0xFF);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr(0x40).to_string(), "0x40");
+        assert_eq!(LineAddr(1).to_string(), "L0x1");
+        assert_eq!(Pc(0x400).to_string(), "pc0x400");
+        assert_eq!(BlockId(3).to_string(), "blk3");
+    }
+}

@@ -1,0 +1,187 @@
+//! Trace event definitions.
+
+use crate::addr::{Addr, BlockId, Pc};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a memory access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemKind {
+    /// A load instruction.
+    Load,
+    /// A store instruction.
+    Store,
+}
+
+impl MemKind {
+    /// True for [`MemKind::Store`].
+    pub fn is_store(self) -> bool {
+        matches!(self, MemKind::Store)
+    }
+}
+
+impl fmt::Display for MemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemKind::Load => f.write_str("LD"),
+            MemKind::Store => f.write_str("ST"),
+        }
+    }
+}
+
+/// Address-generation dependence of a memory access.
+///
+/// The timing model uses this to decide whether a load can issue in parallel
+/// with preceding loads (affine array indexing) or must wait for the previous
+/// load's data (pointer chasing / data-dependent indexing, as in the paper's
+/// `histo` example of Fig. 16 and the `mcf` arc traversal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Dependence {
+    /// Address computable from loop induction variables; independent of
+    /// earlier in-flight loads.
+    #[default]
+    None,
+    /// Address depends on the value produced by the immediately preceding
+    /// load in program order (serializes with it).
+    PrevLoad,
+}
+
+/// One committed memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Static PC of the memory instruction.
+    pub pc: Pc,
+    /// Byte address accessed.
+    pub addr: Addr,
+    /// Load or store.
+    pub kind: MemKind,
+    /// Address-generation dependence class.
+    pub dep: Dependence,
+}
+
+impl MemAccess {
+    /// Convenience constructor for an independent load.
+    pub fn load(pc: Pc, addr: Addr) -> Self {
+        MemAccess { pc, addr, kind: MemKind::Load, dep: Dependence::None }
+    }
+
+    /// Convenience constructor for an independent store.
+    pub fn store(pc: Pc, addr: Addr) -> Self {
+        MemAccess { pc, addr, kind: MemKind::Store, dep: Dependence::None }
+    }
+}
+
+impl fmt::Display for MemAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} @{}", self.kind, self.addr, self.pc)
+    }
+}
+
+/// One committed branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchRecord {
+    /// Static PC of the branch instruction.
+    pub pc: Pc,
+    /// Actual direction taken at commit.
+    pub taken: bool,
+}
+
+/// A single event in a committed instruction trace.
+///
+/// Events correspond to committed instructions: `BlockBegin`/`BlockEnd` are
+/// the paper's two new ISA instructions, `Alu` compresses `count`
+/// back-to-back non-memory, non-branch instructions into one event, and
+/// `Mem`/`Branch` are single instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// `BLOCK_BEGIN(id)`: an annotated tight-loop iteration starts.
+    BlockBegin {
+        /// Static code-block identifier.
+        id: BlockId,
+    },
+    /// `BLOCK_END(id)`: the iteration completes.
+    BlockEnd {
+        /// Static code-block identifier.
+        id: BlockId,
+    },
+    /// `count` consecutive non-memory ALU instructions starting at `pc`.
+    Alu {
+        /// PC of the first instruction in the run.
+        pc: Pc,
+        /// Number of instructions compressed into this event (≥ 1).
+        count: u32,
+    },
+    /// One committed memory access.
+    Mem(MemAccess),
+    /// One committed branch.
+    Branch(BranchRecord),
+}
+
+impl TraceEvent {
+    /// Number of committed instructions this event represents.
+    pub fn instructions(&self) -> u64 {
+        match self {
+            TraceEvent::Alu { count, .. } => u64::from(*count),
+            _ => 1,
+        }
+    }
+
+    /// The memory access carried by this event, if any.
+    pub fn mem(&self) -> Option<&MemAccess> {
+        match self {
+            TraceEvent::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::BlockBegin { id } => write!(f, "BLOCK_BEGIN({id})"),
+            TraceEvent::BlockEnd { id } => write!(f, "BLOCK_END({id})"),
+            TraceEvent::Alu { pc, count } => write!(f, "ALUx{count} @{pc}"),
+            TraceEvent::Mem(m) => write!(f, "{m}"),
+            TraceEvent::Branch(b) => {
+                write!(f, "BR {} @{}", if b.taken { "T" } else { "N" }, b.pc)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_counts() {
+        assert_eq!(TraceEvent::Alu { pc: Pc(0), count: 7 }.instructions(), 7);
+        assert_eq!(TraceEvent::Mem(MemAccess::load(Pc(0), Addr(0))).instructions(), 1);
+        assert_eq!(TraceEvent::BlockBegin { id: BlockId(0) }.instructions(), 1);
+        assert_eq!(
+            TraceEvent::Branch(BranchRecord { pc: Pc(0), taken: true }).instructions(),
+            1
+        );
+    }
+
+    #[test]
+    fn mem_accessor() {
+        let m = MemAccess::store(Pc(1), Addr(64));
+        assert_eq!(TraceEvent::Mem(m).mem(), Some(&m));
+        assert_eq!(TraceEvent::Alu { pc: Pc(0), count: 1 }.mem(), None);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let events = [
+            TraceEvent::BlockBegin { id: BlockId(0) },
+            TraceEvent::BlockEnd { id: BlockId(0) },
+            TraceEvent::Alu { pc: Pc(4), count: 3 },
+            TraceEvent::Mem(MemAccess::load(Pc(8), Addr(128))),
+            TraceEvent::Branch(BranchRecord { pc: Pc(12), taken: false }),
+        ];
+        for e in events {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the trace builder's structural invariants.
+
+use cbws_trace::{Addr, BlockId, Pc, TraceBuilder, TraceEvent};
+use proptest::prelude::*;
+
+/// A random builder operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Begin(u32),
+    End(u32),
+    Load(u64),
+    Store(u64),
+    Alu(u32),
+    Branch(bool),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..4).prop_map(Op::Begin),
+        (0u32..4).prop_map(Op::End),
+        (0u64..1 << 20).prop_map(Op::Load),
+        (0u64..1 << 20).prop_map(Op::Store),
+        (0u32..10).prop_map(Op::Alu),
+        any::<bool>().prop_map(Op::Branch),
+    ]
+}
+
+proptest! {
+    /// Whatever sequence of checked operations is attempted, a finished
+    /// trace always has balanced, non-nested block markers and matching
+    /// static/dynamic block accounting.
+    #[test]
+    fn blocks_always_balanced(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let mut b = TraceBuilder::new();
+        let mut open: Option<u32> = None;
+        for op in ops {
+            match op {
+                Op::Begin(id) => {
+                    let r = b.try_begin_block(BlockId(id));
+                    prop_assert_eq!(r.is_ok(), open.is_none());
+                    if r.is_ok() {
+                        open = Some(id);
+                    }
+                }
+                Op::End(id) => {
+                    let r = b.try_end_block(BlockId(id));
+                    prop_assert_eq!(r.is_ok(), open == Some(id));
+                    if r.is_ok() {
+                        open = None;
+                    }
+                }
+                Op::Load(a) => b.load(Pc(0x10), Addr(a)),
+                Op::Store(a) => b.store(Pc(0x14), Addr(a)),
+                Op::Alu(n) => b.alu(Pc(0x18), n),
+                Op::Branch(t) => b.branch(Pc(0x1c), t),
+            }
+        }
+        if let Some(id) = open {
+            b.try_end_block(BlockId(id)).expect("open block closes cleanly");
+        }
+        let trace = b.try_finish().expect("balanced by construction");
+        let mut depth = 0i32;
+        for e in &trace {
+            match e {
+                TraceEvent::BlockBegin { .. } => {
+                    depth += 1;
+                    prop_assert!(depth <= 1, "blocks must not nest");
+                }
+                TraceEvent::BlockEnd { .. } => {
+                    depth -= 1;
+                    prop_assert!(depth >= 0, "unmatched end");
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(depth, 0);
+        let s = trace.stats();
+        let begins = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::BlockBegin { .. }))
+            .count() as u64;
+        prop_assert_eq!(s.dynamic_blocks, begins);
+    }
+
+    /// Instruction accounting: stats.instructions equals the sum of
+    /// per-event instruction counts, and loads + stores = mem_accesses.
+    #[test]
+    fn instruction_accounting_consistent(
+        loads in 0u32..50, stores in 0u32..50, alus in 0u32..50
+    ) {
+        let mut b = TraceBuilder::new();
+        for i in 0..loads {
+            b.load(Pc(0), Addr(u64::from(i) * 64));
+        }
+        for i in 0..stores {
+            b.store(Pc(4), Addr(u64::from(i) * 64));
+        }
+        b.alu(Pc(8), alus);
+        let trace = b.finish();
+        let s = trace.stats();
+        prop_assert_eq!(s.loads, u64::from(loads));
+        prop_assert_eq!(s.stores, u64::from(stores));
+        prop_assert_eq!(s.mem_accesses, u64::from(loads + stores));
+        prop_assert_eq!(s.instructions, u64::from(loads + stores + alus));
+        let by_events: u64 = trace.iter().map(TraceEvent::instructions).sum();
+        prop_assert_eq!(s.instructions, by_events);
+    }
+
+    /// `annotated_loop` emits exactly one begin/end pair and one
+    /// back-branch per iteration, with the exit branch not-taken.
+    #[test]
+    fn annotated_loop_shape(iters in 1u64..40, body_loads in 0u64..6) {
+        let mut b = TraceBuilder::new();
+        b.annotated_loop(BlockId(0), iters, |b, i| {
+            for k in 0..body_loads {
+                b.load(Pc(0x100 + k), Addr(i * 4096 + k * 64));
+            }
+        });
+        let trace = b.finish();
+        let s = trace.stats();
+        prop_assert_eq!(s.dynamic_blocks, iters);
+        prop_assert_eq!(s.branches, iters);
+        prop_assert_eq!(s.mem_accesses, iters * body_loads);
+        let last_branch = trace
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                TraceEvent::Branch(br) => Some(br.taken),
+                _ => None,
+            })
+            .expect("loop has branches");
+        prop_assert!(!last_branch, "exit branch must be not-taken");
+    }
+}

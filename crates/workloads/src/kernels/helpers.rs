@@ -1,0 +1,34 @@
+//! Shared utilities for the kernel generators.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Deterministic per-kernel RNG.
+pub(crate) fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Base byte address of the `i`-th array of a kernel. Arrays are spaced
+/// 64 MB apart so streams never alias.
+pub(crate) const fn base(i: u64) -> u64 {
+    0x4000_0000 + (i << 26)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a: u64 = rng(42).gen();
+        let b: u64 = rng(42).gen();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bases_do_not_alias_within_64mb() {
+        assert_eq!(base(1) - base(0), 64 << 20);
+        assert!(base(0) > 0);
+    }
+}

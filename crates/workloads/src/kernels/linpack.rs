@@ -1,0 +1,147 @@
+//! The `*-linpack` micro-kernels of Fig. 14: `md`, `mvx`, `mxm`
+//! (all low-MPKI).
+
+use super::helpers::{base, rng};
+use crate::dsl::{e, Program, Stmt};
+use crate::Scale;
+use cbws_trace::{Addr, BlockId, Pc, Trace, TraceBuilder};
+use rand::Rng;
+
+/// `md-linpack`: Lennard-Jones force loops — per-particle gathers from a
+/// spatially local neighbour list inside a hot position array.
+pub(crate) fn md(scale: Scale) -> Trace {
+    let particles = scale.pick(25, 620, 12000);
+    let pos = base(0);
+    let mut r = rng(0x6D64_0001);
+
+    let mut b = TraceBuilder::new();
+    for p in 0..particles {
+        // 64 KB hot position array: 2048 particles cycled.
+        let me = p % 2048;
+        b.annotated_loop(BlockId(0), 8, |b, n| {
+            if n == 0 {
+                b.load(Pc(0x1C00), Addr(pos + me * 32));
+            }
+            let neigh = (me as i64 + r.gen_range(-64..64i64)).rem_euclid(2048) as u64;
+            b.load(Pc(0x1C04), Addr(pos + neigh * 32));
+            b.alu(Pc(0x1C08), 4);
+        });
+        b.store(Pc(0x1C0C), Addr(pos + me * 32));
+    }
+    b.finish()
+}
+
+/// `mvx-linpack`: dense matrix-vector product — unit-stride row sweeps of a
+/// ~128 KB matrix against a resident vector, repeated until hot.
+pub(crate) fn mvx(scale: Scale) -> Trace {
+    let (epochs, rows) = match scale {
+        Scale::Tiny => (1, 4),
+        Scale::Small => (3, 32),
+        Scale::Full => (24, 32),
+    };
+    let a = base(0) as i64;
+    let x = base(1) as i64;
+    let y = base(2) as i64;
+    // One row = 4 KB = 64 lines; the inner loop walks it line by line.
+    let mut p = Program::new(vec![Stmt::Loop {
+        var: "e",
+        count: e::c(epochs),
+        body: vec![Stmt::Loop {
+            var: "r",
+            count: e::c(rows),
+            body: vec![
+                Stmt::Loop {
+                    var: "l",
+                    count: e::c(64),
+                    body: vec![
+                        Stmt::Load {
+                            pc: 0x1D00,
+                            addr: e::v("r").mul(e::c(4096)).add(e::v("l").mul(e::c(64))).add(e::c(a)),
+                        },
+                        Stmt::Load { pc: 0x1D04, addr: e::v("l").mul(e::c(64)).add(e::c(x)) },
+                        Stmt::Alu { pc: 0x1D08, count: 2 },
+                    ],
+                },
+                Stmt::Store { pc: 0x1D0C, addr: e::v("r").mul(e::c(8)).add(e::c(y)) },
+            ],
+        }],
+    }]);
+    p.annotate();
+    p.execute().expect("mvx program is closed")
+}
+
+/// `mxm-linpack`: small matrix-matrix multiply on 192x192 floats —
+/// everything stays L2-resident.
+pub(crate) fn mxm(scale: Scale) -> Trace {
+    let (ni, nj) = match scale {
+        Scale::Tiny => (2, 8),
+        Scale::Small => (14, 24),
+        Scale::Full => (40, 96),
+    };
+    let a = base(0) as i64;
+    let b = base(1) as i64;
+    let c = base(2) as i64;
+    let mut p = Program::new(vec![Stmt::Loop {
+        var: "i",
+        count: e::c(ni),
+        body: vec![Stmt::Loop {
+            var: "j",
+            count: e::c(nj),
+            body: vec![
+                Stmt::Loop {
+                    var: "k",
+                    count: e::c(12), // 192 elements = 12 lines
+                    body: vec![
+                        Stmt::Load {
+                            pc: 0x1E00,
+                            addr: e::v("i").mul(e::c(768)).add(e::v("k").mul(e::c(64))).add(e::c(a)),
+                        },
+                        Stmt::Load {
+                            pc: 0x1E04,
+                            addr: e::v("k").mul(e::c(768 * 16)).add(e::v("j").mul(e::c(4))).add(e::c(b)),
+                        },
+                        Stmt::Alu { pc: 0x1E08, count: 3 },
+                    ],
+                },
+                Stmt::Store {
+                    pc: 0x1E0C,
+                    addr: e::v("i").mul(e::c(768)).add(e::v("j").mul(e::c(4))).add(e::c(c)),
+                },
+            ],
+        }],
+    }]);
+    p.annotate();
+    p.execute().expect("mxm program is closed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md_stays_local() {
+        let t = md(Scale::Tiny);
+        let max = t.iter().filter_map(|e| e.mem()).map(|m| m.addr.0).max().unwrap();
+        assert!(max - base(0) < 512 * 1024);
+        assert!(t.stats().block_ws_within(16) > 0.99);
+    }
+
+    #[test]
+    fn mvx_rows_are_unit_stride() {
+        use cbws_core::analysis::{collect_block_histories, DifferentialSkew};
+        let t = mvx(Scale::Tiny);
+        let h = collect_block_histories(&t, 16);
+        let skew = DifferentialSkew::from_histories(h.values());
+        assert!(skew.coverage_at(0.2) > 0.8);
+    }
+
+    #[test]
+    fn mxm_fits_in_l2() {
+        let t = mxm(Scale::Tiny);
+        for m in t.iter().filter_map(|e| e.mem()) {
+            let arr = (m.addr.0 - base(0)) / (64 << 20);
+            let off = m.addr.0 - base(arr);
+            assert!(off < 192 * 192 * 16 * 4, "offset {off} out of matrix bounds");
+        }
+    }
+}

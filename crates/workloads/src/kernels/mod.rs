@@ -1,0 +1,17 @@
+//! The 30 benchmark kernels, grouped by suite of origin.
+//!
+//! Each kernel function takes a [`crate::Scale`] and returns an annotated
+//! [`cbws_trace::Trace`]. Regular, affine kernels are written in the
+//! [`crate::dsl`] loop-nest IR and annotated by the compiler pass; kernels
+//! whose addressing is driven by runtime data (pointer chasing, histograms,
+//! queues) are written directly against
+//! [`cbws_trace::TraceBuilder::annotated_loop`], modelling pre-annotated
+//! sources.
+
+pub(crate) mod helpers;
+pub(crate) mod linpack;
+pub(crate) mod parboil;
+pub(crate) mod parsec;
+pub(crate) mod rodinia;
+pub(crate) mod spec;
+pub(crate) mod splash;

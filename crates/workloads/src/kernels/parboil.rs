@@ -1,0 +1,353 @@
+//! Parboil kernels: `stencil`, `sgemm`, `mri-q`, `histo`, `lbm`
+//! (memory-intensive) and `sad`, `spmv` (low-MPKI).
+
+use super::helpers::{base, rng};
+use crate::dsl::{e, Program, Stmt};
+use crate::Scale;
+use cbws_trace::{Addr, BlockId, Pc, Trace, TraceBuilder};
+use rand::Rng;
+
+/// `stencil-default`: the paper's running example (Fig. 2-4). A 7-point
+/// Jacobi stencil over a 128x128xNZ float grid with the `z` index innermost:
+/// `IDX(x,y,z) = x + nx*(y + ny*z)`, so every access strides
+/// `nx*ny*4 = 64 KB = 1024 lines` per innermost iteration — the constant
+/// differential vector of Fig. 4, spanning far more than any SMS region.
+pub(crate) fn stencil(scale: Scale) -> Trace {
+    let (ni, nj, nz) = match scale {
+        Scale::Tiny => (1, 4, 18),
+        Scale::Small => (2, 40, 34),
+        Scale::Full => (8, 126, 34),
+    };
+    let a0 = base(0) as i64;
+    let a = base(1) as i64;
+    // addr(x,y,z) = base + 4*(x + 128*y + 16384*z)
+    let idx = |x: crate::dsl::Expr, y: crate::dsl::Expr, z: crate::dsl::Expr| {
+        x.add(y.mul(e::c(128))).add(z.mul(e::c(16384))).mul(e::c(4))
+    };
+    let x = || e::v("i").add(e::c(1));
+    let y = || e::v("j").add(e::c(1));
+    let z = || e::v("k").add(e::c(1));
+
+    let mut p = Program::new(vec![Stmt::Loop {
+        var: "i",
+        count: e::c(ni),
+        body: vec![Stmt::Loop {
+            var: "j",
+            count: e::c(nj),
+            body: vec![Stmt::Loop {
+                var: "k",
+                count: e::c(nz - 2),
+                body: vec![
+                    Stmt::Load { pc: 0x800, addr: idx(x(), y(), z().add(e::c(1))).add(e::c(a0)) },
+                    Stmt::Load { pc: 0x804, addr: idx(x(), y(), z().add(e::c(-1))).add(e::c(a0)) },
+                    Stmt::Load { pc: 0x808, addr: idx(x(), y().add(e::c(1)), z()).add(e::c(a0)) },
+                    Stmt::Load { pc: 0x80C, addr: idx(x(), y().add(e::c(-1)), z()).add(e::c(a0)) },
+                    Stmt::Load { pc: 0x810, addr: idx(x().add(e::c(1)), y(), z()).add(e::c(a0)) },
+                    Stmt::Load { pc: 0x814, addr: idx(x().add(e::c(-1)), y(), z()).add(e::c(a0)) },
+                    Stmt::Load { pc: 0x818, addr: idx(x(), y(), z()).add(e::c(a0)) },
+                    Stmt::Alu { pc: 0x81C, count: 8 },
+                    Stmt::Store { pc: 0x820, addr: idx(x(), y(), z()).add(e::c(a)) },
+                ],
+            }],
+        }],
+    }]);
+    p.annotate();
+    p.execute().expect("stencil program is closed")
+}
+
+/// `sgemm-medium`: triple-loop GEMM on 1024x1024 floats. The innermost `k`
+/// iteration streams `A[i][k]` at unit stride and walks `B[k][j]` down a
+/// column at a 4 KB (64-line) row stride — two interleaved streams whose
+/// CBWS differential alternates between just two vectors.
+pub(crate) fn sgemm(scale: Scale) -> Trace {
+    let (ni, nj, nk) = match scale {
+        Scale::Tiny => (1, 2, 128),
+        Scale::Small => (2, 10, 768),
+        Scale::Full => (4, 24, 1024),
+    };
+    let a = base(0) as i64;
+    let b = base(1) as i64;
+    let c = base(2) as i64;
+    let mut p = Program::new(vec![Stmt::Loop {
+        var: "i",
+        count: e::c(ni),
+        body: vec![Stmt::Loop {
+            var: "j",
+            count: e::c(nj),
+            body: vec![
+                Stmt::Loop {
+                    var: "k",
+                    count: e::c(nk),
+                    body: vec![
+                        Stmt::Load {
+                            pc: 0x900,
+                            addr: e::v("i").mul(e::c(1024)).add(e::v("k")).mul(e::c(4)).add(e::c(a)),
+                        },
+                        Stmt::Load {
+                            pc: 0x904,
+                            addr: e::v("k").mul(e::c(1024)).add(e::v("j")).mul(e::c(4)).add(e::c(b)),
+                        },
+                        Stmt::Alu { pc: 0x908, count: 3 },
+                    ],
+                },
+                Stmt::Load {
+                    pc: 0x90C,
+                    addr: e::v("i").mul(e::c(1024)).add(e::v("j")).mul(e::c(4)).add(e::c(c)),
+                },
+                Stmt::Store {
+                    pc: 0x910,
+                    addr: e::v("i").mul(e::c(1024)).add(e::v("j")).mul(e::c(4)).add(e::c(c)),
+                },
+            ],
+        }],
+    }]);
+    p.annotate();
+    p.execute().expect("sgemm program is closed")
+}
+
+/// `mri-q-large`: the Q-matrix accumulation — five unit-stride sample
+/// streams (`kx`, `ky`, `kz`, `phiR`, `phiI`) consumed by a trigonometric
+/// FMA tail, repeated per voxel.
+pub(crate) fn mri_q(scale: Scale) -> Trace {
+    let (voxels, samples) = match scale {
+        Scale::Tiny => (2, 72),
+        Scale::Small => (3, 2048),
+        Scale::Full => (2, 24576),
+    };
+    let streams: Vec<i64> = (0..5).map(|s| base(s) as i64).collect();
+    let body: Vec<Stmt> = streams
+        .iter()
+        .enumerate()
+        .map(|(n, &s)| Stmt::Load {
+            pc: 0xA00 + n as u64 * 4,
+            addr: e::v("k").mul(e::c(4)).add(e::c(s)),
+        })
+        .chain([Stmt::Alu { pc: 0xA20, count: 10 }])
+        .collect();
+    let mut p = Program::new(vec![Stmt::Loop {
+        var: "v",
+        count: e::c(voxels),
+        body: vec![
+            Stmt::Loop { var: "k", count: e::c(samples), body },
+            Stmt::Store { pc: 0xA24, addr: e::v("v").mul(e::c(8)).add(e::c(base(6) as i64)) },
+        ],
+    }]);
+    p.annotate();
+    p.execute().expect("mri-q program is closed")
+}
+
+/// `histo-large`: the paper's Fig. 16 loop verbatim — a unit-stride image
+/// scan whose *stores* scatter into a 4 MB histogram indexed by the loaded
+/// pixel value. The access pattern is input data, not induction arithmetic,
+/// so no differential scheme can capture it.
+pub(crate) fn histo(scale: Scale) -> Trace {
+    let pixels = scale.pick(160, 4200, 108000);
+    let img = base(0);
+    let hist = base(1);
+    let mut r = rng(0x6869_0001);
+
+    let mut b = TraceBuilder::with_capacity(pixels as usize * 9);
+    b.annotated_loop(BlockId(0), pixels, |b, i| {
+        b.load(Pc(0xB00), Addr(img + i * 4));
+        let value = r.gen_range(0..1_048_576u64);
+        b.alu(Pc(0xB04), 1);
+        // `if (histo[value] < UINT8_MAX)` — data-dependent but ~always true.
+        b.load_dep(Pc(0xB08), Addr(hist + value * 4));
+        let taken = r.gen_bool(0.97);
+        b.branch(Pc(0xB0C), taken);
+        if taken {
+            b.store(Pc(0xB10), Addr(hist + value * 4));
+        }
+    });
+    b.finish()
+}
+
+/// `lbm-long`: lattice-Boltzmann propagation over 160-byte AoS cells.
+/// Free cells stream their distributions to eight neighbour offsets; cells
+/// under a (random) obstacle bounce back locally instead — data-dependent
+/// control that flips the iteration's store pattern and working-set size,
+/// which is what defeats differential prediction here (§VII-C).
+pub(crate) fn lbm(scale: Scale) -> Trace {
+    let cells = scale.pick(70, 1800, 30000);
+    let src = base(0);
+    let dst = base(1);
+    let mut r = rng(0x6C62_0001);
+    let nx: i64 = 64;
+    // Neighbour offsets in cells (a D3Q8 subset of D3Q19).
+    let offs: [i64; 8] = [1, -1, nx, -nx, nx * nx, -nx * nx, nx + 1, -nx - 1];
+
+    let mut b = TraceBuilder::with_capacity(cells as usize * 26);
+    b.annotated_loop(BlockId(0), cells, |b, i| {
+        let cell = i as i64;
+        let cbase = src + i * 160;
+        b.load(Pc(0xC00), Addr(cbase));
+        b.load(Pc(0xC04), Addr(cbase + 64));
+        b.load(Pc(0xC08), Addr(cbase + 128));
+        b.alu(Pc(0xC0C), 10);
+        let obstacle = r.gen_bool(0.3);
+        b.branch(Pc(0xC10), obstacle);
+        if obstacle {
+            // Bounce-back: rewrite the local cell only.
+            b.store(Pc(0xC14), Addr(cbase));
+            b.store(Pc(0xC18), Addr(cbase + 64));
+        } else {
+            for (d, &o) in offs.iter().enumerate() {
+                let tgt = (cell + o).max(0) as u64;
+                b.store(Pc(0xC20 + d as u64 * 4), Addr(dst + tgt * 160));
+            }
+        }
+    });
+    // Boundary-condition sweep outside the propagation loop (~a quarter of
+    // lbm's runtime is outside the tight loop in Fig. 1).
+    for k in 0..cells / 4 {
+        b.load(Pc(0xC60), Addr(src + (k % 512) * 160));
+        b.alu(Pc(0xC64), 24);
+    }
+    b.finish()
+}
+
+/// `sad-base-large`: H.264 sum-of-absolute-differences block matching. Each
+/// macroblock row loads one line of the current frame and one of the
+/// (offset) reference frame; both frames stay L2-resident.
+pub(crate) fn sad(scale: Scale) -> Trace {
+    let blocks = scale.pick(32, 760, 7800);
+    let cur = base(0);
+    let reff = base(1);
+    let mut r = rng(0x7361_0001);
+    const FRAME_W: u64 = 256; // bytes per pel row in a 256x256 frame
+
+    let mut b = TraceBuilder::with_capacity(blocks as usize * 16 * 7);
+    for _ in 0..blocks {
+        // 256x256 frames (64 KB each): resident block matching.
+        let mbx = r.gen_range(0..15u64) * 16;
+        let mby = r.gen_range(0..15u64) * 16;
+        let dx = r.gen_range(0..8u64);
+        b.annotated_loop(BlockId(0), 16, |b, row| {
+            let y = mby + row;
+            b.load(Pc(0xD00), Addr(cur + y * FRAME_W + mbx));
+            b.load(Pc(0xD04), Addr(reff + y * FRAME_W + mbx + dx));
+            b.alu(Pc(0xD08), 4);
+        });
+        b.alu(Pc(0xD0C), 3);
+    }
+    b.finish()
+}
+
+/// `spmv-large`: CSR sparse matrix-vector product, re-multiplied over
+/// several iterations as solvers do: the ~128 KB matrix and the `x` vector
+/// are hot after the first pass.
+pub(crate) fn spmv(scale: Scale) -> Trace {
+    let (epochs, rows) = match scale {
+        Scale::Tiny => (1, 20),
+        Scale::Small => (3, 460),
+        Scale::Full => (6, 1365),
+    };
+    let cols = base(0);
+    let vals = base(1);
+    let xvec = base(2);
+    let yvec = base(3);
+    let mut r = rng(0x7370_0001);
+    let gathers: Vec<u64> = (0..rows * 8).map(|_| r.gen_range(0..8192u64)).collect();
+
+    let mut b = TraceBuilder::with_capacity((epochs * rows) as usize * 40);
+    for _ in 0..epochs {
+        let mut p: u64 = 0;
+        for row in 0..rows {
+            b.annotated_loop(BlockId(0), 8, |b, _| {
+                b.load(Pc(0xE00), Addr(cols + p * 4));
+                b.load(Pc(0xE04), Addr(vals + p * 8));
+                let c = gathers[p as usize];
+                p += 1;
+                b.load_dep(Pc(0xE08), Addr(xvec + c * 8));
+                b.alu(Pc(0xE0C), 2);
+            });
+            b.store(Pc(0xE10), Addr(yvec + row * 8));
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbws_core::analysis::{collect_block_histories, DifferentialSkew};
+
+    #[test]
+    fn stencil_differentials_match_fig4() {
+        let t = stencil(Scale::Tiny);
+        let h = collect_block_histories(&t, 16);
+        let bh = h.values().next().unwrap();
+        // Steady-state consecutive differentials are all-1024 vectors
+        // (column boundaries excepted).
+        let diffs = bh.consecutive_differentials();
+        let steady = diffs
+            .iter()
+            .filter(|d| d.strides().iter().all(|&s| s == 1024))
+            .count();
+        assert!(
+            steady * 10 >= diffs.len() * 8,
+            "most stencil differentials must be the Fig. 4 vector: {steady}/{}",
+            diffs.len()
+        );
+        // Seven loads plus a store, but the x±1 neighbours share the centre
+        // line (the paper notes "some of the memory instructions access the
+        // same cache lines"): 6-8 distinct lines.
+        assert!((6..=8).contains(&bh.instances[0].len()));
+    }
+
+    #[test]
+    fn stencil_skew_is_extreme() {
+        let t = stencil(Scale::Small);
+        let h = collect_block_histories(&t, 16);
+        let skew = DifferentialSkew::from_histories(h.values());
+        assert!(skew.coverage_at(0.05) > 0.8, "one vector dominates stencil");
+    }
+
+    #[test]
+    fn sgemm_has_two_dominant_differentials() {
+        let t = sgemm(Scale::Tiny);
+        let h = collect_block_histories(&t, 16);
+        let skew = DifferentialSkew::from_histories(h.values());
+        // (0,64) and (1,64) dominate.
+        assert!(skew.coverage_at(0.4) > 0.9);
+    }
+
+    #[test]
+    fn histo_differentials_are_unskewed() {
+        let t = histo(Scale::Small);
+        let h = collect_block_histories(&t, 16);
+        let skew = DifferentialSkew::from_histories(h.values());
+        // Data-dependent scatter: the top 5% of vectors cover little.
+        assert!(skew.coverage_at(0.05) < 0.5, "histo must not be predictable");
+    }
+
+    #[test]
+    fn lbm_working_set_size_diverges() {
+        let t = lbm(Scale::Tiny);
+        let h = collect_block_histories(&t, 16);
+        let sizes: std::collections::BTreeSet<usize> =
+            h.values().next().unwrap().instances.iter().map(|w| w.len()).collect();
+        assert!(sizes.len() >= 2, "obstacle divergence must vary the WS");
+    }
+
+    #[test]
+    fn mri_q_streams_are_unit_stride() {
+        let t = mri_q(Scale::Tiny);
+        let h = collect_block_histories(&t, 16);
+        let diffs = h.values().next().unwrap().consecutive_differentials();
+        // Samples advance 4 bytes per iteration: line deltas in {0, 1}.
+        let ok = diffs
+            .iter()
+            .filter(|d| d.strides().iter().all(|&s| s == 0 || s == 1))
+            .count();
+        assert!(ok * 10 >= diffs.len() * 9);
+    }
+
+    #[test]
+    fn spmv_and_sad_fit_modest_footprints() {
+        for (t, limit_mb) in [(spmv(Scale::Tiny), 70), (sad(Scale::Tiny), 70)] {
+            let max = t.iter().filter_map(|e| e.mem()).map(|m| m.addr.0).max().unwrap();
+            assert!(max < base(0) + limit_mb * (64 << 20));
+        }
+    }
+}

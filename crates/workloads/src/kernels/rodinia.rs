@@ -1,0 +1,211 @@
+//! Rodinia kernels: `nw` (memory-intensive) and `bfs`, `backprop`,
+//! `srad_v1` (low-MPKI).
+
+use super::helpers::{base, rng};
+use crate::dsl::{e, Program, Stmt};
+use crate::Scale;
+use cbws_trace::{Addr, BlockId, Pc, Trace, TraceBuilder};
+use rand::Rng;
+
+/// `nw` (Needleman-Wunsch): *anti-diagonal wavefront* dynamic programming,
+/// as Rodinia parallelizes it. The innermost loop walks one diagonal —
+/// consecutive cells are `(i+1, j-1)` apart, a constant ~1 KB stride — so
+/// each iteration's four-stream working set (three DP neighbours + the
+/// reference matrix) shifts by a constant large differential: CBWS's best
+/// case, and hostile to 2 KB-region SMS tracking. The paper finds CBWS
+/// best on `nw` across every metric.
+pub(crate) fn nw(scale: Scale) -> Trace {
+    let (diags, dlen) = match scale {
+        Scale::Tiny => (4, 48),
+        Scale::Small => (24, 420),
+        Scale::Full => (110, 850),
+    };
+    const COLS: i64 = 1024;
+    let m = base(0) as i64;
+    let reff = base(1) as i64;
+    // Cell (i, j) on diagonal d at position t: i = t + 1, j = d - t + dlen.
+    // (offset so indices stay positive).
+    let at = |di: i64, dj: i64, arr: i64| {
+        // addr = ((t + 1 + di) * COLS + (d - t + dlen + dj)) * 4 + arr
+        e::v("t")
+            .add(e::c(1 + di))
+            .mul(e::c(COLS))
+            .add(e::v("d").add(e::c(dlen)).add(e::v("t").mul(e::c(-1))).add(e::c(dj)))
+            .mul(e::c(4))
+            .add(e::c(arr))
+    };
+    let mut p = Program::new(vec![Stmt::Loop {
+        var: "d",
+        count: e::c(diags),
+        body: vec![Stmt::Loop {
+            var: "t",
+            count: e::c(dlen),
+            body: vec![
+                Stmt::Load { pc: 0x1800, addr: at(-1, -1, m) },
+                Stmt::Load { pc: 0x1804, addr: at(-1, 0, m) },
+                Stmt::Load { pc: 0x1808, addr: at(0, -1, m) },
+                Stmt::Load { pc: 0x180c, addr: at(0, 0, reff) },
+                Stmt::Alu { pc: 0x1810, count: 4 },
+                Stmt::Store { pc: 0x1814, addr: at(0, 0, m) },
+            ],
+        }],
+    }]);
+    p.annotate();
+    p.execute().expect("nw program is closed")
+}
+
+/// `bfs-1m`: level-synchronous breadth-first search — a unit-stride
+/// frontier queue, a dependent adjacency fetch, and visited-flag probes
+/// scattered over a ~1.5 MB bitmap.
+pub(crate) fn bfs(scale: Scale) -> Trace {
+    let frontier = scale.pick(55, 1300, 26000);
+    let queue = base(0);
+    let adj = base(1);
+    let visited = base(2);
+    let mut r = rng(0x6266_0001);
+
+    let mut b = TraceBuilder::with_capacity(frontier as usize * 20);
+    b.annotated_loop(BlockId(0), frontier, |b, i| {
+        // The frontier queue is recycled memory (wraps at 32 KB), and the
+        // graph metadata stays hot: bfs-1m sits in the paper's low-MPKI
+        // group.
+        b.load(Pc(0x1900), Addr(queue + (i % 8192) * 4));
+        let node = r.gen_range(0..1024u64);
+        b.load_dep(Pc(0x1904), Addr(adj + node * 16));
+        for n in 0..4u64 {
+            let neigh = r.gen_range(0..65536u64);
+            b.load_dep(Pc(0x1908 + n * 4), Addr(visited + neigh));
+            let fresh = r.gen_bool(0.3);
+            b.branch(Pc(0x1918), fresh);
+            if fresh {
+                b.store(Pc(0x191c), Addr(visited + neigh));
+            }
+        }
+        b.alu(Pc(0x1920), 3);
+    });
+    b.finish()
+}
+
+/// `backprop`: feed-forward weight sweeps — a 128 KB weight matrix swept
+/// repeatedly against resident activations; after the first epoch the
+/// weights are L2-hot.
+pub(crate) fn backprop(scale: Scale) -> Trace {
+    let (epochs, per_epoch) = match scale {
+        Scale::Tiny => (2, 64),
+        Scale::Small => (3, 1000),
+        Scale::Full => (8, 8192),
+    };
+    let weights = base(0) as i64;
+    let input = base(1) as i64;
+    let mut p = Program::new(vec![Stmt::Loop {
+        var: "e",
+        count: e::c(epochs),
+        body: vec![Stmt::Loop {
+            var: "w",
+            count: e::c(per_epoch as i64),
+            body: vec![
+                Stmt::Load { pc: 0x1A00, addr: e::v("w").mul(e::c(16)).add(e::c(weights)) },
+                Stmt::Load {
+                    pc: 0x1A04,
+                    addr: Expr4(e::v("w")).rem256().mul(e::c(4)).add(e::c(input)),
+                },
+                Stmt::Alu { pc: 0x1A08, count: 2 },
+            ],
+        }],
+    }]);
+    p.annotate();
+    p.execute().expect("backprop program is closed")
+}
+
+/// Tiny helper for a readable `w % 256` in the backprop kernel.
+struct Expr4(crate::dsl::Expr);
+impl Expr4 {
+    fn rem256(self) -> crate::dsl::Expr {
+        crate::dsl::Expr::Rem(Box::new(self.0), Box::new(e::c(256)))
+    }
+}
+
+/// `srad-v1`: speckle-reducing anisotropic diffusion — repeated 4-neighbour
+/// stencil sweeps over a ~144 KB f32 image (hot after the first sweep).
+pub(crate) fn srad_v1(scale: Scale) -> Trace {
+    let (sweeps, rows, cols) = match scale {
+        Scale::Tiny => (1, 2, 64),
+        Scale::Small => (2, 16, 190),
+        Scale::Full => (4, 94, 190),
+    };
+    let img = base(0) as i64;
+    let out = base(1) as i64;
+    let at = |r: crate::dsl::Expr, c: crate::dsl::Expr, arr: i64| {
+        r.mul(e::c(192)).add(c).mul(e::c(4)).add(e::c(arr))
+    };
+    let rr = || e::v("r").add(e::c(1));
+    let cc = || e::v("c").add(e::c(1));
+    let mut p = Program::new(vec![Stmt::Loop {
+        var: "s",
+        count: e::c(sweeps),
+        body: vec![Stmt::Loop {
+            var: "r",
+            count: e::c(rows),
+            body: vec![Stmt::Loop {
+                var: "c",
+                count: e::c(cols),
+                body: vec![
+                    Stmt::Load { pc: 0x1B00, addr: at(rr(), cc(), img) },
+                    Stmt::Load { pc: 0x1B04, addr: at(rr().add(e::c(1)), cc(), img) },
+                    Stmt::Load { pc: 0x1B08, addr: at(rr().add(e::c(-1)), cc(), img) },
+                    Stmt::Load { pc: 0x1B0C, addr: at(rr(), cc().add(e::c(1)), img) },
+                    Stmt::Alu { pc: 0x1B10, count: 5 },
+                    Stmt::Store { pc: 0x1B14, addr: at(rr(), cc(), out) },
+                ],
+            }],
+        }],
+    }]);
+    p.annotate();
+    p.execute().expect("srad program is closed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbws_core::analysis::{collect_block_histories, DifferentialSkew};
+
+    #[test]
+    fn nw_differentials_dominated_by_lockstep_vector() {
+        let t = nw(Scale::Small);
+        let h = collect_block_histories(&t, 16);
+        let skew = DifferentialSkew::from_histories(h.values());
+        // A tiny alphabet dominated by the lock-step vectors.
+        assert!(skew.distinct() < 10, "alphabet too large: {}", skew.distinct());
+        assert!(skew.coverage_at(0.75) > 0.99, "nw must be highly predictable");
+    }
+
+    #[test]
+    fn bfs_probes_are_dependent_and_scattered() {
+        let t = bfs(Scale::Tiny);
+        let deps = t
+            .iter()
+            .filter_map(|e| e.mem())
+            .filter(|m| m.dep == cbws_trace::Dependence::PrevLoad)
+            .count();
+        assert!(deps > 0);
+        let h = collect_block_histories(&t, 16);
+        let skew = DifferentialSkew::from_histories(h.values());
+        assert!(skew.coverage_at(0.05) < 0.6);
+    }
+
+    #[test]
+    fn backprop_second_epoch_repeats_addresses() {
+        let t = backprop(Scale::Tiny);
+        let addrs: Vec<u64> = t.iter().filter_map(|e| e.mem()).map(|m| m.addr.0).collect();
+        let half = addrs.len() / 2;
+        assert_eq!(&addrs[..half], &addrs[half..], "epochs must replay the same sweep");
+    }
+
+    #[test]
+    fn srad_is_resident_stencil() {
+        let t = srad_v1(Scale::Tiny);
+        let h = collect_block_histories(&t, 16);
+        let skew = DifferentialSkew::from_histories(h.values());
+        assert!(skew.coverage_at(0.2) > 0.8);
+    }
+}

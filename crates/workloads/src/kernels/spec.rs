@@ -1,0 +1,287 @@
+//! SPEC CPU2006 kernels: `mcf`, `soplex`, `libquantum`, `milc`, `bzip2`
+//! (memory-intensive) and `sjeng`, `omnetpp` (low-MPKI).
+
+use super::helpers::{base, rng};
+use crate::dsl::{e, Program, Stmt};
+use crate::Scale;
+use cbws_trace::{Addr, BlockId, Pc, Trace, TraceBuilder};
+use rand::Rng;
+
+/// `401.bzip2-source`: the annotated inner loop of the file-buffer reader
+/// copies an 8 KB chunk — 256 memory accesses across ~256 distinct lines —
+/// per iteration. The CBWS vector (16 lines) overflows on every instance,
+/// which is why the paper measures CBWS ~5% *behind* SMS here (§VII-C).
+pub(crate) fn bzip2(scale: Scale) -> Trace {
+    let chunks = scale.pick(6, 55, 2800);
+    let src = base(0);
+    let dst = base(1);
+    let work = base(2);
+    let mut r = rng(0x627A_0001);
+    let mut b = TraceBuilder::with_capacity(chunks as usize * 560);
+    for i in 0..chunks {
+        b.annotated_loop(BlockId(0), 1, |b, _| {
+            let chunk = i * 8192;
+            for l in 0..128u64 {
+                b.load(Pc(0x100), Addr(src + chunk + l * 64));
+                b.store(Pc(0x104), Addr(dst + chunk + l * 64));
+                if l % 16 == 0 {
+                    b.alu(Pc(0x108), 2);
+                }
+            }
+        });
+        // Block-sorting work between buffer reads — the non-loop half of
+        // bzip2's profile (the paper's Fig. 1 shows bzip2 with the lowest
+        // tight-loop fraction of the MI group). The suffix comparisons
+        // chase pointers across a multi-MB work area, so this phase has
+        // real memory stalls, not just ALU work.
+        for k in 0..8u64 {
+            b.load(Pc(0x10c), Addr(work + r.gen_range(0..65536u64) * 64));
+            b.load_dep(Pc(0x110), Addr(work + r.gen_range(0..65536u64) * 64));
+            b.alu(Pc(0x114 + k * 4), 28);
+            b.branch(Pc(0x140), r.gen_bool(0.6));
+        }
+    }
+    b.finish()
+}
+
+/// `429.mcf-ref`: network-simplex arc scanning. The arc array streams at a
+/// fixed 80-byte stride while each arc dereferences its tail node — a
+/// pointer chase into a 16 MB node pool. The regular arc backbone is
+/// predictable; the node dereferences are not, so the hybrid scheme wins.
+pub(crate) fn mcf(scale: Scale) -> Trace {
+    let arcs = scale.pick(90, 2200, 72000);
+    let arc_base = base(0);
+    let node_base = base(1);
+    let mut r = rng(0x6D63_6601);
+    let node_of: Vec<u64> = (0..8192).map(|_| r.gen_range(0..65536u64)).collect();
+    let take: Vec<bool> = (0..8192).map(|_| r.gen_bool(0.7)).collect();
+
+    let mut b = TraceBuilder::with_capacity(arcs as usize * 10);
+    b.annotated_loop(BlockId(0), arcs, |b, i| {
+        let arc = arc_base + i * 80;
+        b.load(Pc(0x200), Addr(arc));
+        b.load(Pc(0x204), Addr(arc + 40));
+        let node = node_base + node_of[(i % 8192) as usize] * 256;
+        b.load_dep(Pc(0x208), Addr(node));
+        b.load_dep(Pc(0x20c), Addr(node + 16));
+        b.alu(Pc(0x210), 3);
+        let taken = take[(i % 8192) as usize];
+        b.branch(Pc(0x214), taken);
+        if taken {
+            b.store(Pc(0x218), Addr(node + 32));
+        }
+    });
+    b.finish()
+}
+
+/// `462.libquantum-ref`: a quantum-gate sweep over the state-vector array —
+/// one long unit-stride stream (16 B records) with a data-dependent
+/// conditional amplitude flip (~50% taken, poorly predictable).
+pub(crate) fn libquantum(scale: Scale) -> Trace {
+    let n = scale.pick(180, 5500, 190000);
+    let reg = base(0);
+    let mut r = rng(0x6C71_0001);
+    let flip: Vec<bool> = (0..n).map(|_| r.gen_bool(0.5)).collect();
+
+    let mut b = TraceBuilder::with_capacity(n as usize * 6);
+    b.annotated_loop(BlockId(0), n, |b, i| {
+        let addr = reg + i * 16;
+        b.load(Pc(0x300), Addr(addr));
+        b.alu(Pc(0x304), 1);
+        let taken = flip[i as usize];
+        b.branch(Pc(0x308), taken);
+        if taken {
+            b.store(Pc(0x30c), Addr(addr + 8));
+        }
+    });
+    b.finish()
+}
+
+/// `450.soplex-ref`: sparse column updates during simplex pricing. The
+/// per-nonzero iteration loads an index (unit stride), gathers `y[idx]`
+/// from a 4 MB vector whose deltas come from a *small but shuffled*
+/// alphabet (the Fig. 5 skew), and diverges on a data-dependent branch that
+/// changes the iteration's working-set size — the §VII-A explanation for
+/// why skew alone does not make soplex predictable.
+pub(crate) fn soplex(scale: Scale) -> Trace {
+    let columns = scale.pick(14, 380, 8800);
+    let idx_base = base(0);
+    let y_base = base(1);
+    let aux_base = base(2);
+    let mut r = rng(0x736F_7001);
+    // Gather deltas drawn from a small alphabet, applied in random order.
+    const DELTAS: [i64; 5] = [1, 2, 16, -8, 128];
+
+    let mut b = TraceBuilder::new();
+    let mut p: u64 = 0; // nonzero cursor (unit index stream)
+    let mut y_row: i64 = 1 << 14; // wandering row index into y
+    for _col in 0..columns {
+        let nnz = 8 + r.gen_range(0..16u64);
+        b.annotated_loop(BlockId(0), nnz, |b, _| {
+            b.load(Pc(0x400), Addr(idx_base + p * 4));
+            p += 1;
+            y_row = (y_row + DELTAS[r.gen_range(0..DELTAS.len())]).rem_euclid(1 << 20);
+            b.load_dep(Pc(0x404), Addr(y_base + y_row as u64 * 4));
+            b.alu(Pc(0x408), 2);
+            let taken = r.gen_bool(0.5);
+            b.branch(Pc(0x40c), taken);
+            if taken {
+                // Divergent path: extra gather grows the working set.
+                b.store(Pc(0x410), Addr(y_base + y_row as u64 * 4));
+                b.load(Pc(0x414), Addr(aux_base + (y_row as u64 % 4096) * 64));
+            }
+        });
+        // Pricing and ratio-test work between column updates (soplex's
+        // non-loop share in Fig. 1).
+        b.load(Pc(0x418), Addr(aux_base + (p % 2048) * 64));
+        b.alu(Pc(0x41c), 26);
+        b.branch(Pc(0x420), r.gen_bool(0.5));
+    }
+    b.finish()
+}
+
+/// `433.milc-su3imp`: SU(3) gauge-field loops. Each site multiplies 3x3
+/// complex matrices from the link and source fields into the destination —
+/// three 128-byte-record streams (two lines each) advancing in lock-step,
+/// with a heavy FMA tail. A showcase for multi-stream lock-step prefetch.
+pub(crate) fn milc(scale: Scale) -> Trace {
+    let sites = scale.pick(130, 3200, 30000);
+    let link = base(0) as i64;
+    let src = base(1) as i64;
+    let dst = base(2) as i64;
+    let mut p = Program::new(vec![Stmt::Loop {
+        var: "s",
+        count: e::c(sites as i64),
+        body: vec![
+            Stmt::Load { pc: 0x500, addr: e::v("s").mul(e::c(128)).add(e::c(link)) },
+            Stmt::Load { pc: 0x504, addr: e::v("s").mul(e::c(128)).add(e::c(link + 64)) },
+            Stmt::Load { pc: 0x508, addr: e::v("s").mul(e::c(128)).add(e::c(src)) },
+            Stmt::Load { pc: 0x50c, addr: e::v("s").mul(e::c(128)).add(e::c(src + 64)) },
+            Stmt::Alu { pc: 0x510, count: 18 },
+            Stmt::Store { pc: 0x514, addr: e::v("s").mul(e::c(128)).add(e::c(dst)) },
+            Stmt::Store { pc: 0x518, addr: e::v("s").mul(e::c(128)).add(e::c(dst + 64)) },
+        ],
+    }]);
+    p.annotate();
+    p.execute().expect("milc program is closed")
+}
+
+/// `458.sjeng-ref`: transposition-table probes. Random lookups into a
+/// 512 KB hash table (L2-resident after warm-up) plus noisy search
+/// branches: high L1 miss rate, low L2 MPKI.
+pub(crate) fn sjeng(scale: Scale) -> Trace {
+    let probes = scale.pick(110, 2800, 58000);
+    let hash = base(0);
+    let mut r = rng(0x736A_0001);
+
+    let mut b = TraceBuilder::with_capacity(probes as usize * 10);
+    b.annotated_loop(BlockId(0), probes, |b, _| {
+        // 64 KB hot table: warm after a few thousand probes, so the run is
+        // genuinely low-MPKI like the paper's sjeng.
+        let slot = r.gen_range(0..1024u64);
+        b.load(Pc(0x600), Addr(hash + slot * 64));
+        b.alu(Pc(0x604), 6);
+        let hit = r.gen_bool(0.85);
+        b.branch(Pc(0x608), hit);
+        if !hit {
+            b.store(Pc(0x60c), Addr(hash + slot * 64 + 8));
+        }
+    });
+    b.finish()
+}
+
+/// `471.omnetpp-omnetpp`: event-queue sift. Each operation follows a short
+/// dependent chain through a ~1 MB binary heap and rewrites one node.
+pub(crate) fn omnetpp(scale: Scale) -> Trace {
+    let ops = scale.pick(70, 1700, 33000);
+    let heap = base(0);
+    let mut r = rng(0x6F6D_0001);
+
+    let mut b = TraceBuilder::with_capacity(ops as usize * 14);
+    b.annotated_loop(BlockId(0), ops, |b, _| {
+        // Sift from a random leaf towards the root: parent chain within a
+        // 64 KB heap (hot after warm-up).
+        let mut node = r.gen_range(512..1024u64);
+        b.load(Pc(0x700), Addr(heap + node * 64));
+        for d in 0..3u64 {
+            node /= 2;
+            b.load_dep(Pc(0x704 + d * 4), Addr(heap + node * 64));
+            b.alu(Pc(0x710), 2);
+        }
+        let swap = r.gen_bool(0.7);
+        b.branch(Pc(0x714), swap);
+        if swap {
+            b.store(Pc(0x718), Addr(heap + node * 64));
+        }
+    });
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbws_core::analysis::collect_block_histories;
+
+    #[test]
+    fn bzip2_blocks_overflow_16_lines() {
+        let t = bzip2(Scale::Tiny);
+        // Every dynamic block touches ~256 lines: none fit in 16.
+        assert_eq!(t.stats().block_ws_within(16), 0.0);
+    }
+
+    #[test]
+    fn mcf_mixes_streaming_and_chasing() {
+        let t = mcf(Scale::Tiny);
+        let deps = t
+            .iter()
+            .filter_map(|e| e.mem())
+            .filter(|m| m.dep == cbws_trace::Dependence::PrevLoad)
+            .count();
+        assert!(deps > 0, "mcf must pointer-chase");
+        assert!(t.stats().block_ws_within(16) > 0.99, "mcf blocks are small");
+    }
+
+    #[test]
+    fn libquantum_is_single_stream() {
+        let t = libquantum(Scale::Tiny);
+        let s = t.stats();
+        // ~50% of iterations store (conditional flip).
+        assert!(s.stores * 3 > s.loads && s.stores < s.loads);
+    }
+
+    #[test]
+    fn soplex_blocks_vary_in_size() {
+        let t = soplex(Scale::Small);
+        let h = collect_block_histories(&t, 64);
+        let sizes: std::collections::BTreeSet<usize> =
+            h[&BlockId(0)].instances.iter().map(|w| w.len()).collect();
+        assert!(sizes.len() > 1, "branch divergence must vary the working set");
+    }
+
+    #[test]
+    fn milc_differentials_are_constant_two_lines() {
+        let t = milc(Scale::Tiny);
+        let h = collect_block_histories(&t, 16);
+        let diffs = h.values().next().unwrap().consecutive_differentials();
+        assert!(diffs.iter().all(|d| d.strides().iter().all(|&s| s == 2)));
+    }
+
+    #[test]
+    fn sjeng_and_omnetpp_footprints_are_resident() {
+        for t in [sjeng(Scale::Tiny), omnetpp(Scale::Tiny)] {
+            let max_line = t
+                .iter()
+                .filter_map(|e| e.mem())
+                .map(|m| m.addr.line().0)
+                .max()
+                .unwrap();
+            let min_line = t
+                .iter()
+                .filter_map(|e| e.mem())
+                .map(|m| m.addr.line().0)
+                .min()
+                .unwrap();
+            assert!((max_line - min_line) * 64 <= 2 * 1024 * 1024);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Run all seven prefetcher configurations of the paper's evaluation on a
+//! chosen set of workloads and print the per-benchmark winners.
+//!
+//! Run with:
+//! `cargo run --release --example prefetcher_shootout [workload ...]`
+//! (defaults to four representative benchmarks).
+
+use cbws_repro::harness::{PrefetcherKind, Simulator, SystemConfig};
+use cbws_repro::workloads::{by_name, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if args.is_empty() {
+        vec!["stencil-default", "histo-large", "401.bzip2-source", "lu-ncb-simlarge"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let sim = Simulator::new(SystemConfig::default());
+    for name in names {
+        let Some(w) = by_name(name) else {
+            eprintln!("unknown workload `{name}` — see cbws_workloads::ALL");
+            continue;
+        };
+        let trace = w.generate(Scale::Small);
+        println!("\n== {} ({}) ==", w.name, w.suite);
+        println!("   {}", w.pattern);
+        let mut best: Option<(String, f64)> = None;
+        for kind in PrefetcherKind::ALL {
+            let r = sim.run(w.name, true, &trace, kind);
+            let ipc = r.ipc();
+            println!(
+                "  {:<12} IPC {:>6.3}  MPKI {:>8.2}  wrong {:>5.1}%",
+                r.prefetcher,
+                ipc,
+                r.mpki(),
+                r.timeliness().wrong * 100.0
+            );
+            if best.as_ref().is_none_or(|(_, b)| ipc > *b) {
+                best = Some((r.prefetcher.clone(), ipc));
+            }
+        }
+        if let Some((who, ipc)) = best {
+            println!("  -> best: {who} (IPC {ipc:.3})");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: simulate one workload under SMS and under CBWS+SMS and
+//! compare the metrics the paper reports.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cbws_repro::harness::{PrefetcherKind, Simulator, SystemConfig};
+use cbws_repro::workloads::{by_name, Scale};
+
+fn main() {
+    let workload = by_name("stencil-default").expect("registered workload");
+    println!("workload: {} — {}", workload.name, workload.pattern);
+
+    let trace = workload.generate(Scale::Small);
+    let stats = trace.stats();
+    println!(
+        "trace: {} instructions, {} memory accesses, {} loop iterations\n",
+        stats.instructions, stats.mem_accesses, stats.dynamic_blocks
+    );
+
+    let sim = Simulator::new(SystemConfig::default());
+    println!(
+        "{:<12} {:>8} {:>8} {:>12} {:>10}",
+        "prefetcher", "IPC", "MPKI", "bytes read", "timely %"
+    );
+    for kind in [
+        PrefetcherKind::None,
+        PrefetcherKind::Sms,
+        PrefetcherKind::Cbws,
+        PrefetcherKind::CbwsSms,
+    ] {
+        let r = sim.run(workload.name, true, &trace, kind);
+        println!(
+            "{:<12} {:>8.3} {:>8.2} {:>12} {:>10.1}",
+            r.prefetcher,
+            r.ipc(),
+            r.mpki(),
+            r.mem.bytes_read(),
+            r.timeliness().timely * 100.0
+        );
+    }
+    println!(
+        "\nThe CBWS schemes lock onto the stencil's constant 1024-line\n\
+         differential (Fig. 4) and prefetch whole future iterations, which\n\
+         the 2 KB-region SMS prefetcher cannot follow."
+    );
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # cbws-repro
+//!
+//! A from-scratch Rust reproduction of *Loop-Aware Memory Prefetching Using
+//! Code Block Working Sets* (Fuchs, Mannor, Weiser, Etsion — MICRO 2014).
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! * [`core`] — the paper's contribution: CBWS vectors, differentials, the
+//!   CBWS predictor hardware, and the CBWS+SMS hybrid;
+//! * [`prefetchers`] — the Stride, GHB G/DC, GHB PC/DC, and SMS baselines;
+//! * [`sim_mem`] / [`sim_cpu`] — the Table II memory hierarchy and the
+//!   approximate out-of-order core timing model;
+//! * [`trace`] — trace events and the builder used by workloads;
+//! * [`workloads`] — the 30 synthetic benchmark kernels plus the loop-nest
+//!   DSL and its annotation pass;
+//! * [`stats`] — MPKI, IPC, performance/cost, and the Fig. 13 taxonomy;
+//! * [`harness`] — full-system simulation plus one regenerator per
+//!   table/figure of the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cbws_repro::harness::{PrefetcherKind, Simulator, SystemConfig};
+//! use cbws_repro::workloads::{by_name, Scale};
+//!
+//! let trace = by_name("stencil-default").unwrap().generate(Scale::Tiny);
+//! let sim = Simulator::new(SystemConfig::default());
+//! let sms = sim.run("stencil-default", true, &trace, PrefetcherKind::Sms);
+//! let hybrid = sim.run("stencil-default", true, &trace, PrefetcherKind::CbwsSms);
+//! // On the paper's running example the hybrid beats SMS.
+//! assert!(hybrid.ipc() > sms.ipc());
+//! ```
+
+pub use cbws_core as core;
+pub use cbws_harness as harness;
+pub use cbws_prefetchers as prefetchers;
+pub use cbws_sim_cpu as sim_cpu;
+pub use cbws_sim_mem as sim_mem;
+pub use cbws_stats as stats;
+pub use cbws_trace as trace;
+pub use cbws_workloads as workloads;

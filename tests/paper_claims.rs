@@ -1,0 +1,199 @@
+//! Integration tests asserting the paper's qualitative claims end-to-end:
+//! full simulations (trace → core → hierarchy → prefetcher) must reproduce
+//! the per-benchmark winners and losers of §VII.
+
+use cbws_repro::harness::{PrefetcherKind, Simulator, SystemConfig};
+use cbws_repro::stats::RunRecord;
+use cbws_repro::workloads::{by_name, Scale};
+
+fn run(name: &str, kind: PrefetcherKind) -> RunRecord {
+    let w = by_name(name).unwrap_or_else(|| panic!("workload {name} not registered"));
+    let trace = w.generate(Scale::Small);
+    Simulator::new(SystemConfig::default()).run(name, true, &trace, kind)
+}
+
+#[test]
+fn hybrid_beats_sms_on_block_structured_loops() {
+    // §VII-A: "the CBWS schemes effectively eliminate misses in block
+    // structured benchmarks such as sgemm and radix", and both CBWS
+    // prefetchers outperform all others on nw, sgemm, radix, stencil,
+    // lu_ncb.
+    for name in ["sgemm-medium", "radix-simlarge", "stencil-default", "nw", "lu-ncb-simlarge"] {
+        let sms = run(name, PrefetcherKind::Sms);
+        let hybrid = run(name, PrefetcherKind::CbwsSms);
+        assert!(
+            hybrid.mpki() < sms.mpki() * 0.8,
+            "{name}: hybrid MPKI {:.2} not clearly below SMS {:.2}",
+            hybrid.mpki(),
+            sms.mpki()
+        );
+        assert!(
+            hybrid.ipc() >= sms.ipc(),
+            "{name}: hybrid IPC {:.3} below SMS {:.3}",
+            hybrid.ipc(),
+            sms.ipc()
+        );
+    }
+}
+
+#[test]
+fn cbws_cannot_predict_data_dependent_histo() {
+    // Fig. 16 / §VII-C: histo's access pattern is input data, so CBWS
+    // gains nothing over no-prefetching, and the hybrid rides on SMS.
+    let none = run("histo-large", PrefetcherKind::None);
+    let cbws = run("histo-large", PrefetcherKind::Cbws);
+    let sms = run("histo-large", PrefetcherKind::Sms);
+    let hybrid = run("histo-large", PrefetcherKind::CbwsSms);
+    assert!(
+        (cbws.mpki() - none.mpki()).abs() / none.mpki() < 0.05,
+        "standalone CBWS should not move histo: {:.2} vs {:.2}",
+        cbws.mpki(),
+        none.mpki()
+    );
+    assert!((hybrid.mpki() - sms.mpki()).abs() / sms.mpki() < 0.1);
+}
+
+#[test]
+fn soplex_skew_is_not_enough() {
+    // §VII-A: "the failure to reduce MPKI in soplex demonstrates that a
+    // skewed distribution of differentials is not always sufficient".
+    let none = run("450.soplex-ref", PrefetcherKind::None);
+    let cbws = run("450.soplex-ref", PrefetcherKind::Cbws);
+    assert!(
+        cbws.mpki() > none.mpki() * 0.9,
+        "CBWS should not fix soplex: {:.2} vs {:.2}",
+        cbws.mpki(),
+        none.mpki()
+    );
+}
+
+#[test]
+fn bzip2_oversized_blocks_defeat_standalone_cbws() {
+    // §VII-C: bzip2's loops read hundreds of lines per iteration while
+    // CBWS traces only 16, so standalone CBWS is far behind SMS.
+    let sms = run("401.bzip2-source", PrefetcherKind::Sms);
+    let cbws = run("401.bzip2-source", PrefetcherKind::Cbws);
+    assert!(
+        cbws.mpki() > sms.mpki() * 2.0,
+        "standalone CBWS should trail SMS badly on bzip2: {:.2} vs {:.2}",
+        cbws.mpki(),
+        sms.mpki()
+    );
+    // The hybrid must not be dragged down below SMS.
+    let hybrid = run("401.bzip2-source", PrefetcherKind::CbwsSms);
+    assert!(hybrid.ipc() >= sms.ipc() * 0.95);
+}
+
+#[test]
+fn streamcluster_thrashes_standalone_cbws_but_hybrid_recovers() {
+    // §VII-A: fft and streamcluster have too many distinct differential
+    // vectors for the 16-entry history table; the hybrid falls back to SMS.
+    let sms = run("streamcluster-simlarge", PrefetcherKind::Sms);
+    let cbws = run("streamcluster-simlarge", PrefetcherKind::Cbws);
+    let hybrid = run("streamcluster-simlarge", PrefetcherKind::CbwsSms);
+    assert!(cbws.mpki() > sms.mpki());
+    assert!(hybrid.ipc() >= sms.ipc() * 0.95);
+}
+
+#[test]
+fn hybrid_never_loses_badly_to_sms() {
+    // The integration's whole point (§VII): falling back to SMS bounds the
+    // downside everywhere.
+    for name in [
+        "429.mcf-ref",
+        "462.libquantum-ref",
+        "433.milc-su3imp",
+        "fft-simlarge",
+        "lbm-long",
+        "mri-q-large",
+    ] {
+        let sms = run(name, PrefetcherKind::Sms);
+        let hybrid = run(name, PrefetcherKind::CbwsSms);
+        assert!(
+            hybrid.ipc() >= sms.ipc() * 0.9,
+            "{name}: hybrid {:.3} far below SMS {:.3}",
+            hybrid.ipc(),
+            sms.ipc()
+        );
+    }
+}
+
+#[test]
+fn standalone_cbws_is_the_most_accurate_scheme() {
+    // §VII-B: "the CBWS scheme achieves the best accuracy, as wrong
+    // accesses average to 5% of all demand accesses" in the MI group.
+    // Asserted here on a representative subset (the full-suite averages
+    // are recorded in EXPERIMENTS.md: 5.6% measured vs the paper's 5%).
+    let names = ["nw", "lu-ncb-simlarge", "sgemm-medium", "radix-simlarge", "433.milc-su3imp"];
+    let mut cbws_wrong = 0.0;
+    for name in names {
+        cbws_wrong += run(name, PrefetcherKind::Cbws).timeliness().wrong;
+    }
+    let mean = cbws_wrong / names.len() as f64;
+    assert!(mean < 0.08, "standalone CBWS mean wrong {mean:.3} exceeds the paper's ~5%");
+}
+
+#[test]
+fn hybrid_has_the_best_timeliness() {
+    // §VII-B: integrating CBWS improves timeliness — the timely fraction
+    // rises over standalone SMS (paper: 24% -> 31% on the MI group).
+    let names = ["nw", "lu-ncb-simlarge", "sgemm-medium", "radix-simlarge", "433.milc-su3imp"];
+    let mut sms_timely = 0.0;
+    let mut hybrid_timely = 0.0;
+    for name in names {
+        sms_timely += run(name, PrefetcherKind::Sms).timeliness().timely;
+        hybrid_timely += run(name, PrefetcherKind::CbwsSms).timeliness().timely;
+    }
+    assert!(
+        hybrid_timely > sms_timely,
+        "hybrid mean timely {:.3} vs SMS {:.3}",
+        hybrid_timely / names.len() as f64,
+        sms_timely / names.len() as f64
+    );
+}
+
+#[test]
+fn prefetching_never_changes_committed_work() {
+    for name in ["stencil-default", "histo-large"] {
+        let counts: Vec<u64> = PrefetcherKind::ALL
+            .iter()
+            .map(|&k| run(name, k).cpu.instructions)
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{name}: {counts:?}");
+    }
+}
+
+#[test]
+fn storage_budget_claims_hold() {
+    let cfg = SystemConfig::default();
+    // "The proposed scheme requires less than 1KB of storage, which is
+    // small in comparison to the other evaluated schemes."
+    let cbws = PrefetcherKind::Cbws.storage_bits(&cfg);
+    assert!(cbws < 8192);
+    for kind in [
+        PrefetcherKind::Stride,
+        PrefetcherKind::GhbGDc,
+        PrefetcherKind::GhbPcDc,
+        PrefetcherKind::Sms,
+    ] {
+        assert!(kind.storage_bits(&cfg) > cbws, "{}", kind.name());
+    }
+}
+
+#[test]
+fn classification_partitions_on_every_mi_workload() {
+    for w in cbws_repro::workloads::mi_suite() {
+        let trace = w.generate(Scale::Tiny);
+        let sim = Simulator::new(SystemConfig::default());
+        for kind in [PrefetcherKind::Sms, PrefetcherKind::CbwsSms] {
+            let r = sim.run(w.name, true, &trace, kind);
+            assert!(
+                r.mem.classification_is_partition(),
+                "{} under {}: {:?}",
+                w.name,
+                kind.name(),
+                r.mem
+            );
+        }
+    }
+}
