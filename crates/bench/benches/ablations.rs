@@ -63,9 +63,16 @@ fn table_size(c: &mut Criterion) {
     g.sample_size(10);
     eprintln!("\n[ablation] history table size on fft:");
     for entries in [16usize, 64, 256] {
-        let cfg = CbwsConfig { table_entries: entries, ..CbwsConfig::default() };
+        let cfg = CbwsConfig {
+            table_entries: entries,
+            ..CbwsConfig::default()
+        };
         let r = run_cbws(&trace, cfg);
-        eprintln!("  {entries:>3} entries: MPKI {:.2}  IPC {:.3}", r.mpki(), r.ipc());
+        eprintln!(
+            "  {entries:>3} entries: MPKI {:.2}  IPC {:.3}",
+            r.mpki(),
+            r.ipc()
+        );
         g.bench_function(format!("fft_entries_{entries}"), |b| {
             b.iter(|| black_box(run_cbws(&trace, cfg)))
         });
@@ -81,7 +88,10 @@ fn vector_capacity(c: &mut Criterion) {
     g.sample_size(10);
     eprintln!("\n[ablation] CBWS vector capacity on bzip2:");
     for max_vector in [16usize, 64, 256] {
-        let cfg = CbwsConfig { max_vector, ..CbwsConfig::default() };
+        let cfg = CbwsConfig {
+            max_vector,
+            ..CbwsConfig::default()
+        };
         let r = run_cbws(&trace, cfg);
         eprintln!(
             "  {max_vector:>3} lines ({} bits): MPKI {:.2}  IPC {:.3}",
@@ -103,7 +113,10 @@ fn prediction_depth(c: &mut Criterion) {
     g.sample_size(10);
     eprintln!("\n[ablation] prediction depth on stencil:");
     for depth in 1..=4usize {
-        let cfg = CbwsConfig { prediction_depth: depth, ..CbwsConfig::default() };
+        let cfg = CbwsConfig {
+            prediction_depth: depth,
+            ..CbwsConfig::default()
+        };
         let r = run_cbws(&trace, cfg);
         eprintln!("  depth {depth}: MPKI {:.2}  IPC {:.3}", r.mpki(), r.ipc());
         g.bench_function(format!("stencil_depth_{depth}"), |b| {
@@ -122,7 +135,10 @@ fn hit_training(c: &mut Criterion) {
     g.sample_size(10);
     eprintln!("\n[ablation] observe L1 hits vs misses-only on stencil:");
     for observe_l1_hits in [true, false] {
-        let cfg = CbwsConfig { observe_l1_hits, ..CbwsConfig::default() };
+        let cfg = CbwsConfig {
+            observe_l1_hits,
+            ..CbwsConfig::default()
+        };
         let r = run_cbws(&trace, cfg);
         eprintln!(
             "  observe_hits={observe_l1_hits}: MPKI {:.2}  IPC {:.3}",
@@ -140,12 +156,17 @@ fn suppression_policy(c: &mut Criterion) {
     // Hybrid arbitration: how much SMS to silence.
     let mut g = c.benchmark_group("ablation_suppression");
     g.sample_size(10);
-    for (bench, name) in [("462.libquantum-ref", "libquantum"), ("stencil-default", "stencil")] {
+    for (bench, name) in [
+        ("462.libquantum-ref", "libquantum"),
+        ("stencil-default", "stencil"),
+    ] {
         let trace = by_name(bench).unwrap().generate(Scale::Tiny);
         eprintln!("\n[ablation] SMS suppression policy on {name}:");
-        for policy in
-            [SmsSuppression::Never, SmsSuppression::WhenConfident, SmsSuppression::WhenCovering]
-        {
+        for policy in [
+            SmsSuppression::Never,
+            SmsSuppression::WhenConfident,
+            SmsSuppression::WhenCovering,
+        ] {
             let r = run_hybrid(&trace, policy);
             eprintln!("  {policy:?}: MPKI {:.2}  IPC {:.3}", r.mpki(), r.ipc());
             g.bench_function(format!("{name}_{policy:?}"), |b| {

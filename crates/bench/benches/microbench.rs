@@ -94,5 +94,10 @@ fn prefetcher_training(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, cache_hot_path, predictor_hot_path, prefetcher_training);
+criterion_group!(
+    benches,
+    cache_hot_path,
+    predictor_hot_path,
+    prefetcher_training
+);
 criterion_main!(benches);

@@ -24,7 +24,10 @@ impl BlockHistory {
     /// Differentials between consecutive instances (Fig. 4): entry `i` is
     /// `instances[i+1] - instances[i]`.
     pub fn consecutive_differentials(&self) -> Vec<Differential> {
-        self.instances.windows(2).map(|w| w[1].differential(&w[0])).collect()
+        self.instances
+            .windows(2)
+            .map(|w| w[1].differential(&w[0]))
+            .collect()
     }
 }
 
@@ -138,8 +141,7 @@ impl DifferentialSkew {
         if self.total == 0 {
             return 0.0;
         }
-        let k = ((self.counts.len() as f64 * fraction).ceil() as usize)
-            .clamp(1, self.counts.len());
+        let k = ((self.counts.len() as f64 * fraction).ceil() as usize).clamp(1, self.counts.len());
         let covered: u64 = self.counts.iter().take(k).map(|(_, c)| c).sum();
         covered as f64 / self.total as f64
     }
@@ -164,7 +166,10 @@ mod tests {
         let h = collect_block_histories(&strided_trace(5, 8), 16);
         let bh = &h[&BlockId(0)];
         assert_eq!(bh.instances.len(), 5);
-        assert_eq!(bh.instances[0].lines(), &[Addr(100 * 64).line(), Addr(500 * 64).line()]);
+        assert_eq!(
+            bh.instances[0].lines(),
+            &[Addr(100 * 64).line(), Addr(500 * 64).line()]
+        );
     }
 
     #[test]
@@ -206,7 +211,10 @@ mod tests {
         });
         for k in 0..10u64 {
             b.annotated_loop(BlockId(1 + k as u32), 2, |b, i| {
-                b.load(Pc(0), Addr((1 << 25) + k * (1 << 15) + i * 64 * (50 + 13 * k)));
+                b.load(
+                    Pc(0),
+                    Addr((1 << 25) + k * (1 << 15) + i * 64 * (50 + 13 * k)),
+                );
             });
         }
         let h = collect_block_histories(&b.finish(), 16);

@@ -159,6 +159,11 @@ impl Prefetcher for CbwsSmsPrefetcher {
         self.stats.cbws_lines += pred.len() as u64;
         out.extend(pred);
     }
+
+    fn attach_telemetry(&mut self, telemetry: &cbws_telemetry::Telemetry) {
+        self.cbws.set_telemetry(telemetry.clone());
+        self.sms.attach_telemetry(telemetry);
+    }
 }
 
 #[cfg(test)]
@@ -196,7 +201,10 @@ mod tests {
     fn cbws_side_predicts_in_steady_state() {
         let mut pf = CbwsSmsPrefetcher::default();
         drive_loop(&mut pf, 15, 512);
-        assert!(pf.hybrid_stats().cbws_lines > 0, "CBWS side should contribute");
+        assert!(
+            pf.hybrid_stats().cbws_lines > 0,
+            "CBWS side should contribute"
+        );
         assert!(pf.cbws().is_confident());
     }
 
@@ -293,7 +301,9 @@ mod tests {
             pf.on_block_begin(BlockId(0));
             let mut out = Vec::new();
             for _ in 0..3 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 pf.on_access(&ctx(0x40, (x >> 30) & 0xFFFF_FFC0, false), &mut out);
             }
             pf.on_block_end(BlockId(0), &mut out);

@@ -13,6 +13,7 @@
 
 use crate::predictor::{CbwsConfig, CbwsPredictor, CbwsStats};
 use cbws_prefetchers::{PrefetchContext, Prefetcher};
+use cbws_telemetry::Telemetry;
 use cbws_trace::{BlockId, LineAddr};
 
 #[derive(Debug, Clone)]
@@ -32,6 +33,7 @@ pub struct MultiCbwsPrefetcher {
     active: Option<usize>,
     stamp: u64,
     context_evictions: u64,
+    telemetry: Telemetry,
 }
 
 impl MultiCbwsPrefetcher {
@@ -51,7 +53,15 @@ impl MultiCbwsPrefetcher {
             active: None,
             stamp: 0,
             context_evictions: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// A fresh per-block predictor wired to the attached telemetry sink.
+    fn new_predictor(&self) -> CbwsPredictor {
+        let mut p = CbwsPredictor::new(self.cfg);
+        p.set_telemetry(self.telemetry.clone());
+        p
     }
 
     /// Number of contexts currently allocated.
@@ -88,7 +98,7 @@ impl MultiCbwsPrefetcher {
         if self.contexts.len() < self.capacity {
             self.contexts.push(Context {
                 block: id,
-                predictor: CbwsPredictor::new(self.cfg),
+                predictor: self.new_predictor(),
                 lru: stamp,
             });
             return self.contexts.len() - 1;
@@ -101,8 +111,11 @@ impl MultiCbwsPrefetcher {
             .map(|(i, _)| i)
             .expect("capacity > 0");
         self.context_evictions += 1;
-        self.contexts[victim] =
-            Context { block: id, predictor: CbwsPredictor::new(self.cfg), lru: stamp };
+        self.contexts[victim] = Context {
+            block: id,
+            predictor: self.new_predictor(),
+            lru: stamp,
+        };
         victim
     }
 }
@@ -135,6 +148,13 @@ impl Prefetcher for MultiCbwsPrefetcher {
             if self.contexts[i].block == id {
                 out.extend(self.contexts[i].predictor.block_end(id));
             }
+        }
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+        for c in &mut self.contexts {
+            c.predictor.set_telemetry(telemetry.clone());
         }
     }
 }
@@ -171,8 +191,14 @@ mod tests {
             last_a = drive_block(&mut pf, 0, 0x10000, i);
             last_b = drive_block(&mut pf, 1, 0x90000, i);
         }
-        assert!(!last_a.is_empty(), "block 0 should predict despite interleaving");
-        assert!(!last_b.is_empty(), "block 1 should predict despite interleaving");
+        assert!(
+            !last_a.is_empty(),
+            "block 0 should predict despite interleaving"
+        );
+        assert!(
+            !last_b.is_empty(),
+            "block 1 should predict despite interleaving"
+        );
         assert_eq!(pf.allocated_contexts(), 2);
         assert_eq!(pf.context_evictions(), 0);
     }
@@ -187,7 +213,10 @@ mod tests {
             drive_block(&mut pf, 0, 0x10000, i);
             last = drive_block(&mut pf, 1, 0x90000, i);
         }
-        assert!(last.is_empty(), "single context cannot survive interleaving");
+        assert!(
+            last.is_empty(),
+            "single context cannot survive interleaving"
+        );
         assert!(pf.context_evictions() > 0);
     }
 

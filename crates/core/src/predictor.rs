@@ -2,6 +2,7 @@
 
 use crate::vector::{CbwsVec, Differential};
 use cbws_prefetchers::{PrefetchContext, Prefetcher};
+use cbws_telemetry::{SimEvent, Telemetry};
 use cbws_trace::{BlockId, LineAddr};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -66,7 +67,10 @@ struct HistoryShiftRegister {
 
 impl HistoryShiftRegister {
     fn new(depth: usize) -> Self {
-        HistoryShiftRegister { entries: VecDeque::with_capacity(depth), depth }
+        HistoryShiftRegister {
+            entries: VecDeque::with_capacity(depth),
+            depth,
+        }
     }
 
     fn shift(&mut self, hash12: u16) {
@@ -108,7 +112,10 @@ struct DiffHistoryTable {
 
 impl DiffHistoryTable {
     fn new(entries: usize) -> Self {
-        DiffHistoryTable { entries: vec![None; entries], rng: 0x2545_F491 }
+        DiffHistoryTable {
+            entries: vec![None; entries],
+            rng: 0x2545_F491,
+        }
     }
 
     fn next_random(&mut self) -> u32 {
@@ -185,6 +192,7 @@ pub struct CbwsPredictor {
     last_block_overflowed: bool,
     last_prediction_span: u64,
     stats: CbwsStats,
+    telemetry: Telemetry,
 }
 
 impl CbwsPredictor {
@@ -217,7 +225,14 @@ impl CbwsPredictor {
             last_block_overflowed: false,
             last_prediction_span: 0,
             stats: CbwsStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink: table lookups become `TableLookup` events
+    /// and `cbws.*` metrics. The default is a disabled sink.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The configuration in use.
@@ -314,6 +329,8 @@ impl CbwsPredictor {
         }
         self.stats.blocks += 1;
         self.last_block_overflowed = self.curr.overflowed() > 0;
+        self.telemetry
+            .observe("cbws.vector_len", self.curr.len() as u64);
 
         // 1-2: store each step's new differential under the *previous*
         // history tag, then shift the history register.
@@ -346,10 +363,30 @@ impl CbwsPredictor {
                 continue;
             }
             let tag = self.histories[step].tag(step);
-            if let Some(pred) = self.table.lookup(tag) {
+            let lookup = self.table.lookup(tag);
+            let step_hit = lookup.is_some();
+            self.telemetry.record(|now| SimEvent::TableLookup {
+                cycle: now,
+                block: id.0,
+                hit: step_hit,
+            });
+            self.telemetry.count(
+                if step_hit {
+                    "cbws.table.hit"
+                } else {
+                    "cbws.table.miss"
+                },
+                1,
+            );
+            if let Some(pred) = lookup {
                 hit = true;
-                span = span
-                    .max(pred.strides().iter().map(|s| s.unsigned_abs() as u64).max().unwrap_or(0));
+                span = span.max(
+                    pred.strides()
+                        .iter()
+                        .map(|s| s.unsigned_abs() as u64)
+                        .max()
+                        .unwrap_or(0),
+                );
                 if !pred.is_zero() {
                     out.extend(pred.apply(base));
                 }
@@ -359,8 +396,10 @@ impl CbwsPredictor {
         self.last_prediction_span = span;
         if hit {
             self.stats.prediction_hits += 1;
+            self.telemetry.count("cbws.prediction.hit", 1);
         } else {
             self.stats.prediction_misses += 1;
+            self.telemetry.count("cbws.prediction.miss", 1);
         }
 
         self.curr.clear();
@@ -387,7 +426,10 @@ impl CbwsPrefetcher {
     ///
     /// Panics on a degenerate configuration (see [`CbwsPredictor::new`]).
     pub fn new(cfg: CbwsConfig) -> Self {
-        CbwsPrefetcher { predictor: CbwsPredictor::new(cfg), in_block: false }
+        CbwsPrefetcher {
+            predictor: CbwsPredictor::new(cfg),
+            in_block: false,
+        }
     }
 
     /// The underlying prediction engine.
@@ -429,6 +471,10 @@ impl Prefetcher for CbwsPrefetcher {
         self.in_block = false;
         out.extend(self.predictor.block_end(id));
     }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.predictor.set_telemetry(telemetry.clone());
+    }
 }
 
 #[cfg(test)]
@@ -465,8 +511,7 @@ mod tests {
         let last = preds.last().unwrap();
         assert!(!last.is_empty(), "steady-state loop should predict");
         // 1-step prediction of iteration 12: lines 1000+12*16 + {0,3,7}.
-        let expect: Vec<LineAddr> =
-            [0u64, 3, 7].map(|o| LineAddr(1000 + 12 * 16 + o)).to_vec();
+        let expect: Vec<LineAddr> = [0u64, 3, 7].map(|o| LineAddr(1000 + 12 * 16 + o)).to_vec();
         assert_eq!(&last[..3], &expect[..]);
         assert!(p.is_confident());
         assert!(p.stats().prediction_hits > 0);
@@ -474,7 +519,10 @@ mod tests {
 
     #[test]
     fn two_step_prediction_reaches_farther() {
-        let cfg = CbwsConfig { prediction_depth: 2, ..CbwsConfig::default() };
+        let cfg = CbwsConfig {
+            prediction_depth: 2,
+            ..CbwsConfig::default()
+        };
         let mut p = CbwsPredictor::new(cfg);
         let preds = run_strided(&mut p, BlockId(0), 12, 0, 100, &[0]);
         let last = preds.last().unwrap();
@@ -499,7 +547,9 @@ mod tests {
         for _ in 0..50 {
             p.block_begin(BlockId(0));
             for _ in 0..4 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 p.observe(LineAddr(x >> 40));
             }
             let _ = p.block_end(BlockId(0));
@@ -529,7 +579,10 @@ mod tests {
 
     #[test]
     fn vector_overflow_counted_and_capped() {
-        let cfg = CbwsConfig { max_vector: 4, ..CbwsConfig::default() };
+        let cfg = CbwsConfig {
+            max_vector: 4,
+            ..CbwsConfig::default()
+        };
         let mut p = CbwsPredictor::new(cfg);
         p.block_begin(BlockId(0));
         for i in 0..10 {
@@ -562,14 +615,25 @@ mod tests {
         // Alternate between many differential alphabets (the fft /
         // streamcluster failure mode): the 16-entry table must bound state.
         for phase in 0..40u64 {
-            run_strided(&mut p, BlockId(0), 6, phase * 100_000, 17 + phase * 3, &[0, 2]);
+            run_strided(
+                &mut p,
+                BlockId(0),
+                6,
+                phase * 100_000,
+                17 + phase * 3,
+                &[0, 2],
+            );
         }
         assert!(p.table_occupancy() <= 16);
     }
 
     #[test]
     fn prediction_depth_validated() {
-        let cfg = CbwsConfig { prediction_depth: 5, max_step: 4, ..CbwsConfig::default() };
+        let cfg = CbwsConfig {
+            prediction_depth: 5,
+            max_step: 4,
+            ..CbwsConfig::default()
+        };
         assert!(std::panic::catch_unwind(|| CbwsPredictor::new(cfg)).is_err());
     }
 
@@ -610,7 +674,10 @@ mod tests {
 
     #[test]
     fn misses_only_ablation_ignores_hits() {
-        let cfg = CbwsConfig { observe_l1_hits: false, ..CbwsConfig::default() };
+        let cfg = CbwsConfig {
+            observe_l1_hits: false,
+            ..CbwsConfig::default()
+        };
         let mut pf = CbwsPrefetcher::new(cfg);
         let mut out = Vec::new();
         use cbws_prefetchers::PrefetchContext;

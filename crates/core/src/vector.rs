@@ -39,7 +39,11 @@ impl CbwsVec {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "a CBWS must hold at least one line");
-        CbwsVec { lines: Vec::with_capacity(capacity), capacity, overflowed: 0 }
+        CbwsVec {
+            lines: Vec::with_capacity(capacity),
+            capacity,
+            overflowed: 0,
+        }
     }
 
     /// Observes an access to `line`. Returns `true` if the line was newly
@@ -103,9 +107,7 @@ impl CbwsVec {
     /// §IV-B).
     pub fn differential(&self, prev: &CbwsVec) -> Differential {
         let n = self.lines.len().min(prev.lines.len());
-        Differential::from_strides(
-            (0..n).map(|i| self.lines[i].delta(prev.lines[i])),
-        )
+        Differential::from_strides((0..n).map(|i| self.lines[i].delta(prev.lines[i])))
     }
 }
 
@@ -283,8 +285,9 @@ mod tests {
         let d = c1.differential(&c0);
         let predicted = d.apply(&c1);
         // CBWS2 from Fig. 3.
-        let expect: Vec<LineAddr> =
-            [0x80u64, 0x81, 8563, 6515, 7547, 7531, 7539].map(LineAddr).to_vec();
+        let expect: Vec<LineAddr> = [0x80u64, 0x81, 8563, 6515, 7547, 7531, 7539]
+            .map(LineAddr)
+            .to_vec();
         assert_eq!(predicted, expect);
     }
 

@@ -1,66 +1,85 @@
 //! Regenerates every table and figure of the paper in one run, sharing a
 //! single sweep across Figs. 12-15. Text tables go to stdout; CSVs and SVG
-//! figures go to `results/`.
+//! figures go to `results/`, each with a `.manifest.json` describing the
+//! run that produced it.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin all_experiments
-//! [--scale tiny|small|full]`
+//! [--scale tiny|small|full] [--quiet|--progress]`
 
 use cbws_harness::experiments::{
     fig01_loop_fraction, fig03_stencil_cbws, fig05_differential_skew, fig05_svg, fig12_mpki,
-    fig12_svg, fig13_svg, fig13_timeliness, fig14_speedup, fig14_svg, fig15_perf_cost,
-    fig15_svg, save_csv, save_svg, scale_from_args, sweep_parallel, tab02_parameters,
-    tab03_storage,
+    fig12_svg, fig13_svg, fig13_timeliness, fig14_speedup, fig14_svg, fig15_perf_cost, fig15_svg,
+    save_csv, save_svg, scale_from_args, sweep_parallel, tab02_parameters, tab03_storage,
 };
-use cbws_harness::SystemConfig;
+use cbws_harness::{PrefetcherKind, RunManifest, SystemConfig};
+use cbws_telemetry::{detail, result, status, Profiler};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    cbws_telemetry::log::apply_cli_flags(&args);
     let scale = scale_from_args();
-    eprintln!("[all] scale = {scale}");
+    status!("[all] scale = {scale}");
     let cfg = SystemConfig::default();
+    let mut profiler = Profiler::new();
 
+    profiler.begin("static_tables");
     let tab02 = tab02_parameters(&cfg);
-    println!("Table II — simulation parameters\n\n{tab02}");
+    result!("Table II — simulation parameters\n\n{tab02}");
     save_csv("tab02_parameters", &tab02);
 
     let tab03 = tab03_storage(&cfg);
-    println!("Table III — prefetcher storage budgets\n\n{tab03}");
+    result!("Table III — prefetcher storage budgets\n\n{tab03}");
     save_csv("tab03_storage", &tab03);
 
-    println!("Figs. 3 & 4 — Stencil CBWS vectors and differentials\n");
-    println!("{}", fig03_stencil_cbws(8));
+    result!("Figs. 3 & 4 — Stencil CBWS vectors and differentials\n");
+    result!("{}", fig03_stencil_cbws(8));
 
+    profiler.begin("trace_analysis");
     let fig01 = fig01_loop_fraction(scale);
-    println!("Fig. 1 — runtime fraction in tight innermost loops\n\n{fig01}");
+    result!("Fig. 1 — runtime fraction in tight innermost loops\n\n{fig01}");
     save_csv("fig01_loop_fraction", &fig01);
 
     let fig05 = fig05_differential_skew(scale);
-    println!("Fig. 5 — CBWS differential skew\n\n{fig05}");
+    result!("Fig. 5 — CBWS differential skew\n\n{fig05}");
     save_csv("fig05_differential_skew", &fig05);
     save_svg("fig05_differential_skew", &fig05_svg(scale));
 
     // One sweep over all 30 benchmarks backs Figs. 12-15.
+    profiler.begin("sweep");
     let all: Vec<_> = cbws_workloads::ALL.iter().collect();
     let records = sweep_parallel(scale, &all);
 
+    profiler.begin("figures");
     let fig12 = fig12_mpki(&records);
-    println!("Fig. 12 — L2 MPKI (lower is better)\n\n{fig12}");
+    result!("Fig. 12 — L2 MPKI (lower is better)\n\n{fig12}");
     save_csv("fig12_mpki", &fig12);
     save_svg("fig12_mpki", &fig12_svg(&records));
 
     let fig13 = fig13_timeliness(&records);
-    println!("Fig. 13 — timeliness/accuracy (% of demand L2 accesses)\n\n{fig13}");
+    result!("Fig. 13 — timeliness/accuracy (% of demand L2 accesses)\n\n{fig13}");
     save_csv("fig13_timeliness", &fig13);
     save_svg("fig13_timeliness", &fig13_svg(&records));
 
     let fig14 = fig14_speedup(&records);
-    println!("Fig. 14 — IPC normalized to SMS (higher is better)\n\n{fig14}");
+    result!("Fig. 14 — IPC normalized to SMS (higher is better)\n\n{fig14}");
     save_csv("fig14_speedup", &fig14);
     save_svg("fig14_speedup", &fig14_svg(&records));
 
     let fig15 = fig15_perf_cost(&records);
-    println!("Fig. 15 — IPC / bytes read, normalized to no-prefetch\n\n{fig15}");
+    result!("Fig. 15 — IPC / bytes read, normalized to no-prefetch\n\n{fig15}");
     save_csv("fig15_perf_cost", &fig15);
     save_svg("fig15_perf_cost", &fig15_svg(&records));
+    profiler.end();
 
-    eprintln!("[all] text tables above; CSVs and SVG figures in results/");
+    RunManifest::new(
+        "all_experiments",
+        scale,
+        all.iter().map(|w| w.name),
+        PrefetcherKind::ALL,
+        cfg,
+    )
+    .save("all_experiments");
+
+    detail!("[all] phase timings:\n{}", profiler.report());
+    status!("[all] text tables above; CSVs and SVG figures in results/");
 }

@@ -6,20 +6,27 @@
 //! one — a stress test for the CBWS+SMS result.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin dram_model
-//! [--scale tiny|small|full]`
+//! [--scale tiny|small|full] [--quiet|--progress]`
 
 use cbws_harness::experiments::{get, save_csv, scale_from_args};
-use cbws_harness::{PrefetcherKind, Simulator, SystemConfig};
+use cbws_harness::{PrefetcherKind, RunManifest, Simulator, SystemConfig};
 use cbws_sim_mem::DramConfig;
 use cbws_stats::{geomean, RunRecord, TextTable};
+use cbws_telemetry::{result, status};
 use cbws_workloads::mi_suite;
+
+const KINDS: [PrefetcherKind; 3] = [
+    PrefetcherKind::None,
+    PrefetcherKind::Sms,
+    PrefetcherKind::CbwsSms,
+];
 
 fn run_suite(scale: cbws_workloads::Scale, cfg: SystemConfig) -> Vec<RunRecord> {
     let sim = Simulator::new(cfg);
     let mut records = Vec::new();
     for w in mi_suite() {
         let trace = w.generate(scale);
-        for kind in [PrefetcherKind::None, PrefetcherKind::Sms, PrefetcherKind::CbwsSms] {
+        for kind in KINDS {
             records.push(sim.run(w.name, true, &trace, kind));
         }
     }
@@ -27,16 +34,18 @@ fn run_suite(scale: cbws_workloads::Scale, cfg: SystemConfig) -> Vec<RunRecord> 
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    cbws_telemetry::log::apply_cli_flags(&args);
     let scale = scale_from_args();
-    eprintln!("[dram] scale = {scale}");
+    status!("[dram] scale = {scale}");
 
     let flat_cfg = SystemConfig::default();
     let mut dram_cfg = SystemConfig::default();
     dram_cfg.mem.dram = Some(DramConfig::default());
 
-    eprintln!("[dram] flat model...");
+    status!("[dram] flat model...");
     let flat = run_suite(scale, flat_cfg);
-    eprintln!("[dram] banked DRAM model...");
+    status!("[dram] banked DRAM model...");
     let dram = run_suite(scale, dram_cfg);
 
     let mut table = TextTable::new(vec![
@@ -51,7 +60,11 @@ fn main() {
         let dr = get(&dram, w.name, "CBWS+SMS").ipc() / get(&dram, w.name, "SMS").ipc();
         flat_ratios.push(fr);
         dram_ratios.push(dr);
-        table.row(vec![w.name.to_string(), format!("{fr:.3}"), format!("{dr:.3}")]);
+        table.row(vec![
+            w.name.to_string(),
+            format!("{fr:.3}"),
+            format!("{dr:.3}"),
+        ]);
     }
     table.row(vec![
         "geomean".into(),
@@ -59,6 +72,14 @@ fn main() {
         format!("{:.3}", geomean(dram_ratios)),
     ]);
 
-    println!("Headline speedup under flat vs banked-DRAM memory\n\n{table}");
+    result!("Headline speedup under flat vs banked-DRAM memory\n\n{table}");
     save_csv("dram_model", &table);
+    RunManifest::new(
+        "dram_model",
+        scale,
+        mi_suite().iter().map(|w| w.name),
+        KINDS,
+        dram_cfg,
+    )
+    .save("dram_model");
 }

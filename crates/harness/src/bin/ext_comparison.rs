@@ -12,16 +12,19 @@
 //! * Markov (Joseph & Grunwald), pair-correlation prefetching.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin ext_comparison
-//! [--scale tiny|small|full]`
+//! [--scale tiny|small|full] [--quiet|--progress]`
 
 use cbws_harness::experiments::{get, save_csv, scale_from_args};
-use cbws_harness::{PrefetcherKind, Simulator, SystemConfig};
+use cbws_harness::{PrefetcherKind, RunManifest, Simulator, SystemConfig};
 use cbws_stats::{geomean, RunRecord, TextTable};
+use cbws_telemetry::{result, status};
 use cbws_workloads::mi_suite;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    cbws_telemetry::log::apply_cli_flags(&args);
     let scale = scale_from_args();
-    eprintln!("[ext] scale = {scale}");
+    status!("[ext] scale = {scale}");
     let kinds: Vec<PrefetcherKind> = PrefetcherKind::ALL
         .into_iter()
         .chain(PrefetcherKind::EXTENDED)
@@ -31,7 +34,7 @@ fn main() {
     let mut records: Vec<RunRecord> = Vec::new();
     for w in mi_suite() {
         let trace = w.generate(scale);
-        eprintln!("[ext] {}", w.name);
+        status!("[ext] {}", w.name);
         for &kind in &kinds {
             records.push(sim.run(w.name, true, &trace, kind));
         }
@@ -59,15 +62,23 @@ fn main() {
     }
     table.row(avg);
 
-    println!("Extended comparison — IPC normalized to SMS (MI suite)\n");
-    println!("{table}");
+    result!("Extended comparison — IPC normalized to SMS (MI suite)\n");
+    result!("{table}");
     save_csv("ext_comparison", &table);
+    RunManifest::new(
+        "ext_comparison",
+        scale,
+        mi_suite().iter().map(|w| w.name),
+        kinds.iter().copied(),
+        SystemConfig::default(),
+    )
+    .save("ext_comparison");
 
     // Storage context for the comparison.
     let cfg = SystemConfig::default();
-    println!("Storage budgets:");
+    result!("Storage budgets:");
     for &kind in &kinds {
-        println!(
+        result!(
             "  {:<10} {:>7.2} KB",
             kind.name(),
             kind.storage_bits(&cfg) as f64 / 8192.0

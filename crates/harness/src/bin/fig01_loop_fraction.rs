@@ -2,15 +2,27 @@
 //! innermost loops for the memory-intensive benchmarks.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin fig01_loop_fraction
-//! [--scale tiny|small|full]`
+//! [--scale tiny|small|full] [--quiet|--progress]`
 
 use cbws_harness::experiments::{fig01_loop_fraction, save_csv, scale_from_args};
+use cbws_harness::{PrefetcherKind, RunManifest, SystemConfig};
+use cbws_telemetry::{result, status};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    cbws_telemetry::log::apply_cli_flags(&args);
     let scale = scale_from_args();
-    eprintln!("[fig01] scale = {scale}");
+    status!("[fig01] scale = {scale}");
     let table = fig01_loop_fraction(scale);
-    println!("Fig. 1 — runtime fraction in tight innermost loops (no-prefetch)\n");
-    println!("{table}");
+    result!("Fig. 1 — runtime fraction in tight innermost loops (no-prefetch)\n");
+    result!("{table}");
     save_csv("fig01_loop_fraction", &table);
+    RunManifest::new(
+        "fig01_loop_fraction",
+        scale,
+        cbws_workloads::mi_suite().iter().map(|w| w.name),
+        [PrefetcherKind::None],
+        SystemConfig::default(),
+    )
+    .save("fig01_loop_fraction");
 }

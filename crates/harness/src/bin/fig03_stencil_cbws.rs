@@ -5,8 +5,11 @@
 //! Usage: `cargo run --release -p cbws-harness --bin fig03_stencil_cbws`
 
 use cbws_harness::experiments::fig03_stencil_cbws;
+use cbws_telemetry::result;
 
 fn main() {
-    println!("Figs. 3 & 4 — Stencil CBWS vectors and differentials\n");
-    print!("{}", fig03_stencil_cbws(8));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    cbws_telemetry::log::apply_cli_flags(&args);
+    result!("Figs. 3 & 4 — Stencil CBWS vectors and differentials\n");
+    result!("{}", fig03_stencil_cbws(8));
 }

@@ -2,18 +2,30 @@
 //! differential vectors — how few vectors cover how many loop iterations.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin fig05_differential_skew
-//! [--scale tiny|small|full]`
+//! [--scale tiny|small|full] [--quiet|--progress]`
 
 use cbws_harness::experiments::{fig05_differential_skew, save_csv, scale_from_args};
+use cbws_harness::{PrefetcherKind, RunManifest, SystemConfig};
+use cbws_telemetry::{result, status};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    cbws_telemetry::log::apply_cli_flags(&args);
     let scale = scale_from_args();
-    eprintln!("[fig05] scale = {scale}");
+    status!("[fig05] scale = {scale}");
     let table = fig05_differential_skew(scale);
-    println!(
+    result!(
         "Fig. 5 — % of iterations covered by the most frequent X% of\n\
          distinct CBWS differential vectors\n"
     );
-    println!("{table}");
+    result!("{table}");
     save_csv("fig05_differential_skew", &table);
+    RunManifest::new(
+        "fig05_differential_skew",
+        scale,
+        cbws_workloads::mi_suite().iter().map(|w| w.name),
+        std::iter::empty::<PrefetcherKind>(),
+        SystemConfig::default(),
+    )
+    .save("fig05_differential_skew");
 }

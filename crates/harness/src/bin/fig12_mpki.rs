@@ -2,16 +2,29 @@
 //! the memory-intensive suite (lower is better).
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin fig12_mpki
-//! [--scale tiny|small|full]`
+//! [--scale tiny|small|full] [--quiet|--progress]`
 
 use cbws_harness::experiments::{fig12_mpki, save_csv, scale_from_args, sweep};
+use cbws_harness::{PrefetcherKind, RunManifest, SystemConfig};
+use cbws_telemetry::{result, status};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    cbws_telemetry::log::apply_cli_flags(&args);
     let scale = scale_from_args();
-    eprintln!("[fig12] scale = {scale}");
-    let records = sweep(scale, &cbws_workloads::mi_suite());
+    status!("[fig12] scale = {scale}");
+    let suite = cbws_workloads::mi_suite();
+    let records = sweep(scale, &suite);
     let table = fig12_mpki(&records);
-    println!("Fig. 12 — L2 misses per kilo-instruction (lower is better)\n");
-    println!("{table}");
+    result!("Fig. 12 — L2 misses per kilo-instruction (lower is better)\n");
+    result!("{table}");
     save_csv("fig12_mpki", &table);
+    RunManifest::new(
+        "fig12_mpki",
+        scale,
+        suite.iter().map(|w| w.name),
+        PrefetcherKind::ALL,
+        SystemConfig::default(),
+    )
+    .save("fig12_mpki");
 }

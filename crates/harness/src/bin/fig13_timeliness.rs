@@ -3,16 +3,29 @@
 //! prefetcher on the memory-intensive suite.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin fig13_timeliness
-//! [--scale tiny|small|full]`
+//! [--scale tiny|small|full] [--quiet|--progress]`
 
 use cbws_harness::experiments::{fig13_timeliness, save_csv, scale_from_args, sweep};
+use cbws_harness::{PrefetcherKind, RunManifest, SystemConfig};
+use cbws_telemetry::{result, status};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    cbws_telemetry::log::apply_cli_flags(&args);
     let scale = scale_from_args();
-    eprintln!("[fig13] scale = {scale}");
-    let records = sweep(scale, &cbws_workloads::mi_suite());
+    status!("[fig13] scale = {scale}");
+    let suite = cbws_workloads::mi_suite();
+    let records = sweep(scale, &suite);
     let table = fig13_timeliness(&records);
-    println!("Fig. 13 — timeliness and accuracy, % of demand L2 accesses\n");
-    println!("{table}");
+    result!("Fig. 13 — timeliness and accuracy, % of demand L2 accesses\n");
+    result!("{table}");
     save_csv("fig13_timeliness", &table);
+    RunManifest::new(
+        "fig13_timeliness",
+        scale,
+        suite.iter().map(|w| w.name),
+        PrefetcherKind::ALL,
+        SystemConfig::default(),
+    )
+    .save("fig13_timeliness");
 }

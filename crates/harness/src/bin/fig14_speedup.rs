@@ -2,17 +2,29 @@
 //! (higher is better) — the paper's headline result.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin fig14_speedup
-//! [--scale tiny|small|full]`
+//! [--scale tiny|small|full] [--quiet|--progress]`
 
 use cbws_harness::experiments::{fig14_speedup, save_csv, scale_from_args};
+use cbws_harness::{PrefetcherKind, RunManifest, SystemConfig};
+use cbws_telemetry::{result, status};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    cbws_telemetry::log::apply_cli_flags(&args);
     let scale = scale_from_args();
-    eprintln!("[fig14] scale = {scale}");
+    status!("[fig14] scale = {scale}");
     let all: Vec<_> = cbws_workloads::ALL.iter().collect();
     let records = cbws_harness::experiments::sweep_parallel(scale, &all);
     let table = fig14_speedup(&records);
-    println!("Fig. 14 — IPC normalized to SMS (higher is better)\n");
-    println!("{table}");
+    result!("Fig. 14 — IPC normalized to SMS (higher is better)\n");
+    result!("{table}");
     save_csv("fig14_speedup", &table);
+    RunManifest::new(
+        "fig14_speedup",
+        scale,
+        all.iter().map(|w| w.name),
+        PrefetcherKind::ALL,
+        SystemConfig::default(),
+    )
+    .save("fig14_speedup");
 }

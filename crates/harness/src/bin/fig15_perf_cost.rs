@@ -2,16 +2,29 @@
 //! memory, normalized to the no-prefetch configuration (higher is better).
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin fig15_perf_cost
-//! [--scale tiny|small|full]`
+//! [--scale tiny|small|full] [--quiet|--progress]`
 
 use cbws_harness::experiments::{fig15_perf_cost, save_csv, scale_from_args, sweep};
+use cbws_harness::{PrefetcherKind, RunManifest, SystemConfig};
+use cbws_telemetry::{result, status};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    cbws_telemetry::log::apply_cli_flags(&args);
     let scale = scale_from_args();
-    eprintln!("[fig15] scale = {scale}");
-    let records = sweep(scale, &cbws_workloads::mi_suite());
+    status!("[fig15] scale = {scale}");
+    let suite = cbws_workloads::mi_suite();
+    let records = sweep(scale, &suite);
     let table = fig15_perf_cost(&records);
-    println!("Fig. 15 — IPC / bytes read, normalized to no-prefetch\n");
-    println!("{table}");
+    result!("Fig. 15 — IPC / bytes read, normalized to no-prefetch\n");
+    result!("{table}");
     save_csv("fig15_perf_cost", &table);
+    RunManifest::new(
+        "fig15_perf_cost",
+        scale,
+        suite.iter().map(|w| w.name),
+        PrefetcherKind::ALL,
+        SystemConfig::default(),
+    )
+    .save("fig15_perf_cost");
 }

@@ -4,11 +4,12 @@
 //! advantage is not an artifact of that point.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin sensitivity
-//! [--scale tiny|small|full]`
+//! [--scale tiny|small|full] [--quiet|--progress]`
 
 use cbws_harness::experiments::{save_csv, scale_from_args};
-use cbws_harness::{PrefetcherKind, Simulator, SystemConfig};
+use cbws_harness::{PrefetcherKind, RunManifest, Simulator, SystemConfig};
 use cbws_stats::{geomean, TextTable};
+use cbws_telemetry::{result, status};
 use cbws_workloads::{mi_suite, Scale};
 
 fn geomean_speedup(scale: Scale, cfg: SystemConfig) -> f64 {
@@ -24,18 +25,26 @@ fn geomean_speedup(scale: Scale, cfg: SystemConfig) -> f64 {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    cbws_telemetry::log::apply_cli_flags(&args);
     let scale = scale_from_args();
-    eprintln!("[sensitivity] scale = {scale}");
+    status!("[sensitivity] scale = {scale}");
 
     // L2 capacity sweep.
-    let mut l2 = TextTable::new(vec!["L2 size".into(), "CBWS+SMS vs SMS (geomean, MI)".into()]);
+    let mut l2 = TextTable::new(vec![
+        "L2 size".into(),
+        "CBWS+SMS vs SMS (geomean, MI)".into(),
+    ]);
     for mb in [1u64, 2, 4] {
         let mut cfg = SystemConfig::default();
         cfg.mem.l2.size_bytes = mb * 1024 * 1024;
-        eprintln!("[sensitivity] L2 = {mb} MB");
-        l2.row(vec![format!("{mb} MB"), format!("{:.3}", geomean_speedup(scale, cfg))]);
+        status!("[sensitivity] L2 = {mb} MB");
+        l2.row(vec![
+            format!("{mb} MB"),
+            format!("{:.3}", geomean_speedup(scale, cfg)),
+        ]);
     }
-    println!("Sensitivity — L2 capacity (Table II point: 2 MB)\n\n{l2}");
+    result!("Sensitivity — L2 capacity (Table II point: 2 MB)\n\n{l2}");
     save_csv("sensitivity_l2", &l2);
 
     // Memory latency sweep.
@@ -46,12 +55,22 @@ fn main() {
     for cycles in [150u64, 300, 600] {
         let mut cfg = SystemConfig::default();
         cfg.mem.memory_latency = cycles;
-        eprintln!("[sensitivity] memory = {cycles} cycles");
+        status!("[sensitivity] memory = {cycles} cycles");
         lat.row(vec![
             format!("{cycles} cycles"),
             format!("{:.3}", geomean_speedup(scale, cfg)),
         ]);
     }
-    println!("Sensitivity — memory latency (Table II point: 300 cycles)\n\n{lat}");
+    result!("Sensitivity — memory latency (Table II point: 300 cycles)\n\n{lat}");
     save_csv("sensitivity_latency", &lat);
+
+    let manifest = RunManifest::new(
+        "sensitivity",
+        scale,
+        mi_suite().iter().map(|w| w.name),
+        [PrefetcherKind::Sms, PrefetcherKind::CbwsSms],
+        SystemConfig::default(),
+    );
+    manifest.save("sensitivity_l2");
+    manifest.save("sensitivity_latency");
 }

@@ -5,41 +5,62 @@
 //!
 //! ```text
 //! simulate --workload stencil-default [--scale small] [--prefetcher SMS] \
-//!          [--dram] [--export trace.json]
+//!          [--dram] [--export trace.json] \
+//!          [--trace-out events.jsonl] [--metrics-out metrics.json] \
+//!          [--quiet | --progress]
 //! simulate --trace mytrace.json --prefetcher CBWS+SMS
 //! ```
 //!
+//! With no `--workload`/`--trace`, the `stencil-default` workload runs.
 //! With no `--prefetcher`, all seven paper configurations run.
+//!
+//! `--trace-out` captures the structured event trace (prefetch lifecycle,
+//! Fig. 13 demand classification, block boundaries, table lookups,
+//! evictions) as JSON Lines; `--metrics-out` dumps the hierarchical metrics
+//! registry as nested JSON. Both aggregate over every simulated prefetcher
+//! of the invocation (the `run.*` gauges reflect the last run); pass
+//! `--prefetcher` to capture a single configuration. A run manifest is
+//! written to `results/simulate.manifest.json`.
 
 use cbws_harness::experiments::scale_from_args;
-use cbws_harness::{PrefetcherKind, Simulator, SystemConfig};
+use cbws_harness::{PrefetcherKind, RunManifest, Simulator, SystemConfig};
 use cbws_sim_mem::DramConfig;
 use cbws_stats::TextTable;
+use cbws_telemetry::{result, status, Telemetry};
 use cbws_trace::Trace;
 use cbws_workloads::by_name;
 
+const DEFAULT_WORKLOAD: &str = "stencil-default";
+
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: simulate (--workload <name> | --trace <file.json>) \
+        "usage: simulate [--workload <name> | --trace <file.json>] \
          [--scale tiny|small|full] [--prefetcher <name>] [--dram] \
-         [--export <file.json>]"
+         [--export <file.json>] [--trace-out <file.jsonl>] \
+         [--metrics-out <file.json>] [--quiet | --progress]"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    cbws_telemetry::log::apply_cli_flags(&args);
 
+    let scale = scale_from_args();
     let (label, trace): (String, Trace) = if let Some(name) = arg_value(&args, "--workload") {
         let Some(w) = by_name(&name) else {
-            fail(&format!("unknown workload `{name}` (see `trace_info --list`)"));
+            fail(&format!(
+                "unknown workload `{name}` (see `trace_info --list`)"
+            ));
         };
-        (name, w.generate(scale_from_args()))
+        (name, w.generate(scale))
     } else if let Some(path) = arg_value(&args, "--trace") {
         let data = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
@@ -47,13 +68,14 @@ fn main() {
             .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
         (path, trace)
     } else {
-        fail("one of --workload or --trace is required");
+        let w = by_name(DEFAULT_WORKLOAD).expect("default workload is registered");
+        (DEFAULT_WORKLOAD.to_string(), w.generate(scale))
     };
 
     if let Some(out) = arg_value(&args, "--export") {
         let json = serde_json::to_string(&trace).expect("traces serialize");
         std::fs::write(&out, json).unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
-        eprintln!("[simulate] exported {} events to {out}", trace.len());
+        status!("[simulate] exported {} events to {out}", trace.len());
     }
 
     let kinds: Vec<PrefetcherKind> = match arg_value(&args, "--prefetcher") {
@@ -66,12 +88,22 @@ fn main() {
     if args.iter().any(|a| a == "--dram") {
         cfg.mem.dram = Some(DramConfig::default());
     }
-    let sim = Simulator::new(cfg);
+
+    let trace_out = arg_value(&args, "--trace-out");
+    let metrics_out = arg_value(&args, "--metrics-out");
+    let telemetry = if trace_out.is_some() || metrics_out.is_some() {
+        Telemetry::enabled_default()
+    } else {
+        Telemetry::disabled()
+    };
+    let sim = Simulator::with_telemetry(cfg, telemetry.clone());
 
     let s = trace.stats();
-    println!(
+    result!(
         "trace `{label}`: {} instructions, {} accesses, {} block instances\n",
-        s.instructions, s.mem_accesses, s.dynamic_blocks
+        s.instructions,
+        s.mem_accesses,
+        s.dynamic_blocks
     );
 
     let mut table = TextTable::new(vec![
@@ -83,7 +115,7 @@ fn main() {
         "bytes read".into(),
         "pollution".into(),
     ]);
-    for kind in kinds {
+    for &kind in &kinds {
         let r = sim.run(&label, true, &trace, kind);
         let t = r.timeliness();
         table.row(vec![
@@ -96,5 +128,33 @@ fn main() {
             r.mem.pollution_evictions.to_string(),
         ]);
     }
-    println!("{table}");
+    result!("{table}");
+
+    if let Some(path) = &trace_out {
+        let f = std::fs::File::create(path)
+            .unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")));
+        telemetry
+            .write_trace_jsonl(std::io::BufWriter::new(f))
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        let dropped = telemetry.events_dropped();
+        status!(
+            "[simulate] wrote {} events to {path}{}",
+            telemetry.events().len(),
+            if dropped > 0 {
+                format!(" ({dropped} oldest dropped by ring wraparound)")
+            } else {
+                String::new()
+            }
+        );
+    }
+    if let Some(path) = &metrics_out {
+        let f = std::fs::File::create(path)
+            .unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}")));
+        telemetry
+            .write_metrics_json(std::io::BufWriter::new(f))
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        status!("[simulate] wrote metrics to {path}");
+    }
+
+    RunManifest::new("simulate", scale, [label], kinds, cfg).save("simulate");
 }

@@ -4,10 +4,13 @@
 
 use cbws_harness::experiments::{save_csv, tab02_parameters};
 use cbws_harness::SystemConfig;
+use cbws_telemetry::result;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    cbws_telemetry::log::apply_cli_flags(&args);
     let table = tab02_parameters(&SystemConfig::default());
-    println!("Table II — simulation parameters\n");
-    println!("{table}");
+    result!("Table II — simulation parameters\n");
+    result!("{table}");
     save_csv("tab02_parameters", &table);
 }

@@ -5,10 +5,13 @@
 
 use cbws_harness::experiments::{save_csv, tab03_storage};
 use cbws_harness::SystemConfig;
+use cbws_telemetry::result;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    cbws_telemetry::log::apply_cli_flags(&args);
     let table = tab03_storage(&SystemConfig::default());
-    println!("Table III — prefetcher storage budgets\n");
-    println!("{table}");
+    result!("Table III — prefetcher storage budgets\n");
+    result!("{table}");
     save_csv("tab03_storage", &table);
 }

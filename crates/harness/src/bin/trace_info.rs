@@ -10,14 +10,22 @@
 
 use cbws_core::analysis::{collect_block_histories, DifferentialSkew};
 use cbws_harness::experiments::scale_from_args;
+use cbws_telemetry::result;
 use cbws_workloads::{by_name, ALL};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    cbws_telemetry::log::apply_cli_flags(&args);
     if args.iter().any(|a| a == "--list") {
-        println!("{:<26} {:<10} {:<16} pattern", "name", "suite", "group");
+        result!("{:<26} {:<10} {:<16} pattern", "name", "suite", "group");
         for w in ALL {
-            println!("{:<26} {:<10} {:<16} {}", w.name, w.suite.to_string(), format!("{:?}", w.group), w.pattern);
+            result!(
+                "{:<26} {:<10} {:<16} {}",
+                w.name,
+                w.suite.to_string(),
+                format!("{:?}", w.group),
+                w.pattern
+            );
         }
         return;
     }
@@ -34,31 +42,34 @@ fn main() {
     let trace = w.generate(scale);
     let s = trace.stats();
 
-    println!("workload : {} ({}, {:?})", w.name, w.suite, w.group);
-    println!("pattern  : {}", w.pattern);
-    println!("scale    : {scale}");
-    println!();
-    println!("instructions      : {}", s.instructions);
-    println!(
+    result!("workload : {} ({}, {:?})", w.name, w.suite, w.group);
+    result!("pattern  : {}", w.pattern);
+    result!("scale    : {scale}");
+    result!("");
+    result!("instructions      : {}", s.instructions);
+    result!(
         "memory accesses   : {} ({} loads, {} stores)",
-        s.mem_accesses, s.loads, s.stores
+        s.mem_accesses,
+        s.loads,
+        s.stores
     );
-    println!("branches          : {}", s.branches);
-    println!(
+    result!("branches          : {}", s.branches);
+    result!(
         "annotated blocks  : {} dynamic, {} static",
-        s.dynamic_blocks, s.static_blocks
+        s.dynamic_blocks,
+        s.static_blocks
     );
-    println!(
+    result!(
         "in-block fraction : {:.1}% of instructions",
         s.block_instruction_fraction() * 100.0
     );
-    println!(
+    result!(
         "blocks within 16 lines : {:.1}%  (the paper's >98% claim, §IV-A)",
         s.block_ws_within(16) * 100.0
     );
 
     // Working-set-size histogram (compact, non-zero buckets only).
-    println!("\nper-block working-set sizes (lines -> blocks):");
+    result!("\nper-block working-set sizes (lines -> blocks):");
     for (size, count) in s.ws_histogram.iter().enumerate() {
         if *count > 0 {
             let label = if size + 1 == s.ws_histogram.len() {
@@ -66,23 +77,26 @@ fn main() {
             } else {
                 size.to_string()
             };
-            println!("  {label:>4} : {count}");
+            result!("  {label:>4} : {count}");
         }
     }
 
     // Differential skew.
     let histories = collect_block_histories(&trace, 16);
     let skew = DifferentialSkew::from_histories(histories.values());
-    println!("\nCBWS differential alphabet : {} distinct vectors", skew.distinct());
+    result!(
+        "\nCBWS differential alphabet : {} distinct vectors",
+        skew.distinct()
+    );
     for frac in [0.01, 0.05, 0.25] {
-        println!(
+        result!(
             "  top {:>4.0}% of vectors cover {:.1}% of iterations",
             frac * 100.0,
             skew.coverage_at(frac) * 100.0
         );
     }
-    println!("\nmost frequent differentials:");
+    result!("\nmost frequent differentials:");
     for (d, c) in skew.counts.iter().take(5) {
-        println!("  {c:>8} x {d}");
+        result!("  {c:>8} x {d}");
     }
 }

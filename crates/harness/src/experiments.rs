@@ -9,6 +9,7 @@ use cbws_stats::{
     geomean, mean, GroupedBarChart, LineChart, RunRecord, StackedBarChart, TextTable,
     TimelinessBreakdown,
 };
+use cbws_telemetry::{detail, status, warn, Profiler};
 use cbws_workloads::{by_name, Scale, WorkloadSpec, ALL};
 
 /// Formats a float with 3 significant digits for tables.
@@ -31,7 +32,7 @@ pub fn scale_from_args() -> Scale {
             Some("small") => Scale::Small,
             Some("full") | None => Scale::Full,
             Some(other) => {
-                eprintln!("unknown scale `{other}`, using full");
+                warn!("unknown scale `{other}`, using full");
                 Scale::Full
             }
         },
@@ -45,17 +46,17 @@ pub fn scale_from_args() -> Scale {
 pub fn save_csv(name: &str, table: &TextTable) {
     let dir = std::path::Path::new("results");
     if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("cannot create results/: {e}");
+        warn!("cannot create results/: {e}");
         return;
     }
     let path = dir.join(format!("{name}.csv"));
     match std::fs::File::create(&path) {
         Ok(f) => {
             if let Err(e) = cbws_stats::write_csv(f, &table.header(), table.csv_rows()) {
-                eprintln!("cannot write {}: {e}", path.display());
+                warn!("cannot write {}: {e}", path.display());
             }
         }
-        Err(e) => eprintln!("cannot create {}: {e}", path.display()),
+        Err(e) => warn!("cannot create {}: {e}", path.display()),
     }
 }
 
@@ -64,13 +65,16 @@ pub fn save_csv(name: &str, table: &TextTable) {
 pub fn sweep(scale: Scale, workloads: &[&'static WorkloadSpec]) -> Vec<RunRecord> {
     let sim = Simulator::new(SystemConfig::default());
     let mut records = Vec::with_capacity(workloads.len() * PrefetcherKind::ALL.len());
+    let mut profiler = Profiler::new();
     for w in workloads {
+        profiler.begin("generate");
         let trace = w.generate(scale);
-        eprintln!(
+        status!(
             "[sweep] {} ({} instructions)",
             w.name,
             trace.stats().instructions
         );
+        profiler.begin("simulate");
         for kind in PrefetcherKind::ALL {
             records.push(sim.run(
                 w.name,
@@ -80,6 +84,8 @@ pub fn sweep(scale: Scale, workloads: &[&'static WorkloadSpec]) -> Vec<RunRecord
             ));
         }
     }
+    profiler.end();
+    detail!("[sweep] phase timings:\n{}", profiler.report());
     records
 }
 
@@ -88,12 +94,12 @@ pub fn sweep(scale: Scale, workloads: &[&'static WorkloadSpec]) -> Vec<RunRecord
 pub fn save_svg(name: &str, svg: &str) {
     let dir = std::path::Path::new("results");
     if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("cannot create results/: {e}");
+        warn!("cannot create results/: {e}");
         return;
     }
     let path = dir.join(format!("{name}.svg"));
     if let Err(e) = std::fs::write(&path, svg) {
-        eprintln!("cannot write {}: {e}", path.display());
+        warn!("cannot write {}: {e}", path.display());
     }
 }
 
@@ -108,8 +114,8 @@ where
         .filter(|w| records.iter().any(|r| r.workload == w.name))
         .map(|w| w.name)
         .collect();
-    let mut chart = GroupedBarChart::new(title, y_label)
-        .categories(workloads.iter().map(|w| w.to_string()));
+    let mut chart =
+        GroupedBarChart::new(title, y_label).categories(workloads.iter().map(|w| w.to_string()));
     for kind in PrefetcherKind::ALL {
         let values: Vec<f64> = workloads
             .iter()
@@ -122,7 +128,12 @@ where
 
 /// **Fig. 12** as an SVG grouped bar chart.
 pub fn fig12_svg(records: &[RunRecord]) -> String {
-    per_workload_svg(records, "Fig. 12 — L2 MPKI (lower is better)", "MPKI", RunRecord::mpki)
+    per_workload_svg(
+        records,
+        "Fig. 12 — L2 MPKI (lower is better)",
+        "MPKI",
+        RunRecord::mpki,
+    )
 }
 
 /// **Fig. 14** as an SVG grouped bar chart (IPC normalized to SMS).
@@ -198,7 +209,11 @@ pub fn fig05_svg(scale: Scale) -> String {
         let h = collect_block_histories(&trace, CbwsConfig::default().max_vector);
         let skew = DifferentialSkew::from_histories(h.values());
         let pts: Vec<(f64, f64)> = std::iter::once((0.0, 0.0))
-            .chain(skew.cdf().into_iter().map(|p| (p.vector_fraction, p.iteration_fraction)))
+            .chain(
+                skew.cdf()
+                    .into_iter()
+                    .map(|p| (p.vector_fraction, p.iteration_fraction)),
+            )
             .collect();
         chart = chart.series(name, pts);
     }
@@ -210,7 +225,9 @@ pub fn fig05_svg(scale: Scale) -> String {
 /// independent and deterministic); only wall-clock time changes. Records
 /// are returned in the same (workload-major, prefetcher-minor) order.
 pub fn sweep_parallel(scale: Scale, workloads: &[&'static WorkloadSpec]) -> Vec<RunRecord> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let chunk = workloads.len().div_ceil(threads.max(1)).max(1);
     let mut chunks: Vec<Vec<RunRecord>> = Vec::new();
     std::thread::scope(|s| {
@@ -261,7 +278,9 @@ pub fn fig01_loop_fraction(scale: Scale) -> TextTable {
 /// **Figs. 3 & 4 / Table I**: the stencil CBWS access matrix and its
 /// differential vectors, reconstructed from the real kernel trace.
 pub fn fig03_stencil_cbws(iterations: usize) -> String {
-    let trace = by_name("stencil-default").expect("registered").generate(Scale::Tiny);
+    let trace = by_name("stencil-default")
+        .expect("registered")
+        .generate(Scale::Tiny);
     let histories = collect_block_histories(&trace, CbwsConfig::default().max_vector);
     let bh = histories.values().next().expect("stencil has one block");
     let take: Vec<&CbwsVec> = bh.instances.iter().take(iterations).collect();
@@ -324,11 +343,20 @@ pub fn tab02_parameters(cfg: &SystemConfig) -> TextTable {
         ("L1D assoc", format!("{}-way LRU", cfg.mem.l1d.assoc)),
         ("L1D latency", format!("{} cycles", cfg.mem.l1d.latency)),
         ("L1D MSHRs", cfg.mem.l1d.mshrs.to_string()),
-        ("L2 size", format!("{} MB", cfg.mem.l2.size_bytes / (1024 * 1024))),
-        ("L2 assoc", format!("{}-way LRU, inclusive", cfg.mem.l2.assoc)),
+        (
+            "L2 size",
+            format!("{} MB", cfg.mem.l2.size_bytes / (1024 * 1024)),
+        ),
+        (
+            "L2 assoc",
+            format!("{}-way LRU, inclusive", cfg.mem.l2.assoc),
+        ),
         ("L2 latency", format!("{} cycles", cfg.mem.l2.latency)),
         ("L2 MSHRs", cfg.mem.l2.mshrs.to_string()),
-        ("Memory latency", format!("{} cycles", cfg.mem.memory_latency)),
+        (
+            "Memory latency",
+            format!("{} cycles", cfg.mem.memory_latency),
+        ),
         ("Line size", "64 bytes".to_string()),
     ];
     for (k, v) in rows {
@@ -418,10 +446,8 @@ pub fn fig13_timeliness(records: &[RunRecord]) -> TextTable {
         .filter(|w| records.iter().any(|r| r.workload == w.name))
         .map(|w| w.name)
         .collect();
-    let mut mi_acc: Vec<Vec<TimelinessBreakdown>> =
-        vec![Vec::new(); PrefetcherKind::ALL.len()];
-    let mut all_acc: Vec<Vec<TimelinessBreakdown>> =
-        vec![Vec::new(); PrefetcherKind::ALL.len()];
+    let mut mi_acc: Vec<Vec<TimelinessBreakdown>> = vec![Vec::new(); PrefetcherKind::ALL.len()];
+    let mut all_acc: Vec<Vec<TimelinessBreakdown>> = vec![Vec::new(); PrefetcherKind::ALL.len()];
     let push_row = |table: &mut TextTable, bench: &str, pf: &str, b: &TimelinessBreakdown| {
         table.row(vec![
             bench.to_string(),
@@ -486,11 +512,10 @@ mod tests {
     use super::*;
 
     fn tiny_sweep() -> Vec<RunRecord> {
-        let picks: Vec<&'static WorkloadSpec> =
-            ["stencil-default", "histo-large", "mxm-linpack"]
-                .iter()
-                .map(|n| by_name(n).unwrap())
-                .collect();
+        let picks: Vec<&'static WorkloadSpec> = ["stencil-default", "histo-large", "mxm-linpack"]
+            .iter()
+            .map(|n| by_name(n).unwrap())
+            .collect();
         sweep(Scale::Tiny, &picks)
     }
 
@@ -532,9 +557,12 @@ mod tests {
     #[test]
     fn svg_figures_render_from_a_sweep() {
         let records = tiny_sweep();
-        for svg in
-            [fig12_svg(&records), fig13_svg(&records), fig14_svg(&records), fig15_svg(&records)]
-        {
+        for svg in [
+            fig12_svg(&records),
+            fig13_svg(&records),
+            fig14_svg(&records),
+            fig15_svg(&records),
+        ] {
             assert!(svg.starts_with("<svg"));
             assert!(svg.contains("CBWS+SMS"));
             assert!(svg.trim_end().ends_with("</svg>"));
@@ -546,8 +574,10 @@ mod tests {
 
     #[test]
     fn parallel_sweep_matches_serial() {
-        let picks: Vec<&'static WorkloadSpec> =
-            ["nw", "histo-large"].iter().map(|n| by_name(n).unwrap()).collect();
+        let picks: Vec<&'static WorkloadSpec> = ["nw", "histo-large"]
+            .iter()
+            .map(|n| by_name(n).unwrap())
+            .collect();
         let serial = sweep(Scale::Tiny, &picks);
         let parallel = sweep_parallel(Scale::Tiny, &picks);
         assert_eq!(serial.len(), parallel.len());
@@ -563,7 +593,10 @@ mod tests {
     fn fig03_prints_constant_differentials() {
         let s = fig03_stencil_cbws(8);
         assert!(s.contains("CBWS0"));
-        assert!(s.contains("1024"), "stencil differential must be 1024 lines:\n{s}");
+        assert!(
+            s.contains("1024"),
+            "stencil differential must be 1024 lines:\n{s}"
+        );
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //! ```
 
 pub mod experiments;
+mod manifest;
 mod prefetched;
 mod runner;
 
+pub use manifest::RunManifest;
 pub use prefetched::PrefetchedMemory;
 pub use runner::{PrefetcherKind, Simulator, SystemConfig};

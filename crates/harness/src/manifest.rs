@@ -1,0 +1,105 @@
+//! Machine-readable run manifests.
+//!
+//! Every experiment binary that writes a `results/<name>.csv` also writes a
+//! `results/<name>.manifest.json` describing exactly what produced it: the
+//! binary, the workload scale, the workloads and prefetchers simulated, and
+//! the full [`SystemConfig`] in force. A results directory is then
+//! self-describing — no need to reconstruct CLI flags from shell history to
+//! reproduce a CSV.
+
+use crate::runner::{PrefetcherKind, SystemConfig};
+use cbws_workloads::Scale;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// What produced one results artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// The binary that ran (e.g. `"fig12_mpki"`).
+    pub binary: String,
+    /// Workload scale, lowercase (`"tiny"`, `"small"`, `"full"`).
+    pub scale: String,
+    /// Workload names simulated, in run order.
+    pub workloads: Vec<String>,
+    /// Prefetcher display names simulated, in run order.
+    pub prefetchers: Vec<String>,
+    /// The full system configuration in force.
+    pub config: SystemConfig,
+}
+
+impl RunManifest {
+    /// Builds a manifest for `binary` running `prefetchers` over
+    /// `workloads` at `scale` under `config`.
+    pub fn new(
+        binary: &str,
+        scale: Scale,
+        workloads: impl IntoIterator<Item = impl Into<String>>,
+        prefetchers: impl IntoIterator<Item = PrefetcherKind>,
+        config: SystemConfig,
+    ) -> Self {
+        RunManifest {
+            binary: binary.to_string(),
+            scale: scale_name(scale).to_string(),
+            workloads: workloads.into_iter().map(Into::into).collect(),
+            prefetchers: prefetchers
+                .into_iter()
+                .map(|k| k.name().to_string())
+                .collect(),
+            config,
+        }
+    }
+
+    /// The manifest as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serialization is infallible")
+    }
+
+    /// Writes the manifest to `results/<name>.manifest.json` next to the
+    /// CSV of the same name (best-effort, like `save_csv`: errors go to
+    /// stderr but are not fatal).
+    pub fn save(&self, name: &str) {
+        let dir = Path::new("results");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            cbws_telemetry::warn!("cannot create results/: {e}");
+            return;
+        }
+        let path = dir.join(format!("{name}.manifest.json"));
+        if let Err(e) = std::fs::write(&path, self.to_json() + "\n") {
+            cbws_telemetry::warn!("cannot write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Lowercase display form of a scale.
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = RunManifest::new(
+            "fig12_mpki",
+            Scale::Small,
+            ["stencil-default", "histo-large"],
+            PrefetcherKind::ALL,
+            SystemConfig::default(),
+        );
+        let json = m.to_json();
+        assert!(json.contains("\"binary\""));
+        assert!(json.contains("fig12_mpki"));
+        assert!(json.contains("CBWS+SMS"));
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.scale, "small");
+        assert_eq!(back.workloads.len(), 2);
+        assert_eq!(back.prefetchers.len(), 7);
+    }
+}

@@ -4,6 +4,7 @@
 use cbws_prefetchers::{PrefetchContext, Prefetcher};
 use cbws_sim_cpu::{MemResult, MemSystem};
 use cbws_sim_mem::MemoryHierarchy;
+use cbws_telemetry::{SimEvent, Telemetry};
 use cbws_trace::{BlockId, LineAddr, MemAccess};
 
 /// A [`MemoryHierarchy`] driven by a [`Prefetcher`].
@@ -19,6 +20,7 @@ pub struct PrefetchedMemory<P> {
     in_block: bool,
     scratch: Vec<LineAddr>,
     last_time: u64,
+    telemetry: Telemetry,
 }
 
 impl<P: Prefetcher> PrefetchedMemory<P> {
@@ -30,7 +32,14 @@ impl<P: Prefetcher> PrefetchedMemory<P> {
             in_block: false,
             scratch: Vec::new(),
             last_time: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink recording `BLOCK_BEGIN`/`BLOCK_END`
+    /// boundary events with their commit timestamps.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The wrapped hierarchy.
@@ -60,7 +69,9 @@ impl<P: Prefetcher> PrefetchedMemory<P> {
 impl<P: Prefetcher> MemSystem for PrefetchedMemory<P> {
     fn access(&mut self, now: u64, access: &MemAccess) -> MemResult {
         self.last_time = self.last_time.max(now);
-        let out = self.hierarchy.demand_access(now, access.addr, access.kind.is_store());
+        let out = self
+            .hierarchy
+            .demand_access(now, access.addr, access.kind.is_store());
         let ctx = PrefetchContext {
             pc: access.pc,
             addr: access.addr,
@@ -75,12 +86,20 @@ impl<P: Prefetcher> MemSystem for PrefetchedMemory<P> {
         self.scratch.clear();
         self.prefetcher.on_access(&ctx, &mut self.scratch);
         self.issue(now);
-        MemResult { latency: out.latency, l1_hit: out.l1_hit }
+        MemResult {
+            latency: out.latency,
+            l1_hit: out.l1_hit,
+        }
     }
 
     fn block_begin(&mut self, now: u64, id: BlockId) {
         self.last_time = self.last_time.max(now);
         self.in_block = true;
+        self.telemetry.set_clock(now);
+        self.telemetry.record(|_| SimEvent::BlockBegin {
+            cycle: now,
+            block: id.0,
+        });
         self.prefetcher.on_block_begin(id);
     }
 
@@ -89,6 +108,12 @@ impl<P: Prefetcher> MemSystem for PrefetchedMemory<P> {
         self.in_block = false;
         self.scratch.clear();
         self.prefetcher.on_block_end(id, &mut self.scratch);
+        self.telemetry.set_clock(now);
+        self.telemetry.record(|_| SimEvent::BlockEnd {
+            cycle: now,
+            block: id.0,
+            predicted: self.scratch.len() as u32,
+        });
         self.issue(now);
     }
 }
@@ -128,7 +153,12 @@ mod tests {
         let pf_mem = pf.finish();
 
         assert!(pf_mem.l2_misses() < base_mem.l2_misses() / 2);
-        assert!(fast.cycles < base.cycles, "{} !< {}", fast.cycles, base.cycles);
+        assert!(
+            fast.cycles < base.cycles,
+            "{} !< {}",
+            fast.cycles,
+            base.cycles
+        );
         assert!(pf_mem.timely > 0);
     }
 

@@ -3,13 +3,14 @@
 use crate::prefetched::PrefetchedMemory;
 use cbws_core::{CbwsConfig, CbwsPrefetcher, CbwsSmsPrefetcher, MultiCbwsPrefetcher};
 use cbws_prefetchers::{
-    AmpmConfig, AmpmPrefetcher, FeedbackDirected, GhbConfig, GhbPrefetcher, MarkovConfig,
-    MarkovPrefetcher, NullPrefetcher, Prefetcher, SmsConfig, SmsPrefetcher, StemsConfig,
-    StemsPrefetcher, StrideConfig, StridePrefetcher,
+    AmpmConfig, AmpmPrefetcher, FeedbackDirected, GhbConfig, GhbPrefetcher, InstrumentedPrefetcher,
+    MarkovConfig, MarkovPrefetcher, NullPrefetcher, Prefetcher, SmsConfig, SmsPrefetcher,
+    StemsConfig, StemsPrefetcher, StrideConfig, StridePrefetcher,
 };
 use cbws_sim_cpu::{Core, CoreConfig};
 use cbws_sim_mem::{HierarchyConfig, MemoryHierarchy};
 use cbws_stats::RunRecord;
+use cbws_telemetry::Telemetry;
 use cbws_trace::Trace;
 use serde::{Deserialize, Serialize};
 
@@ -123,20 +124,14 @@ impl PrefetcherKind {
             PrefetcherKind::GhbGDc => Box::new(GhbPrefetcher::new(GhbConfig::gdc())),
             PrefetcherKind::Sms => Box::new(SmsPrefetcher::new(cfg.sms())),
             PrefetcherKind::Cbws => Box::new(CbwsPrefetcher::new(cfg.cbws())),
-            PrefetcherKind::CbwsSms => {
-                Box::new(CbwsSmsPrefetcher::new(cfg.cbws(), cfg.sms()))
-            }
+            PrefetcherKind::CbwsSms => Box::new(CbwsSmsPrefetcher::new(cfg.cbws(), cfg.sms())),
             PrefetcherKind::Ampm => Box::new(AmpmPrefetcher::new(AmpmConfig::default())),
             PrefetcherKind::FdpSms => {
                 Box::new(FeedbackDirected::new(SmsPrefetcher::new(cfg.sms())))
             }
             PrefetcherKind::MultiCbws => Box::new(MultiCbwsPrefetcher::new(cfg.cbws(), 4)),
-            PrefetcherKind::Stems => {
-                Box::new(StemsPrefetcher::new(StemsConfig::default()))
-            }
-            PrefetcherKind::Markov => {
-                Box::new(MarkovPrefetcher::new(MarkovConfig::default()))
-            }
+            PrefetcherKind::Stems => Box::new(StemsPrefetcher::new(StemsConfig::default())),
+            PrefetcherKind::Markov => Box::new(MarkovPrefetcher::new(MarkovConfig::default())),
         }
     }
 
@@ -147,20 +142,38 @@ impl PrefetcherKind {
 }
 
 /// Runs full simulations for (workload, prefetcher) pairs.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Simulator {
     cfg: SystemConfig,
+    telemetry: Telemetry,
 }
 
 impl Simulator {
-    /// Creates a simulator with the given system configuration.
+    /// Creates a simulator with the given system configuration and
+    /// telemetry disabled.
     pub fn new(cfg: SystemConfig) -> Self {
-        Simulator { cfg }
+        Simulator {
+            cfg,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Creates a simulator whose runs record into `telemetry`: structured
+    /// events from every layer, live `l2.*`/`cbws.*`/`prefetcher.*`
+    /// counters, and per-run `run.*` gauges.
+    pub fn with_telemetry(cfg: SystemConfig, telemetry: Telemetry) -> Self {
+        Simulator { cfg, telemetry }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// The attached telemetry sink (disabled unless constructed via
+    /// [`Simulator::with_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Simulates `trace` under `kind` and returns the run record.
@@ -171,17 +184,28 @@ impl Simulator {
         trace: &Trace,
         kind: PrefetcherKind,
     ) -> RunRecord {
-        let hierarchy = MemoryHierarchy::new(self.cfg.mem);
-        let mut mem = PrefetchedMemory::new(hierarchy, kind.build(&self.cfg));
-        let cpu = Core::new(self.cfg.core).run(trace, &mut mem);
+        let mut hierarchy = MemoryHierarchy::new(self.cfg.mem);
+        hierarchy.set_telemetry(self.telemetry.clone());
+        let mut prefetcher = kind.build(&self.cfg);
+        prefetcher.attach_telemetry(&self.telemetry);
+        let mut mem = PrefetchedMemory::new(
+            hierarchy,
+            InstrumentedPrefetcher::new(prefetcher, self.telemetry.clone()),
+        );
+        mem.set_telemetry(self.telemetry.clone());
+        let mut core = Core::new(self.cfg.core);
+        core.set_telemetry(self.telemetry.clone());
+        let cpu = core.run(trace, &mut mem);
         let mem = mem.finish();
-        RunRecord {
+        let record = RunRecord {
             workload: workload.to_string(),
             memory_intensive,
             prefetcher: kind.name().to_string(),
             cpu,
             mem,
-        }
+        };
+        record.export_metrics(&self.telemetry);
+        record
     }
 }
 
@@ -198,7 +222,10 @@ mod tests {
         assert!((kb(PrefetcherKind::GhbGDc.storage_bits(&cfg)) - 2.25).abs() < 0.01);
         assert!((kb(PrefetcherKind::GhbPcDc.storage_bits(&cfg)) - 3.75).abs() < 0.01);
         assert!((kb(PrefetcherKind::Sms.storage_bits(&cfg)) - 5.07).abs() < 0.05);
-        assert!(kb(PrefetcherKind::Cbws.storage_bits(&cfg)) < 1.0, "CBWS must be under 1KB");
+        assert!(
+            kb(PrefetcherKind::Cbws.storage_bits(&cfg)) < 1.0,
+            "CBWS must be under 1KB"
+        );
         assert_eq!(PrefetcherKind::None.storage_bits(&cfg), 0);
     }
 

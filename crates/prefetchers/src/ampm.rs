@@ -32,7 +32,12 @@ pub struct AmpmConfig {
 
 impl Default for AmpmConfig {
     fn default() -> Self {
-        AmpmConfig { zone_bytes: 4096, zones: 64, degree: 2, max_stride: 16 }
+        AmpmConfig {
+            zone_bytes: 4096,
+            zones: 64,
+            degree: 2,
+            max_stride: 16,
+        }
     }
 }
 
@@ -66,11 +71,24 @@ impl AmpmPrefetcher {
     /// Panics on degenerate geometry (zone larger than 64 lines, zero
     /// zones/degree).
     pub fn new(cfg: AmpmConfig) -> Self {
-        assert!(cfg.zone_bytes.is_power_of_two(), "zone size must be a power of two");
-        assert!(cfg.zone_lines() >= 2 && cfg.zone_lines() <= 64, "zone must be 2..=64 lines");
-        assert!(cfg.zones > 0 && cfg.degree > 0, "zones and degree must be non-zero");
+        assert!(
+            cfg.zone_bytes.is_power_of_two(),
+            "zone size must be a power of two"
+        );
+        assert!(
+            cfg.zone_lines() >= 2 && cfg.zone_lines() <= 64,
+            "zone must be 2..=64 lines"
+        );
+        assert!(
+            cfg.zones > 0 && cfg.degree > 0,
+            "zones and degree must be non-zero"
+        );
         assert!(cfg.max_stride >= 1, "max_stride must be at least 1");
-        AmpmPrefetcher { cfg, zones: Vec::with_capacity(cfg.zones), stamp: 0 }
+        AmpmPrefetcher {
+            cfg,
+            zones: Vec::with_capacity(cfg.zones),
+            stamp: 0,
+        }
     }
 
     /// The configuration in use.
@@ -114,12 +132,23 @@ impl Prefetcher for AmpmPrefetcher {
             Some(z) => z,
             None => {
                 if self.zones.len() < self.cfg.zones {
-                    self.zones.push(Zone { id: zone_id, map: 0, lru: stamp });
+                    self.zones.push(Zone {
+                        id: zone_id,
+                        map: 0,
+                        lru: stamp,
+                    });
                     self.zones.last_mut().expect("just pushed")
                 } else {
-                    let victim =
-                        self.zones.iter_mut().min_by_key(|z| z.lru).expect("zones non-empty");
-                    *victim = Zone { id: zone_id, map: 0, lru: stamp };
+                    let victim = self
+                        .zones
+                        .iter_mut()
+                        .min_by_key(|z| z.lru)
+                        .expect("zones non-empty");
+                    *victim = Zone {
+                        id: zone_id,
+                        map: 0,
+                        lru: stamp,
+                    };
                     victim
                 }
             }
@@ -210,7 +239,10 @@ mod tests {
 
     #[test]
     fn degree_caps_emissions() {
-        let cfg = AmpmConfig { degree: 1, ..AmpmConfig::default() };
+        let cfg = AmpmConfig {
+            degree: 1,
+            ..AmpmConfig::default()
+        };
         let mut pf = AmpmPrefetcher::new(cfg);
         // Dense map matches many strides; only one candidate may be issued.
         let out = drive(&mut pf, &[0, 1, 2, 3, 4, 5, 6]);
@@ -219,7 +251,10 @@ mod tests {
 
     #[test]
     fn zone_capacity_bounded_lru() {
-        let cfg = AmpmConfig { zones: 4, ..AmpmConfig::default() };
+        let cfg = AmpmConfig {
+            zones: 4,
+            ..AmpmConfig::default()
+        };
         let mut pf = AmpmPrefetcher::new(cfg);
         for z in 0..100u64 {
             drive(&mut pf, &[z * 64]);

@@ -239,14 +239,21 @@ mod tests {
 
     #[test]
     fn useless_engine_gets_throttled_down() {
-        let cfg = FdpConfig { epoch_accesses: 64, ..FdpConfig::default() };
+        let cfg = FdpConfig {
+            epoch_accesses: 64,
+            ..FdpConfig::default()
+        };
         let mut fdp = FeedbackDirected::with_config(Sprayer::default(), cfg);
         let mut out = Vec::new();
         for i in 0..1000u64 {
             out.clear();
             fdp.on_access(&miss(i), &mut out);
         }
-        assert_eq!(fdp.level(), 0, "useless prefetches must throttle to minimum");
+        assert_eq!(
+            fdp.level(),
+            0,
+            "useless prefetches must throttle to minimum"
+        );
         assert!(fdp.stats().throttled_down >= 3);
         assert!(fdp.stats().issued < fdp.stats().produced);
     }
@@ -268,7 +275,10 @@ mod tests {
 
     #[test]
     fn recovery_after_phase_change() {
-        let cfg = FdpConfig { epoch_accesses: 64, ..FdpConfig::default() };
+        let cfg = FdpConfig {
+            epoch_accesses: 64,
+            ..FdpConfig::default()
+        };
         let mut fdp = FeedbackDirected::with_config(StridePrefetcher::default(), cfg);
         let mut out = Vec::new();
         // Phase 1: random — stride emits nothing, junk phase via sprayed

@@ -56,7 +56,10 @@ impl GhbConfig {
 
     /// The paper's GHB PC/DC configuration.
     pub fn pcdc() -> Self {
-        GhbConfig { kind: GhbKind::PcDeltaCorrelation, ..Self::gdc() }
+        GhbConfig {
+            kind: GhbKind::PcDeltaCorrelation,
+            ..Self::gdc()
+        }
     }
 }
 
@@ -93,7 +96,13 @@ impl GhbPrefetcher {
             // plausible share and the key index at the entry count.
             GhbKind::PcDeltaCorrelation => (32.min(cfg.entries), cfg.entries),
         };
-        GhbPrefetcher { cfg, streams: Vec::new(), per_key_cap, key_cap, stamp: 0 }
+        GhbPrefetcher {
+            cfg,
+            streams: Vec::new(),
+            per_key_cap,
+            key_cap,
+            stamp: 0,
+        }
     }
 
     /// The configuration in use.
@@ -115,8 +124,7 @@ impl GhbPrefetcher {
         if n < history_len + 2 {
             return Vec::new();
         }
-        let deltas: Vec<i64> =
-            (1..n).map(|i| lines[i].delta(lines[i - 1])).collect();
+        let deltas: Vec<i64> = (1..n).map(|i| lines[i].delta(lines[i - 1])).collect();
         let m = deltas.len();
         if m < history_len + 1 {
             return Vec::new();
@@ -156,7 +164,11 @@ impl Prefetcher for GhbPrefetcher {
     }
 
     fn on_access(&mut self, ctx: &PrefetchContext, out: &mut Vec<LineAddr>) {
-        let trains = if self.cfg.train_on_hits { ctx.reached_l2() } else { ctx.llc_miss() };
+        let trains = if self.cfg.train_on_hits {
+            ctx.reached_l2()
+        } else {
+            ctx.llc_miss()
+        };
         if !trains {
             return;
         }
@@ -177,7 +189,10 @@ impl Prefetcher for GhbPrefetcher {
                     victim.key = key;
                     victim.lines.clear();
                     victim.lru = stamp;
-                    self.streams.iter_mut().find(|s| s.key == key).expect("just assigned")
+                    self.streams
+                        .iter_mut()
+                        .find(|s| s.key == key)
+                        .expect("just assigned")
                 } else {
                     self.streams.push(Stream {
                         key,
@@ -284,7 +299,10 @@ mod tests {
 
     #[test]
     fn trains_on_hits_when_configured() {
-        let cfg = GhbConfig { train_on_hits: true, ..GhbConfig::pcdc() };
+        let cfg = GhbConfig {
+            train_on_hits: true,
+            ..GhbConfig::pcdc()
+        };
         let mut pf = GhbPrefetcher::new(cfg);
         let mut out = Vec::new();
         for i in 0..8u64 {
@@ -300,8 +318,17 @@ mod tests {
     fn irregular_stream_is_silent() {
         let mut pf = GhbPrefetcher::new(GhbConfig::pcdc());
         // No repeating delta triple.
-        let accs: Vec<(u64, u64)> =
-            [(0u64, 0u64), (0, 3), (0, 9), (0, 11), (0, 20), (0, 22), (0, 31), (0, 45)].to_vec();
+        let accs: Vec<(u64, u64)> = [
+            (0u64, 0u64),
+            (0, 3),
+            (0, 9),
+            (0, 11),
+            (0, 20),
+            (0, 22),
+            (0, 31),
+            (0, 45),
+        ]
+        .to_vec();
         let out = run(&mut pf, &accs);
         assert!(out.is_empty());
     }
@@ -309,12 +336,16 @@ mod tests {
     #[test]
     fn storage_matches_table3() {
         assert_eq!(GhbPrefetcher::new(GhbConfig::gdc()).storage_bits(), 18432); // 2.25KB
-        assert_eq!(GhbPrefetcher::new(GhbConfig::pcdc()).storage_bits(), 30720); // 3.75KB
+        assert_eq!(GhbPrefetcher::new(GhbConfig::pcdc()).storage_bits(), 30720);
+        // 3.75KB
     }
 
     #[test]
     fn key_table_eviction_bounds_state() {
-        let cfg = GhbConfig { entries: 4, ..GhbConfig::pcdc() };
+        let cfg = GhbConfig {
+            entries: 4,
+            ..GhbConfig::pcdc()
+        };
         let mut pf = GhbPrefetcher::new(cfg);
         let mut out = Vec::new();
         for pc in 0..100u64 {

@@ -1,0 +1,123 @@
+//! A transparent wrapper counting prefetcher activity into a telemetry
+//! registry.
+
+use crate::{PrefetchContext, Prefetcher};
+use cbws_telemetry::Telemetry;
+use cbws_trace::{BlockId, LineAddr};
+
+/// Wraps any [`Prefetcher`], counting its activity under the
+/// `prefetcher.*` metric namespace while forwarding every call unchanged:
+///
+/// * `prefetcher.accesses` — observed demand accesses,
+/// * `prefetcher.candidates` — candidate lines emitted (all hooks),
+/// * `prefetcher.block_begins` / `prefetcher.block_ends` — block markers.
+///
+/// The wrapper is observationally transparent: the inner prefetcher sees
+/// the exact same call sequence and the caller the exact same candidates,
+/// whether telemetry is enabled or not.
+#[derive(Debug, Clone)]
+pub struct InstrumentedPrefetcher<P> {
+    inner: P,
+    telemetry: Telemetry,
+}
+
+impl<P: Prefetcher> InstrumentedPrefetcher<P> {
+    /// Wraps `inner`, counting into `telemetry`.
+    pub fn new(inner: P, telemetry: Telemetry) -> Self {
+        InstrumentedPrefetcher { inner, telemetry }
+    }
+
+    /// The wrapped prefetcher.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner prefetcher.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: Prefetcher> Prefetcher for InstrumentedPrefetcher<P> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.inner.storage_bits()
+    }
+
+    fn on_access(&mut self, ctx: &PrefetchContext, out: &mut Vec<LineAddr>) {
+        let before = out.len();
+        self.inner.on_access(ctx, out);
+        self.telemetry.count("prefetcher.accesses", 1);
+        let emitted = (out.len() - before) as u64;
+        if emitted > 0 {
+            self.telemetry.count("prefetcher.candidates", emitted);
+        }
+    }
+
+    fn on_block_begin(&mut self, id: BlockId) {
+        self.inner.on_block_begin(id);
+        self.telemetry.count("prefetcher.block_begins", 1);
+    }
+
+    fn on_block_end(&mut self, id: BlockId, out: &mut Vec<LineAddr>) {
+        let before = out.len();
+        self.inner.on_block_end(id, out);
+        self.telemetry.count("prefetcher.block_ends", 1);
+        let emitted = (out.len() - before) as u64;
+        if emitted > 0 {
+            self.telemetry.count("prefetcher.candidates", emitted);
+        }
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+        self.inner.attach_telemetry(telemetry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StridePrefetcher;
+    use cbws_trace::{Addr, Pc};
+
+    fn drive<P: Prefetcher>(pf: &mut P) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        pf.on_block_begin(BlockId(1));
+        for i in 0..16u64 {
+            let ctx = PrefetchContext::demand_miss(Pc(0x40), Addr(i * 256));
+            pf.on_access(&ctx, &mut out);
+        }
+        pf.on_block_end(BlockId(1), &mut out);
+        out
+    }
+
+    #[test]
+    fn wrapper_is_observationally_transparent() {
+        let mut plain = StridePrefetcher::default();
+        let expected = drive(&mut plain);
+
+        for telemetry in [Telemetry::disabled(), Telemetry::enabled(64)] {
+            let mut wrapped = InstrumentedPrefetcher::new(StridePrefetcher::default(), telemetry);
+            assert_eq!(drive(&mut wrapped), expected);
+            assert_eq!(wrapped.name(), plain.name());
+            assert_eq!(wrapped.storage_bits(), plain.storage_bits());
+        }
+    }
+
+    #[test]
+    fn wrapper_counts_activity() {
+        let t = Telemetry::enabled(64);
+        let mut wrapped = InstrumentedPrefetcher::new(StridePrefetcher::default(), t.clone());
+        let emitted = drive(&mut wrapped);
+        let counter = |path: &str| t.with_metrics(|m| m.counter(path)).unwrap().unwrap_or(0);
+        assert_eq!(counter("prefetcher.accesses"), 16);
+        assert_eq!(counter("prefetcher.block_begins"), 1);
+        assert_eq!(counter("prefetcher.block_ends"), 1);
+        assert_eq!(counter("prefetcher.candidates"), emitted.len() as u64);
+        assert!(!emitted.is_empty());
+    }
+}

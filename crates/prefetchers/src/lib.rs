@@ -40,6 +40,7 @@
 mod ampm;
 mod fdp;
 mod ghb;
+mod instrumented;
 mod markov;
 mod sms;
 mod stems;
@@ -48,6 +49,7 @@ mod stride;
 pub use ampm::{AmpmConfig, AmpmPrefetcher};
 pub use fdp::{FdpConfig, FdpStats, FeedbackDirected};
 pub use ghb::{GhbConfig, GhbKind, GhbPrefetcher};
+pub use instrumented::InstrumentedPrefetcher;
 pub use markov::{MarkovConfig, MarkovPrefetcher};
 pub use sms::{SmsConfig, SmsPrefetcher};
 pub use stems::{StemsConfig, StemsPrefetcher};
@@ -76,7 +78,14 @@ pub struct PrefetchContext {
 impl PrefetchContext {
     /// A convenience constructor for an access that missed both levels.
     pub fn demand_miss(pc: Pc, addr: Addr) -> Self {
-        PrefetchContext { pc, addr, is_store: false, l1_hit: false, l2_hit: false, in_block: false }
+        PrefetchContext {
+            pc,
+            addr,
+            is_store: false,
+            l1_hit: false,
+            l2_hit: false,
+            in_block: false,
+        }
     }
 
     /// Whether the access reached the L2 (i.e. missed in the L1).
@@ -115,6 +124,11 @@ pub trait Prefetcher {
     /// Observes a committed `BLOCK_END(id)` instruction and may append
     /// prefetch candidates (the CBWS prediction point).
     fn on_block_end(&mut self, _id: BlockId, _out: &mut Vec<LineAddr>) {}
+
+    /// Attaches a telemetry sink for prefetcher-internal observability
+    /// (e.g. the CBWS differential-history-table lookups). Stateless
+    /// baselines keep the default no-op.
+    fn attach_telemetry(&mut self, _telemetry: &cbws_telemetry::Telemetry) {}
 }
 
 impl<P: Prefetcher + ?Sized> Prefetcher for Box<P> {
@@ -136,6 +150,10 @@ impl<P: Prefetcher + ?Sized> Prefetcher for Box<P> {
 
     fn on_block_end(&mut self, id: BlockId, out: &mut Vec<LineAddr>) {
         self.as_mut().on_block_end(id, out);
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &cbws_telemetry::Telemetry) {
+        self.as_mut().attach_telemetry(telemetry);
     }
 }
 

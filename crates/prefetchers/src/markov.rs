@@ -24,7 +24,10 @@ pub struct MarkovConfig {
 
 impl Default for MarkovConfig {
     fn default() -> Self {
-        MarkovConfig { entries: 4096, successors: 2 }
+        MarkovConfig {
+            entries: 4096,
+            successors: 2,
+        }
     }
 }
 
@@ -52,9 +55,19 @@ impl MarkovPrefetcher {
     /// Panics if `entries` is not a power of two or `successors` is not in
     /// `1..=4`.
     pub fn new(cfg: MarkovConfig) -> Self {
-        assert!(cfg.entries.is_power_of_two(), "table size must be a power of two");
-        assert!((1..=4).contains(&cfg.successors), "successors must be 1..=4");
-        MarkovPrefetcher { table: vec![Entry::default(); cfg.entries], cfg, last_miss: None }
+        assert!(
+            cfg.entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
+        assert!(
+            (1..=4).contains(&cfg.successors),
+            "successors must be 1..=4"
+        );
+        MarkovPrefetcher {
+            table: vec![Entry::default(); cfg.entries],
+            cfg,
+            last_miss: None,
+        }
     }
 
     /// The configuration in use.
@@ -73,7 +86,12 @@ impl MarkovPrefetcher {
         let slot = self.slot(prev);
         let e = &mut self.table[slot];
         if !e.valid || e.line != prev {
-            *e = Entry { line: prev, valid: true, successors: Default::default(), count: 0 };
+            *e = Entry {
+                line: prev,
+                valid: true,
+                successors: Default::default(),
+                count: 0,
+            };
         }
         if let Some(pos) = e.successors[..e.count].iter().position(|&s| s == next) {
             // Move to MRU.
@@ -152,7 +170,7 @@ mod tests {
     }
 
     #[test]
-    fn remembers_two_successors_mru_first(){
+    fn remembers_two_successors_mru_first() {
         let mut pf = MarkovPrefetcher::default();
         // A->B then A->C: both remembered, C most recent.
         let out = drive(&mut pf, &[100, 200, 100, 300, 100]);
@@ -187,7 +205,10 @@ mod tests {
 
     #[test]
     fn direct_mapped_aliasing_replaces() {
-        let cfg = MarkovConfig { entries: 2, successors: 2 };
+        let cfg = MarkovConfig {
+            entries: 2,
+            successors: 2,
+        };
         let mut pf = MarkovPrefetcher::new(cfg);
         // Lines 100 and 102 alias (entries=2, both even): later training
         // evicts the earlier tag.

@@ -114,16 +114,37 @@ impl SmsPrefetcher {
     /// Panics if the geometry is degenerate (zero-entry tables, granule
     /// smaller than a line, or non-power-of-two sizes).
     pub fn new(cfg: SmsConfig) -> Self {
-        assert!(cfg.region_bytes.is_power_of_two(), "region size must be a power of two");
-        assert!(cfg.granule_bytes.is_power_of_two(), "granule size must be a power of two");
-        assert!(cfg.granule_bytes >= cbws_trace::LINE_BYTES, "granule smaller than a line");
-        assert!(cfg.region_bytes >= cfg.granule_bytes, "region smaller than a granule");
-        assert!(cfg.granules() <= 32, "pattern wider than 32 bits is unsupported");
+        assert!(
+            cfg.region_bytes.is_power_of_two(),
+            "region size must be a power of two"
+        );
+        assert!(
+            cfg.granule_bytes.is_power_of_two(),
+            "granule size must be a power of two"
+        );
+        assert!(
+            cfg.granule_bytes >= cbws_trace::LINE_BYTES,
+            "granule smaller than a line"
+        );
+        assert!(
+            cfg.region_bytes >= cfg.granule_bytes,
+            "region smaller than a granule"
+        );
+        assert!(
+            cfg.granules() <= 32,
+            "pattern wider than 32 bits is unsupported"
+        );
         assert!(
             cfg.agt_entries > 0 && cfg.filter_entries > 0 && cfg.pht_entries > 0,
             "tables need at least one entry"
         );
-        SmsPrefetcher { cfg, agt: Vec::new(), filter: Vec::new(), pht: Vec::new(), stamp: 0 }
+        SmsPrefetcher {
+            cfg,
+            agt: Vec::new(),
+            filter: Vec::new(),
+            pht: Vec::new(),
+            stamp: 0,
+        }
     }
 
     /// The configuration in use.
@@ -151,7 +172,11 @@ impl SmsPrefetcher {
             e.lru = stamp;
             return;
         }
-        let entry = PhtEntry { key, pattern, lru: stamp };
+        let entry = PhtEntry {
+            key,
+            pattern,
+            lru: stamp,
+        };
         if self.pht.len() < self.cfg.pht_entries {
             self.pht.push(entry);
         } else if let Some(v) = self.pht.iter_mut().min_by_key(|e| e.lru) {
@@ -172,7 +197,13 @@ impl SmsPrefetcher {
     }
 
     /// Emits prefetches for every granule in `pattern` except the trigger's.
-    fn stream_pattern(&self, region: u64, trigger_offset: u32, pattern: u32, out: &mut Vec<LineAddr>) {
+    fn stream_pattern(
+        &self,
+        region: u64,
+        trigger_offset: u32,
+        pattern: u32,
+        out: &mut Vec<LineAddr>,
+    ) {
         let region_base_line = region * self.cfg.region_bytes / cbws_trace::LINE_BYTES;
         let gl = self.cfg.granule_lines();
         for g in 0..self.cfg.granules() {
@@ -273,7 +304,12 @@ impl Prefetcher for SmsPrefetcher {
         if let Some(pattern) = self.pht_lookup(Self::pht_key(ctx.pc, offset)) {
             self.stream_pattern(region, offset, pattern, out);
         }
-        let entry = FilterEntry { region, trigger_pc: ctx.pc, trigger_offset: offset, lru: stamp };
+        let entry = FilterEntry {
+            region,
+            trigger_pc: ctx.pc,
+            trigger_offset: offset,
+            lru: stamp,
+        };
         if self.filter.len() < self.cfg.filter_entries {
             self.filter.push(entry);
         } else if let Some(v) = self.filter.iter_mut().min_by_key(|f| f.lru) {
@@ -291,7 +327,12 @@ mod tests {
     }
 
     /// Touches granules `offsets` of `region` with trigger PC `pc`.
-    fn touch_region(pf: &mut SmsPrefetcher, pc: u64, region: u64, offsets: &[u64]) -> Vec<LineAddr> {
+    fn touch_region(
+        pf: &mut SmsPrefetcher,
+        pc: u64,
+        region: u64,
+        offsets: &[u64],
+    ) -> Vec<LineAddr> {
         let mut out = Vec::new();
         for (i, &o) in offsets.iter().enumerate() {
             let addr = region * 2048 + o * 128;

@@ -95,13 +95,22 @@ impl StemsPrefetcher {
     /// Panics on degenerate geometry (zero tables, region over 64 lines,
     /// zero pace).
     pub fn new(cfg: StemsConfig) -> Self {
-        assert!(cfg.region_bytes.is_power_of_two(), "region size must be a power of two");
-        assert!(cfg.region_lines() >= 1 && cfg.region_lines() <= 64, "region must be 1..=64 lines");
+        assert!(
+            cfg.region_bytes.is_power_of_two(),
+            "region size must be a power of two"
+        );
+        assert!(
+            cfg.region_lines() >= 1 && cfg.region_lines() <= 64,
+            "region must be 1..=64 lines"
+        );
         assert!(
             cfg.footprint_entries.is_power_of_two() && cfg.transition_entries.is_power_of_two(),
             "table sizes must be powers of two"
         );
-        assert!(cfg.pace > 0 && cfg.chain_depth > 0, "pace and chain depth must be non-zero");
+        assert!(
+            cfg.pace > 0 && cfg.chain_depth > 0,
+            "pace and chain depth must be non-zero"
+        );
         StemsPrefetcher {
             footprints: vec![Footprint::default(); cfg.footprint_entries],
             transitions: vec![Transition::default(); cfg.transition_entries],
@@ -128,7 +137,11 @@ impl StemsPrefetcher {
 
     fn store_footprint(&mut self, region: u64, pattern: u64) {
         let slot = (region as usize) & (self.cfg.footprint_entries - 1);
-        self.footprints[slot] = Footprint { region, valid: true, pattern };
+        self.footprints[slot] = Footprint {
+            region,
+            valid: true,
+            pattern,
+        };
     }
 
     fn footprint(&self, region: u64) -> Option<u64> {
@@ -139,7 +152,11 @@ impl StemsPrefetcher {
 
     fn store_transition(&mut self, from: u64, to: u64) {
         let slot = (from as usize) & (self.cfg.transition_entries - 1);
-        self.transitions[slot] = Transition { region: from, valid: true, next: to };
+        self.transitions[slot] = Transition {
+            region: from,
+            valid: true,
+            next: to,
+        };
     }
 
     fn transition(&self, from: u64) -> Option<u64> {
@@ -150,7 +167,9 @@ impl StemsPrefetcher {
 
     /// Queues the remembered footprint of `region`, skipping `skip_offset`.
     fn queue_region(&mut self, region: u64, skip_offset: Option<u32>) {
-        let Some(pattern) = self.footprint(region) else { return };
+        let Some(pattern) = self.footprint(region) else {
+            return;
+        };
         let base = region * u64::from(self.cfg.region_lines());
         for o in 0..self.cfg.region_lines() {
             if Some(o) == skip_offset || pattern & (1 << o) == 0 {
@@ -261,7 +280,10 @@ mod tests {
         let mut out = Vec::new();
         touch(&mut pf, 10, &[0], &mut out);
         touch(&mut pf, 10, &[3], &mut out); // pace releases more
-        assert!(out.contains(&LineAddr(10 * 32 + 3)), "own footprint: {out:?}");
+        assert!(
+            out.contains(&LineAddr(10 * 32 + 3)),
+            "own footprint: {out:?}"
+        );
         assert!(
             out.contains(&LineAddr(11 * 32 + 1)) || out.contains(&LineAddr(11 * 32 + 5)),
             "chained region 11 footprint: {out:?}"
@@ -270,7 +292,10 @@ mod tests {
 
     #[test]
     fn release_is_paced() {
-        let cfg = StemsConfig { pace: 1, ..StemsConfig::default() };
+        let cfg = StemsConfig {
+            pace: 1,
+            ..StemsConfig::default()
+        };
         let mut pf = StemsPrefetcher::new(cfg);
         let mut sink = Vec::new();
         // Learn a dense region footprint, then re-trigger it.
@@ -279,7 +304,10 @@ mod tests {
         sink.clear();
         let mut out = Vec::new();
         pf.on_access(&miss(20 * 32), &mut out);
-        assert!(out.len() <= 1, "pace=1 must release at most one line: {out:?}");
+        assert!(
+            out.len() <= 1,
+            "pace=1 must release at most one line: {out:?}"
+        );
         assert!(pf.pending_lines() > 0, "the rest stays queued");
     }
 

@@ -66,7 +66,11 @@ impl StridePrefetcher {
     /// Panics if `cfg.entries` is zero.
     pub fn new(cfg: StrideConfig) -> Self {
         assert!(cfg.entries > 0, "stride table needs at least one entry");
-        StridePrefetcher { cfg, table: Vec::with_capacity(cfg.entries), stamp: 0 }
+        StridePrefetcher {
+            cfg,
+            table: Vec::with_capacity(cfg.entries),
+            stamp: 0,
+        }
     }
 
     /// The configuration in use.
@@ -92,7 +96,11 @@ impl Prefetcher for StridePrefetcher {
     }
 
     fn on_access(&mut self, ctx: &PrefetchContext, out: &mut Vec<LineAddr>) {
-        let trains = if self.cfg.train_on_hits { ctx.reached_l2() } else { ctx.llc_miss() };
+        let trains = if self.cfg.train_on_hits {
+            ctx.reached_l2()
+        } else {
+            ctx.llc_miss()
+        };
         if !trains {
             return;
         }
@@ -123,7 +131,13 @@ impl Prefetcher for StridePrefetcher {
         }
 
         // Allocate (LRU victim if full).
-        let entry = StrideEntry { pc: ctx.pc, last_line: line, stride: 0, confidence: 0, lru: stamp };
+        let entry = StrideEntry {
+            pc: ctx.pc,
+            last_line: line,
+            stride: 0,
+            confidence: 0,
+            lru: stamp,
+        };
         if self.table.len() < self.cfg.entries {
             self.table.push(entry);
         } else if let Some(v) = self.table.iter_mut().min_by_key(|e| e.lru) {
@@ -216,7 +230,10 @@ mod tests {
 
     #[test]
     fn table_capacity_lru_eviction() {
-        let mut pf = StridePrefetcher::new(StrideConfig { entries: 2, ..Default::default() });
+        let mut pf = StridePrefetcher::new(StrideConfig {
+            entries: 2,
+            ..Default::default()
+        });
         let mut out = Vec::new();
         // Train pc=1, then fill with pc=2, pc=3 evicting pc=1.
         for i in 0..3u64 {
@@ -245,6 +262,9 @@ mod tests {
             out.clear();
             pf.on_access(&miss(0x40, addr), &mut out);
         }
-        assert!(!out.is_empty(), "zero-delta repeat should not reset the stream");
+        assert!(
+            !out.is_empty(),
+            "zero-delta repeat should not reset the stream"
+        );
     }
 }

@@ -50,7 +50,10 @@ impl TournamentPredictor {
     /// Panics if `entries` is zero or `history_bits` exceeds 16.
     pub fn new(entries: usize, history_bits: u32) -> Self {
         assert!(entries > 0, "predictor needs at least one entry");
-        assert!(history_bits <= 16, "history wider than 16 bits is unsupported");
+        assert!(
+            history_bits <= 16,
+            "history wider than 16 bits is unsupported"
+        );
         let n = entries.next_power_of_two();
         TournamentPredictor {
             local_history: vec![0; n],
@@ -166,7 +169,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 98, "always-taken should be near-perfect, got {correct}");
+        assert!(
+            correct >= 98,
+            "always-taken should be near-perfect, got {correct}"
+        );
     }
 
     #[test]
@@ -200,11 +206,16 @@ mod tests {
         // Pseudo-random (LCG) outcomes: should hover near 50% accuracy.
         let mut x: u64 = 12345;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             p.predict_and_train(pc, (x >> 63) != 0);
         }
         let rate = p.misprediction_rate();
-        assert!(rate > 0.3, "random stream should mispredict frequently, rate = {rate}");
+        assert!(
+            rate > 0.3,
+            "random stream should mispredict frequently, rate = {rate}"
+        );
     }
 
     #[test]

@@ -24,7 +24,8 @@
 use crate::branch::TournamentPredictor;
 use crate::config::CoreConfig;
 use cbws_sim_mem::MemoryHierarchy;
-use cbws_trace::{BlockId, MemAccess, MemKind, Dependence, Trace, TraceEvent};
+use cbws_telemetry::Telemetry;
+use cbws_trace::{BlockId, Dependence, MemAccess, MemKind, Trace, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -58,7 +59,10 @@ pub trait MemSystem {
 impl MemSystem for MemoryHierarchy {
     fn access(&mut self, now: u64, access: &MemAccess) -> MemResult {
         let out = self.demand_access(now, access.addr, access.kind.is_store());
-        MemResult { latency: out.latency, l1_hit: out.l1_hit }
+        MemResult {
+            latency: out.latency,
+            l1_hit: out.l1_hit,
+        }
     }
 }
 
@@ -72,7 +76,10 @@ pub struct IdealMemory {
 
 impl MemSystem for IdealMemory {
     fn access(&mut self, _now: u64, _access: &MemAccess) -> MemResult {
-        MemResult { latency: self.latency, l1_hit: true }
+        MemResult {
+            latency: self.latency,
+            l1_hit: true,
+        }
     }
 }
 
@@ -126,7 +133,10 @@ struct OccupancyQueue {
 
 impl OccupancyQueue {
     fn new(cap: usize) -> Self {
-        OccupancyQueue { cap, times: VecDeque::with_capacity(cap.min(1024)) }
+        OccupancyQueue {
+            cap,
+            times: VecDeque::with_capacity(cap.min(1024)),
+        }
     }
 
     /// Earliest time a new entry may be allocated if dispatch happens at `t`.
@@ -169,13 +179,24 @@ impl OccupancyQueue {
 pub struct Core {
     cfg: CoreConfig,
     predictor: TournamentPredictor,
+    telemetry: Telemetry,
 }
 
 impl Core {
     /// Creates a core with a fresh branch predictor.
     pub fn new(cfg: CoreConfig) -> Self {
         let predictor = TournamentPredictor::new(cfg.bp_entries, cfg.bp_history_bits);
-        Core { cfg, predictor }
+        Core {
+            cfg,
+            predictor,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry sink; [`Core::run`] then reports a progress
+    /// heartbeat while walking the trace. The default is a disabled sink.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The configuration in use.
@@ -226,7 +247,13 @@ impl Core {
             }
         };
 
-        for event in trace {
+        let total_events = trace.len() as u64;
+        for (i, event) in trace.into_iter().enumerate() {
+            // Heartbeat sampling is sparse so the disabled-telemetry cost
+            // stays one branch per 64K events.
+            if i & 0xFFFF == 0 && self.telemetry.is_enabled() {
+                self.telemetry.progress(i as u64, total_events);
+            }
             match event {
                 TraceEvent::Alu { count, .. } => {
                     for _ in 0..*count {
@@ -359,7 +386,10 @@ mod tests {
 
     #[test]
     fn width_one_runs_at_one() {
-        let cfg = CoreConfig { width: 1, ..CoreConfig::default() };
+        let cfg = CoreConfig {
+            width: 1,
+            ..CoreConfig::default()
+        };
         let stats = Core::new(cfg).run(&alu_trace(1000), &mut IdealMemory { latency: 2 });
         let ipc = stats.ipc();
         assert!(ipc <= 1.0 && ipc > 0.9, "ipc = {ipc}");
@@ -377,7 +407,11 @@ mod tests {
         let mut mem = cbws_sim_mem::MemoryHierarchy::new(HierarchyConfig::default());
         let stats = Core::new(CoreConfig::default()).run(&trace, &mut mem);
         assert!(stats.cycles < 8 * 332, "no MLP: {} cycles", stats.cycles);
-        assert!(stats.cycles >= 2 * 332, "more MLP than 4 MSHRs allow: {}", stats.cycles);
+        assert!(
+            stats.cycles >= 2 * 332,
+            "more MLP than 4 MSHRs allow: {}",
+            stats.cycles
+        );
     }
 
     #[test]
@@ -391,13 +425,20 @@ mod tests {
         let trace = b.finish();
         let mut mem = cbws_sim_mem::MemoryHierarchy::new(HierarchyConfig::default());
         let stats = Core::new(CoreConfig::default()).run(&trace, &mut mem);
-        assert!(stats.cycles >= 8 * 332, "dependent loads overlapped: {}", stats.cycles);
+        assert!(
+            stats.cycles >= 8 * 332,
+            "dependent loads overlapped: {}",
+            stats.cycles
+        );
     }
 
     #[test]
     fn rob_limits_window() {
         // With a 1-entry ROB everything serializes, even ideal memory.
-        let cfg = CoreConfig { rob_entries: 1, ..CoreConfig::default() };
+        let cfg = CoreConfig {
+            rob_entries: 1,
+            ..CoreConfig::default()
+        };
         let stats = Core::new(cfg).run(&alu_trace(100), &mut IdealMemory { latency: 2 });
         assert!(stats.ipc() <= 1.0, "ipc = {}", stats.ipc());
     }
@@ -411,14 +452,16 @@ mod tests {
         let mut x: u64 = 99;
         for i in 0..2000 {
             well.branch(Pc(0x40), true);
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             badly.branch(Pc(0x40), (x >> 63) != 0);
             let _ = i;
         }
-        let w = Core::new(CoreConfig::default())
-            .run(&well.finish(), &mut IdealMemory { latency: 2 });
-        let b = Core::new(CoreConfig::default())
-            .run(&badly.finish(), &mut IdealMemory { latency: 2 });
+        let w =
+            Core::new(CoreConfig::default()).run(&well.finish(), &mut IdealMemory { latency: 2 });
+        let b =
+            Core::new(CoreConfig::default()).run(&badly.finish(), &mut IdealMemory { latency: 2 });
         assert!(
             b.cycles > w.cycles * 3,
             "mispredict penalty missing: well={} badly={}",
@@ -457,7 +500,12 @@ mod tests {
         let mut m2 = cbws_sim_mem::MemoryHierarchy::new(HierarchyConfig::default());
         let l = Core::new(CoreConfig::default()).run(&ld.finish(), &mut m1);
         let s = Core::new(CoreConfig::default()).run(&st.finish(), &mut m2);
-        assert!(s.cycles < l.cycles, "stores should hide latency: {} vs {}", s.cycles, l.cycles);
+        assert!(
+            s.cycles < l.cycles,
+            "stores should hide latency: {} vs {}",
+            s.cycles,
+            l.cycles
+        );
     }
 
     #[test]

@@ -14,7 +14,10 @@ impl MemSystem for ScriptedMemory {
     fn access(&mut self, _now: u64, _access: &MemAccess) -> MemResult {
         let latency = self.latencies[self.cursor % self.latencies.len()];
         self.cursor += 1;
-        MemResult { latency, l1_hit: latency <= 2 }
+        MemResult {
+            latency,
+            l1_hit: latency <= 2,
+        }
     }
 }
 

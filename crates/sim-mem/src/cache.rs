@@ -42,7 +42,13 @@ struct Way {
 
 impl Way {
     fn empty() -> Self {
-        Way { line: LineAddr(0), valid: false, dirty: false, last_use: 0, prefetch: None }
+        Way {
+            line: LineAddr(0),
+            valid: false,
+            dirty: false,
+            last_use: 0,
+            prefetch: None,
+        }
     }
 }
 
@@ -102,7 +108,9 @@ impl Cache {
 
     /// Checks residency without updating LRU state or prefetch metadata.
     pub fn probe(&self, line: LineAddr) -> bool {
-        self.sets[self.set_index(line)].iter().any(|w| w.valid && w.line == line)
+        self.sets[self.set_index(line)]
+            .iter()
+            .any(|w| w.valid && w.line == line)
     }
 
     /// Demand-touches `line`: on hit, updates LRU, sets the dirty bit if
@@ -159,7 +167,10 @@ impl Cache {
 
         let victim = match set.iter_mut().find(|w| !w.valid) {
             Some(w) => w,
-            None => set.iter_mut().min_by_key(|w| w.last_use).expect("assoc > 0"),
+            None => set
+                .iter_mut()
+                .min_by_key(|w| w.last_use)
+                .expect("assoc > 0"),
         };
 
         let evicted = victim.valid.then_some(EvictedLine {
@@ -170,7 +181,13 @@ impl Cache {
         if !victim.valid {
             self.resident += 1;
         }
-        *victim = Way { line, valid: true, dirty, last_use: stamp, prefetch };
+        *victim = Way {
+            line,
+            valid: true,
+            dirty,
+            last_use: stamp,
+            prefetch,
+        };
         evicted
     }
 
@@ -178,10 +195,16 @@ impl Cache {
     /// back-invalidation of the L1).
     pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedLine> {
         let idx = self.set_index(line);
-        let w = self.sets[idx].iter_mut().find(|w| w.valid && w.line == line)?;
+        let w = self.sets[idx]
+            .iter_mut()
+            .find(|w| w.valid && w.line == line)?;
         w.valid = false;
         self.resident -= 1;
-        Some(EvictedLine { line: w.line, dirty: w.dirty, prefetch: w.prefetch })
+        Some(EvictedLine {
+            line: w.line,
+            dirty: w.dirty,
+            prefetch: w.prefetch,
+        })
     }
 
     /// Iterates over all resident lines (order unspecified). Used at the end
@@ -201,7 +224,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets x 2 ways.
-        Cache::new(CacheConfig { size_bytes: 4 * 64, assoc: 2, latency: 1, mshrs: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 4 * 64,
+            assoc: 2,
+            latency: 1,
+            mshrs: 1,
+        })
     }
 
     #[test]
@@ -259,7 +287,11 @@ mod tests {
     #[test]
     fn prefetch_meta_tracked_and_referenced() {
         let mut c = tiny();
-        let meta = PrefetchMeta { issue_time: 10, fill_time: 310, referenced: false };
+        let meta = PrefetchMeta {
+            issue_time: 10,
+            fill_time: 310,
+            referenced: false,
+        };
         c.insert(LineAddr(6), false, Some(meta));
         assert!(!c.prefetch_meta(LineAddr(6)).unwrap().referenced);
         c.touch(LineAddr(6), false);

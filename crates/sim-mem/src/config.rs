@@ -67,8 +67,18 @@ pub struct HierarchyConfig {
 impl Default for HierarchyConfig {
     fn default() -> Self {
         HierarchyConfig {
-            l1d: CacheConfig { size_bytes: 32 * 1024, assoc: 4, latency: 2, mshrs: 4 },
-            l2: CacheConfig { size_bytes: 2 * 1024 * 1024, assoc: 8, latency: 30, mshrs: 32 },
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                assoc: 4,
+                latency: 2,
+                mshrs: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 2 * 1024 * 1024,
+                assoc: 8,
+                latency: 30,
+                mshrs: 32,
+            },
             memory_latency: 300,
             dram: None,
             demand_reserved_mshrs: 4,
@@ -103,7 +113,9 @@ impl HierarchyConfig {
     pub fn memory_model(&self) -> crate::MemoryModel {
         match self.dram {
             Some(d) => crate::MemoryModel::Dram(d),
-            None => crate::MemoryModel::Flat { latency: self.memory_latency },
+            None => crate::MemoryModel::Flat {
+                latency: self.memory_latency,
+            },
         }
     }
 }
@@ -128,12 +140,24 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_rejected() {
-        CacheConfig { size_bytes: 3 * 64 * 4, assoc: 4, latency: 1, mshrs: 1 }.sets();
+        CacheConfig {
+            size_bytes: 3 * 64 * 4,
+            assoc: 4,
+            latency: 1,
+            mshrs: 1,
+        }
+        .sets();
     }
 
     #[test]
     #[should_panic(expected = "associativity")]
     fn zero_assoc_rejected() {
-        CacheConfig { size_bytes: 1024, assoc: 0, latency: 1, mshrs: 1 }.sets();
+        CacheConfig {
+            size_bytes: 1024,
+            assoc: 0,
+            latency: 1,
+            mshrs: 1,
+        }
+        .sets();
     }
 }

@@ -35,7 +35,13 @@ pub struct DramConfig {
 impl Default for DramConfig {
     fn default() -> Self {
         // Roughly DDR3-era numbers at a 2 GHz core clock.
-        DramConfig { banks: 16, row_bytes: 8192, row_hit: 150, row_miss: 300, bank_busy: 24 }
+        DramConfig {
+            banks: 16,
+            row_bytes: 8192,
+            row_hit: 150,
+            row_miss: 300,
+            bank_busy: 24,
+        }
     }
 }
 
@@ -92,11 +98,25 @@ impl MainMemory {
                     d.row_bytes.is_power_of_two() && d.row_bytes >= 64,
                     "row size must be a power of two of at least one line"
                 );
-                assert!(d.row_hit <= d.row_miss, "row hit cannot be slower than a miss");
-                vec![Bank { next_free: 0, open_row: None }; d.banks]
+                assert!(
+                    d.row_hit <= d.row_miss,
+                    "row hit cannot be slower than a miss"
+                );
+                vec![
+                    Bank {
+                        next_free: 0,
+                        open_row: None
+                    };
+                    d.banks
+                ]
             }
         };
-        MainMemory { model, banks, requests: 0, row_hits: 0 }
+        MainMemory {
+            model,
+            banks,
+            requests: 0,
+            row_hits: 0,
+        }
     }
 
     /// The model in use.
@@ -203,12 +223,18 @@ mod tests {
     #[test]
     fn nominal_latencies() {
         assert_eq!(MemoryModel::Flat { latency: 300 }.nominal_latency(), 300);
-        assert_eq!(MemoryModel::Dram(DramConfig::default()).nominal_latency(), 300);
+        assert_eq!(
+            MemoryModel::Dram(DramConfig::default()).nominal_latency(),
+            300
+        );
     }
 
     #[test]
     #[should_panic(expected = "at least one bank")]
     fn zero_banks_rejected() {
-        MainMemory::new(MemoryModel::Dram(DramConfig { banks: 0, ..DramConfig::default() }));
+        MainMemory::new(MemoryModel::Dram(DramConfig {
+            banks: 0,
+            ..DramConfig::default()
+        }));
     }
 }

@@ -4,6 +4,7 @@ use crate::cache::{Cache, PrefetchMeta};
 use crate::config::HierarchyConfig;
 use crate::dram::MainMemory;
 use crate::stats::MemStats;
+use cbws_telemetry::{CacheLevel, DemandKind, DropReason, SimEvent, Telemetry};
 use cbws_trace::{Addr, LineAddr};
 use std::collections::VecDeque;
 
@@ -67,6 +68,7 @@ pub struct MemoryHierarchy {
     queue: VecDeque<QueuedPrefetch>,
     inflight: Vec<InFlightPrefetch>,
     stats: MemStats,
+    telemetry: Telemetry,
 }
 
 impl MemoryHierarchy {
@@ -80,7 +82,14 @@ impl MemoryHierarchy {
             queue: VecDeque::new(),
             inflight: Vec::new(),
             stats: MemStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink; subsequent activity emits events under the
+    /// `l2.*` metric namespace. The default is a disabled sink.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The configuration in use.
@@ -123,29 +132,53 @@ impl MemoryHierarchy {
     /// queue is full the oldest request is dropped.
     pub fn enqueue_prefetch(&mut self, now: u64, line: LineAddr) {
         self.advance(now);
+        self.telemetry.set_clock(now);
         if self.is_covered(line) {
             self.stats.prefetch_dedup_dropped += 1;
+            self.telemetry.record(|_| SimEvent::PrefetchDropped {
+                cycle: now,
+                line: line.0,
+                reason: DropReason::Duplicate,
+            });
+            self.telemetry.count("l2.prefetch.dropped.duplicate", 1);
             return;
         }
         if self.queue.len() >= self.cfg.prefetch_queue_capacity {
-            self.queue.pop_front();
+            let victim = self.queue.pop_front().expect("non-empty at capacity");
             self.stats.prefetch_overflow_dropped += 1;
+            self.telemetry.record(|_| SimEvent::PrefetchDropped {
+                cycle: now,
+                line: victim.line.0,
+                reason: DropReason::QueueOverflow,
+            });
+            self.telemetry.count("l2.prefetch.dropped.overflow", 1);
         }
-        self.queue.push_back(QueuedPrefetch { line, enqueue_time: now });
+        self.queue.push_back(QueuedPrefetch {
+            line,
+            enqueue_time: now,
+        });
         self.stats.prefetch_enqueued += 1;
+        self.telemetry.record(|_| SimEvent::PrefetchEnqueued {
+            cycle: now,
+            line: line.0,
+        });
+        self.telemetry.count("l2.prefetch.enqueued", 1);
     }
 
     /// Performs one demand access at cycle `now` and returns its latency and
     /// prefetch classification.
     pub fn demand_access(&mut self, now: u64, addr: Addr, store: bool) -> AccessOutcome {
         self.advance(now);
+        self.telemetry.set_clock(now);
         let line = addr.line();
         self.stats.l1_accesses += 1;
 
         if self.l1d.touch(line, store) {
             self.stats.l1_hits += 1;
+            let latency = self.cfg.l1_hit_latency();
+            self.note_demand(now, line, DemandKind::L1Hit, latency);
             return AccessOutcome {
-                latency: self.cfg.l1_hit_latency(),
+                latency,
                 l1_hit: true,
                 class: None,
             };
@@ -154,20 +187,28 @@ impl MemoryHierarchy {
         self.stats.l2_demand_accesses += 1;
         let l2_time = now + self.cfg.l1d.latency;
 
-        // L2 hit path. Capture the first-reference flag before touching.
-        let was_unreferenced_prefetch =
-            self.l2.prefetch_meta(line).is_some_and(|m| !m.referenced);
+        // L2 hit path. Capture the prefetch metadata before touching: the
+        // first-reference flag drives classification, the fill time the
+        // prefetch-to-use distance histogram.
+        let prefetch_fill_time = self.l2.prefetch_meta(line).map(|m| m.fill_time);
+        let was_unreferenced_prefetch = self.l2.prefetch_meta(line).is_some_and(|m| !m.referenced);
         if self.l2.touch(line, false) {
             let class = if was_unreferenced_prefetch {
                 self.stats.timely += 1;
+                if let Some(fill) = prefetch_fill_time {
+                    self.telemetry
+                        .observe("l2.prefetch.use_distance", l2_time.saturating_sub(fill));
+                }
                 DemandClass::Timely
             } else {
                 self.stats.plain_hits += 1;
                 DemandClass::PlainHit
             };
             self.fill_l1(line, store);
+            let latency = self.cfg.l2_hit_latency();
+            self.note_demand(now, line, demand_kind(class), latency);
             return AccessOutcome {
-                latency: self.cfg.l2_hit_latency(),
+                latency,
                 l1_hit: false,
                 class: Some(class),
             };
@@ -188,8 +229,10 @@ impl MemoryHierarchy {
             self.stats.shorter_waiting_time += 1;
             self.fill_l2(line, Some(meta));
             self.fill_l1(line, store);
+            let latency = self.cfg.l2_hit_latency() + remaining;
+            self.note_demand(now, line, DemandKind::ShorterWaitingTime, latency);
             return AccessOutcome {
-                latency: self.cfg.l2_hit_latency() + remaining,
+                latency,
                 l1_hit: false,
                 class: Some(DemandClass::ShorterWaitingTime),
             };
@@ -211,10 +254,30 @@ impl MemoryHierarchy {
         self.fill_l2(line, None);
         self.stats.demand_fills += 1;
         self.fill_l1(line, store);
+        let latency = self.cfg.l2_hit_latency() + (completion - request_time);
+        self.note_demand(now, line, demand_kind(class), latency);
         AccessOutcome {
-            latency: self.cfg.l2_hit_latency() + (completion - request_time),
+            latency,
             l1_hit: false,
             class: Some(class),
+        }
+    }
+
+    /// Emits the structured event and metrics for one classified demand
+    /// access.
+    fn note_demand(&self, now: u64, line: LineAddr, kind: DemandKind, latency: u64) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.record(|_| SimEvent::Demand {
+            cycle: now,
+            line: line.0,
+            kind,
+            latency,
+        });
+        self.telemetry.count(kind_counter(kind), 1);
+        if kind != DemandKind::L1Hit {
+            self.telemetry.observe("l2.demand.latency", latency);
         }
     }
 
@@ -244,6 +307,12 @@ impl MemoryHierarchy {
                     };
                     self.fill_l2(p.line, Some(meta));
                     self.stats.prefetch_fills += 1;
+                    self.telemetry.record(|_| SimEvent::PrefetchFilled {
+                        cycle: p.fill_time,
+                        line: p.line.0,
+                        referenced: p.demand_hit,
+                    });
+                    self.telemetry.count("l2.prefetch.fills", 1);
                     // The freed slot becomes usable at the fill time.
                     self.issue_one(p.fill_time);
                 }
@@ -277,6 +346,13 @@ impl MemoryHierarchy {
     /// L2 (which must hold the line, by inclusion).
     fn fill_l1(&mut self, line: LineAddr, store: bool) {
         if let Some(victim) = self.l1d.insert(line, store, None) {
+            self.telemetry.record(|now| SimEvent::Eviction {
+                cycle: now,
+                line: victim.line.0,
+                level: CacheLevel::L1d,
+                dirty: victim.dirty,
+            });
+            self.telemetry.count("l1d.evictions", 1);
             if victim.dirty {
                 // Write-back to L2. By inclusion the victim is resident in
                 // the L2 unless it was just back-invalidated (in which case
@@ -292,11 +368,20 @@ impl MemoryHierarchy {
     /// / pollution accounting for the victim.
     fn fill_l2(&mut self, line: LineAddr, meta: Option<PrefetchMeta>) {
         if let Some(victim) = self.l2.insert(line, false, meta) {
+            self.telemetry.record(|now| SimEvent::Eviction {
+                cycle: now,
+                line: victim.line.0,
+                level: CacheLevel::L2,
+                dirty: victim.dirty,
+            });
+            self.telemetry.count("l2.evictions", 1);
             if victim.prefetch.is_some_and(|m| !m.referenced) {
                 self.stats.wrong += 1;
+                self.telemetry.count("l2.prefetch.wrong", 1);
             }
             if meta.is_some() && victim.prefetch.is_none() {
                 self.stats.pollution_evictions += 1;
+                self.telemetry.count("l2.prefetch.pollution_evictions", 1);
             }
             let mut dirty = victim.dirty;
             // Inclusive hierarchy: evicting from L2 back-invalidates the L1.
@@ -315,6 +400,12 @@ impl MemoryHierarchy {
         while let Some(q) = self.queue.pop_front() {
             if self.l2.probe(q.line) || self.inflight.iter().any(|p| p.line == q.line) {
                 self.stats.prefetch_dedup_dropped += 1;
+                self.telemetry.record(|now| SimEvent::PrefetchDropped {
+                    cycle: now,
+                    line: q.line.0,
+                    reason: DropReason::Duplicate,
+                });
+                self.telemetry.count("l2.prefetch.dropped.duplicate", 1);
                 continue;
             }
             let issue_time = q.enqueue_time.max(slot_free_time);
@@ -326,9 +417,37 @@ impl MemoryHierarchy {
                 demand_hit: false,
             });
             self.stats.prefetch_issued += 1;
+            self.telemetry.record(|_| SimEvent::PrefetchIssued {
+                cycle: issue_time,
+                line: q.line.0,
+            });
+            self.telemetry.count("l2.prefetch.issued", 1);
             return true;
         }
         false
+    }
+}
+
+/// The event-taxonomy label for a demand classification.
+fn demand_kind(class: DemandClass) -> DemandKind {
+    match class {
+        DemandClass::PlainHit => DemandKind::PlainHit,
+        DemandClass::Timely => DemandKind::Timely,
+        DemandClass::ShorterWaitingTime => DemandKind::ShorterWaitingTime,
+        DemandClass::NonTimely => DemandKind::NonTimely,
+        DemandClass::Missing => DemandKind::Missing,
+    }
+}
+
+/// The metrics path counting accesses of `kind` (the Fig. 13 taxonomy).
+fn kind_counter(kind: DemandKind) -> &'static str {
+    match kind {
+        DemandKind::L1Hit => "l1d.hits",
+        DemandKind::PlainHit => "l2.demand.plain_hit",
+        DemandKind::Timely => "l2.demand.timely",
+        DemandKind::ShorterWaitingTime => "l2.demand.shorter_waiting_time",
+        DemandKind::NonTimely => "l2.demand.non_timely",
+        DemandKind::Missing => "l2.demand.missing",
     }
 }
 
@@ -338,8 +457,18 @@ mod tests {
 
     fn small_cfg() -> HierarchyConfig {
         HierarchyConfig {
-            l1d: crate::CacheConfig { size_bytes: 4 * 64, assoc: 2, latency: 2, mshrs: 4 },
-            l2: crate::CacheConfig { size_bytes: 16 * 64, assoc: 4, latency: 30, mshrs: 8 },
+            l1d: crate::CacheConfig {
+                size_bytes: 4 * 64,
+                assoc: 2,
+                latency: 2,
+                mshrs: 4,
+            },
+            l2: crate::CacheConfig {
+                size_bytes: 16 * 64,
+                assoc: 4,
+                latency: 30,
+                mshrs: 8,
+            },
             memory_latency: 300,
             dram: None,
             demand_reserved_mshrs: 4,
@@ -477,7 +606,10 @@ mod tests {
             t += 400;
         }
         assert!(!m.l2().probe(line(0)));
-        assert!(!m.l1d().probe(line(0)), "inclusion violated: L1 holds an L2-evicted line");
+        assert!(
+            !m.l1d().probe(line(0)),
+            "inclusion violated: L1 holds an L2-evicted line"
+        );
     }
 
     #[test]
@@ -597,6 +729,90 @@ mod tests {
         assert_eq!(m.stats().prefetch_fills, 1);
         m.advance(2_000_000);
         assert_eq!(m.stats().prefetch_fills, 1);
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_stats() {
+        let t = Telemetry::enabled(1 << 12);
+        let mut m = MemoryHierarchy::new(small_cfg());
+        m.set_telemetry(t.clone());
+        let mut time = 0;
+        for i in 0..200u64 {
+            if i % 3 == 0 {
+                m.enqueue_prefetch(time, line(i + 1));
+            }
+            m.demand_access(time, addr(i % 40), i % 7 == 0);
+            time += 50;
+        }
+        // One guaranteed-timely access: prefetch, wait out the fill, touch.
+        m.enqueue_prefetch(time, line(1000));
+        time += 1000;
+        m.demand_access(time, addr(1000), false);
+        let stats = m.finish(time);
+
+        let counter = |path: &str| t.with_metrics(|r| r.counter(path)).unwrap().unwrap_or(0);
+        assert_eq!(counter("l2.demand.timely"), stats.timely);
+        assert_eq!(counter("l2.demand.missing"), stats.missing);
+        assert_eq!(counter("l2.demand.non_timely"), stats.non_timely);
+        assert_eq!(
+            counter("l2.demand.shorter_waiting_time"),
+            stats.shorter_waiting_time
+        );
+        assert_eq!(counter("l2.demand.plain_hit"), stats.plain_hits);
+        assert_eq!(counter("l1d.hits"), stats.l1_hits);
+        assert_eq!(counter("l2.prefetch.enqueued"), stats.prefetch_enqueued);
+        assert_eq!(counter("l2.prefetch.issued"), stats.prefetch_issued);
+        assert_eq!(counter("l2.prefetch.fills"), stats.prefetch_fills);
+        assert_eq!(
+            counter("l2.prefetch.dropped.duplicate"),
+            stats.prefetch_dedup_dropped
+        );
+
+        // The latency histogram sampled every L2-reaching access.
+        let l2_samples = t
+            .with_metrics(|r| r.histogram("l2.demand.latency").map(|h| h.count()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(l2_samples, stats.l2_demand_accesses);
+
+        // Events were recorded with non-decreasing availability of kinds.
+        let events = t.events();
+        assert!(!events.is_empty());
+        assert!(events.iter().any(|e| matches!(
+            e,
+            SimEvent::Demand {
+                kind: DemandKind::Timely,
+                ..
+            }
+        )));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SimEvent::PrefetchIssued { .. })));
+    }
+
+    #[test]
+    fn disabled_telemetry_changes_nothing() {
+        let run = |telemetry: Option<Telemetry>| {
+            let mut m = MemoryHierarchy::new(small_cfg());
+            if let Some(t) = telemetry {
+                m.set_telemetry(t);
+            }
+            let mut time = 0;
+            for i in 0..300u64 {
+                if i % 4 == 0 {
+                    m.enqueue_prefetch(time, line(i + 2));
+                }
+                m.demand_access(time, addr(i % 50), false);
+                time += 30;
+            }
+            m.finish(time)
+        };
+        let plain = run(None);
+        let with_enabled = run(Some(Telemetry::enabled(256)));
+        assert_eq!(
+            plain, with_enabled,
+            "telemetry must be observationally transparent"
+        );
     }
 
     #[test]

@@ -90,7 +90,10 @@ impl MemStats {
     ///
     /// Panics if `instructions` is zero.
     pub fn mpki(&self, instructions: u64) -> f64 {
-        assert!(instructions > 0, "MPKI requires a non-zero instruction count");
+        assert!(
+            instructions > 0,
+            "MPKI requires a non-zero instruction count"
+        );
         self.l2_misses() as f64 * 1000.0 / instructions as f64
     }
 

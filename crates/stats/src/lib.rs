@@ -71,6 +71,36 @@ impl RunRecord {
     pub fn timeliness(&self) -> TimelinessBreakdown {
         TimelinessBreakdown::from_mem(&self.mem)
     }
+
+    /// Exports the run's derived metrics as gauges under the `run.*`
+    /// namespace (gauges, not counters, so a re-export is idempotent and
+    /// never double-counts against the live `l2.*` counters).
+    pub fn export_metrics(&self, telemetry: &cbws_telemetry::Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        telemetry.set_gauge("run.ipc", self.ipc());
+        if self.cpu.instructions > 0 {
+            telemetry.set_gauge("run.mpki", self.mpki());
+        }
+        telemetry.set_gauge("run.perf_cost", self.perf_cost());
+        telemetry.set_gauge("run.cycles", self.cpu.cycles as f64);
+        telemetry.set_gauge("run.instructions", self.cpu.instructions as f64);
+        telemetry.set_gauge("run.mem_accesses", self.cpu.mem_accesses as f64);
+        telemetry.set_gauge("run.branch_mispredictions", self.cpu.mispredictions as f64);
+        telemetry.set_gauge("run.loop_cycle_fraction", self.cpu.loop_cycle_fraction());
+        telemetry.set_gauge("run.wrong_prefetches", self.mem.wrong as f64);
+        let t = self.timeliness();
+        telemetry.set_gauge("run.timeliness.plain_hit", t.plain_hits);
+        telemetry.set_gauge("run.timeliness.timely", t.timely);
+        telemetry.set_gauge(
+            "run.timeliness.shorter_waiting_time",
+            t.shorter_waiting_time,
+        );
+        telemetry.set_gauge("run.timeliness.non_timely", t.non_timely);
+        telemetry.set_gauge("run.timeliness.missing", t.missing);
+        telemetry.set_gauge("run.timeliness.wrong", t.wrong);
+    }
 }
 
 /// Geometric mean of an iterator of positive ratios; 0 if empty.
@@ -135,7 +165,11 @@ mod tests {
             workload: "w".into(),
             memory_intensive: true,
             prefetcher: "p".into(),
-            cpu: CpuStats { cycles, instructions: instr, ..Default::default() },
+            cpu: CpuStats {
+                cycles,
+                instructions: instr,
+                ..Default::default()
+            },
             mem: MemStats {
                 l2_demand_accesses: missing,
                 missing,

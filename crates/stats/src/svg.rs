@@ -21,7 +21,9 @@ const MARGIN_T: f64 = 40.0;
 const MARGIN_B: f64 = 120.0;
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn header(title: &str) -> String {
@@ -158,7 +160,14 @@ impl GroupedBarChart {
                 esc(cat)
             );
         }
-        legend(&mut out, &self.series.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>());
+        legend(
+            &mut out,
+            &self
+                .series
+                .iter()
+                .map(|(n, _)| n.clone())
+                .collect::<Vec<_>>(),
+        );
         out.push_str("</svg>\n");
         out
     }
@@ -248,7 +257,14 @@ impl LineChart {
                  stroke-width=\"2\"/>"
             );
         }
-        legend(&mut out, &self.series.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>());
+        legend(
+            &mut out,
+            &self
+                .series
+                .iter()
+                .map(|(n, _)| n.clone())
+                .collect::<Vec<_>>(),
+        );
         out.push_str("</svg>\n");
         out
     }
@@ -296,7 +312,12 @@ impl StackedBarChart {
         assert!(!self.categories.is_empty(), "chart needs categories");
         assert!(!self.series.is_empty(), "chart needs at least one series");
         let totals: Vec<f64> = (0..self.categories.len())
-            .map(|ci| self.series.iter().map(|(_, v)| v.get(ci).copied().unwrap_or(0.0)).sum())
+            .map(|ci| {
+                self.series
+                    .iter()
+                    .map(|(_, v)| v.get(ci).copied().unwrap_or(0.0))
+                    .sum()
+            })
             .collect();
         let max = totals.iter().fold(0.0f64, |m, &v| m.max(v)).max(1e-9);
         let plot_w = W - MARGIN_L - MARGIN_R;
@@ -334,7 +355,14 @@ impl StackedBarChart {
                 esc(cat)
             );
         }
-        legend(&mut out, &self.series.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>());
+        legend(
+            &mut out,
+            &self
+                .series
+                .iter()
+                .map(|(n, _)| n.clone())
+                .collect::<Vec<_>>(),
+        );
         out.push_str("</svg>\n");
         out
     }
@@ -392,7 +420,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "categories")]
     fn empty_chart_rejected() {
-        GroupedBarChart::new("t", "y").series("s", vec![1.0]).render();
+        GroupedBarChart::new("t", "y")
+            .series("s", vec![1.0])
+            .render();
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl TextTable {
     /// Panics if `header` is empty.
     pub fn new(header: Vec<String>) -> Self {
         assert!(!header.is_empty(), "a table needs at least one column");
-        TextTable { header, rows: Vec::new() }
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row, padding or truncating to the header width.

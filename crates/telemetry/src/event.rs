@@ -1,0 +1,210 @@
+//! Typed simulator events captured by the trace ring.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a prefetch request was dropped before issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The target line was already resident, queued, or in flight.
+    Duplicate,
+    /// The prefetch queue was full; the oldest request was discarded.
+    QueueOverflow,
+}
+
+/// How a committed demand access interacted with the hierarchy and the
+/// prefetch engine — the paper's Fig. 13 taxonomy plus the two hit classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DemandKind {
+    /// Serviced by the L1D; never reached the L2.
+    L1Hit,
+    /// L2 hit on a demand-fetched (or already-referenced) line.
+    PlainHit,
+    /// First hit on a completed prefetch: the miss was eliminated.
+    Timely,
+    /// The prefetch was still in flight: latency reduced, not eliminated.
+    ShorterWaitingTime,
+    /// The line was queued for prefetch but never issued.
+    NonTimely,
+    /// No prefetch involvement: a plain miss.
+    Missing,
+}
+
+/// Cache level an eviction happened at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheLevel {
+    /// The L1 data cache.
+    L1d,
+    /// The unified, inclusive L2.
+    L2,
+}
+
+/// One structured simulator event.
+///
+/// Fields are raw integers (line addresses, block ids) rather than the
+/// `cbws-trace` newtypes so this crate stays dependency-light and the JSONL
+/// export is self-describing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// A prefetch request was accepted into the queue.
+    PrefetchEnqueued {
+        /// Commit-timeline cycle.
+        cycle: u64,
+        /// Target line address.
+        line: u64,
+    },
+    /// A queued prefetch was issued to main memory.
+    PrefetchIssued {
+        /// Commit-timeline cycle.
+        cycle: u64,
+        /// Target line address.
+        line: u64,
+    },
+    /// An in-flight prefetch completed into the L2.
+    PrefetchFilled {
+        /// Commit-timeline cycle.
+        cycle: u64,
+        /// Filled line address.
+        line: u64,
+        /// Whether a demand access already referenced the line (a
+        /// shorter-waiting-time merge) by fill time.
+        referenced: bool,
+    },
+    /// A prefetch request was dropped before issue.
+    PrefetchDropped {
+        /// Commit-timeline cycle.
+        cycle: u64,
+        /// Target line address.
+        line: u64,
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+    /// A committed demand access, classified per the Fig. 13 taxonomy.
+    Demand {
+        /// Commit-timeline cycle.
+        cycle: u64,
+        /// Accessed line address.
+        line: u64,
+        /// Classification of the access.
+        kind: DemandKind,
+        /// End-to-end latency in cycles.
+        latency: u64,
+    },
+    /// A line was evicted from a cache.
+    Eviction {
+        /// Commit-timeline cycle.
+        cycle: u64,
+        /// Evicted line address.
+        line: u64,
+        /// Cache level the eviction happened at.
+        level: CacheLevel,
+        /// Whether the victim was dirty (written back).
+        dirty: bool,
+    },
+    /// A `BLOCK_BEGIN(id)` instruction committed.
+    BlockBegin {
+        /// Commit-timeline cycle.
+        cycle: u64,
+        /// Static block id.
+        block: u32,
+    },
+    /// A `BLOCK_END(id)` instruction committed.
+    BlockEnd {
+        /// Commit-timeline cycle.
+        cycle: u64,
+        /// Static block id.
+        block: u32,
+        /// Lines the prefetcher predicted at this boundary.
+        predicted: u32,
+    },
+    /// A differential-history-table lookup at a `BLOCK_END`.
+    TableLookup {
+        /// Commit-timeline cycle.
+        cycle: u64,
+        /// Static block id.
+        block: u32,
+        /// Whether any step's lookup hit.
+        hit: bool,
+    },
+}
+
+impl SimEvent {
+    /// The cycle the event was stamped with.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            SimEvent::PrefetchEnqueued { cycle, .. }
+            | SimEvent::PrefetchIssued { cycle, .. }
+            | SimEvent::PrefetchFilled { cycle, .. }
+            | SimEvent::PrefetchDropped { cycle, .. }
+            | SimEvent::Demand { cycle, .. }
+            | SimEvent::Eviction { cycle, .. }
+            | SimEvent::BlockBegin { cycle, .. }
+            | SimEvent::BlockEnd { cycle, .. }
+            | SimEvent::TableLookup { cycle, .. } => cycle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = [
+            SimEvent::PrefetchEnqueued { cycle: 1, line: 2 },
+            SimEvent::PrefetchIssued { cycle: 3, line: 4 },
+            SimEvent::PrefetchFilled {
+                cycle: 5,
+                line: 6,
+                referenced: true,
+            },
+            SimEvent::PrefetchDropped {
+                cycle: 7,
+                line: 8,
+                reason: DropReason::Duplicate,
+            },
+            SimEvent::Demand {
+                cycle: 9,
+                line: 10,
+                kind: DemandKind::Timely,
+                latency: 32,
+            },
+            SimEvent::Eviction {
+                cycle: 11,
+                line: 12,
+                level: CacheLevel::L2,
+                dirty: false,
+            },
+            SimEvent::BlockBegin {
+                cycle: 13,
+                block: 1,
+            },
+            SimEvent::BlockEnd {
+                cycle: 14,
+                block: 1,
+                predicted: 3,
+            },
+            SimEvent::TableLookup {
+                cycle: 15,
+                block: 1,
+                hit: true,
+            },
+        ];
+        for e in events {
+            let json = serde_json::to_string(&e).unwrap();
+            let back: SimEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e, "{json}");
+        }
+    }
+
+    #[test]
+    fn cycle_accessor_matches_field() {
+        let e = SimEvent::Demand {
+            cycle: 42,
+            line: 0,
+            kind: DemandKind::Missing,
+            latency: 332,
+        };
+        assert_eq!(e.cycle(), 42);
+    }
+}

@@ -1,0 +1,115 @@
+//! Process-wide verbosity-gated logging.
+//!
+//! The harness binaries route all human-readable output through the
+//! [`result!`](crate::result), [`status!`](crate::status),
+//! [`detail!`](crate::detail), and [`warn!`](crate::warn) macros, gated by a
+//! global [`Verbosity`] set once from the CLI (`--quiet` / `--progress`).
+//! Machine artifacts (CSV, SVG, JSONL, manifests) are never gated.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How chatty the process is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// Warnings only; result tables and progress are suppressed.
+    Quiet,
+    /// Result tables and one-line status notes (the default).
+    Normal,
+    /// Everything, including progress heartbeats and per-phase timings.
+    Verbose,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Verbosity::Normal as u8);
+
+/// Sets the process-wide verbosity.
+pub fn set_level(v: Verbosity) {
+    LEVEL.store(v as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide verbosity.
+pub fn level() -> Verbosity {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Verbosity::Quiet,
+        2 => Verbosity::Verbose,
+        _ => Verbosity::Normal,
+    }
+}
+
+/// Applies the shared CLI verbosity flags: `--quiet` wins over
+/// `--progress`/`--verbose`; with neither, the level is untouched.
+pub fn apply_cli_flags<S: AsRef<str>>(args: &[S]) {
+    let has = |flag: &str| args.iter().any(|a| a.as_ref() == flag);
+    if has("--quiet") {
+        set_level(Verbosity::Quiet);
+    } else if has("--progress") || has("--verbose") {
+        set_level(Verbosity::Verbose);
+    }
+}
+
+/// Primary human-readable output (tables, figures) on stdout; suppressed by
+/// `--quiet`.
+#[macro_export]
+macro_rules! result {
+    ($($arg:tt)*) => {
+        if $crate::log::level() > $crate::log::Verbosity::Quiet {
+            println!($($arg)*);
+        }
+    };
+}
+
+/// One-line status notes on stderr; suppressed by `--quiet`.
+#[macro_export]
+macro_rules! status {
+    ($($arg:tt)*) => {
+        if $crate::log::level() > $crate::log::Verbosity::Quiet {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Verbose diagnostics (heartbeats, timings) on stderr; shown only with
+/// `--progress`/`--verbose`.
+#[macro_export]
+macro_rules! detail {
+    ($($arg:tt)*) => {
+        if $crate::log::level() >= $crate::log::Verbosity::Verbose {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Warnings and recoverable errors on stderr; never suppressed.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        eprintln!($($arg)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The level is process-global, so exercise transitions in ONE test to
+    // avoid order dependence across the parallel test harness.
+    #[test]
+    fn verbosity_transitions() {
+        let initial = level();
+
+        set_level(Verbosity::Quiet);
+        assert_eq!(level(), Verbosity::Quiet);
+        apply_cli_flags(&["--progress"]);
+        assert_eq!(level(), Verbosity::Verbose);
+        // --quiet wins over --progress.
+        apply_cli_flags(&["--progress", "--quiet"]);
+        assert_eq!(level(), Verbosity::Quiet);
+        // No flags: untouched.
+        apply_cli_flags(&["--scale", "tiny"]);
+        assert_eq!(level(), Verbosity::Quiet);
+
+        assert!(Verbosity::Quiet < Verbosity::Normal);
+        assert!(Verbosity::Normal < Verbosity::Verbose);
+
+        set_level(initial);
+    }
+}

@@ -1,0 +1,440 @@
+//! Hierarchical metrics registry: counters, gauges, and log2 histograms
+//! addressable by dotted path (`l2.prefetch.issued`).
+
+use serde::Value;
+use std::collections::BTreeMap;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket `0` holds the value 0; bucket `i` (for `i >= 1`) holds values in
+/// `[2^(i-1), 2^i - 1]`, i.e. values whose bit length is `i`. Percentiles
+/// are reported as the upper bound of the bucket containing the requested
+/// rank, so they overestimate by at most 2x — plenty for latency and
+/// distance distributions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a value lands in (its bit length).
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `index` can hold.
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            i if i >= 64 => u64::MAX,
+            i => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count in one bucket.
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.buckets[index]
+    }
+
+    /// The `p`-th percentile (`p` in `[0, 1]`), reported as the upper bound
+    /// of the bucket containing that rank; 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        Self::bucket_upper_bound(64)
+    }
+
+    /// JSON summary: count/sum/min/max/mean, p50/p90/p99, and the non-empty
+    /// buckets as `{le, count}` pairs.
+    pub fn to_value(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                Value::Object(vec![
+                    ("le".into(), Value::UInt(Self::bucket_upper_bound(i))),
+                    ("count".into(), Value::UInt(c)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("count".into(), Value::UInt(self.count)),
+            ("sum".into(), Value::UInt(self.sum)),
+            ("min".into(), Value::UInt(self.min())),
+            ("max".into(), Value::UInt(self.max())),
+            ("mean".into(), Value::Float(self.mean())),
+            ("p50".into(), Value::UInt(self.percentile(0.50))),
+            ("p90".into(), Value::UInt(self.percentile(0.90))),
+            ("p99".into(), Value::UInt(self.percentile(0.99))),
+            ("buckets".into(), Value::Array(buckets)),
+        ])
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A last-write-wins value.
+    Gauge(f64),
+    /// A log2-bucketed distribution (boxed: the fixed bucket array dwarfs
+    /// the other variants).
+    Histogram(Box<Log2Histogram>),
+}
+
+/// A registry of metrics addressable by dotted path.
+///
+/// Paths like `l2.prefetch.issued` form a hierarchy; [`MetricsRegistry::to_value`]
+/// dumps the tree as nested JSON objects. Re-using a path with a different
+/// metric kind panics (it is a programming error, not an input error).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    map: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter at `path`, creating it at zero first.
+    pub fn count(&mut self, path: &str, n: u64) {
+        match self
+            .map
+            .entry(path.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += n,
+            other => panic!("metric `{path}` is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets the gauge at `path`.
+    pub fn set_gauge(&mut self, path: &str, value: f64) {
+        match self
+            .map
+            .entry(path.to_string())
+            .or_insert(Metric::Gauge(0.0))
+        {
+            Metric::Gauge(g) => *g = value,
+            other => panic!("metric `{path}` is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records a sample into the histogram at `path`.
+    pub fn observe(&mut self, path: &str, value: u64) {
+        match self
+            .map
+            .entry(path.to_string())
+            .or_insert_with(|| Metric::Histogram(Box::new(Log2Histogram::new())))
+        {
+            Metric::Histogram(h) => h.record(value),
+            other => panic!("metric `{path}` is not a histogram: {other:?}"),
+        }
+    }
+
+    /// The counter at `path`, if present.
+    pub fn counter(&self, path: &str) -> Option<u64> {
+        match self.map.get(path) {
+            Some(Metric::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The gauge at `path`, if present.
+    pub fn gauge(&self, path: &str) -> Option<f64> {
+        match self.map.get(path) {
+            Some(Metric::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// The histogram at `path`, if present.
+    pub fn histogram(&self, path: &str) -> Option<&Log2Histogram> {
+        match self.map.get(path) {
+            Some(Metric::Histogram(h)) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates `(path, metric)` pairs in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Dumps the registry as a nested JSON object following the dotted
+    /// paths. A path that is both a leaf and a branch (e.g. `a.b` and
+    /// `a.b.c`) stores the leaf under the reserved key `"value"`.
+    pub fn to_value(&self) -> Value {
+        let mut root = Node::Branch(BTreeMap::new());
+        for (path, metric) in &self.map {
+            root.insert(path.split('.'), metric_value(metric));
+        }
+        root.into_value()
+    }
+}
+
+fn metric_value(m: &Metric) -> Value {
+    match m {
+        Metric::Counter(c) => Value::UInt(*c),
+        Metric::Gauge(g) => Value::Float(*g),
+        Metric::Histogram(h) => h.to_value(),
+    }
+}
+
+/// Intermediate tree for nesting dotted paths into JSON objects.
+enum Node {
+    Branch(BTreeMap<String, Node>),
+    Leaf(Value),
+}
+
+impl Node {
+    fn insert<'a>(&mut self, mut segments: impl Iterator<Item = &'a str>, value: Value) {
+        let Some(seg) = segments.next() else {
+            // End of path: attach the leaf here, demoting to a "value" slot
+            // if this node already branches.
+            match self {
+                Node::Branch(children) if children.is_empty() => *self = Node::Leaf(value),
+                Node::Branch(children) => {
+                    children.insert("value".to_string(), Node::Leaf(value));
+                }
+                Node::Leaf(_) => *self = Node::Leaf(value),
+            }
+            return;
+        };
+        // Descend: a leaf in the way is demoted into the branch's "value".
+        if let Node::Leaf(_) = self {
+            let old = std::mem::replace(self, Node::Branch(BTreeMap::new()));
+            if let (Node::Branch(children), Node::Leaf(v)) = (&mut *self, old) {
+                children.insert("value".to_string(), Node::Leaf(v));
+            }
+        }
+        let Node::Branch(children) = self else {
+            unreachable!()
+        };
+        children
+            .entry(seg.to_string())
+            .or_insert_with(|| Node::Branch(BTreeMap::new()))
+            .insert(segments, value);
+    }
+
+    fn into_value(self) -> Value {
+        match self {
+            Node::Leaf(v) => v,
+            Node::Branch(children) => Value::Object(
+                children
+                    .into_iter()
+                    .map(|(k, n)| (k, n.into_value()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        assert_eq!(Log2Histogram::bucket_index(1), 1);
+        assert_eq!(Log2Histogram::bucket_index(2), 2);
+        assert_eq!(Log2Histogram::bucket_index(3), 2);
+        assert_eq!(Log2Histogram::bucket_index(4), 3);
+        assert_eq!(Log2Histogram::bucket_index(1023), 10);
+        assert_eq!(Log2Histogram::bucket_index(1024), 11);
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Log2Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Log2Histogram::bucket_upper_bound(1), 1);
+        assert_eq!(Log2Histogram::bucket_upper_bound(11), 2047);
+        assert_eq!(Log2Histogram::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_summary_stats() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 2, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 107);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 21.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Log2Histogram::new();
+        // 90 fast samples (value 10, bucket le=15) and 10 slow (value 1000,
+        // bucket le=1023).
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.percentile(0.50), 15);
+        assert_eq!(h.percentile(0.90), 15);
+        assert_eq!(h.percentile(0.99), 1023);
+        assert_eq!(h.percentile(1.0), 1023);
+        assert_eq!(
+            h.percentile(0.0),
+            15,
+            "p0 clamps to the first sample's bucket"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut r = MetricsRegistry::new();
+        r.count("l2.prefetch.issued", 3);
+        r.count("l2.prefetch.issued", 2);
+        r.set_gauge("run.seconds", 1.5);
+        r.observe("l2.demand.latency", 300);
+        assert_eq!(r.counter("l2.prefetch.issued"), Some(5));
+        assert_eq!(r.gauge("run.seconds"), Some(1.5));
+        assert_eq!(r.histogram("l2.demand.latency").unwrap().count(), 1);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let mut r = MetricsRegistry::new();
+        r.set_gauge("x", 1.0);
+        r.count("x", 1);
+    }
+
+    #[test]
+    fn nested_json_dump() {
+        let mut r = MetricsRegistry::new();
+        r.count("l2.prefetch.issued", 7);
+        r.count("l2.prefetch.dropped.duplicate", 2);
+        r.count("cpu.instructions", 100);
+        let v = r.to_value();
+        let l2 = v.get("l2").unwrap().get("prefetch").unwrap();
+        assert_eq!(l2.get("issued").unwrap().as_u64(), Some(7));
+        assert_eq!(
+            l2.get("dropped")
+                .unwrap()
+                .get("duplicate")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("cpu").unwrap().get("instructions").unwrap().as_u64(),
+            Some(100)
+        );
+    }
+
+    #[test]
+    fn leaf_branch_collision_uses_value_key() {
+        let mut r = MetricsRegistry::new();
+        r.count("a.b", 1);
+        r.count("a.b.c", 2);
+        let v = r.to_value();
+        let ab = v.get("a").unwrap().get("b").unwrap();
+        assert_eq!(ab.get("value").unwrap().as_u64(), Some(1));
+        assert_eq!(ab.get("c").unwrap().as_u64(), Some(2));
+    }
+}

@@ -1,0 +1,189 @@
+//! Wall-clock phase timing and progress heartbeats for the runner.
+
+use std::time::{Duration, Instant};
+
+/// Accumulates named, non-overlapping wall-clock phases.
+///
+/// `begin` implicitly closes any phase still open, so a runner can call it
+/// at each transition and `finish` once at the end.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    phases: Vec<(String, Duration)>,
+    active: Option<(String, Instant)>,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Profiler {
+    /// Creates a profiler with no phases.
+    pub fn new() -> Self {
+        Profiler {
+            phases: Vec::new(),
+            active: None,
+        }
+    }
+
+    /// Starts a named phase, closing the previous one if still open.
+    pub fn begin(&mut self, name: impl Into<String>) {
+        self.end();
+        self.active = Some((name.into(), Instant::now()));
+    }
+
+    /// Closes the open phase, if any, and returns its duration.
+    pub fn end(&mut self) -> Option<Duration> {
+        let (name, started) = self.active.take()?;
+        let elapsed = started.elapsed();
+        // Repeated phases (e.g. one `simulate` per workload) accumulate.
+        match self.phases.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, d)) => *d += elapsed,
+            None => self.phases.push((name, elapsed)),
+        }
+        Some(elapsed)
+    }
+
+    /// The recorded `(name, total duration)` pairs, in first-seen order.
+    /// Call [`Profiler::end`] first to include the open phase.
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+
+    /// Total recorded time across all closed phases.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// A multi-line human-readable report with per-phase percentages.
+    pub fn report(&self) -> String {
+        let total = self.total().as_secs_f64().max(1e-12);
+        let mut out = String::new();
+        for (name, d) in &self.phases {
+            let secs = d.as_secs_f64();
+            out.push_str(&format!(
+                "  {name:<24} {secs:>9.3} s  ({:>5.1}%)\n",
+                secs / total * 100.0
+            ));
+        }
+        out.push_str(&format!("  {:<24} {total:>9.3} s", "total"));
+        out
+    }
+
+    /// Exports each phase as a `phase.<name>.seconds` gauge.
+    pub fn export(&self, telemetry: &crate::Telemetry) {
+        for (name, d) in &self.phases {
+            telemetry.set_gauge(&format!("phase.{name}.seconds"), d.as_secs_f64());
+        }
+    }
+}
+
+/// Rate-limited progress reporter: at most one message per interval, with
+/// events/second and an ETA extrapolated from the mean rate so far.
+#[derive(Debug, Clone)]
+pub struct Heartbeat {
+    started: Instant,
+    last_emit: Option<Instant>,
+    interval: Duration,
+}
+
+impl Heartbeat {
+    /// Creates a heartbeat emitting at most once per `interval`.
+    pub fn new(interval: Duration) -> Self {
+        Heartbeat {
+            started: Instant::now(),
+            last_emit: None,
+            interval,
+        }
+    }
+
+    /// Reports progress of `done` out of `total` units. Returns a formatted
+    /// message when the interval has elapsed since the last emission,
+    /// `None` otherwise.
+    pub fn tick(&mut self, done: u64, total: u64) -> Option<String> {
+        let now = Instant::now();
+        if let Some(last) = self.last_emit {
+            if now.duration_since(last) < self.interval {
+                return None;
+            }
+        }
+        self.last_emit = Some(now);
+        let elapsed = now.duration_since(self.started).as_secs_f64().max(1e-9);
+        let rate = done as f64 / elapsed;
+        let msg = if total > 0 && rate > 0.0 {
+            let eta = (total.saturating_sub(done)) as f64 / rate;
+            format!(
+                "{done}/{total} events ({:.1}%), {}/s, ETA {eta:.1} s",
+                done as f64 / total as f64 * 100.0,
+                fmt_rate(rate),
+            )
+        } else {
+            format!("{done} events, {}/s", fmt_rate(rate))
+        };
+        Some(msg)
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiler_accumulates_and_reports() {
+        let mut p = Profiler::new();
+        p.begin("generate");
+        std::thread::sleep(Duration::from_millis(2));
+        p.begin("simulate"); // implicitly closes "generate"
+        std::thread::sleep(Duration::from_millis(2));
+        p.begin("simulate"); // repeated phase accumulates
+        std::thread::sleep(Duration::from_millis(2));
+        p.end();
+        assert_eq!(p.phases().len(), 2);
+        assert!(p.total() >= Duration::from_millis(6));
+        let report = p.report();
+        assert!(report.contains("generate"));
+        assert!(report.contains("simulate"));
+        assert!(report.contains("total"));
+    }
+
+    #[test]
+    fn end_without_begin_is_none() {
+        let mut p = Profiler::new();
+        assert!(p.end().is_none());
+        assert!(p.phases().is_empty());
+    }
+
+    #[test]
+    fn heartbeat_rate_limits() {
+        let mut h = Heartbeat::new(Duration::from_secs(3600));
+        let first = h.tick(10, 100);
+        assert!(first.is_some());
+        assert!(first.unwrap().contains("10/100"));
+        assert!(h.tick(20, 100).is_none(), "second tick inside the interval");
+    }
+
+    #[test]
+    fn heartbeat_zero_total_omits_eta() {
+        let mut h = Heartbeat::new(Duration::ZERO);
+        let msg = h.tick(5, 0).unwrap();
+        assert!(!msg.contains("ETA"));
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(500.0), "500");
+        assert_eq!(fmt_rate(2500.0), "2.5k");
+        assert_eq!(fmt_rate(3_200_000.0), "3.20M");
+    }
+}

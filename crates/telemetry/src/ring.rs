@@ -1,0 +1,132 @@
+//! Fixed-capacity event ring buffer.
+
+use crate::event::SimEvent;
+
+/// A bounded ring of [`SimEvent`]s.
+///
+/// Pushing beyond capacity overwrites the oldest event and bumps a dropped
+/// counter, so a long simulation keeps the *most recent* window of activity
+/// at a fixed memory cost. Iteration yields events oldest-first.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<SimEvent>,
+    cap: usize,
+    /// Index of the oldest event once the buffer is full.
+    head: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        EventRing {
+            buf: Vec::with_capacity(cap.min(4096)),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest if the ring is full.
+    pub fn push(&mut self, event: SimEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of events held.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &SimEvent> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// Snapshots the events oldest-first.
+    pub fn to_vec(&self) -> Vec<SimEvent> {
+        self.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> SimEvent {
+        SimEvent::PrefetchIssued {
+            cycle,
+            line: cycle * 10,
+        }
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything_in_order() {
+        let mut r = EventRing::new(8);
+        for c in 0..5 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let cycles: Vec<u64> = r.iter().map(SimEvent::cycle).collect();
+        assert_eq!(cycles, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_window() {
+        let mut r = EventRing::new(4);
+        for c in 0..10 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let cycles: Vec<u64> = r.iter().map(SimEvent::cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9], "oldest-first, most recent window");
+    }
+
+    #[test]
+    fn wraparound_at_exact_multiples() {
+        let mut r = EventRing::new(3);
+        for c in 0..6 {
+            r.push(ev(c));
+        }
+        let cycles: Vec<u64> = r.to_vec().iter().map(SimEvent::cycle).collect();
+        assert_eq!(cycles, vec![3, 4, 5]);
+        r.push(ev(6));
+        let cycles: Vec<u64> = r.to_vec().iter().map(SimEvent::cycle).collect();
+        assert_eq!(cycles, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = EventRing::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.to_vec()[0].cycle(), 2);
+    }
+}

@@ -40,7 +40,10 @@ impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildError::NestedBlock { open, attempted } => {
-                write!(f, "cannot open {attempted} while {open} is open: blocks do not nest")
+                write!(
+                    f,
+                    "cannot open {attempted} while {open} is open: blocks do not nest"
+                )
             }
             BuildError::UnmatchedEnd { id } => {
                 write!(f, "end of {id} without a matching begin")
@@ -92,7 +95,10 @@ impl TraceBuilder {
 
     /// Creates an empty builder with capacity for `n` events.
     pub fn with_capacity(n: usize) -> Self {
-        TraceBuilder { events: Vec::with_capacity(n), open: None }
+        TraceBuilder {
+            events: Vec::with_capacity(n),
+            open: None,
+        }
     }
 
     /// Opens code block `id`.
@@ -102,7 +108,10 @@ impl TraceBuilder {
     /// [`BuildError::NestedBlock`] if a block is already open.
     pub fn try_begin_block(&mut self, id: BlockId) -> Result<(), BuildError> {
         if let Some(open) = self.open {
-            return Err(BuildError::NestedBlock { open, attempted: id });
+            return Err(BuildError::NestedBlock {
+                open,
+                attempted: id,
+            });
         }
         self.open = Some(id);
         self.events.push(TraceEvent::BlockBegin { id });
@@ -118,7 +127,10 @@ impl TraceBuilder {
     pub fn try_end_block(&mut self, id: BlockId) -> Result<(), BuildError> {
         match self.open {
             None => Err(BuildError::UnmatchedEnd { id }),
-            Some(open) if open != id => Err(BuildError::MismatchedEnd { open, attempted: id }),
+            Some(open) if open != id => Err(BuildError::MismatchedEnd {
+                open,
+                attempted: id,
+            }),
             Some(_) => {
                 self.open = None;
                 self.events.push(TraceEvent::BlockEnd { id });
@@ -153,7 +165,12 @@ impl TraceBuilder {
     /// Emits a load whose address depends on the previous load's data
     /// (pointer chase / data-dependent index).
     pub fn load_dep(&mut self, pc: Pc, addr: Addr) {
-        self.mem(MemAccess { pc, addr, kind: MemKind::Load, dep: Dependence::PrevLoad });
+        self.mem(MemAccess {
+            pc,
+            addr,
+            kind: MemKind::Load,
+            dep: Dependence::PrevLoad,
+        });
     }
 
     /// Emits an independent store.
@@ -176,7 +193,8 @@ impl TraceBuilder {
 
     /// Emits a committed branch.
     pub fn branch(&mut self, pc: Pc, taken: bool) {
-        self.events.push(TraceEvent::Branch(BranchRecord { pc, taken }));
+        self.events
+            .push(TraceEvent::Branch(BranchRecord { pc, taken }));
     }
 
     /// Runs `body` once per iteration inside `BLOCK_BEGIN`/`BLOCK_END`
@@ -247,7 +265,13 @@ mod tests {
         let mut b = TraceBuilder::new();
         b.begin_block(BlockId(0));
         let err = b.try_begin_block(BlockId(1)).unwrap_err();
-        assert_eq!(err, BuildError::NestedBlock { open: BlockId(0), attempted: BlockId(1) });
+        assert_eq!(
+            err,
+            BuildError::NestedBlock {
+                open: BlockId(0),
+                attempted: BlockId(1)
+            }
+        );
     }
 
     #[test]
@@ -262,7 +286,13 @@ mod tests {
         let mut b = TraceBuilder::new();
         b.begin_block(BlockId(0));
         let err = b.try_end_block(BlockId(1)).unwrap_err();
-        assert_eq!(err, BuildError::MismatchedEnd { open: BlockId(0), attempted: BlockId(1) });
+        assert_eq!(
+            err,
+            BuildError::MismatchedEnd {
+                open: BlockId(0),
+                attempted: BlockId(1)
+            }
+        );
     }
 
     #[test]
@@ -337,7 +367,10 @@ mod tests {
 
     #[test]
     fn build_error_display() {
-        let e = BuildError::NestedBlock { open: BlockId(0), attempted: BlockId(1) };
+        let e = BuildError::NestedBlock {
+            open: BlockId(0),
+            attempted: BlockId(1),
+        };
         assert!(e.to_string().contains("blk0"));
     }
 }

@@ -62,12 +62,22 @@ pub struct MemAccess {
 impl MemAccess {
     /// Convenience constructor for an independent load.
     pub fn load(pc: Pc, addr: Addr) -> Self {
-        MemAccess { pc, addr, kind: MemKind::Load, dep: Dependence::None }
+        MemAccess {
+            pc,
+            addr,
+            kind: MemKind::Load,
+            dep: Dependence::None,
+        }
     }
 
     /// Convenience constructor for an independent store.
     pub fn store(pc: Pc, addr: Addr) -> Self {
-        MemAccess { pc, addr, kind: MemKind::Store, dep: Dependence::None }
+        MemAccess {
+            pc,
+            addr,
+            kind: MemKind::Store,
+            dep: Dependence::None,
+        }
     }
 }
 
@@ -155,11 +165,25 @@ mod tests {
 
     #[test]
     fn instruction_counts() {
-        assert_eq!(TraceEvent::Alu { pc: Pc(0), count: 7 }.instructions(), 7);
-        assert_eq!(TraceEvent::Mem(MemAccess::load(Pc(0), Addr(0))).instructions(), 1);
+        assert_eq!(
+            TraceEvent::Alu {
+                pc: Pc(0),
+                count: 7
+            }
+            .instructions(),
+            7
+        );
+        assert_eq!(
+            TraceEvent::Mem(MemAccess::load(Pc(0), Addr(0))).instructions(),
+            1
+        );
         assert_eq!(TraceEvent::BlockBegin { id: BlockId(0) }.instructions(), 1);
         assert_eq!(
-            TraceEvent::Branch(BranchRecord { pc: Pc(0), taken: true }).instructions(),
+            TraceEvent::Branch(BranchRecord {
+                pc: Pc(0),
+                taken: true
+            })
+            .instructions(),
             1
         );
     }
@@ -168,7 +192,14 @@ mod tests {
     fn mem_accessor() {
         let m = MemAccess::store(Pc(1), Addr(64));
         assert_eq!(TraceEvent::Mem(m).mem(), Some(&m));
-        assert_eq!(TraceEvent::Alu { pc: Pc(0), count: 1 }.mem(), None);
+        assert_eq!(
+            TraceEvent::Alu {
+                pc: Pc(0),
+                count: 1
+            }
+            .mem(),
+            None
+        );
     }
 
     #[test]
@@ -176,9 +207,15 @@ mod tests {
         let events = [
             TraceEvent::BlockBegin { id: BlockId(0) },
             TraceEvent::BlockEnd { id: BlockId(0) },
-            TraceEvent::Alu { pc: Pc(4), count: 3 },
+            TraceEvent::Alu {
+                pc: Pc(4),
+                count: 3,
+            },
             TraceEvent::Mem(MemAccess::load(Pc(8), Addr(128))),
-            TraceEvent::Branch(BranchRecord { pc: Pc(12), taken: false }),
+            TraceEvent::Branch(BranchRecord {
+                pc: Pc(12),
+                taken: false,
+            }),
         ];
         for e in events {
             assert!(!e.to_string().is_empty());

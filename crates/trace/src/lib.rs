@@ -109,7 +109,9 @@ impl IntoIterator for Trace {
 
 impl FromIterator<TraceEvent> for Trace {
     fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
-        Trace { events: iter.into_iter().collect() }
+        Trace {
+            events: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -49,7 +49,10 @@ const WS_HISTOGRAM_MAX: usize = 64;
 impl TraceStats {
     /// Computes statistics from an event sequence in program order.
     pub fn from_events(events: &[TraceEvent]) -> Self {
-        let mut s = TraceStats { ws_histogram: vec![0; WS_HISTOGRAM_MAX + 1], ..Self::default() };
+        let mut s = TraceStats {
+            ws_histogram: vec![0; WS_HISTOGRAM_MAX + 1],
+            ..Self::default()
+        };
         let mut static_ids = BTreeSet::new();
         let mut in_block = false;
         let mut block_lines: BTreeSet<u64> = BTreeSet::new();
@@ -110,8 +113,11 @@ impl TraceStats {
         if self.dynamic_blocks == 0 {
             return 1.0;
         }
-        let within: u64 =
-            self.ws_histogram.iter().take(lines.min(self.ws_histogram.len() - 1) + 1).sum();
+        let within: u64 = self
+            .ws_histogram
+            .iter()
+            .take(lines.min(self.ws_histogram.len() - 1) + 1)
+            .sum();
         within as f64 / self.dynamic_blocks as f64
     }
 

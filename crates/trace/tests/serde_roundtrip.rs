@@ -38,8 +38,7 @@ fn replayed_trace_is_equivalent_downstream() {
     // A deserialized trace must drive the rest of the pipeline identically;
     // equality of the event sequence guarantees it, checked element-wise.
     let trace = sample_trace();
-    let back: Trace =
-        serde_json::from_str(&serde_json::to_string(&trace).unwrap()).unwrap();
+    let back: Trace = serde_json::from_str(&serde_json::to_string(&trace).unwrap()).unwrap();
     for (a, b) in trace.iter().zip(back.iter()) {
         assert_eq!(a, b);
     }

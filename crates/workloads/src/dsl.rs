@@ -116,9 +116,10 @@ impl Expr {
                 Box::new(a.subst(var, replacement)),
                 Box::new(b.subst(var, replacement)),
             ),
-            Expr::Index { table, idx } => {
-                Expr::Index { table, idx: Box::new(idx.subst(var, replacement)) }
-            }
+            Expr::Index { table, idx } => Expr::Index {
+                table,
+                idx: Box::new(idx.subst(var, replacement)),
+            },
         }
     }
 }
@@ -139,7 +140,10 @@ pub mod e {
 
     /// Table read `table[idx % len]`.
     pub fn idx(table: &'static str, i: Expr) -> Expr {
-        Expr::Index { table, idx: Box::new(i) }
+        Expr::Index {
+            table,
+            idx: Box::new(i),
+        }
     }
 }
 
@@ -229,16 +233,20 @@ impl Stmt {
     fn contains_loop(stmts: &[Stmt]) -> bool {
         stmts.iter().any(|s| match s {
             Stmt::Loop { .. } => true,
-            Stmt::If { then, otherwise, .. } => {
-                Self::contains_loop(then) || Self::contains_loop(otherwise)
-            }
+            Stmt::If {
+                then, otherwise, ..
+            } => Self::contains_loop(then) || Self::contains_loop(otherwise),
             _ => false,
         })
     }
 
     fn subst(&self, var: Var, replacement: &Expr) -> Stmt {
         match self {
-            Stmt::Loop { var: lv, count, body } => {
+            Stmt::Loop {
+                var: lv,
+                count,
+                body,
+            } => {
                 if *lv == var {
                     // Shadowed: the inner loop's variable wins.
                     self.clone()
@@ -250,19 +258,32 @@ impl Stmt {
                     }
                 }
             }
-            Stmt::Load { pc, addr } => Stmt::Load { pc: *pc, addr: addr.subst(var, replacement) },
-            Stmt::Store { pc, addr } => {
-                Stmt::Store { pc: *pc, addr: addr.subst(var, replacement) }
-            }
-            Stmt::Let { var: lv, value } => {
-                Stmt::Let { var: lv, value: value.subst(var, replacement) }
-            }
+            Stmt::Load { pc, addr } => Stmt::Load {
+                pc: *pc,
+                addr: addr.subst(var, replacement),
+            },
+            Stmt::Store { pc, addr } => Stmt::Store {
+                pc: *pc,
+                addr: addr.subst(var, replacement),
+            },
+            Stmt::Let { var: lv, value } => Stmt::Let {
+                var: lv,
+                value: value.subst(var, replacement),
+            },
             Stmt::Alu { .. } | Stmt::BlockBegin(_) | Stmt::BlockEnd(_) => self.clone(),
-            Stmt::If { pc, cond, then, otherwise } => Stmt::If {
+            Stmt::If {
+                pc,
+                cond,
+                then,
+                otherwise,
+            } => Stmt::If {
                 pc: *pc,
                 cond: cond.subst(var, replacement),
                 then: then.iter().map(|s| s.subst(var, replacement)).collect(),
-                otherwise: otherwise.iter().map(|s| s.subst(var, replacement)).collect(),
+                otherwise: otherwise
+                    .iter()
+                    .map(|s| s.subst(var, replacement))
+                    .collect(),
             },
         }
     }
@@ -300,7 +321,12 @@ pub struct Program {
 impl Program {
     /// Creates a program from its top-level statements.
     pub fn new(body: Vec<Stmt>) -> Self {
-        Program { body, tables: BTreeMap::new(), next_block: 0, annotated: false }
+        Program {
+            body,
+            tables: BTreeMap::new(),
+            next_block: 0,
+            annotated: false,
+        }
     }
 
     /// Registers a named data table readable via [`Expr::Index`]. Replaces
@@ -351,7 +377,9 @@ impl Program {
                         count += 1;
                     }
                 }
-                Stmt::If { then, otherwise, .. } => {
+                Stmt::If {
+                    then, otherwise, ..
+                } => {
                     count += Self::annotate_stmts(then, next);
                     count += Self::annotate_stmts(otherwise, next);
                 }
@@ -399,20 +427,28 @@ impl Program {
                         None
                     } else {
                         let var = *var;
-                        let half =
-                            Expr::Div(Box::new(count.clone()), Box::new(Expr::Const(2)));
+                        let half = Expr::Div(Box::new(count.clone()), Box::new(Expr::Const(2)));
                         let rest = Expr::Sub(Box::new(count.clone()), Box::new(half.clone()));
                         let shifted: Vec<Stmt> = body
                             .iter()
                             .map(|s| s.subst(var, &Expr::Var(var).add(half.clone())))
                             .collect();
-                        let first =
-                            Stmt::Loop { var, count: half, body: std::mem::take(body) };
-                        let second = Stmt::Loop { var, count: rest, body: shifted };
+                        let first = Stmt::Loop {
+                            var,
+                            count: half,
+                            body: std::mem::take(body),
+                        };
+                        let second = Stmt::Loop {
+                            var,
+                            count: rest,
+                            body: shifted,
+                        };
                         Some((first, second))
                     }
                 }
-                Stmt::If { then, otherwise, .. } => {
+                Stmt::If {
+                    then, otherwise, ..
+                } => {
                     Self::split_stmts(then);
                     Self::split_stmts(otherwise);
                     None
@@ -451,7 +487,9 @@ impl Program {
                         );
                     }
                 }
-                Stmt::If { then, otherwise, .. } => {
+                Stmt::If {
+                    then, otherwise, ..
+                } => {
                     Self::unroll_stmts(then, factor);
                     Self::unroll_stmts(otherwise, factor);
                 }
@@ -559,7 +597,12 @@ impl Program {
                     } else {
                         Dependence::None
                     };
-                    tb.mem(MemAccess { pc: Pc(*pc), addr: Addr(a), kind: MemKind::Load, dep });
+                    tb.mem(MemAccess {
+                        pc: Pc(*pc),
+                        addr: Addr(a),
+                        kind: MemKind::Load,
+                        dep,
+                    });
                 }
                 Stmt::Store { pc, addr } => {
                     let a = Self::eval(addr, env, tables)?.max(0) as u64;
@@ -568,14 +611,24 @@ impl Program {
                     } else {
                         Dependence::None
                     };
-                    tb.mem(MemAccess { pc: Pc(*pc), addr: Addr(a), kind: MemKind::Store, dep });
+                    tb.mem(MemAccess {
+                        pc: Pc(*pc),
+                        addr: Addr(a),
+                        kind: MemKind::Store,
+                        dep,
+                    });
                 }
                 Stmt::Let { var, value } => {
                     let v = Self::eval(value, env, tables)?;
                     env.insert(var, v);
                 }
                 Stmt::Alu { pc, count } => tb.alu(Pc(*pc), *count),
-                Stmt::If { pc, cond, then, otherwise } => {
+                Stmt::If {
+                    pc,
+                    cond,
+                    then,
+                    otherwise,
+                } => {
                     let taken = Self::cond(cond, env, tables)?;
                     // Data-dependent conditions consume the loaded value.
                     let _ = cond.is_data_dependent();
@@ -646,7 +699,11 @@ mod tests {
     #[test]
     fn annotate_handles_sibling_loops_and_ifs() {
         let mut p = Program::new(vec![
-            Stmt::Loop { var: "a", count: c(2), body: vec![Stmt::Alu { pc: 0, count: 1 }] },
+            Stmt::Loop {
+                var: "a",
+                count: c(2),
+                body: vec![Stmt::Alu { pc: 0, count: 1 }],
+            },
             Stmt::If {
                 pc: 0x99,
                 cond: Cond::Lt(c(0), c(1)),
@@ -672,8 +729,9 @@ mod tests {
             .iter()
             .filter_map(|e| e.mem().map(|m| m.addr.0))
             .collect();
-        let expect: Vec<u64> =
-            (0..3).flat_map(|i| (0..4).map(move |j| (i * 4 + j) * 64)).collect();
+        let expect: Vec<u64> = (0..3)
+            .flat_map(|i| (0..4).map(move |j| (i * 4 + j) * 64))
+            .collect();
         assert_eq!(addrs, expect);
     }
 
@@ -686,8 +744,14 @@ mod tests {
         let after = p.execute().unwrap();
         // Same dynamic block count and same access sequence.
         assert_eq!(before.stats().dynamic_blocks, after.stats().dynamic_blocks);
-        let a1: Vec<u64> = before.iter().filter_map(|e| e.mem().map(|m| m.addr.0)).collect();
-        let a2: Vec<u64> = after.iter().filter_map(|e| e.mem().map(|m| m.addr.0)).collect();
+        let a1: Vec<u64> = before
+            .iter()
+            .filter_map(|e| e.mem().map(|m| m.addr.0))
+            .collect();
+        let a2: Vec<u64> = after
+            .iter()
+            .filter_map(|e| e.mem().map(|m| m.addr.0))
+            .collect();
         assert_eq!(a1, a2);
     }
 
@@ -711,8 +775,14 @@ mod tests {
         split.split_innermost();
         let after = split.execute().unwrap();
         assert_eq!(before.stats().dynamic_blocks, after.stats().dynamic_blocks);
-        let a1: Vec<u64> = before.iter().filter_map(|e| e.mem().map(|m| m.addr.0)).collect();
-        let a2: Vec<u64> = after.iter().filter_map(|e| e.mem().map(|m| m.addr.0)).collect();
+        let a1: Vec<u64> = before
+            .iter()
+            .filter_map(|e| e.mem().map(|m| m.addr.0))
+            .collect();
+        let a2: Vec<u64> = after
+            .iter()
+            .filter_map(|e| e.mem().map(|m| m.addr.0))
+            .collect();
         assert_eq!(a1, a2, "splitting must not change the access stream");
     }
 
@@ -721,13 +791,18 @@ mod tests {
         let mut p = Program::new(vec![Stmt::Loop {
             var: "i",
             count: c(7),
-            body: vec![Stmt::Load { pc: 0x10, addr: v("i").mul(c(64)) }],
+            body: vec![Stmt::Load {
+                pc: 0x10,
+                addr: v("i").mul(c(64)),
+            }],
         }]);
         p.annotate();
         p.split_innermost();
         let trace = p.execute().unwrap();
-        let addrs: Vec<u64> =
-            trace.iter().filter_map(|e| e.mem().map(|m| m.addr.0)).collect();
+        let addrs: Vec<u64> = trace
+            .iter()
+            .filter_map(|e| e.mem().map(|m| m.addr.0))
+            .collect();
         let expect: Vec<u64> = (0..7).map(|i| i * 64).collect();
         assert_eq!(addrs, expect);
         assert_eq!(trace.stats().dynamic_blocks, 7);
@@ -750,8 +825,14 @@ mod tests {
             var: "i",
             count: c(4),
             body: vec![
-                Stmt::Load { pc: 0x10, addr: v("i").mul(c(64)) },
-                Stmt::Load { pc: 0x14, addr: idx("t", v("i")).mul(c(64)) },
+                Stmt::Load {
+                    pc: 0x10,
+                    addr: v("i").mul(c(64)),
+                },
+                Stmt::Load {
+                    pc: 0x14,
+                    addr: idx("t", v("i")).mul(c(64)),
+                },
             ],
         }])
         .table("t", vec![7, 3, 9, 1]);
@@ -771,7 +852,10 @@ mod tests {
             body: vec![Stmt::If {
                 pc: 0x20,
                 cond: Cond::Lt(Expr::Rem(Box::new(v("i")), Box::new(c(2))), c(1)),
-                then: vec![Stmt::Store { pc: 0x24, addr: c(0) }],
+                then: vec![Stmt::Store {
+                    pc: 0x24,
+                    addr: c(0),
+                }],
                 otherwise: vec![Stmt::Alu { pc: 0x28, count: 1 }],
             }],
         }]);
@@ -790,13 +874,19 @@ mod tests {
 
     #[test]
     fn unbound_variable_errors() {
-        let p = Program::new(vec![Stmt::Load { pc: 0, addr: v("nope") }]);
+        let p = Program::new(vec![Stmt::Load {
+            pc: 0,
+            addr: v("nope"),
+        }]);
         assert_eq!(p.execute().unwrap_err(), DslError::UnboundVar("nope"));
     }
 
     #[test]
     fn unknown_table_errors() {
-        let p = Program::new(vec![Stmt::Load { pc: 0, addr: idx("ghost", c(0)) }]);
+        let p = Program::new(vec![Stmt::Load {
+            pc: 0,
+            addr: idx("ghost", c(0)),
+        }]);
         assert_eq!(p.execute().unwrap_err(), DslError::UnknownTable("ghost"));
     }
 
@@ -823,8 +913,14 @@ mod tests {
                 var: "i",
                 count: c(8),
                 body: vec![
-                    Stmt::Load { pc: 0x10, addr: v("i").mul(c(4096)) },
-                    Stmt::Load { pc: 0x14, addr: v("i").mul(c(4096)).add(c(1 << 20)) },
+                    Stmt::Load {
+                        pc: 0x10,
+                        addr: v("i").mul(c(4096)),
+                    },
+                    Stmt::Load {
+                        pc: 0x14,
+                        addr: v("i").mul(c(4096)).add(c(1 << 20)),
+                    },
                 ],
             }]);
             p.annotate();
@@ -836,8 +932,16 @@ mod tests {
         let unrolled = unrolled_p.execute().unwrap();
         let h1 = collect_block_histories(&plain, 16);
         let h2 = collect_block_histories(&unrolled, 16);
-        let v1: Vec<_> = h1[&BlockId(0)].instances.iter().map(|w| w.lines().to_vec()).collect();
-        let v2: Vec<_> = h2[&BlockId(0)].instances.iter().map(|w| w.lines().to_vec()).collect();
+        let v1: Vec<_> = h1[&BlockId(0)]
+            .instances
+            .iter()
+            .map(|w| w.lines().to_vec())
+            .collect();
+        let v2: Vec<_> = h2[&BlockId(0)]
+            .instances
+            .iter()
+            .map(|w| w.lines().to_vec())
+            .collect();
         assert_eq!(v1, v2);
     }
 }

@@ -56,13 +56,25 @@ pub(crate) fn mvx(scale: Scale) -> Trace {
                     body: vec![
                         Stmt::Load {
                             pc: 0x1D00,
-                            addr: e::v("r").mul(e::c(4096)).add(e::v("l").mul(e::c(64))).add(e::c(a)),
+                            addr: e::v("r")
+                                .mul(e::c(4096))
+                                .add(e::v("l").mul(e::c(64)))
+                                .add(e::c(a)),
                         },
-                        Stmt::Load { pc: 0x1D04, addr: e::v("l").mul(e::c(64)).add(e::c(x)) },
-                        Stmt::Alu { pc: 0x1D08, count: 2 },
+                        Stmt::Load {
+                            pc: 0x1D04,
+                            addr: e::v("l").mul(e::c(64)).add(e::c(x)),
+                        },
+                        Stmt::Alu {
+                            pc: 0x1D08,
+                            count: 2,
+                        },
                     ],
                 },
-                Stmt::Store { pc: 0x1D0C, addr: e::v("r").mul(e::c(8)).add(e::c(y)) },
+                Stmt::Store {
+                    pc: 0x1D0C,
+                    addr: e::v("r").mul(e::c(8)).add(e::c(y)),
+                },
             ],
         }],
     }]);
@@ -94,18 +106,30 @@ pub(crate) fn mxm(scale: Scale) -> Trace {
                     body: vec![
                         Stmt::Load {
                             pc: 0x1E00,
-                            addr: e::v("i").mul(e::c(768)).add(e::v("k").mul(e::c(64))).add(e::c(a)),
+                            addr: e::v("i")
+                                .mul(e::c(768))
+                                .add(e::v("k").mul(e::c(64)))
+                                .add(e::c(a)),
                         },
                         Stmt::Load {
                             pc: 0x1E04,
-                            addr: e::v("k").mul(e::c(768 * 16)).add(e::v("j").mul(e::c(4))).add(e::c(b)),
+                            addr: e::v("k")
+                                .mul(e::c(768 * 16))
+                                .add(e::v("j").mul(e::c(4)))
+                                .add(e::c(b)),
                         },
-                        Stmt::Alu { pc: 0x1E08, count: 3 },
+                        Stmt::Alu {
+                            pc: 0x1E08,
+                            count: 3,
+                        },
                     ],
                 },
                 Stmt::Store {
                     pc: 0x1E0C,
-                    addr: e::v("i").mul(e::c(768)).add(e::v("j").mul(e::c(4))).add(e::c(c)),
+                    addr: e::v("i")
+                        .mul(e::c(768))
+                        .add(e::v("j").mul(e::c(4)))
+                        .add(e::c(c)),
                 },
             ],
         }],
@@ -121,7 +145,12 @@ mod tests {
     #[test]
     fn md_stays_local() {
         let t = md(Scale::Tiny);
-        let max = t.iter().filter_map(|e| e.mem()).map(|m| m.addr.0).max().unwrap();
+        let max = t
+            .iter()
+            .filter_map(|e| e.mem())
+            .map(|m| m.addr.0)
+            .max()
+            .unwrap();
         assert!(max - base(0) < 512 * 1024);
         assert!(t.stats().block_ws_within(16) > 0.99);
     }
@@ -141,7 +170,10 @@ mod tests {
         for m in t.iter().filter_map(|e| e.mem()) {
             let arr = (m.addr.0 - base(0)) / (64 << 20);
             let off = m.addr.0 - base(arr);
-            assert!(off < 192 * 192 * 16 * 4, "offset {off} out of matrix bounds");
+            assert!(
+                off < 192 * 192 * 16 * 4,
+                "offset {off} out of matrix bounds"
+            );
         }
     }
 }

@@ -38,15 +38,42 @@ pub(crate) fn stencil(scale: Scale) -> Trace {
                 var: "k",
                 count: e::c(nz - 2),
                 body: vec![
-                    Stmt::Load { pc: 0x800, addr: idx(x(), y(), z().add(e::c(1))).add(e::c(a0)) },
-                    Stmt::Load { pc: 0x804, addr: idx(x(), y(), z().add(e::c(-1))).add(e::c(a0)) },
-                    Stmt::Load { pc: 0x808, addr: idx(x(), y().add(e::c(1)), z()).add(e::c(a0)) },
-                    Stmt::Load { pc: 0x80C, addr: idx(x(), y().add(e::c(-1)), z()).add(e::c(a0)) },
-                    Stmt::Load { pc: 0x810, addr: idx(x().add(e::c(1)), y(), z()).add(e::c(a0)) },
-                    Stmt::Load { pc: 0x814, addr: idx(x().add(e::c(-1)), y(), z()).add(e::c(a0)) },
-                    Stmt::Load { pc: 0x818, addr: idx(x(), y(), z()).add(e::c(a0)) },
-                    Stmt::Alu { pc: 0x81C, count: 8 },
-                    Stmt::Store { pc: 0x820, addr: idx(x(), y(), z()).add(e::c(a)) },
+                    Stmt::Load {
+                        pc: 0x800,
+                        addr: idx(x(), y(), z().add(e::c(1))).add(e::c(a0)),
+                    },
+                    Stmt::Load {
+                        pc: 0x804,
+                        addr: idx(x(), y(), z().add(e::c(-1))).add(e::c(a0)),
+                    },
+                    Stmt::Load {
+                        pc: 0x808,
+                        addr: idx(x(), y().add(e::c(1)), z()).add(e::c(a0)),
+                    },
+                    Stmt::Load {
+                        pc: 0x80C,
+                        addr: idx(x(), y().add(e::c(-1)), z()).add(e::c(a0)),
+                    },
+                    Stmt::Load {
+                        pc: 0x810,
+                        addr: idx(x().add(e::c(1)), y(), z()).add(e::c(a0)),
+                    },
+                    Stmt::Load {
+                        pc: 0x814,
+                        addr: idx(x().add(e::c(-1)), y(), z()).add(e::c(a0)),
+                    },
+                    Stmt::Load {
+                        pc: 0x818,
+                        addr: idx(x(), y(), z()).add(e::c(a0)),
+                    },
+                    Stmt::Alu {
+                        pc: 0x81C,
+                        count: 8,
+                    },
+                    Stmt::Store {
+                        pc: 0x820,
+                        addr: idx(x(), y(), z()).add(e::c(a)),
+                    },
                 ],
             }],
         }],
@@ -81,22 +108,41 @@ pub(crate) fn sgemm(scale: Scale) -> Trace {
                     body: vec![
                         Stmt::Load {
                             pc: 0x900,
-                            addr: e::v("i").mul(e::c(1024)).add(e::v("k")).mul(e::c(4)).add(e::c(a)),
+                            addr: e::v("i")
+                                .mul(e::c(1024))
+                                .add(e::v("k"))
+                                .mul(e::c(4))
+                                .add(e::c(a)),
                         },
                         Stmt::Load {
                             pc: 0x904,
-                            addr: e::v("k").mul(e::c(1024)).add(e::v("j")).mul(e::c(4)).add(e::c(b)),
+                            addr: e::v("k")
+                                .mul(e::c(1024))
+                                .add(e::v("j"))
+                                .mul(e::c(4))
+                                .add(e::c(b)),
                         },
-                        Stmt::Alu { pc: 0x908, count: 3 },
+                        Stmt::Alu {
+                            pc: 0x908,
+                            count: 3,
+                        },
                     ],
                 },
                 Stmt::Load {
                     pc: 0x90C,
-                    addr: e::v("i").mul(e::c(1024)).add(e::v("j")).mul(e::c(4)).add(e::c(c)),
+                    addr: e::v("i")
+                        .mul(e::c(1024))
+                        .add(e::v("j"))
+                        .mul(e::c(4))
+                        .add(e::c(c)),
                 },
                 Stmt::Store {
                     pc: 0x910,
-                    addr: e::v("i").mul(e::c(1024)).add(e::v("j")).mul(e::c(4)).add(e::c(c)),
+                    addr: e::v("i")
+                        .mul(e::c(1024))
+                        .add(e::v("j"))
+                        .mul(e::c(4))
+                        .add(e::c(c)),
                 },
             ],
         }],
@@ -122,14 +168,24 @@ pub(crate) fn mri_q(scale: Scale) -> Trace {
             pc: 0xA00 + n as u64 * 4,
             addr: e::v("k").mul(e::c(4)).add(e::c(s)),
         })
-        .chain([Stmt::Alu { pc: 0xA20, count: 10 }])
+        .chain([Stmt::Alu {
+            pc: 0xA20,
+            count: 10,
+        }])
         .collect();
     let mut p = Program::new(vec![Stmt::Loop {
         var: "v",
         count: e::c(voxels),
         body: vec![
-            Stmt::Loop { var: "k", count: e::c(samples), body },
-            Stmt::Store { pc: 0xA24, addr: e::v("v").mul(e::c(8)).add(e::c(base(6) as i64)) },
+            Stmt::Loop {
+                var: "k",
+                count: e::c(samples),
+                body,
+            },
+            Stmt::Store {
+                pc: 0xA24,
+                addr: e::v("v").mul(e::c(8)).add(e::c(base(6) as i64)),
+            },
         ],
     }]);
     p.annotate();
@@ -318,15 +374,24 @@ mod tests {
         let h = collect_block_histories(&t, 16);
         let skew = DifferentialSkew::from_histories(h.values());
         // Data-dependent scatter: the top 5% of vectors cover little.
-        assert!(skew.coverage_at(0.05) < 0.5, "histo must not be predictable");
+        assert!(
+            skew.coverage_at(0.05) < 0.5,
+            "histo must not be predictable"
+        );
     }
 
     #[test]
     fn lbm_working_set_size_diverges() {
         let t = lbm(Scale::Tiny);
         let h = collect_block_histories(&t, 16);
-        let sizes: std::collections::BTreeSet<usize> =
-            h.values().next().unwrap().instances.iter().map(|w| w.len()).collect();
+        let sizes: std::collections::BTreeSet<usize> = h
+            .values()
+            .next()
+            .unwrap()
+            .instances
+            .iter()
+            .map(|w| w.len())
+            .collect();
         assert!(sizes.len() >= 2, "obstacle divergence must vary the WS");
     }
 
@@ -346,7 +411,12 @@ mod tests {
     #[test]
     fn spmv_and_sad_fit_modest_footprints() {
         for (t, limit_mb) in [(spmv(Scale::Tiny), 70), (sad(Scale::Tiny), 70)] {
-            let max = t.iter().filter_map(|e| e.mem()).map(|m| m.addr.0).max().unwrap();
+            let max = t
+                .iter()
+                .filter_map(|e| e.mem())
+                .map(|m| m.addr.0)
+                .max()
+                .unwrap();
             assert!(max < base(0) + limit_mb * (64 << 20));
         }
     }

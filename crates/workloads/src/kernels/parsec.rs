@@ -94,7 +94,11 @@ mod tests {
         let t = streamcluster(Scale::Small);
         let h = collect_block_histories(&t, 16);
         let skew = DifferentialSkew::from_histories(h.values());
-        assert!(skew.distinct() > 50, "pair order must scatter: {}", skew.distinct());
+        assert!(
+            skew.distinct() > 50,
+            "pair order must scatter: {}",
+            skew.distinct()
+        );
         // ...yet within-pair unit strides keep a skewed head.
         assert!(skew.coverage_at(0.05) > 0.4);
     }
@@ -102,7 +106,12 @@ mod tests {
     #[test]
     fn canneal_is_random_but_resident() {
         let t = canneal(Scale::Tiny);
-        let max = t.iter().filter_map(|e| e.mem()).map(|m| m.addr.0).max().unwrap();
+        let max = t
+            .iter()
+            .filter_map(|e| e.mem())
+            .map(|m| m.addr.0)
+            .max()
+            .unwrap();
         assert!(max - base(0) < 2 * 1024 * 1024);
         let s = t.stats();
         assert!(s.branches >= s.dynamic_blocks);

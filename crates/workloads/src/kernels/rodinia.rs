@@ -30,7 +30,12 @@ pub(crate) fn nw(scale: Scale) -> Trace {
         e::v("t")
             .add(e::c(1 + di))
             .mul(e::c(COLS))
-            .add(e::v("d").add(e::c(dlen)).add(e::v("t").mul(e::c(-1))).add(e::c(dj)))
+            .add(
+                e::v("d")
+                    .add(e::c(dlen))
+                    .add(e::v("t").mul(e::c(-1)))
+                    .add(e::c(dj)),
+            )
             .mul(e::c(4))
             .add(e::c(arr))
     };
@@ -41,12 +46,30 @@ pub(crate) fn nw(scale: Scale) -> Trace {
             var: "t",
             count: e::c(dlen),
             body: vec![
-                Stmt::Load { pc: 0x1800, addr: at(-1, -1, m) },
-                Stmt::Load { pc: 0x1804, addr: at(-1, 0, m) },
-                Stmt::Load { pc: 0x1808, addr: at(0, -1, m) },
-                Stmt::Load { pc: 0x180c, addr: at(0, 0, reff) },
-                Stmt::Alu { pc: 0x1810, count: 4 },
-                Stmt::Store { pc: 0x1814, addr: at(0, 0, m) },
+                Stmt::Load {
+                    pc: 0x1800,
+                    addr: at(-1, -1, m),
+                },
+                Stmt::Load {
+                    pc: 0x1804,
+                    addr: at(-1, 0, m),
+                },
+                Stmt::Load {
+                    pc: 0x1808,
+                    addr: at(0, -1, m),
+                },
+                Stmt::Load {
+                    pc: 0x180c,
+                    addr: at(0, 0, reff),
+                },
+                Stmt::Alu {
+                    pc: 0x1810,
+                    count: 4,
+                },
+                Stmt::Store {
+                    pc: 0x1814,
+                    addr: at(0, 0, m),
+                },
             ],
         }],
     }]);
@@ -104,12 +127,18 @@ pub(crate) fn backprop(scale: Scale) -> Trace {
             var: "w",
             count: e::c(per_epoch as i64),
             body: vec![
-                Stmt::Load { pc: 0x1A00, addr: e::v("w").mul(e::c(16)).add(e::c(weights)) },
+                Stmt::Load {
+                    pc: 0x1A00,
+                    addr: e::v("w").mul(e::c(16)).add(e::c(weights)),
+                },
                 Stmt::Load {
                     pc: 0x1A04,
                     addr: Expr4(e::v("w")).rem256().mul(e::c(4)).add(e::c(input)),
                 },
-                Stmt::Alu { pc: 0x1A08, count: 2 },
+                Stmt::Alu {
+                    pc: 0x1A08,
+                    count: 2,
+                },
             ],
         }],
     }]);
@@ -150,12 +179,30 @@ pub(crate) fn srad_v1(scale: Scale) -> Trace {
                 var: "c",
                 count: e::c(cols),
                 body: vec![
-                    Stmt::Load { pc: 0x1B00, addr: at(rr(), cc(), img) },
-                    Stmt::Load { pc: 0x1B04, addr: at(rr().add(e::c(1)), cc(), img) },
-                    Stmt::Load { pc: 0x1B08, addr: at(rr().add(e::c(-1)), cc(), img) },
-                    Stmt::Load { pc: 0x1B0C, addr: at(rr(), cc().add(e::c(1)), img) },
-                    Stmt::Alu { pc: 0x1B10, count: 5 },
-                    Stmt::Store { pc: 0x1B14, addr: at(rr(), cc(), out) },
+                    Stmt::Load {
+                        pc: 0x1B00,
+                        addr: at(rr(), cc(), img),
+                    },
+                    Stmt::Load {
+                        pc: 0x1B04,
+                        addr: at(rr().add(e::c(1)), cc(), img),
+                    },
+                    Stmt::Load {
+                        pc: 0x1B08,
+                        addr: at(rr().add(e::c(-1)), cc(), img),
+                    },
+                    Stmt::Load {
+                        pc: 0x1B0C,
+                        addr: at(rr(), cc().add(e::c(1)), img),
+                    },
+                    Stmt::Alu {
+                        pc: 0x1B10,
+                        count: 5,
+                    },
+                    Stmt::Store {
+                        pc: 0x1B14,
+                        addr: at(rr(), cc(), out),
+                    },
                 ],
             }],
         }],
@@ -175,8 +222,15 @@ mod tests {
         let h = collect_block_histories(&t, 16);
         let skew = DifferentialSkew::from_histories(h.values());
         // A tiny alphabet dominated by the lock-step vectors.
-        assert!(skew.distinct() < 10, "alphabet too large: {}", skew.distinct());
-        assert!(skew.coverage_at(0.75) > 0.99, "nw must be highly predictable");
+        assert!(
+            skew.distinct() < 10,
+            "alphabet too large: {}",
+            skew.distinct()
+        );
+        assert!(
+            skew.coverage_at(0.75) > 0.99,
+            "nw must be highly predictable"
+        );
     }
 
     #[test]
@@ -198,7 +252,11 @@ mod tests {
         let t = backprop(Scale::Tiny);
         let addrs: Vec<u64> = t.iter().filter_map(|e| e.mem()).map(|m| m.addr.0).collect();
         let half = addrs.len() / 2;
-        assert_eq!(&addrs[..half], &addrs[half..], "epochs must replay the same sweep");
+        assert_eq!(
+            &addrs[..half],
+            &addrs[half..],
+            "epochs must replay the same sweep"
+        );
     }
 
     #[test]

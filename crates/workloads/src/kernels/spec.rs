@@ -153,13 +153,34 @@ pub(crate) fn milc(scale: Scale) -> Trace {
         var: "s",
         count: e::c(sites as i64),
         body: vec![
-            Stmt::Load { pc: 0x500, addr: e::v("s").mul(e::c(128)).add(e::c(link)) },
-            Stmt::Load { pc: 0x504, addr: e::v("s").mul(e::c(128)).add(e::c(link + 64)) },
-            Stmt::Load { pc: 0x508, addr: e::v("s").mul(e::c(128)).add(e::c(src)) },
-            Stmt::Load { pc: 0x50c, addr: e::v("s").mul(e::c(128)).add(e::c(src + 64)) },
-            Stmt::Alu { pc: 0x510, count: 18 },
-            Stmt::Store { pc: 0x514, addr: e::v("s").mul(e::c(128)).add(e::c(dst)) },
-            Stmt::Store { pc: 0x518, addr: e::v("s").mul(e::c(128)).add(e::c(dst + 64)) },
+            Stmt::Load {
+                pc: 0x500,
+                addr: e::v("s").mul(e::c(128)).add(e::c(link)),
+            },
+            Stmt::Load {
+                pc: 0x504,
+                addr: e::v("s").mul(e::c(128)).add(e::c(link + 64)),
+            },
+            Stmt::Load {
+                pc: 0x508,
+                addr: e::v("s").mul(e::c(128)).add(e::c(src)),
+            },
+            Stmt::Load {
+                pc: 0x50c,
+                addr: e::v("s").mul(e::c(128)).add(e::c(src + 64)),
+            },
+            Stmt::Alu {
+                pc: 0x510,
+                count: 18,
+            },
+            Stmt::Store {
+                pc: 0x514,
+                addr: e::v("s").mul(e::c(128)).add(e::c(dst)),
+            },
+            Stmt::Store {
+                pc: 0x518,
+                addr: e::v("s").mul(e::c(128)).add(e::c(dst + 64)),
+            },
         ],
     }]);
     p.annotate();
@@ -255,7 +276,10 @@ mod tests {
         let h = collect_block_histories(&t, 64);
         let sizes: std::collections::BTreeSet<usize> =
             h[&BlockId(0)].instances.iter().map(|w| w.len()).collect();
-        assert!(sizes.len() > 1, "branch divergence must vary the working set");
+        assert!(
+            sizes.len() > 1,
+            "branch divergence must vary the working set"
+        );
     }
 
     #[test]

@@ -160,13 +160,34 @@ pub(crate) fn ocean_cp(scale: Scale) -> Trace {
                 var: "c",
                 count: e::c(cols),
                 body: vec![
-                    Stmt::Load { pc: 0x1300, addr: at(rr(), cc(), src) },
-                    Stmt::Load { pc: 0x1304, addr: at(rr().add(e::c(1)), cc(), src) },
-                    Stmt::Load { pc: 0x1308, addr: at(rr().add(e::c(-1)), cc(), src) },
-                    Stmt::Load { pc: 0x130c, addr: at(rr(), cc().add(e::c(1)), src) },
-                    Stmt::Load { pc: 0x1310, addr: at(rr(), cc().add(e::c(-1)), src) },
-                    Stmt::Alu { pc: 0x1314, count: 5 },
-                    Stmt::Store { pc: 0x1318, addr: at(rr(), cc(), dst) },
+                    Stmt::Load {
+                        pc: 0x1300,
+                        addr: at(rr(), cc(), src),
+                    },
+                    Stmt::Load {
+                        pc: 0x1304,
+                        addr: at(rr().add(e::c(1)), cc(), src),
+                    },
+                    Stmt::Load {
+                        pc: 0x1308,
+                        addr: at(rr().add(e::c(-1)), cc(), src),
+                    },
+                    Stmt::Load {
+                        pc: 0x130c,
+                        addr: at(rr(), cc().add(e::c(1)), src),
+                    },
+                    Stmt::Load {
+                        pc: 0x1310,
+                        addr: at(rr(), cc().add(e::c(-1)), src),
+                    },
+                    Stmt::Alu {
+                        pc: 0x1314,
+                        count: 5,
+                    },
+                    Stmt::Store {
+                        pc: 0x1318,
+                        addr: at(rr(), cc(), dst),
+                    },
                 ],
             }],
         }],
@@ -209,7 +230,11 @@ mod tests {
         let h = collect_block_histories(&t, 16);
         let skew = DifferentialSkew::from_histories(h.values());
         // Stage alphabet + scatter: far more vectors than stencil's one.
-        assert!(skew.distinct() > 16, "fft must overflow the history table: {}", skew.distinct());
+        assert!(
+            skew.distinct() > 16,
+            "fft must overflow the history table: {}",
+            skew.distinct()
+        );
     }
 
     #[test]
@@ -223,7 +248,11 @@ mod tests {
             .count();
         // 15 of every 16 differentials are in-block (constant); block
         // junctions are jumps.
-        assert!(constant * 10 >= diffs.len() * 8, "{constant}/{}", diffs.len());
+        assert!(
+            constant * 10 >= diffs.len() * 8,
+            "{constant}/{}",
+            diffs.len()
+        );
     }
 
     #[test]
@@ -234,7 +263,10 @@ mod tests {
         assert!(s.stores > 0);
         let h = collect_block_histories(&t, 16);
         let skew = DifferentialSkew::from_histories(h.values());
-        assert!(skew.coverage_at(0.2) > 0.6, "radix should be mostly predictable");
+        assert!(
+            skew.coverage_at(0.2) > 0.6,
+            "radix should be mostly predictable"
+        );
     }
 
     #[test]

@@ -158,102 +158,224 @@ macro_rules! spec {
 /// the paper's Fig. 14.
 pub const ALL: &[WorkloadSpec] = &[
     // --- Memory-intensive group (Table IV) ---
-    spec!("401.bzip2-source", Spec2006, MemoryIntensive,
+    spec!(
+        "401.bzip2-source",
+        Spec2006,
+        MemoryIntensive,
         "large per-iteration buffer copies (hundreds of lines, overflows the 16-line CBWS)",
-        kernels::spec::bzip2),
-    spec!("histo-large", Parboil, MemoryIntensive,
+        kernels::spec::bzip2
+    ),
+    spec!(
+        "histo-large",
+        Parboil,
+        MemoryIntensive,
         "data-dependent histogram increments over a multi-MB table (Fig. 16)",
-        kernels::parboil::histo),
-    spec!("429.mcf-ref", Spec2006, MemoryIntensive,
+        kernels::parboil::histo
+    ),
+    spec!(
+        "429.mcf-ref",
+        Spec2006,
+        MemoryIntensive,
         "arc-array streaming with pointer-chased node dereferences",
-        kernels::spec::mcf),
-    spec!("lbm-long", Parboil, MemoryIntensive,
+        kernels::spec::mcf
+    ),
+    spec!(
+        "lbm-long",
+        Parboil,
+        MemoryIntensive,
         "lattice propagation with obstacle-dependent store divergence",
-        kernels::parboil::lbm),
-    spec!("mri-q-large", Parboil, MemoryIntensive,
+        kernels::parboil::lbm
+    ),
+    spec!(
+        "mri-q-large",
+        Parboil,
+        MemoryIntensive,
         "five parallel unit-stride FMA streams over k-space samples",
-        kernels::parboil::mri_q),
-    spec!("stencil-default", Parboil, MemoryIntensive,
+        kernels::parboil::mri_q
+    ),
+    spec!(
+        "stencil-default",
+        Parboil,
+        MemoryIntensive,
         "3-D Jacobi: seven 1024-line-strided streams per innermost iteration (Fig. 2-4)",
-        kernels::parboil::stencil),
-    spec!("fft-simlarge", Splash, MemoryIntensive,
+        kernels::parboil::stencil
+    ),
+    spec!(
+        "fft-simlarge",
+        Splash,
+        MemoryIntensive,
         "butterfly stages with per-stage stride alphabets plus bit-reversal scatter",
-        kernels::splash::fft),
-    spec!("nw", Rodinia, MemoryIntensive,
+        kernels::splash::fft
+    ),
+    spec!(
+        "nw",
+        Rodinia,
+        MemoryIntensive,
         "wavefront DP over a 2-D score matrix (three-neighbour reads, one write)",
-        kernels::rodinia::nw),
-    spec!("462.libquantum-ref", Spec2006, MemoryIntensive,
+        kernels::rodinia::nw
+    ),
+    spec!(
+        "462.libquantum-ref",
+        Spec2006,
+        MemoryIntensive,
         "single long unit-stride gate sweep with data-dependent conditional flips",
-        kernels::spec::libquantum),
-    spec!("450.soplex-ref", Spec2006, MemoryIntensive,
+        kernels::spec::libquantum
+    ),
+    spec!(
+        "450.soplex-ref",
+        Spec2006,
+        MemoryIntensive,
         "sparse column updates with branch-divergent iteration bodies",
-        kernels::spec::soplex),
-    spec!("lu-ncb-simlarge", Splash, MemoryIntensive,
+        kernels::spec::soplex
+    ),
+    spec!(
+        "lu-ncb-simlarge",
+        Splash,
+        MemoryIntensive,
         "blocked LU over non-contiguous blocks: constant in-block strides, jumpy bases",
-        kernels::splash::lu_ncb),
-    spec!("radix-simlarge", Splash, MemoryIntensive,
+        kernels::splash::lu_ncb
+    ),
+    spec!(
+        "radix-simlarge",
+        Splash,
+        MemoryIntensive,
         "digit histogram + permutation passes over large key arrays",
-        kernels::splash::radix),
-    spec!("433.milc-su3imp", Spec2006, MemoryIntensive,
+        kernels::splash::radix
+    ),
+    spec!(
+        "433.milc-su3imp",
+        Spec2006,
+        MemoryIntensive,
         "SU(3) field loops: three 2-line-strided matrix streams per site",
-        kernels::spec::milc),
-    spec!("streamcluster-simlarge", Parsec, MemoryIntensive,
+        kernels::spec::milc
+    ),
+    spec!(
+        "streamcluster-simlarge",
+        Parsec,
+        MemoryIntensive,
         "vectorized distance loops over randomly-ordered point pairs",
-        kernels::parsec::streamcluster),
-    spec!("sgemm-medium", Parboil, MemoryIntensive,
+        kernels::parsec::streamcluster
+    ),
+    spec!(
+        "sgemm-medium",
+        Parboil,
+        MemoryIntensive,
         "triple-loop GEMM: unit-stride A with 64-line-strided B column walks",
-        kernels::parboil::sgemm),
+        kernels::parboil::sgemm
+    ),
     // --- Low-MPKI group (Fig. 14, bottom panel) ---
-    spec!("458.sjeng-ref", Spec2006, LowMpki,
+    spec!(
+        "458.sjeng-ref",
+        Spec2006,
+        LowMpki,
         "random probes of a cache-resident transposition table with noisy branches",
-        kernels::spec::sjeng),
-    spec!("471.omnetpp-omnetpp", Spec2006, LowMpki,
+        kernels::spec::sjeng
+    ),
+    spec!(
+        "471.omnetpp-omnetpp",
+        Spec2006,
+        LowMpki,
         "event-heap sift: short pointer-chased chains in a ~1 MB heap",
-        kernels::spec::omnetpp),
-    spec!("bfs-1m", Rodinia, LowMpki,
+        kernels::spec::omnetpp
+    ),
+    spec!(
+        "bfs-1m",
+        Rodinia,
+        LowMpki,
         "frontier traversal with data-dependent visited-flag probes",
-        kernels::rodinia::bfs),
-    spec!("canneal-simlarge", Parsec, LowMpki,
+        kernels::rodinia::bfs
+    ),
+    spec!(
+        "canneal-simlarge",
+        Parsec,
+        LowMpki,
         "random element swaps in a mostly-L2-resident netlist",
-        kernels::parsec::canneal),
-    spec!("cholesky-tk29", Splash, LowMpki,
+        kernels::parsec::canneal
+    ),
+    spec!(
+        "cholesky-tk29",
+        Splash,
+        LowMpki,
         "supernodal panel updates with medium strides in a resident factor",
-        kernels::splash::cholesky),
-    spec!("freqmine-simlarge", Parsec, LowMpki,
+        kernels::splash::cholesky
+    ),
+    spec!(
+        "freqmine-simlarge",
+        Parsec,
+        LowMpki,
         "FP-tree walks: short dependent chains plus counter updates",
-        kernels::parsec::freqmine),
-    spec!("md-linpack", Linpack, LowMpki,
+        kernels::parsec::freqmine
+    ),
+    spec!(
+        "md-linpack",
+        Linpack,
+        LowMpki,
         "neighbour-list gathers around each particle (spatially local)",
-        kernels::linpack::md),
-    spec!("mvx-linpack", Linpack, LowMpki,
+        kernels::linpack::md
+    ),
+    spec!(
+        "mvx-linpack",
+        Linpack,
+        LowMpki,
         "matrix-vector product: streaming rows against a resident vector",
-        kernels::linpack::mvx),
-    spec!("mxm-linpack", Linpack, LowMpki,
+        kernels::linpack::mvx
+    ),
+    spec!(
+        "mxm-linpack",
+        Linpack,
+        LowMpki,
         "small cache-resident matrix multiply",
-        kernels::linpack::mxm),
-    spec!("ocean-cp-simlarge", Splash, LowMpki,
+        kernels::linpack::mxm
+    ),
+    spec!(
+        "ocean-cp-simlarge",
+        Splash,
+        LowMpki,
         "5-point stencil relaxation on a resident grid",
-        kernels::splash::ocean_cp),
-    spec!("sad-base-large", Parboil, LowMpki,
+        kernels::splash::ocean_cp
+    ),
+    spec!(
+        "sad-base-large",
+        Parboil,
+        LowMpki,
         "16x16 block matching between two resident frames",
-        kernels::parboil::sad),
-    spec!("spmv-large", Parboil, LowMpki,
+        kernels::parboil::sad
+    ),
+    spec!(
+        "spmv-large",
+        Parboil,
+        LowMpki,
         "CSR SpMV: unit-stride rows with gathered x[col[p]] accesses",
-        kernels::parboil::spmv),
-    spec!("water-spatial-native", Splash, LowMpki,
+        kernels::parboil::spmv
+    ),
+    spec!(
+        "water-spatial-native",
+        Splash,
+        LowMpki,
         "cell-list molecular interactions with semi-local gathers",
-        kernels::splash::water_spatial),
-    spec!("backprop", Rodinia, LowMpki,
+        kernels::splash::water_spatial
+    ),
+    spec!(
+        "backprop",
+        Rodinia,
+        LowMpki,
         "layer weight sweeps against resident activations",
-        kernels::rodinia::backprop),
-    spec!("srad-v1", Rodinia, LowMpki,
+        kernels::rodinia::backprop
+    ),
+    spec!(
+        "srad-v1",
+        Rodinia,
+        LowMpki,
         "4-neighbour image stencil over a ~1 MB image",
-        kernels::rodinia::srad_v1),
+        kernels::rodinia::srad_v1
+    ),
 ];
 
 /// The 15 memory-intensive workloads (Table IV), in Fig. 12/14 order.
 pub fn mi_suite() -> Vec<&'static WorkloadSpec> {
-    ALL.iter().filter(|w| w.group == Group::MemoryIntensive).collect()
+    ALL.iter()
+        .filter(|w| w.group == Group::MemoryIntensive)
+        .collect()
 }
 
 /// The 15 low-MPKI workloads, in Fig. 14 order.
@@ -287,7 +409,13 @@ mod tests {
 
     #[test]
     fn by_name_finds_table4_entries() {
-        for n in ["429.mcf-ref", "stencil-default", "sgemm-medium", "nw", "radix-simlarge"] {
+        for n in [
+            "429.mcf-ref",
+            "stencil-default",
+            "sgemm-medium",
+            "nw",
+            "radix-simlarge",
+        ] {
             assert!(by_name(n).is_some(), "{n} missing");
         }
         assert!(by_name("not-a-benchmark").is_none());
@@ -298,7 +426,12 @@ mod tests {
         for w in ALL {
             let t = w.generate(Scale::Tiny);
             let s = t.stats();
-            assert!(s.instructions > 500, "{}: too few instructions ({})", w.name, s.instructions);
+            assert!(
+                s.instructions > 500,
+                "{}: too few instructions ({})",
+                w.name,
+                s.instructions
+            );
             assert!(s.dynamic_blocks > 0, "{}: no annotated blocks", w.name);
             assert!(s.mem_accesses > 0, "{}: no memory accesses", w.name);
         }
@@ -320,7 +453,10 @@ mod tests {
             let t = w.generate(Scale::Tiny).stats().instructions;
             let s = w.generate(Scale::Small).stats().instructions;
             let f = w.generate(Scale::Full).stats().instructions;
-            assert!(t < s && s < f, "{name}: scales not increasing ({t}, {s}, {f})");
+            assert!(
+                t < s && s < f,
+                "{name}: scales not increasing ({t}, {s}, {f})"
+            );
         }
     }
 
@@ -328,7 +464,10 @@ mod tests {
     fn mi_group_spends_most_instructions_in_blocks() {
         // The trace-level analogue of Fig. 1: tight loops dominate.
         for w in mi_suite() {
-            let frac = w.generate(Scale::Small).stats().block_instruction_fraction();
+            let frac = w
+                .generate(Scale::Small)
+                .stats()
+                .block_instruction_fraction();
             assert!(frac > 0.4, "{}: block fraction too low ({frac:.2})", w.name);
         }
     }

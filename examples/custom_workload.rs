@@ -37,10 +37,19 @@ fn main() {
                     e::c(6),
                 ),
                 then: vec![
-                    Stmt::Load { pc: 0x10, addr: elem(x) },
-                    Stmt::Load { pc: 0x14, addr: elem(y) },
+                    Stmt::Load {
+                        pc: 0x10,
+                        addr: elem(x),
+                    },
+                    Stmt::Load {
+                        pc: 0x14,
+                        addr: elem(y),
+                    },
                     Stmt::Alu { pc: 0x18, count: 2 },
-                    Stmt::Store { pc: 0x1c, addr: elem(y) },
+                    Stmt::Store {
+                        pc: 0x1c,
+                        addr: elem(y),
+                    },
                 ],
                 otherwise: vec![Stmt::Alu { pc: 0x20, count: 1 }],
             }],
@@ -63,7 +72,11 @@ fn main() {
     );
 
     let sim = Simulator::new(SystemConfig::default());
-    for kind in [PrefetcherKind::None, PrefetcherKind::Sms, PrefetcherKind::CbwsSms] {
+    for kind in [
+        PrefetcherKind::None,
+        PrefetcherKind::Sms,
+        PrefetcherKind::CbwsSms,
+    ] {
         let r = sim.run("custom-saxpy", true, &trace, kind);
         println!(
             "{:<12} IPC {:.3}  MPKI {:.2}",

@@ -11,7 +11,12 @@ use cbws_repro::workloads::{by_name, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let names: Vec<&str> = if args.is_empty() {
-        vec!["stencil-default", "histo-large", "401.bzip2-source", "lu-ncb-simlarge"]
+        vec![
+            "stencil-default",
+            "histo-large",
+            "401.bzip2-source",
+            "lu-ncb-simlarge",
+        ]
     } else {
         args.iter().map(String::as_str).collect()
     };

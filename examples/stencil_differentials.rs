@@ -11,9 +11,14 @@ use cbws_repro::workloads::{by_name, Scale};
 
 fn main() {
     // Part 1 — Figs. 3 & 4 from the real kernel trace.
-    let trace = by_name("stencil-default").expect("registered").generate(Scale::Tiny);
+    let trace = by_name("stencil-default")
+        .expect("registered")
+        .generate(Scale::Tiny);
     let histories = collect_block_histories(&trace, 16);
-    let history = histories.values().next().expect("stencil has one annotated loop");
+    let history = histories
+        .values()
+        .next()
+        .expect("stencil has one annotated loop");
 
     println!("Fig. 3 — CBWS vectors of eight stencil iterations:");
     for (i, ws) in history.instances.iter().take(8).enumerate() {
@@ -22,7 +27,12 @@ fn main() {
 
     println!("\nFig. 4 — their differentials (element-wise deltas, in lines):");
     for (i, pair) in history.instances.windows(2).take(7).enumerate() {
-        println!("  CBWS{} - CBWS{} = {}", i + 1, i, pair[1].differential(&pair[0]));
+        println!(
+            "  CBWS{} - CBWS{} = {}",
+            i + 1,
+            i,
+            pair[1].differential(&pair[0])
+        );
     }
 
     // Part 2 — Table I in miniature: feed two handcrafted block instances

@@ -18,7 +18,13 @@ fn hybrid_beats_sms_on_block_structured_loops() {
     // structured benchmarks such as sgemm and radix", and both CBWS
     // prefetchers outperform all others on nw, sgemm, radix, stencil,
     // lu_ncb.
-    for name in ["sgemm-medium", "radix-simlarge", "stencil-default", "nw", "lu-ncb-simlarge"] {
+    for name in [
+        "sgemm-medium",
+        "radix-simlarge",
+        "stencil-default",
+        "nw",
+        "lu-ncb-simlarge",
+    ] {
         let sms = run(name, PrefetcherKind::Sms);
         let hybrid = run(name, PrefetcherKind::CbwsSms);
         assert!(
@@ -124,20 +130,35 @@ fn standalone_cbws_is_the_most_accurate_scheme() {
     // accesses average to 5% of all demand accesses" in the MI group.
     // Asserted here on a representative subset (the full-suite averages
     // are recorded in EXPERIMENTS.md: 5.6% measured vs the paper's 5%).
-    let names = ["nw", "lu-ncb-simlarge", "sgemm-medium", "radix-simlarge", "433.milc-su3imp"];
+    let names = [
+        "nw",
+        "lu-ncb-simlarge",
+        "sgemm-medium",
+        "radix-simlarge",
+        "433.milc-su3imp",
+    ];
     let mut cbws_wrong = 0.0;
     for name in names {
         cbws_wrong += run(name, PrefetcherKind::Cbws).timeliness().wrong;
     }
     let mean = cbws_wrong / names.len() as f64;
-    assert!(mean < 0.08, "standalone CBWS mean wrong {mean:.3} exceeds the paper's ~5%");
+    assert!(
+        mean < 0.08,
+        "standalone CBWS mean wrong {mean:.3} exceeds the paper's ~5%"
+    );
 }
 
 #[test]
 fn hybrid_has_the_best_timeliness() {
     // §VII-B: integrating CBWS improves timeliness — the timely fraction
     // rises over standalone SMS (paper: 24% -> 31% on the MI group).
-    let names = ["nw", "lu-ncb-simlarge", "sgemm-medium", "radix-simlarge", "433.milc-su3imp"];
+    let names = [
+        "nw",
+        "lu-ncb-simlarge",
+        "sgemm-medium",
+        "radix-simlarge",
+        "433.milc-su3imp",
+    ];
     let mut sms_timely = 0.0;
     let mut hybrid_timely = 0.0;
     for name in names {
@@ -159,7 +180,10 @@ fn prefetching_never_changes_committed_work() {
             .iter()
             .map(|&k| run(name, k).cpu.instructions)
             .collect();
-        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{name}: {counts:?}");
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "{name}: {counts:?}"
+        );
     }
 }
 

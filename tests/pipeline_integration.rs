@@ -14,10 +14,19 @@ fn saxpy_nest(n: i64) -> Program {
         var: "i",
         count: e::c(n),
         body: vec![
-            Stmt::Load { pc: 0x10, addr: e::v("i").mul(e::c(512)).add(e::c(x)) },
-            Stmt::Load { pc: 0x14, addr: e::v("i").mul(e::c(512)).add(e::c(y)) },
+            Stmt::Load {
+                pc: 0x10,
+                addr: e::v("i").mul(e::c(512)).add(e::c(x)),
+            },
+            Stmt::Load {
+                pc: 0x14,
+                addr: e::v("i").mul(e::c(512)).add(e::c(y)),
+            },
             Stmt::Alu { pc: 0x18, count: 2 },
-            Stmt::Store { pc: 0x1c, addr: e::v("i").mul(e::c(512)).add(e::c(y)) },
+            Stmt::Store {
+                pc: 0x1c,
+                addr: e::v("i").mul(e::c(512)).add(e::c(y)),
+            },
         ],
     }])
 }
@@ -30,7 +39,12 @@ fn dsl_to_simulation_pipeline() {
     let sim = Simulator::new(SystemConfig::default());
     let none = sim.run("saxpy", true, &trace, PrefetcherKind::None);
     let hybrid = sim.run("saxpy", true, &trace, PrefetcherKind::CbwsSms);
-    assert!(hybrid.mpki() < none.mpki() / 2.0, "{} vs {}", hybrid.mpki(), none.mpki());
+    assert!(
+        hybrid.mpki() < none.mpki() / 2.0,
+        "{} vs {}",
+        hybrid.mpki(),
+        none.mpki()
+    );
     assert!(hybrid.ipc() > none.ipc());
 }
 
@@ -49,7 +63,12 @@ fn unrolling_preserves_simulated_behaviour() {
     let unrolled_trace = unrolled.execute().unwrap();
 
     let a = sim.run("saxpy", true, &plain_trace, PrefetcherKind::Cbws);
-    let b = sim.run("saxpy-unrolled", true, &unrolled_trace, PrefetcherKind::Cbws);
+    let b = sim.run(
+        "saxpy-unrolled",
+        true,
+        &unrolled_trace,
+        PrefetcherKind::Cbws,
+    );
     // Memory-side behaviour is near-identical: the access stream is the
     // same; only front-end timing shifts slightly (fewer back-branches),
     // which can move a handful of prefetches across timeliness classes.
