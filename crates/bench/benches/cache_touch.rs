@@ -1,0 +1,66 @@
+//! Microbenchmarks of the flattened cache array's hot paths: the fused
+//! `demand_touch` probe (the L1-miss → L2 path of the hierarchy), the plain
+//! `touch` probe, and insert-with-eviction. Guards the contiguous
+//! set-major layout against regressions.
+
+use cbws_sim_mem::{Cache, CacheConfig};
+use cbws_trace::LineAddr;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn l2_like_cache() -> Cache {
+    // The evaluation's L2 point: 2 MB, 16-way.
+    let mut cache = Cache::new(CacheConfig {
+        size_bytes: 2 * 1024 * 1024,
+        assoc: 16,
+        latency: 12,
+        mshrs: 16,
+    });
+    for i in 0..(2 * 1024 * 1024 / 64) as u64 {
+        cache.insert(LineAddr(i), false, None);
+    }
+    cache
+}
+
+fn bench(c: &mut Criterion) {
+    let lines = (2 * 1024 * 1024 / 64) as u64;
+
+    let mut cache = l2_like_cache();
+    let mut i = 0u64;
+    c.bench_function("cache/demand_touch_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % lines;
+            black_box(cache.demand_touch(LineAddr(i), false))
+        })
+    });
+
+    let mut cache = l2_like_cache();
+    let mut i = 0u64;
+    c.bench_function("cache/demand_touch_miss", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(cache.demand_touch(LineAddr(lines + i), false))
+        })
+    });
+
+    let mut cache = l2_like_cache();
+    let mut i = 0u64;
+    c.bench_function("cache/touch_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % lines;
+            black_box(cache.touch(LineAddr(i), false))
+        })
+    });
+
+    let mut cache = l2_like_cache();
+    let mut i = 0u64;
+    c.bench_function("cache/insert_evict", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(cache.insert(LineAddr(lines + i), false, None))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

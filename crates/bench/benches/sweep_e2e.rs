@@ -1,0 +1,116 @@
+//! End-to-end sweep benchmark: the full `workloads × 7 prefetchers` matrix
+//! run serially versus through the work-stealing engine, with a
+//! byte-identical-results assertion in between. Writes the measured wall
+//! clocks to `BENCH_sweep.json` at the repository root.
+//!
+//! ```text
+//! cargo bench -p cbws-bench --bench sweep_e2e -- \
+//!     [--scale tiny|small|full] [--jobs N] [--iters K]
+//! ```
+//!
+//! Exits non-zero if the engine's records diverge from the serial sweep or
+//! any record's Fig. 13 classification fails to partition — the CI
+//! perf-smoke job relies on this as the determinism gate.
+//!
+//! The shared trace cache is cleared before every timed run, so both
+//! competitors pay trace generation and neither inherits the other's warm
+//! cache.
+
+use cbws_harness::engine::detect_parallelism;
+use cbws_harness::experiments::{sweep, sweep_engine};
+use cbws_workloads::{trace_cache, Scale, WorkloadSpec, ALL};
+use std::time::Instant;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = match arg_value(&args, "--scale").as_deref() {
+        Some("small") => Scale::Small,
+        Some("full") => Scale::Full,
+        _ => Scale::Tiny,
+    };
+    let scale_name = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    };
+    let jobs: usize = arg_value(&args, "--jobs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let iters: usize = arg_value(&args, "--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    let workloads: Vec<&'static WorkloadSpec> = ALL.iter().collect();
+    let cores = detect_parallelism();
+    eprintln!(
+        "[sweep_e2e] scale = {scale_name}, {} workloads, jobs = {jobs} (0 = all {cores} cores), \
+         best of {iters}",
+        workloads.len()
+    );
+
+    // Serial competitor (best of `iters`, cold trace cache each time).
+    let mut serial_secs = f64::INFINITY;
+    let mut serial_records = Vec::new();
+    for _ in 0..iters {
+        trace_cache::shared().clear();
+        let t = Instant::now();
+        serial_records = sweep(scale, &workloads);
+        serial_secs = serial_secs.min(t.elapsed().as_secs_f64());
+    }
+    eprintln!("[sweep_e2e] serial: {serial_secs:.3} s");
+
+    // Engine competitor.
+    let mut engine_secs = f64::INFINITY;
+    let mut workers = 0;
+    let mut engine_records = Vec::new();
+    for _ in 0..iters {
+        trace_cache::shared().clear();
+        let run = sweep_engine(scale, &workloads, jobs);
+        engine_secs = engine_secs.min(run.wall_seconds);
+        workers = run.workers;
+        engine_records = run.records;
+    }
+    eprintln!("[sweep_e2e] engine: {engine_secs:.3} s on {workers} workers");
+
+    // Determinism gate: byte-identical records, valid classification.
+    assert_eq!(
+        serial_records, engine_records,
+        "engine records diverged from the serial sweep"
+    );
+    assert!(
+        engine_records
+            .iter()
+            .all(|r| r.mem.classification_is_partition()),
+        "a record's Fig. 13 classification does not partition"
+    );
+    eprintln!(
+        "[sweep_e2e] determinism: {} records byte-identical, classification partitions",
+        engine_records.len()
+    );
+
+    let speedup = serial_secs / engine_secs;
+    eprintln!("[sweep_e2e] speedup: {speedup:.2}x");
+
+    // Record the measurement at the repository root.
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_e2e\",\n  \"scale\": \"{scale_name}\",\n  \
+         \"workloads\": {},\n  \"prefetchers\": 7,\n  \"cores\": {cores},\n  \
+         \"workers\": {workers},\n  \"iterations\": {iters},\n  \
+         \"serial_seconds\": {serial_secs:.4},\n  \"engine_seconds\": {engine_secs:.4},\n  \
+         \"speedup\": {speedup:.3},\n  \"identical_records\": true\n}}\n",
+        workloads.len()
+    );
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_sweep.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[sweep_e2e] wrote {}", path.display()),
+        Err(e) => eprintln!("[sweep_e2e] cannot write {}: {e}", path.display()),
+    }
+    print!("{json}");
+}

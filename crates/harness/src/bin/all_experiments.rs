@@ -4,12 +4,13 @@
 //! run that produced it.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin all_experiments
-//! [--scale tiny|small|full] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
 
 use cbws_harness::experiments::{
     fig01_loop_fraction, fig03_stencil_cbws, fig05_differential_skew, fig05_svg, fig12_mpki,
     fig12_svg, fig13_svg, fig13_timeliness, fig14_speedup, fig14_svg, fig15_perf_cost, fig15_svg,
-    save_csv, save_svg, scale_from_args, sweep_parallel, tab02_parameters, tab03_storage,
+    jobs_from_args, save_csv, save_svg, scale_from_args, sweep_engine, tab02_parameters,
+    tab03_storage,
 };
 use cbws_harness::{PrefetcherKind, RunManifest, SystemConfig};
 use cbws_telemetry::{detail, result, status, Profiler};
@@ -44,10 +45,11 @@ fn main() {
     save_csv("fig05_differential_skew", &fig05);
     save_svg("fig05_differential_skew", &fig05_svg(scale));
 
-    // One sweep over all 30 benchmarks backs Figs. 12-15.
+    // One engine sweep over all 30 benchmarks backs Figs. 12-15.
     profiler.begin("sweep");
     let all: Vec<_> = cbws_workloads::ALL.iter().collect();
-    let records = sweep_parallel(scale, &all);
+    let run = sweep_engine(scale, &all, jobs_from_args());
+    let records = run.records;
 
     profiler.begin("figures");
     let fig12 = fig12_mpki(&records);
@@ -71,6 +73,7 @@ fn main() {
     save_svg("fig15_perf_cost", &fig15_svg(&records));
     profiler.end();
 
+    profiler.merge(&run.profiler);
     RunManifest::new(
         "all_experiments",
         scale,
@@ -78,6 +81,7 @@ fn main() {
         PrefetcherKind::ALL,
         cfg,
     )
+    .with_timing(run.workers, run.wall_seconds, &profiler)
     .save("all_experiments");
 
     detail!("[all] phase timings:\n{}", profiler.report());

@@ -6,13 +6,13 @@
 //! one — a stress test for the CBWS+SMS result.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin dram_model
-//! [--scale tiny|small|full] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
 
-use cbws_harness::experiments::{get, save_csv, scale_from_args};
-use cbws_harness::{PrefetcherKind, RunManifest, Simulator, SystemConfig};
+use cbws_harness::experiments::{get, jobs_from_args, save_csv, scale_from_args};
+use cbws_harness::{Engine, EngineConfig, EngineRun, PrefetcherKind, RunManifest, SystemConfig};
 use cbws_sim_mem::DramConfig;
-use cbws_stats::{geomean, RunRecord, TextTable};
-use cbws_telemetry::{result, status};
+use cbws_stats::{geomean, TextTable};
+use cbws_telemetry::{result, status, Telemetry};
 use cbws_workloads::mi_suite;
 
 const KINDS: [PrefetcherKind; 3] = [
@@ -21,22 +21,20 @@ const KINDS: [PrefetcherKind; 3] = [
     PrefetcherKind::CbwsSms,
 ];
 
-fn run_suite(scale: cbws_workloads::Scale, cfg: SystemConfig) -> Vec<RunRecord> {
-    let sim = Simulator::new(cfg);
-    let mut records = Vec::new();
-    for w in mi_suite() {
-        let trace = w.generate(scale);
-        for kind in KINDS {
-            records.push(sim.run(w.name, true, &trace, kind));
-        }
-    }
-    records
+fn run_suite(scale: cbws_workloads::Scale, cfg: SystemConfig, jobs: usize) -> EngineRun {
+    Engine::new(EngineConfig {
+        jobs,
+        system: cfg,
+        telemetry: Telemetry::disabled(),
+    })
+    .run(scale, &mi_suite(), &KINDS)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     cbws_telemetry::log::apply_cli_flags(&args);
     let scale = scale_from_args();
+    let jobs = jobs_from_args();
     status!("[dram] scale = {scale}");
 
     let flat_cfg = SystemConfig::default();
@@ -44,9 +42,10 @@ fn main() {
     dram_cfg.mem.dram = Some(DramConfig::default());
 
     status!("[dram] flat model...");
-    let flat = run_suite(scale, flat_cfg);
+    let flat_run = run_suite(scale, flat_cfg, jobs);
     status!("[dram] banked DRAM model...");
-    let dram = run_suite(scale, dram_cfg);
+    let dram_run = run_suite(scale, dram_cfg, jobs);
+    let (flat, dram) = (&flat_run.records, &dram_run.records);
 
     let mut table = TextTable::new(vec![
         "benchmark".into(),
@@ -56,8 +55,8 @@ fn main() {
     let mut flat_ratios = Vec::new();
     let mut dram_ratios = Vec::new();
     for w in mi_suite() {
-        let fr = get(&flat, w.name, "CBWS+SMS").ipc() / get(&flat, w.name, "SMS").ipc();
-        let dr = get(&dram, w.name, "CBWS+SMS").ipc() / get(&dram, w.name, "SMS").ipc();
+        let fr = get(flat, w.name, "CBWS+SMS").ipc() / get(flat, w.name, "SMS").ipc();
+        let dr = get(dram, w.name, "CBWS+SMS").ipc() / get(dram, w.name, "SMS").ipc();
         flat_ratios.push(fr);
         dram_ratios.push(dr);
         table.row(vec![
@@ -74,12 +73,19 @@ fn main() {
 
     result!("Headline speedup under flat vs banked-DRAM memory\n\n{table}");
     save_csv("dram_model", &table);
+    let mut profiler = flat_run.profiler.clone();
+    profiler.merge(&dram_run.profiler);
     RunManifest::new(
         "dram_model",
         scale,
         mi_suite().iter().map(|w| w.name),
         KINDS,
         dram_cfg,
+    )
+    .with_timing(
+        flat_run.workers,
+        flat_run.wall_seconds + dram_run.wall_seconds,
+        &profiler,
     )
     .save("dram_model");
 }

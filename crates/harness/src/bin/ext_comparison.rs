@@ -12,11 +12,11 @@
 //! * Markov (Joseph & Grunwald), pair-correlation prefetching.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin ext_comparison
-//! [--scale tiny|small|full] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
 
-use cbws_harness::experiments::{get, save_csv, scale_from_args};
-use cbws_harness::{PrefetcherKind, RunManifest, Simulator, SystemConfig};
-use cbws_stats::{geomean, RunRecord, TextTable};
+use cbws_harness::experiments::{get, jobs_from_args, save_csv, scale_from_args};
+use cbws_harness::{Engine, EngineConfig, PrefetcherKind, RunManifest, SystemConfig};
+use cbws_stats::{geomean, TextTable};
 use cbws_telemetry::{result, status};
 use cbws_workloads::mi_suite;
 
@@ -30,15 +30,19 @@ fn main() {
         .chain(PrefetcherKind::EXTENDED)
         .collect();
 
-    let sim = Simulator::new(SystemConfig::default());
-    let mut records: Vec<RunRecord> = Vec::new();
-    for w in mi_suite() {
-        let trace = w.generate(scale);
-        status!("[ext] {}", w.name);
-        for &kind in &kinds {
-            records.push(sim.run(w.name, true, &trace, kind));
-        }
-    }
+    let suite = mi_suite();
+    let engine = Engine::new(EngineConfig {
+        jobs: jobs_from_args(),
+        ..EngineConfig::default()
+    });
+    let run = engine.run(scale, &suite, &kinds);
+    status!(
+        "[ext] {} jobs on {} workers in {:.2} s",
+        run.job_count,
+        run.workers,
+        run.wall_seconds
+    );
+    let records = &run.records;
 
     let mut table = TextTable::new(
         std::iter::once("benchmark".to_string())
@@ -47,10 +51,10 @@ fn main() {
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
     for w in mi_suite() {
-        let sms = get(&records, w.name, "SMS").ipc();
+        let sms = get(records, w.name, "SMS").ipc();
         let mut row = vec![w.name.to_string()];
         for (i, &kind) in kinds.iter().enumerate() {
-            let v = get(&records, w.name, kind.name()).ipc() / sms;
+            let v = get(records, w.name, kind.name()).ipc() / sms;
             row.push(format!("{v:.3}"));
             cols[i].push(v);
         }
@@ -68,10 +72,11 @@ fn main() {
     RunManifest::new(
         "ext_comparison",
         scale,
-        mi_suite().iter().map(|w| w.name),
+        suite.iter().map(|w| w.name),
         kinds.iter().copied(),
         SystemConfig::default(),
     )
+    .with_timing(run.workers, run.wall_seconds, &run.profiler)
     .save("ext_comparison");
 
     // Storage context for the comparison.

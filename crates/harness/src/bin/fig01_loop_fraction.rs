@@ -2,10 +2,10 @@
 //! innermost loops for the memory-intensive benchmarks.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin fig01_loop_fraction
-//! [--scale tiny|small|full] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
 
-use cbws_harness::experiments::{fig01_loop_fraction, save_csv, scale_from_args};
-use cbws_harness::{PrefetcherKind, RunManifest, SystemConfig};
+use cbws_harness::experiments::{fig01_from_records, jobs_from_args, save_csv, scale_from_args};
+use cbws_harness::{Engine, EngineConfig, PrefetcherKind, RunManifest, SystemConfig};
 use cbws_telemetry::{result, status};
 
 fn main() {
@@ -13,16 +13,23 @@ fn main() {
     cbws_telemetry::log::apply_cli_flags(&args);
     let scale = scale_from_args();
     status!("[fig01] scale = {scale}");
-    let table = fig01_loop_fraction(scale);
+    let suite = cbws_workloads::mi_suite();
+    let engine = Engine::new(EngineConfig {
+        jobs: jobs_from_args(),
+        ..EngineConfig::default()
+    });
+    let run = engine.run(scale, &suite, &[PrefetcherKind::None]);
+    let table = fig01_from_records(&run.records);
     result!("Fig. 1 — runtime fraction in tight innermost loops (no-prefetch)\n");
     result!("{table}");
     save_csv("fig01_loop_fraction", &table);
     RunManifest::new(
         "fig01_loop_fraction",
         scale,
-        cbws_workloads::mi_suite().iter().map(|w| w.name),
+        suite.iter().map(|w| w.name),
         [PrefetcherKind::None],
         SystemConfig::default(),
     )
+    .with_timing(run.workers, run.wall_seconds, &run.profiler)
     .save("fig01_loop_fraction");
 }

@@ -2,9 +2,14 @@
 //! differential vectors — how few vectors cover how many loop iterations.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin fig05_differential_skew
-//! [--scale tiny|small|full] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
+//!
+//! `--jobs` is accepted for CLI uniformity but has no effect: this binary
+//! analyses traces without running simulation sweeps.
 
-use cbws_harness::experiments::{fig05_differential_skew, save_csv, scale_from_args};
+use cbws_harness::experiments::{
+    fig05_differential_skew, jobs_from_args, save_csv, scale_from_args,
+};
 use cbws_harness::{PrefetcherKind, RunManifest, SystemConfig};
 use cbws_telemetry::{result, status};
 
@@ -12,6 +17,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     cbws_telemetry::log::apply_cli_flags(&args);
     let scale = scale_from_args();
+    let _ = jobs_from_args(); // validated for CLI uniformity; no sweep here
     status!("[fig05] scale = {scale}");
     let table = fig05_differential_skew(scale);
     result!(

@@ -2,9 +2,11 @@
 //! the memory-intensive suite (lower is better).
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin fig12_mpki
-//! [--scale tiny|small|full] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
 
-use cbws_harness::experiments::{fig12_mpki, save_csv, scale_from_args, sweep};
+use cbws_harness::experiments::{
+    fig12_mpki, jobs_from_args, save_csv, scale_from_args, sweep_engine,
+};
 use cbws_harness::{PrefetcherKind, RunManifest, SystemConfig};
 use cbws_telemetry::{result, status};
 
@@ -14,8 +16,8 @@ fn main() {
     let scale = scale_from_args();
     status!("[fig12] scale = {scale}");
     let suite = cbws_workloads::mi_suite();
-    let records = sweep(scale, &suite);
-    let table = fig12_mpki(&records);
+    let run = sweep_engine(scale, &suite, jobs_from_args());
+    let table = fig12_mpki(&run.records);
     result!("Fig. 12 — L2 misses per kilo-instruction (lower is better)\n");
     result!("{table}");
     save_csv("fig12_mpki", &table);
@@ -26,5 +28,6 @@ fn main() {
         PrefetcherKind::ALL,
         SystemConfig::default(),
     )
+    .with_timing(run.workers, run.wall_seconds, &run.profiler)
     .save("fig12_mpki");
 }

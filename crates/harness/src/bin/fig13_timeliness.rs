@@ -3,9 +3,11 @@
 //! prefetcher on the memory-intensive suite.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin fig13_timeliness
-//! [--scale tiny|small|full] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
 
-use cbws_harness::experiments::{fig13_timeliness, save_csv, scale_from_args, sweep};
+use cbws_harness::experiments::{
+    fig13_timeliness, jobs_from_args, save_csv, scale_from_args, sweep_engine,
+};
 use cbws_harness::{PrefetcherKind, RunManifest, SystemConfig};
 use cbws_telemetry::{result, status};
 
@@ -15,8 +17,8 @@ fn main() {
     let scale = scale_from_args();
     status!("[fig13] scale = {scale}");
     let suite = cbws_workloads::mi_suite();
-    let records = sweep(scale, &suite);
-    let table = fig13_timeliness(&records);
+    let run = sweep_engine(scale, &suite, jobs_from_args());
+    let table = fig13_timeliness(&run.records);
     result!("Fig. 13 — timeliness and accuracy, % of demand L2 accesses\n");
     result!("{table}");
     save_csv("fig13_timeliness", &table);
@@ -27,5 +29,6 @@ fn main() {
         PrefetcherKind::ALL,
         SystemConfig::default(),
     )
+    .with_timing(run.workers, run.wall_seconds, &run.profiler)
     .save("fig13_timeliness");
 }

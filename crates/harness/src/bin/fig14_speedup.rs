@@ -2,9 +2,11 @@
 //! (higher is better) — the paper's headline result.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin fig14_speedup
-//! [--scale tiny|small|full] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
 
-use cbws_harness::experiments::{fig14_speedup, save_csv, scale_from_args};
+use cbws_harness::experiments::{
+    fig14_speedup, jobs_from_args, save_csv, scale_from_args, sweep_engine,
+};
 use cbws_harness::{PrefetcherKind, RunManifest, SystemConfig};
 use cbws_telemetry::{result, status};
 
@@ -14,8 +16,8 @@ fn main() {
     let scale = scale_from_args();
     status!("[fig14] scale = {scale}");
     let all: Vec<_> = cbws_workloads::ALL.iter().collect();
-    let records = cbws_harness::experiments::sweep_parallel(scale, &all);
-    let table = fig14_speedup(&records);
+    let run = sweep_engine(scale, &all, jobs_from_args());
+    let table = fig14_speedup(&run.records);
     result!("Fig. 14 — IPC normalized to SMS (higher is better)\n");
     result!("{table}");
     save_csv("fig14_speedup", &table);
@@ -26,5 +28,6 @@ fn main() {
         PrefetcherKind::ALL,
         SystemConfig::default(),
     )
+    .with_timing(run.workers, run.wall_seconds, &run.profiler)
     .save("fig14_speedup");
 }

@@ -2,9 +2,11 @@
 //! memory, normalized to the no-prefetch configuration (higher is better).
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin fig15_perf_cost
-//! [--scale tiny|small|full] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
 
-use cbws_harness::experiments::{fig15_perf_cost, save_csv, scale_from_args, sweep};
+use cbws_harness::experiments::{
+    fig15_perf_cost, jobs_from_args, save_csv, scale_from_args, sweep_engine,
+};
 use cbws_harness::{PrefetcherKind, RunManifest, SystemConfig};
 use cbws_telemetry::{result, status};
 
@@ -14,8 +16,8 @@ fn main() {
     let scale = scale_from_args();
     status!("[fig15] scale = {scale}");
     let suite = cbws_workloads::mi_suite();
-    let records = sweep(scale, &suite);
-    let table = fig15_perf_cost(&records);
+    let run = sweep_engine(scale, &suite, jobs_from_args());
+    let table = fig15_perf_cost(&run.records);
     result!("Fig. 15 — IPC / bytes read, normalized to no-prefetch\n");
     result!("{table}");
     save_csv("fig15_perf_cost", &table);
@@ -26,5 +28,6 @@ fn main() {
         PrefetcherKind::ALL,
         SystemConfig::default(),
     )
+    .with_timing(run.workers, run.wall_seconds, &run.profiler)
     .save("fig15_perf_cost");
 }

@@ -4,31 +4,41 @@
 //! advantage is not an artifact of that point.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin sensitivity
-//! [--scale tiny|small|full] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
 
-use cbws_harness::experiments::{save_csv, scale_from_args};
-use cbws_harness::{PrefetcherKind, RunManifest, Simulator, SystemConfig};
+use cbws_harness::experiments::{jobs_from_args, save_csv, scale_from_args};
+use cbws_harness::{Engine, EngineConfig, EngineRun, PrefetcherKind, RunManifest, SystemConfig};
 use cbws_stats::{geomean, TextTable};
-use cbws_telemetry::{result, status};
+use cbws_telemetry::{result, status, Profiler, Telemetry};
 use cbws_workloads::{mi_suite, Scale};
 
-fn geomean_speedup(scale: Scale, cfg: SystemConfig) -> f64 {
-    let sim = Simulator::new(cfg);
-    let mut ratios = Vec::new();
-    for w in mi_suite() {
-        let trace = w.generate(scale);
-        let sms = sim.run(w.name, true, &trace, PrefetcherKind::Sms);
-        let hybrid = sim.run(w.name, true, &trace, PrefetcherKind::CbwsSms);
-        ratios.push(hybrid.ipc() / sms.ipc());
-    }
-    geomean(ratios)
+/// Runs the MI suite under `cfg` through the engine and returns the
+/// geomean CBWS+SMS / SMS speedup plus the run's timing.
+fn geomean_speedup(scale: Scale, cfg: SystemConfig, jobs: usize) -> (f64, EngineRun) {
+    let engine = Engine::new(EngineConfig {
+        jobs,
+        system: cfg,
+        telemetry: Telemetry::disabled(),
+    });
+    let run = engine.run(
+        scale,
+        &mi_suite(),
+        &[PrefetcherKind::Sms, PrefetcherKind::CbwsSms],
+    );
+    // Workload-major order: each pair is (SMS, CBWS+SMS) for one workload.
+    let speedup = geomean(run.records.chunks(2).map(|p| p[1].ipc() / p[0].ipc()));
+    (speedup, run)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     cbws_telemetry::log::apply_cli_flags(&args);
     let scale = scale_from_args();
+    let jobs = jobs_from_args();
     status!("[sensitivity] scale = {scale}");
+    let mut profiler = Profiler::new();
+    let mut wall = 0.0;
+    let mut workers = 0;
 
     // L2 capacity sweep.
     let mut l2 = TextTable::new(vec![
@@ -39,10 +49,11 @@ fn main() {
         let mut cfg = SystemConfig::default();
         cfg.mem.l2.size_bytes = mb * 1024 * 1024;
         status!("[sensitivity] L2 = {mb} MB");
-        l2.row(vec![
-            format!("{mb} MB"),
-            format!("{:.3}", geomean_speedup(scale, cfg)),
-        ]);
+        let (speedup, run) = geomean_speedup(scale, cfg, jobs);
+        profiler.merge(&run.profiler);
+        wall += run.wall_seconds;
+        workers = run.workers;
+        l2.row(vec![format!("{mb} MB"), format!("{speedup:.3}")]);
     }
     result!("Sensitivity — L2 capacity (Table II point: 2 MB)\n\n{l2}");
     save_csv("sensitivity_l2", &l2);
@@ -56,10 +67,11 @@ fn main() {
         let mut cfg = SystemConfig::default();
         cfg.mem.memory_latency = cycles;
         status!("[sensitivity] memory = {cycles} cycles");
-        lat.row(vec![
-            format!("{cycles} cycles"),
-            format!("{:.3}", geomean_speedup(scale, cfg)),
-        ]);
+        let (speedup, run) = geomean_speedup(scale, cfg, jobs);
+        profiler.merge(&run.profiler);
+        wall += run.wall_seconds;
+        workers = run.workers;
+        lat.row(vec![format!("{cycles} cycles"), format!("{speedup:.3}")]);
     }
     result!("Sensitivity — memory latency (Table II point: 300 cycles)\n\n{lat}");
     save_csv("sensitivity_latency", &lat);
@@ -70,7 +82,8 @@ fn main() {
         mi_suite().iter().map(|w| w.name),
         [PrefetcherKind::Sms, PrefetcherKind::CbwsSms],
         SystemConfig::default(),
-    );
+    )
+    .with_timing(workers, wall, &profiler);
     manifest.save("sensitivity_l2");
     manifest.save("sensitivity_latency");
 }

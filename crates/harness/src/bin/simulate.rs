@@ -4,8 +4,8 @@
 //! they can be archived, inspected, or replayed elsewhere.
 //!
 //! ```text
-//! simulate --workload stencil-default [--scale small] [--prefetcher SMS] \
-//!          [--dram] [--export trace.json] \
+//! simulate --workload stencil-default [--scale small] [--jobs N] \
+//!          [--prefetcher SMS] [--dram] [--export trace.json] \
 //!          [--trace-out events.jsonl] [--metrics-out metrics.json] \
 //!          [--quiet | --progress]
 //! simulate --trace mytrace.json --prefetcher CBWS+SMS
@@ -21,14 +21,19 @@
 //! of the invocation (the `run.*` gauges reflect the last run); pass
 //! `--prefetcher` to capture a single configuration. A run manifest is
 //! written to `results/simulate.manifest.json`.
+//!
+//! Registered workloads run through the work-stealing engine (`--jobs N`
+//! workers, default all cores) unless `--trace-out`/`--metrics-out` ask
+//! for shared per-run telemetry, which requires serial execution.
 
-use cbws_harness::experiments::scale_from_args;
-use cbws_harness::{PrefetcherKind, RunManifest, Simulator, SystemConfig};
+use cbws_harness::experiments::{jobs_from_args, scale_from_args};
+use cbws_harness::{Engine, EngineConfig, PrefetcherKind, RunManifest, Simulator, SystemConfig};
 use cbws_sim_mem::DramConfig;
-use cbws_stats::TextTable;
+use cbws_stats::{RunRecord, TextTable};
 use cbws_telemetry::{result, status, Telemetry};
 use cbws_trace::Trace;
-use cbws_workloads::by_name;
+use cbws_workloads::{by_name, trace_cache, WorkloadSpec};
+use std::sync::Arc;
 
 const DEFAULT_WORKLOAD: &str = "stencil-default";
 
@@ -54,26 +59,32 @@ fn main() {
     cbws_telemetry::log::apply_cli_flags(&args);
 
     let scale = scale_from_args();
-    let (label, trace): (String, Trace) = if let Some(name) = arg_value(&args, "--workload") {
+    let mut spec: Option<&'static WorkloadSpec> = None;
+    let (label, trace): (String, Arc<Trace>) = if let Some(name) = arg_value(&args, "--workload") {
         let Some(w) = by_name(&name) else {
             fail(&format!(
                 "unknown workload `{name}` (see `trace_info --list`)"
             ));
         };
-        (name, w.generate(scale))
+        spec = Some(w);
+        (name, trace_cache::generate_shared(w, scale))
     } else if let Some(path) = arg_value(&args, "--trace") {
         let data = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-        let trace = serde_json::from_str(&data)
+        let trace: Trace = serde_json::from_str(&data)
             .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
-        (path, trace)
+        (path, Arc::new(trace))
     } else {
         let w = by_name(DEFAULT_WORKLOAD).expect("default workload is registered");
-        (DEFAULT_WORKLOAD.to_string(), w.generate(scale))
+        spec = Some(w);
+        (
+            DEFAULT_WORKLOAD.to_string(),
+            trace_cache::generate_shared(w, scale),
+        )
     };
 
     if let Some(out) = arg_value(&args, "--export") {
-        let json = serde_json::to_string(&trace).expect("traces serialize");
+        let json = serde_json::to_string(trace.as_ref()).expect("traces serialize");
         std::fs::write(&out, json).unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
         status!("[simulate] exported {} events to {out}", trace.len());
     }
@@ -96,7 +107,6 @@ fn main() {
     } else {
         Telemetry::disabled()
     };
-    let sim = Simulator::with_telemetry(cfg, telemetry.clone());
 
     let s = trace.stats();
     result!(
@@ -105,6 +115,29 @@ fn main() {
         s.mem_accesses,
         s.dynamic_blocks
     );
+
+    // Registered workloads with no shared-telemetry outputs go through the
+    // engine; external traces and telemetry captures run serially.
+    let mut manifest = RunManifest::new("simulate", scale, [label.clone()], kinds.clone(), cfg);
+    let records: Vec<RunRecord> = match spec {
+        Some(w) if trace_out.is_none() && metrics_out.is_none() => {
+            let engine = Engine::new(EngineConfig {
+                jobs: jobs_from_args(),
+                system: cfg,
+                telemetry: Telemetry::disabled(),
+            });
+            let run = engine.run(scale, &[w], &kinds);
+            manifest = manifest.with_timing(run.workers, run.wall_seconds, &run.profiler);
+            run.records
+        }
+        _ => {
+            let sim = Simulator::with_telemetry(cfg, telemetry.clone());
+            kinds
+                .iter()
+                .map(|&kind| sim.run(&label, true, &trace, kind))
+                .collect()
+        }
+    };
 
     let mut table = TextTable::new(vec![
         "prefetcher".into(),
@@ -115,8 +148,7 @@ fn main() {
         "bytes read".into(),
         "pollution".into(),
     ]);
-    for &kind in &kinds {
-        let r = sim.run(&label, true, &trace, kind);
+    for r in &records {
         let t = r.timeliness();
         table.row(vec![
             r.prefetcher.clone(),
@@ -156,5 +188,5 @@ fn main() {
         status!("[simulate] wrote metrics to {path}");
     }
 
-    RunManifest::new("simulate", scale, [label], kinds, cfg).save("simulate");
+    manifest.save("simulate");
 }

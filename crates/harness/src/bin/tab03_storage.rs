@@ -1,15 +1,20 @@
 //! Regenerates **Table III**: hardware storage requirements of the
 //! evaluated prefetchers.
 //!
-//! Usage: `cargo run --release -p cbws-harness --bin tab03_storage`
+//! Usage: `cargo run --release -p cbws-harness --bin tab03_storage
+//! [--jobs N]`
+//!
+//! `--jobs` is accepted for CLI uniformity but has no effect: this binary
+//! runs no simulations.
 
-use cbws_harness::experiments::{save_csv, tab03_storage};
+use cbws_harness::experiments::{jobs_from_args, save_csv, tab03_storage};
 use cbws_harness::SystemConfig;
 use cbws_telemetry::result;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     cbws_telemetry::log::apply_cli_flags(&args);
+    let _ = jobs_from_args(); // validated for CLI uniformity; no sweep here
     let table = tab03_storage(&SystemConfig::default());
     result!("Table III — prefetcher storage budgets\n");
     result!("{table}");

@@ -4,12 +4,15 @@
 //! differential skew.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin trace_info --
-//! <workload> [--scale tiny|small|full]`
+//! <workload> [--scale tiny|small|full] [--jobs N]`
+//!
+//! `--jobs` is accepted for CLI uniformity but has no effect: this binary
+//! generates and inspects a single trace.
 //!
 //! List available workloads with `--list`.
 
 use cbws_core::analysis::{collect_block_histories, DifferentialSkew};
-use cbws_harness::experiments::scale_from_args;
+use cbws_harness::experiments::{jobs_from_args, scale_from_args};
 use cbws_telemetry::result;
 use cbws_workloads::{by_name, ALL};
 
@@ -29,8 +32,21 @@ fn main() {
         }
         return;
     }
-    let Some(name) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("usage: trace_info <workload> [--scale tiny|small|full] | --list");
+    // The workload name is the first token that is neither a flag nor the
+    // value of a value-taking flag (`--scale tiny`, `--jobs 4`).
+    let mut skip_value = false;
+    let Some(name) = args.iter().find(|a| {
+        if skip_value {
+            skip_value = false;
+            return false;
+        }
+        if *a == "--scale" || *a == "--jobs" {
+            skip_value = true;
+            return false;
+        }
+        !a.starts_with("--")
+    }) else {
+        eprintln!("usage: trace_info <workload> [--scale tiny|small|full] [--jobs N] | --list");
         std::process::exit(2);
     };
     let Some(w) = by_name(name) else {
@@ -39,7 +55,8 @@ fn main() {
     };
 
     let scale = scale_from_args();
-    let trace = w.generate(scale);
+    let _ = jobs_from_args(); // validated for CLI uniformity; no sweep here
+    let trace = cbws_workloads::trace_cache::generate_shared(w, scale);
     let s = trace.stats();
 
     result!("workload : {} ({}, {:?})", w.name, w.suite, w.group);

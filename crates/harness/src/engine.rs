@@ -1,0 +1,304 @@
+//! Work-stealing experiment engine.
+//!
+//! The evaluation is a `(workload × prefetcher)` matrix whose cells cost
+//! wildly different amounts of wall-clock time — trace sizes span orders of
+//! magnitude across the 30 benchmarks. The old `sweep_parallel` split the
+//! *workload list* into static per-thread chunks, so one thread could be
+//! stuck with the biggest traces while the rest idled. This engine instead
+//! schedules **individual `(workload, prefetcher, scale)` jobs**: workers
+//! pull the next job index from one shared atomic counter (a lock-free
+//! single-producer queue over the precomputed job list), so load imbalance
+//! is bounded by a single job, not a chunk.
+//!
+//! Determinism: every job is an independent, deterministic simulation, and
+//! each worker writes its result into the job's slot by index. The returned
+//! records are therefore **identical to the serial sweep** — same
+//! workload-major, prefetcher-minor order, same values — for any worker
+//! count and any scheduling interleaving (asserted by tests and the CI
+//! perf-smoke job).
+//!
+//! Traces are obtained through the shared [`cbws_workloads::trace_cache`],
+//! so a workload's trace is generated once and shared by every prefetcher
+//! job (and by any figure computation in the same process) instead of once
+//! per run.
+//!
+//! Telemetry: the engine records `engine.*` metrics into its configured
+//! sink — `engine.workers`, `engine.jobs.total`, `engine.jobs.completed`,
+//! `engine.queue.depth`, `engine.jobs_per_sec`, `engine.utilization`,
+//! `engine.wall_seconds` — plus per-phase `phase.{generate,simulate}.seconds`
+//! gauges. Per-run simulator telemetry stays disabled inside the engine:
+//! concurrent runs would interleave their `run.*` gauges, and telemetry is
+//! observationally transparent to results, so nothing is lost.
+
+use crate::runner::{PrefetcherKind, Simulator, SystemConfig};
+use cbws_stats::RunRecord;
+use cbws_telemetry::{warn, Profiler, Telemetry};
+use cbws_workloads::{trace_cache, Group, Scale, WorkloadSpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Number of workers the engine will use for `jobs = 0` (all cores).
+///
+/// Unlike the old `sweep_parallel`, detection failure is *reported* (and
+/// falls back to serial execution) instead of silently pretending the
+/// machine has four cores.
+pub fn detect_parallelism() -> usize {
+    match std::thread::available_parallelism() {
+        Ok(n) => n.get(),
+        Err(e) => {
+            warn!("[engine] cannot detect available parallelism ({e}); running single-threaded");
+            1
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker count; `0` means [`detect_parallelism`] (all cores). The
+    /// effective count is additionally clamped to the number of jobs.
+    pub jobs: usize,
+    /// System configuration every simulation runs under.
+    pub system: SystemConfig,
+    /// Sink for `engine.*` metrics and phase gauges (disabled by default).
+    pub telemetry: Telemetry,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            jobs: 0,
+            system: SystemConfig::default(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// The result of one engine run: the records in serial-sweep order plus
+/// scheduling/timing observability.
+#[derive(Debug)]
+pub struct EngineRun {
+    /// One record per `(workload, prefetcher)` job, workload-major,
+    /// prefetcher-minor — byte-identical to the serial sweep's output.
+    pub records: Vec<RunRecord>,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Total jobs executed.
+    pub job_count: usize,
+    /// End-to-end wall-clock seconds of the run.
+    pub wall_seconds: f64,
+    /// Per-phase totals summed across workers (`generate`, `simulate`).
+    pub profiler: Profiler,
+    /// Mean fraction of the run each worker spent busy (0..=1).
+    pub utilization: f64,
+}
+
+impl EngineRun {
+    /// Jobs completed per wall-clock second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.job_count as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Schedules `(workload, prefetcher, scale)` simulation jobs across worker
+/// threads. See the module docs for the scheduling and determinism model.
+#[derive(Debug, Default)]
+pub struct Engine {
+    cfg: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Engine { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Runs the full `workloads × kinds` matrix at `scale` and returns the
+    /// records in workload-major, prefetcher-minor order.
+    pub fn run(
+        &self,
+        scale: Scale,
+        workloads: &[&'static WorkloadSpec],
+        kinds: &[PrefetcherKind],
+    ) -> EngineRun {
+        let job_count = workloads.len() * kinds.len();
+        let requested = if self.cfg.jobs == 0 {
+            detect_parallelism()
+        } else {
+            self.cfg.jobs
+        };
+        let workers = requested.max(1).min(job_count.max(1));
+        let telemetry = &self.cfg.telemetry;
+        telemetry.set_gauge("engine.workers", workers as f64);
+        telemetry.set_gauge("engine.jobs.total", job_count as f64);
+        telemetry.set_gauge("engine.queue.depth", job_count as f64);
+
+        let next = AtomicUsize::new(0);
+        // (index, record) pairs plus merged profiler and summed busy time.
+        type WorkerOutput = (Vec<(usize, RunRecord)>, Profiler, f64);
+        let shared: Mutex<WorkerOutput> =
+            Mutex::new((Vec::with_capacity(job_count), Profiler::new(), 0.0));
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let sim = Simulator::new(self.cfg.system);
+                    let mut local: Vec<(usize, RunRecord)> = Vec::new();
+                    let mut prof = Profiler::new();
+                    let busy_start = Instant::now();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= job_count {
+                            break;
+                        }
+                        let w = workloads[i / kinds.len()];
+                        let kind = kinds[i % kinds.len()];
+                        let gen_start = Instant::now();
+                        let trace = trace_cache::shared().get(w, scale);
+                        prof.record("generate", gen_start.elapsed());
+                        let sim_start = Instant::now();
+                        let record =
+                            sim.run(w.name, w.group == Group::MemoryIntensive, &trace, kind);
+                        prof.record("simulate", sim_start.elapsed());
+                        local.push((i, record));
+                        telemetry.count("engine.jobs.completed", 1);
+                        telemetry.set_gauge(
+                            "engine.queue.depth",
+                            job_count.saturating_sub(next.load(Ordering::Relaxed)) as f64,
+                        );
+                    }
+                    let busy = busy_start.elapsed().as_secs_f64();
+                    let mut g = shared.lock().unwrap_or_else(|e| e.into_inner());
+                    g.0.extend(local);
+                    g.1.merge(&prof);
+                    g.2 += busy;
+                });
+            }
+        });
+        let wall_seconds = start.elapsed().as_secs_f64();
+
+        let (mut indexed, profiler, busy_total) =
+            shared.into_inner().unwrap_or_else(|e| e.into_inner());
+        indexed.sort_unstable_by_key(|(i, _)| *i);
+        debug_assert!(indexed.iter().enumerate().all(|(pos, (i, _))| pos == *i));
+        let records: Vec<RunRecord> = indexed.into_iter().map(|(_, r)| r).collect();
+
+        let utilization = if wall_seconds > 0.0 && workers > 0 {
+            (busy_total / (workers as f64 * wall_seconds)).min(1.0)
+        } else {
+            0.0
+        };
+        let run = EngineRun {
+            records,
+            workers,
+            job_count,
+            wall_seconds,
+            profiler,
+            utilization,
+        };
+        telemetry.set_gauge("engine.wall_seconds", wall_seconds);
+        telemetry.set_gauge("engine.jobs_per_sec", run.jobs_per_sec());
+        telemetry.set_gauge("engine.utilization", utilization);
+        run.profiler.export(telemetry);
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbws_workloads::by_name;
+
+    fn picks(names: &[&str]) -> Vec<&'static WorkloadSpec> {
+        names.iter().map(|n| by_name(n).unwrap()).collect()
+    }
+
+    fn serial_reference(
+        scale: Scale,
+        workloads: &[&'static WorkloadSpec],
+        kinds: &[PrefetcherKind],
+    ) -> Vec<RunRecord> {
+        let sim = Simulator::new(SystemConfig::default());
+        let mut records = Vec::new();
+        for w in workloads {
+            let trace = w.generate(scale);
+            for &kind in kinds {
+                records.push(sim.run(w.name, w.group == Group::MemoryIntensive, &trace, kind));
+            }
+        }
+        records
+    }
+
+    #[test]
+    fn engine_matches_serial_for_any_worker_count() {
+        let workloads = picks(&["stencil-default", "histo-large", "nw"]);
+        let kinds = [
+            PrefetcherKind::None,
+            PrefetcherKind::Sms,
+            PrefetcherKind::CbwsSms,
+        ];
+        let serial = serial_reference(Scale::Tiny, &workloads, &kinds);
+        for jobs in [1, 2, 8] {
+            let run = Engine::new(EngineConfig {
+                jobs,
+                ..EngineConfig::default()
+            })
+            .run(Scale::Tiny, &workloads, &kinds);
+            assert_eq!(run.job_count, serial.len());
+            assert_eq!(run.records, serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn workers_clamped_to_job_count() {
+        let workloads = picks(&["stencil-default"]);
+        let run = Engine::new(EngineConfig {
+            jobs: 64,
+            ..EngineConfig::default()
+        })
+        .run(Scale::Tiny, &workloads, &[PrefetcherKind::None]);
+        assert_eq!(run.workers, 1);
+        assert_eq!(run.records.len(), 1);
+    }
+
+    #[test]
+    fn empty_matrix_is_empty_run() {
+        let run = Engine::default().run(Scale::Tiny, &[], &[]);
+        assert!(run.records.is_empty());
+        assert_eq!(run.job_count, 0);
+    }
+
+    #[test]
+    fn engine_metrics_and_phases_recorded() {
+        let telemetry = Telemetry::enabled(64);
+        let workloads = picks(&["stencil-default", "nw"]);
+        let run = Engine::new(EngineConfig {
+            jobs: 2,
+            system: SystemConfig::default(),
+            telemetry: telemetry.clone(),
+        })
+        .run(Scale::Tiny, &workloads, &[PrefetcherKind::Sms]);
+        let counter = |p: &str| telemetry.with_metrics(|r| r.counter(p)).unwrap().unwrap();
+        assert_eq!(counter("engine.jobs.completed"), 2);
+        assert!(run.wall_seconds >= 0.0);
+        assert!(run.utilization > 0.0 && run.utilization <= 1.0);
+        let phases: Vec<String> = run
+            .profiler
+            .phases()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        assert!(phases.contains(&"generate".to_string()));
+        assert!(phases.contains(&"simulate".to_string()));
+    }
+}

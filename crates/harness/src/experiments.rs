@@ -2,6 +2,7 @@
 //! experiment index). Each `figNN_*` function turns raw [`RunRecord`]s (or
 //! traces) into the paper's table/figure data rendered as a [`TextTable`].
 
+use crate::engine::{Engine, EngineConfig, EngineRun};
 use crate::runner::{PrefetcherKind, Simulator, SystemConfig};
 use cbws_core::analysis::{collect_block_histories, DifferentialSkew};
 use cbws_core::{CbwsConfig, CbwsVec};
@@ -40,6 +41,22 @@ pub fn scale_from_args() -> Scale {
     }
 }
 
+/// Reads `--jobs N` from the process arguments (default: `0`, meaning all
+/// available cores — see [`crate::engine::detect_parallelism`]).
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--jobs") {
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) => n,
+            Some(Err(_)) | None => {
+                warn!("invalid --jobs value, using all cores");
+                0
+            }
+        },
+        None => 0,
+    }
+}
+
 /// Writes a table to `results/<name>.csv`, creating the directory if
 /// needed. Errors are reported to stderr but not fatal (the text table on
 /// stdout is the primary artifact).
@@ -68,7 +85,7 @@ pub fn sweep(scale: Scale, workloads: &[&'static WorkloadSpec]) -> Vec<RunRecord
     let mut profiler = Profiler::new();
     for w in workloads {
         profiler.begin("generate");
-        let trace = w.generate(scale);
+        let trace = cbws_workloads::trace_cache::generate_shared(w, scale);
         status!(
             "[sweep] {} ({} instructions)",
             w.name,
@@ -205,7 +222,8 @@ pub fn fig05_svg(scale: Scale) -> String {
         "fraction of iterations",
     );
     for name in BENCHES {
-        let trace = by_name(name).expect("registered").generate(scale);
+        let w = by_name(name).expect("registered");
+        let trace = cbws_workloads::trace_cache::generate_shared(w, scale);
         let h = collect_block_histories(&trace, CbwsConfig::default().max_vector);
         let skew = DifferentialSkew::from_histories(h.values());
         let pts: Vec<(f64, f64)> = std::iter::once((0.0, 0.0))
@@ -220,29 +238,38 @@ pub fn fig05_svg(scale: Scale) -> String {
     chart.render()
 }
 
-/// Like [`sweep`], but distributes workloads across OS threads. Results are
-/// identical to the serial sweep (each (workload, prefetcher) simulation is
-/// independent and deterministic); only wall-clock time changes. Records
-/// are returned in the same (workload-major, prefetcher-minor) order.
-pub fn sweep_parallel(scale: Scale, workloads: &[&'static WorkloadSpec]) -> Vec<RunRecord> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let chunk = workloads.len().div_ceil(threads.max(1)).max(1);
-    let mut chunks: Vec<Vec<RunRecord>> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = workloads
-            .chunks(chunk)
-            .map(|part| {
-                let part: Vec<&'static WorkloadSpec> = part.to_vec();
-                s.spawn(move || sweep(scale, &part))
-            })
-            .collect();
-        for h in handles {
-            chunks.push(h.join().expect("sweep worker panicked"));
-        }
+/// Like [`sweep`], but schedules each (workload, prefetcher) job across
+/// worker threads via the work-stealing [`Engine`]. Results are identical
+/// to the serial sweep (each simulation is independent and deterministic);
+/// only wall-clock time changes. Records come back in the same
+/// (workload-major, prefetcher-minor) order.
+///
+/// `jobs = 0` uses every available core; the run reports worker count,
+/// wall-clock and per-phase timings for the manifest.
+pub fn sweep_engine(scale: Scale, workloads: &[&'static WorkloadSpec], jobs: usize) -> EngineRun {
+    let engine = Engine::new(EngineConfig {
+        jobs,
+        ..EngineConfig::default()
     });
-    chunks.into_iter().flatten().collect()
+    let run = engine.run(scale, workloads, &PrefetcherKind::ALL);
+    status!(
+        "[engine] {} jobs on {} workers in {:.2} s ({:.1} jobs/s, {:.0}% utilization)",
+        run.job_count,
+        run.workers,
+        run.wall_seconds,
+        run.jobs_per_sec(),
+        run.utilization * 100.0
+    );
+    detail!("[engine] phase timings:\n{}", run.profiler.report());
+    run
+}
+
+/// Deprecated chunked-parallel sweep, now a thin wrapper over the
+/// work-stealing [`Engine`] (which both fixes the silent
+/// `available_parallelism` fallback and removes per-chunk load imbalance).
+#[deprecated(note = "use `sweep_engine` (work-stealing, returns timing) instead")]
+pub fn sweep_parallel(scale: Scale, workloads: &[&'static WorkloadSpec]) -> Vec<RunRecord> {
+    sweep_engine(scale, workloads, 0).records
 }
 
 /// Looks up one record of a sweep.
@@ -253,34 +280,46 @@ pub fn get<'a>(records: &'a [RunRecord], workload: &str, prefetcher: &str) -> &'
         .unwrap_or_else(|| panic!("no record for ({workload}, {prefetcher})"))
 }
 
-/// **Fig. 1**: fraction of runtime spent in tight innermost loops for the
-/// memory-intensive benchmarks (no-prefetch configuration).
-pub fn fig01_loop_fraction(scale: Scale) -> TextTable {
-    let sim = Simulator::new(SystemConfig::default());
+/// **Fig. 1** built from existing no-prefetch records (one per
+/// memory-intensive benchmark, in suite order).
+pub fn fig01_from_records(records: &[RunRecord]) -> TextTable {
     let mut table = TextTable::new(vec![
         "benchmark".into(),
         "loop %".into(),
         "non-loop %".into(),
     ]);
     let mut fracs = Vec::new();
-    for w in cbws_workloads::mi_suite() {
-        let trace = w.generate(scale);
-        let r = sim.run(w.name, true, &trace, PrefetcherKind::None);
+    for r in records {
         let frac = r.cpu.loop_cycle_fraction();
         fracs.push(frac);
-        table.row(vec![w.name.to_string(), pct(frac), pct(1.0 - frac)]);
+        table.row(vec![r.workload.clone(), pct(frac), pct(1.0 - frac)]);
     }
     let avg = mean(fracs);
     table.row(vec!["average".into(), pct(avg), pct(1.0 - avg)]);
     table
 }
 
+/// **Fig. 1**: fraction of runtime spent in tight innermost loops for the
+/// memory-intensive benchmarks (no-prefetch configuration). Serial; the
+/// `fig01_loop_fraction` binary runs the same simulations through the
+/// engine and builds the table with [`fig01_from_records`].
+pub fn fig01_loop_fraction(scale: Scale) -> TextTable {
+    let sim = Simulator::new(SystemConfig::default());
+    let mut records = Vec::new();
+    for w in cbws_workloads::mi_suite() {
+        let trace = cbws_workloads::trace_cache::generate_shared(w, scale);
+        records.push(sim.run(w.name, true, &trace, PrefetcherKind::None));
+    }
+    fig01_from_records(&records)
+}
+
 /// **Figs. 3 & 4 / Table I**: the stencil CBWS access matrix and its
 /// differential vectors, reconstructed from the real kernel trace.
 pub fn fig03_stencil_cbws(iterations: usize) -> String {
-    let trace = by_name("stencil-default")
-        .expect("registered")
-        .generate(Scale::Tiny);
+    let trace = cbws_workloads::trace_cache::generate_shared(
+        by_name("stencil-default").expect("registered"),
+        Scale::Tiny,
+    );
     let histories = collect_block_histories(&trace, CbwsConfig::default().max_vector);
     let bh = histories.values().next().expect("stencil has one block");
     let take: Vec<&CbwsVec> = bh.instances.iter().take(iterations).collect();
@@ -317,7 +356,7 @@ pub fn fig05_differential_skew(scale: Scale) -> TextTable {
     );
     for name in BENCHES {
         let w = by_name(name).expect("registered");
-        let trace = w.generate(scale);
+        let trace = cbws_workloads::trace_cache::generate_shared(w, scale);
         let h = collect_block_histories(&trace, CbwsConfig::default().max_vector);
         let skew = DifferentialSkew::from_histories(h.values());
         let mut row = vec![format!("{name} ({})", skew.distinct())];
@@ -579,14 +618,63 @@ mod tests {
             .map(|n| by_name(n).unwrap())
             .collect();
         let serial = sweep(Scale::Tiny, &picks);
+        #[allow(deprecated)]
         let parallel = sweep_parallel(Scale::Tiny, &picks);
-        assert_eq!(serial.len(), parallel.len());
-        for (a, b) in serial.iter().zip(&parallel) {
-            assert_eq!(a.workload, b.workload);
-            assert_eq!(a.prefetcher, b.prefetcher);
-            assert_eq!(a.cpu, b.cpu);
-            assert_eq!(a.mem, b.mem);
+        assert_eq!(serial, parallel);
+    }
+
+    /// The engine must reproduce the serial sweep byte-for-byte over the
+    /// full paper matrix (ALL) and the extension matrix (EXTENDED), for
+    /// both a single worker and an oversubscribed worker count.
+    #[test]
+    fn engine_sweep_is_deterministic_across_worker_counts() {
+        let picks: Vec<&'static WorkloadSpec> = ["stencil-default", "histo-large", "mxm-linpack"]
+            .iter()
+            .map(|n| by_name(n).unwrap())
+            .collect();
+        for kinds in [&PrefetcherKind::ALL[..], &PrefetcherKind::EXTENDED[..]] {
+            let sim = Simulator::new(SystemConfig::default());
+            let mut serial = Vec::new();
+            for w in &picks {
+                let trace = w.generate(Scale::Tiny);
+                for &kind in kinds {
+                    serial.push(sim.run(
+                        w.name,
+                        w.group == cbws_workloads::Group::MemoryIntensive,
+                        &trace,
+                        kind,
+                    ));
+                }
+            }
+            for jobs in [1, 8] {
+                let engine = Engine::new(EngineConfig {
+                    jobs,
+                    ..EngineConfig::default()
+                });
+                let run = engine.run(Scale::Tiny, &picks, kinds);
+                assert_eq!(
+                    run.records,
+                    serial,
+                    "engine diverged from serial ({} kinds, jobs = {jobs})",
+                    kinds.len()
+                );
+                assert!(run
+                    .records
+                    .iter()
+                    .all(|r| r.mem.classification_is_partition()));
+            }
         }
+    }
+
+    #[test]
+    fn sweep_engine_reports_timing() {
+        let picks: Vec<&'static WorkloadSpec> =
+            ["nw"].iter().map(|n| by_name(n).unwrap()).collect();
+        let run = sweep_engine(Scale::Tiny, &picks, 2);
+        assert_eq!(run.records.len(), PrefetcherKind::ALL.len());
+        assert_eq!(run.workers, 2);
+        assert!(run.wall_seconds > 0.0);
+        assert!(run.profiler.phases().iter().any(|(n, _)| n == "simulate"));
     }
 
     #[test]

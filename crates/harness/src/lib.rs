@@ -18,11 +18,13 @@
 //! assert!(hybrid.cpu.instructions == sms.cpu.instructions);
 //! ```
 
+pub mod engine;
 pub mod experiments;
 mod manifest;
 mod prefetched;
 mod runner;
 
+pub use engine::{Engine, EngineConfig, EngineRun};
 pub use manifest::RunManifest;
 pub use prefetched::PrefetchedMemory;
 pub use runner::{PrefetcherKind, Simulator, SystemConfig};

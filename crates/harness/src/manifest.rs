@@ -8,8 +8,10 @@
 //! reproduce a CSV.
 
 use crate::runner::{PrefetcherKind, SystemConfig};
+use cbws_telemetry::Profiler;
 use cbws_workloads::Scale;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// What produced one results artifact.
@@ -25,6 +27,14 @@ pub struct RunManifest {
     pub prefetchers: Vec<String>,
     /// The full system configuration in force.
     pub config: SystemConfig,
+    /// Engine worker threads used (`0` when the binary ran serially or did
+    /// no simulation sweep).
+    pub jobs: usize,
+    /// End-to-end wall-clock seconds of the sweep (`0.0` when untimed).
+    pub wall_seconds: f64,
+    /// Per-phase wall-clock totals in seconds, summed across workers
+    /// (e.g. `"generate"`, `"simulate"`). Empty when untimed.
+    pub phases: BTreeMap<String, f64>,
 }
 
 impl RunManifest {
@@ -46,7 +56,24 @@ impl RunManifest {
                 .map(|k| k.name().to_string())
                 .collect(),
             config,
+            jobs: 0,
+            wall_seconds: 0.0,
+            phases: BTreeMap::new(),
         }
+    }
+
+    /// Records sweep timing: worker count, wall-clock seconds, and the
+    /// per-phase totals of `profiler` (builder-style, used with the
+    /// engine's [`crate::EngineRun`]).
+    pub fn with_timing(mut self, jobs: usize, wall_seconds: f64, profiler: &Profiler) -> Self {
+        self.jobs = jobs;
+        self.wall_seconds = wall_seconds;
+        self.phases = profiler
+            .phases()
+            .iter()
+            .map(|(name, d)| (name.clone(), d.as_secs_f64()))
+            .collect();
+        self
     }
 
     /// The manifest as pretty-printed JSON.
@@ -85,21 +112,29 @@ mod tests {
 
     #[test]
     fn manifest_round_trips_through_json() {
+        let mut profiler = Profiler::new();
+        profiler.record("generate", std::time::Duration::from_millis(250));
+        profiler.record("simulate", std::time::Duration::from_millis(750));
         let m = RunManifest::new(
             "fig12_mpki",
             Scale::Small,
             ["stencil-default", "histo-large"],
             PrefetcherKind::ALL,
             SystemConfig::default(),
-        );
+        )
+        .with_timing(4, 1.25, &profiler);
         let json = m.to_json();
         assert!(json.contains("\"binary\""));
         assert!(json.contains("fig12_mpki"));
         assert!(json.contains("CBWS+SMS"));
+        assert!(json.contains("\"wall_seconds\""));
         let back: RunManifest = serde_json::from_str(&json).unwrap();
         assert_eq!(back, m);
         assert_eq!(back.scale, "small");
         assert_eq!(back.workloads.len(), 2);
         assert_eq!(back.prefetchers.len(), 7);
+        assert_eq!(back.jobs, 4);
+        assert_eq!(back.phases.len(), 2);
+        assert!((back.phases["simulate"] - 0.75).abs() < 1e-9);
     }
 }

@@ -27,7 +27,6 @@ use cbws_sim_mem::MemoryHierarchy;
 use cbws_telemetry::Telemetry;
 use cbws_trace::{BlockId, Dependence, MemAccess, MemKind, Trace, TraceEvent};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Result of one memory access as seen by the core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,39 +124,72 @@ impl CpuStats {
 /// Bounded FIFO of completion times modelling a queue resource (ROB, LDQ,
 /// STQ, MSHRs): dispatch of a new occupant stalls until the oldest entry
 /// completes when the queue is full.
+///
+/// Implemented as a fixed circular buffer sized exactly to the resource:
+/// the one allocation happens at construction, so the commit loop — which
+/// exercises these queues on every event — never touches the allocator and
+/// never pays `VecDeque`'s growth or spill checks.
 #[derive(Debug, Clone)]
 struct OccupancyQueue {
-    cap: usize,
-    times: VecDeque<u64>,
+    times: Box<[u64]>,
+    head: usize,
+    len: usize,
 }
 
 impl OccupancyQueue {
     fn new(cap: usize) -> Self {
         OccupancyQueue {
-            cap,
-            times: VecDeque::with_capacity(cap.min(1024)),
+            times: vec![0; cap.max(1)].into_boxed_slice(),
+            head: 0,
+            len: 0,
         }
     }
 
+    #[inline]
+    fn wrap(&self, i: usize) -> usize {
+        // Capacities are resource sizes, not powers of two; a compare beats
+        // a modulo here.
+        if i >= self.times.len() {
+            i - self.times.len()
+        } else {
+            i
+        }
+    }
+
+    #[inline]
+    fn pop_front(&mut self) -> u64 {
+        debug_assert!(self.len > 0);
+        let oldest = self.times[self.head];
+        self.head = self.wrap(self.head + 1);
+        self.len -= 1;
+        oldest
+    }
+
     /// Earliest time a new entry may be allocated if dispatch happens at `t`.
+    #[inline]
     fn allocate(&mut self, t: u64) -> u64 {
-        if self.times.len() == self.cap {
-            let oldest = self.times.pop_front().expect("cap > 0");
+        if self.len == self.times.len() {
+            let oldest = self.pop_front();
             t.max(oldest)
         } else {
             t
         }
     }
 
+    #[inline]
     fn push(&mut self, completion: u64) {
-        debug_assert!(self.times.len() < self.cap);
-        self.times.push_back(completion);
+        debug_assert!(self.len < self.times.len());
+        let tail = self.wrap(self.head + self.len);
+        self.times[tail] = completion;
+        self.len += 1;
     }
 
     /// Drops entries already completed by time `t` (keeps the queue short).
+    #[inline]
     fn retire_until(&mut self, t: u64) {
-        while self.times.front().is_some_and(|&c| c <= t) {
-            self.times.pop_front();
+        while self.len > 0 && self.times[self.head] <= t {
+            self.head = self.wrap(self.head + 1);
+            self.len -= 1;
         }
     }
 }

@@ -69,7 +69,12 @@ impl Way {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// All ways of all sets in one contiguous, set-major allocation: set `s`
+    /// occupies `ways[s * assoc .. (s + 1) * assoc]`. The flat layout keeps
+    /// every probe/touch within one or two cache lines of the host machine
+    /// instead of chasing a per-set `Vec` pointer.
+    ways: Box<[Way]>,
+    assoc: usize,
     set_mask: u64,
     stamp: u64,
     resident: usize,
@@ -85,7 +90,8 @@ impl Cache {
         let sets = cfg.sets();
         Cache {
             cfg,
-            sets: vec![vec![Way::empty(); cfg.assoc]; sets],
+            ways: vec![Way::empty(); sets * cfg.assoc].into_boxed_slice(),
+            assoc: cfg.assoc,
             set_mask: sets as u64 - 1,
             stamp: 0,
             resident: 0,
@@ -102,41 +108,68 @@ impl Cache {
         self.resident
     }
 
-    fn set_index(&self, line: LineAddr) -> usize {
-        (line.0 & self.set_mask) as usize
+    #[inline]
+    fn set_offset(&self, line: LineAddr) -> usize {
+        (line.0 & self.set_mask) as usize * self.assoc
+    }
+
+    #[inline]
+    fn set(&self, line: LineAddr) -> &[Way] {
+        let start = self.set_offset(line);
+        &self.ways[start..start + self.assoc]
+    }
+
+    #[inline]
+    fn set_mut(&mut self, line: LineAddr) -> &mut [Way] {
+        let start = self.set_offset(line);
+        &mut self.ways[start..start + self.assoc]
     }
 
     /// Checks residency without updating LRU state or prefetch metadata.
+    #[inline]
     pub fn probe(&self, line: LineAddr) -> bool {
-        self.sets[self.set_index(line)]
-            .iter()
-            .any(|w| w.valid && w.line == line)
+        self.set(line).iter().any(|w| w.valid && w.line == line)
     }
 
     /// Demand-touches `line`: on hit, updates LRU, sets the dirty bit if
     /// `store`, marks prefetch metadata as referenced, and returns `true`.
     /// On miss returns `false` and changes nothing.
+    #[inline]
     pub fn touch(&mut self, line: LineAddr, store: bool) -> bool {
+        self.demand_touch(line, store).is_some()
+    }
+
+    /// Fused probe + metadata read + touch: on hit, updates LRU, merges the
+    /// dirty bit, marks prefetch metadata as referenced, and returns
+    /// `Some(meta)` — the line's prefetch metadata *as it was before* this
+    /// touch (so a first demand hit on a prefetched line reports
+    /// `referenced == false`). On miss returns `None` and changes nothing.
+    ///
+    /// This is the hierarchy's L2 hit path in a single set scan; the
+    /// separate [`Cache::probe`]/[`Cache::prefetch_meta`]/[`Cache::touch`]
+    /// entry points would walk the set three times.
+    #[inline]
+    pub fn demand_touch(&mut self, line: LineAddr, store: bool) -> Option<Option<PrefetchMeta>> {
         self.stamp += 1;
         let stamp = self.stamp;
-        let idx = self.set_index(line);
-        for w in &mut self.sets[idx] {
+        for w in self.set_mut(line) {
             if w.valid && w.line == line {
                 w.last_use = stamp;
                 w.dirty |= store;
+                let prior = w.prefetch;
                 if let Some(meta) = &mut w.prefetch {
                     meta.referenced = true;
                 }
-                return true;
+                return Some(prior);
             }
         }
-        false
+        None
     }
 
     /// Returns the prefetch metadata of a resident line, if any, without
     /// updating LRU state.
     pub fn prefetch_meta(&self, line: LineAddr) -> Option<PrefetchMeta> {
-        self.sets[self.set_index(line)]
+        self.set(line)
             .iter()
             .find(|w| w.valid && w.line == line)
             .and_then(|w| w.prefetch)
@@ -153,8 +186,7 @@ impl Cache {
     ) -> Option<EvictedLine> {
         self.stamp += 1;
         let stamp = self.stamp;
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
+        let set = self.set_mut(line);
 
         if let Some(w) = set.iter_mut().find(|w| w.valid && w.line == line) {
             w.last_use = stamp;
@@ -178,9 +210,7 @@ impl Cache {
             dirty: victim.dirty,
             prefetch: victim.prefetch,
         });
-        if !victim.valid {
-            self.resident += 1;
-        }
+        let newly_resident = !victim.valid;
         *victim = Way {
             line,
             valid: true,
@@ -188,31 +218,34 @@ impl Cache {
             last_use: stamp,
             prefetch,
         };
+        if newly_resident {
+            self.resident += 1;
+        }
         evicted
     }
 
     /// Removes `line` if resident, returning its state (used for inclusive-L2
     /// back-invalidation of the L1).
     pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedLine> {
-        let idx = self.set_index(line);
-        let w = self.sets[idx]
+        let w = self
+            .set_mut(line)
             .iter_mut()
             .find(|w| w.valid && w.line == line)?;
         w.valid = false;
-        self.resident -= 1;
-        Some(EvictedLine {
+        let out = EvictedLine {
             line: w.line,
             dirty: w.dirty,
             prefetch: w.prefetch,
-        })
+        };
+        self.resident -= 1;
+        Some(out)
     }
 
     /// Iterates over all resident lines (order unspecified). Used at the end
     /// of a simulation to count never-referenced prefetched lines as wrong.
     pub fn resident(&self) -> impl Iterator<Item = (LineAddr, Option<PrefetchMeta>)> + '_ {
-        self.sets
+        self.ways
             .iter()
-            .flatten()
             .filter(|w| w.valid)
             .map(|w| (w.line, w.prefetch))
     }
@@ -296,6 +329,32 @@ mod tests {
         assert!(!c.prefetch_meta(LineAddr(6)).unwrap().referenced);
         c.touch(LineAddr(6), false);
         assert!(c.prefetch_meta(LineAddr(6)).unwrap().referenced);
+    }
+
+    #[test]
+    fn demand_touch_reports_prior_meta_once() {
+        let mut c = tiny();
+        let meta = PrefetchMeta {
+            issue_time: 10,
+            fill_time: 310,
+            referenced: false,
+        };
+        c.insert(LineAddr(6), false, Some(meta));
+        // Miss: no state change.
+        assert_eq!(c.demand_touch(LineAddr(4), false), None);
+        // First hit sees the pre-touch (unreferenced) metadata...
+        let first = c.demand_touch(LineAddr(6), false).unwrap().unwrap();
+        assert!(!first.referenced);
+        assert_eq!(first.fill_time, 310);
+        // ...the second hit sees it referenced, and a plain line sees None.
+        assert!(
+            c.demand_touch(LineAddr(6), false)
+                .unwrap()
+                .unwrap()
+                .referenced
+        );
+        c.insert(LineAddr(1), false, None);
+        assert_eq!(c.demand_touch(LineAddr(1), true), Some(None));
     }
 
     #[test]

@@ -187,18 +187,17 @@ impl MemoryHierarchy {
         self.stats.l2_demand_accesses += 1;
         let l2_time = now + self.cfg.l1d.latency;
 
-        // L2 hit path. Capture the prefetch metadata before touching: the
-        // first-reference flag drives classification, the fill time the
-        // prefetch-to-use distance histogram.
-        let prefetch_fill_time = self.l2.prefetch_meta(line).map(|m| m.fill_time);
-        let was_unreferenced_prefetch = self.l2.prefetch_meta(line).is_some_and(|m| !m.referenced);
-        if self.l2.touch(line, false) {
-            let class = if was_unreferenced_prefetch {
+        // L2 hit path. `demand_touch` fuses the probe, the pre-touch
+        // metadata read (the first-reference flag drives classification, the
+        // fill time the prefetch-to-use distance histogram), and the LRU
+        // touch into one set scan.
+        if let Some(prior_meta) = self.l2.demand_touch(line, false) {
+            let class = if let Some(meta) = prior_meta.filter(|m| !m.referenced) {
                 self.stats.timely += 1;
-                if let Some(fill) = prefetch_fill_time {
-                    self.telemetry
-                        .observe("l2.prefetch.use_distance", l2_time.saturating_sub(fill));
-                }
+                self.telemetry.observe(
+                    "l2.prefetch.use_distance",
+                    l2_time.saturating_sub(meta.fill_time),
+                );
                 DemandClass::Timely
             } else {
                 self.stats.plain_hits += 1;

@@ -27,7 +27,7 @@ use cbws_sim_mem::MemStats;
 use serde::{Deserialize, Serialize};
 
 /// The result of one (workload, prefetcher) simulation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunRecord {
     /// Workload name (figure label).
     pub workload: String,

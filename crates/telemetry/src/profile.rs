@@ -45,6 +45,27 @@ impl Profiler {
         Some(elapsed)
     }
 
+    /// Adds `elapsed` to the named phase without opening it (accumulating
+    /// like a repeated [`Profiler::begin`]/[`Profiler::end`] pair). Lets
+    /// callers that measure time themselves — e.g. parallel workers timing
+    /// jobs — feed a shared profiler.
+    pub fn record(&mut self, name: impl Into<String>, elapsed: Duration) {
+        let name = name.into();
+        match self.phases.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, d)) => *d += elapsed,
+            None => self.phases.push((name, elapsed)),
+        }
+    }
+
+    /// Accumulates every closed phase of `other` into this profiler.
+    /// Workers each keep a private profiler; the engine merges them into
+    /// one per-phase total at the end of a run.
+    pub fn merge(&mut self, other: &Profiler) {
+        for (name, d) in other.phases() {
+            self.record(name.clone(), *d);
+        }
+    }
+
     /// The recorded `(name, total duration)` pairs, in first-seen order.
     /// Call [`Profiler::end`] first to include the open phase.
     pub fn phases(&self) -> &[(String, Duration)] {
@@ -155,6 +176,26 @@ mod tests {
         assert!(report.contains("generate"));
         assert!(report.contains("simulate"));
         assert!(report.contains("total"));
+    }
+
+    #[test]
+    fn record_and_merge_accumulate() {
+        let mut a = Profiler::new();
+        a.record("simulate", Duration::from_millis(5));
+        a.record("simulate", Duration::from_millis(5));
+        a.record("generate", Duration::from_millis(1));
+        let mut b = Profiler::new();
+        b.record("simulate", Duration::from_millis(10));
+        a.merge(&b);
+        assert_eq!(a.phases().len(), 2);
+        let sim = a
+            .phases()
+            .iter()
+            .find(|(n, _)| n == "simulate")
+            .map(|(_, d)| *d)
+            .unwrap();
+        assert_eq!(sim, Duration::from_millis(20));
+        assert_eq!(a.total(), Duration::from_millis(21));
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 pub mod dsl;
 mod kernels;
+pub mod trace_cache;
 
 use cbws_trace::Trace;
 use serde::{Deserialize, Serialize};

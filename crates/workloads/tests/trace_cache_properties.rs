@@ -1,0 +1,74 @@
+//! Property tests for the shared trace cache's invariants (relied on by the
+//! experiment engine, see DESIGN.md): any interleaving of `get` calls —
+//! including concurrent ones — hands out pointer-equal `Arc`s per
+//! `(workload, scale)` key, and cached traces are indistinguishable from
+//! fresh generations.
+
+use cbws_workloads::trace_cache::{TraceCache, DEFAULT_BUDGET_BYTES};
+use cbws_workloads::{by_name, Scale, WorkloadSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A small pool of cheap-to-generate workloads for key diversity.
+const POOL: [&str; 4] = ["stencil-default", "histo-large", "nw", "mxm-linpack"];
+
+fn key_strategy() -> impl Strategy<Value = (usize, Scale)> {
+    // Tiny-only keeps the test fast; scale diversity is covered below.
+    (0..POOL.len(), Just(Scale::Tiny))
+}
+
+fn spec(i: usize) -> &'static WorkloadSpec {
+    by_name(POOL[i]).expect("pool workload is registered")
+}
+
+proptest! {
+    /// For any access sequence, every `get` of the same key returns an
+    /// `Arc` pointer-equal to the key's first result — the kernel ran once
+    /// per key, never twice.
+    #[test]
+    fn gets_are_pointer_equal_per_key(accesses in proptest::collection::vec(key_strategy(), 1..24)) {
+        let cache = TraceCache::with_budget(DEFAULT_BUDGET_BYTES);
+        let mut first: Vec<Option<Arc<cbws_trace::Trace>>> = vec![None; POOL.len()];
+        for (i, scale) in accesses {
+            let got = cache.get(spec(i), scale);
+            match &first[i] {
+                Some(seen) => prop_assert!(Arc::ptr_eq(seen, &got), "key {} regenerated", POOL[i]),
+                None => first[i] = Some(got),
+            }
+        }
+    }
+
+    /// Concurrent `get`s for the same key from many threads all observe one
+    /// generation (single-generation invariant under contention).
+    #[test]
+    fn concurrent_gets_share_one_generation(which in 0..POOL.len(), threads in 2usize..6) {
+        let cache = TraceCache::with_budget(DEFAULT_BUDGET_BYTES);
+        let w = spec(which);
+        let arcs: Vec<Arc<cbws_trace::Trace>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| s.spawn(|| cache.get(w, Scale::Tiny)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for pair in arcs.windows(2) {
+            prop_assert!(Arc::ptr_eq(&pair[0], &pair[1]));
+        }
+        prop_assert_eq!(cache.stats().0, 1);
+    }
+
+    /// A cached trace has exactly the events of a fresh generation, even
+    /// after evictions forced by an adversarially small budget.
+    #[test]
+    fn cached_traces_match_fresh_even_under_eviction(
+        accesses in proptest::collection::vec(key_strategy(), 1..12),
+        budget in prop_oneof![Just(1u64), Just(DEFAULT_BUDGET_BYTES)],
+    ) {
+        let cache = TraceCache::with_budget(budget);
+        for (i, scale) in accesses {
+            let w = spec(i);
+            let cached = cache.get(w, scale);
+            let fresh = w.generate(scale);
+            prop_assert_eq!(cached.events(), fresh.events());
+        }
+    }
+}
