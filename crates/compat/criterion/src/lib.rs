@@ -31,7 +31,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `f`, calling it repeatedly: a short calibration/warm-up phase
-    /// sizes the batches, then [`BATCHES`] timed batches are recorded.
+    /// sizes the batches, then `BATCHES` timed batches are recorded.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Calibrate: how many iterations fit one batch?
         let calibrate_start = Instant::now();
@@ -139,7 +139,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Accepted for API compatibility; this harness sizes batches by wall
-    /// clock ([`MEASURE`]/[`BATCHES`]), not by sample count.
+    /// clock (`MEASURE`/`BATCHES`), not by sample count.
     pub fn sample_size(&mut self, _n: usize) -> &mut Self {
         self
     }

@@ -2,7 +2,8 @@
 //!
 //! The build environment has no registry access, so this workspace vendors
 //! the subset of the proptest 1.x API its property tests use: the
-//! [`Strategy`] trait with `prop_map`, range/tuple/`Just`/`any` strategies,
+//! [`strategy::Strategy`] trait with `prop_map`, range/tuple/`Just`/`any`
+//! strategies,
 //! `collection::vec`, `prop_oneof!`, and the `proptest!`/`prop_assert*`
 //! macros. Each test runs a fixed number of deterministically-seeded random
 //! cases (seeded from the test name, so failures reproduce). There is no
@@ -227,7 +228,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// Output of [`vec`].
+    /// Output of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: Range<usize>,

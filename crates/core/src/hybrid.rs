@@ -1,7 +1,8 @@
 //! The integrated CBWS+SMS policy (§VII): CBWS as an add-on that issues the
 //! prefetch when its history table hits, and falls back to SMS otherwise.
 
-use crate::predictor::{CbwsConfig, CbwsPredictor};
+use crate::predictor::{cbws_metrics, cbws_params, CbwsConfig, CbwsPredictor};
+use cbws_describe::{ComponentDescription, ComponentKind, Describe, ParamSpec};
 use cbws_prefetchers::{PrefetchContext, Prefetcher, SmsConfig, SmsPrefetcher};
 use cbws_trace::{BlockId, LineAddr};
 use serde::{Deserialize, Serialize};
@@ -122,6 +123,49 @@ impl CbwsSmsPrefetcher {
 impl Default for CbwsSmsPrefetcher {
     fn default() -> Self {
         CbwsSmsPrefetcher::new(CbwsConfig::default(), SmsConfig::default())
+    }
+}
+
+impl Describe for CbwsSmsPrefetcher {
+    fn describe(&self) -> ComponentDescription {
+        let mut d = ComponentDescription::new(
+            Prefetcher::name(self),
+            ComponentKind::Prefetcher,
+            "The headline integrated policy: CBWS issues the prefetch when its \
+             differential history table hits; otherwise the SMS engine does. \
+             Arbitration is governed by the `suppression` policy — the default \
+             silences SMS inside annotated blocks only when CBWS is confident, \
+             the block fits the vector, and the predicted working set leaps \
+             farther than one SMS region per iteration.",
+        )
+        .paper_section("§VII (CBWS+SMS)")
+        .storage_bits(self.storage_bits())
+        .param(ParamSpec::new(
+            "suppression",
+            "when the hybrid silences SMS inside annotated blocks \
+             (Never | WhenConfident | WhenCovering; see the ablations bench)",
+            format!("{:?}", self.policy),
+            "policy enum",
+        ))
+        .metrics(cbws_metrics())
+        .metrics(cbws_describe::instrumented_prefetcher_metrics());
+        for p in cbws_params(self.cbws.config()) {
+            d = d.param(ParamSpec::new(
+                format!("cbws.{}", p.name),
+                p.doc,
+                p.default,
+                p.range,
+            ));
+        }
+        for p in self.sms.describe().params {
+            d = d.param(ParamSpec::new(
+                format!("sms.{}", p.name),
+                p.doc,
+                p.default,
+                p.range,
+            ));
+        }
+        d
     }
 }
 

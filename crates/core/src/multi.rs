@@ -11,7 +11,8 @@
 //! carries the full Fig. 8 storage (≈1 KB). The `ext_comparison` binary
 //! and the `ablations` bench quantify the benefit.
 
-use crate::predictor::{CbwsConfig, CbwsPredictor, CbwsStats};
+use crate::predictor::{cbws_metrics, cbws_params, CbwsConfig, CbwsPredictor, CbwsStats};
+use cbws_describe::{ComponentDescription, ComponentKind, Describe, ParamSpec};
 use cbws_prefetchers::{PrefetchContext, Prefetcher};
 use cbws_telemetry::Telemetry;
 use cbws_trace::{BlockId, LineAddr};
@@ -117,6 +118,39 @@ impl MultiCbwsPrefetcher {
             lru: stamp,
         };
         victim
+    }
+}
+
+impl Describe for MultiCbwsPrefetcher {
+    fn describe(&self) -> ComponentDescription {
+        let mut d = ComponentDescription::new(
+            format!("CBWSx{}", self.capacity),
+            ComponentKind::Prefetcher,
+            "Multi-context CBWS: a small LRU-managed set of per-block tracking \
+             contexts, each a complete Fig. 8 predictor, so returning to a \
+             recently seen block resumes its cross-iteration history instead \
+             of retraining. Cost scales linearly with the context count.",
+        )
+        .paper_section("§V (extension: per-block contexts)")
+        .extension()
+        .storage_bits(self.storage_bits())
+        .param(ParamSpec::new(
+            "contexts",
+            "independent per-block tracking contexts, LRU-replaced",
+            self.capacity.to_string(),
+            "≥ 1",
+        ))
+        .metrics(cbws_metrics())
+        .metrics(cbws_describe::instrumented_prefetcher_metrics());
+        for p in cbws_params(&self.cfg) {
+            d = d.param(ParamSpec::new(
+                format!("cbws.{}", p.name),
+                p.doc,
+                p.default,
+                p.range,
+            ));
+        }
+        d
     }
 }
 

@@ -1,6 +1,7 @@
 //! The CBWS prediction hardware (paper §IV-C, §V, Algorithm 1, Fig. 8-11).
 
 use crate::vector::{CbwsVec, Differential};
+use cbws_describe::{ComponentDescription, ComponentKind, Describe, MetricSpec, ParamSpec};
 use cbws_prefetchers::{PrefetchContext, Prefetcher};
 use cbws_telemetry::{SimEvent, Telemetry};
 use cbws_trace::{BlockId, LineAddr};
@@ -55,6 +56,80 @@ impl CbwsConfig {
         let table = self.table_entries as u64 * (16 + v * 16);
         current_cbws + last_cbws + current_diffs + history_regs + table
     }
+}
+
+/// The CBWS parameter list, shared by the standalone, hybrid, and
+/// multi-context descriptions (all embed the same Fig. 8 hardware).
+pub(crate) fn cbws_params(c: &CbwsConfig) -> Vec<ParamSpec> {
+    vec![
+        ParamSpec::new(
+            "max_vector",
+            "maximum distinct lines traced per block (Fig. 8: \"Max. Vector Members 16\")",
+            c.max_vector.to_string(),
+            "≥ 1",
+        ),
+        ParamSpec::new(
+            "max_step",
+            "predecessor CBWSs stored, which is also the number of \
+             multi-step differentials maintained (Fig. 8: 4)",
+            c.max_step.to_string(),
+            "≥ 1",
+        ),
+        ParamSpec::new(
+            "prediction_depth",
+            "future iterations prefetched at each BLOCK_END (Algorithm 1 \
+             predicts up to max_step - 1 steps)",
+            c.prediction_depth.to_string(),
+            "1 ≤ depth ≤ max_step",
+        ),
+        ParamSpec::new(
+            "history_depth",
+            "depth of each history shift register (§V-A: 3)",
+            c.history_depth.to_string(),
+            "≥ 1",
+        ),
+        ParamSpec::new(
+            "table_entries",
+            "differential history table entries, fully associative with \
+             random replacement (§V-A: 16)",
+            c.table_entries.to_string(),
+            "≥ 1",
+        ),
+        ParamSpec::new(
+            "observe_l1_hits",
+            "observe L1 hits as well as misses when tracing working sets — \
+             the aggressive setting the paper argues compiler hints make safe",
+            c.observe_l1_hits.to_string(),
+            "bool",
+        ),
+    ]
+}
+
+/// The metrics the CBWS prediction engine emits, shared by every scheme
+/// embedding a [`CbwsPredictor`].
+pub(crate) fn cbws_metrics() -> Vec<MetricSpec> {
+    vec![
+        MetricSpec::counter(
+            "cbws.table.hit",
+            "differential-history-table lookups that hit",
+        ),
+        MetricSpec::counter(
+            "cbws.table.miss",
+            "differential-history-table lookups that missed",
+        ),
+        MetricSpec::counter(
+            "cbws.prediction.hit",
+            "BLOCK_END predictions issued (history table confident)",
+        ),
+        MetricSpec::counter(
+            "cbws.prediction.miss",
+            "BLOCK_END events with no confident prediction",
+        ),
+        MetricSpec::histogram(
+            "cbws.vector_len",
+            "distinct lines per completed CBWS vector",
+        ),
+    ]
 }
 
 /// One history shift register: a BHR-like FIFO of 12-bit differential
@@ -441,6 +516,28 @@ impl CbwsPrefetcher {
 impl Default for CbwsPrefetcher {
     fn default() -> Self {
         CbwsPrefetcher::new(CbwsConfig::default())
+    }
+}
+
+impl Describe for CbwsPrefetcher {
+    fn describe(&self) -> ComponentDescription {
+        let mut d = ComponentDescription::new(
+            Prefetcher::name(self),
+            ComponentKind::Prefetcher,
+            "The paper's contribution, standalone: traces each annotated \
+             block's working-set vector, learns the differentials between \
+             consecutive iterations in a 16-entry history table, and at every \
+             BLOCK_END prefetches the complete working sets of the next \
+             `prediction_depth` iterations — but only on a history-table hit.",
+        )
+        .paper_section("§IV-V, Fig. 8, Algorithm 1")
+        .storage_bits(self.storage_bits())
+        .metrics(cbws_metrics())
+        .metrics(cbws_describe::instrumented_prefetcher_metrics());
+        for p in cbws_params(&self.predictor.cfg) {
+            d = d.param(p);
+        }
+        d
     }
 }
 

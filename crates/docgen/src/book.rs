@@ -1,0 +1,240 @@
+//! Assembles the complete `book/` tree (an mdBook source layout) and
+//! diffs it against what is committed.
+
+use crate::pages;
+use cbws_describe::ComponentDescription;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The complete generated book: path relative to `book/` → file bytes.
+pub type BookFiles = BTreeMap<String, Vec<u8>>;
+
+/// Generates every file of the book from the repo at `root`.
+///
+/// The output is a valid mdBook source tree (`book.toml`, `src/SUMMARY.md`,
+/// pages), so a real `mdbook build book` works where mdBook is installed,
+/// and `docgen --html` renders the same tree offline.
+pub fn build_book(root: &Path, registry: &[ComponentDescription]) -> Result<BookFiles, String> {
+    let mut files = BookFiles::new();
+
+    files.insert("book.toml".into(), BOOK_TOML.as_bytes().to_vec());
+    files.insert(".gitignore".into(), b"html/\n".to_vec());
+
+    // Component reference.
+    files.insert(
+        "src/registry/index.md".into(),
+        pages::registry_index(registry).into_bytes(),
+    );
+    for d in registry {
+        files.insert(
+            format!("src/registry/{}.md", pages::slug(&d.name)),
+            pages::component_page(d).into_bytes(),
+        );
+    }
+
+    // Results gallery (+ copied plots so the book is self-contained).
+    let figures = pages::figures();
+    files.insert(
+        "src/results/index.md".into(),
+        pages::gallery_index(&figures).into_bytes(),
+    );
+    for s in &figures {
+        files.insert(
+            format!("src/results/{}.md", s.slug),
+            pages::figure_page(root, s)?.into_bytes(),
+        );
+        if let Some(svg) = s.svg {
+            let src = root.join("results").join(svg);
+            let bytes =
+                std::fs::read(&src).map_err(|e| format!("cannot read {}: {e}", src.display()))?;
+            files.insert(format!("src/results/{svg}"), bytes);
+        }
+    }
+
+    // Scorecard, introduction, reproduction guide, summary.
+    files.insert(
+        "src/scorecard.md".into(),
+        pages::scorecard_page(root, registry).into_bytes(),
+    );
+    files.insert("src/introduction.md".into(), introduction().into_bytes());
+    files.insert("src/reproducing.md".into(), reproducing().into_bytes());
+    files.insert(
+        "src/SUMMARY.md".into(),
+        summary(registry, &figures).into_bytes(),
+    );
+
+    Ok(files)
+}
+
+/// Writes the generated files under `root/book/`, creating directories as
+/// needed, and removes committed files the generator no longer produces.
+pub fn write_book(root: &Path, files: &BookFiles) -> Result<(), String> {
+    let book = root.join("book");
+    for (rel, bytes) in files {
+        let path = book.join(rel);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+        std::fs::write(&path, bytes)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    for rel in committed_files(root) {
+        if !files.contains_key(&rel) {
+            let _ = std::fs::remove_file(book.join(&rel));
+        }
+    }
+    Ok(())
+}
+
+/// Compares the generated files against the committed `book/` tree.
+/// Returns one human-readable problem per stale, missing, or orphaned file.
+pub fn diff_book(root: &Path, files: &BookFiles) -> Vec<String> {
+    let book = root.join("book");
+    let mut problems = Vec::new();
+    for (rel, bytes) in files {
+        match std::fs::read(book.join(rel)) {
+            Ok(committed) if &committed == bytes => {}
+            Ok(_) => problems.push(format!(
+                "book/{rel} is stale — regenerate with `cargo run -p docgen`"
+            )),
+            Err(_) => problems.push(format!(
+                "book/{rel} is missing — regenerate with `cargo run -p docgen`"
+            )),
+        }
+    }
+    for rel in committed_files(root) {
+        if !files.contains_key(&rel) {
+            problems.push(format!(
+                "book/{rel} is not produced by the generator — remove it or \
+                 extend docgen"
+            ));
+        }
+    }
+    problems
+}
+
+/// All files currently committed under `book/` (relative paths), excluding
+/// the `html/` build output.
+fn committed_files(root: &Path) -> Vec<String> {
+    let book = root.join("book");
+    let mut out = Vec::new();
+    let mut stack = vec![book.clone()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "html") {
+                    continue; // build output, never committed
+                }
+                stack.push(path);
+            } else if let Ok(rel) = path.strip_prefix(&book) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+const BOOK_TOML: &str = r#"# GENERATED by `cargo run -p docgen` — do not edit by hand.
+[book]
+title = "cbws-repro reference"
+description = "Generated reference for the CBWS prefetching reproduction"
+src = "src"
+language = "en"
+
+[build]
+build-dir = "html"
+create-missing = false
+"#;
+
+fn introduction() -> String {
+    format!(
+        "{}# cbws-repro reference\n\n\
+         This book is **generated** from the repository by `cargo run -p \
+         docgen` — nothing in it is hand-written prose that can rot. Three \
+         sources feed it:\n\n\
+         1. the [component reference](registry/index.md), read from each \
+         component's `Describe` implementation (`crates/describe`);\n\
+         2. the [results gallery](results/index.md), read from the committed \
+         `results/*.csv`, `*.svg`, and `*.manifest.json` artifacts;\n\
+         3. the [paper-claim scorecard](scorecard.md), which pairs the \
+         paper's headline numbers with the reproduced ones.\n\n\
+         `cargo run -p docgen -- --check` regenerates everything in memory \
+         and fails CI when a committed page, a README-quoted number, or a \
+         `Describe` output disagrees with the artifacts.\n\n\
+         ## Building this book\n\n\
+         ```bash\n\
+         cargo run -p docgen            # regenerate the markdown sources\n\
+         mdbook build book              # render with mdBook, if installed\n\
+         cargo run -p docgen -- --html  # offline fallback renderer (book/html)\n\
+         ```\n\n\
+         The paper: Fuchs, Mannor, Weiser, Etsion. *Loop-Aware Memory \
+         Prefetching Using Code Block Working Sets.* MICRO-47, 2014. See \
+         the repository's [README](../../README.md), [DESIGN](../../DESIGN.md), \
+         and [EXPERIMENTS](../../EXPERIMENTS.md) for the narrative docs.\n",
+        pages::GENERATED_BANNER
+    )
+}
+
+fn reproducing() -> String {
+    format!(
+        "{}# Reproducing the figures\n\n\
+         Every table and figure of the paper has one regenerator binary in \
+         `cbws-harness`; `all_experiments` runs the whole evaluation and \
+         writes every artifact.\n\n\
+         ```bash\n\
+         cargo run --release -p cbws-harness --bin all_experiments\n\
+         cargo run --release -p cbws-harness --bin fig14_speedup -- --scale small\n\
+         ```\n\n\
+         ## Flags every binary accepts\n\n\
+         | flag | effect |\n|---|---|\n\
+         | `--scale tiny\\|small\\|full` | trace length per workload (default `full`; the committed artifacts record their scale in `results/*.manifest.json`) |\n\
+         | `--jobs N` | worker threads for the work-stealing sweep engine; `0` or absent = all cores |\n\
+         | `--quiet` | suppress console tables (CSVs, SVGs, and manifests are still written) |\n\
+         | `--progress` | verbose per-phase and heartbeat logging |\n\
+         | `--trace-out F` / `--metrics-out F` | JSONL event trace / JSON metrics dump (see below) |\n\n\
+         ## Environment\n\n\
+         | variable | effect |\n|---|---|\n\
+         | `CBWS_TRACE_CACHE_BYTES` | byte budget of the shared trace cache \
+         (default 1 GiB). Generated traces are shared per (workload, scale) \
+         across the sweep; lower it on small machines, raise it if \
+         regeneration shows up in `--progress` phase timings. |\n\n\
+         ## Observability\n\n\
+         Telemetry is off by default and costs one branch per hook when \
+         disabled. `--trace-out` captures the structured event trace \
+         (prefetch lifecycle, Fig. 13 demand classification, block \
+         begin/end, differential-table lookups); `--metrics-out` dumps the \
+         dotted-path metrics registry. The per-component metric paths are \
+         listed on each page of the [component reference](registry/index.md).\n\n\
+         ## Scales and runtimes\n\n\
+         The committed artifacts were produced at the scale their manifest \
+         records (full for the headline run; `fig12_mpki` at small). Tiny \
+         runs complete in seconds and are used by the test suite; full \
+         reproduces the numbers quoted in [the scorecard](scorecard.md).\n",
+        pages::GENERATED_BANNER
+    )
+}
+
+fn summary(registry: &[ComponentDescription], figures: &[pages::FigureSpec]) -> String {
+    let mut md = String::from("# Summary\n\n[Introduction](introduction.md)\n\n");
+    md.push_str("- [Reproducing the figures](reproducing.md)\n");
+    md.push_str("- [Component reference](registry/index.md)\n");
+    for d in registry {
+        md.push_str(&format!(
+            "  - [{}](registry/{}.md)\n",
+            d.name,
+            pages::slug(&d.name)
+        ));
+    }
+    md.push_str("- [Results gallery](results/index.md)\n");
+    for s in figures {
+        md.push_str(&format!("  - [{}](results/{}.md)\n", s.title, s.slug));
+    }
+    md.push_str("- [Paper-claim scorecard](scorecard.md)\n");
+    md
+}

@@ -1,0 +1,155 @@
+//! The doc-drift check behind `docgen --check`.
+//!
+//! Four independent gates, all offline:
+//!
+//! 1. **Book drift** — the committed `book/` tree must equal a fresh
+//!    regeneration byte-for-byte (stale, missing, and orphaned files all
+//!    fail).
+//! 2. **Quoted numbers** — every number README.md / EXPERIMENTS.md /
+//!    DESIGN.md quote for a scorecard claim must equal the value re-derived
+//!    from the committed artifact (rounded to the quote's own precision).
+//! 3. **Describe consistency** — each prefetcher's `Describe` storage
+//!    budget must match the committed `tab03_storage.csv`, and structural
+//!    paper constants (16-entry DHT, sub-1 KB CBWS) must hold.
+//! 4. **Links** — no broken relative link in the book or the narrative
+//!    docs.
+
+use crate::claims::{claims, measure, quote_matches, quoted_number};
+use crate::{book, linkcheck};
+use cbws_describe::ComponentDescription;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Narrative docs covered by the quote and link checks.
+pub const NARRATIVE_DOCS: [&str; 4] = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"];
+
+/// Runs every gate. Returns one human-readable problem per failure; empty
+/// means the docs are in sync with the code and artifacts.
+pub fn run(root: &Path, registry: &[ComponentDescription]) -> Vec<String> {
+    let mut problems = Vec::new();
+
+    match book::build_book(root, registry) {
+        Ok(files) => {
+            problems.extend(book::diff_book(root, &files));
+            let book_pages: Vec<String> = files
+                .keys()
+                .filter(|p| p.ends_with(".md"))
+                .map(|p| format!("book/{p}"))
+                .collect();
+            problems.extend(linkcheck::check_files(root, &book_pages));
+        }
+        Err(e) => problems.push(format!("book generation failed: {e}")),
+    }
+
+    problems.extend(check_quotes(root, registry));
+    problems.extend(check_describe_consistency(root, registry));
+
+    let narrative: Vec<String> = NARRATIVE_DOCS.iter().map(|s| s.to_string()).collect();
+    problems.extend(linkcheck::check_files(root, &narrative));
+
+    problems
+}
+
+/// Gate 2: every doc quote equals its re-derived artifact value.
+pub fn check_quotes(root: &Path, registry: &[ComponentDescription]) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut docs: HashMap<&str, String> = HashMap::new();
+    for claim in claims() {
+        let measured = match measure(&claim, root, registry) {
+            Ok(v) => v,
+            Err(e) => {
+                problems.push(format!("claim `{}`: {e}", claim.id));
+                continue;
+            }
+        };
+        for quote in claim.quotes {
+            let text = docs.entry(quote.file).or_insert_with(|| {
+                std::fs::read_to_string(root.join(quote.file)).unwrap_or_default()
+            });
+            if text.is_empty() {
+                problems.push(format!(
+                    "claim `{}`: cannot read {} for quote check",
+                    claim.id, quote.file
+                ));
+                continue;
+            }
+            match quoted_number(text, quote.pattern) {
+                Ok(q) if quote_matches(measured, q) => {}
+                Ok(q) => problems.push(format!(
+                    "claim `{}`: {} quotes {} but the artifact says {measured} \
+                     (pattern {:?})",
+                    claim.id, quote.file, q.value, quote.pattern
+                )),
+                Err(e) => problems.push(format!(
+                    "claim `{}`: quote missing from {}: {e}",
+                    claim.id, quote.file
+                )),
+            }
+        }
+    }
+    problems
+}
+
+/// Gate 3: `Describe` output vs the committed Table III artifact, plus the
+/// paper's structural constants.
+pub fn check_describe_consistency(root: &Path, registry: &[ComponentDescription]) -> Vec<String> {
+    let mut problems = Vec::new();
+    let tab03 = match crate::csvtab::Table::load(&root.join("results/tab03_storage.csv")) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("describe consistency: {e}")],
+    };
+    for row in &tab03.rows {
+        let (Some(name), Some(bits_text), Some(kb_text)) = (row.first(), row.get(1), row.get(2))
+        else {
+            problems.push(format!("tab03_storage.csv: short row {row:?}"));
+            continue;
+        };
+        let Some(d) = registry.iter().find(|d| &d.name == name) else {
+            problems.push(format!(
+                "tab03_storage.csv lists `{name}` but no component of that \
+                 name is in the registry"
+            ));
+            continue;
+        };
+        let bits: u64 = match bits_text.parse() {
+            Ok(b) => b,
+            Err(_) => {
+                problems.push(format!("tab03_storage.csv: bad bits cell {bits_text:?}"));
+                continue;
+            }
+        };
+        if d.storage_bits != Some(bits) {
+            problems.push(format!(
+                "`{name}`: Describe reports {:?} bits but tab03_storage.csv \
+                 says {bits}",
+                d.storage_bits
+            ));
+        }
+        let kb = bits as f64 / 8192.0;
+        if (kb_text.parse::<f64>().unwrap_or(f64::NAN) - kb).abs() > 0.005 {
+            problems.push(format!(
+                "tab03_storage.csv: `{name}` KB cell {kb_text} disagrees with \
+                 {bits} bits"
+            ));
+        }
+    }
+    if let Some(cbws) = registry.iter().find(|d| d.name == "CBWS") {
+        if cbws.storage_bits.unwrap_or(u64::MAX) >= 8192 {
+            problems.push("CBWS storage is not under the paper's 1 KB budget".to_string());
+        }
+        match cbws.params.iter().find(|p| p.name == "table_entries") {
+            Some(p) if p.default == "16" => {}
+            Some(p) => problems.push(format!(
+                "CBWS differential history table has {} entries; the paper's \
+                 Fig. 8 specifies 16",
+                p.default
+            )),
+            None => {
+                problems.push("CBWS Describe output lost its `table_entries` parameter".to_string())
+            }
+        }
+    } else {
+        problems.push("no CBWS component in the registry".to_string());
+    }
+    problems
+}

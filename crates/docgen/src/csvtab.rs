@@ -1,0 +1,92 @@
+//! Minimal CSV reader for the committed `results/*.csv` artifacts.
+//!
+//! The harness writes plain comma-separated tables without quoting or
+//! escaping, so a split-on-comma parser is exact for these files.
+
+use std::path::Path;
+
+/// One parsed CSV file: a header row plus data rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Column names from the first line.
+    pub header: Vec<String>,
+    /// Remaining lines, split on commas.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Parses CSV text (no quoting, as written by the harness).
+    pub fn parse(text: &str) -> Table {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines
+            .next()
+            .map(|l| l.split(',').map(|c| c.trim().to_string()).collect())
+            .unwrap_or_default();
+        let rows = lines
+            .map(|l| l.split(',').map(|c| c.trim().to_string()).collect())
+            .collect();
+        Table { header, rows }
+    }
+
+    /// Loads and parses a CSV file.
+    pub fn load(path: &Path) -> Result<Table, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Ok(Table::parse(&text))
+    }
+
+    /// Index of the column named `name`.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.header.iter().position(|h| h == name)
+    }
+
+    /// The cell at (`key`, `col`), where `key` matches the leading cells of
+    /// a row exactly (one key cell for most tables; two for long-format
+    /// tables like `fig13_timeliness.csv`).
+    pub fn cell(&self, key: &[&str], col: &str) -> Option<&str> {
+        let c = self.col(col)?;
+        let row = self.rows.iter().find(|r| {
+            r.len() > c && r.iter().zip(key).all(|(a, b)| a == b) && r.len() >= key.len()
+        })?;
+        row.get(c).map(String::as_str)
+    }
+
+    /// Renders the table as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.header.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_lookup() {
+        let t = Table::parse("a,b,c\nx,1,2\ny,3,4\n");
+        assert_eq!(t.header, ["a", "b", "c"]);
+        assert_eq!(t.cell(&["y"], "c"), Some("4"));
+        assert_eq!(t.cell(&["z"], "c"), None);
+        assert_eq!(t.cell(&["y"], "nope"), None);
+    }
+
+    #[test]
+    fn two_cell_key() {
+        let t = Table::parse("bench,pf,v\na,SMS,1\na,CBWS,2\nb,SMS,3\n");
+        assert_eq!(t.cell(&["a", "CBWS"], "v"), Some("2"));
+        assert_eq!(t.cell(&["b", "SMS"], "v"), Some("3"));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let t = Table::parse("a,b\n1,2\n");
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a | b |\n|---|---|\n| 1 | 2 |"));
+    }
+}

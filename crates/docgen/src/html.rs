@@ -1,0 +1,411 @@
+//! Offline HTML renderer for the generated book.
+//!
+//! The container has no `mdbook` binary, so `docgen --html` renders the
+//! same `book/src` tree to static HTML with a deliberately small markdown
+//! subset: exactly what the generated pages use (headings, paragraphs,
+//! fenced code, tables, lists, emphasis, links, images). Where mdBook is
+//! available, `mdbook build book` works on the identical sources.
+
+use std::path::Path;
+
+/// Renders `book/src/*.md` to `out_dir` as one HTML page per source page,
+/// with a sidebar built from `SUMMARY.md`. Returns the page count.
+pub fn render_book(root: &Path, out_dir: &Path) -> Result<usize, String> {
+    let src = root.join("book").join("src");
+    let summary = std::fs::read_to_string(src.join("SUMMARY.md"))
+        .map_err(|e| format!("cannot read SUMMARY.md: {e}"))?;
+    let entries = summary_entries(&summary);
+    let nav = render_nav(&entries);
+    let mut count = 0;
+    for (title, rel) in &entries {
+        let md = std::fs::read_to_string(src.join(rel))
+            .map_err(|e| format!("cannot read {rel}: {e}"))?;
+        let depth = rel.matches('/').count();
+        let html_rel = rel.replace(".md", ".html");
+        let out_path = out_dir.join(&html_rel);
+        if let Some(dir) = out_path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+        let page = page_html(title, &nav, &markdown_to_html(&md), depth);
+        std::fs::write(&out_path, page)
+            .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+        count += 1;
+    }
+    // Copy non-markdown assets (plots) next to their pages.
+    copy_assets(&src, out_dir)?;
+    // Entry point: redirect index to the introduction.
+    let first = entries
+        .first()
+        .map(|(_, rel)| rel.replace(".md", ".html"))
+        .unwrap_or_else(|| "introduction.html".into());
+    std::fs::write(
+        out_dir.join("index.html"),
+        format!("<!DOCTYPE html><meta http-equiv=\"refresh\" content=\"0; url={first}\">"),
+    )
+    .map_err(|e| format!("cannot write index.html: {e}"))?;
+    Ok(count)
+}
+
+/// `(title, relative path)` for every page linked from SUMMARY.md.
+fn summary_entries(summary: &str) -> Vec<(String, String)> {
+    crate::linkcheck::link_targets(summary)
+        .into_iter()
+        .zip(link_titles(summary))
+        .map(|(rel, title)| (title, rel))
+        .collect()
+}
+
+/// Link texts in order, matching `link_targets`.
+fn link_titles(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(open) = rest.find('[') {
+        let after = &rest[open + 1..];
+        let Some(close) = after.find(']') else { break };
+        if after[close..].starts_with("](") {
+            out.push(after[..close].to_string());
+        }
+        rest = &after[close..];
+    }
+    out
+}
+
+fn render_nav(entries: &[(String, String)]) -> String {
+    let mut nav = String::from("<nav><ul>\n");
+    for (title, rel) in entries {
+        nav.push_str(&format!(
+            "<li><a href=\"{{ROOT}}{}\">{}</a></li>\n",
+            rel.replace(".md", ".html"),
+            escape(title)
+        ));
+    }
+    nav.push_str("</ul></nav>\n");
+    nav
+}
+
+fn copy_assets(src: &Path, out_dir: &Path) -> Result<(), String> {
+    let mut stack = vec![src.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e != "md") {
+                let rel = path.strip_prefix(src).expect("under src");
+                let dest = out_dir.join(rel);
+                if let Some(d) = dest.parent() {
+                    std::fs::create_dir_all(d)
+                        .map_err(|e| format!("cannot create {}: {e}", d.display()))?;
+                }
+                std::fs::copy(&path, &dest)
+                    .map_err(|e| format!("cannot copy {}: {e}", path.display()))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn page_html(title: &str, nav: &str, body: &str, depth: usize) -> String {
+    let root = "../".repeat(depth);
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+         <title>{} — cbws-repro</title>\n<style>{}</style></head>\n\
+         <body>{}<main>{}</main></body></html>\n",
+        escape(title),
+        STYLE,
+        nav.replace("{ROOT}", &root),
+        body
+    )
+}
+
+const STYLE: &str = "body{display:flex;margin:0;font:16px/1.55 sans-serif;color:#222}\
+nav{min-width:230px;max-width:280px;background:#f5f5f5;padding:1em;height:100vh;\
+overflow-y:auto;position:sticky;top:0}nav ul{list-style:none;padding-left:0}\
+nav li{margin:.3em 0}main{padding:1.5em 2.5em;max-width:60em;overflow-x:auto}\
+table{border-collapse:collapse}td,th{border:1px solid #ccc;padding:.3em .6em;\
+text-align:left}pre{background:#f5f5f5;padding:1em;overflow-x:auto}\
+code{background:#f0f0f0;padding:0 .2em}img{max-width:100%}";
+
+/// Renders the markdown subset the generated pages use.
+pub fn markdown_to_html(md: &str) -> String {
+    let mut html = String::new();
+    let mut lines = md.lines().peekable();
+    let mut in_list = false;
+    let mut in_ordered = false;
+    while let Some(line) = lines.next() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("<!--") {
+            continue;
+        }
+        if let Some(lang) = trimmed.strip_prefix("```") {
+            let mut code = String::new();
+            for code_line in lines.by_ref() {
+                if code_line.trim_start().starts_with("```") {
+                    break;
+                }
+                code.push_str(&escape(code_line));
+                code.push('\n');
+            }
+            close_list(&mut html, &mut in_list, &mut in_ordered);
+            html.push_str(&format!(
+                "<pre><code class=\"language-{}\">{}</code></pre>\n",
+                escape(lang.trim()),
+                code
+            ));
+            continue;
+        }
+        if trimmed.is_empty() {
+            close_list(&mut html, &mut in_list, &mut in_ordered);
+            continue;
+        }
+        if let Some(h) = heading(trimmed) {
+            close_list(&mut html, &mut in_list, &mut in_ordered);
+            html.push_str(&h);
+            continue;
+        }
+        if trimmed.starts_with('|') {
+            close_list(&mut html, &mut in_list, &mut in_ordered);
+            let mut rows = vec![trimmed.to_string()];
+            while lines
+                .peek()
+                .is_some_and(|l| l.trim_start().starts_with('|'))
+            {
+                rows.push(lines.next().unwrap().trim_start().to_string());
+            }
+            html.push_str(&table_html(&rows));
+            continue;
+        }
+        if let Some(item) = trimmed
+            .strip_prefix("* ")
+            .or_else(|| trimmed.strip_prefix("- "))
+        {
+            if !in_list {
+                close_list(&mut html, &mut in_list, &mut in_ordered);
+                html.push_str("<ul>\n");
+                in_list = true;
+                in_ordered = false;
+            }
+            html.push_str(&format!("<li>{}</li>\n", inline(item)));
+            continue;
+        }
+        if let Some(item) = ordered_item(trimmed) {
+            if !in_list || !in_ordered {
+                close_list(&mut html, &mut in_list, &mut in_ordered);
+                html.push_str("<ol>\n");
+                in_list = true;
+                in_ordered = true;
+            }
+            html.push_str(&format!("<li>{}</li>\n", inline(item)));
+            continue;
+        }
+        if in_list && html.ends_with("</li>\n") {
+            // Continuation line of the previous list item.
+            html.truncate(html.len() - "</li>\n".len());
+            html.push_str(&format!(" {}</li>\n", inline(trimmed)));
+            continue;
+        }
+        // Paragraph: gather until blank line or structural marker.
+        let mut para = trimmed.to_string();
+        while lines.peek().is_some_and(|l| {
+            let t = l.trim_start();
+            !t.is_empty()
+                && !t.starts_with('|')
+                && !t.starts_with('#')
+                && !t.starts_with("```")
+                && !t.starts_with("* ")
+                && !t.starts_with("- ")
+                && ordered_item(t).is_none()
+        }) {
+            para.push(' ');
+            para.push_str(lines.next().unwrap().trim());
+        }
+        close_list(&mut html, &mut in_list, &mut in_ordered);
+        html.push_str(&format!("<p>{}</p>\n", inline(&para)));
+    }
+    let mut dummy_ordered = in_ordered;
+    close_list(&mut html, &mut in_list, &mut dummy_ordered);
+    html
+}
+
+fn close_list(html: &mut String, in_list: &mut bool, in_ordered: &mut bool) {
+    if *in_list {
+        html.push_str(if *in_ordered { "</ol>\n" } else { "</ul>\n" });
+        *in_list = false;
+    }
+}
+
+fn heading(line: &str) -> Option<String> {
+    let level = line.bytes().take_while(|&b| b == b'#').count();
+    if (1..=6).contains(&level) && line.as_bytes().get(level) == Some(&b' ') {
+        Some(format!(
+            "<h{level}>{}</h{level}>\n",
+            inline(line[level + 1..].trim())
+        ))
+    } else {
+        None
+    }
+}
+
+fn ordered_item(line: &str) -> Option<&str> {
+    let digits = line.bytes().take_while(|b| b.is_ascii_digit()).count();
+    if digits > 0 && line[digits..].starts_with(". ") {
+        Some(&line[digits + 2..])
+    } else {
+        None
+    }
+}
+
+fn table_html(rows: &[String]) -> String {
+    let mut html = String::from("<table>\n");
+    for (i, row) in rows.iter().enumerate() {
+        let cells: Vec<&str> = row.trim_matches('|').split('|').collect();
+        if cells.iter().all(|c| {
+            let t = c.trim();
+            !t.is_empty() && t.chars().all(|ch| ch == '-' || ch == ':')
+        }) {
+            continue; // separator row
+        }
+        let tag = if i == 0 { "th" } else { "td" };
+        html.push_str("<tr>");
+        for cell in cells {
+            html.push_str(&format!("<{tag}>{}</{tag}>", inline(cell.trim())));
+        }
+        html.push_str("</tr>\n");
+    }
+    html.push_str("</table>\n");
+    html
+}
+
+/// Inline markdown: escaping, code spans, images, links, bold, italics.
+fn inline(text: &str) -> String {
+    // Tokenize code spans first so nothing inside them is interpreted.
+    let mut out = String::new();
+    let mut rest = text;
+    while let Some(tick) = rest.find('`') {
+        out.push_str(&inline_no_code(&rest[..tick]));
+        let after = &rest[tick + 1..];
+        if let Some(close) = after.find('`') {
+            out.push_str(&format!("<code>{}</code>", escape(&after[..close])));
+            rest = &after[close + 1..];
+        } else {
+            out.push('`');
+            rest = after;
+        }
+    }
+    out.push_str(&inline_no_code(rest));
+    out
+}
+
+fn inline_no_code(text: &str) -> String {
+    let mut out = String::new();
+    let mut rest = text;
+    loop {
+        // Earliest of image or link.
+        let img = rest.find("![");
+        let link = rest
+            .char_indices()
+            .find(|&(i, c)| c == '[' && (i == 0 || !rest[..i].ends_with('!')))
+            .map(|(i, _)| i);
+        let (pos, is_img) = match (img, link) {
+            (Some(a), Some(b)) if a < b => (a, true),
+            (_, Some(b)) => (b, false),
+            (Some(a), None) => (a, true),
+            (None, None) => break,
+        };
+        let bracket = pos + if is_img { 2 } else { 1 };
+        let after = &rest[bracket..];
+        let parsed = after.find(']').and_then(|close| {
+            after[close..]
+                .strip_prefix("](")
+                .and_then(|tail| tail.find(')').map(|end| (close, end)))
+        });
+        let Some((close, end)) = parsed else {
+            out.push_str(&emphasize(&rest[..bracket]));
+            rest = after;
+            continue;
+        };
+        out.push_str(&emphasize(&rest[..pos]));
+        let label = &after[..close];
+        let target = &after[close + 2..close + 2 + end];
+        let target = target.split_whitespace().next().unwrap_or("");
+        if is_img {
+            out.push_str(&format!(
+                "<img src=\"{}\" alt=\"{}\">",
+                escape(target),
+                escape(label)
+            ));
+        } else {
+            out.push_str(&format!(
+                "<a href=\"{}\">{}</a>",
+                escape(&target.replace(".md", ".html")),
+                emphasize(label)
+            ));
+        }
+        rest = &after[close + 2 + end + 1..];
+    }
+    out.push_str(&emphasize(rest));
+    out
+}
+
+/// `**bold**` and `*italic*` over already-link-free text.
+fn emphasize(text: &str) -> String {
+    let mut out = escape(text);
+    for (marker, tag) in [("**", "strong"), ("*", "em")] {
+        while let Some(open) = out.find(marker) {
+            let Some(off) = out[open + marker.len()..].find(marker) else {
+                break;
+            };
+            let close = open + marker.len() + off;
+            let innerd = out[open + marker.len()..close].to_string();
+            out = format!(
+                "{}<{tag}>{}</{tag}>{}",
+                &out[..open],
+                innerd,
+                &out[close + marker.len()..]
+            );
+        }
+    }
+    out
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_core_constructs() {
+        let html = markdown_to_html(
+            "# Title\n\nPara with `code` and [link](x.md) and **bold**.\n\n\
+             | a | b |\n|---|---|\n| 1 | 2 |\n\n* item one\n* item two\n",
+        );
+        assert!(html.contains("<h1>Title</h1>"));
+        assert!(html.contains("<code>code</code>"));
+        assert!(html.contains("<a href=\"x.html\">link</a>"));
+        assert!(html.contains("<strong>bold</strong>"));
+        assert!(html.contains("<th>a</th>"));
+        assert!(html.contains("<td>2</td>"));
+        assert!(html.contains("<li>item one</li>"));
+    }
+
+    #[test]
+    fn code_fence_escapes_html() {
+        let html = markdown_to_html("```bash\ncargo run < in > out\n```\n");
+        assert!(html.contains("cargo run &lt; in &gt; out"));
+    }
+
+    #[test]
+    fn images_render() {
+        let html = markdown_to_html("![plot](fig.svg)\n");
+        assert!(html.contains("<img src=\"fig.svg\" alt=\"plot\">"));
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Living-documentation generator for the CBWS reproduction.
+//!
+//! `cargo run -p docgen` regenerates the `book/` mdBook source tree from
+//! three machine sources — the component registry
+//! ([`cbws_harness::component_registry`], backed by every component's
+//! `Describe` implementation), the committed `results/` artifacts, and the
+//! [paper-claim table](claims::claims) — so the reference documentation is
+//! derived from the code rather than hand-maintained.
+//!
+//! `cargo run -p docgen -- --check` re-derives everything in memory and
+//! fails (exit 1) when the committed book, a number quoted in
+//! README/EXPERIMENTS/DESIGN, or a `Describe` output disagrees with the
+//! artifacts; CI runs it on every push.
+//!
+//! `cargo run -p docgen -- --html` renders the book to static HTML with a
+//! built-in renderer, for environments without the `mdbook` binary (the
+//! sources remain a valid mdBook tree).
+
+pub mod book;
+pub mod check;
+pub mod claims;
+pub mod csvtab;
+pub mod html;
+pub mod linkcheck;
+pub mod pages;
+
+use std::path::{Path, PathBuf};
+
+/// The repository root the generator operates on: `--root` if given, else
+/// the workspace root this binary was built from.
+pub fn repo_root(explicit: Option<&str>) -> PathBuf {
+    match explicit {
+        Some(p) => PathBuf::from(p),
+        None => Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crates/docgen has a workspace root")
+            .to_path_buf(),
+    }
+}

@@ -1,0 +1,119 @@
+//! Offline markdown link checker.
+//!
+//! The container has no network and no external link-checker binary, so
+//! `docgen` ships its own: every relative link and image target in the
+//! checked markdown files must exist on disk. External (`http`/`https`/
+//! `mailto`) targets and pure in-page anchors are skipped — they cannot be
+//! validated offline.
+
+use std::path::Path;
+
+/// Checks every markdown file in `files` (paths relative to `root`).
+/// Returns one problem string per broken link.
+pub fn check_files(root: &Path, files: &[String]) -> Vec<String> {
+    let mut problems = Vec::new();
+    for rel in files {
+        let path = root.join(rel);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            problems.push(format!("{rel}: cannot read file"));
+            continue;
+        };
+        for target in link_targets(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+                || target.is_empty()
+            {
+                continue;
+            }
+            let file_part = target.split('#').next().unwrap_or(&target);
+            let base = path.parent().unwrap_or(root);
+            if !base.join(file_part).exists() {
+                problems.push(format!("{rel}: broken link `{target}`"));
+            }
+        }
+    }
+    problems
+}
+
+/// Extracts `[text](target)` and `![alt](target)` destinations, skipping
+/// fenced code blocks and inline code spans.
+pub fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let line = strip_inline_code(line);
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+                let rest = &line[i + 2..];
+                if let Some(end) = rest.find(')') {
+                    let target = rest[..end].split_whitespace().next().unwrap_or("");
+                    out.push(target.to_string());
+                    i += 2 + end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Replaces `` `code` `` spans with spaces so links inside them are ignored.
+fn strip_inline_code(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_code = false;
+    for c in line.chars() {
+        if c == '`' {
+            in_code = !in_code;
+            out.push(' ');
+        } else if in_code {
+            out.push(' ');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_links_and_images() {
+        let t = link_targets("See [a](x.md) and ![p](y.svg 'title').");
+        assert_eq!(t, ["x.md", "y.svg"]);
+    }
+
+    #[test]
+    fn skips_code() {
+        let t = link_targets("```\n[a](dead.md)\n```\nuse `[b](c.md)` inline");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn anchors_and_external_skipped_by_check() {
+        let dir = std::env::temp_dir().join(format!("docgen-lc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("a.md"),
+            "[x](https://example.com) [y](#here) [z](missing.md)",
+        )
+        .unwrap();
+        let problems = check_files(&dir, &["a.md".into()]);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("missing.md"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

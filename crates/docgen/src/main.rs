@@ -1,0 +1,82 @@
+//! `docgen` CLI: regenerate the book, check doc drift, render HTML.
+//!
+//! ```text
+//! cargo run -p docgen                  # regenerate book/ in place
+//! cargo run -p docgen -- --check      # fail (exit 1) on any doc drift
+//! cargo run -p docgen -- --html      # render book/src to book/html
+//! cargo run -p docgen -- --root DIR  # operate on another checkout
+//! ```
+
+use cbws_harness::{component_registry, SystemConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "docgen — living-documentation generator\n\n\
+             USAGE: docgen [--check | --html [DIR]] [--root DIR]\n\n\
+             (default)    regenerate book/ from the code and results/ artifacts\n\
+             --check      verify committed book, doc-quoted numbers, Describe\n\
+             \u{20}            output, and links against the artifacts; exit 1 on drift\n\
+             --html [DIR] render book/src to static HTML (default book/html)\n\
+             --root DIR   repository root to operate on (default: this checkout)"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let root_arg = args
+        .iter()
+        .position(|a| a == "--root")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let root = docgen::repo_root(root_arg);
+    let registry = component_registry(&SystemConfig::default());
+
+    if args.iter().any(|a| a == "--check") {
+        let problems = docgen::check::run(&root, &registry);
+        return if problems.is_empty() {
+            println!(
+                "docgen --check: book, quoted numbers, Describe output, and \
+                 links are all in sync"
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("docgen --check found {} problem(s):", problems.len());
+            for p in &problems {
+                eprintln!("  - {p}");
+            }
+            ExitCode::FAILURE
+        };
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--html") {
+        let out = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map(|a| root.join(a))
+            .unwrap_or_else(|| root.join("book/html"));
+        return match docgen::html::render_book(&root, &out) {
+            Ok(n) => {
+                println!("rendered {n} page(s) to {}", out.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("docgen --html: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match docgen::book::build_book(&root, &registry)
+        .and_then(|files| docgen::book::write_book(&root, &files).map(|()| files.len()))
+    {
+        Ok(n) => {
+            println!("wrote {n} file(s) under {}", root.join("book").display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("docgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

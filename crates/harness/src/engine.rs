@@ -2,7 +2,8 @@
 //!
 //! The evaluation is a `(workload × prefetcher)` matrix whose cells cost
 //! wildly different amounts of wall-clock time — trace sizes span orders of
-//! magnitude across the 30 benchmarks. The old `sweep_parallel` split the
+//! magnitude across the 30 benchmarks. The deprecated chunked sweep (now a
+//! thin wrapper over [`crate::experiments::sweep_engine`]) split the
 //! *workload list* into static per-thread chunks, so one thread could be
 //! stuck with the biggest traces while the rest idled. This engine instead
 //! schedules **individual `(workload, prefetcher, scale)` jobs**: workers
@@ -40,9 +41,14 @@ use std::time::Instant;
 
 /// Number of workers the engine will use for `jobs = 0` (all cores).
 ///
-/// Unlike the old `sweep_parallel`, detection failure is *reported* (and
-/// falls back to serial execution) instead of silently pretending the
+/// Unlike the deprecated chunked sweep, detection failure is *reported*
+/// (and falls back to serial execution) instead of silently pretending the
 /// machine has four cores.
+///
+/// ```
+/// let workers = cbws_harness::engine::detect_parallelism();
+/// assert!(workers >= 1);
+/// ```
 pub fn detect_parallelism() -> usize {
     match std::thread::available_parallelism() {
         Ok(n) => n.get(),
@@ -125,6 +131,20 @@ impl Engine {
 
     /// Runs the full `workloads × kinds` matrix at `scale` and returns the
     /// records in workload-major, prefetcher-minor order.
+    ///
+    /// ```
+    /// use cbws_harness::{Engine, EngineConfig, PrefetcherKind};
+    /// use cbws_workloads::{by_name, Scale};
+    ///
+    /// let engine = Engine::new(EngineConfig { jobs: 2, ..EngineConfig::default() });
+    /// let run = engine.run(
+    ///     Scale::Tiny,
+    ///     &[by_name("stencil-default").unwrap()],
+    ///     &[PrefetcherKind::Stride, PrefetcherKind::Cbws],
+    /// );
+    /// assert_eq!(run.records.len(), 2);
+    /// assert_eq!(run.records[0].prefetcher, PrefetcherKind::Stride.name());
+    /// ```
     pub fn run(
         &self,
         scale: Scale,

@@ -27,4 +27,4 @@ mod runner;
 pub use engine::{Engine, EngineConfig, EngineRun};
 pub use manifest::RunManifest;
 pub use prefetched::PrefetchedMemory;
-pub use runner::{PrefetcherKind, Simulator, SystemConfig};
+pub use runner::{component_registry, PrefetcherKind, Simulator, SystemConfig};

@@ -2,6 +2,7 @@
 
 use crate::prefetched::PrefetchedMemory;
 use cbws_core::{CbwsConfig, CbwsPrefetcher, CbwsSmsPrefetcher, MultiCbwsPrefetcher};
+use cbws_describe::{ComponentDescription, Describe};
 use cbws_prefetchers::{
     AmpmConfig, AmpmPrefetcher, FeedbackDirected, GhbConfig, GhbPrefetcher, InstrumentedPrefetcher,
     MarkovConfig, MarkovPrefetcher, NullPrefetcher, Prefetcher, SmsConfig, SmsPrefetcher,
@@ -139,6 +140,49 @@ impl PrefetcherKind {
     pub fn storage_bits(self, cfg: &SystemConfig) -> u64 {
         self.build(cfg).storage_bits()
     }
+
+    /// Self-description of the prefetcher this kind builds: summary, paper
+    /// section, storage budget, tunable parameters with their Table II
+    /// defaults, and the telemetry metrics it emits.
+    ///
+    /// Constructs the concrete type and delegates to [`Describe`], so a
+    /// prefetcher without a `Describe` implementation fails to compile here
+    /// rather than silently missing from the generated reference
+    /// (`cargo run -p docgen`).
+    pub fn description(self, cfg: &SystemConfig) -> ComponentDescription {
+        match self {
+            PrefetcherKind::None => NullPrefetcher.describe(),
+            PrefetcherKind::Stride => StridePrefetcher::new(StrideConfig::default()).describe(),
+            PrefetcherKind::GhbPcDc => GhbPrefetcher::new(GhbConfig::pcdc()).describe(),
+            PrefetcherKind::GhbGDc => GhbPrefetcher::new(GhbConfig::gdc()).describe(),
+            PrefetcherKind::Sms => SmsPrefetcher::new(cfg.sms()).describe(),
+            PrefetcherKind::Cbws => CbwsPrefetcher::new(cfg.cbws()).describe(),
+            PrefetcherKind::CbwsSms => CbwsSmsPrefetcher::new(cfg.cbws(), cfg.sms()).describe(),
+            PrefetcherKind::Ampm => AmpmPrefetcher::new(AmpmConfig::default()).describe(),
+            PrefetcherKind::FdpSms => {
+                FeedbackDirected::new(SmsPrefetcher::new(cfg.sms())).describe()
+            }
+            PrefetcherKind::MultiCbws => MultiCbwsPrefetcher::new(cfg.cbws(), 4).describe(),
+            PrefetcherKind::Stems => StemsPrefetcher::new(StemsConfig::default()).describe(),
+            PrefetcherKind::Markov => MarkovPrefetcher::new(MarkovConfig::default()).describe(),
+        }
+    }
+}
+
+/// Self-descriptions of every component the harness can build: the seven
+/// paper configurations ([`PrefetcherKind::ALL`]), the five extensions
+/// ([`PrefetcherKind::EXTENDED`]), and the CPU and memory models — in that
+/// order. This is the single source the generated reference (`docgen`) and
+/// the registry tests walk.
+pub fn component_registry(cfg: &SystemConfig) -> Vec<ComponentDescription> {
+    let mut out: Vec<ComponentDescription> = PrefetcherKind::ALL
+        .into_iter()
+        .chain(PrefetcherKind::EXTENDED)
+        .map(|k| k.description(cfg))
+        .collect();
+    out.push(Core::new(cfg.core).describe());
+    out.push(MemoryHierarchy::new(cfg.mem).describe());
+    out
 }
 
 /// Runs full simulations for (workload, prefetcher) pairs.

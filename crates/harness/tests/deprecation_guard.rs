@@ -1,0 +1,28 @@
+//! Guards the PR-3 deprecation: `sweep_parallel` must stay a deprecated
+//! wrapper (so external callers keep compiling with a warning) until it is
+//! removed outright, and the note must point at its replacement.
+
+#[test]
+fn sweep_parallel_keeps_its_deprecation_attribute() {
+    let source =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/src/experiments.rs"))
+            .expect("experiments.rs is readable");
+    let fn_pos = source
+        .find("pub fn sweep_parallel")
+        .expect("sweep_parallel still exists; if it was removed, delete this guard");
+    let preceding = &source[..fn_pos];
+    let attr_pos = preceding
+        .rfind("#[deprecated")
+        .expect("sweep_parallel lost its #[deprecated] attribute");
+    let attr = &preceding[attr_pos..];
+    assert!(
+        attr.contains("sweep_engine"),
+        "the deprecation note must point callers at sweep_engine: {attr:?}"
+    );
+    // The attribute must belong to this function: no other item may begin
+    // between the attribute and the function.
+    assert!(
+        !attr.contains("pub fn "),
+        "#[deprecated] found, but attached to an earlier item"
+    );
+}

@@ -1,0 +1,138 @@
+//! Registry-level guarantees for the self-description layer: every
+//! prefetcher the harness can build describes itself, and the descriptions
+//! agree with the simulator's own accounting.
+
+use cbws_describe::ComponentKind;
+use cbws_harness::{component_registry, PrefetcherKind, SystemConfig};
+
+#[test]
+fn every_harness_prefetcher_describes_itself() {
+    let cfg = SystemConfig::default();
+    for kind in PrefetcherKind::ALL
+        .into_iter()
+        .chain(PrefetcherKind::EXTENDED)
+    {
+        let d = kind.description(&cfg);
+        assert_eq!(
+            d.name,
+            kind.name(),
+            "description name must match the legend name"
+        );
+        assert_eq!(d.kind, ComponentKind::Prefetcher);
+        assert!(!d.summary.is_empty(), "{}: empty summary", kind.name());
+        assert!(
+            !d.metrics.is_empty(),
+            "{}: every prefetcher emits at least the instrumented metrics",
+            kind.name()
+        );
+        if kind != PrefetcherKind::None {
+            assert!(
+                !d.params.is_empty(),
+                "{}: no parameters described",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn described_storage_matches_the_simulators_accounting() {
+    let cfg = SystemConfig::default();
+    for kind in PrefetcherKind::ALL
+        .into_iter()
+        .chain(PrefetcherKind::EXTENDED)
+    {
+        let d = kind.description(&cfg);
+        assert_eq!(
+            d.storage_bits,
+            Some(kind.storage_bits(&cfg)),
+            "{}: Describe and Prefetcher::storage_bits disagree",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn cbws_budget_stays_under_the_papers_kilobyte() {
+    let cfg = SystemConfig::default();
+    let cbws = PrefetcherKind::Cbws.description(&cfg);
+    let bits = cbws.storage_bits.expect("CBWS declares a budget");
+    assert_eq!(bits, 8080, "Table III: 8,080 bits");
+    assert!(cbws.storage_kb().unwrap() < 1.0, "the paper's < 1 KB claim");
+}
+
+#[test]
+fn hybrid_budget_is_the_sum_of_its_parts() {
+    let cfg = SystemConfig::default();
+    let cbws = PrefetcherKind::Cbws.description(&cfg).storage_bits.unwrap();
+    let sms = PrefetcherKind::Sms.description(&cfg).storage_bits.unwrap();
+    let hybrid = PrefetcherKind::CbwsSms
+        .description(&cfg)
+        .storage_bits
+        .unwrap();
+    assert_eq!(hybrid, cbws + sms);
+}
+
+#[test]
+fn registry_covers_prefetchers_and_both_timing_models() {
+    let registry = component_registry(&SystemConfig::default());
+    let prefetchers = registry
+        .iter()
+        .filter(|d| d.kind == ComponentKind::Prefetcher)
+        .count();
+    assert_eq!(
+        prefetchers,
+        PrefetcherKind::ALL.len() + PrefetcherKind::EXTENDED.len()
+    );
+    assert_eq!(
+        registry
+            .iter()
+            .filter(|d| d.kind == ComponentKind::CpuModel)
+            .count(),
+        1
+    );
+    assert_eq!(
+        registry
+            .iter()
+            .filter(|d| d.kind == ComponentKind::MemoryModel)
+            .count(),
+        1
+    );
+    // Names are unique — the generated book keys pages on them.
+    let mut names: Vec<&str> = registry.iter().map(|d| d.name.as_str()).collect();
+    names.sort_unstable();
+    let before = names.len();
+    names.dedup();
+    assert_eq!(names.len(), before, "duplicate component names");
+}
+
+#[test]
+fn extensions_are_marked_and_paper_configs_are_not() {
+    let cfg = SystemConfig::default();
+    for kind in PrefetcherKind::ALL {
+        assert!(
+            !kind.description(&cfg).extension,
+            "{}: §VII configuration wrongly marked extension",
+            kind.name()
+        );
+    }
+    for kind in PrefetcherKind::EXTENDED {
+        assert!(
+            kind.description(&cfg).extension,
+            "{}: extension not marked",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn dht_is_sixteen_entries_as_in_fig8() {
+    let cfg = SystemConfig::default();
+    let cbws = PrefetcherKind::Cbws.description(&cfg);
+    let p = cbws
+        .params
+        .iter()
+        .find(|p| p.name == "table_entries")
+        .expect("CBWS describes its differential history table");
+    assert_eq!(p.default, "16");
+}

@@ -15,6 +15,7 @@
 //! configurable degree.
 
 use crate::{PrefetchContext, Prefetcher};
+use cbws_describe::{ComponentDescription, ComponentKind, Describe, ParamSpec};
 use cbws_trace::{LineAddr, LINE_BYTES};
 
 /// AMPM parameters.
@@ -105,6 +106,49 @@ impl AmpmPrefetcher {
 impl Default for AmpmPrefetcher {
     fn default() -> Self {
         AmpmPrefetcher::new(AmpmConfig::default())
+    }
+}
+
+impl Describe for AmpmPrefetcher {
+    fn describe(&self) -> ComponentDescription {
+        let c = &self.cfg;
+        ComponentDescription::new(
+            Prefetcher::name(self),
+            ComponentKind::Prefetcher,
+            "Access Map Pattern Matching (Ishii, Inaba, Hiraki — JILP 2011): \
+             keeps a cache-line bitmap per concentration zone and pattern-matches \
+             strides against it with no PC involvement. Implemented to test the \
+             paper's §III-A observation that AMPM finds patterns inside an \
+             iteration before patterns across iterations.",
+        )
+        .paper_section("§III-A (related work)")
+        .extension()
+        .storage_bits(self.storage_bits())
+        .param(ParamSpec::new(
+            "zone_bytes",
+            "concentration zone size",
+            c.zone_bytes.to_string(),
+            "power of two, 2-64 lines",
+        ))
+        .param(ParamSpec::new(
+            "zones",
+            "zones tracked simultaneously (LRU)",
+            c.zones.to_string(),
+            "≥ 1",
+        ))
+        .param(ParamSpec::new(
+            "degree",
+            "maximum candidate strides matched per access",
+            c.degree.to_string(),
+            "≥ 1",
+        ))
+        .param(ParamSpec::new(
+            "max_stride",
+            "largest stride magnitude considered, in lines",
+            c.max_stride.to_string(),
+            "≥ 1",
+        ))
+        .metrics(cbws_describe::instrumented_prefetcher_metrics())
     }
 }
 

@@ -13,6 +13,7 @@
 //! feedback.
 
 use crate::{PrefetchContext, Prefetcher};
+use cbws_describe::{ComponentDescription, ComponentKind, Describe, ParamSpec};
 use cbws_trace::{BlockId, LineAddr};
 use std::collections::VecDeque;
 
@@ -163,6 +164,68 @@ impl<P: Prefetcher> FeedbackDirected<P> {
         }
         self.scratch = candidates;
         self.scratch.clear();
+    }
+}
+
+impl<P: Prefetcher + Describe> Describe for FeedbackDirected<P> {
+    fn describe(&self) -> ComponentDescription {
+        let inner = self.inner.describe();
+        let c = &self.cfg;
+        let mut d = ComponentDescription::new(
+            format!("FDP({})", inner.name),
+            ComponentKind::Prefetcher,
+            format!(
+                "Feedback-Directed Prefetching (Srinath et al., HPCA 2007) as a \
+                 throttling wrapper around {}: measures the wrapped engine's \
+                 recent accuracy over fixed epochs and throttles the candidates \
+                 passed through when accuracy is poor. The contrast with CBWS, \
+                 which gets its accuracy statically from compiler hints, is the \
+                 point of the extension.",
+                inner.name
+            ),
+        )
+        .paper_section("§III-A / Fig. 13 taxonomy (related work)")
+        .extension()
+        .storage_bits(self.storage_bits())
+        .param(ParamSpec::new(
+            "epoch_accesses",
+            "demand accesses per evaluation epoch",
+            c.epoch_accesses.to_string(),
+            "≥ 1",
+        ))
+        .param(ParamSpec::new(
+            "window",
+            "recent emissions remembered for usefulness matching",
+            c.window.to_string(),
+            "≥ 1",
+        ))
+        .param(ParamSpec::new(
+            "low_accuracy_pct",
+            "accuracy below which aggressiveness decreases",
+            c.low_accuracy_pct.to_string(),
+            "0-100",
+        ))
+        .param(ParamSpec::new(
+            "high_accuracy_pct",
+            "accuracy above which aggressiveness increases",
+            c.high_accuracy_pct.to_string(),
+            "0-100",
+        ))
+        .param(ParamSpec::new(
+            "levels",
+            "throttle levels; level i passes i+1 of every `levels` candidates",
+            c.levels.to_string(),
+            "≥ 1",
+        ));
+        for p in inner.params {
+            d = d.param(ParamSpec::new(
+                format!("{}.{}", inner.name.to_ascii_lowercase(), p.name),
+                p.doc,
+                p.default,
+                p.range,
+            ));
+        }
+        d.metrics(cbws_describe::instrumented_prefetcher_metrics())
     }
 }
 

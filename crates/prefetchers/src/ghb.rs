@@ -14,6 +14,7 @@
 //! index. Storage is accounted with Table III's formulas.
 
 use crate::{PrefetchContext, Prefetcher};
+use cbws_describe::{ComponentDescription, ComponentKind, Describe, ParamSpec};
 use cbws_trace::{LineAddr, Pc};
 use std::collections::VecDeque;
 
@@ -142,6 +143,63 @@ impl GhbPrefetcher {
             }
         }
         Vec::new()
+    }
+}
+
+impl Describe for GhbPrefetcher {
+    fn describe(&self) -> ComponentDescription {
+        let c = &self.cfg;
+        let (summary, kind_default) = match c.kind {
+            GhbKind::GlobalDeltaCorrelation => (
+                "Global History Buffer with global delta correlation \
+                 (Nesbit & Smith, HPCA 2004): one global miss stream whose \
+                 recent delta sequence is matched against its own history, \
+                 replaying the deltas that followed the last occurrence.",
+                "G/DC",
+            ),
+            GhbKind::PcDeltaCorrelation => (
+                "Global History Buffer with per-PC delta correlation \
+                 (Nesbit & Smith, HPCA 2004): per-PC miss streams whose \
+                 recent delta sequence is matched against their own history, \
+                 replaying the deltas that followed the last occurrence.",
+                "PC/DC",
+            ),
+        };
+        ComponentDescription::new(Prefetcher::name(self), ComponentKind::Prefetcher, summary)
+            .paper_section("§VII, Tables II-III (baseline)")
+            .storage_bits(self.storage_bits())
+            .param(ParamSpec::new(
+                "kind",
+                "localization mode: one global stream (G/DC) or per-PC streams (PC/DC)",
+                kind_default,
+                "G/DC | PC/DC",
+            ))
+            .param(ParamSpec::new(
+                "entries",
+                "total buffer entries, bounding keys tracked and per-key history (paper: 256)",
+                c.entries.to_string(),
+                "≥ 1",
+            ))
+            .param(ParamSpec::new(
+                "history_len",
+                "most-recent deltas forming the correlation key (paper: 3)",
+                c.history_len.to_string(),
+                "≥ 1",
+            ))
+            .param(ParamSpec::new(
+                "degree",
+                "lines prefetched per correlation hit (paper: 3)",
+                c.degree.to_string(),
+                "≥ 1",
+            ))
+            .param(ParamSpec::new(
+                "train_on_hits",
+                "train on all L2 demand accesses (`false` = misses only, \
+                 the paper's conservative configuration)",
+                c.train_on_hits.to_string(),
+                "bool",
+            ))
+            .metrics(cbws_describe::instrumented_prefetcher_metrics())
     }
 }
 

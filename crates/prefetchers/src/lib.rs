@@ -161,6 +161,21 @@ impl<P: Prefetcher + ?Sized> Prefetcher for Box<P> {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullPrefetcher;
 
+impl cbws_describe::Describe for NullPrefetcher {
+    fn describe(&self) -> cbws_describe::ComponentDescription {
+        cbws_describe::ComponentDescription::new(
+            Prefetcher::name(self),
+            cbws_describe::ComponentKind::Prefetcher,
+            "The no-prefetching configuration: observes the demand stream and \
+             never emits a candidate. Baseline for MPKI and perf/cost \
+             normalization (Figs. 12 and 15).",
+        )
+        .paper_section("§VII (baseline)")
+        .storage_bits(0)
+        .metrics(cbws_describe::instrumented_prefetcher_metrics())
+    }
+}
+
 impl Prefetcher for NullPrefetcher {
     fn name(&self) -> &'static str {
         "No-Prefetch"

@@ -11,6 +11,7 @@
 //! remembered successors are prefetched.
 
 use crate::{PrefetchContext, Prefetcher};
+use cbws_describe::{ComponentDescription, ComponentKind, Describe, ParamSpec};
 use cbws_trace::LineAddr;
 
 /// Markov-prefetcher parameters.
@@ -115,6 +116,37 @@ impl MarkovPrefetcher {
 impl Default for MarkovPrefetcher {
     fn default() -> Self {
         MarkovPrefetcher::new(MarkovConfig::default())
+    }
+}
+
+impl Describe for MarkovPrefetcher {
+    fn describe(&self) -> ComponentDescription {
+        let c = &self.cfg;
+        ComponentDescription::new(
+            Prefetcher::name(self),
+            ComponentKind::Prefetcher,
+            "Markov prefetching (Joseph & Grunwald, ISCA 1997): a direct-mapped \
+             correlation table mapping each miss line to its most recent \
+             successors in the global miss stream, all prefetched on a miss. \
+             Tests §III-A's claim that address sets bound to code blocks beat \
+             pairwise correlation.",
+        )
+        .paper_section("§III-A (related work)")
+        .extension()
+        .storage_bits(self.storage_bits())
+        .param(ParamSpec::new(
+            "entries",
+            "direct-mapped correlation-table entries",
+            c.entries.to_string(),
+            "power of two ≥ 1",
+        ))
+        .param(ParamSpec::new(
+            "successors",
+            "successors remembered (and prefetched) per entry",
+            c.successors.to_string(),
+            "1-4",
+        ))
+        .metrics(cbws_describe::instrumented_prefetcher_metrics())
     }
 }
 

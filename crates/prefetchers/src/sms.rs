@@ -17,6 +17,7 @@
 //! eviction from a 32-entry AGT approximates that lifetime.
 
 use crate::{PrefetchContext, Prefetcher};
+use cbws_describe::{ComponentDescription, ComponentKind, Describe, ParamSpec};
 use cbws_trace::{Addr, LineAddr, Pc};
 
 /// SMS parameters (Table II defaults).
@@ -220,6 +221,72 @@ impl SmsPrefetcher {
 impl Default for SmsPrefetcher {
     fn default() -> Self {
         SmsPrefetcher::new(SmsConfig::default())
+    }
+}
+
+/// The SMS parameter list, shared with the CBWS+SMS hybrid's description
+/// (which embeds an SMS engine with the same knobs).
+pub(crate) fn sms_params(c: &SmsConfig) -> Vec<ParamSpec> {
+    vec![
+        ParamSpec::new(
+            "region_bytes",
+            "spatial region size (paper: 2 KB)",
+            c.region_bytes.to_string(),
+            "power of two",
+        ),
+        ParamSpec::new(
+            "granule_bytes",
+            "pattern granule size; 128 B granularity is what makes Table III's \
+             16-bit pattern field consistent with 2 KB regions",
+            c.granule_bytes.to_string(),
+            "power of two ≥ line size",
+        ),
+        ParamSpec::new(
+            "agt_entries",
+            "active generation table entries (paper: 32)",
+            c.agt_entries.to_string(),
+            "≥ 1",
+        ),
+        ParamSpec::new(
+            "filter_entries",
+            "filter table entries (paper: 32)",
+            c.filter_entries.to_string(),
+            "≥ 1",
+        ),
+        ParamSpec::new(
+            "pht_entries",
+            "pattern history table entries (paper: 512)",
+            c.pht_entries.to_string(),
+            "≥ 1",
+        ),
+        ParamSpec::new(
+            "idle_window",
+            "a generation also ends after this many trained accesses without \
+             a touch (trace-level proxy for cache-eviction generation end)",
+            c.idle_window.to_string(),
+            "≥ 1",
+        ),
+    ]
+}
+
+impl Describe for SmsPrefetcher {
+    fn describe(&self) -> ComponentDescription {
+        let mut d = ComponentDescription::new(
+            Prefetcher::name(self),
+            ComponentKind::Prefetcher,
+            "Spatial Memory Streaming (Somogyi et al., ISCA 2006): learns the \
+             spatial footprint each trigger access's region exhibits across a \
+             generation, and streams the recorded pattern into the L2 when the \
+             same trigger recurs. The paper's strongest baseline and the \
+             fallback engine of the CBWS+SMS hybrid.",
+        )
+        .paper_section("§VII, Tables II-III (baseline)")
+        .storage_bits(self.storage_bits())
+        .metrics(cbws_describe::instrumented_prefetcher_metrics());
+        for p in sms_params(&self.cfg) {
+            d = d.param(p);
+        }
+        d
     }
 }
 

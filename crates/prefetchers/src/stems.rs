@@ -22,6 +22,7 @@
 //! default 32 K-entry tables, lands at the paper's quoted ~640 KB scale.
 
 use crate::{PrefetchContext, Prefetcher};
+use cbws_describe::{ComponentDescription, ComponentKind, Describe, ParamSpec};
 use cbws_trace::{LineAddr, LINE_BYTES};
 
 /// STeMS-lite parameters.
@@ -195,6 +196,61 @@ impl StemsPrefetcher {
 impl Default for StemsPrefetcher {
     fn default() -> Self {
         StemsPrefetcher::new(StemsConfig::default())
+    }
+}
+
+impl Describe for StemsPrefetcher {
+    fn describe(&self) -> ComponentDescription {
+        let c = &self.cfg;
+        ComponentDescription::new(
+            Prefetcher::name(self),
+            ComponentKind::Prefetcher,
+            "STeMS-lite (after Somogyi et al., ISCA 2009): chains SMS-style \
+             spatial footprints temporally through a region-transition table \
+             and releases predicted lines paced, a few per demand access. \
+             Reproduces §III-A's ~640 KB storage contrast against CBWS's \
+             sub-1 KB budget.",
+        )
+        .paper_section("§III-A (related work)")
+        .extension()
+        .storage_bits(self.storage_bits())
+        .param(ParamSpec::new(
+            "region_bytes",
+            "spatial region size",
+            c.region_bytes.to_string(),
+            "power of two, 1-64 lines",
+        ))
+        .param(ParamSpec::new(
+            "footprint_entries",
+            "direct-mapped footprint table entries",
+            c.footprint_entries.to_string(),
+            "≥ 1",
+        ))
+        .param(ParamSpec::new(
+            "transition_entries",
+            "direct-mapped region-transition table entries",
+            c.transition_entries.to_string(),
+            "≥ 1",
+        ))
+        .param(ParamSpec::new(
+            "chain_depth",
+            "regions chained ahead on a region entry",
+            c.chain_depth.to_string(),
+            "≥ 1",
+        ))
+        .param(ParamSpec::new(
+            "pace",
+            "lines released from the paced queue per demand access",
+            c.pace.to_string(),
+            "≥ 1",
+        ))
+        .param(ParamSpec::new(
+            "queue_capacity",
+            "paced-queue capacity (oldest dropped on overflow)",
+            c.queue_capacity.to_string(),
+            "≥ 1",
+        ))
+        .metrics(cbws_describe::instrumented_prefetcher_metrics())
     }
 }
 

@@ -6,6 +6,7 @@
 //! holds a 48-bit PC tag plus two 12-bit strides).
 
 use crate::{PrefetchContext, Prefetcher};
+use cbws_describe::{ComponentDescription, ComponentKind, Describe, ParamSpec};
 use cbws_trace::{LineAddr, Pc};
 
 /// Stride-prefetcher parameters.
@@ -82,6 +83,56 @@ impl StridePrefetcher {
 impl Default for StridePrefetcher {
     fn default() -> Self {
         StridePrefetcher::new(StrideConfig::default())
+    }
+}
+
+impl Describe for StridePrefetcher {
+    fn describe(&self) -> ComponentDescription {
+        let c = &self.cfg;
+        ComponentDescription::new(
+            Prefetcher::name(self),
+            ComponentKind::Prefetcher,
+            "PC-indexed stride prefetcher (Fu/Patel/Janssens 1992; Jouppi 1990): \
+             a fully-associative table of per-PC last-line/stride pairs that \
+             prefetches `degree` strides ahead once a stride repeats \
+             `confirm_threshold` times. The paper sizes it at an \
+             unrealistically large 256 entries to strengthen the baseline.",
+        )
+        .paper_section("§VII, Tables II-III (baseline)")
+        .storage_bits(self.storage_bits())
+        .param(ParamSpec::new(
+            "entries",
+            "fully-associative table entries (paper: 256)",
+            c.entries.to_string(),
+            "≥ 1",
+        ))
+        .param(ParamSpec::new(
+            "degree",
+            "strides prefetched per confirmed access",
+            c.degree.to_string(),
+            "≥ 0",
+        ))
+        .param(ParamSpec::new(
+            "distance",
+            "additional lead, in strides, ahead of the demand stream \
+             (the paper's conservative static configuration has none)",
+            c.distance.to_string(),
+            "≥ 0",
+        ))
+        .param(ParamSpec::new(
+            "confirm_threshold",
+            "consecutive identical strides required before prefetching",
+            c.confirm_threshold.to_string(),
+            "≥ 1",
+        ))
+        .param(ParamSpec::new(
+            "train_on_hits",
+            "train on all L2 demand accesses instead of misses only \
+             (§II: static prefetchers stay miss-trained to avoid pollution)",
+            c.train_on_hits.to_string(),
+            "bool",
+        ))
+        .metrics(cbws_describe::instrumented_prefetcher_metrics())
     }
 }
 

@@ -235,7 +235,93 @@ impl Core {
     pub fn config(&self) -> &CoreConfig {
         &self.cfg
     }
+}
 
+impl cbws_describe::Describe for Core {
+    fn describe(&self) -> cbws_describe::ComponentDescription {
+        use cbws_describe::{ComponentDescription, ComponentKind, MetricSpec, ParamSpec};
+        let c = &self.cfg;
+        ComponentDescription::new(
+            "OoO core",
+            ComponentKind::CpuModel,
+            "Approximate out-of-order core standing in for gem5 (Table II): \
+             width-limited commit, ROB/LDQ/STQ-bounded memory parallelism, \
+             dependent-load serialization, a tournament branch predictor with \
+             a fixed flush penalty, and in-order commit. Preserves the \
+             first-order effects a prefetcher study needs; see DESIGN.md §2 \
+             for the substitution argument.",
+        )
+        .paper_section("§VI, Table II (simulated system)")
+        .param(ParamSpec::new(
+            "width",
+            "issue/commit width in instructions per cycle (Table II: 4)",
+            c.width.to_string(),
+            "≥ 1",
+        ))
+        .param(ParamSpec::new(
+            "rob_entries",
+            "reorder-buffer entries (Table II: 128)",
+            c.rob_entries.to_string(),
+            "≥ 1",
+        ))
+        .param(ParamSpec::new(
+            "ldq_entries",
+            "load-queue entries (Table II: 32)",
+            c.ldq_entries.to_string(),
+            "≥ 1",
+        ))
+        .param(ParamSpec::new(
+            "stq_entries",
+            "store-queue entries (Table II: 32)",
+            c.stq_entries.to_string(),
+            "≥ 1",
+        ))
+        .param(ParamSpec::new(
+            "l1_mshrs",
+            "maximum simultaneously-outstanding L1 demand misses",
+            c.l1_mshrs.to_string(),
+            "≥ 1",
+        ))
+        .param(ParamSpec::new(
+            "mispredict_penalty",
+            "pipeline-flush penalty on a branch misprediction, in cycles \
+             (unspecified in the paper; 15 here)",
+            c.mispredict_penalty.to_string(),
+            "≥ 0",
+        ))
+        .param(ParamSpec::new(
+            "bp_entries",
+            "branch-predictor entries per table (Table II: 4K tournament)",
+            c.bp_entries.to_string(),
+            "power of two",
+        ))
+        .param(ParamSpec::new(
+            "bp_history_bits",
+            "global-history length in bits (Table II: 11)",
+            c.bp_history_bits.to_string(),
+            "≥ 1",
+        ))
+        .metric(MetricSpec::gauge(
+            "run.ipc",
+            "committed instructions per cycle (exported per run by the harness)",
+        ))
+        .metric(MetricSpec::gauge("run.cycles", "simulated cycles per run"))
+        .metric(MetricSpec::gauge(
+            "run.instructions",
+            "committed instructions per run",
+        ))
+        .metric(MetricSpec::gauge(
+            "run.branch_mispredictions",
+            "branch mispredictions per run",
+        ))
+        .metric(MetricSpec::gauge(
+            "run.loop_cycle_fraction",
+            "fraction of cycles spent inside annotated blocks (Fig. 1)",
+        ))
+    }
+}
+
+impl Core {
     /// Runs `trace` to completion against `mem` and returns timing stats.
     ///
     /// The core state (branch predictor) is trained across the run; create a

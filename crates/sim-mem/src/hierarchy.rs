@@ -97,6 +97,37 @@ impl MemoryHierarchy {
         &self.cfg
     }
 
+    /// Cache-geometry parameters for one level, prefixed `"l1d."`/`"l2."`.
+    fn level_params(prefix: &str, c: &crate::CacheConfig) -> Vec<cbws_describe::ParamSpec> {
+        use cbws_describe::ParamSpec;
+        vec![
+            ParamSpec::new(
+                format!("{prefix}.size_bytes"),
+                "total capacity in bytes",
+                c.size_bytes.to_string(),
+                "≥ one set of lines",
+            ),
+            ParamSpec::new(
+                format!("{prefix}.assoc"),
+                "set associativity (ways per set)",
+                c.assoc.to_string(),
+                "≥ 1, power-of-two set count",
+            ),
+            ParamSpec::new(
+                format!("{prefix}.latency"),
+                "access latency in cycles",
+                c.latency.to_string(),
+                "≥ 0",
+            ),
+            ParamSpec::new(
+                format!("{prefix}.mshrs"),
+                "miss status holding registers (outstanding-miss limit)",
+                c.mshrs.to_string(),
+                "≥ 1",
+            ),
+        ]
+    }
+
     /// Counters accumulated so far.
     pub fn stats(&self) -> &MemStats {
         &self.stats
@@ -424,6 +455,118 @@ impl MemoryHierarchy {
             return true;
         }
         false
+    }
+}
+
+impl cbws_describe::Describe for MemoryHierarchy {
+    fn describe(&self) -> cbws_describe::ComponentDescription {
+        use cbws_describe::{ComponentDescription, ComponentKind, MetricSpec, ParamSpec};
+        let c = &self.cfg;
+        let mut d = ComponentDescription::new(
+            "Memory hierarchy",
+            ComponentKind::MemoryModel,
+            "Two-level inclusive hierarchy with prefetch-into-L2 (Table II): \
+             L1D and unified L2 with per-level MSHR limits, a bounded prefetch \
+             queue draining into spare L2 MSHRs, and either the paper's flat \
+             300-cycle memory or an optional banked-DRAM timing model. Demand \
+             accesses are classified with the Fig. 13 taxonomy (timely, \
+             shorter-waiting-time, non-timely, missing) and prefetched lines \
+             evicted unreferenced count as wrong.",
+        )
+        .paper_section("§VI, Table II (simulated system); §VII-C, Fig. 13");
+        for p in Self::level_params("l1d", &c.l1d) {
+            d = d.param(p);
+        }
+        for p in Self::level_params("l2", &c.l2) {
+            d = d.param(p);
+        }
+        d.param(ParamSpec::new(
+            "memory_latency",
+            "flat main-memory latency in cycles (ignored when `dram` is set)",
+            c.memory_latency.to_string(),
+            "≥ 0",
+        ))
+        .param(ParamSpec::new(
+            "dram",
+            "optional banked-DRAM timing model below the L2 \
+             (row hits/misses, bank queues); `None` keeps the flat model",
+            match c.dram {
+                Some(d) => format!("{} banks", d.banks),
+                None => "None".to_string(),
+            },
+            "None or a DramConfig",
+        ))
+        .param(ParamSpec::new(
+            "demand_reserved_mshrs",
+            "L2 MSHRs reserved for demand misses; prefetches use the rest",
+            c.demand_reserved_mshrs.to_string(),
+            "0 ..= l2.mshrs",
+        ))
+        .param(ParamSpec::new(
+            "prefetch_queue_capacity",
+            "prefetch request queue depth; overflow drops oldest-first",
+            c.prefetch_queue_capacity.to_string(),
+            "≥ 1",
+        ))
+        .metric(MetricSpec::counter(
+            "l2.demand.plain_hit",
+            "demand L2 hits on demand-fetched or already-referenced lines",
+        ))
+        .metric(MetricSpec::counter(
+            "l2.demand.timely",
+            "first hits on completed prefetches: miss eliminated (Fig. 13)",
+        ))
+        .metric(MetricSpec::counter(
+            "l2.demand.shorter_waiting_time",
+            "demand arrived while the prefetch was in flight (Fig. 13)",
+        ))
+        .metric(MetricSpec::counter(
+            "l2.demand.non_timely",
+            "line was queued but not yet issued when demanded (Fig. 13)",
+        ))
+        .metric(MetricSpec::counter(
+            "l2.demand.missing",
+            "plain L2 misses with no prefetch involvement (Fig. 13)",
+        ))
+        .metric(MetricSpec::counter(
+            "l2.prefetch.enqueued",
+            "prefetch requests accepted into the queue",
+        ))
+        .metric(MetricSpec::counter(
+            "l2.prefetch.issued",
+            "prefetches issued to memory (granted an L2 MSHR)",
+        ))
+        .metric(MetricSpec::counter(
+            "l2.prefetch.fills",
+            "prefetch fills completing into the L2",
+        ))
+        .metric(MetricSpec::counter(
+            "l2.prefetch.wrong",
+            "prefetched lines evicted without ever being referenced",
+        ))
+        .metric(MetricSpec::counter(
+            "l2.prefetch.pollution_evictions",
+            "demand-fetched lines evicted by prefetch fills",
+        ))
+        .metric(MetricSpec::counter(
+            "l2.prefetch.dropped.duplicate",
+            "prefetch requests dropped as already covered",
+        ))
+        .metric(MetricSpec::counter(
+            "l2.prefetch.dropped.overflow",
+            "prefetch requests dropped to queue overflow (oldest first)",
+        ))
+        .metric(MetricSpec::counter("l1d.hits", "demand hits in the L1D"))
+        .metric(MetricSpec::counter("l1d.evictions", "L1D line evictions"))
+        .metric(MetricSpec::counter("l2.evictions", "L2 line evictions"))
+        .metric(MetricSpec::histogram(
+            "l2.demand.latency",
+            "end-to-end demand latency in cycles, issue to data return",
+        ))
+        .metric(MetricSpec::histogram(
+            "l2.prefetch.use_distance",
+            "cycles between a prefetch fill and its first demand use",
+        ))
     }
 }
 
