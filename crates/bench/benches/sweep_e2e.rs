@@ -10,15 +10,22 @@
 //!
 //! Exits non-zero if the engine's records diverge from the serial sweep or
 //! any record's Fig. 13 classification fails to partition — the CI
-//! perf-smoke job relies on this as the determinism gate.
+//! perf-smoke job relies on this as the determinism gate. Because the
+//! serial sweep replays classic `Vec<TraceEvent>` traces while the engine
+//! replays packed columnar traces from the store, the identity assertion
+//! also cross-validates the two trace representations end to end.
 //!
-//! The shared trace cache is cleared before every timed run, so both
-//! competitors pay trace generation and neither inherits the other's warm
-//! cache.
+//! Three competitors are timed: the serial sweep (AoS traces, cold trace
+//! cache each run), the engine with a **cold** trace store (pays DSL
+//! generation plus encode/write), and the engine with a **warm** store
+//! (checksum-verified loads only — the steady state of repeated sweeps and
+//! CI runs). Unless `CBWS_TRACE_STORE_DIR` is already set, the store is
+//! pointed at a bench-owned scratch directory so cold runs can wipe it
+//! safely.
 
 use cbws_harness::engine::detect_parallelism;
 use cbws_harness::experiments::{sweep, sweep_engine};
-use cbws_workloads::{trace_cache, Scale, WorkloadSpec, ALL};
+use cbws_workloads::{trace_cache, trace_store, Scale, WorkloadSpec, ALL};
 use std::time::Instant;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -28,6 +35,15 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 fn main() {
+    if std::env::var_os("CBWS_TRACE_STORE_DIR").is_none() {
+        std::env::set_var(
+            "CBWS_TRACE_STORE_DIR",
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../target/trace-store-bench"
+            ),
+        );
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = match arg_value(&args, "--scale").as_deref() {
         Some("small") => Scale::Small,
@@ -65,23 +81,43 @@ fn main() {
     }
     eprintln!("[sweep_e2e] serial: {serial_secs:.3} s");
 
-    // Engine competitor.
+    // Engine competitor, cold store: every run regenerates, packs, and
+    // writes each trace (comparable to pre-store engine runs).
+    let store = trace_store::shared();
     let mut engine_secs = f64::INFINITY;
     let mut workers = 0;
     let mut engine_records = Vec::new();
     for _ in 0..iters {
-        trace_cache::shared().clear();
+        let _ = std::fs::remove_dir_all(store.dir());
+        store.drop_memory();
         let run = sweep_engine(scale, &workloads, jobs);
         engine_secs = engine_secs.min(run.wall_seconds);
         workers = run.workers;
         engine_records = run.records;
     }
-    eprintln!("[sweep_e2e] engine: {engine_secs:.3} s on {workers} workers");
+    eprintln!("[sweep_e2e] engine (cold store): {engine_secs:.3} s on {workers} workers");
+
+    // Engine competitor, warm store: files persist across runs, only the
+    // in-process memoization is dropped, so each run pays verified loads
+    // instead of generation — the steady state of repeated sweeps.
+    let mut warm_secs = f64::INFINITY;
+    let mut warm_records = Vec::new();
+    for _ in 0..iters {
+        store.drop_memory();
+        let run = sweep_engine(scale, &workloads, jobs);
+        warm_secs = warm_secs.min(run.wall_seconds);
+        warm_records = run.records;
+    }
+    eprintln!("[sweep_e2e] engine (warm store): {warm_secs:.3} s on {workers} workers");
 
     // Determinism gate: byte-identical records, valid classification.
     assert_eq!(
         serial_records, engine_records,
         "engine records diverged from the serial sweep"
+    );
+    assert_eq!(
+        engine_records, warm_records,
+        "warm-store records diverged from the cold-store run"
     );
     assert!(
         engine_records
@@ -95,7 +131,8 @@ fn main() {
     );
 
     let speedup = serial_secs / engine_secs;
-    eprintln!("[sweep_e2e] speedup: {speedup:.2}x");
+    let warm_speedup = serial_secs / warm_secs;
+    eprintln!("[sweep_e2e] speedup: {speedup:.2}x cold, {warm_speedup:.2}x warm");
 
     // Record the measurement at the repository root.
     let json = format!(
@@ -103,7 +140,9 @@ fn main() {
          \"workloads\": {},\n  \"prefetchers\": 7,\n  \"cores\": {cores},\n  \
          \"workers\": {workers},\n  \"iterations\": {iters},\n  \
          \"serial_seconds\": {serial_secs:.4},\n  \"engine_seconds\": {engine_secs:.4},\n  \
-         \"speedup\": {speedup:.3},\n  \"identical_records\": true\n}}\n",
+         \"engine_warm_seconds\": {warm_secs:.4},\n  \
+         \"speedup\": {speedup:.3},\n  \"warm_speedup\": {warm_speedup:.3},\n  \
+         \"identical_records\": true\n}}\n",
         workloads.len()
     );
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");

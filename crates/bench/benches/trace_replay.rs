@@ -1,0 +1,141 @@
+//! Trace-representation benchmark: replays the same workloads through the
+//! simulator from the classic `Vec<TraceEvent>` (AoS) and from the packed
+//! columnar [`PackedTrace`] (SoA cursor), and times the persistent trace
+//! store's cold path (generate + encode + write) against its warm path
+//! (checksum-verified load). Writes the measurements to `BENCH_trace.json`
+//! at the repository root.
+//!
+//! ```text
+//! cargo bench -p cbws-bench --bench trace_replay -- \
+//!     [--scale tiny|small|full] [--iters K]
+//! ```
+//!
+//! Exits non-zero if the packed replay's records diverge from the AoS
+//! replay's — representation must never change simulation output.
+
+use cbws_harness::{PrefetcherKind, Simulator, SystemConfig};
+use cbws_trace::PackedTrace;
+use cbws_workloads::trace_store::TraceStore;
+use cbws_workloads::{by_name, Scale, WorkloadSpec, ALL};
+use std::time::Instant;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Best-of-`iters` wall time of `f`, in seconds.
+fn best_of(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = match arg_value(&args, "--scale").as_deref() {
+        Some("small") => Scale::Small,
+        Some("full") => Scale::Full,
+        _ => Scale::Tiny,
+    };
+    let scale_name = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    };
+    let iters: usize = arg_value(&args, "--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let workloads: Vec<&'static WorkloadSpec> = if args.iter().any(|a| a == "--all") {
+        ALL.iter().collect()
+    } else {
+        ["stencil-default", "histo-large", "mxm-linpack"]
+            .iter()
+            .map(|n| by_name(n).expect("registered"))
+            .collect()
+    };
+    eprintln!(
+        "[trace_replay] scale = {scale_name}, {} workloads, best of {iters}",
+        workloads.len()
+    );
+
+    let sim = Simulator::new(SystemConfig::default());
+    let kind = PrefetcherKind::CbwsSms;
+
+    // Materialize both representations up front so replay timing is pure.
+    let traces: Vec<_> = workloads.iter().map(|w| w.generate(scale)).collect();
+    let packed: Vec<PackedTrace> = traces.iter().map(PackedTrace::from_trace).collect();
+
+    // Representation must not change output.
+    for (w, (t, p)) in workloads.iter().zip(traces.iter().zip(packed.iter())) {
+        let a = sim.run(w.name, true, t, kind);
+        let b = sim.run(w.name, true, p, kind);
+        assert_eq!(a, b, "packed replay diverged from AoS on {}", w.name);
+    }
+    eprintln!("[trace_replay] determinism: packed records identical to AoS");
+
+    let aos_secs = best_of(iters, || {
+        for (w, t) in workloads.iter().zip(traces.iter()) {
+            std::hint::black_box(sim.run(w.name, true, t, kind));
+        }
+    });
+    let packed_secs = best_of(iters, || {
+        for (w, p) in workloads.iter().zip(packed.iter()) {
+            std::hint::black_box(sim.run(w.name, true, p, kind));
+        }
+    });
+    eprintln!(
+        "[trace_replay] replay: aos {aos_secs:.4} s, packed {packed_secs:.4} s ({:.2}x)",
+        aos_secs / packed_secs
+    );
+
+    // Store paths: cold = generate + encode + write, warm = verified load.
+    // A fresh `TraceStore` per measurement models a fresh process (no
+    // in-memory memoization).
+    let dir = std::env::temp_dir().join(format!("cbws-trace-replay-{}", std::process::id()));
+    let cold_secs = best_of(iters, || {
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = TraceStore::at(&dir);
+        for w in &workloads {
+            std::hint::black_box(store.get(w, scale));
+        }
+    });
+    let warm_secs = best_of(iters, || {
+        let store = TraceStore::at(&dir);
+        for w in &workloads {
+            std::hint::black_box(store.get(w, scale));
+        }
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!(
+        "[trace_replay] store: cold {cold_secs:.4} s, warm {warm_secs:.4} s ({:.2}x)",
+        cold_secs / warm_secs
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"trace_replay\",\n  \"scale\": \"{scale_name}\",\n  \
+         \"workloads\": {},\n  \"iterations\": {iters},\n  \
+         \"replay_aos_seconds\": {aos_secs:.4},\n  \
+         \"replay_packed_seconds\": {packed_secs:.4},\n  \
+         \"replay_speedup\": {:.3},\n  \
+         \"store_cold_seconds\": {cold_secs:.4},\n  \
+         \"store_warm_seconds\": {warm_secs:.4},\n  \
+         \"store_warm_speedup\": {:.3},\n  \"identical_records\": true\n}}\n",
+        workloads.len(),
+        aos_secs / packed_secs,
+        cold_secs / warm_secs
+    );
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_trace.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[trace_replay] wrote {}", path.display()),
+        Err(e) => eprintln!("[trace_replay] cannot write {}: {e}", path.display()),
+    }
+    print!("{json}");
+}

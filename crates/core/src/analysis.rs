@@ -10,7 +10,7 @@
 //!   versus the fraction of iterations they cover.
 
 use crate::vector::{CbwsVec, Differential};
-use cbws_trace::{BlockId, Trace, TraceEvent};
+use cbws_trace::{BlockId, EventSource, TraceEvent};
 use std::collections::BTreeMap;
 
 /// All CBWS instances of one static block, in execution order.
@@ -36,18 +36,21 @@ impl BlockHistory {
 /// `capacity` bounds each vector like the hardware does (pass a large value
 /// to observe unbounded working sets, e.g. for the 16-line sufficiency
 /// statistic of §IV-A).
-pub fn collect_block_histories(trace: &Trace, capacity: usize) -> BTreeMap<BlockId, BlockHistory> {
+pub fn collect_block_histories<S: EventSource + ?Sized>(
+    trace: &S,
+    capacity: usize,
+) -> BTreeMap<BlockId, BlockHistory> {
     let mut histories: BTreeMap<BlockId, BlockHistory> = BTreeMap::new();
     let mut open: Option<(BlockId, CbwsVec)> = None;
-    for e in trace {
+    for e in trace.cursor() {
         match e {
             TraceEvent::BlockBegin { id } => {
-                open = Some((*id, CbwsVec::new(capacity)));
+                open = Some((id, CbwsVec::new(capacity)));
             }
             TraceEvent::BlockEnd { id } => {
                 if let Some((open_id, ws)) = open.take() {
-                    if open_id == *id {
-                        histories.entry(*id).or_default().instances.push(ws);
+                    if open_id == id {
+                        histories.entry(id).or_default().instances.push(ws);
                     }
                 }
             }
@@ -150,7 +153,7 @@ impl DifferentialSkew {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cbws_trace::{Addr, Pc, TraceBuilder};
+    use cbws_trace::{Addr, Pc, Trace, TraceBuilder};
 
     fn strided_trace(iters: u64, stride: u64) -> Trace {
         let mut b = TraceBuilder::new();

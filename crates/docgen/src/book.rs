@@ -58,6 +58,7 @@ pub fn build_book(root: &Path, registry: &[ComponentDescription]) -> Result<Book
     );
     files.insert("src/introduction.md".into(), introduction().into_bytes());
     files.insert("src/reproducing.md".into(), reproducing().into_bytes());
+    files.insert("src/trace-store.md".into(), trace_store().into_bytes());
     files.insert(
         "src/SUMMARY.md".into(),
         summary(registry, &figures).into_bytes(),
@@ -87,14 +88,34 @@ pub fn write_book(root: &Path, files: &BookFiles) -> Result<(), String> {
     Ok(())
 }
 
+/// Normalizes text for comparison: CRLF (and stray CR) line endings become
+/// LF, and trailing spaces/tabs are stripped from every line. Checkouts on
+/// platforms with `core.autocrlf`, or editors that trim whitespace, must
+/// not make a byte-identical page read as stale.
+fn normalize(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len());
+    for line in bytes.split(|&b| b == b'\n') {
+        let mut end = line.len();
+        while end > 0 && matches!(line[end - 1], b'\r' | b' ' | b'\t') {
+            end -= 1;
+        }
+        out.extend_from_slice(&line[..end]);
+        out.push(b'\n');
+    }
+    out.pop(); // split() yields one entry past the final newline
+    out
+}
+
 /// Compares the generated files against the committed `book/` tree.
 /// Returns one human-readable problem per stale, missing, or orphaned file.
+/// Line endings and trailing whitespace are normalized on both sides
+/// before comparing, so CRLF checkouts pass the check.
 pub fn diff_book(root: &Path, files: &BookFiles) -> Vec<String> {
     let book = root.join("book");
     let mut problems = Vec::new();
     for (rel, bytes) in files {
         match std::fs::read(book.join(rel)) {
-            Ok(committed) if &committed == bytes => {}
+            Ok(committed) if normalize(&committed) == normalize(bytes) => {}
             Ok(_) => problems.push(format!(
                 "book/{rel} is stale — regenerate with `cargo run -p docgen`"
             )),
@@ -203,14 +224,23 @@ fn reproducing() -> String {
          | `CBWS_TRACE_CACHE_BYTES` | byte budget of the shared trace cache \
          (default 1 GiB). Generated traces are shared per (workload, scale) \
          across the sweep; lower it on small machines, raise it if \
-         regeneration shows up in `--progress` phase timings. |\n\n\
+         regeneration shows up in `--progress` phase timings. |\n\
+         | `CBWS_TRACE_STORE_DIR` | directory of the persistent on-disk \
+         [trace store](trace-store.md) (default `target/trace-store/`). The \
+         sweep engine and figure regenerators read packed traces from here \
+         and skip DSL generation on warm runs; delete the directory to \
+         force regeneration. |\n\n\
          ## Observability\n\n\
          Telemetry is off by default and costs one branch per hook when \
          disabled. `--trace-out` captures the structured event trace \
          (prefetch lifecycle, Fig. 13 demand classification, block \
          begin/end, differential-table lookups); `--metrics-out` dumps the \
-         dotted-path metrics registry. The per-component metric paths are \
-         listed on each page of the [component reference](registry/index.md).\n\n\
+         dotted-path metrics registry, including the \
+         `trace_store.{{hit,miss,write,invalidate}}` counters and \
+         `trace_store.{{load_us,generate_us}}` timings that show whether a \
+         run replayed stored traces or regenerated them. The per-component \
+         metric paths are listed on each page of the \
+         [component reference](registry/index.md).\n\n\
          ## Scales and runtimes\n\n\
          The committed artifacts were produced at the scale their manifest \
          records (full for the headline run; `fig12_mpki` at small). Tiny \
@@ -220,9 +250,52 @@ fn reproducing() -> String {
     )
 }
 
+fn trace_store() -> String {
+    format!(
+        "{}# The trace store\n\n\
+         Workload traces are deterministic functions of `(workload, scale, \
+         DSL version)`, so the harness persists them instead of regenerating \
+         them every run. Traces are packed into a columnar (structure-of-\
+         arrays) encoding — `cbws_trace::PackedTrace` — and written to a \
+         versioned, checksummed binary file per `(workload, scale)` under \
+         `CBWS_TRACE_STORE_DIR` (default `target/trace-store/`). The sweep \
+         engine and the figure regenerators load these files (mmap where \
+         available) and replay them through a cursor without materializing \
+         a `Vec<TraceEvent>`.\n\n\
+         ## File format (version 1)\n\n\
+         All integers are little-endian. One file per `(workload, scale)`, \
+         named `<workload>-<scale>.cbwstrace`.\n\n\
+         | field | size | meaning |\n|---|---|---|\n\
+         | magic | 8 | `CBWSTRCE` |\n\
+         | version | 4 | format version (currently 1) |\n\
+         | dsl_hash | 8 | FNV-1a hash of the workload DSL sources |\n\
+         | scale | 1 | 0 = tiny, 1 = small, 2 = full |\n\
+         | name_len + name | 2 + n | the workload name |\n\
+         | column checksums | 6 × 8 | FNV-1a per packed column (counts, \
+         tags, pcs, addr_deltas, alu_counts, block_ids) |\n\
+         | payload_len | 8 | byte length of the packed payload |\n\
+         | payload | payload_len | the `PackedTrace` columns |\n\n\
+         ## Invalidation\n\n\
+         A file is rejected — with a `warn!` and transparent regeneration, \
+         never a panic — when the magic or version differs, the `dsl_hash` \
+         does not match the current workload sources, the key does not \
+         match the request, the payload fails structural validation, or any \
+         per-column checksum disagrees. Writes are atomic (temp file + \
+         rename), so a crashed run cannot leave a torn file that poisons \
+         the next one.\n\n\
+         ## Telemetry\n\n\
+         With telemetry enabled (`--trace-out`/`--metrics-out`), the store \
+         counts `trace_store.hit`, `.miss`, `.write`, and `.invalidate`, \
+         and accumulates `trace_store.load_us` / `.generate_us`; a warm CI \
+         run asserts `trace_store.hit > 0`.\n",
+        pages::GENERATED_BANNER
+    )
+}
+
 fn summary(registry: &[ComponentDescription], figures: &[pages::FigureSpec]) -> String {
     let mut md = String::from("# Summary\n\n[Introduction](introduction.md)\n\n");
     md.push_str("- [Reproducing the figures](reproducing.md)\n");
+    md.push_str("- [The trace store](trace-store.md)\n");
     md.push_str("- [Component reference](registry/index.md)\n");
     for d in registry {
         md.push_str(&format!(
@@ -237,4 +310,50 @@ fn summary(registry: &[ComponentDescription], figures: &[pages::FigureSpec]) -> 
     }
     md.push_str("- [Paper-claim scorecard](scorecard.md)\n");
     md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_root(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cbws-book-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("book/src")).unwrap();
+        dir
+    }
+
+    #[test]
+    fn normalize_strips_crlf_and_trailing_whitespace() {
+        assert_eq!(normalize(b"a \r\nb\t\r\nc"), b"a\nb\nc".to_vec());
+        assert_eq!(normalize(b"plain\n"), b"plain\n".to_vec());
+        assert_eq!(normalize(b""), b"".to_vec());
+    }
+
+    #[test]
+    fn crlf_checkout_is_not_stale() {
+        let root = scratch_root("crlf");
+        std::fs::write(
+            root.join("book/src/page.md"),
+            b"# Title  \r\nbody\r\nlast\t\r\n",
+        )
+        .unwrap();
+        let mut files = BookFiles::new();
+        files.insert("src/page.md".into(), b"# Title\nbody\nlast\n".to_vec());
+        let problems = diff_book(&root, &files);
+        let _ = std::fs::remove_dir_all(&root);
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn content_change_is_still_stale() {
+        let root = scratch_root("stale");
+        std::fs::write(root.join("book/src/page.md"), b"old\n").unwrap();
+        let mut files = BookFiles::new();
+        files.insert("src/page.md".into(), b"new\n".to_vec());
+        let problems = diff_book(&root, &files);
+        let _ = std::fs::remove_dir_all(&root);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("stale"), "{problems:?}");
+    }
 }

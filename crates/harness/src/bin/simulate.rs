@@ -134,7 +134,7 @@ fn main() {
             let sim = Simulator::with_telemetry(cfg, telemetry.clone());
             kinds
                 .iter()
-                .map(|&kind| sim.run(&label, true, &trace, kind))
+                .map(|&kind| sim.run(&label, true, &*trace, kind))
                 .collect()
         }
     };

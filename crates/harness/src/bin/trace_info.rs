@@ -99,7 +99,7 @@ fn main() {
     }
 
     // Differential skew.
-    let histories = collect_block_histories(&trace, 16);
+    let histories = collect_block_histories(&*trace, 16);
     let skew = DifferentialSkew::from_histories(histories.values());
     result!(
         "\nCBWS differential alphabet : {} distinct vectors",

@@ -2,14 +2,14 @@
 //!
 //! The evaluation is a `(workload × prefetcher)` matrix whose cells cost
 //! wildly different amounts of wall-clock time — trace sizes span orders of
-//! magnitude across the 30 benchmarks. The deprecated chunked sweep (now a
-//! thin wrapper over [`crate::experiments::sweep_engine`]) split the
-//! *workload list* into static per-thread chunks, so one thread could be
-//! stuck with the biggest traces while the rest idled. This engine instead
-//! schedules **individual `(workload, prefetcher, scale)` jobs**: workers
-//! pull the next job index from one shared atomic counter (a lock-free
-//! single-producer queue over the precomputed job list), so load imbalance
-//! is bounded by a single job, not a chunk.
+//! magnitude across the 30 benchmarks. The chunked sweep this engine
+//! replaced (retired in favour of [`crate::experiments::sweep_engine`])
+//! split the *workload list* into static per-thread chunks, so one thread
+//! could be stuck with the biggest traces while the rest idled. This engine
+//! instead schedules **individual `(workload, prefetcher, scale)` jobs**:
+//! workers pull the next job index from one shared atomic counter (a
+//! lock-free single-producer queue over the precomputed job list), so load
+//! imbalance is bounded by a single job, not a chunk.
 //!
 //! Determinism: every job is an independent, deterministic simulation, and
 //! each worker writes its result into the job's slot by index. The returned
@@ -18,10 +18,13 @@
 //! count and any scheduling interleaving (asserted by tests and the CI
 //! perf-smoke job).
 //!
-//! Traces are obtained through the shared [`cbws_workloads::trace_cache`],
-//! so a workload's trace is generated once and shared by every prefetcher
-//! job (and by any figure computation in the same process) instead of once
-//! per run.
+//! Traces come from the persistent [`cbws_workloads::trace_store`] in the
+//! packed columnar representation: within a process each `(workload,
+//! scale)` trace is loaded once and shared by every prefetcher job, and
+//! across processes the store's checksummed files skip DSL generation
+//! entirely (the `generate` phase then measures verified load time). The
+//! simulator replays the packed trace directly through its cursor — no
+//! `Vec<TraceEvent>` is materialized.
 //!
 //! Telemetry: the engine records `engine.*` metrics into its configured
 //! sink — `engine.workers`, `engine.jobs.total`, `engine.jobs.completed`,
@@ -34,7 +37,7 @@
 use crate::runner::{PrefetcherKind, Simulator, SystemConfig};
 use cbws_stats::RunRecord;
 use cbws_telemetry::{warn, Profiler, Telemetry};
-use cbws_workloads::{trace_cache, Group, Scale, WorkloadSpec};
+use cbws_workloads::{trace_store, Group, Scale, WorkloadSpec};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -159,6 +162,9 @@ impl Engine {
         };
         let workers = requested.max(1).min(job_count.max(1));
         let telemetry = &self.cfg.telemetry;
+        // Route `trace_store.*` counters to the same sink so hit/miss
+        // behaviour shows up in `--metrics-out` dumps.
+        trace_store::shared().set_telemetry(telemetry.clone());
         telemetry.set_gauge("engine.workers", workers as f64);
         telemetry.set_gauge("engine.jobs.total", job_count as f64);
         telemetry.set_gauge("engine.queue.depth", job_count as f64);
@@ -184,11 +190,11 @@ impl Engine {
                         let w = workloads[i / kinds.len()];
                         let kind = kinds[i % kinds.len()];
                         let gen_start = Instant::now();
-                        let trace = trace_cache::shared().get(w, scale);
+                        let trace = trace_store::shared().get(w, scale);
                         prof.record("generate", gen_start.elapsed());
                         let sim_start = Instant::now();
                         let record =
-                            sim.run(w.name, w.group == Group::MemoryIntensive, &trace, kind);
+                            sim.run(w.name, w.group == Group::MemoryIntensive, &*trace, kind);
                         prof.record("simulate", sim_start.elapsed());
                         local.push((i, record));
                         telemetry.count("engine.jobs.completed", 1);

@@ -10,7 +10,7 @@ use cbws_stats::{
     geomean, mean, GroupedBarChart, LineChart, RunRecord, StackedBarChart, TextTable,
     TimelinessBreakdown,
 };
-use cbws_telemetry::{detail, status, warn, Profiler};
+use cbws_telemetry::{detail, status, warn, Profiler, Telemetry};
 use cbws_workloads::{by_name, Scale, WorkloadSpec, ALL};
 
 /// Formats a float with 3 significant digits for tables.
@@ -39,6 +39,16 @@ pub fn scale_from_args() -> Scale {
         },
         None => Scale::Full,
     }
+}
+
+/// Reads `--metrics-out F` from the process arguments (default: none).
+/// When present, [`sweep_engine`] enables telemetry and dumps the metrics
+/// registry (`engine.*`, `trace_store.*`, phase gauges) to `F` as JSON.
+pub fn metrics_out_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// Reads `--jobs N` from the process arguments (default: `0`, meaning all
@@ -96,7 +106,7 @@ pub fn sweep(scale: Scale, workloads: &[&'static WorkloadSpec]) -> Vec<RunRecord
             records.push(sim.run(
                 w.name,
                 w.group == cbws_workloads::Group::MemoryIntensive,
-                &trace,
+                &*trace,
                 kind,
             ));
         }
@@ -223,8 +233,8 @@ pub fn fig05_svg(scale: Scale) -> String {
     );
     for name in BENCHES {
         let w = by_name(name).expect("registered");
-        let trace = cbws_workloads::trace_cache::generate_shared(w, scale);
-        let h = collect_block_histories(&trace, CbwsConfig::default().max_vector);
+        let trace = cbws_workloads::trace_store::shared().get(w, scale);
+        let h = collect_block_histories(&*trace, CbwsConfig::default().max_vector);
         let skew = DifferentialSkew::from_histories(h.values());
         let pts: Vec<(f64, f64)> = std::iter::once((0.0, 0.0))
             .chain(
@@ -245,10 +255,19 @@ pub fn fig05_svg(scale: Scale) -> String {
 /// (workload-major, prefetcher-minor) order.
 ///
 /// `jobs = 0` uses every available core; the run reports worker count,
-/// wall-clock and per-phase timings for the manifest.
+/// wall-clock and per-phase timings for the manifest. With `--metrics-out
+/// F` on the command line, the engine's telemetry (scheduling metrics and
+/// the trace store's hit/miss/invalidate counters) is dumped to `F`.
 pub fn sweep_engine(scale: Scale, workloads: &[&'static WorkloadSpec], jobs: usize) -> EngineRun {
+    let metrics_out = metrics_out_from_args();
+    let telemetry = if metrics_out.is_some() {
+        Telemetry::enabled_default()
+    } else {
+        Telemetry::disabled()
+    };
     let engine = Engine::new(EngineConfig {
         jobs,
+        telemetry: telemetry.clone(),
         ..EngineConfig::default()
     });
     let run = engine.run(scale, workloads, &PrefetcherKind::ALL);
@@ -261,15 +280,20 @@ pub fn sweep_engine(scale: Scale, workloads: &[&'static WorkloadSpec], jobs: usi
         run.utilization * 100.0
     );
     detail!("[engine] phase timings:\n{}", run.profiler.report());
+    if let Some(path) = metrics_out {
+        let write = std::fs::File::create(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|f| {
+                telemetry
+                    .write_metrics_json(std::io::BufWriter::new(f))
+                    .map_err(|e| e.to_string())
+            });
+        match write {
+            Ok(()) => status!("[engine] wrote metrics to {path}"),
+            Err(e) => warn!("cannot write {path}: {e}"),
+        }
+    }
     run
-}
-
-/// Deprecated chunked-parallel sweep, now a thin wrapper over the
-/// work-stealing [`Engine`] (which both fixes the silent
-/// `available_parallelism` fallback and removes per-chunk load imbalance).
-#[deprecated(note = "use `sweep_engine` (work-stealing, returns timing) instead")]
-pub fn sweep_parallel(scale: Scale, workloads: &[&'static WorkloadSpec]) -> Vec<RunRecord> {
-    sweep_engine(scale, workloads, 0).records
 }
 
 /// Looks up one record of a sweep.
@@ -307,8 +331,8 @@ pub fn fig01_loop_fraction(scale: Scale) -> TextTable {
     let sim = Simulator::new(SystemConfig::default());
     let mut records = Vec::new();
     for w in cbws_workloads::mi_suite() {
-        let trace = cbws_workloads::trace_cache::generate_shared(w, scale);
-        records.push(sim.run(w.name, true, &trace, PrefetcherKind::None));
+        let trace = cbws_workloads::trace_store::shared().get(w, scale);
+        records.push(sim.run(w.name, true, &*trace, PrefetcherKind::None));
     }
     fig01_from_records(&records)
 }
@@ -316,11 +340,9 @@ pub fn fig01_loop_fraction(scale: Scale) -> TextTable {
 /// **Figs. 3 & 4 / Table I**: the stencil CBWS access matrix and its
 /// differential vectors, reconstructed from the real kernel trace.
 pub fn fig03_stencil_cbws(iterations: usize) -> String {
-    let trace = cbws_workloads::trace_cache::generate_shared(
-        by_name("stencil-default").expect("registered"),
-        Scale::Tiny,
-    );
-    let histories = collect_block_histories(&trace, CbwsConfig::default().max_vector);
+    let trace = cbws_workloads::trace_store::shared()
+        .get(by_name("stencil-default").expect("registered"), Scale::Tiny);
+    let histories = collect_block_histories(&*trace, CbwsConfig::default().max_vector);
     let bh = histories.values().next().expect("stencil has one block");
     let take: Vec<&CbwsVec> = bh.instances.iter().take(iterations).collect();
     let mut out = String::new();
@@ -356,8 +378,8 @@ pub fn fig05_differential_skew(scale: Scale) -> TextTable {
     );
     for name in BENCHES {
         let w = by_name(name).expect("registered");
-        let trace = cbws_workloads::trace_cache::generate_shared(w, scale);
-        let h = collect_block_histories(&trace, CbwsConfig::default().max_vector);
+        let trace = cbws_workloads::trace_store::shared().get(w, scale);
+        let h = collect_block_histories(&*trace, CbwsConfig::default().max_vector);
         let skew = DifferentialSkew::from_histories(h.values());
         let mut row = vec![format!("{name} ({})", skew.distinct())];
         for s in SAMPLES {
@@ -609,18 +631,6 @@ mod tests {
         }
         let f5 = fig05_svg(Scale::Tiny);
         assert!(f5.contains("<polyline"));
-    }
-
-    #[test]
-    fn parallel_sweep_matches_serial() {
-        let picks: Vec<&'static WorkloadSpec> = ["nw", "histo-large"]
-            .iter()
-            .map(|n| by_name(n).unwrap())
-            .collect();
-        let serial = sweep(Scale::Tiny, &picks);
-        #[allow(deprecated)]
-        let parallel = sweep_parallel(Scale::Tiny, &picks);
-        assert_eq!(serial, parallel);
     }
 
     /// The engine must reproduce the serial sweep byte-for-byte over the

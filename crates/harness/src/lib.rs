@@ -18,12 +18,14 @@
 //! assert!(hybrid.cpu.instructions == sms.cpu.instructions);
 //! ```
 
+mod dispatch;
 pub mod engine;
 pub mod experiments;
 mod manifest;
 mod prefetched;
 mod runner;
 
+pub use dispatch::AnyPrefetcher;
 pub use engine::{Engine, EngineConfig, EngineRun};
 pub use manifest::RunManifest;
 pub use prefetched::PrefetchedMemory;

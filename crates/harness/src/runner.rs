@@ -12,7 +12,7 @@ use cbws_sim_cpu::{Core, CoreConfig};
 use cbws_sim_mem::{HierarchyConfig, MemoryHierarchy};
 use cbws_stats::RunRecord;
 use cbws_telemetry::Telemetry;
-use cbws_trace::Trace;
+use cbws_trace::EventSource;
 use serde::{Deserialize, Serialize};
 
 /// Full simulated-system configuration (Table II defaults).
@@ -221,21 +221,51 @@ impl Simulator {
     }
 
     /// Simulates `trace` under `kind` and returns the run record.
-    pub fn run(
+    ///
+    /// Generic over the trace representation (`Trace` or `PackedTrace`,
+    /// via [`EventSource`]). Dispatch is chosen by telemetry state: with
+    /// telemetry disabled (the default and the experiment configuration)
+    /// the prefetcher is the enum-dispatched
+    /// [`crate::AnyPrefetcher`], so the per-access path is static and
+    /// inlinable; with telemetry enabled the prefetcher is boxed and
+    /// wrapped in [`InstrumentedPrefetcher`], which needs the `dyn` path.
+    /// Both paths produce identical records — dispatch affects time only.
+    pub fn run<S: EventSource + ?Sized>(
         &self,
         workload: &str,
         memory_intensive: bool,
-        trace: &Trace,
+        trace: &S,
         kind: PrefetcherKind,
+    ) -> RunRecord {
+        if self.telemetry.is_enabled() {
+            let mut prefetcher = kind.build(&self.cfg);
+            prefetcher.attach_telemetry(&self.telemetry);
+            let instrumented = InstrumentedPrefetcher::new(prefetcher, self.telemetry.clone());
+            self.run_with(workload, memory_intensive, trace, kind, instrumented)
+        } else {
+            self.run_with(
+                workload,
+                memory_intensive,
+                trace,
+                kind,
+                kind.build_any(&self.cfg),
+            )
+        }
+    }
+
+    /// The replay kernel shared by both dispatch paths, monomorphized per
+    /// (trace representation, prefetcher type).
+    fn run_with<S: EventSource + ?Sized, P: Prefetcher>(
+        &self,
+        workload: &str,
+        memory_intensive: bool,
+        trace: &S,
+        kind: PrefetcherKind,
+        prefetcher: P,
     ) -> RunRecord {
         let mut hierarchy = MemoryHierarchy::new(self.cfg.mem);
         hierarchy.set_telemetry(self.telemetry.clone());
-        let mut prefetcher = kind.build(&self.cfg);
-        prefetcher.attach_telemetry(&self.telemetry);
-        let mut mem = PrefetchedMemory::new(
-            hierarchy,
-            InstrumentedPrefetcher::new(prefetcher, self.telemetry.clone()),
-        );
+        let mut mem = PrefetchedMemory::new(hierarchy, prefetcher);
         mem.set_telemetry(self.telemetry.clone());
         let mut core = Core::new(self.cfg.core);
         core.set_telemetry(self.telemetry.clone());

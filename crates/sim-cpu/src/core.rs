@@ -25,7 +25,7 @@ use crate::branch::TournamentPredictor;
 use crate::config::CoreConfig;
 use cbws_sim_mem::MemoryHierarchy;
 use cbws_telemetry::Telemetry;
-use cbws_trace::{BlockId, Dependence, MemAccess, MemKind, Trace, TraceEvent};
+use cbws_trace::{BlockId, Dependence, EventCursor, EventSource, MemAccess, MemKind, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 /// Result of one memory access as seen by the core.
@@ -324,9 +324,17 @@ impl cbws_describe::Describe for Core {
 impl Core {
     /// Runs `trace` to completion against `mem` and returns timing stats.
     ///
+    /// Generic over the trace representation: a materialized
+    /// [`cbws_trace::Trace`] and a columnar [`cbws_trace::PackedTrace`]
+    /// replay identically (the packed cursor decodes events on the fly).
+    ///
     /// The core state (branch predictor) is trained across the run; create a
     /// fresh [`Core`] for an independent experiment.
-    pub fn run(&mut self, trace: &Trace, mem: &mut impl MemSystem) -> CpuStats {
+    pub fn run<S: EventSource + ?Sized>(
+        &mut self,
+        trace: &S,
+        mem: &mut impl MemSystem,
+    ) -> CpuStats {
         let cfg = self.cfg;
         let mut stats = CpuStats::default();
 
@@ -365,107 +373,115 @@ impl Core {
             }
         };
 
-        let total_events = trace.len() as u64;
-        for (i, event) in trace.into_iter().enumerate() {
-            // Heartbeat sampling is sparse so the disabled-telemetry cost
-            // stays one branch per 64K events.
-            if i & 0xFFFF == 0 && self.telemetry.is_enabled() {
-                self.telemetry.progress(i as u64, total_events);
-            }
-            match event {
-                TraceEvent::Alu { count, .. } => {
-                    for _ in 0..*count {
+        let total_events = trace.event_count() as u64;
+        // Chunked iteration keeps the inner loop plain slice traversal for
+        // every representation: a materialized trace is one chunk, a packed
+        // trace yields its decode batches.
+        let mut cursor = trace.cursor();
+        let mut i: u64 = 0;
+        while let Some(chunk) = cursor.next_batch() {
+            for &event in chunk {
+                // Heartbeat sampling is sparse so the disabled-telemetry
+                // cost stays one branch per 64K events.
+                if i & 0xFFFF == 0 && self.telemetry.is_enabled() {
+                    self.telemetry.progress(i, total_events);
+                }
+                i += 1;
+                match event {
+                    TraceEvent::Alu { count, .. } => {
+                        for _ in 0..count {
+                            let t0 = dispatch(&mut front_cycle, &mut front_subslot);
+                            let t = rob.allocate(t0);
+                            stall_until(&mut front_cycle, &mut front_subslot, t);
+                            let complete = t + 1;
+                            last_commit = last_commit.max(complete);
+                            rob.push(last_commit);
+                            stats.instructions += 1;
+                        }
+                    }
+                    TraceEvent::Mem(m) => {
                         let t0 = dispatch(&mut front_cycle, &mut front_subslot);
-                        let t = rob.allocate(t0);
+                        let mut t = rob.allocate(t0);
                         stall_until(&mut front_cycle, &mut front_subslot, t);
-                        let complete = t + 1;
+                        if m.dep == Dependence::PrevLoad {
+                            t = t.max(last_load_complete);
+                        }
+                        let complete = match m.kind {
+                            MemKind::Load => {
+                                t = ldq.allocate(t);
+                                let r = mem.access(t, &m);
+                                let done = if r.l1_hit {
+                                    t + r.latency
+                                } else {
+                                    // L1 miss: wait for a free MSHR, then the
+                                    // full latency applies.
+                                    let issue = mshrs.allocate(t);
+                                    let done = issue + r.latency;
+                                    mshrs.push(done);
+                                    done
+                                };
+                                ldq.push(done);
+                                last_load_complete = done;
+                                done
+                            }
+                            MemKind::Store => {
+                                t = stq.allocate(t);
+                                let r = mem.access(t, &m);
+                                // The store buffer hides the store's latency from
+                                // commit, but the STQ entry is held until the
+                                // write completes.
+                                stq.push(t + r.latency);
+                                t + 1
+                            }
+                        };
                         last_commit = last_commit.max(complete);
                         rob.push(last_commit);
                         stats.instructions += 1;
+                        stats.mem_accesses += 1;
+                        mshrs.retire_until(t);
                     }
-                }
-                TraceEvent::Mem(m) => {
-                    let t0 = dispatch(&mut front_cycle, &mut front_subslot);
-                    let mut t = rob.allocate(t0);
-                    stall_until(&mut front_cycle, &mut front_subslot, t);
-                    if m.dep == Dependence::PrevLoad {
-                        t = t.max(last_load_complete);
-                    }
-                    let complete = match m.kind {
-                        MemKind::Load => {
-                            t = ldq.allocate(t);
-                            let r = mem.access(t, m);
-                            let done = if r.l1_hit {
-                                t + r.latency
-                            } else {
-                                // L1 miss: wait for a free MSHR, then the
-                                // full latency applies.
-                                let issue = mshrs.allocate(t);
-                                let done = issue + r.latency;
-                                mshrs.push(done);
-                                done
-                            };
-                            ldq.push(done);
-                            last_load_complete = done;
-                            done
+                    TraceEvent::Branch(br) => {
+                        let t0 = dispatch(&mut front_cycle, &mut front_subslot);
+                        let t = rob.allocate(t0);
+                        stall_until(&mut front_cycle, &mut front_subslot, t);
+                        let correct = self.predictor.predict_and_train(br.pc, br.taken);
+                        let complete = t + 1;
+                        if !correct {
+                            stats.mispredictions += 1;
+                            // Redirect: the front end resumes after the flush.
+                            stall_until(
+                                &mut front_cycle,
+                                &mut front_subslot,
+                                complete + cfg.mispredict_penalty,
+                            );
                         }
-                        MemKind::Store => {
-                            t = stq.allocate(t);
-                            let r = mem.access(t, m);
-                            // The store buffer hides the store's latency from
-                            // commit, but the STQ entry is held until the
-                            // write completes.
-                            stq.push(t + r.latency);
-                            t + 1
+                        last_commit = last_commit.max(complete);
+                        rob.push(last_commit);
+                        stats.instructions += 1;
+                        stats.branches += 1;
+                    }
+                    TraceEvent::BlockBegin { id } => {
+                        let t0 = dispatch(&mut front_cycle, &mut front_subslot);
+                        let t = rob.allocate(t0);
+                        stall_until(&mut front_cycle, &mut front_subslot, t);
+                        mem.block_begin(t, id);
+                        last_commit = last_commit.max(t + 1);
+                        block_start = Some(last_commit);
+                        rob.push(last_commit);
+                        stats.instructions += 1;
+                    }
+                    TraceEvent::BlockEnd { id } => {
+                        let t0 = dispatch(&mut front_cycle, &mut front_subslot);
+                        let t = rob.allocate(t0);
+                        stall_until(&mut front_cycle, &mut front_subslot, t);
+                        mem.block_end(t, id);
+                        last_commit = last_commit.max(t + 1);
+                        if let Some(start) = block_start.take() {
+                            stats.block_cycles += last_commit.saturating_sub(start);
                         }
-                    };
-                    last_commit = last_commit.max(complete);
-                    rob.push(last_commit);
-                    stats.instructions += 1;
-                    stats.mem_accesses += 1;
-                    mshrs.retire_until(t);
-                }
-                TraceEvent::Branch(br) => {
-                    let t0 = dispatch(&mut front_cycle, &mut front_subslot);
-                    let t = rob.allocate(t0);
-                    stall_until(&mut front_cycle, &mut front_subslot, t);
-                    let correct = self.predictor.predict_and_train(br.pc, br.taken);
-                    let complete = t + 1;
-                    if !correct {
-                        stats.mispredictions += 1;
-                        // Redirect: the front end resumes after the flush.
-                        stall_until(
-                            &mut front_cycle,
-                            &mut front_subslot,
-                            complete + cfg.mispredict_penalty,
-                        );
+                        rob.push(last_commit);
+                        stats.instructions += 1;
                     }
-                    last_commit = last_commit.max(complete);
-                    rob.push(last_commit);
-                    stats.instructions += 1;
-                    stats.branches += 1;
-                }
-                TraceEvent::BlockBegin { id } => {
-                    let t0 = dispatch(&mut front_cycle, &mut front_subslot);
-                    let t = rob.allocate(t0);
-                    stall_until(&mut front_cycle, &mut front_subslot, t);
-                    mem.block_begin(t, *id);
-                    last_commit = last_commit.max(t + 1);
-                    block_start = Some(last_commit);
-                    rob.push(last_commit);
-                    stats.instructions += 1;
-                }
-                TraceEvent::BlockEnd { id } => {
-                    let t0 = dispatch(&mut front_cycle, &mut front_subslot);
-                    let t = rob.allocate(t0);
-                    stall_until(&mut front_cycle, &mut front_subslot, t);
-                    mem.block_end(t, *id);
-                    last_commit = last_commit.max(t + 1);
-                    if let Some(start) = block_start.take() {
-                        stats.block_cycles += last_commit.saturating_sub(start);
-                    }
-                    rob.push(last_commit);
-                    stats.instructions += 1;
                 }
             }
         }
@@ -485,7 +501,7 @@ impl Core {
 mod tests {
     use super::*;
     use cbws_sim_mem::HierarchyConfig;
-    use cbws_trace::{Addr, Pc, TraceBuilder};
+    use cbws_trace::{Addr, Pc, Trace, TraceBuilder};
 
     fn alu_trace(n: u32) -> Trace {
         let mut b = TraceBuilder::new();

@@ -31,20 +31,19 @@ pub struct EvictedLine {
     pub prefetch: Option<PrefetchMeta>,
 }
 
-#[derive(Debug, Clone)]
-struct Way {
-    line: LineAddr,
-    valid: bool,
+/// Per-way state that only matters once a probe has hit: LRU stamp, dirty
+/// bit, prefetch metadata. Kept out of the tag array so set scans touch
+/// none of it.
+#[derive(Debug, Clone, Copy)]
+struct WayMeta {
     dirty: bool,
     last_use: u64,
     prefetch: Option<PrefetchMeta>,
 }
 
-impl Way {
+impl WayMeta {
     fn empty() -> Self {
-        Way {
-            line: LineAddr(0),
-            valid: false,
+        WayMeta {
             dirty: false,
             last_use: 0,
             prefetch: None,
@@ -69,15 +68,24 @@ impl Way {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    /// All ways of all sets in one contiguous, set-major allocation: set `s`
-    /// occupies `ways[s * assoc .. (s + 1) * assoc]`. The flat layout keeps
-    /// every probe/touch within one or two cache lines of the host machine
-    /// instead of chasing a per-set `Vec` pointer.
-    ways: Box<[Way]>,
+    /// One packed tag per way, set-major: set `s` occupies
+    /// `tags[s * assoc .. (s + 1) * assoc]`. A valid way stores
+    /// `line << 1 | 1`, a free way stores `0`, so a probe is a single
+    /// compare per way and an 8-way set scan reads 64 contiguous bytes —
+    /// one host cache line — instead of walking interleaved metadata.
+    tags: Box<[u64]>,
+    /// Hit-path state for each way, parallel to `tags`.
+    meta: Box<[WayMeta]>,
     assoc: usize,
     set_mask: u64,
     stamp: u64,
     resident: usize,
+}
+
+/// Packed tag of a resident `line` (see `Cache::tags`).
+#[inline]
+fn valid_tag(line: LineAddr) -> u64 {
+    (line.0 << 1) | 1
 }
 
 impl Cache {
@@ -90,7 +98,8 @@ impl Cache {
         let sets = cfg.sets();
         Cache {
             cfg,
-            ways: vec![Way::empty(); sets * cfg.assoc].into_boxed_slice(),
+            tags: vec![0; sets * cfg.assoc].into_boxed_slice(),
+            meta: vec![WayMeta::empty(); sets * cfg.assoc].into_boxed_slice(),
             assoc: cfg.assoc,
             set_mask: sets as u64 - 1,
             stamp: 0,
@@ -113,22 +122,21 @@ impl Cache {
         (line.0 & self.set_mask) as usize * self.assoc
     }
 
+    /// Index of the way holding `line`, if resident.
     #[inline]
-    fn set(&self, line: LineAddr) -> &[Way] {
+    fn find(&self, line: LineAddr) -> Option<usize> {
         let start = self.set_offset(line);
-        &self.ways[start..start + self.assoc]
-    }
-
-    #[inline]
-    fn set_mut(&mut self, line: LineAddr) -> &mut [Way] {
-        let start = self.set_offset(line);
-        &mut self.ways[start..start + self.assoc]
+        let want = valid_tag(line);
+        self.tags[start..start + self.assoc]
+            .iter()
+            .position(|&t| t == want)
+            .map(|i| start + i)
     }
 
     /// Checks residency without updating LRU state or prefetch metadata.
     #[inline]
     pub fn probe(&self, line: LineAddr) -> bool {
-        self.set(line).iter().any(|w| w.valid && w.line == line)
+        self.find(line).is_some()
     }
 
     /// Demand-touches `line`: on hit, updates LRU, sets the dirty bit if
@@ -151,28 +159,21 @@ impl Cache {
     #[inline]
     pub fn demand_touch(&mut self, line: LineAddr, store: bool) -> Option<Option<PrefetchMeta>> {
         self.stamp += 1;
-        let stamp = self.stamp;
-        for w in self.set_mut(line) {
-            if w.valid && w.line == line {
-                w.last_use = stamp;
-                w.dirty |= store;
-                let prior = w.prefetch;
-                if let Some(meta) = &mut w.prefetch {
-                    meta.referenced = true;
-                }
-                return Some(prior);
-            }
+        let i = self.find(line)?;
+        let m = &mut self.meta[i];
+        m.last_use = self.stamp;
+        m.dirty |= store;
+        let prior = m.prefetch;
+        if let Some(meta) = &mut m.prefetch {
+            meta.referenced = true;
         }
-        None
+        Some(prior)
     }
 
     /// Returns the prefetch metadata of a resident line, if any, without
     /// updating LRU state.
     pub fn prefetch_meta(&self, line: LineAddr) -> Option<PrefetchMeta> {
-        self.set(line)
-            .iter()
-            .find(|w| w.valid && w.line == line)
-            .and_then(|w| w.prefetch)
+        self.find(line).and_then(|i| self.meta[i].prefetch)
     }
 
     /// Installs `line`, evicting the LRU way of its set if the set is full.
@@ -186,39 +187,48 @@ impl Cache {
     ) -> Option<EvictedLine> {
         self.stamp += 1;
         let stamp = self.stamp;
-        let set = self.set_mut(line);
 
-        if let Some(w) = set.iter_mut().find(|w| w.valid && w.line == line) {
-            w.last_use = stamp;
-            w.dirty |= dirty;
+        if let Some(i) = self.find(line) {
+            let m = &mut self.meta[i];
+            m.last_use = stamp;
+            m.dirty |= dirty;
             if prefetch.is_some() {
-                w.prefetch = prefetch;
+                m.prefetch = prefetch;
             }
             return None;
         }
 
-        let victim = match set.iter_mut().find(|w| !w.valid) {
-            Some(w) => w,
-            None => set
-                .iter_mut()
-                .min_by_key(|w| w.last_use)
-                .expect("assoc > 0"),
+        let start = self.set_offset(line);
+        let set_tags = &self.tags[start..start + self.assoc];
+        // Prefer a free way; otherwise evict the set's LRU way (first of
+        // the minima, matching way order).
+        let victim = match set_tags.iter().position(|&t| t == 0) {
+            Some(i) => start + i,
+            None => {
+                let metas = &self.meta[start..start + self.assoc];
+                start
+                    + (0..self.assoc)
+                        .min_by_key(|&i| metas[i].last_use)
+                        .expect("assoc > 0")
+            }
         };
 
-        let evicted = victim.valid.then_some(EvictedLine {
-            line: victim.line,
-            dirty: victim.dirty,
-            prefetch: victim.prefetch,
+        let victim_tag = self.tags[victim];
+        let evicted = (victim_tag != 0).then(|| {
+            let m = &self.meta[victim];
+            EvictedLine {
+                line: LineAddr(victim_tag >> 1),
+                dirty: m.dirty,
+                prefetch: m.prefetch,
+            }
         });
-        let newly_resident = !victim.valid;
-        *victim = Way {
-            line,
-            valid: true,
+        self.tags[victim] = valid_tag(line);
+        self.meta[victim] = WayMeta {
             dirty,
             last_use: stamp,
             prefetch,
         };
-        if newly_resident {
+        if victim_tag == 0 {
             self.resident += 1;
         }
         evicted
@@ -227,27 +237,25 @@ impl Cache {
     /// Removes `line` if resident, returning its state (used for inclusive-L2
     /// back-invalidation of the L1).
     pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedLine> {
-        let w = self
-            .set_mut(line)
-            .iter_mut()
-            .find(|w| w.valid && w.line == line)?;
-        w.valid = false;
-        let out = EvictedLine {
-            line: w.line,
-            dirty: w.dirty,
-            prefetch: w.prefetch,
-        };
+        let i = self.find(line)?;
+        self.tags[i] = 0;
+        let m = &self.meta[i];
         self.resident -= 1;
-        Some(out)
+        Some(EvictedLine {
+            line,
+            dirty: m.dirty,
+            prefetch: m.prefetch,
+        })
     }
 
     /// Iterates over all resident lines (order unspecified). Used at the end
     /// of a simulation to count never-referenced prefetched lines as wrong.
     pub fn resident(&self) -> impl Iterator<Item = (LineAddr, Option<PrefetchMeta>)> + '_ {
-        self.ways
+        self.tags
             .iter()
-            .filter(|w| w.valid)
-            .map(|w| (w.line, w.prefetch))
+            .zip(self.meta.iter())
+            .filter(|(&t, _)| t != 0)
+            .map(|(&t, m)| (LineAddr(t >> 1), m.prefetch))
     }
 }
 

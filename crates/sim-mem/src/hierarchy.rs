@@ -315,6 +315,16 @@ impl MemoryHierarchy {
     /// prefetches into freed MSHR slots. A request that had to wait for a
     /// slot is issued at the completion time of the fill that freed it.
     pub fn advance(&mut self, now: u64) {
+        // Fast path for the overwhelmingly common call where nothing can
+        // happen: no queued request can issue (queue empty or every MSHR
+        // slot busy) and no in-flight fill is due yet. The loop below would
+        // conclude the same after strictly more work; `advance` runs on
+        // every demand access, so the no-op case must stay cheap.
+        if (self.queue.is_empty() || self.inflight.len() >= self.cfg.prefetch_mshrs())
+            && !self.inflight.iter().any(|p| p.fill_time <= now)
+        {
+            return;
+        }
         loop {
             // Fill any free slots; these requests never waited, so they
             // issue at their enqueue times.

@@ -33,11 +33,15 @@
 mod addr;
 mod builder;
 mod event;
+mod packed;
 mod stats;
 
 pub use addr::{Addr, BlockId, LineAddr, Pc, LINE_BYTES, LINE_SHIFT};
 pub use builder::{BuildError, TraceBuilder};
 pub use event::{BranchRecord, Dependence, MemAccess, MemKind, TraceEvent};
+pub use packed::{
+    EventCursor, EventRef, EventSource, PackedError, PackedTrace, SliceCursor, TraceCursor,
+};
 pub use stats::TraceStats;
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,921 @@
+//! Columnar (structure-of-arrays) trace encoding and the sequential cursor
+//! API the replay hot loops consume.
+//!
+//! [`crate::Trace`] stores events as a `Vec<TraceEvent>` — an
+//! array-of-structs of a padded enum, ~32 bytes per event regardless of
+//! variant. The replay loop touches every byte of that layout even though an
+//! ALU event needs 13 bytes of information and a block marker 5. A
+//! [`PackedTrace`] stores the same event stream as parallel columns inside
+//! one contiguous little-endian byte buffer:
+//!
+//! | column       | element | one entry per            |
+//! |--------------|---------|--------------------------|
+//! | `tags`       | `u8`    | event (variant + flag bits) |
+//! | `pcs`        | `u64`   | PC-bearing event (ALU/mem/branch) |
+//! | `addr_deltas`| `i64`   | memory access (byte-address delta vs the previous access) |
+//! | `alu_counts` | `u32`   | ALU event                |
+//! | `block_ids`  | `u32`   | block begin/end marker   |
+//!
+//! The buffer layout **is** the on-disk payload of the persistent trace
+//! store (`cbws-workloads::trace_store`), so a memory-mapped file replays
+//! zero-copy. Conversion [`Trace`] ⇄ [`PackedTrace`] is lossless
+//! (property-tested in `tests/packed_properties.rs`).
+//!
+//! Consumers iterate through [`TraceCursor`] (usually via the
+//! [`EventSource`] trait, which `Core::run` and the analysis passes are
+//! generic over), decoding each event from the columns on the fly instead
+//! of materializing a `Vec<TraceEvent>`.
+
+use crate::addr::{Addr, BlockId, Pc};
+use crate::event::{BranchRecord, Dependence, MemAccess, MemKind, TraceEvent};
+use crate::{Trace, TraceStats};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// A decoded event as yielded by a [`TraceCursor`].
+///
+/// Every field of [`TraceEvent`] is `Copy`, so the decoded view is the event
+/// itself, built in registers from the packed columns; the alias exists so
+/// cursor consumers are insulated from the storage representation.
+pub type EventRef = TraceEvent;
+
+/// Anything the simulator can replay: an ordered event stream with a
+/// sequential cursor.
+///
+/// Implemented by [`Trace`] (slice iteration over the materialized events)
+/// and [`PackedTrace`] (on-the-fly decode from the packed columns), so the
+/// replay and analysis loops are written once and monomorphized per
+/// representation.
+pub trait EventSource {
+    /// The sequential iterator over decoded events.
+    type Cursor<'a>: EventCursor + 'a
+    where
+        Self: 'a;
+
+    /// A cursor positioned at the first event.
+    fn cursor(&self) -> Self::Cursor<'_>;
+
+    /// Number of events (not instructions) in the stream.
+    fn event_count(&self) -> usize;
+}
+
+/// A sequential event stream that can also hand out contiguous runs of
+/// decoded events.
+///
+/// The replay loop consumes [`next_batch`](EventCursor::next_batch) so its
+/// inner loop is plain slice iteration regardless of representation —
+/// [`Trace`] returns its whole event slice in one chunk, [`PackedTrace`]
+/// returns each decode batch. Analysis passes that want one event at a
+/// time keep using the [`Iterator`] interface.
+pub trait EventCursor: Iterator<Item = EventRef> {
+    /// The next contiguous run of decoded events, or `None` once the
+    /// stream (including any events not yet taken via [`Iterator::next`])
+    /// is exhausted.
+    fn next_batch(&mut self) -> Option<&[EventRef]>;
+}
+
+impl EventSource for Trace {
+    type Cursor<'a> = SliceCursor<'a>;
+
+    fn cursor(&self) -> Self::Cursor<'_> {
+        SliceCursor {
+            rest: self.events(),
+        }
+    }
+
+    fn event_count(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Cursor over a materialized [`Trace`]: slice iteration, with the whole
+/// remaining slice as a single chunk.
+#[derive(Debug, Clone)]
+pub struct SliceCursor<'a> {
+    rest: &'a [TraceEvent],
+}
+
+impl Iterator for SliceCursor<'_> {
+    type Item = EventRef;
+
+    #[inline]
+    fn next(&mut self) -> Option<EventRef> {
+        let (&e, rest) = self.rest.split_first()?;
+        self.rest = rest;
+        Some(e)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.rest.len(), Some(self.rest.len()))
+    }
+}
+
+impl ExactSizeIterator for SliceCursor<'_> {}
+
+impl EventCursor for SliceCursor<'_> {
+    #[inline]
+    fn next_batch(&mut self) -> Option<&[EventRef]> {
+        if self.rest.is_empty() {
+            None
+        } else {
+            Some(std::mem::take(&mut self.rest))
+        }
+    }
+}
+
+impl EventSource for PackedTrace {
+    type Cursor<'a> = TraceCursor<'a>;
+
+    fn cursor(&self) -> Self::Cursor<'_> {
+        PackedTrace::cursor(self)
+    }
+
+    fn event_count(&self) -> usize {
+        self.event_count()
+    }
+}
+
+// Tag byte: bits 0..=2 select the variant, bits 3..=5 are per-variant
+// flags, bits 6..=7 must be zero.
+const VARIANT_MASK: u8 = 0b0000_0111;
+const TAG_BLOCK_BEGIN: u8 = 0;
+const TAG_BLOCK_END: u8 = 1;
+const TAG_ALU: u8 = 2;
+const TAG_MEM: u8 = 3;
+const TAG_BRANCH: u8 = 4;
+const FLAG_STORE: u8 = 1 << 3; // mem only
+const FLAG_DEP_PREV_LOAD: u8 = 1 << 4; // mem only
+const FLAG_TAKEN: u8 = 1 << 5; // branch only
+
+/// Bytes of the payload's count header: five little-endian `u64`s
+/// (events, PC entries, memory accesses, ALU events, block markers).
+const HEADER_BYTES: usize = 5 * 8;
+
+/// Why a byte buffer failed to parse as a packed-trace payload.
+///
+/// Parsing never panics: a corrupt or truncated buffer yields an error the
+/// trace store turns into a regenerate-and-rewrite fallback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackedError {
+    /// The buffer is shorter than the declared columns require.
+    Truncated {
+        /// Bytes the count header promised.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// A tag byte has an unknown variant or an illegal flag bit.
+    BadTag {
+        /// Event index of the offending tag.
+        index: usize,
+        /// The raw tag byte.
+        tag: u8,
+    },
+    /// The per-column counts disagree with the tag stream.
+    CountMismatch {
+        /// Which column disagreed.
+        column: &'static str,
+        /// Count declared in the header.
+        declared: u64,
+        /// Count derived from the tags.
+        derived: u64,
+    },
+}
+
+impl fmt::Display for PackedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackedError::Truncated { expected, actual } => {
+                write!(f, "payload truncated: need {expected} bytes, have {actual}")
+            }
+            PackedError::BadTag { index, tag } => {
+                write!(f, "invalid tag byte {tag:#04x} at event {index}")
+            }
+            PackedError::CountMismatch {
+                column,
+                declared,
+                derived,
+            } => write!(
+                f,
+                "column `{column}` declares {declared} entries but the tags imply {derived}"
+            ),
+        }
+    }
+}
+
+impl Error for PackedError {}
+
+/// Backing storage of a packed payload: owned bytes, or a shared read-only
+/// buffer (e.g. a memory-mapped trace-store file) viewed at an offset.
+enum Payload {
+    Owned(Box<[u8]>),
+    Shared {
+        data: Arc<dyn AsRef<[u8]> + Send + Sync>,
+        offset: usize,
+        len: usize,
+    },
+}
+
+impl Payload {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Payload::Owned(b) => b,
+            Payload::Shared { data, offset, len } => &(**data).as_ref()[*offset..*offset + *len],
+        }
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Owned(b) => write!(f, "Owned({} bytes)", b.len()),
+            Payload::Shared { offset, len, .. } => {
+                write!(f, "Shared({len} bytes at offset {offset})")
+            }
+        }
+    }
+}
+
+/// Byte offsets of each column within a payload, derived from the counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Layout {
+    n_events: usize,
+    n_pcs: usize,
+    n_mems: usize,
+    n_alus: usize,
+    n_blocks: usize,
+    tags: usize,
+    pcs: usize,
+    addr_deltas: usize,
+    alu_counts: usize,
+    block_ids: usize,
+    total: usize,
+}
+
+impl Layout {
+    fn from_counts(
+        n_events: usize,
+        n_pcs: usize,
+        n_mems: usize,
+        n_alus: usize,
+        n_blocks: usize,
+    ) -> Layout {
+        let tags = HEADER_BYTES;
+        let pcs = tags + n_events;
+        let addr_deltas = pcs + n_pcs * 8;
+        let alu_counts = addr_deltas + n_mems * 8;
+        let block_ids = alu_counts + n_alus * 4;
+        let total = block_ids + n_blocks * 4;
+        Layout {
+            n_events,
+            n_pcs,
+            n_mems,
+            n_alus,
+            n_blocks,
+            tags,
+            pcs,
+            addr_deltas,
+            alu_counts,
+            block_ids,
+            total,
+        }
+    }
+}
+
+#[inline]
+fn u64_at(col: &[u8], idx: usize) -> u64 {
+    u64::from_le_bytes(col[idx * 8..idx * 8 + 8].try_into().unwrap())
+}
+
+/// The columnar trace. See the module docs for the layout.
+///
+/// ```
+/// use cbws_trace::{Addr, BlockId, PackedTrace, Pc, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// b.annotated_loop(BlockId(0), 4, |b, i| {
+///     b.load(Pc(0x400), Addr(0x1000 + 64 * i));
+///     b.alu(Pc(0x404), 2);
+/// });
+/// let trace = b.finish();
+/// let packed = PackedTrace::from_trace(&trace);
+/// assert_eq!(packed.event_count(), trace.len());
+/// assert_eq!(packed.to_trace(), trace);
+/// ```
+#[derive(Debug)]
+pub struct PackedTrace {
+    payload: Payload,
+    layout: Layout,
+}
+
+impl PackedTrace {
+    /// Packs a materialized trace into columns.
+    pub fn from_trace(trace: &Trace) -> PackedTrace {
+        let events = trace.events();
+        let mut n_pcs = 0usize;
+        let mut n_mems = 0usize;
+        let mut n_alus = 0usize;
+        let mut n_blocks = 0usize;
+        for e in events {
+            match e {
+                TraceEvent::Alu { .. } => {
+                    n_pcs += 1;
+                    n_alus += 1;
+                }
+                TraceEvent::Mem(_) => {
+                    n_pcs += 1;
+                    n_mems += 1;
+                }
+                TraceEvent::Branch(_) => n_pcs += 1,
+                TraceEvent::BlockBegin { .. } | TraceEvent::BlockEnd { .. } => n_blocks += 1,
+            }
+        }
+        let layout = Layout::from_counts(events.len(), n_pcs, n_mems, n_alus, n_blocks);
+        let mut buf = vec![0u8; layout.total];
+        for (i, n) in [
+            events.len() as u64,
+            n_pcs as u64,
+            n_mems as u64,
+            n_alus as u64,
+            n_blocks as u64,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            buf[i * 8..i * 8 + 8].copy_from_slice(&n.to_le_bytes());
+        }
+        let mut pc_i = 0usize;
+        let mut mem_i = 0usize;
+        let mut alu_i = 0usize;
+        let mut blk_i = 0usize;
+        let mut prev_addr = 0u64;
+        let put_pc = |buf: &mut [u8], pc_i: &mut usize, pc: Pc| {
+            let at = layout.pcs + *pc_i * 8;
+            buf[at..at + 8].copy_from_slice(&pc.0.to_le_bytes());
+            *pc_i += 1;
+        };
+        for (i, e) in events.iter().enumerate() {
+            let tag = match e {
+                TraceEvent::BlockBegin { id } => {
+                    let at = layout.block_ids + blk_i * 4;
+                    buf[at..at + 4].copy_from_slice(&id.0.to_le_bytes());
+                    blk_i += 1;
+                    TAG_BLOCK_BEGIN
+                }
+                TraceEvent::BlockEnd { id } => {
+                    let at = layout.block_ids + blk_i * 4;
+                    buf[at..at + 4].copy_from_slice(&id.0.to_le_bytes());
+                    blk_i += 1;
+                    TAG_BLOCK_END
+                }
+                TraceEvent::Alu { pc, count } => {
+                    put_pc(&mut buf, &mut pc_i, *pc);
+                    let at = layout.alu_counts + alu_i * 4;
+                    buf[at..at + 4].copy_from_slice(&count.to_le_bytes());
+                    alu_i += 1;
+                    TAG_ALU
+                }
+                TraceEvent::Mem(m) => {
+                    put_pc(&mut buf, &mut pc_i, m.pc);
+                    let delta = m.addr.0.wrapping_sub(prev_addr) as i64;
+                    prev_addr = m.addr.0;
+                    let at = layout.addr_deltas + mem_i * 8;
+                    buf[at..at + 8].copy_from_slice(&delta.to_le_bytes());
+                    mem_i += 1;
+                    let mut t = TAG_MEM;
+                    if m.kind.is_store() {
+                        t |= FLAG_STORE;
+                    }
+                    if m.dep == Dependence::PrevLoad {
+                        t |= FLAG_DEP_PREV_LOAD;
+                    }
+                    t
+                }
+                TraceEvent::Branch(br) => {
+                    put_pc(&mut buf, &mut pc_i, br.pc);
+                    if br.taken {
+                        TAG_BRANCH | FLAG_TAKEN
+                    } else {
+                        TAG_BRANCH
+                    }
+                }
+            };
+            buf[layout.tags + i] = tag;
+        }
+        PackedTrace {
+            payload: Payload::Owned(buf.into_boxed_slice()),
+            layout,
+        }
+    }
+
+    /// Parses an owned payload buffer, validating the count header and every
+    /// tag byte. Never panics on corrupt input.
+    pub fn from_payload(bytes: Box<[u8]>) -> Result<PackedTrace, PackedError> {
+        let layout = Self::validate(&bytes)?;
+        Ok(PackedTrace {
+            payload: Payload::Owned(bytes),
+            layout,
+        })
+    }
+
+    /// Parses a payload viewed inside a shared read-only buffer (typically a
+    /// memory-mapped trace-store file) without copying it. `offset..offset +
+    /// len` must lie within `data`'s byte slice.
+    pub fn from_shared_payload(
+        data: Arc<dyn AsRef<[u8]> + Send + Sync>,
+        offset: usize,
+        len: usize,
+    ) -> Result<PackedTrace, PackedError> {
+        let full = (*data).as_ref();
+        let end = offset.saturating_add(len);
+        if end > full.len() {
+            return Err(PackedError::Truncated {
+                expected: end,
+                actual: full.len(),
+            });
+        }
+        let layout = Self::validate(&full[offset..end])?;
+        Ok(PackedTrace {
+            payload: Payload::Shared { data, offset, len },
+            layout,
+        })
+    }
+
+    /// Validates a payload and derives its column layout.
+    fn validate(bytes: &[u8]) -> Result<Layout, PackedError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(PackedError::Truncated {
+                expected: HEADER_BYTES,
+                actual: bytes.len(),
+            });
+        }
+        let counts: Vec<usize> = (0..5)
+            .map(|i| {
+                usize::try_from(u64_at(bytes, i)).map_err(|_| PackedError::Truncated {
+                    expected: usize::MAX,
+                    actual: bytes.len(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        // Guard the offset arithmetic against overflow on absurd counts.
+        let promised = counts[0]
+            .checked_add(counts[1].saturating_mul(8))
+            .and_then(|n| n.checked_add(counts[2].checked_mul(8)?))
+            .and_then(|n| n.checked_add(counts[3].checked_mul(4)?))
+            .and_then(|n| n.checked_add(counts[4].checked_mul(4)?))
+            .and_then(|n| n.checked_add(HEADER_BYTES))
+            .unwrap_or(usize::MAX);
+        if promised != bytes.len() {
+            return Err(PackedError::Truncated {
+                expected: promised,
+                actual: bytes.len(),
+            });
+        }
+        let layout = Layout::from_counts(counts[0], counts[1], counts[2], counts[3], counts[4]);
+        // The tag stream must be internally valid and agree with the counts,
+        // so every later cursor walk is in bounds by construction.
+        let mut derived = [0u64; 4]; // pcs, mems, alus, blocks
+        for (i, &tag) in bytes[layout.tags..layout.tags + layout.n_events]
+            .iter()
+            .enumerate()
+        {
+            let allowed_flags = match tag & VARIANT_MASK {
+                TAG_BLOCK_BEGIN | TAG_BLOCK_END => {
+                    derived[3] += 1;
+                    0
+                }
+                TAG_ALU => {
+                    derived[0] += 1;
+                    derived[2] += 1;
+                    0
+                }
+                TAG_MEM => {
+                    derived[0] += 1;
+                    derived[1] += 1;
+                    FLAG_STORE | FLAG_DEP_PREV_LOAD
+                }
+                TAG_BRANCH => {
+                    derived[0] += 1;
+                    FLAG_TAKEN
+                }
+                _ => return Err(PackedError::BadTag { index: i, tag }),
+            };
+            if tag & !(VARIANT_MASK | allowed_flags) != 0 {
+                return Err(PackedError::BadTag { index: i, tag });
+            }
+        }
+        for (column, declared, derived) in [
+            ("pcs", counts[1] as u64, derived[0]),
+            ("addr_deltas", counts[2] as u64, derived[1]),
+            ("alu_counts", counts[3] as u64, derived[2]),
+            ("block_ids", counts[4] as u64, derived[3]),
+        ] {
+            if declared != derived {
+                return Err(PackedError::CountMismatch {
+                    column,
+                    declared,
+                    derived,
+                });
+            }
+        }
+        Ok(layout)
+    }
+
+    /// The complete payload buffer (count header + columns), which is the
+    /// byte-exact on-disk payload of the trace store.
+    pub fn payload(&self) -> &[u8] {
+        self.payload.as_slice()
+    }
+
+    /// The named columns (including the count header), in payload order —
+    /// the unit the trace store checksums individually.
+    pub fn columns(&self) -> [(&'static str, &[u8]); 6] {
+        let p = self.payload.as_slice();
+        let l = &self.layout;
+        [
+            ("counts", &p[..l.tags]),
+            ("tags", &p[l.tags..l.pcs]),
+            ("pcs", &p[l.pcs..l.addr_deltas]),
+            ("addr_deltas", &p[l.addr_deltas..l.alu_counts]),
+            ("alu_counts", &p[l.alu_counts..l.block_ids]),
+            ("block_ids", &p[l.block_ids..l.total]),
+        ]
+    }
+
+    /// Number of events (not instructions) in the trace.
+    pub fn event_count(&self) -> usize {
+        self.layout.n_events
+    }
+
+    /// Whether the trace contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.layout.n_events == 0
+    }
+
+    /// Resident bytes of the payload (what the in-memory store accounts).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.payload.as_slice().len() as u64
+    }
+
+    /// A cursor positioned at the first event.
+    pub fn cursor(&self) -> TraceCursor<'_> {
+        let p = self.payload.as_slice();
+        let l = &self.layout;
+        TraceCursor {
+            tags: &p[l.tags..l.pcs],
+            pcs: &p[l.pcs..l.addr_deltas],
+            addr_deltas: &p[l.addr_deltas..l.alu_counts],
+            alu_counts: &p[l.alu_counts..l.block_ids],
+            block_ids: &p[l.block_ids..l.total],
+            prev_addr: 0,
+            buf: Vec::with_capacity(CURSOR_BATCH),
+            buf_i: 0,
+        }
+    }
+
+    /// Decodes back into a materialized [`Trace`] (lossless).
+    pub fn to_trace(&self) -> Trace {
+        self.cursor().collect()
+    }
+
+    /// Summary statistics, computed through the cursor without
+    /// materializing the events.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_event_iter(self.cursor())
+    }
+}
+
+impl PartialEq for PackedTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.payload.as_slice() == other.payload.as_slice()
+    }
+}
+
+impl Eq for PackedTrace {}
+
+impl From<&Trace> for PackedTrace {
+    fn from(trace: &Trace) -> Self {
+        PackedTrace::from_trace(trace)
+    }
+}
+
+/// Sequential decoder over a [`PackedTrace`]'s columns.
+///
+/// Construction is only possible from a validated payload, so every column
+/// read is in bounds; the per-event work is one tag load plus the column
+/// reads that variant needs.
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'a> {
+    tags: &'a [u8],
+    pcs: &'a [u8],
+    addr_deltas: &'a [u8],
+    alu_counts: &'a [u8],
+    block_ids: &'a [u8],
+    prev_addr: u64,
+    /// Decoded-ahead events. Decoding in batches keeps the column state in
+    /// registers for a whole tight decode loop instead of spilling it
+    /// between every event of the (register-hungry) replay loop; `next()`
+    /// is then a plain buffer read, as cheap as slice iteration.
+    buf: Vec<EventRef>,
+    buf_i: usize,
+}
+
+/// Events decoded per [`TraceCursor`] refill. 256 × ~32 B ≈ 8 KB — hot in
+/// L1 next to the replay loop's own state.
+const CURSOR_BATCH: usize = 256;
+
+/// Consumes the next little-endian `u64` from the front of a column.
+/// [`PackedTrace::validate`] proved every column holds exactly as many
+/// entries as the tag stream demands, so the split never fails on a
+/// validated trace.
+#[inline]
+fn take_u64(col: &mut &[u8]) -> u64 {
+    let (head, tail) = col.split_at(8);
+    *col = tail;
+    u64::from_le_bytes(head.try_into().unwrap())
+}
+
+/// Consumes the next little-endian `u32` from the front of a column.
+#[inline]
+fn take_u32(col: &mut &[u8]) -> u32 {
+    let (head, tail) = col.split_at(4);
+    *col = tail;
+    u32::from_le_bytes(head.try_into().unwrap())
+}
+
+impl TraceCursor<'_> {
+    /// Decodes the next batch of events into the read-ahead buffer.
+    fn refill(&mut self) {
+        self.buf.clear();
+        self.buf_i = 0;
+        let (batch, rest) = self.tags.split_at(self.tags.len().min(CURSOR_BATCH));
+        self.tags = rest;
+        // Local copies so the decode loop's state lives in registers.
+        let (mut pcs, mut deltas) = (self.pcs, self.addr_deltas);
+        let (mut alus, mut blocks) = (self.alu_counts, self.block_ids);
+        let mut prev_addr = self.prev_addr;
+        for &tag in batch {
+            self.buf.push(match tag & VARIANT_MASK {
+                TAG_ALU => TraceEvent::Alu {
+                    pc: Pc(take_u64(&mut pcs)),
+                    count: take_u32(&mut alus),
+                },
+                TAG_MEM => {
+                    let pc = Pc(take_u64(&mut pcs));
+                    let delta = take_u64(&mut deltas);
+                    prev_addr = prev_addr.wrapping_add(delta);
+                    TraceEvent::Mem(MemAccess {
+                        pc,
+                        addr: Addr(prev_addr),
+                        kind: if tag & FLAG_STORE != 0 {
+                            MemKind::Store
+                        } else {
+                            MemKind::Load
+                        },
+                        dep: if tag & FLAG_DEP_PREV_LOAD != 0 {
+                            Dependence::PrevLoad
+                        } else {
+                            Dependence::None
+                        },
+                    })
+                }
+                TAG_BRANCH => TraceEvent::Branch(BranchRecord {
+                    pc: Pc(take_u64(&mut pcs)),
+                    taken: tag & FLAG_TAKEN != 0,
+                }),
+                TAG_BLOCK_BEGIN => TraceEvent::BlockBegin {
+                    id: BlockId(take_u32(&mut blocks)),
+                },
+                // Validation admits exactly five variants; BlockEnd is last.
+                _ => TraceEvent::BlockEnd {
+                    id: BlockId(take_u32(&mut blocks)),
+                },
+            });
+        }
+        (self.pcs, self.addr_deltas) = (pcs, deltas);
+        (self.alu_counts, self.block_ids) = (alus, blocks);
+        self.prev_addr = prev_addr;
+    }
+}
+
+impl Iterator for TraceCursor<'_> {
+    type Item = EventRef;
+
+    #[inline]
+    fn next(&mut self) -> Option<EventRef> {
+        if self.buf_i == self.buf.len() {
+            if self.tags.is_empty() {
+                return None;
+            }
+            self.refill();
+        }
+        let e = self.buf[self.buf_i];
+        self.buf_i += 1;
+        Some(e)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.tags.len() + (self.buf.len() - self.buf_i);
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for TraceCursor<'_> {}
+
+impl EventCursor for TraceCursor<'_> {
+    #[inline]
+    fn next_batch(&mut self) -> Option<&[EventRef]> {
+        if self.buf_i < self.buf.len() {
+            // Events already decoded but not yet taken via `next()`.
+            let chunk = &self.buf[self.buf_i..];
+            self.buf_i = self.buf.len();
+            return Some(chunk);
+        }
+        if self.tags.is_empty() {
+            return None;
+        }
+        self.refill();
+        self.buf_i = self.buf.len();
+        Some(&self.buf[..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuilder;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new();
+        b.alu(Pc(0x100), 7);
+        b.annotated_loop(BlockId(3), 5, |b, i| {
+            b.load(Pc(0x200), Addr(0x4000 + i * 4096));
+            b.load_dep(Pc(0x204), Addr(0x900_0000 - i * 64));
+            b.store(Pc(0x208), Addr(i * 128));
+            b.alu(Pc(0x20c), 3);
+        });
+        b.branch(Pc(0x300), true);
+        b.finish()
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let trace = sample();
+        let packed = PackedTrace::from_trace(&trace);
+        assert_eq!(packed.to_trace(), trace);
+        assert_eq!(packed.event_count(), trace.len());
+        assert_eq!(packed.stats(), trace.stats());
+    }
+
+    #[test]
+    fn cursor_matches_slice_iteration() {
+        let trace = sample();
+        let packed = PackedTrace::from_trace(&trace);
+        let decoded: Vec<TraceEvent> = packed.cursor().collect();
+        assert_eq!(decoded.as_slice(), trace.events());
+        // The EventSource impls agree too.
+        let via_trait: Vec<TraceEvent> = EventSource::cursor(&packed).collect();
+        let via_trace: Vec<TraceEvent> = EventSource::cursor(&trace).collect();
+        assert_eq!(via_trait, via_trace);
+        assert_eq!(
+            EventSource::event_count(&packed),
+            EventSource::event_count(&trace)
+        );
+    }
+
+    #[test]
+    fn batched_cursor_matches_slice_iteration() {
+        // A trace longer than one decode batch, so next_batch() yields
+        // several chunks from the packed cursor.
+        let mut b = TraceBuilder::new();
+        b.annotated_loop(BlockId(1), 200, |b, i| {
+            b.load(Pc(0x200), Addr(0x4000 + i * 64));
+            b.alu(Pc(0x204), 2);
+            b.branch(Pc(0x208), i % 3 == 0);
+        });
+        let trace = b.finish();
+        let packed = PackedTrace::from_trace(&trace);
+
+        for_both_reprs(&trace, &packed, |cursor| {
+            let mut batched = Vec::new();
+            while let Some(chunk) = cursor.next_batch() {
+                assert!(!chunk.is_empty(), "next_batch yielded an empty chunk");
+                batched.extend_from_slice(chunk);
+            }
+            assert_eq!(cursor.next_batch(), None, "exhausted cursor must stay dry");
+            assert_eq!(batched.as_slice(), trace.events());
+        });
+
+        // Mixing next() and next_batch(): events already decoded but not
+        // yet taken must appear in the following batch exactly once.
+        for_both_reprs(&trace, &packed, |cursor| {
+            let mut seen = vec![cursor.next().unwrap(), cursor.next().unwrap()];
+            while let Some(chunk) = cursor.next_batch() {
+                seen.extend_from_slice(chunk);
+            }
+            assert_eq!(seen.as_slice(), trace.events());
+        });
+    }
+
+    /// Runs `check` against a fresh cursor of each representation.
+    fn for_both_reprs(
+        trace: &Trace,
+        packed: &PackedTrace,
+        mut check: impl FnMut(&mut dyn EventCursor),
+    ) {
+        check(&mut EventSource::cursor(trace));
+        check(&mut EventSource::cursor(packed));
+    }
+
+    #[test]
+    fn payload_parses_back() {
+        let packed = PackedTrace::from_trace(&sample());
+        let bytes: Box<[u8]> = packed.payload().into();
+        let reparsed = PackedTrace::from_payload(bytes).unwrap();
+        assert_eq!(reparsed, packed);
+        assert_eq!(reparsed.to_trace(), sample());
+    }
+
+    #[test]
+    fn shared_payload_is_zero_copy_view() {
+        let packed = PackedTrace::from_trace(&sample());
+        let mut framed = vec![0xAA; 3]; // leading junk the view must skip
+        framed.extend_from_slice(packed.payload());
+        framed.extend_from_slice(&[0xBB; 5]);
+        let len = packed.payload().len();
+        let shared: Arc<dyn AsRef<[u8]> + Send + Sync> = Arc::new(framed);
+        let view = PackedTrace::from_shared_payload(shared, 3, len).unwrap();
+        assert_eq!(view, packed);
+        assert_eq!(view.to_trace(), sample());
+    }
+
+    #[test]
+    fn shared_payload_out_of_bounds_is_error() {
+        let shared: Arc<dyn AsRef<[u8]> + Send + Sync> = Arc::new(vec![0u8; 16]);
+        assert!(matches!(
+            PackedTrace::from_shared_payload(shared, 8, 16),
+            Err(PackedError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_trace_packs() {
+        let packed = PackedTrace::from_trace(&Trace::default());
+        assert!(packed.is_empty());
+        assert_eq!(packed.payload().len(), HEADER_BYTES);
+        assert_eq!(packed.to_trace(), Trace::default());
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let packed = PackedTrace::from_trace(&sample());
+        let bytes = packed.payload();
+        for cut in [0, HEADER_BYTES - 1, bytes.len() - 1] {
+            let r = PackedTrace::from_payload(bytes[..cut].into());
+            assert!(matches!(r, Err(PackedError::Truncated { .. })), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        let packed = PackedTrace::from_trace(&sample());
+        let mut bytes: Vec<u8> = packed.payload().to_vec();
+        bytes[HEADER_BYTES] = 0x07; // variant 7 does not exist
+        assert!(matches!(
+            PackedTrace::from_payload(bytes.clone().into_boxed_slice()),
+            Err(PackedError::BadTag { index: 0, .. })
+        ));
+        bytes[HEADER_BYTES] = TAG_ALU | FLAG_STORE; // illegal flag for ALU
+        assert!(matches!(
+            PackedTrace::from_payload(bytes.into_boxed_slice()),
+            Err(PackedError::BadTag { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn count_mismatch_is_rejected() {
+        // Claim one branch event but write a mem tag: addr_deltas column
+        // length disagrees with the tag stream.
+        let trace = Trace::from_events(vec![TraceEvent::Branch(BranchRecord {
+            pc: Pc(0),
+            taken: false,
+        })]);
+        let packed = PackedTrace::from_trace(&trace);
+        let mut bytes: Vec<u8> = packed.payload().to_vec();
+        bytes[HEADER_BYTES] = TAG_MEM;
+        let r = PackedTrace::from_payload(bytes.into_boxed_slice());
+        assert!(matches!(r, Err(PackedError::CountMismatch { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn delta_encoding_survives_extreme_addresses() {
+        let mut b = TraceBuilder::new();
+        b.load(Pc(0), Addr(u64::MAX));
+        b.load(Pc(4), Addr(0));
+        b.load(Pc(8), Addr(u64::MAX / 2));
+        b.store(Pc(12), Addr(u64::MAX));
+        let trace = b.finish();
+        assert_eq!(PackedTrace::from_trace(&trace).to_trace(), trace);
+    }
+}

@@ -49,6 +49,12 @@ const WS_HISTOGRAM_MAX: usize = 64;
 impl TraceStats {
     /// Computes statistics from an event sequence in program order.
     pub fn from_events(events: &[TraceEvent]) -> Self {
+        Self::from_event_iter(events.iter().copied())
+    }
+
+    /// Computes statistics from a streamed event sequence (e.g. a
+    /// [`crate::TraceCursor`]) without materializing the events.
+    pub fn from_event_iter(events: impl IntoIterator<Item = TraceEvent>) -> Self {
         let mut s = TraceStats {
             ws_histogram: vec![0; WS_HISTOGRAM_MAX + 1],
             ..Self::default()

@@ -1,0 +1,101 @@
+//! Property tests for the packed columnar trace format: lossless
+//! round-tripping, cursor/slice iteration equivalence, and robustness of
+//! the payload parser against arbitrary and mutated byte buffers.
+
+use cbws_trace::{
+    Addr, BlockId, BranchRecord, Dependence, MemAccess, MemKind, PackedTrace, Pc, Trace, TraceEvent,
+};
+use proptest::prelude::*;
+
+fn event_strategy() -> impl Strategy<Value = TraceEvent> {
+    prop_oneof![
+        (0u32..64).prop_map(|id| TraceEvent::BlockBegin { id: BlockId(id) }),
+        (0u32..64).prop_map(|id| TraceEvent::BlockEnd { id: BlockId(id) }),
+        (any::<u64>(), any::<u32>()).prop_map(|(pc, count)| TraceEvent::Alu { pc: Pc(pc), count }),
+        (any::<u64>(), any::<u64>(), any::<bool>(), any::<bool>()).prop_map(
+            |(pc, addr, store, dep)| {
+                TraceEvent::Mem(MemAccess {
+                    pc: Pc(pc),
+                    addr: Addr(addr),
+                    kind: if store { MemKind::Store } else { MemKind::Load },
+                    dep: if dep {
+                        Dependence::PrevLoad
+                    } else {
+                        Dependence::None
+                    },
+                })
+            }
+        ),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(pc, taken)| TraceEvent::Branch(BranchRecord { pc: Pc(pc), taken })),
+    ]
+}
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(event_strategy(), 0..300).prop_map(Trace::from_events)
+}
+
+proptest! {
+    /// `Trace → PackedTrace → Trace` is the identity, including full-range
+    /// addresses (the delta encoding must wrap losslessly) and stats.
+    #[test]
+    fn pack_round_trip_is_lossless(trace in trace_strategy()) {
+        let packed = PackedTrace::from_trace(&trace);
+        prop_assert_eq!(packed.event_count(), trace.len());
+        prop_assert_eq!(packed.to_trace(), trace.clone());
+        prop_assert_eq!(packed.stats(), trace.stats());
+    }
+
+    /// The cursor yields exactly the `Vec<TraceEvent>` sequence, event for
+    /// event, and reports an exact length.
+    #[test]
+    fn cursor_matches_vec_iteration(trace in trace_strategy()) {
+        let packed = PackedTrace::from_trace(&trace);
+        let mut cursor = packed.cursor();
+        prop_assert_eq!(cursor.len(), trace.len());
+        for (i, expect) in trace.events().iter().enumerate() {
+            let got = cursor.next();
+            prop_assert_eq!(got, Some(*expect), "event {}", i);
+        }
+        prop_assert_eq!(cursor.next(), None);
+    }
+
+    /// A payload survives serialization: parsing its own bytes back yields
+    /// an equal trace.
+    #[test]
+    fn payload_parses_back(trace in trace_strategy()) {
+        let packed = PackedTrace::from_trace(&trace);
+        let reparsed = PackedTrace::from_payload(packed.payload().into())
+            .expect("self-produced payload parses");
+        prop_assert_eq!(reparsed.to_trace(), trace);
+    }
+
+    /// Arbitrary garbage never panics the parser: it either parses (and
+    /// then the cursor can walk every event without panicking) or is
+    /// rejected with an error.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        if let Ok(packed) = PackedTrace::from_payload(bytes.into_boxed_slice()) {
+            prop_assert_eq!(packed.cursor().count(), packed.event_count());
+        }
+    }
+
+    /// Flipping a single bit of a valid payload never panics: either the
+    /// parser rejects the buffer, or it still parses (e.g. the flip landed
+    /// in an address) and the cursor walks it cleanly. Store-level
+    /// checksums are what detect the silent case; see the trace-store
+    /// corruption proptests in `cbws-workloads`.
+    #[test]
+    fn bit_flips_never_panic(trace in trace_strategy(), pos in any::<usize>(), bit in 0u8..8) {
+        let packed = PackedTrace::from_trace(&trace);
+        let mut bytes: Vec<u8> = packed.payload().to_vec();
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let at = pos % bytes.len();
+        bytes[at] ^= 1 << bit;
+        if let Ok(mutated) = PackedTrace::from_payload(bytes.into_boxed_slice()) {
+            prop_assert_eq!(mutated.cursor().count(), mutated.event_count());
+        }
+    }
+}

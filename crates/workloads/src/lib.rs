@@ -34,6 +34,7 @@
 pub mod dsl;
 mod kernels;
 pub mod trace_cache;
+pub mod trace_store;
 
 use cbws_trace::Trace;
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,589 @@
+//! Persistent on-disk trace store.
+//!
+//! The in-process [`crate::trace_cache`] amortizes trace generation *within*
+//! one binary; every new process still regenerates all 30 kernels from the
+//! DSL before it can simulate anything. This module persists each generated
+//! trace — in the packed columnar layout of [`cbws_trace::PackedTrace`] — to
+//! a versioned, checksummed file under `CBWS_TRACE_STORE_DIR` (default:
+//! `target/trace-store/` of the workspace), so repeated sweeps, figure
+//! regenerations, and CI runs skip DSL generation entirely and replay the
+//! file zero-copy through a memory map.
+//!
+//! # File format (version 1, little-endian)
+//!
+//! | field | size | contents |
+//! |---|---|---|
+//! | magic | 8 | `b"CBWSTRCE"` |
+//! | format version | 4 | `u32`, currently 1 |
+//! | DSL hash | 8 | FNV-1a over the kernel/DSL sources compiled into this binary |
+//! | scale | 1 | 0 = tiny, 1 = small, 2 = full |
+//! | name length | 2 | `u16` |
+//! | name | var | workload name, UTF-8 |
+//! | column checksums | 6 × 8 | FNV-1a of each payload column (`counts`, `tags`, `pcs`, `addr_deltas`, `alu_counts`, `block_ids`) |
+//! | payload length | 8 | `u64` |
+//! | payload | var | the exact [`PackedTrace::payload`] bytes |
+//!
+//! # Invalidation and fallback
+//!
+//! A file is only served when the magic, version, key (workload + scale),
+//! DSL hash, **and every column checksum** match. The DSL hash changes
+//! whenever any kernel or DSL source file changes, so editing a workload
+//! invalidates its stale traces automatically. Any mismatch — corruption,
+//! version skew, hash skew — is counted as `trace_store.invalidate`,
+//! reported with a `warn!`, and falls back to regeneration (which rewrites
+//! the file); it never panics and never changes simulation results.
+//!
+//! # Telemetry
+//!
+//! `trace_store.hit` / `.miss` / `.write` / `.invalidate` counters, plus
+//! `trace_store.load_us` (time to map + verify + adopt a stored trace) and
+//! `trace_store.generate_us` (time to generate + pack on a miss).
+
+use crate::{Scale, WorkloadSpec};
+use cbws_telemetry::{warn, Telemetry};
+use cbws_trace::PackedTrace;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Magic bytes opening every trace-store file.
+pub const MAGIC: &[u8; 8] = b"CBWSTRCE";
+
+/// Current file-format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Environment variable selecting the store directory.
+pub const DIR_ENV: &str = "CBWS_TRACE_STORE_DIR";
+
+/// Number of per-column checksums in the header (mirrors
+/// [`PackedTrace::columns`]).
+const N_COLUMNS: usize = 6;
+
+/// FNV-1a 64-bit hash — the store's checksum function. Not cryptographic;
+/// it detects corruption and version skew, like the xxhash family used by
+/// columnar formats, with no dependency.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hash of every source file that determines trace content (the kernels and
+/// the DSL), embedded at compile time. Stored traces carry this hash and are
+/// invalidated when it changes, so a stale store can never leak traces from
+/// an older generator into a newer binary.
+pub fn dsl_hash() -> u64 {
+    // Each file is framed with its name so content moving between files
+    // still changes the hash.
+    const SOURCES: &[(&str, &str)] = &[
+        ("lib.rs", include_str!("lib.rs")),
+        ("dsl.rs", include_str!("dsl.rs")),
+        ("kernels/mod.rs", include_str!("kernels/mod.rs")),
+        ("kernels/helpers.rs", include_str!("kernels/helpers.rs")),
+        ("kernels/linpack.rs", include_str!("kernels/linpack.rs")),
+        ("kernels/parboil.rs", include_str!("kernels/parboil.rs")),
+        ("kernels/parsec.rs", include_str!("kernels/parsec.rs")),
+        ("kernels/rodinia.rs", include_str!("kernels/rodinia.rs")),
+        ("kernels/spec.rs", include_str!("kernels/spec.rs")),
+        ("kernels/splash.rs", include_str!("kernels/splash.rs")),
+    ];
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (name, body) in SOURCES {
+        for &b in name.as_bytes().iter().chain(&[0u8]).chain(body.as_bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn scale_code(scale: Scale) -> u8 {
+    match scale {
+        Scale::Tiny => 0,
+        Scale::Small => 1,
+        Scale::Full => 2,
+    }
+}
+
+/// Read-only memory map of a whole file (unix). Falls back to
+/// [`std::fs::read`] when mapping fails or on other platforms.
+#[cfg(unix)]
+mod mmap {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// An owned read-only mapping; unmapped on drop.
+    pub struct Mmap {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // The mapping is immutable (PROT_READ, MAP_PRIVATE) for its lifetime.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Maps `len` bytes of `file` read-only; `None` on failure (caller
+        /// falls back to reading the file).
+        pub fn map(file: &File, len: usize) -> Option<Mmap> {
+            if len == 0 {
+                return None;
+            }
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr.is_null() || ptr as isize == -1 {
+                None
+            } else {
+                Some(Mmap { ptr, len })
+            }
+        }
+    }
+
+    impl AsRef<[u8]> for Mmap {
+        fn as_ref(&self) -> &[u8] {
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+/// Reads a store file as a shared buffer: memory-mapped where possible,
+/// otherwise copied to the heap.
+fn read_file_shared(path: &Path) -> std::io::Result<Arc<dyn AsRef<[u8]> + Send + Sync>> {
+    let file = File::open(path)?;
+    let len = file.metadata()?.len();
+    let len = usize::try_from(len)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "file too large"))?;
+    #[cfg(unix)]
+    if let Some(map) = mmap::Mmap::map(&file, len) {
+        return Ok(Arc::new(map));
+    }
+    drop(file);
+    Ok(Arc::new(std::fs::read(path)?))
+}
+
+/// Why a stored file could not be served.
+enum LoadError {
+    /// No file yet — a plain miss.
+    Missing,
+    /// The file exists but is invalid for this binary (corruption, version
+    /// skew, DSL-hash skew, wrong key). The reason is human-readable.
+    Invalid(String),
+}
+
+fn invalid<T>(reason: impl Into<String>) -> Result<T, LoadError> {
+    Err(LoadError::Invalid(reason.into()))
+}
+
+/// Parses and fully verifies a store file, returning the packed trace
+/// backed by the (usually memory-mapped) file bytes.
+fn load_file(
+    path: &Path,
+    want_dsl_hash: u64,
+    want_name: &str,
+    want_scale: Scale,
+) -> Result<PackedTrace, LoadError> {
+    let data = match read_file_shared(path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(LoadError::Missing),
+        Err(e) => return invalid(format!("unreadable: {e}")),
+    };
+    let bytes: &[u8] = (*data).as_ref();
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> Result<&[u8], LoadError> {
+        let end = at.checked_add(n).filter(|&e| e <= bytes.len());
+        match end {
+            Some(end) => {
+                let s = &bytes[*at..end];
+                *at = end;
+                Ok(s)
+            }
+            None => invalid(format!("truncated header at byte {at}")),
+        }
+    };
+    if take(&mut at, MAGIC.len())? != MAGIC {
+        return invalid("bad magic");
+    }
+    let version = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return invalid(format!(
+            "format version {version}, this binary writes {FORMAT_VERSION}"
+        ));
+    }
+    let file_hash = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+    if file_hash != want_dsl_hash {
+        return invalid(format!(
+            "DSL hash {file_hash:#018x} does not match this binary's {want_dsl_hash:#018x} \
+             (kernel sources changed)"
+        ));
+    }
+    let scale = take(&mut at, 1)?[0];
+    let name_len = usize::from(u16::from_le_bytes(take(&mut at, 2)?.try_into().unwrap()));
+    let name = take(&mut at, name_len)?;
+    if scale != scale_code(want_scale) || name != want_name.as_bytes() {
+        return invalid("file key does not match its path");
+    }
+    let mut checksums = [0u64; N_COLUMNS];
+    for c in &mut checksums {
+        *c = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+    }
+    let payload_len = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+    let payload_len = match usize::try_from(payload_len) {
+        Ok(n) if at + n == bytes.len() => n,
+        _ => return invalid("payload length disagrees with file size"),
+    };
+    let packed = match PackedTrace::from_shared_payload(data.clone(), at, payload_len) {
+        Ok(p) => p,
+        Err(e) => return invalid(format!("payload rejected: {e}")),
+    };
+    for ((column, col_bytes), &want) in packed.columns().iter().zip(&checksums) {
+        let got = fnv1a(col_bytes);
+        if got != want {
+            return invalid(format!(
+                "column `{column}` checksum {got:#018x} != stored {want:#018x}"
+            ));
+        }
+    }
+    Ok(packed)
+}
+
+/// Serializes a packed trace into the version-1 file bytes.
+fn encode_file(dsl_hash: u64, name: &str, scale: Scale, packed: &PackedTrace) -> Vec<u8> {
+    let payload = packed.payload();
+    let mut out = Vec::with_capacity(64 + name.len() + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&dsl_hash.to_le_bytes());
+    out.push(scale_code(scale));
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+    for (_, col) in packed.columns() {
+        out.extend_from_slice(&fnv1a(col).to_le_bytes());
+    }
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+type Slot = Arc<OnceLock<Arc<PackedTrace>>>;
+
+/// A persistent, keyed store of packed traces. See the module docs.
+///
+/// One instance fronts one directory. Within the process it also memoizes
+/// loaded traces per `(workload, scale)` (packed traces are ~4× smaller
+/// than the `Vec<TraceEvent>` they replace, and memory-mapped files are
+/// reclaimable clean pages, so no eviction budget is needed).
+pub struct TraceStore {
+    dir: PathBuf,
+    dsl_hash: u64,
+    telemetry: Mutex<Telemetry>,
+    map: Mutex<HashMap<(&'static str, Scale), Slot>>,
+}
+
+impl TraceStore {
+    /// A store over `dir` keyed by this binary's [`dsl_hash`].
+    pub fn at(dir: impl Into<PathBuf>) -> TraceStore {
+        TraceStore {
+            dir: dir.into(),
+            dsl_hash: dsl_hash(),
+            telemetry: Mutex::new(Telemetry::disabled()),
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The directory this store reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Routes the store's counters (`trace_store.*`) to `telemetry`.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        *self.telemetry.lock().unwrap_or_else(|e| e.into_inner()) = telemetry;
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        self.telemetry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn path_for(&self, name: &str, scale: Scale) -> PathBuf {
+        self.dir.join(format!("{name}-{scale}.cbwstrace"))
+    }
+
+    /// The packed trace for `(workload, scale)`: from process memory, else
+    /// from a verified store file, else generated (and written back).
+    /// Concurrent callers for one key block on a single load/generation.
+    pub fn get(&self, workload: &'static WorkloadSpec, scale: Scale) -> Arc<PackedTrace> {
+        let slot = {
+            let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            map.entry((workload.name, scale))
+                .or_insert_with(|| Arc::new(OnceLock::new()))
+                .clone()
+        };
+        slot.get_or_init(|| Arc::new(self.load_or_generate(workload, scale)))
+            .clone()
+    }
+
+    /// Drops the in-process memoization (files stay). Subsequent `get`s
+    /// reload from disk — used by benches to measure warm-disk loads and by
+    /// tests to simulate a fresh process.
+    pub fn drop_memory(&self) {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    fn load_or_generate(&self, workload: &'static WorkloadSpec, scale: Scale) -> PackedTrace {
+        let telemetry = self.telemetry();
+        let path = self.path_for(workload.name, scale);
+        let started = Instant::now();
+        match load_file(&path, self.dsl_hash, workload.name, scale) {
+            Ok(packed) => {
+                telemetry.count("trace_store.hit", 1);
+                telemetry.count("trace_store.load_us", started.elapsed().as_micros() as u64);
+                return packed;
+            }
+            Err(LoadError::Missing) => {
+                telemetry.count("trace_store.miss", 1);
+            }
+            Err(LoadError::Invalid(reason)) => {
+                telemetry.count("trace_store.invalidate", 1);
+                warn!(
+                    "[trace-store] discarding {}: {reason}; regenerating",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        let started = Instant::now();
+        let packed = PackedTrace::from_trace(&workload.generate(scale));
+        telemetry.count(
+            "trace_store.generate_us",
+            started.elapsed().as_micros() as u64,
+        );
+        match self.write_atomic(
+            &path,
+            &encode_file(self.dsl_hash, workload.name, scale, &packed),
+        ) {
+            Ok(()) => telemetry.count("trace_store.write", 1),
+            Err(e) => warn!(
+                "[trace-store] cannot write {}: {e}; continuing without persistence",
+                path.display()
+            ),
+        }
+        packed
+    }
+
+    /// Writes `bytes` to `path` via a temporary file + rename, so readers
+    /// never observe a half-written store file.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let result = (|| {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
+    }
+}
+
+/// The process-wide store. Directory comes from `CBWS_TRACE_STORE_DIR`;
+/// unset falls back to the workspace's `target/trace-store/`.
+pub fn shared() -> &'static TraceStore {
+    static SHARED: OnceLock<TraceStore> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let dir = std::env::var_os(DIR_ENV)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/trace-store")
+            });
+        TraceStore::at(dir)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::by_name;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique per-test scratch directory (no tempfile dependency).
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cbws-trace-store-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn counter(t: &Telemetry, path: &str) -> u64 {
+        t.with_metrics(|m| m.counter(path).unwrap_or(0)).unwrap()
+    }
+
+    #[test]
+    fn miss_then_hit_round_trips() {
+        let dir = scratch_dir("hit");
+        let w = by_name("stencil-default").unwrap();
+        let telemetry = Telemetry::enabled_default();
+
+        let store = TraceStore::at(&dir);
+        store.set_telemetry(telemetry.clone());
+        let first = store.get(w, Scale::Tiny);
+        assert_eq!(counter(&telemetry, "trace_store.miss"), 1);
+        assert_eq!(counter(&telemetry, "trace_store.write"), 1);
+        assert_eq!(counter(&telemetry, "trace_store.hit"), 0);
+
+        // Same store instance: memoized, no extra disk traffic.
+        let again = store.get(w, Scale::Tiny);
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!(counter(&telemetry, "trace_store.miss"), 1);
+
+        // Fresh instance over the same directory = a new process: must hit.
+        let store2 = TraceStore::at(&dir);
+        store2.set_telemetry(telemetry.clone());
+        let loaded = store2.get(w, Scale::Tiny);
+        assert_eq!(counter(&telemetry, "trace_store.hit"), 1);
+        assert_eq!(loaded.to_trace(), w.generate(Scale::Tiny));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_memory_reloads_from_disk() {
+        let dir = scratch_dir("dropmem");
+        let w = by_name("nw").unwrap();
+        let telemetry = Telemetry::enabled_default();
+        let store = TraceStore::at(&dir);
+        store.set_telemetry(telemetry.clone());
+        let first = store.get(w, Scale::Tiny);
+        store.drop_memory();
+        let second = store.get(w, Scale::Tiny);
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(counter(&telemetry, "trace_store.hit"), 1);
+        assert_eq!(first.to_trace(), second.to_trace());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dsl_hash_mismatch_invalidates() {
+        let dir = scratch_dir("dslhash");
+        let w = by_name("histo-large").unwrap();
+        {
+            let store = TraceStore::at(&dir);
+            store.get(w, Scale::Tiny);
+        }
+        // A binary with different kernel sources would carry a different
+        // hash; simulate one.
+        let telemetry = Telemetry::enabled_default();
+        let mut skewed = TraceStore::at(&dir);
+        skewed.dsl_hash ^= 1;
+        skewed.set_telemetry(telemetry.clone());
+        let t = skewed.get(w, Scale::Tiny);
+        assert_eq!(counter(&telemetry, "trace_store.invalidate"), 1);
+        assert_eq!(counter(&telemetry, "trace_store.write"), 1);
+        assert_eq!(t.to_trace(), w.generate(Scale::Tiny));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_skew_invalidates() {
+        let dir = scratch_dir("version");
+        let w = by_name("nw").unwrap();
+        let store = TraceStore::at(&dir);
+        store.get(w, Scale::Tiny);
+        let path = store.path_for(w.name, Scale::Tiny);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[MAGIC.len()] ^= 0xFF; // format version field
+        std::fs::write(&path, &bytes).unwrap();
+
+        let telemetry = Telemetry::enabled_default();
+        let store2 = TraceStore::at(&dir);
+        store2.set_telemetry(telemetry.clone());
+        let t = store2.get(w, Scale::Tiny);
+        assert_eq!(counter(&telemetry, "trace_store.invalidate"), 1);
+        assert_eq!(t.to_trace(), w.generate(Scale::Tiny));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_invalidates() {
+        let dir = scratch_dir("truncate");
+        let w = by_name("nw").unwrap();
+        let store = TraceStore::at(&dir);
+        store.get(w, Scale::Tiny);
+        let path = store.path_for(w.name, Scale::Tiny);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let telemetry = Telemetry::enabled_default();
+        let store2 = TraceStore::at(&dir);
+        store2.set_telemetry(telemetry.clone());
+        let t = store2.get(w, Scale::Tiny);
+        assert_eq!(counter(&telemetry, "trace_store.invalidate"), 1);
+        assert_eq!(t.to_trace(), w.generate(Scale::Tiny));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scales_store_separately() {
+        let dir = scratch_dir("scales");
+        let w = by_name("stencil-default").unwrap();
+        let store = TraceStore::at(&dir);
+        let tiny = store.get(w, Scale::Tiny);
+        let small = store.get(w, Scale::Small);
+        assert!(tiny.event_count() < small.event_count());
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dsl_hash_is_stable_within_a_binary() {
+        assert_eq!(dsl_hash(), dsl_hash());
+        assert_ne!(dsl_hash(), 0);
+    }
+}
