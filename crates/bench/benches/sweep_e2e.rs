@@ -102,10 +102,14 @@ fn main() {
     // instead of generation — the steady state of repeated sweeps.
     let mut warm_secs = f64::INFINITY;
     let mut warm_records = Vec::new();
+    let mut warm_workers = Vec::new();
     for _ in 0..iters {
         store.drop_memory();
         let run = sweep_engine(scale, &workloads, jobs);
-        warm_secs = warm_secs.min(run.wall_seconds);
+        if run.wall_seconds < warm_secs {
+            warm_secs = run.wall_seconds;
+            warm_workers = run.worker_stats;
+        }
         warm_records = run.records;
     }
     eprintln!("[sweep_e2e] engine (warm store): {warm_secs:.3} s on {workers} workers");
@@ -134,7 +138,19 @@ fn main() {
     let warm_speedup = serial_secs / warm_secs;
     eprintln!("[sweep_e2e] speedup: {speedup:.2}x cold, {warm_speedup:.2}x warm");
 
-    // Record the measurement at the repository root.
+    // Record the measurement at the repository root. `workers_detail` is
+    // the per-worker busy/idle split of the best warm run (the gated
+    // competitor); perf-history skips the array and trends the scalars.
+    let workers_detail: Vec<String> = warm_workers
+        .iter()
+        .map(|w| {
+            format!(
+                "    {{\"worker\": {}, \"jobs\": {}, \"busy_seconds\": {:.4}, \
+                 \"idle_seconds\": {:.4}}}",
+                w.worker, w.jobs, w.busy_seconds, w.idle_seconds
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"sweep_e2e\",\n  \"scale\": \"{scale_name}\",\n  \
          \"workloads\": {},\n  \"prefetchers\": 7,\n  \"cores\": {cores},\n  \
@@ -142,8 +158,9 @@ fn main() {
          \"serial_seconds\": {serial_secs:.4},\n  \"engine_seconds\": {engine_secs:.4},\n  \
          \"engine_warm_seconds\": {warm_secs:.4},\n  \
          \"speedup\": {speedup:.3},\n  \"warm_speedup\": {warm_speedup:.3},\n  \
-         \"identical_records\": true\n}}\n",
-        workloads.len()
+         \"identical_records\": true,\n  \"workers_detail\": [\n{}\n  ]\n}}\n",
+        workloads.len(),
+        workers_detail.join(",\n")
     );
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let path = std::path::Path::new(root).join("BENCH_sweep.json");

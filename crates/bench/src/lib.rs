@@ -13,6 +13,8 @@ use cbws_harness::{PrefetcherKind, Simulator, SystemConfig};
 use cbws_stats::RunRecord;
 use cbws_workloads::{by_name, Scale, WorkloadSpec};
 
+pub mod perf_history;
+
 /// Resolves a workload by name, panicking with a clear message.
 ///
 /// # Panics

@@ -1,0 +1,404 @@
+//! Append-only performance history with regression gating.
+//!
+//! Each `BENCH_*.json` snapshot at the repository root records one run of a
+//! wall-clock benchmark, but a single snapshot cannot say whether 0.64 s is
+//! normal or a regression. This module turns those snapshots into an
+//! auditable trend: every recorded run is appended — with its git revision,
+//! core count, and timestamp — as one JSON line in
+//! `results/perf-history/<bench>.jsonl`, and `check` compares the latest
+//! run of each time-like metric against the rolling mean/stddev of the
+//! runs before it.
+//!
+//! # Gating policy
+//!
+//! A metric regresses when
+//!
+//! ```text
+//! latest > mean + k * max(stddev, NOISE_FLOOR_FRACTION * mean)
+//! ```
+//!
+//! over the prior runs. The floor keeps a history of near-identical timings
+//! (stddev ≈ 0) from flagging sub-percent jitter. Only metrics whose name
+//! ends in `_seconds` are gated (they are the "lower is better" wall
+//! clocks); of those, only [`HARD_METRICS`] fail the check — the rest warn.
+//! `engine_warm_seconds` is the hard gate because the warm-store engine
+//! sweep is the steady state CI and developers actually wait on, and it is
+//! the least noisy of the recorded clocks (no DSL generation, no file
+//! writes).
+//!
+//! The driver is the `perf-history` binary; see its module docs for the
+//! CLI. The generated book's "Performance trends" page renders the same
+//! history via [`trends`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Default regression threshold in stddev multiples.
+pub const DEFAULT_K: f64 = 3.0;
+
+/// Relative noise floor substituted for the stddev when the history is
+/// tighter than this fraction of the mean (guards against near-zero
+/// stddev flagging jitter).
+pub const NOISE_FLOOR_FRACTION: f64 = 0.02;
+
+/// Metrics whose regression fails `check` (everything else `_seconds`
+/// only warns).
+pub const HARD_METRICS: &[&str] = &["engine_warm_seconds"];
+
+/// Minimum prior runs before a metric is gated at all.
+pub const MIN_HISTORY: usize = 3;
+
+/// One recorded benchmark run: the numeric metrics of a `BENCH_*.json`
+/// snapshot plus the provenance that makes the line auditable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfRecord {
+    /// Benchmark id (`"sweep_e2e"`, `"trace_replay"`).
+    pub bench: String,
+    /// `git rev-parse --short HEAD` at record time, or `"unknown"`.
+    pub git_rev: String,
+    /// Host cores at record time (context for wall clocks).
+    pub cores: usize,
+    /// Seconds since the Unix epoch at record time.
+    pub unix_time: u64,
+    /// Workload scale the benchmark ran at.
+    pub scale: String,
+    /// Every numeric field of the snapshot, by name.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl PerfRecord {
+    /// Parses one `BENCH_*.json` snapshot into a record. Numeric fields
+    /// become metrics; strings, booleans, arrays, and nested objects are
+    /// provenance or detail, not trend series, and are skipped.
+    pub fn from_bench_json(
+        json: &str,
+        git_rev: &str,
+        unix_time: u64,
+    ) -> Result<PerfRecord, String> {
+        let value: serde::Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let obj = value.as_object().ok_or("snapshot is not a JSON object")?;
+        let field = |name: &str| -> Result<String, String> {
+            value
+                .get(name)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("snapshot has no string field `{name}`"))
+        };
+        let mut metrics = BTreeMap::new();
+        let mut cores = 0usize;
+        for (key, v) in obj {
+            if key.as_str() == "cores" {
+                cores = v.as_u64().unwrap_or(0) as usize;
+                continue;
+            }
+            if let Some(n) = v.as_f64() {
+                metrics.insert(key.clone(), n);
+            }
+        }
+        Ok(PerfRecord {
+            bench: field("bench")?,
+            git_rev: git_rev.to_string(),
+            cores,
+            unix_time,
+            scale: field("scale")?,
+            metrics,
+        })
+    }
+
+    /// The history file this record appends to under `dir`.
+    pub fn path_in(&self, dir: &Path) -> PathBuf {
+        dir.join(format!("{}.jsonl", self.bench))
+    }
+}
+
+/// Appends `record` as one JSON line to `dir/<bench>.jsonl`, creating the
+/// directory as needed.
+pub fn append(dir: &Path, record: &PerfRecord) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let line = serde_json::to_string(record).map_err(|e| e.to_string())?;
+    let path = record.path_in(dir);
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    writeln!(f, "{line}").map_err(|e| format!("cannot append to {}: {e}", path.display()))
+}
+
+/// Loads one benchmark's history (oldest first). A missing file is an
+/// empty history; a corrupt line is an error — history is an audit trail,
+/// so silent skips would hide tampering or tooling bugs.
+pub fn load(dir: &Path, bench: &str) -> Result<Vec<PerfRecord>, String> {
+    let path = dir.join(format!("{bench}.jsonl"));
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+        .map(|(i, line)| {
+            serde_json::from_str(line).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))
+        })
+        .collect()
+}
+
+/// Benchmark names present in `dir` (sorted).
+pub fn benches_in(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| {
+                    let name = e.file_name().into_string().ok()?;
+                    name.strip_suffix(".jsonl").map(str::to_string)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+    names
+}
+
+/// Rolling statistics of one metric across a history, with the latest run
+/// split out for comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trend {
+    /// Metric name (`"engine_warm_seconds"`).
+    pub metric: String,
+    /// Runs contributing to `mean`/`stddev` (all but the latest).
+    pub prior_runs: usize,
+    /// Mean over the prior runs.
+    pub mean: f64,
+    /// Population stddev over the prior runs.
+    pub stddev: f64,
+    /// The latest run's value.
+    pub latest: f64,
+}
+
+impl Trend {
+    /// `latest` as a signed fraction of `mean` (+0.08 = 8% above mean);
+    /// 0 when the mean is 0.
+    pub fn delta_fraction(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.latest / self.mean - 1.0
+        }
+    }
+
+    /// Whether the latest value regresses past `k` stddevs (with the
+    /// [`NOISE_FLOOR_FRACTION`] floor) above the prior mean. Only
+    /// meaningful for "lower is better" metrics; callers filter to
+    /// `*_seconds` names.
+    pub fn regressed(&self, k: f64) -> bool {
+        if self.prior_runs < MIN_HISTORY {
+            return false;
+        }
+        let spread = self.stddev.max(NOISE_FLOOR_FRACTION * self.mean);
+        self.latest > self.mean + k * spread
+    }
+}
+
+/// Per-metric trends of a history (every metric of the latest record that
+/// also appears in at least one prior record). Empty when the history has
+/// fewer than two runs.
+pub fn trends(history: &[PerfRecord]) -> Vec<Trend> {
+    let Some((latest, prior)) = history.split_last() else {
+        return Vec::new();
+    };
+    if prior.is_empty() {
+        return Vec::new();
+    }
+    latest
+        .metrics
+        .iter()
+        .filter_map(|(name, &value)| {
+            let series: Vec<f64> = prior
+                .iter()
+                .filter_map(|r| r.metrics.get(name).copied())
+                .collect();
+            if series.is_empty() {
+                return None;
+            }
+            let n = series.len() as f64;
+            let mean = series.iter().sum::<f64>() / n;
+            let var = series.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+            Some(Trend {
+                metric: name.clone(),
+                prior_runs: series.len(),
+                mean,
+                stddev: var.sqrt(),
+                latest: value,
+            })
+        })
+        .collect()
+}
+
+/// One gate violation found by [`check`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The benchmark the metric belongs to.
+    pub bench: String,
+    /// The regressed trend.
+    pub trend: Trend,
+    /// Whether this metric is in [`HARD_METRICS`] (fails the check) or
+    /// only warns.
+    pub hard: bool,
+}
+
+/// Checks every history in `dir` at threshold `k`: each `*_seconds` metric
+/// of each latest run is compared against its prior mean/stddev. Returns
+/// all violations, hard and soft.
+pub fn check(dir: &Path, k: f64) -> Result<Vec<Regression>, String> {
+    let mut out = Vec::new();
+    for bench in benches_in(dir) {
+        let history = load(dir, &bench)?;
+        for trend in trends(&history) {
+            if !trend.metric.ends_with("_seconds") {
+                continue;
+            }
+            if trend.regressed(k) {
+                let hard = HARD_METRICS.contains(&trend.metric.as_str());
+                out.push(Regression {
+                    bench: bench.clone(),
+                    trend,
+                    hard,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `git rev-parse --short HEAD` of the working tree containing `dir`, or
+/// `"unknown"` when git is unavailable (history stays appendable without
+/// provenance rather than failing the run).
+pub fn git_rev(dir: &Path) -> String {
+    std::process::Command::new("git")
+        .arg("-C")
+        .arg(dir)
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Seconds since the Unix epoch, saturating at 0 on a pre-1970 clock.
+pub fn unix_time_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(bench: &str, warm: f64, serial: f64) -> PerfRecord {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("engine_warm_seconds".into(), warm);
+        metrics.insert("serial_seconds".into(), serial);
+        metrics.insert("speedup".into(), serial / warm);
+        PerfRecord {
+            bench: bench.into(),
+            git_rev: "abc1234".into(),
+            cores: 8,
+            unix_time: 1_700_000_000,
+            scale: "small".into(),
+            metrics,
+        }
+    }
+
+    #[test]
+    fn bench_json_parses_numeric_fields_only() {
+        let json = r#"{"bench":"sweep_e2e","scale":"small","cores":4,
+            "engine_warm_seconds":0.63,"identical_records":true,
+            "note":"text","workers_detail":[{"worker":0}]}"#;
+        let r = PerfRecord::from_bench_json(json, "deadbee", 42).unwrap();
+        assert_eq!(r.bench, "sweep_e2e");
+        assert_eq!(r.scale, "small");
+        assert_eq!(r.cores, 4);
+        assert_eq!(r.git_rev, "deadbee");
+        assert_eq!(r.unix_time, 42);
+        assert_eq!(r.metrics.len(), 1);
+        assert!((r.metrics["engine_warm_seconds"] - 0.63).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trends_split_latest_from_prior() {
+        let history: Vec<PerfRecord> = [0.60, 0.62, 0.61, 0.70]
+            .iter()
+            .map(|&w| record("sweep_e2e", w, 1.0))
+            .collect();
+        let t = trends(&history);
+        let warm = t
+            .iter()
+            .find(|t| t.metric == "engine_warm_seconds")
+            .unwrap();
+        assert_eq!(warm.prior_runs, 3);
+        assert!((warm.mean - 0.61).abs() < 1e-9);
+        assert!((warm.latest - 0.70).abs() < 1e-12);
+        assert!(warm.delta_fraction() > 0.14);
+    }
+
+    #[test]
+    fn short_history_never_regresses() {
+        let history: Vec<PerfRecord> = [0.6, 60.0].iter().map(|&w| record("b", w, 1.0)).collect();
+        let t = trends(&history);
+        let warm = t
+            .iter()
+            .find(|t| t.metric == "engine_warm_seconds")
+            .unwrap();
+        assert!(!warm.regressed(DEFAULT_K), "1 prior run must not gate");
+    }
+
+    #[test]
+    fn noise_floor_absorbs_tiny_jitter() {
+        // Identical history → stddev 0; a 1% bump must NOT regress (floor
+        // is 2% of mean × k), but a 10% bump must.
+        let mut history: Vec<PerfRecord> = (0..4).map(|_| record("b", 0.600, 1.0)).collect();
+        history.push(record("b", 0.606, 1.0));
+        let warm = |h: &[PerfRecord]| {
+            trends(h)
+                .into_iter()
+                .find(|t| t.metric == "engine_warm_seconds")
+                .unwrap()
+        };
+        assert!(!warm(&history).regressed(DEFAULT_K));
+        *history.last_mut().unwrap() = record("b", 0.660, 1.0);
+        assert!(warm(&history).regressed(DEFAULT_K));
+    }
+
+    #[test]
+    fn append_load_check_round_trip() {
+        let dir = std::env::temp_dir().join(format!("cbws-perf-history-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for w in [0.60, 0.62, 0.61, 0.62] {
+            append(&dir, &record("sweep_e2e", w, 1.0)).unwrap();
+        }
+        assert_eq!(benches_in(&dir), vec!["sweep_e2e".to_string()]);
+        let history = load(&dir, "sweep_e2e").unwrap();
+        assert_eq!(history.len(), 4);
+        assert!(
+            check(&dir, DEFAULT_K).unwrap().is_empty(),
+            "steady history passes"
+        );
+
+        // Inject a 30% warm-path regression: check must flag it as hard.
+        append(&dir, &record("sweep_e2e", 0.80, 1.0)).unwrap();
+        let found = check(&dir, DEFAULT_K).unwrap();
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].trend.metric, "engine_warm_seconds");
+        assert!(found[0].hard);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

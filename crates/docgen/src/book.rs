@@ -59,6 +59,8 @@ pub fn build_book(root: &Path, registry: &[ComponentDescription]) -> Result<Book
     files.insert("src/introduction.md".into(), introduction().into_bytes());
     files.insert("src/reproducing.md".into(), reproducing().into_bytes());
     files.insert("src/trace-store.md".into(), trace_store().into_bytes());
+    files.insert("src/observability.md".into(), observability().into_bytes());
+    files.insert("src/perf-trends.md".into(), perf_trends(root)?.into_bytes());
     files.insert(
         "src/SUMMARY.md".into(),
         summary(registry, &figures).into_bytes(),
@@ -262,13 +264,14 @@ fn trace_store() -> String {
          engine and the figure regenerators load these files (mmap where \
          available) and replay them through a cursor without materializing \
          a `Vec<TraceEvent>`.\n\n\
-         ## File format (version 1)\n\n\
+         ## File format (version 2)\n\n\
          All integers are little-endian. One file per `(workload, scale)`, \
          named `<workload>-<scale>.cbwstrace`.\n\n\
          | field | size | meaning |\n|---|---|---|\n\
          | magic | 8 | `CBWSTRCE` |\n\
-         | version | 4 | format version (currently 1) |\n\
-         | dsl_hash | 8 | FNV-1a hash of the workload DSL sources |\n\
+         | version | 4 | format version (currently 2) |\n\
+         | workload_hash | 8 | FNV-1a hash of the DSL sources that define \
+         *this* workload (shared kernels + its suite's file + its name) |\n\
          | scale | 1 | 0 = tiny, 1 = small, 2 = full |\n\
          | name_len + name | 2 + n | the workload name |\n\
          | column checksums | 6 × 8 | FNV-1a per packed column (counts, \
@@ -277,25 +280,153 @@ fn trace_store() -> String {
          | payload | payload_len | the `PackedTrace` columns |\n\n\
          ## Invalidation\n\n\
          A file is rejected — with a `warn!` and transparent regeneration, \
-         never a panic — when the magic or version differs, the `dsl_hash` \
-         does not match the current workload sources, the key does not \
-         match the request, the payload fails structural validation, or any \
-         per-column checksum disagrees. Writes are atomic (temp file + \
-         rename), so a crashed run cannot leave a torn file that poisons \
-         the next one.\n\n\
+         never a panic — when the magic or version differs, the \
+         `workload_hash` does not match the current sources, the key does \
+         not match the request, the payload fails structural validation, or \
+         any per-column checksum disagrees. Version 1 hashed the whole DSL \
+         binary, so any kernel edit invalidated every stored trace; version \
+         2 hashes per workload (the shared kernel helpers, the one suite \
+         source file the workload lives in, and its name), so editing one \
+         suite regenerates only that suite's traces. Writes are atomic \
+         (temp file + rename), so a crashed run cannot leave a torn file \
+         that poisons the next one.\n\n\
          ## Telemetry\n\n\
          With telemetry enabled (`--trace-out`/`--metrics-out`), the store \
          counts `trace_store.hit`, `.miss`, `.write`, and `.invalidate`, \
          and accumulates `trace_store.load_us` / `.generate_us`; a warm CI \
-         run asserts `trace_store.hit > 0`.\n",
+         run asserts `trace_store.hit > 0`. With span tracing enabled \
+         (`--spans-out`, see [Observability](observability.md)), every \
+         load, generate, validate, and write appears as a nested span on \
+         the worker's timeline lane.\n",
         pages::GENERATED_BANNER
     )
+}
+
+fn observability() -> String {
+    format!(
+        "{}# Observability\n\n\
+         Three layers, all off by default and near-free when disabled:\n\n\
+         1. **Telemetry** (`--trace-out F`, `--metrics-out F`) — structured \
+         event trace and dotted-path metrics registry; one branch per hook \
+         when disabled. See [Reproducing the figures](reproducing.md).\n\
+         2. **Span tracing** (`--spans-out F`) — nested, thread-tagged \
+         wall-clock spans exported as a Chrome trace-event JSON file.\n\
+         3. **Heartbeat** (`--progress`) — rate-limited `n/total` job \
+         progress lines from the sweep engine.\n\n\
+         ## Span tracing\n\n\
+         Every harness binary accepts `--spans-out F`. When present, a \
+         process-wide `Spans` collector is enabled and the hot stack is \
+         instrumented:\n\n\
+         | layer | spans |\n|---|---|\n\
+         | sweep engine | one `lane` per worker thread; one span per \
+         (workload, prefetcher) job with `workload`/`prefetcher` \
+         attributes; `idle` spans for steal-wait gaps |\n\
+         | trace store | `trace.load` / `trace.generate` / `trace.write`, \
+         with nested `trace.validate` under loads |\n\
+         | simulator core | `core.run` per replayed trace |\n\
+         | profiler phases | `phase.<name>` mirroring each `Profiler` \
+         phase (e.g. `phase.static_tables`, `phase.sweep`) |\n\n\
+         The output is Chrome trace-event JSON: load it in Perfetto \
+         (<https://ui.perfetto.dev>) or `chrome://tracing` and each worker \
+         renders as its own timeline lane, so load imbalance and store \
+         stalls are visible at a glance.\n\n\
+         ```bash\n\
+         cargo run --release -p cbws-harness --bin all_experiments -- \\\n  \
+           --scale tiny --jobs 2 --spans-out spans.json\n\
+         ```\n\n\
+         When `--spans-out` is absent the collector is disabled: `begin()` \
+         returns a no-op guard without allocating, so instrumented code \
+         costs one atomic load per span site (measured ≤ 2% on the warm \
+         full-matrix sweep; see DESIGN.md).\n\n\
+         ## Per-worker statistics\n\n\
+         Independent of span collection, every engine run aggregates per-\
+         worker job counts, busy/idle seconds, and a log2 histogram of job \
+         durations. These land in each `results/*.manifest.json` under \
+         `worker_stats` (with `host_cores` for context) and in \
+         `BENCH_sweep.json` under `workers_detail`, so committed artifacts \
+         record *how* they were produced, not just what they contain.\n\n\
+         ## Performance history\n\n\
+         `cargo run -p cbws-bench --bin perf-history -- record` appends \
+         the current `BENCH_*.json` snapshots to \
+         `results/perf-history/<bench>.jsonl` with git revision, core \
+         count, and timestamp; `-- check` gates regressions. See \
+         [Performance trends](perf-trends.md).\n",
+        pages::GENERATED_BANNER
+    )
+}
+
+fn perf_trends(root: &Path) -> Result<String, String> {
+    use cbws_bench::perf_history::{benches_in, load, trends, HARD_METRICS, MIN_HISTORY};
+    let dir = root.join("results/perf-history");
+    let mut md = format!(
+        "{}# Performance trends\n\n\
+         Rendered from the append-only history in `results/perf-history/` \
+         (one JSON line per recorded benchmark run; see \
+         [Observability](observability.md)). For each metric the latest \
+         run is compared against the mean ± stddev of every prior run. \
+         `perf-history check` fails CI when a **hard-gated** metric ({}) \
+         exceeds the prior mean by 3 stddevs (with a 2%-of-mean noise \
+         floor); other `*_seconds` metrics only warn. Gating starts once a \
+         metric has {} prior runs.\n",
+        pages::GENERATED_BANNER,
+        HARD_METRICS.join(", "),
+        MIN_HISTORY
+    );
+    let benches = benches_in(&dir);
+    if benches.is_empty() {
+        md.push_str(
+            "\nNo history recorded yet — run `cargo run -p cbws-bench --bin \
+             perf-history -- record` after a bench run.\n",
+        );
+        return Ok(md);
+    }
+    for bench in benches {
+        let history = load(&dir, &bench)?;
+        let Some(latest) = history.last() else {
+            continue;
+        };
+        md.push_str(&format!(
+            "\n## {bench}\n\n{} runs recorded, latest at rev `{}` on {} \
+             core(s), scale {}.\n\n",
+            history.len(),
+            latest.git_rev,
+            latest.cores,
+            latest.scale
+        ));
+        let rows = trends(&history);
+        if rows.is_empty() {
+            md.push_str("Not enough runs to trend yet.\n");
+            continue;
+        }
+        md.push_str("| metric | latest | prior mean | prior stddev | prior runs | delta |\n");
+        md.push_str("|---|---|---|---|---|---|\n");
+        for t in rows {
+            let gate = if HARD_METRICS.contains(&t.metric.as_str()) {
+                " (hard gate)"
+            } else {
+                ""
+            };
+            md.push_str(&format!(
+                "| `{}`{} | {:.4} | {:.4} | {:.4} | {} | {:+.1}% |\n",
+                t.metric,
+                gate,
+                t.latest,
+                t.mean,
+                t.stddev,
+                t.prior_runs,
+                t.delta_fraction() * 100.0
+            ));
+        }
+    }
+    Ok(md)
 }
 
 fn summary(registry: &[ComponentDescription], figures: &[pages::FigureSpec]) -> String {
     let mut md = String::from("# Summary\n\n[Introduction](introduction.md)\n\n");
     md.push_str("- [Reproducing the figures](reproducing.md)\n");
     md.push_str("- [The trace store](trace-store.md)\n");
+    md.push_str("- [Observability](observability.md)\n");
+    md.push_str("- [Performance trends](perf-trends.md)\n");
     md.push_str("- [Component reference](registry/index.md)\n");
     for d in registry {
         md.push_str(&format!(

@@ -9,8 +9,8 @@
 use cbws_harness::experiments::{
     fig01_loop_fraction, fig03_stencil_cbws, fig05_differential_skew, fig05_svg, fig12_mpki,
     fig12_svg, fig13_svg, fig13_timeliness, fig14_speedup, fig14_svg, fig15_perf_cost, fig15_svg,
-    jobs_from_args, save_csv, save_svg, scale_from_args, sweep_engine, tab02_parameters,
-    tab03_storage,
+    jobs_from_args, save_csv, save_svg, scale_from_args, session_spans, sweep_engine,
+    tab02_parameters, tab03_storage, write_session_spans,
 };
 use cbws_harness::{PrefetcherKind, RunManifest, SystemConfig};
 use cbws_telemetry::{detail, result, status, Profiler};
@@ -22,6 +22,7 @@ fn main() {
     status!("[all] scale = {scale}");
     let cfg = SystemConfig::default();
     let mut profiler = Profiler::new();
+    profiler.attach_spans(session_spans().clone());
 
     profiler.begin("static_tables");
     let tab02 = tab02_parameters(&cfg);
@@ -82,7 +83,9 @@ fn main() {
         cfg,
     )
     .with_timing(run.workers, run.wall_seconds, &profiler)
+    .with_workers(&run.worker_stats)
     .save("all_experiments");
+    write_session_spans();
 
     detail!("[all] phase timings:\n{}", profiler.report());
     status!("[all] text tables above; CSVs and SVG figures in results/");

@@ -8,7 +8,9 @@
 //! Usage: `cargo run --release -p cbws-harness --bin dram_model
 //! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
 
-use cbws_harness::experiments::{get, jobs_from_args, save_csv, scale_from_args};
+use cbws_harness::experiments::{
+    get, jobs_from_args, save_csv, scale_from_args, session_spans, write_session_spans,
+};
 use cbws_harness::{Engine, EngineConfig, EngineRun, PrefetcherKind, RunManifest, SystemConfig};
 use cbws_sim_mem::DramConfig;
 use cbws_stats::{geomean, TextTable};
@@ -26,6 +28,7 @@ fn run_suite(scale: cbws_workloads::Scale, cfg: SystemConfig, jobs: usize) -> En
         jobs,
         system: cfg,
         telemetry: Telemetry::disabled(),
+        spans: session_spans().clone(),
     })
     .run(scale, &mi_suite(), &KINDS)
 }
@@ -75,6 +78,14 @@ fn main() {
     save_csv("dram_model", &table);
     let mut profiler = flat_run.profiler.clone();
     profiler.merge(&dram_run.profiler);
+    let mut worker_stats = flat_run.worker_stats.clone();
+    for s in &dram_run.worker_stats {
+        match worker_stats.iter_mut().find(|a| a.worker == s.worker) {
+            Some(a) => a.merge(s),
+            None => worker_stats.push(s.clone()),
+        }
+    }
+    write_session_spans();
     RunManifest::new(
         "dram_model",
         scale,
@@ -87,5 +98,6 @@ fn main() {
         flat_run.wall_seconds + dram_run.wall_seconds,
         &profiler,
     )
+    .with_workers(&worker_stats)
     .save("dram_model");
 }

@@ -14,7 +14,9 @@
 //! Usage: `cargo run --release -p cbws-harness --bin ext_comparison
 //! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
 
-use cbws_harness::experiments::{get, jobs_from_args, save_csv, scale_from_args};
+use cbws_harness::experiments::{
+    get, jobs_from_args, save_csv, scale_from_args, session_spans, write_session_spans,
+};
 use cbws_harness::{Engine, EngineConfig, PrefetcherKind, RunManifest, SystemConfig};
 use cbws_stats::{geomean, TextTable};
 use cbws_telemetry::{result, status};
@@ -33,6 +35,7 @@ fn main() {
     let suite = mi_suite();
     let engine = Engine::new(EngineConfig {
         jobs: jobs_from_args(),
+        spans: session_spans().clone(),
         ..EngineConfig::default()
     });
     let run = engine.run(scale, &suite, &kinds);
@@ -69,6 +72,7 @@ fn main() {
     result!("Extended comparison — IPC normalized to SMS (MI suite)\n");
     result!("{table}");
     save_csv("ext_comparison", &table);
+    write_session_spans();
     RunManifest::new(
         "ext_comparison",
         scale,
@@ -77,6 +81,7 @@ fn main() {
         SystemConfig::default(),
     )
     .with_timing(run.workers, run.wall_seconds, &run.profiler)
+    .with_workers(&run.worker_stats)
     .save("ext_comparison");
 
     // Storage context for the comparison.

@@ -4,7 +4,10 @@
 //! Usage: `cargo run --release -p cbws-harness --bin fig01_loop_fraction
 //! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
 
-use cbws_harness::experiments::{fig01_from_records, jobs_from_args, save_csv, scale_from_args};
+use cbws_harness::experiments::{
+    fig01_from_records, jobs_from_args, save_csv, scale_from_args, session_spans,
+    write_session_spans,
+};
 use cbws_harness::{Engine, EngineConfig, PrefetcherKind, RunManifest, SystemConfig};
 use cbws_telemetry::{result, status};
 
@@ -16,6 +19,7 @@ fn main() {
     let suite = cbws_workloads::mi_suite();
     let engine = Engine::new(EngineConfig {
         jobs: jobs_from_args(),
+        spans: session_spans().clone(),
         ..EngineConfig::default()
     });
     let run = engine.run(scale, &suite, &[PrefetcherKind::None]);
@@ -23,6 +27,7 @@ fn main() {
     result!("Fig. 1 — runtime fraction in tight innermost loops (no-prefetch)\n");
     result!("{table}");
     save_csv("fig01_loop_fraction", &table);
+    write_session_spans();
     RunManifest::new(
         "fig01_loop_fraction",
         scale,
@@ -31,5 +36,6 @@ fn main() {
         SystemConfig::default(),
     )
     .with_timing(run.workers, run.wall_seconds, &run.profiler)
+    .with_workers(&run.worker_stats)
     .save("fig01_loop_fraction");
 }

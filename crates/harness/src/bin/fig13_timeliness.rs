@@ -30,5 +30,6 @@ fn main() {
         SystemConfig::default(),
     )
     .with_timing(run.workers, run.wall_seconds, &run.profiler)
+    .with_workers(&run.worker_stats)
     .save("fig13_timeliness");
 }

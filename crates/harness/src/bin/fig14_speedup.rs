@@ -29,5 +29,6 @@ fn main() {
         SystemConfig::default(),
     )
     .with_timing(run.workers, run.wall_seconds, &run.profiler)
+    .with_workers(&run.worker_stats)
     .save("fig14_speedup");
 }

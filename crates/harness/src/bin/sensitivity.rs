@@ -4,10 +4,15 @@
 //! advantage is not an artifact of that point.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin sensitivity
-//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--spans-out F]
+//! [--quiet|--progress]`
 
-use cbws_harness::experiments::{jobs_from_args, save_csv, scale_from_args};
-use cbws_harness::{Engine, EngineConfig, EngineRun, PrefetcherKind, RunManifest, SystemConfig};
+use cbws_harness::experiments::{
+    jobs_from_args, save_csv, scale_from_args, session_spans, write_session_spans,
+};
+use cbws_harness::{
+    Engine, EngineConfig, EngineRun, PrefetcherKind, RunManifest, SystemConfig, WorkerStats,
+};
 use cbws_stats::{geomean, TextTable};
 use cbws_telemetry::{result, status, Profiler, Telemetry};
 use cbws_workloads::{mi_suite, Scale};
@@ -19,6 +24,7 @@ fn geomean_speedup(scale: Scale, cfg: SystemConfig, jobs: usize) -> (f64, Engine
         jobs,
         system: cfg,
         telemetry: Telemetry::disabled(),
+        spans: session_spans().clone(),
     });
     let run = engine.run(
         scale,
@@ -39,6 +45,15 @@ fn main() {
     let mut profiler = Profiler::new();
     let mut wall = 0.0;
     let mut workers = 0;
+    let mut worker_stats: Vec<WorkerStats> = Vec::new();
+    let merge_stats = |stats: &[WorkerStats], acc: &mut Vec<WorkerStats>| {
+        for s in stats {
+            match acc.iter_mut().find(|a| a.worker == s.worker) {
+                Some(a) => a.merge(s),
+                None => acc.push(s.clone()),
+            }
+        }
+    };
 
     // L2 capacity sweep.
     let mut l2 = TextTable::new(vec![
@@ -53,6 +68,7 @@ fn main() {
         profiler.merge(&run.profiler);
         wall += run.wall_seconds;
         workers = run.workers;
+        merge_stats(&run.worker_stats, &mut worker_stats);
         l2.row(vec![format!("{mb} MB"), format!("{speedup:.3}")]);
     }
     result!("Sensitivity — L2 capacity (Table II point: 2 MB)\n\n{l2}");
@@ -71,6 +87,7 @@ fn main() {
         profiler.merge(&run.profiler);
         wall += run.wall_seconds;
         workers = run.workers;
+        merge_stats(&run.worker_stats, &mut worker_stats);
         lat.row(vec![format!("{cycles} cycles"), format!("{speedup:.3}")]);
     }
     result!("Sensitivity — memory latency (Table II point: 300 cycles)\n\n{lat}");
@@ -83,7 +100,9 @@ fn main() {
         [PrefetcherKind::Sms, PrefetcherKind::CbwsSms],
         SystemConfig::default(),
     )
-    .with_timing(workers, wall, &profiler);
+    .with_timing(workers, wall, &profiler)
+    .with_workers(&worker_stats);
+    write_session_spans();
     manifest.save("sensitivity_l2");
     manifest.save("sensitivity_latency");
 }

@@ -7,7 +7,7 @@
 //! simulate --workload stencil-default [--scale small] [--jobs N] \
 //!          [--prefetcher SMS] [--dram] [--export trace.json] \
 //!          [--trace-out events.jsonl] [--metrics-out metrics.json] \
-//!          [--quiet | --progress]
+//!          [--spans-out spans.json] [--quiet | --progress]
 //! simulate --trace mytrace.json --prefetcher CBWS+SMS
 //! ```
 //!
@@ -26,7 +26,9 @@
 //! workers, default all cores) unless `--trace-out`/`--metrics-out` ask
 //! for shared per-run telemetry, which requires serial execution.
 
-use cbws_harness::experiments::{jobs_from_args, scale_from_args};
+use cbws_harness::experiments::{
+    jobs_from_args, scale_from_args, session_spans, write_session_spans,
+};
 use cbws_harness::{Engine, EngineConfig, PrefetcherKind, RunManifest, Simulator, SystemConfig};
 use cbws_sim_mem::DramConfig;
 use cbws_stats::{RunRecord, TextTable};
@@ -49,7 +51,8 @@ fn fail(msg: &str) -> ! {
         "usage: simulate [--workload <name> | --trace <file.json>] \
          [--scale tiny|small|full] [--prefetcher <name>] [--dram] \
          [--export <file.json>] [--trace-out <file.jsonl>] \
-         [--metrics-out <file.json>] [--quiet | --progress]"
+         [--metrics-out <file.json>] [--spans-out <file.json>] \
+         [--quiet | --progress]"
     );
     std::process::exit(2);
 }
@@ -125,9 +128,12 @@ fn main() {
                 jobs: jobs_from_args(),
                 system: cfg,
                 telemetry: Telemetry::disabled(),
+                spans: session_spans().clone(),
             });
             let run = engine.run(scale, &[w], &kinds);
-            manifest = manifest.with_timing(run.workers, run.wall_seconds, &run.profiler);
+            manifest = manifest
+                .with_timing(run.workers, run.wall_seconds, &run.profiler)
+                .with_workers(&run.worker_stats);
             run.records
         }
         _ => {
@@ -188,5 +194,6 @@ fn main() {
         status!("[simulate] wrote metrics to {path}");
     }
 
+    write_session_spans();
     manifest.save("simulate");
 }

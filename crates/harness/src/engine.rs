@@ -36,11 +36,13 @@
 
 use crate::runner::{PrefetcherKind, Simulator, SystemConfig};
 use cbws_stats::RunRecord;
-use cbws_telemetry::{warn, Profiler, Telemetry};
+use cbws_telemetry::{
+    detail, log, warn, Heartbeat, Log2Histogram, Profiler, Spans, Telemetry, Verbosity,
+};
 use cbws_workloads::{trace_store, Group, Scale, WorkloadSpec};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Number of workers the engine will use for `jobs = 0` (all cores).
 ///
@@ -72,6 +74,11 @@ pub struct EngineConfig {
     pub system: SystemConfig,
     /// Sink for `engine.*` metrics and phase gauges (disabled by default).
     pub telemetry: Telemetry,
+    /// Span collector for per-worker timelines (disabled by default). Each
+    /// worker gets a `worker-N` lane carrying one span per job plus the
+    /// idle gaps between claims; the trace store and `Core::run` nest
+    /// their spans underneath.
+    pub spans: Spans,
 }
 
 impl Default for EngineConfig {
@@ -80,7 +87,40 @@ impl Default for EngineConfig {
             jobs: 0,
             system: SystemConfig::default(),
             telemetry: Telemetry::disabled(),
+            spans: Spans::disabled(),
         }
+    }
+}
+
+/// Scheduling observability for one worker thread of an engine run.
+///
+/// Recorded unconditionally (the counters are a handful of adds per job),
+/// independent of whether spans or telemetry are enabled — this is the
+/// auditable-scaling evidence every manifest carries.
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    /// Worker index (`0..workers`), matching the `worker-N` span lane.
+    pub worker: usize,
+    /// Jobs this worker claimed and completed.
+    pub jobs: usize,
+    /// Seconds spent executing jobs (generate + simulate).
+    pub busy_seconds: f64,
+    /// Seconds inside the worker loop not spent on a job (claim overhead
+    /// and the tail after the queue drained).
+    pub idle_seconds: f64,
+    /// Distribution of per-job durations in microseconds.
+    pub job_us: Log2Histogram,
+}
+
+impl WorkerStats {
+    /// Folds another run's stats for the same worker index into `self`
+    /// (used by binaries that drive several engine runs and report one
+    /// aggregate manifest).
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.jobs += other.jobs;
+        self.busy_seconds += other.busy_seconds;
+        self.idle_seconds += other.idle_seconds;
+        self.job_us.merge(&other.job_us);
     }
 }
 
@@ -101,6 +141,8 @@ pub struct EngineRun {
     pub profiler: Profiler,
     /// Mean fraction of the run each worker spent busy (0..=1).
     pub utilization: f64,
+    /// Per-worker scheduling stats, ordered by worker index.
+    pub worker_stats: Vec<WorkerStats>,
 }
 
 impl EngineRun {
@@ -162,68 +204,139 @@ impl Engine {
         };
         let workers = requested.max(1).min(job_count.max(1));
         let telemetry = &self.cfg.telemetry;
-        // Route `trace_store.*` counters to the same sink so hit/miss
-        // behaviour shows up in `--metrics-out` dumps.
+        let spans = &self.cfg.spans;
+        // Route `trace_store.*` counters and load/generate spans to the
+        // same sinks so cache behaviour shows up in `--metrics-out` dumps
+        // and on the worker timelines.
         trace_store::shared().set_telemetry(telemetry.clone());
+        trace_store::shared().set_spans(spans.clone());
         telemetry.set_gauge("engine.workers", workers as f64);
         telemetry.set_gauge("engine.jobs.total", job_count as f64);
         telemetry.set_gauge("engine.queue.depth", job_count as f64);
 
         let next = AtomicUsize::new(0);
-        // (index, record) pairs plus merged profiler and summed busy time.
-        type WorkerOutput = (Vec<(usize, RunRecord)>, Profiler, f64);
+        let completed = AtomicUsize::new(0);
+        // Done/total progress lines under `--progress`, shared across
+        // workers so the rate limit is global.
+        let heartbeat = Mutex::new(Heartbeat::new(Duration::from_secs(1)));
+        // (index, record) pairs plus merged profiler and per-worker stats.
+        type WorkerOutput = (Vec<(usize, RunRecord)>, Profiler, Vec<WorkerStats>);
         let shared: Mutex<WorkerOutput> =
-            Mutex::new((Vec::with_capacity(job_count), Profiler::new(), 0.0));
+            Mutex::new((Vec::with_capacity(job_count), Profiler::new(), Vec::new()));
+        let engine_span = spans.begin("engine.run");
+        engine_span.attr("jobs", job_count).attr("workers", workers);
         let start = Instant::now();
         std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| {
-                    let sim = Simulator::new(self.cfg.system);
+            let next = &next;
+            let completed = &completed;
+            let heartbeat = &heartbeat;
+            let shared = &shared;
+            let system = self.cfg.system;
+            for worker in 0..workers {
+                let spans = spans.clone();
+                s.spawn(move || {
+                    let lane = spans.lane(&format!("worker-{worker}"));
+                    spans.adopt_lane(lane);
+                    // Per-run simulator telemetry stays disabled (see the
+                    // module docs), but the span collector rides along so
+                    // `Core::run` lands on this worker's lane.
+                    let sim = Simulator::with_telemetry(
+                        system,
+                        Telemetry::disabled().with_spans(spans.clone()),
+                    );
                     let mut local: Vec<(usize, RunRecord)> = Vec::new();
                     let mut prof = Profiler::new();
-                    let busy_start = Instant::now();
+                    let mut stats = WorkerStats {
+                        worker,
+                        jobs: 0,
+                        busy_seconds: 0.0,
+                        idle_seconds: 0.0,
+                        job_us: Log2Histogram::new(),
+                    };
+                    let loop_start = Instant::now();
                     loop {
+                        // The idle span covers the gap from the previous
+                        // job's end (or thread start) to the next claim.
+                        let idle = spans.begin("idle");
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= job_count {
-                            break;
+                            break; // `idle` drops here, closing the gap
                         }
+                        drop(idle);
                         let w = workloads[i / kinds.len()];
                         let kind = kinds[i % kinds.len()];
-                        let gen_start = Instant::now();
+                        let job_span = if spans.is_enabled() {
+                            let g = spans.begin(&format!("{}/{}", w.name, kind.name()));
+                            g.attr("workload", w.name)
+                                .attr("prefetcher", kind.name())
+                                .attr("job", i);
+                            Some(g)
+                        } else {
+                            None
+                        };
+                        let job_start = Instant::now();
+                        let gen_span = spans.begin("generate");
                         let trace = trace_store::shared().get(w, scale);
-                        prof.record("generate", gen_start.elapsed());
+                        drop(gen_span);
+                        prof.record("generate", job_start.elapsed());
                         let sim_start = Instant::now();
                         let record =
                             sim.run(w.name, w.group == Group::MemoryIntensive, &*trace, kind);
                         prof.record("simulate", sim_start.elapsed());
+                        drop(job_span);
+                        let job_elapsed = job_start.elapsed();
+                        stats.jobs += 1;
+                        stats.busy_seconds += job_elapsed.as_secs_f64();
+                        stats.job_us.record(job_elapsed.as_micros() as u64);
                         local.push((i, record));
                         telemetry.count("engine.jobs.completed", 1);
+                        telemetry.observe("engine.job.us", job_elapsed.as_micros() as u64);
                         telemetry.set_gauge(
                             "engine.queue.depth",
                             job_count.saturating_sub(next.load(Ordering::Relaxed)) as f64,
                         );
+                        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                        if log::level() >= Verbosity::Verbose {
+                            let msg = heartbeat
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .tick(done as u64, job_count as u64);
+                            if let Some(msg) = msg {
+                                detail!("[engine] {msg}");
+                            }
+                        }
                     }
-                    let busy = busy_start.elapsed().as_secs_f64();
+                    stats.idle_seconds =
+                        (loop_start.elapsed().as_secs_f64() - stats.busy_seconds).max(0.0);
                     let mut g = shared.lock().unwrap_or_else(|e| e.into_inner());
                     g.0.extend(local);
                     g.1.merge(&prof);
-                    g.2 += busy;
+                    g.2.push(stats);
                 });
             }
         });
         let wall_seconds = start.elapsed().as_secs_f64();
+        drop(engine_span);
 
-        let (mut indexed, profiler, busy_total) =
+        let (mut indexed, profiler, mut worker_stats) =
             shared.into_inner().unwrap_or_else(|e| e.into_inner());
         indexed.sort_unstable_by_key(|(i, _)| *i);
         debug_assert!(indexed.iter().enumerate().all(|(pos, (i, _))| pos == *i));
         let records: Vec<RunRecord> = indexed.into_iter().map(|(_, r)| r).collect();
+        worker_stats.sort_unstable_by_key(|s| s.worker);
 
+        let busy_total: f64 = worker_stats.iter().map(|s| s.busy_seconds).sum();
         let utilization = if wall_seconds > 0.0 && workers > 0 {
             (busy_total / (workers as f64 * wall_seconds)).min(1.0)
         } else {
             0.0
         };
+        for s in &worker_stats {
+            let prefix = format!("engine.worker.{}", s.worker);
+            telemetry.set_gauge(&format!("{prefix}.jobs"), s.jobs as f64);
+            telemetry.set_gauge(&format!("{prefix}.busy_seconds"), s.busy_seconds);
+            telemetry.set_gauge(&format!("{prefix}.idle_seconds"), s.idle_seconds);
+        }
         let run = EngineRun {
             records,
             workers,
@@ -231,6 +344,7 @@ impl Engine {
             wall_seconds,
             profiler,
             utilization,
+            worker_stats,
         };
         telemetry.set_gauge("engine.wall_seconds", wall_seconds);
         telemetry.set_gauge("engine.jobs_per_sec", run.jobs_per_sec());
@@ -310,8 +424,8 @@ mod tests {
         let workloads = picks(&["stencil-default", "nw"]);
         let run = Engine::new(EngineConfig {
             jobs: 2,
-            system: SystemConfig::default(),
             telemetry: telemetry.clone(),
+            ..EngineConfig::default()
         })
         .run(Scale::Tiny, &workloads, &[PrefetcherKind::Sms]);
         let counter = |p: &str| telemetry.with_metrics(|r| r.counter(p)).unwrap().unwrap();
@@ -326,5 +440,69 @@ mod tests {
             .collect();
         assert!(phases.contains(&"generate".to_string()));
         assert!(phases.contains(&"simulate".to_string()));
+    }
+
+    #[test]
+    fn worker_stats_cover_every_job() {
+        let workloads = picks(&["stencil-default", "histo-large", "nw"]);
+        let run = Engine::new(EngineConfig {
+            jobs: 2,
+            ..EngineConfig::default()
+        })
+        .run(
+            Scale::Tiny,
+            &workloads,
+            &[PrefetcherKind::None, PrefetcherKind::Sms],
+        );
+        assert_eq!(run.worker_stats.len(), 2);
+        assert_eq!(
+            run.worker_stats
+                .iter()
+                .map(|s| s.worker)
+                .collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        let total_jobs: usize = run.worker_stats.iter().map(|s| s.jobs).sum();
+        assert_eq!(total_jobs, run.job_count);
+        for s in &run.worker_stats {
+            assert_eq!(s.job_us.count() as usize, s.jobs);
+            assert!(s.busy_seconds >= 0.0 && s.idle_seconds >= 0.0);
+            if s.jobs > 0 {
+                assert!(s.busy_seconds > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn spans_record_one_lane_per_worker_with_job_and_idle_spans() {
+        let spans = Spans::enabled();
+        let workloads = picks(&["stencil-default", "nw"]);
+        let run = Engine::new(EngineConfig {
+            jobs: 2,
+            spans: spans.clone(),
+            ..EngineConfig::default()
+        })
+        .run(
+            Scale::Tiny,
+            &workloads,
+            &[PrefetcherKind::None, PrefetcherKind::Sms],
+        );
+        assert_eq!(run.job_count, 4);
+        let lanes = spans.lanes();
+        assert!(lanes.iter().any(|l| l == "worker-0"), "{lanes:?}");
+        assert!(lanes.iter().any(|l| l == "worker-1"), "{lanes:?}");
+        let records = spans.records();
+        // One top-level engine.run span, one span per job named
+        // workload/prefetcher with attrs, plus idle gaps on each worker.
+        assert_eq!(records.iter().filter(|r| r.name == "engine.run").count(), 1);
+        let jobs: Vec<_> = records.iter().filter(|r| r.name.contains('/')).collect();
+        assert_eq!(jobs.len(), 4, "{records:?}");
+        assert!(jobs.iter().any(|r| r.name == "stencil-default/SMS"
+            && r.attrs
+                .iter()
+                .any(|(k, v)| k == "workload" && v == "stencil-default")));
+        assert!(records.iter().filter(|r| r.name == "idle").count() >= 2);
+        // Every span closed by the end of the run.
+        assert!(records.iter().all(|r| r.dur_us.is_some()));
     }
 }

@@ -10,8 +10,9 @@ use cbws_stats::{
     geomean, mean, GroupedBarChart, LineChart, RunRecord, StackedBarChart, TextTable,
     TimelinessBreakdown,
 };
-use cbws_telemetry::{detail, status, warn, Profiler, Telemetry};
+use cbws_telemetry::{detail, status, warn, Profiler, Spans, Telemetry};
 use cbws_workloads::{by_name, Scale, WorkloadSpec, ALL};
+use std::sync::OnceLock;
 
 /// Formats a float with 3 significant digits for tables.
 fn f3(v: f64) -> String {
@@ -49,6 +50,54 @@ pub fn metrics_out_from_args() -> Option<String> {
     args.iter()
         .position(|a| a == "--metrics-out")
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Reads `--spans-out F` from the process arguments (default: none). When
+/// present, [`session_spans`] is enabled and the process's span timeline is
+/// exported to `F` as Chrome trace-event JSON (load it at `ui.perfetto.dev`
+/// or `chrome://tracing`).
+pub fn spans_out_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--spans-out")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// The process-wide span collector: enabled when `--spans-out` is on the
+/// command line, disabled (one untaken branch per span site) otherwise.
+/// The engine's workers, the trace store, and the simulated core all record
+/// into this one collector, so every lane lands in a single exported
+/// timeline.
+pub fn session_spans() -> &'static Spans {
+    static SPANS: OnceLock<Spans> = OnceLock::new();
+    SPANS.get_or_init(|| {
+        if spans_out_from_args().is_some() {
+            Spans::enabled()
+        } else {
+            Spans::disabled()
+        }
+    })
+}
+
+/// Writes the session's spans to the `--spans-out` path as Chrome
+/// trace-event JSON (best-effort, like [`save_csv`]; no-op without the
+/// flag). Callable repeatedly — each call rewrites the file with the
+/// timeline so far.
+pub fn write_session_spans() {
+    let Some(path) = spans_out_from_args() else {
+        return;
+    };
+    let write = std::fs::File::create(&path)
+        .map_err(|e| e.to_string())
+        .and_then(|f| {
+            session_spans()
+                .write_chrome_trace(std::io::BufWriter::new(f))
+                .map_err(|e| e.to_string())
+        });
+    match write {
+        Ok(()) => status!("[spans] wrote Chrome trace to {path}"),
+        Err(e) => warn!("cannot write {path}: {e}"),
+    }
 }
 
 /// Reads `--jobs N` from the process arguments (default: `0`, meaning all
@@ -257,7 +306,9 @@ pub fn fig05_svg(scale: Scale) -> String {
 /// `jobs = 0` uses every available core; the run reports worker count,
 /// wall-clock and per-phase timings for the manifest. With `--metrics-out
 /// F` on the command line, the engine's telemetry (scheduling metrics and
-/// the trace store's hit/miss/invalidate counters) is dumped to `F`.
+/// the trace store's hit/miss/invalidate counters) is dumped to `F`. With
+/// `--spans-out F`, the per-worker span timeline ([`session_spans`]) is
+/// exported to `F` as Chrome trace-event JSON.
 pub fn sweep_engine(scale: Scale, workloads: &[&'static WorkloadSpec], jobs: usize) -> EngineRun {
     let metrics_out = metrics_out_from_args();
     let telemetry = if metrics_out.is_some() {
@@ -268,6 +319,7 @@ pub fn sweep_engine(scale: Scale, workloads: &[&'static WorkloadSpec], jobs: usi
     let engine = Engine::new(EngineConfig {
         jobs,
         telemetry: telemetry.clone(),
+        spans: session_spans().clone(),
         ..EngineConfig::default()
     });
     let run = engine.run(scale, workloads, &PrefetcherKind::ALL);
@@ -293,6 +345,7 @@ pub fn sweep_engine(scale: Scale, workloads: &[&'static WorkloadSpec], jobs: usi
             Err(e) => warn!("cannot write {path}: {e}"),
         }
     }
+    write_session_spans();
     run
 }
 

@@ -26,7 +26,7 @@ mod prefetched;
 mod runner;
 
 pub use dispatch::AnyPrefetcher;
-pub use engine::{Engine, EngineConfig, EngineRun};
-pub use manifest::RunManifest;
+pub use engine::{Engine, EngineConfig, EngineRun, WorkerStats};
+pub use manifest::{ManifestWorker, RunManifest};
 pub use prefetched::PrefetchedMemory;
 pub use runner::{component_registry, PrefetcherKind, Simulator, SystemConfig};

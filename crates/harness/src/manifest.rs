@@ -7,12 +7,49 @@
 //! self-describing — no need to reconstruct CLI flags from shell history to
 //! reproduce a CSV.
 
+use crate::engine::{detect_parallelism, WorkerStats};
 use crate::runner::{PrefetcherKind, SystemConfig};
 use cbws_telemetry::Profiler;
 use cbws_workloads::Scale;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::Path;
+
+/// Per-worker scheduling stats as persisted in a manifest: the counters of
+/// [`WorkerStats`] plus a three-point summary of its job-duration
+/// histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestWorker {
+    /// Worker index, matching the `worker-N` span lane.
+    pub worker: usize,
+    /// Jobs this worker claimed and completed.
+    pub jobs: usize,
+    /// Seconds spent executing jobs.
+    pub busy_seconds: f64,
+    /// Seconds inside the worker loop not spent on a job.
+    pub idle_seconds: f64,
+    /// Median per-job duration (µs, log2-bucket upper bound).
+    pub job_us_p50: u64,
+    /// 90th-percentile per-job duration (µs, log2-bucket upper bound).
+    pub job_us_p90: u64,
+    /// Slowest job (µs, exact).
+    pub job_us_max: u64,
+}
+
+impl ManifestWorker {
+    /// Summarizes one worker's stats for persistence.
+    pub fn from_stats(s: &WorkerStats) -> Self {
+        ManifestWorker {
+            worker: s.worker,
+            jobs: s.jobs,
+            busy_seconds: s.busy_seconds,
+            idle_seconds: s.idle_seconds,
+            job_us_p50: s.job_us.percentile(0.50),
+            job_us_p90: s.job_us.percentile(0.90),
+            job_us_max: s.job_us.max(),
+        }
+    }
+}
 
 /// What produced one results artifact.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,11 +67,17 @@ pub struct RunManifest {
     /// Engine worker threads used (`0` when the binary ran serially or did
     /// no simulation sweep).
     pub jobs: usize,
+    /// Cores the host reported at run time ([`detect_parallelism`]) — the
+    /// context that makes `jobs` and the worker split interpretable.
+    pub host_cores: usize,
     /// End-to-end wall-clock seconds of the sweep (`0.0` when untimed).
     pub wall_seconds: f64,
     /// Per-phase wall-clock totals in seconds, summed across workers
     /// (e.g. `"generate"`, `"simulate"`). Empty when untimed.
     pub phases: BTreeMap<String, f64>,
+    /// Per-worker jobs/busy/idle breakdown of the engine run, ordered by
+    /// worker index. Empty when the binary ran serially.
+    pub worker_stats: Vec<ManifestWorker>,
 }
 
 impl RunManifest {
@@ -57,8 +100,10 @@ impl RunManifest {
                 .collect(),
             config,
             jobs: 0,
+            host_cores: detect_parallelism(),
             wall_seconds: 0.0,
             phases: BTreeMap::new(),
+            worker_stats: Vec::new(),
         }
     }
 
@@ -73,6 +118,13 @@ impl RunManifest {
             .iter()
             .map(|(name, d)| (name.clone(), d.as_secs_f64()))
             .collect();
+        self
+    }
+
+    /// Records the per-worker scheduling breakdown (builder-style,
+    /// normally from [`crate::EngineRun::worker_stats`]).
+    pub fn with_workers(mut self, stats: &[WorkerStats]) -> Self {
+        self.worker_stats = stats.iter().map(ManifestWorker::from_stats).collect();
         self
     }
 
@@ -115,6 +167,16 @@ mod tests {
         let mut profiler = Profiler::new();
         profiler.record("generate", std::time::Duration::from_millis(250));
         profiler.record("simulate", std::time::Duration::from_millis(750));
+        let mut job_us = cbws_telemetry::Log2Histogram::new();
+        job_us.record(900);
+        job_us.record(1100);
+        let stats = [WorkerStats {
+            worker: 0,
+            jobs: 2,
+            busy_seconds: 0.002,
+            idle_seconds: 0.001,
+            job_us,
+        }];
         let m = RunManifest::new(
             "fig12_mpki",
             Scale::Small,
@@ -122,19 +184,27 @@ mod tests {
             PrefetcherKind::ALL,
             SystemConfig::default(),
         )
-        .with_timing(4, 1.25, &profiler);
+        .with_timing(4, 1.25, &profiler)
+        .with_workers(&stats);
         let json = m.to_json();
         assert!(json.contains("\"binary\""));
         assert!(json.contains("fig12_mpki"));
         assert!(json.contains("CBWS+SMS"));
         assert!(json.contains("\"wall_seconds\""));
+        assert!(json.contains("\"host_cores\""));
+        assert!(json.contains("\"worker_stats\""));
         let back: RunManifest = serde_json::from_str(&json).unwrap();
         assert_eq!(back, m);
         assert_eq!(back.scale, "small");
         assert_eq!(back.workloads.len(), 2);
         assert_eq!(back.prefetchers.len(), 7);
         assert_eq!(back.jobs, 4);
+        assert!(back.host_cores >= 1);
         assert_eq!(back.phases.len(), 2);
         assert!((back.phases["simulate"] - 0.75).abs() < 1e-9);
+        assert_eq!(back.worker_stats.len(), 1);
+        assert_eq!(back.worker_stats[0].jobs, 2);
+        assert_eq!(back.worker_stats[0].job_us_max, 1100);
+        assert_eq!(back.worker_stats[0].job_us_p50, 1023);
     }
 }

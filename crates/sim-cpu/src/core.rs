@@ -335,6 +335,7 @@ impl Core {
         trace: &S,
         mem: &mut impl MemSystem,
     ) -> CpuStats {
+        let _span = self.telemetry.span("core.run");
         let cfg = self.cfg;
         let mut stats = CpuStats::default();
 

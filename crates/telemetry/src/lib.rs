@@ -40,6 +40,7 @@ mod event;
 mod metrics;
 mod profile;
 mod ring;
+mod span;
 
 pub mod log;
 
@@ -48,6 +49,7 @@ pub use log::Verbosity;
 pub use metrics::{Log2Histogram, Metric, MetricsRegistry};
 pub use profile::{Heartbeat, Profiler};
 pub use ring::EventRing;
+pub use span::{chrome_trace, SpanGuard, SpanRecord, Spans};
 
 use std::fmt;
 use std::io::{self, Write};
@@ -74,6 +76,10 @@ struct Inner {
 #[derive(Clone, Default)]
 pub struct Telemetry {
     inner: Option<Arc<Mutex<Inner>>>,
+    /// Span collector, orthogonal to the event/metrics sink: a disabled
+    /// `Telemetry` can still carry enabled spans (the engine keeps per-run
+    /// simulator telemetry off but wants `core.run` on the timeline).
+    spans: Spans,
 }
 
 impl fmt::Debug for Telemetry {
@@ -101,7 +107,10 @@ fn lock(m: &Arc<Mutex<Inner>>) -> MutexGuard<'_, Inner> {
 impl Telemetry {
     /// A no-op sink: every call returns immediately.
     pub fn disabled() -> Self {
-        Telemetry { inner: None }
+        Telemetry {
+            inner: None,
+            spans: Spans::disabled(),
+        }
     }
 
     /// An active sink with an event ring of `event_capacity`.
@@ -113,7 +122,28 @@ impl Telemetry {
                 now: 0,
                 heartbeat: Heartbeat::new(Duration::from_secs(1)),
             }))),
+            spans: Spans::disabled(),
         }
+    }
+
+    /// Attaches a span collector (builder-style). Spans ride along with
+    /// every clone of this handle, independent of whether events/metrics
+    /// are enabled.
+    pub fn with_spans(mut self, spans: Spans) -> Self {
+        self.spans = spans;
+        self
+    }
+
+    /// The attached span collector (disabled by default).
+    pub fn spans(&self) -> &Spans {
+        &self.spans
+    }
+
+    /// Opens a span on the attached collector; inert when no enabled
+    /// collector was attached. One branch on the disabled path.
+    #[inline]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.spans.begin(name)
     }
 
     /// An active sink with the default ring capacity.
@@ -353,5 +383,25 @@ mod tests {
         let mut buf = Vec::new();
         Telemetry::disabled().write_metrics_json(&mut buf).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap().trim(), "{}");
+    }
+
+    #[test]
+    fn spans_ride_along_with_clones() {
+        let spans = Spans::enabled();
+        spans.adopt_lane(spans.lane("worker-0"));
+        // A disabled event/metrics sink can still carry enabled spans.
+        let t = Telemetry::disabled().with_spans(spans.clone());
+        assert!(!t.is_enabled());
+        assert!(t.spans().is_enabled());
+        let u = t.clone();
+        {
+            let _g = u.span("core.run");
+        }
+        let rec = spans.records();
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec[0].name, "core.run");
+        // The default handle carries a disabled collector.
+        let _inert = Telemetry::disabled().span("ignored");
+        assert_eq!(spans.records().len(), 1);
     }
 }

@@ -99,6 +99,18 @@ impl Log2Histogram {
         self.buckets[index]
     }
 
+    /// Folds `other`'s samples into `self`, as if every sample had been
+    /// recorded here.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// The `p`-th percentile (`p` in `[0, 1]`), reported as the upper bound
     /// of the bucket containing that rank; 0 when empty.
     pub fn percentile(&self, p: f64) -> u64 {
@@ -381,6 +393,37 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // Empty: every percentile is 0, including the extremes.
+        let empty = Log2Histogram::new();
+        assert_eq!(empty.percentile(0.0), 0);
+        assert_eq!(empty.percentile(1.0), 0);
+
+        // Single bucket: all percentiles collapse to its upper bound.
+        let mut single = Log2Histogram::new();
+        for _ in 0..5 {
+            single.record(6); // bucket le = 7
+        }
+        for p in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(single.percentile(p), 7, "p = {p}");
+        }
+
+        // One sample of zero lands in the dedicated zero bucket.
+        let mut zero = Log2Histogram::new();
+        zero.record(0);
+        assert_eq!(zero.percentile(0.0), 0);
+        assert_eq!(zero.percentile(1.0), 0);
+
+        // Out-of-range p clamps rather than panicking or skewing ranks.
+        let mut h = Log2Histogram::new();
+        h.record(1);
+        h.record(1000);
+        assert_eq!(h.percentile(-0.5), h.percentile(0.0));
+        assert_eq!(h.percentile(1.5), h.percentile(1.0));
+        assert_eq!(h.percentile(1.0), 1023);
     }
 
     #[test]

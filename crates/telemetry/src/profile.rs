@@ -1,15 +1,24 @@
 //! Wall-clock phase timing and progress heartbeats for the runner.
 
+use crate::span::Spans;
 use std::time::{Duration, Instant};
 
 /// Accumulates named, non-overlapping wall-clock phases.
 ///
 /// `begin` implicitly closes any phase still open, so a runner can call it
 /// at each transition and `finish` once at the end.
+///
+/// With a span collector attached ([`Profiler::attach_spans`]), each
+/// `begin`/`end` pair additionally lands on the calling thread's timeline
+/// lane, so the existing `phase.*` boundaries show up in a Chrome trace
+/// without touching the call sites.
 #[derive(Debug, Clone)]
 pub struct Profiler {
     phases: Vec<(String, Duration)>,
     active: Option<(String, Instant)>,
+    spans: Spans,
+    /// Raw span index of the open phase, when spans are attached.
+    open_span: Option<usize>,
 }
 
 impl Default for Profiler {
@@ -24,17 +33,36 @@ impl Profiler {
         Profiler {
             phases: Vec::new(),
             active: None,
+            spans: Spans::disabled(),
+            open_span: None,
         }
+    }
+
+    /// Mirrors every subsequent `begin`/`end` phase as a span on `spans`
+    /// (the calling thread's lane).
+    pub fn attach_spans(&mut self, spans: Spans) {
+        self.spans = spans;
     }
 
     /// Starts a named phase, closing the previous one if still open.
     pub fn begin(&mut self, name: impl Into<String>) {
         self.end();
-        self.active = Some((name.into(), Instant::now()));
+        let name = name.into();
+        // Span names mirror the `phase.<name>.seconds` gauges; the format
+        // only runs when a collector is attached and enabled.
+        self.open_span = if self.spans.is_enabled() {
+            self.spans.begin_raw(&format!("phase.{name}"))
+        } else {
+            None
+        };
+        self.active = Some((name, Instant::now()));
     }
 
     /// Closes the open phase, if any, and returns its duration.
     pub fn end(&mut self) -> Option<Duration> {
+        if let Some(idx) = self.open_span.take() {
+            self.spans.end_raw(idx);
+        }
         let (name, started) = self.active.take()?;
         let elapsed = started.elapsed();
         // Repeated phases (e.g. one `simulate` per workload) accumulate.
@@ -203,6 +231,23 @@ mod tests {
         let mut p = Profiler::new();
         assert!(p.end().is_none());
         assert!(p.phases().is_empty());
+    }
+
+    #[test]
+    fn attached_spans_mirror_phases() {
+        let spans = Spans::enabled();
+        spans.adopt_lane(spans.lane("main"));
+        let mut p = Profiler::new();
+        p.attach_spans(spans.clone());
+        p.begin("static_tables");
+        p.begin("sweep"); // implicitly ends static_tables (and its span)
+        p.end();
+        let rec = spans.records();
+        let names: Vec<&str> = rec.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["phase.static_tables", "phase.sweep"]);
+        assert!(rec.iter().all(|r| r.dur_us.is_some()), "all spans closed");
+        // The phase totals are unaffected by the mirroring.
+        assert_eq!(p.phases().len(), 2);
     }
 
     #[test]

@@ -9,13 +9,13 @@
 //! regenerations, and CI runs skip DSL generation entirely and replay the
 //! file zero-copy through a memory map.
 //!
-//! # File format (version 1, little-endian)
+//! # File format (version 2, little-endian)
 //!
 //! | field | size | contents |
 //! |---|---|---|
 //! | magic | 8 | `b"CBWSTRCE"` |
-//! | format version | 4 | `u32`, currently 1 |
-//! | DSL hash | 8 | FNV-1a over the kernel/DSL sources compiled into this binary |
+//! | format version | 4 | `u32`, currently 2 |
+//! | workload hash | 8 | FNV-1a over the sources this workload's trace depends on ([`workload_hash`]) |
 //! | scale | 1 | 0 = tiny, 1 = small, 2 = full |
 //! | name length | 2 | `u16` |
 //! | name | var | workload name, UTF-8 |
@@ -26,21 +26,27 @@
 //! # Invalidation and fallback
 //!
 //! A file is only served when the magic, version, key (workload + scale),
-//! DSL hash, **and every column checksum** match. The DSL hash changes
-//! whenever any kernel or DSL source file changes, so editing a workload
-//! invalidates its stale traces automatically. Any mismatch — corruption,
-//! version skew, hash skew — is counted as `trace_store.invalidate`,
-//! reported with a `warn!`, and falls back to regeneration (which rewrites
-//! the file); it never panics and never changes simulation results.
+//! workload hash, **and every column checksum** match. The workload hash
+//! covers the DSL core plus the workload's own suite source file
+//! ([`workload_hash`]), so editing one suite's kernels invalidates only
+//! that suite's traces — the rest of the store stays warm. (Version 1
+//! hashed *all* kernel sources into every file, so any kernel edit nuked
+//! the whole store.) Any mismatch — corruption, version skew, hash skew —
+//! is counted as `trace_store.invalidate`, reported with a `warn!`, and
+//! falls back to regeneration (which rewrites the file); it never panics
+//! and never changes simulation results.
 //!
 //! # Telemetry
 //!
 //! `trace_store.hit` / `.miss` / `.write` / `.invalidate` counters, plus
 //! `trace_store.load_us` (time to map + verify + adopt a stored trace) and
-//! `trace_store.generate_us` (time to generate + pack on a miss).
+//! `trace_store.generate_us` (time to generate + pack on a miss). With a
+//! span collector attached ([`TraceStore::set_spans`]), each store access
+//! additionally emits `trace.load` / `trace.validate` / `trace.generate` /
+//! `trace.write` spans on the calling thread's timeline lane.
 
-use crate::{Scale, WorkloadSpec};
-use cbws_telemetry::{warn, Telemetry};
+use crate::{Scale, Suite, WorkloadSpec};
+use cbws_telemetry::{warn, Spans, Telemetry};
 use cbws_trace::PackedTrace;
 use std::collections::HashMap;
 use std::fs::File;
@@ -52,8 +58,9 @@ use std::time::Instant;
 /// Magic bytes opening every trace-store file.
 pub const MAGIC: &[u8; 8] = b"CBWSTRCE";
 
-/// Current file-format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current file-format version. Version 2 replaced the whole-binary DSL
+/// hash with the per-workload [`workload_hash`].
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Environment variable selecting the store directory.
 pub const DIR_ENV: &str = "CBWS_TRACE_STORE_DIR";
@@ -74,33 +81,72 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Hash of every source file that determines trace content (the kernels and
-/// the DSL), embedded at compile time. Stored traces carry this hash and are
-/// invalidated when it changes, so a stale store can never leak traces from
-/// an older generator into a newer binary.
-pub fn dsl_hash() -> u64 {
-    // Each file is framed with its name so content moving between files
-    // still changes the hash.
-    const SOURCES: &[(&str, &str)] = &[
-        ("lib.rs", include_str!("lib.rs")),
-        ("dsl.rs", include_str!("dsl.rs")),
-        ("kernels/mod.rs", include_str!("kernels/mod.rs")),
-        ("kernels/helpers.rs", include_str!("kernels/helpers.rs")),
-        ("kernels/linpack.rs", include_str!("kernels/linpack.rs")),
-        ("kernels/parboil.rs", include_str!("kernels/parboil.rs")),
-        ("kernels/parsec.rs", include_str!("kernels/parsec.rs")),
-        ("kernels/rodinia.rs", include_str!("kernels/rodinia.rs")),
-        ("kernels/spec.rs", include_str!("kernels/spec.rs")),
-        ("kernels/splash.rs", include_str!("kernels/splash.rs")),
-    ];
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for (name, body) in SOURCES {
-        for &b in name.as_bytes().iter().chain(&[0u8]).chain(body.as_bytes()) {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+/// Sources every workload's trace depends on: the DSL core and the kernel
+/// plumbing shared by all suites.
+const COMMON_SOURCES: &[(&str, &str)] = &[
+    ("lib.rs", include_str!("lib.rs")),
+    ("dsl.rs", include_str!("dsl.rs")),
+    ("kernels/mod.rs", include_str!("kernels/mod.rs")),
+    ("kernels/helpers.rs", include_str!("kernels/helpers.rs")),
+];
+
+/// The source file holding `suite`'s kernel definitions.
+fn suite_source(suite: Suite) -> (&'static str, &'static str) {
+    match suite {
+        Suite::Spec2006 => ("kernels/spec.rs", include_str!("kernels/spec.rs")),
+        Suite::Parboil => ("kernels/parboil.rs", include_str!("kernels/parboil.rs")),
+        Suite::Splash => ("kernels/splash.rs", include_str!("kernels/splash.rs")),
+        Suite::Parsec => ("kernels/parsec.rs", include_str!("kernels/parsec.rs")),
+        Suite::Rodinia => ("kernels/rodinia.rs", include_str!("kernels/rodinia.rs")),
+        Suite::Linpack => ("kernels/linpack.rs", include_str!("kernels/linpack.rs")),
+    }
+}
+
+/// Folds one source file into an FNV-1a state. The file is framed with its
+/// name (NUL-separated) so content moving between files still changes the
+/// hash.
+fn fnv_fold(mut h: u64, name: &str, body: &str) -> u64 {
+    for &b in name.as_bytes().iter().chain(&[0u8]).chain(body.as_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Hash of the sources `workload`'s trace depends on, embedded at compile
+/// time: the shared DSL core, the workload's own suite source file, and the
+/// workload name. Stored traces carry this hash and are invalidated when it
+/// changes — so editing `kernels/rodinia.rs` regenerates only the Rodinia
+/// traces while every other suite's files keep hitting. The per-suite hash
+/// states are folded once per process and cached.
+pub fn workload_hash(workload: &WorkloadSpec) -> u64 {
+    fn suite_state(suite: Suite) -> u64 {
+        const SUITES: [Suite; 6] = [
+            Suite::Spec2006,
+            Suite::Parboil,
+            Suite::Splash,
+            Suite::Parsec,
+            Suite::Rodinia,
+            Suite::Linpack,
+        ];
+        static STATES: OnceLock<[u64; 6]> = OnceLock::new();
+        let states = STATES.get_or_init(|| {
+            let mut common: u64 = 0xcbf2_9ce4_8422_2325;
+            for (name, body) in COMMON_SOURCES {
+                common = fnv_fold(common, name, body);
+            }
+            SUITES.map(|s| {
+                let (name, body) = suite_source(s);
+                fnv_fold(common, name, body)
+            })
+        });
+        let idx = SUITES
+            .iter()
+            .position(|&s| s == suite)
+            .expect("every suite is enumerated");
+        states[idx]
+    }
+    fnv_fold(suite_state(workload.suite), "workload", workload.name)
 }
 
 fn scale_code(scale: Scale) -> u8 {
@@ -204,7 +250,7 @@ enum LoadError {
     /// No file yet — a plain miss.
     Missing,
     /// The file exists but is invalid for this binary (corruption, version
-    /// skew, DSL-hash skew, wrong key). The reason is human-readable.
+    /// skew, workload-hash skew, wrong key). The reason is human-readable.
     Invalid(String),
 }
 
@@ -216,9 +262,10 @@ fn invalid<T>(reason: impl Into<String>) -> Result<T, LoadError> {
 /// backed by the (usually memory-mapped) file bytes.
 fn load_file(
     path: &Path,
-    want_dsl_hash: u64,
+    want_hash: u64,
     want_name: &str,
     want_scale: Scale,
+    spans: &Spans,
 ) -> Result<PackedTrace, LoadError> {
     let data = match read_file_shared(path) {
         Ok(d) => d,
@@ -248,10 +295,10 @@ fn load_file(
         ));
     }
     let file_hash = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
-    if file_hash != want_dsl_hash {
+    if file_hash != want_hash {
         return invalid(format!(
-            "DSL hash {file_hash:#018x} does not match this binary's {want_dsl_hash:#018x} \
-             (kernel sources changed)"
+            "workload hash {file_hash:#018x} does not match this binary's {want_hash:#018x} \
+             (this workload's sources changed)"
         ));
     }
     let scale = take(&mut at, 1)?[0];
@@ -273,6 +320,7 @@ fn load_file(
         Ok(p) => p,
         Err(e) => return invalid(format!("payload rejected: {e}")),
     };
+    let _validate = spans.begin("trace.validate");
     for ((column, col_bytes), &want) in packed.columns().iter().zip(&checksums) {
         let got = fnv1a(col_bytes);
         if got != want {
@@ -284,13 +332,13 @@ fn load_file(
     Ok(packed)
 }
 
-/// Serializes a packed trace into the version-1 file bytes.
-fn encode_file(dsl_hash: u64, name: &str, scale: Scale, packed: &PackedTrace) -> Vec<u8> {
+/// Serializes a packed trace into the version-2 file bytes.
+fn encode_file(hash: u64, name: &str, scale: Scale, packed: &PackedTrace) -> Vec<u8> {
     let payload = packed.payload();
     let mut out = Vec::with_capacity(64 + name.len() + payload.len());
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-    out.extend_from_slice(&dsl_hash.to_le_bytes());
+    out.extend_from_slice(&hash.to_le_bytes());
     out.push(scale_code(scale));
     out.extend_from_slice(&(name.len() as u16).to_le_bytes());
     out.extend_from_slice(name.as_bytes());
@@ -312,18 +360,23 @@ type Slot = Arc<OnceLock<Arc<PackedTrace>>>;
 /// reclaimable clean pages, so no eviction budget is needed).
 pub struct TraceStore {
     dir: PathBuf,
-    dsl_hash: u64,
+    /// XORed into every [`workload_hash`]; always 0 outside tests, which
+    /// use it to simulate a binary built from different sources.
+    hash_salt: u64,
     telemetry: Mutex<Telemetry>,
+    spans: Mutex<Spans>,
     map: Mutex<HashMap<(&'static str, Scale), Slot>>,
 }
 
 impl TraceStore {
-    /// A store over `dir` keyed by this binary's [`dsl_hash`].
+    /// A store over `dir` keyed by this binary's per-workload
+    /// [`workload_hash`].
     pub fn at(dir: impl Into<PathBuf>) -> TraceStore {
         TraceStore {
             dir: dir.into(),
-            dsl_hash: dsl_hash(),
+            hash_salt: 0,
             telemetry: Mutex::new(Telemetry::disabled()),
+            spans: Mutex::new(Spans::disabled()),
             map: Mutex::new(HashMap::new()),
         }
     }
@@ -338,11 +391,21 @@ impl TraceStore {
         *self.telemetry.lock().unwrap_or_else(|e| e.into_inner()) = telemetry;
     }
 
+    /// Routes the store's `trace.*` spans to `spans` (they appear on the
+    /// calling thread's lane, nested inside whatever span is open there).
+    pub fn set_spans(&self, spans: Spans) {
+        *self.spans.lock().unwrap_or_else(|e| e.into_inner()) = spans;
+    }
+
     fn telemetry(&self) -> Telemetry {
         self.telemetry
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clone()
+    }
+
+    fn spans(&self) -> Spans {
+        self.spans.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     fn path_for(&self, name: &str, scale: Scale) -> PathBuf {
@@ -372,9 +435,15 @@ impl TraceStore {
 
     fn load_or_generate(&self, workload: &'static WorkloadSpec, scale: Scale) -> PackedTrace {
         let telemetry = self.telemetry();
+        let spans = self.spans();
+        let hash = workload_hash(workload) ^ self.hash_salt;
         let path = self.path_for(workload.name, scale);
         let started = Instant::now();
-        match load_file(&path, self.dsl_hash, workload.name, scale) {
+        let load_span = spans.begin("trace.load");
+        load_span.attr("workload", workload.name);
+        let loaded = load_file(&path, hash, workload.name, scale, &spans);
+        drop(load_span);
+        match loaded {
             Ok(packed) => {
                 telemetry.count("trace_store.hit", 1);
                 telemetry.count("trace_store.load_us", started.elapsed().as_micros() as u64);
@@ -393,21 +462,23 @@ impl TraceStore {
             }
         }
         let started = Instant::now();
+        let gen_span = spans.begin("trace.generate");
+        gen_span.attr("workload", workload.name);
         let packed = PackedTrace::from_trace(&workload.generate(scale));
+        drop(gen_span);
         telemetry.count(
             "trace_store.generate_us",
             started.elapsed().as_micros() as u64,
         );
-        match self.write_atomic(
-            &path,
-            &encode_file(self.dsl_hash, workload.name, scale, &packed),
-        ) {
+        let write_span = spans.begin("trace.write");
+        match self.write_atomic(&path, &encode_file(hash, workload.name, scale, &packed)) {
             Ok(()) => telemetry.count("trace_store.write", 1),
             Err(e) => warn!(
                 "[trace-store] cannot write {}: {e}; continuing without persistence",
                 path.display()
             ),
         }
+        drop(write_span);
         packed
     }
 
@@ -510,8 +581,8 @@ mod tests {
     }
 
     #[test]
-    fn dsl_hash_mismatch_invalidates() {
-        let dir = scratch_dir("dslhash");
+    fn workload_hash_mismatch_invalidates() {
+        let dir = scratch_dir("wlhash");
         let w = by_name("histo-large").unwrap();
         {
             let store = TraceStore::at(&dir);
@@ -521,12 +592,42 @@ mod tests {
         // hash; simulate one.
         let telemetry = Telemetry::enabled_default();
         let mut skewed = TraceStore::at(&dir);
-        skewed.dsl_hash ^= 1;
+        skewed.hash_salt = 1;
         skewed.set_telemetry(telemetry.clone());
         let t = skewed.get(w, Scale::Tiny);
         assert_eq!(counter(&telemetry, "trace_store.invalidate"), 1);
         assert_eq!(counter(&telemetry, "trace_store.write"), 1);
         assert_eq!(t.to_trace(), w.generate(Scale::Tiny));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalidation_is_per_workload() {
+        let dir = scratch_dir("perworkload");
+        let a = by_name("stencil-default").unwrap();
+        let b = by_name("nw").unwrap();
+        assert_ne!(a.suite, b.suite, "test needs workloads from two suites");
+        let store = TraceStore::at(&dir);
+        store.get(a, Scale::Tiny);
+        store.get(b, Scale::Tiny);
+
+        // Corrupt only B's stored hash (bytes 12..20: after magic+version),
+        // simulating an edit to B's suite sources.
+        let path = store.path_for(b.name, Scale::Tiny);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[MAGIC.len() + 4] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let telemetry = Telemetry::enabled_default();
+        let store2 = TraceStore::at(&dir);
+        store2.set_telemetry(telemetry.clone());
+        store2.get(a, Scale::Tiny);
+        assert_eq!(counter(&telemetry, "trace_store.hit"), 1);
+        assert_eq!(counter(&telemetry, "trace_store.invalidate"), 0);
+        let t = store2.get(b, Scale::Tiny);
+        assert_eq!(counter(&telemetry, "trace_store.hit"), 1);
+        assert_eq!(counter(&telemetry, "trace_store.invalidate"), 1);
+        assert_eq!(t.to_trace(), b.generate(Scale::Tiny));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -582,8 +683,39 @@ mod tests {
     }
 
     #[test]
-    fn dsl_hash_is_stable_within_a_binary() {
-        assert_eq!(dsl_hash(), dsl_hash());
-        assert_ne!(dsl_hash(), 0);
+    fn workload_hash_is_stable_and_distinct() {
+        let a = by_name("stencil-default").unwrap();
+        let b = by_name("nw").unwrap();
+        let c = by_name("histo-large").unwrap();
+        assert_eq!(workload_hash(a), workload_hash(a));
+        assert_ne!(workload_hash(a), 0);
+        // Different suites hash apart, and so do different workloads of the
+        // same suite (the name is folded in).
+        assert_ne!(workload_hash(a), workload_hash(b));
+        assert_eq!(a.suite, c.suite);
+        assert_ne!(workload_hash(a), workload_hash(c));
+    }
+
+    #[test]
+    fn store_accesses_emit_spans() {
+        let dir = scratch_dir("spans");
+        let w = by_name("nw").unwrap();
+        let spans = Spans::enabled();
+        let store = TraceStore::at(&dir);
+        store.set_spans(spans.clone());
+        store.get(w, Scale::Tiny); // miss: load attempt, generate, write
+        store.drop_memory();
+        store.get(w, Scale::Tiny); // hit: load + validate
+        let records = spans.records();
+        let count = |name: &str| records.iter().filter(|r| r.name == name).count();
+        assert_eq!(count("trace.load"), 2);
+        assert_eq!(count("trace.generate"), 1);
+        assert_eq!(count("trace.write"), 1);
+        assert_eq!(count("trace.validate"), 1);
+        // The validate span nests inside the load span on the same lane.
+        let validate = records.iter().find(|r| r.name == "trace.validate").unwrap();
+        assert_eq!(validate.depth, 1);
+        assert!(records.iter().all(|r| r.dur_us.is_some()));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
