@@ -1,0 +1,223 @@
+//! Lane-decode throughput benchmark: times the packed trace's varint
+//! operand lanes through the scalar reference decoder, the batched
+//! word-at-a-time decoder, and the density-routed mix the cursor actually
+//! runs (batched on ~1 B/entry lanes, scalar on wider ones), plus the
+//! full cursor drain (tag dispatch + lane decode + event assembly)
+//! against plain AoS slice iteration. Writes the measurements to
+//! `BENCH_decode.json` at the repository root.
+//!
+//! ```text
+//! cargo bench -p cbws-bench --bench decode_throughput -- \
+//!     [--scale tiny|small|full] [--iters K]
+//! ```
+//!
+//! Exits non-zero if the two decoders disagree on any lane — the batched
+//! kernel must be indistinguishable from the scalar one.
+
+use cbws_trace::{varint, EventCursor, EventSource, PackedTrace, Trace};
+use cbws_workloads::{by_name, Scale, WorkloadSpec, ALL};
+use std::time::Instant;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Best-of-`iters` wall time of `f`, in seconds.
+fn best_of(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The four varint operand lanes of a packed trace, with entry counts.
+fn operand_lanes(packed: &PackedTrace) -> Vec<(&'static str, &[u8], usize)> {
+    packed
+        .columns()
+        .into_iter()
+        .filter(|(name, _)| matches!(*name, "pcs" | "addr_deltas" | "alu_counts" | "block_ids"))
+        .map(|(name, lane)| {
+            let entries = varint::count_entries(lane)
+                .unwrap_or_else(|| panic!("column `{name}` failed validation"));
+            (name, lane, entries)
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = match arg_value(&args, "--scale").as_deref() {
+        Some("small") => Scale::Small,
+        Some("full") => Scale::Full,
+        _ => Scale::Tiny,
+    };
+    let scale_name = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    };
+    let iters: usize = arg_value(&args, "--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let workloads: Vec<&'static WorkloadSpec> = if args.iter().any(|a| a == "--all") {
+        ALL.iter().collect()
+    } else {
+        ["stencil-default", "histo-large", "mxm-linpack"]
+            .iter()
+            .map(|n| by_name(n).expect("registered"))
+            .collect()
+    };
+    eprintln!(
+        "[decode_throughput] scale = {scale_name}, {} workloads, best of {iters}",
+        workloads.len()
+    );
+
+    let traces: Vec<Trace> = workloads.iter().map(|w| w.generate(scale)).collect();
+    let packed: Vec<PackedTrace> = traces.iter().map(PackedTrace::from_trace).collect();
+    let total_events: usize = packed.iter().map(PackedTrace::event_count).sum();
+    let lanes: Vec<Vec<(&'static str, &[u8], usize)>> = packed.iter().map(operand_lanes).collect();
+    let total_entries: usize = lanes
+        .iter()
+        .flat_map(|ls| ls.iter().map(|&(_, _, n)| n))
+        .sum();
+    let max_entries = lanes
+        .iter()
+        .flat_map(|ls| ls.iter().map(|&(_, _, n)| n))
+        .max()
+        .unwrap_or(0);
+    for name in ["pcs", "addr_deltas", "alu_counts", "block_ids"] {
+        let (bytes, entries): (usize, usize) = lanes
+            .iter()
+            .flat_map(|ls| ls.iter().filter(|&&(n, _, _)| n == name))
+            .fold((0, 0), |(b, e), &(_, lane, n)| (b + lane.len(), e + n));
+        eprintln!(
+            "[decode_throughput]   lane {name}: {entries} entries, {bytes} bytes \
+             ({:.2} B/entry)",
+            bytes as f64 / entries.max(1) as f64
+        );
+    }
+    let mut out = vec![0u64; max_entries];
+    let mut check = vec![0u64; max_entries];
+
+    // The kernels must agree entry for entry before timing means anything.
+    for ls in &lanes {
+        for &(_, lane, n) in ls {
+            let (mut a, mut b) = (lane, lane);
+            varint::decode_batch_scalar(&mut a, &mut check[..n]);
+            varint::decode_batch(&mut b, &mut out[..n]);
+            assert!(a.is_empty() && b.is_empty(), "lane not fully consumed");
+            assert_eq!(check[..n], out[..n], "batched decode diverged from scalar");
+        }
+    }
+    eprintln!("[decode_throughput] determinism: batched lanes identical to scalar");
+
+    let scalar_secs = best_of(iters, || {
+        for ls in &lanes {
+            for &(_, lane, n) in ls {
+                let mut rest = lane;
+                varint::decode_batch_scalar(&mut rest, &mut out[..n]);
+                std::hint::black_box(&out[..n]);
+            }
+        }
+    });
+    let batched_secs = best_of(iters, || {
+        for ls in &lanes {
+            for &(_, lane, n) in ls {
+                let mut rest = lane;
+                varint::decode_batch(&mut rest, &mut out[..n]);
+                std::hint::black_box(&out[..n]);
+            }
+        }
+    });
+    // What the cursor actually runs: the word-at-a-time kernel on dense
+    // (~1 B/entry) lanes where its 8-wide fast path fires every probe,
+    // the scalar loop on wider lanes (same 9/8 threshold as
+    // `PackedTrace::cursor`).
+    let routed_secs = best_of(iters, || {
+        for ls in &lanes {
+            for &(_, lane, n) in ls {
+                let mut rest = lane;
+                if lane.len() * 8 <= n * 9 {
+                    varint::decode_batch(&mut rest, &mut out[..n]);
+                } else {
+                    varint::decode_batch_scalar(&mut rest, &mut out[..n]);
+                }
+                std::hint::black_box(&out[..n]);
+            }
+        }
+    });
+    eprintln!(
+        "[decode_throughput] lanes: scalar {scalar_secs:.4} s, batched {batched_secs:.4} s, \
+         routed {routed_secs:.4} s ({:.0} M entries/s routed)",
+        total_entries as f64 / routed_secs / 1e6
+    );
+
+    // Full cursor drain through the replay loop's chunked interface: tag
+    // dispatch + lane decode + event assembly + read-ahead buffer, i.e.
+    // what the packed replay pays per event before simulation work.
+    let drain_secs = best_of(iters, || {
+        for p in &packed {
+            let mut n = 0usize;
+            let mut cursor = EventSource::cursor(p);
+            while let Some(chunk) = cursor.next_batch() {
+                for &ev in chunk {
+                    std::hint::black_box(&ev);
+                    n += 1;
+                }
+            }
+            assert_eq!(n, p.event_count());
+        }
+    });
+    // The AoS equivalent — plain slice iteration over the materialized
+    // events — bounds what the packed drain competes against.
+    let aos_scan_secs = best_of(iters, || {
+        for t in &traces {
+            let mut n = 0usize;
+            let mut cursor = EventSource::cursor(t);
+            while let Some(chunk) = cursor.next_batch() {
+                for &ev in chunk {
+                    std::hint::black_box(&ev);
+                    n += 1;
+                }
+            }
+            assert_eq!(n, t.len());
+        }
+    });
+    eprintln!(
+        "[decode_throughput] drain: packed {drain_secs:.4} s ({:.0} M events/s), \
+         aos scan {aos_scan_secs:.4} s ({:.0} M events/s)",
+        total_events as f64 / drain_secs / 1e6,
+        total_events as f64 / aos_scan_secs / 1e6
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"decode_throughput\",\n  \"scale\": \"{scale_name}\",\n  \
+         \"workloads\": {},\n  \"iterations\": {iters},\n  \
+         \"events\": {total_events},\n  \"lane_entries\": {total_entries},\n  \
+         \"decode_scalar_seconds\": {scalar_secs:.6},\n  \
+         \"decode_batched_seconds\": {batched_secs:.6},\n  \
+         \"decode_routed_seconds\": {routed_secs:.6},\n  \
+         \"decode_routed_speedup\": {:.3},\n  \
+         \"decode_mentries_per_sec\": {:.1},\n  \
+         \"drain_seconds\": {drain_secs:.6},\n  \
+         \"drain_mevents_per_sec\": {:.1},\n  \
+         \"aos_scan_seconds\": {aos_scan_secs:.6},\n  \"identical_lanes\": true\n}}\n",
+        workloads.len(),
+        scalar_secs / routed_secs,
+        total_entries as f64 / routed_secs / 1e6,
+        total_events as f64 / drain_secs / 1e6
+    );
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_decode.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[decode_throughput] wrote {}", path.display()),
+        Err(e) => eprintln!("[decode_throughput] cannot write {}: {e}", path.display()),
+    }
+    print!("{json}");
+}

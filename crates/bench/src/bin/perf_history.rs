@@ -7,18 +7,22 @@
 //! perf-history check  [--dir results/perf-history] [--k 3.0] [--warn-only]
 //! ```
 //!
-//! `record` appends each `BENCH_*.json` snapshot (default: `BENCH_sweep.json`
-//! and `BENCH_trace.json` at the repository root) to
+//! `record` appends each `BENCH_*.json` snapshot (default: `BENCH_sweep.json`,
+//! `BENCH_trace.json`, and `BENCH_decode.json` at the repository root) to
 //! `results/perf-history/<bench>.jsonl`, stamped with the current git
 //! revision and timestamp. `trends` prints the rolling mean/stddev of every
 //! metric against the latest run. `check` exits non-zero when a hard-gated
 //! wall-clock metric (see `perf_history::HARD_METRICS`) regresses beyond
-//! `k` stddevs of its prior runs; `--warn-only` downgrades failures to
+//! `k` stddevs of its prior runs, or when an absolute gate on the latest
+//! record fails (`replay_speedup >= 1.0`; single-worker
+//! `engine_warm_seconds <= 1.02 x serial_seconds` — see
+//! `perf_history::check_gates`); `--warn-only` downgrades failures to
 //! warnings for hosts whose timings are known-noisy (e.g. single-core CI
 //! runners). `--check` is accepted as an alias for the `check` subcommand.
 
 use cbws_bench::perf_history::{
-    self, append, benches_in, check, git_rev, load, trends, unix_time_now, PerfRecord, DEFAULT_K,
+    self, append, benches_in, check, check_gates, git_rev, load, trends, unix_time_now, PerfRecord,
+    DEFAULT_K,
 };
 use std::path::{Path, PathBuf};
 
@@ -78,7 +82,7 @@ fn main() {
     match mode.unwrap_or_else(|| fail("missing subcommand")) {
         "record" => {
             if files.is_empty() {
-                for name in ["BENCH_sweep.json", "BENCH_trace.json"] {
+                for name in ["BENCH_sweep.json", "BENCH_trace.json", "BENCH_decode.json"] {
                     let p = repo_root().join(name);
                     if p.exists() {
                         files.push(p);
@@ -144,8 +148,19 @@ fn main() {
                     r.trend.delta_fraction() * 100.0
                 );
             }
-            if found.is_empty() {
-                println!("[perf-history] check passed: no {k}-sigma regressions");
+            let gates = check_gates(&dir).unwrap_or_else(|e| fail(&e));
+            for g in &gates {
+                let kind = if warn_only { "warn" } else { "FAIL" };
+                if !warn_only {
+                    hard_failures += 1;
+                }
+                println!("[perf-history] {kind}: {} gate: {}", g.bench, g.message);
+            }
+            if found.is_empty() && gates.is_empty() {
+                println!(
+                    "[perf-history] check passed: no {k}-sigma regressions, \
+                     absolute gates hold"
+                );
             }
             if hard_failures > 0 {
                 std::process::exit(1);

@@ -26,6 +26,16 @@
 //! the least noisy of the recorded clocks (no DSL generation, no file
 //! writes).
 //!
+//! On top of the rolling gate, [`check_gates`] pins two absolute
+//! invariants on the *latest* record regardless of history: replaying
+//! straight from the stored packed trace must stay at least as fast as
+//! materializing the AoS vector and replaying that
+//! (`replay_speedup >=` [`REPLAY_SPEEDUP_FLOOR`]), and a single-worker
+//! engine sweep must stay within
+//! [`SINGLE_WORKER_OVERHEAD_CEILING`]` * serial_seconds` — the batched
+//! lane decoder and the engine fast path established those bounds, and a
+//! ratio gate holds across hosts where a wall-clock mean would not.
+//!
 //! The driver is the `perf-history` binary; see its module docs for the
 //! CLI. The generated book's "Performance trends" page renders the same
 //! history via [`trends`].
@@ -48,6 +58,24 @@ pub const HARD_METRICS: &[&str] = &["engine_warm_seconds"];
 
 /// Minimum prior runs before a metric is gated at all.
 pub const MIN_HISTORY: usize = 3;
+
+/// Floor on the `trace_replay` bench's `replay_speedup`
+/// (materialize-then-replay AoS seconds / direct packed replay seconds).
+/// Traces live packed in the store, so the engine's choice is direct
+/// cursor replay versus decoding to a `Vec<TraceEvent>` first; if the
+/// cursor ever loses that end-to-end race, direct packed replay is the
+/// wrong default and this gate says so. (The pure replay-kernel ratio
+/// with both representations pre-materialized is published alongside as
+/// `replay_kernel_ratio`, ungated: slice intake is nearly free, so it
+/// sits a little under 1.0 by the cost of real decode work.)
+pub const REPLAY_SPEEDUP_FLOOR: f64 = 1.0;
+
+/// Ceiling on `engine_warm_seconds / serial_seconds` when the recorded
+/// sweep ran with one worker: the engine's single-worker fast path bounds
+/// scheduler overhead at 2% of the serial loop. Multi-worker records skip
+/// this gate — their ratio measures parallel speedup, which is
+/// host-dependent.
+pub const SINGLE_WORKER_OVERHEAD_CEILING: f64 = 1.02;
 
 /// One recorded benchmark run: the numeric metrics of a `BENCH_*.json`
 /// snapshot plus the provenance that makes the line auditable.
@@ -274,6 +302,67 @@ pub fn check(dir: &Path, k: f64) -> Result<Vec<Regression>, String> {
     Ok(out)
 }
 
+/// One absolute-gate violation found by [`check_gates`]. Absolute gates
+/// are always hard: they pin invariants an optimization established, so a
+/// miss means the optimization stopped working, not that the host was
+/// slow that day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateViolation {
+    /// The benchmark whose latest record violated the gate.
+    pub bench: String,
+    /// Human-readable statement of the violated bound, with values.
+    pub message: String,
+}
+
+/// Applies the absolute gates to the **latest** record of each history in
+/// `dir` (no prior runs needed, unlike [`check`]):
+///
+/// - `trace_replay`: `replay_speedup >=` [`REPLAY_SPEEDUP_FLOOR`].
+/// - `sweep_e2e` recorded at `workers == 1`:
+///   `engine_warm_seconds <=` [`SINGLE_WORKER_OVERHEAD_CEILING`]
+///   `* serial_seconds`.
+///
+/// Records missing the gated metrics are skipped — the gates constrain
+/// benchmarks that publish them, they don't require every bench to.
+pub fn check_gates(dir: &Path) -> Result<Vec<GateViolation>, String> {
+    let mut out = Vec::new();
+    for bench in benches_in(dir) {
+        let history = load(dir, &bench)?;
+        let Some(latest) = history.last() else {
+            continue;
+        };
+        let metric = |name: &str| latest.metrics.get(name).copied();
+        if let Some(speedup) = metric("replay_speedup") {
+            if speedup < REPLAY_SPEEDUP_FLOOR {
+                out.push(GateViolation {
+                    bench: bench.clone(),
+                    message: format!(
+                        "replay_speedup {speedup:.3} < floor {REPLAY_SPEEDUP_FLOOR} \
+                         (direct packed replay slower than materialize-then-replay AoS)"
+                    ),
+                });
+            }
+        }
+        if let (Some(workers), Some(warm), Some(serial)) = (
+            metric("workers"),
+            metric("engine_warm_seconds"),
+            metric("serial_seconds"),
+        ) {
+            if workers == 1.0 && serial > 0.0 && warm > SINGLE_WORKER_OVERHEAD_CEILING * serial {
+                out.push(GateViolation {
+                    bench: bench.clone(),
+                    message: format!(
+                        "engine_warm_seconds {warm:.4} > {SINGLE_WORKER_OVERHEAD_CEILING} x \
+                         serial_seconds {serial:.4} at workers=1 \
+                         (single-worker fast path overhead above 2%)"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// `git rev-parse --short HEAD` of the working tree containing `dir`, or
 /// `"unknown"` when git is unavailable (history stays appendable without
 /// provenance rather than failing the run).
@@ -399,6 +488,74 @@ mod tests {
         assert_eq!(found.len(), 1, "{found:?}");
         assert_eq!(found[0].trend.metric, "engine_warm_seconds");
         assert!(found[0].hard);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn replay_record(speedup: f64) -> PerfRecord {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("replay_speedup".into(), speedup);
+        metrics.insert("replay_packed_seconds".into(), 0.02 / speedup);
+        PerfRecord {
+            bench: "trace_replay".into(),
+            git_rev: "abc1234".into(),
+            cores: 1,
+            unix_time: 1_700_000_000,
+            scale: "small".into(),
+            metrics,
+        }
+    }
+
+    fn sweep_record(workers: f64, warm: f64, serial: f64) -> PerfRecord {
+        let mut r = record("sweep_e2e", warm, serial);
+        r.metrics.insert("workers".into(), workers);
+        r
+    }
+
+    #[test]
+    fn replay_speedup_floor_gates_only_the_latest_record() {
+        let dir = std::env::temp_dir().join(format!("cbws-gate-replay-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // An old below-floor record followed by a passing one: clean.
+        append(&dir, &replay_record(0.89)).unwrap();
+        append(&dir, &replay_record(1.12)).unwrap();
+        assert!(check_gates(&dir).unwrap().is_empty());
+        // A new below-floor record trips the gate with no history needed.
+        append(&dir, &replay_record(0.97)).unwrap();
+        let found = check_gates(&dir).unwrap();
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].bench, "trace_replay");
+        assert!(found[0].message.contains("replay_speedup 0.970"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_worker_overhead_ceiling_skips_parallel_sweeps() {
+        let dir = std::env::temp_dir().join(format!("cbws-gate-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Within 2% of serial at one worker: clean.
+        append(&dir, &sweep_record(1.0, 1.01, 1.0)).unwrap();
+        assert!(check_gates(&dir).unwrap().is_empty());
+        // 5% over at one worker: violation.
+        append(&dir, &sweep_record(1.0, 1.05, 1.0)).unwrap();
+        let found = check_gates(&dir).unwrap();
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("workers=1"));
+        // Same ratio at four workers measures parallel speedup, not fast
+        // path overhead: skipped.
+        append(&dir, &sweep_record(4.0, 1.05, 1.0)).unwrap();
+        assert!(check_gates(&dir).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gates_skip_benches_without_the_gated_metrics() {
+        let dir = std::env::temp_dir().join(format!("cbws-gate-none-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        append(&dir, &record("decode_throughput", 0.5, 1.0)).unwrap();
+        // `record` has engine_warm_seconds/serial_seconds but no `workers`
+        // metric, so the ratio gate cannot apply; neither can the replay
+        // floor. Empty dirs are clean too.
+        assert!(check_gates(&dir).unwrap().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -264,12 +264,12 @@ fn trace_store() -> String {
          engine and the figure regenerators load these files (mmap where \
          available) and replay them through a cursor without materializing \
          a `Vec<TraceEvent>`.\n\n\
-         ## File format (version 2)\n\n\
+         ## File format (version 3)\n\n\
          All integers are little-endian. One file per `(workload, scale)`, \
          named `<workload>-<scale>.cbwstrace`.\n\n\
          | field | size | meaning |\n|---|---|---|\n\
          | magic | 8 | `CBWSTRCE` |\n\
-         | version | 4 | format version (currently 2) |\n\
+         | version | 4 | format version (currently 3) |\n\
          | workload_hash | 8 | FNV-1a hash of the DSL sources that define \
          *this* workload (shared kernels + its suite's file + its name) |\n\
          | scale | 1 | 0 = tiny, 1 = small, 2 = full |\n\
@@ -278,6 +278,20 @@ fn trace_store() -> String {
          tags, pcs, addr_deltas, alu_counts, block_ids) |\n\
          | payload_len | 8 | byte length of the packed payload |\n\
          | payload | payload_len | the `PackedTrace` columns |\n\n\
+         The payload is a 9-word header (event/lane entry counts and lane \
+         byte extents) followed by the tag lane (one byte per event: \
+         variant + store/dep/taken flags) and four LEB128 varint operand \
+         lanes: PC deltas (zigzag, against the previous PC *of the same \
+         event variant*), address deltas (zigzag), ALU run lengths, and \
+         block ids. Version 3 introduced the per-variant PC prediction — \
+         loop back-edge branch PCs live in a different address region than \
+         body PCs, and a single global predictor ping-ponged by megabytes \
+         every iteration — which shrank the pcs lane from ~2.3 to \
+         ~1.5 B/entry. The cursor decodes lanes in 256-event batches into \
+         flat scratch columns, routing each lane to a word-at-a-time or \
+         scalar varint kernel by its bytes-per-entry (see \
+         `cbws_trace::varint`); `BENCH_decode.json` tracks the decode \
+         throughput.\n\n\
          ## Invalidation\n\n\
          A file is rejected — with a `warn!` and transparent regeneration, \
          never a panic — when the magic or version differs, the \
@@ -287,7 +301,9 @@ fn trace_store() -> String {
          binary, so any kernel edit invalidated every stored trace; version \
          2 hashes per workload (the shared kernel helpers, the one suite \
          source file the workload lives in, and its name), so editing one \
-         suite regenerates only that suite's traces. Writes are atomic \
+         suite regenerates only that suite's traces; version 3 changed the \
+         PC lane encoding, so older stores regenerate wholesale on first \
+         use. Writes are atomic \
          (temp file + rename), so a crashed run cannot leave a torn file \
          that poisons the next one.\n\n\
          ## Telemetry\n\n\
@@ -367,7 +383,11 @@ fn perf_trends(root: &Path) -> Result<String, String> {
          `perf-history check` fails CI when a **hard-gated** metric ({}) \
          exceeds the prior mean by 3 stddevs (with a 2%-of-mean noise \
          floor); other `*_seconds` metrics only warn. Gating starts once a \
-         metric has {} prior runs.\n",
+         metric has {} prior runs. Two absolute gates apply to the latest \
+         record regardless of history: `replay_speedup >= 1.0` (direct \
+         packed replay must beat materialize-then-replay AoS) and \
+         `engine_warm_seconds <= 1.02 x serial_seconds` on single-worker \
+         sweep records (the engine fast path's overhead bound).\n",
         pages::GENERATED_BANNER,
         HARD_METRICS.join(", "),
         MIN_HISTORY

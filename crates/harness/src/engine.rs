@@ -26,6 +26,14 @@
 //! simulator replays the packed trace directly through its cursor — no
 //! `Vec<TraceEvent>` is materialized.
 //!
+//! Single-worker runs take a dedicated fast path: when the effective
+//! worker count is 1 the jobs run inline on the calling thread with one
+//! simulator and one in-order records buffer — no thread spawn, no shared
+//! mutexes, no per-job queue-depth gauge, no merge sort — so engine
+//! `--jobs 1` tracks the serial sweep within the perf-history gate's 2%
+//! (`engine_warm_seconds` vs `serial_seconds` in BENCH_sweep.json). Jobs
+//! on that path carry a `fast_path=true` span attribute.
+//!
 //! Telemetry: the engine records `engine.*` metrics into its configured
 //! sink — `engine.workers`, `engine.jobs.total`, `engine.jobs.completed`,
 //! `engine.queue.depth`, `engine.jobs_per_sec`, `engine.utilization`,
@@ -214,6 +222,10 @@ impl Engine {
         telemetry.set_gauge("engine.jobs.total", job_count as f64);
         telemetry.set_gauge("engine.queue.depth", job_count as f64);
 
+        if workers == 1 {
+            return self.run_single(scale, workloads, kinds);
+        }
+
         let next = AtomicUsize::new(0);
         let completed = AtomicUsize::new(0);
         // Done/total progress lines under `--progress`, shared across
@@ -352,6 +364,116 @@ impl Engine {
         run.profiler.export(telemetry);
         run
     }
+
+    /// Dedicated single-worker fast path: every job runs inline on the
+    /// calling thread, with one [`Simulator`], one in-order records
+    /// buffer, and one scratch arena reused across jobs. Relative to the
+    /// threaded path this drops the thread spawn/join, the shared-state
+    /// mutexes, the per-job `engine.queue.depth` gauge write, and the
+    /// index-sort merge — the fixed overheads that made engine `--jobs 1`
+    /// measurably slower than the serial sweep. Records, worker stats,
+    /// phases, and `engine.*` metrics keep the exact shape of a one-worker
+    /// threaded run; job spans additionally carry `fast_path=true` so
+    /// Perfetto timelines distinguish the two paths.
+    fn run_single(
+        &self,
+        scale: Scale,
+        workloads: &[&'static WorkloadSpec],
+        kinds: &[PrefetcherKind],
+    ) -> EngineRun {
+        let job_count = workloads.len() * kinds.len();
+        let telemetry = &self.cfg.telemetry;
+        let spans = &self.cfg.spans;
+        let engine_span = spans.begin("engine.run");
+        engine_span
+            .attr("jobs", job_count)
+            .attr("workers", 1)
+            .attr("fast_path", true);
+        let start = Instant::now();
+        // Run under the `worker-0` lane so timelines look the same as a
+        // one-worker threaded run, then restore the caller's lane.
+        let caller_lane = spans.current_lane();
+        let lane = spans.lane("worker-0");
+        spans.adopt_lane(lane);
+        let sim = Simulator::with_telemetry(
+            self.cfg.system,
+            Telemetry::disabled().with_spans(spans.clone()),
+        );
+        let mut records: Vec<RunRecord> = Vec::with_capacity(job_count);
+        let mut prof = Profiler::new();
+        let mut stats = WorkerStats {
+            worker: 0,
+            jobs: 0,
+            busy_seconds: 0.0,
+            idle_seconds: 0.0,
+            job_us: Log2Histogram::new(),
+        };
+        let mut heartbeat = Heartbeat::new(Duration::from_secs(1));
+        let mut i = 0usize;
+        for &w in workloads {
+            for &kind in kinds {
+                let job_span = if spans.is_enabled() {
+                    let g = spans.begin(&format!("{}/{}", w.name, kind.name()));
+                    g.attr("workload", w.name)
+                        .attr("prefetcher", kind.name())
+                        .attr("job", i)
+                        .attr("fast_path", true);
+                    Some(g)
+                } else {
+                    None
+                };
+                let job_start = Instant::now();
+                let gen_span = spans.begin("generate");
+                let trace = trace_store::shared().get(w, scale);
+                drop(gen_span);
+                prof.record("generate", job_start.elapsed());
+                let sim_start = Instant::now();
+                let record = sim.run(w.name, w.group == Group::MemoryIntensive, &*trace, kind);
+                prof.record("simulate", sim_start.elapsed());
+                drop(job_span);
+                let job_elapsed = job_start.elapsed();
+                stats.jobs += 1;
+                stats.busy_seconds += job_elapsed.as_secs_f64();
+                stats.job_us.record(job_elapsed.as_micros() as u64);
+                records.push(record);
+                telemetry.count("engine.jobs.completed", 1);
+                telemetry.observe("engine.job.us", job_elapsed.as_micros() as u64);
+                i += 1;
+                if log::level() >= Verbosity::Verbose {
+                    if let Some(msg) = heartbeat.tick(i as u64, job_count as u64) {
+                        detail!("[engine] {msg}");
+                    }
+                }
+            }
+        }
+        spans.adopt_lane(caller_lane);
+        let wall_seconds = start.elapsed().as_secs_f64();
+        drop(engine_span);
+        telemetry.set_gauge("engine.queue.depth", 0.0);
+        stats.idle_seconds = (wall_seconds - stats.busy_seconds).max(0.0);
+        let utilization = if wall_seconds > 0.0 {
+            (stats.busy_seconds / wall_seconds).min(1.0)
+        } else {
+            0.0
+        };
+        telemetry.set_gauge("engine.worker.0.jobs", stats.jobs as f64);
+        telemetry.set_gauge("engine.worker.0.busy_seconds", stats.busy_seconds);
+        telemetry.set_gauge("engine.worker.0.idle_seconds", stats.idle_seconds);
+        let run = EngineRun {
+            records,
+            workers: 1,
+            job_count,
+            wall_seconds,
+            profiler: prof,
+            utilization,
+            worker_stats: vec![stats],
+        };
+        telemetry.set_gauge("engine.wall_seconds", wall_seconds);
+        telemetry.set_gauge("engine.jobs_per_sec", run.jobs_per_sec());
+        telemetry.set_gauge("engine.utilization", utilization);
+        run.profiler.export(telemetry);
+        run
+    }
 }
 
 #[cfg(test)]
@@ -471,6 +593,52 @@ mod tests {
                 assert!(s.busy_seconds > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn single_worker_fast_path_tags_spans_and_restores_lane() {
+        let spans = Spans::enabled();
+        let main_lane = spans.lane("main");
+        spans.adopt_lane(main_lane);
+        let telemetry = Telemetry::enabled(64);
+        let workloads = picks(&["stencil-default", "nw"]);
+        let run = Engine::new(EngineConfig {
+            jobs: 1,
+            spans: spans.clone(),
+            telemetry: telemetry.clone(),
+            ..EngineConfig::default()
+        })
+        .run(
+            Scale::Tiny,
+            &workloads,
+            &[PrefetcherKind::None, PrefetcherKind::Sms],
+        );
+        assert_eq!(run.workers, 1);
+        assert_eq!(run.worker_stats.len(), 1);
+        assert_eq!(run.worker_stats[0].jobs, 4);
+        assert_eq!(run.worker_stats[0].job_us.count(), 4);
+        assert!(run.utilization > 0.0 && run.utilization <= 1.0);
+        // Metrics keep the threaded shape.
+        let counter = |p: &str| telemetry.with_metrics(|r| r.counter(p)).unwrap().unwrap();
+        assert_eq!(counter("engine.jobs.completed"), 4);
+        // The caller thread is bound back to its original lane.
+        assert_eq!(spans.current_lane(), main_lane);
+        // Job spans run on the worker-0 lane and are tagged fast_path.
+        let lanes = spans.lanes();
+        let w0 = lanes.iter().position(|l| l == "worker-0").unwrap();
+        let records = spans.records();
+        let jobs: Vec<_> = records.iter().filter(|r| r.name.contains('/')).collect();
+        assert_eq!(jobs.len(), 4, "{records:?}");
+        for job in &jobs {
+            assert_eq!(job.lane, w0, "{job:?}");
+            assert!(
+                job.attrs
+                    .iter()
+                    .any(|(k, v)| k == "fast_path" && v == "true"),
+                "{job:?}"
+            );
+        }
+        assert!(records.iter().all(|r| r.dur_us.is_some()));
     }
 
     #[test]

@@ -60,9 +60,11 @@ impl<P: Prefetcher> PrefetchedMemory<P> {
     }
 
     fn issue(&mut self, now: u64) {
-        for line in self.scratch.drain(..) {
-            self.hierarchy.enqueue_prefetch(now, line);
-        }
+        // One batched call per candidate column: the hierarchy advances
+        // once and resolves every line's L2 residency in a single pass
+        // over the tag lanes (`Cache::probe_batch`) instead of per line.
+        self.hierarchy.enqueue_prefetch_batch(now, &self.scratch);
+        self.scratch.clear();
     }
 }
 

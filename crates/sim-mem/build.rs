@@ -1,0 +1,20 @@
+//! Build-time kernel selection for the wide tag-probe path.
+//!
+//! The `simd` cargo feature opts in to the 4-wide unrolled tag compare in
+//! `cache.rs`; this script additionally checks that the target has native
+//! 64-bit words, so the u64x4-style scan only compiles where the backend
+//! can keep a whole chunk in vector registers, and everything else falls
+//! back to the scalar scan. The selected kernel is exposed to the crate
+//! as the `cbws_wide_probe` cfg; both kernels return identical results
+//! (property-tested in `tests/probe_properties.rs`), so the choice never
+//! affects simulation output.
+
+fn main() {
+    println!("cargo:rustc-check-cfg=cfg(cbws_wide_probe)");
+    let simd = std::env::var_os("CARGO_FEATURE_SIMD").is_some();
+    let width = std::env::var("CARGO_CFG_TARGET_POINTER_WIDTH").unwrap_or_default();
+    if simd && width == "64" {
+        println!("cargo:rustc-cfg=cbws_wide_probe");
+    }
+    println!("cargo:rerun-if-changed=build.rs");
+}

@@ -88,6 +88,42 @@ fn valid_tag(line: LineAddr) -> u64 {
     (line.0 << 1) | 1
 }
 
+/// Scalar scan of a set's contiguous tag lane for `want` (a packed valid
+/// tag, or `0` to find a free way). Default kernel; the `simd` feature
+/// swaps in the wide scan below with identical results.
+#[cfg(not(cbws_wide_probe))]
+#[inline]
+fn scan_tags(tags: &[u64], want: u64) -> Option<usize> {
+    tags.iter().position(|&t| t == want)
+}
+
+/// Wide scan of a set's tag lane: compares `u64x4`-style chunks with a
+/// branch-free mask reduction, so an 8-way set resolves in two chunk
+/// compares instead of up to eight dependent ones. First-match semantics
+/// (chunks in order, `trailing_zeros` within a chunk) match the scalar
+/// kernel exactly.
+#[cfg(cbws_wide_probe)]
+#[inline]
+fn scan_tags(tags: &[u64], want: u64) -> Option<usize> {
+    let mut chunks = tags.chunks_exact(4);
+    let mut base = 0usize;
+    for c in chunks.by_ref() {
+        let hits = u32::from(c[0] == want)
+            | u32::from(c[1] == want) << 1
+            | u32::from(c[2] == want) << 2
+            | u32::from(c[3] == want) << 3;
+        if hits != 0 {
+            return Some(base + hits.trailing_zeros() as usize);
+        }
+        base += 4;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&t| t == want)
+        .map(|i| base + i)
+}
+
 impl Cache {
     /// Creates an empty cache with the given geometry.
     ///
@@ -127,16 +163,31 @@ impl Cache {
     fn find(&self, line: LineAddr) -> Option<usize> {
         let start = self.set_offset(line);
         let want = valid_tag(line);
-        self.tags[start..start + self.assoc]
-            .iter()
-            .position(|&t| t == want)
-            .map(|i| start + i)
+        scan_tags(&self.tags[start..start + self.assoc], want).map(|i| start + i)
     }
 
     /// Checks residency without updating LRU state or prefetch metadata.
     #[inline]
     pub fn probe(&self, line: LineAddr) -> bool {
         self.find(line).is_some()
+    }
+
+    /// Probes up to 64 lines in one call, returning a mask with bit `i`
+    /// set iff `lines[i]` is resident. Exactly equivalent to calling
+    /// [`Cache::probe`] per line (no LRU or metadata updates); the batch
+    /// shape lets the hierarchy resolve a whole candidate column against
+    /// the tag lanes before mutating any queue state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when given more than 64 lines.
+    pub fn probe_batch(&self, lines: &[LineAddr]) -> u64 {
+        assert!(lines.len() <= 64, "probe_batch takes at most 64 lines");
+        let mut mask = 0u64;
+        for (i, &line) in lines.iter().enumerate() {
+            mask |= u64::from(self.probe(line)) << i;
+        }
+        mask
     }
 
     /// Demand-touches `line`: on hit, updates LRU, sets the dirty bit if
@@ -202,7 +253,7 @@ impl Cache {
         let set_tags = &self.tags[start..start + self.assoc];
         // Prefer a free way; otherwise evict the set's LRU way (first of
         // the minima, matching way order).
-        let victim = match set_tags.iter().position(|&t| t == 0) {
+        let victim = match scan_tags(set_tags, 0) {
             Some(i) => start + i,
             None => {
                 let metas = &self.meta[start..start + self.assoc];

@@ -164,7 +164,41 @@ impl MemoryHierarchy {
     pub fn enqueue_prefetch(&mut self, now: u64, line: LineAddr) {
         self.advance(now);
         self.telemetry.set_clock(now);
-        if self.is_covered(line) {
+        let resident = self.l2.probe(line);
+        self.enqueue_prefetch_resolved(now, line, resident);
+    }
+
+    /// Requests prefetches for a whole candidate batch at cycle `now`.
+    ///
+    /// Byte-identical to calling [`MemoryHierarchy::enqueue_prefetch`] per
+    /// line, but the hierarchy advances once and the L2 residency of the
+    /// entire batch is resolved up front through [`Cache::probe_batch`] —
+    /// one pass over the tag lanes per batch instead of one per call.
+    /// The precomputed residency cannot go stale mid-batch: only
+    /// [`MemoryHierarchy::advance`] fills the L2, and it runs before the
+    /// first candidate is examined. Queue and in-flight dedup stay
+    /// per-line because earlier candidates of the same batch enter the
+    /// queue as it drains.
+    pub fn enqueue_prefetch_batch(&mut self, now: u64, lines: &[LineAddr]) {
+        if lines.is_empty() {
+            return;
+        }
+        self.advance(now);
+        self.telemetry.set_clock(now);
+        for chunk in lines.chunks(64) {
+            let resident = self.l2.probe_batch(chunk);
+            for (i, &line) in chunk.iter().enumerate() {
+                self.enqueue_prefetch_resolved(now, line, resident >> i & 1 == 1);
+            }
+        }
+    }
+
+    /// Shared tail of the enqueue paths, with the L2 probe already done.
+    fn enqueue_prefetch_resolved(&mut self, now: u64, line: LineAddr, l2_resident: bool) {
+        let covered = l2_resident
+            || self.inflight.iter().any(|p| p.line == line)
+            || self.queue.iter().any(|q| q.line == line);
+        if covered {
             self.stats.prefetch_dedup_dropped += 1;
             self.telemetry.record(|_| SimEvent::PrefetchDropped {
                 cycle: now,
@@ -965,6 +999,40 @@ mod tests {
             plain, with_enabled,
             "telemetry must be observationally transparent"
         );
+    }
+
+    #[test]
+    fn batch_enqueue_matches_sequential_enqueue() {
+        // Drive two hierarchies through the same interleaving of demand
+        // accesses and prefetch candidates, one enqueueing per line and
+        // one per batch (with intra-batch duplicates and already-resident
+        // lines), and require identical stats — the batch path must be
+        // observationally equivalent.
+        let run = |batched: bool| {
+            let mut m = MemoryHierarchy::new(small_cfg());
+            let mut time = 0;
+            for i in 0..400u64 {
+                m.demand_access(time, addr(i % 60), i % 7 == 0);
+                if i % 3 == 0 {
+                    let cands = [
+                        line(i + 1),
+                        line(i + 2),
+                        line(i + 1), // duplicate within the batch
+                        line((i % 60) * 64 / 64),
+                    ];
+                    if batched {
+                        m.enqueue_prefetch_batch(time, &cands);
+                    } else {
+                        for &l in &cands {
+                            m.enqueue_prefetch(time, l);
+                        }
+                    }
+                }
+                time += 17;
+            }
+            m.finish(time)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -153,6 +153,17 @@ impl Spans {
         CURRENT_LANE.with(|c| c.set((inner.id, lane)));
     }
 
+    /// The calling thread's current lane for this collector — the lane a
+    /// [`Spans::begin`] would use right now — registering the
+    /// thread-default lane if none was adopted. Lets a caller that adopts
+    /// a different lane temporarily (the engine's single-worker fast path
+    /// runs jobs on the caller thread under `worker-0`) restore the
+    /// binding afterwards. Disabled handles return 0.
+    pub fn current_lane(&self) -> usize {
+        let Some(inner) = &self.inner else { return 0 };
+        current_lane(inner)
+    }
+
     /// Opens a span on the calling thread's lane and returns a guard that
     /// closes it on drop. Threads that never called [`Spans::adopt_lane`]
     /// get a lane named after the OS thread.

@@ -35,6 +35,7 @@ mod builder;
 mod event;
 mod packed;
 mod stats;
+pub mod varint;
 
 pub use addr::{Addr, BlockId, LineAddr, Pc, LINE_BYTES, LINE_SHIFT};
 pub use builder::{BuildError, TraceBuilder};

@@ -11,23 +11,36 @@
 //! | column       | element | one entry per            |
 //! |--------------|---------|--------------------------|
 //! | `tags`       | `u8`    | event (variant + flag bits) |
-//! | `pcs`        | `u64`   | PC-bearing event (ALU/mem/branch) |
-//! | `addr_deltas`| `i64`   | memory access (byte-address delta vs the previous access) |
-//! | `alu_counts` | `u32`   | ALU event                |
-//! | `block_ids`  | `u32`   | block begin/end marker   |
+//! | `pcs`        | zigzag varint | PC-bearing event (ALU/mem/branch; delta vs the previous PC of the same variant) |
+//! | `addr_deltas`| zigzag varint | memory access (byte-address delta vs the previous access) |
+//! | `alu_counts` | varint  | ALU event                |
+//! | `block_ids`  | varint  | block begin/end marker   |
 //!
-//! The buffer layout **is** the on-disk payload of the persistent trace
-//! store (`cbws-workloads::trace_store`), so a memory-mapped file replays
+//! Operand lanes are LEB128 varints (see [`crate::varint`]); the count
+//! header records each lane's byte length next to its entry count so the
+//! column offsets never require scanning. Memory addresses are stored as
+//! zigzag-folded deltas against the previous access, and PCs as deltas
+//! against the previous PC of the *same variant* — loop bodies re-issue
+//! the same ALU/mem/branch PCs every iteration, so per-variant deltas
+//! stay tiny even though the combined PC stream ping-pongs between body
+//! PCs and distant loop back-edges. Nearly every entry is then one byte
+//! and the batch decoder's 8-wide fast path carries the lane. The buffer layout **is** the
+//! on-disk payload of the persistent trace store
+//! (`cbws-workloads::trace_store`), so a memory-mapped file replays
 //! zero-copy. Conversion [`Trace`] ⇄ [`PackedTrace`] is lossless
 //! (property-tested in `tests/packed_properties.rs`).
 //!
 //! Consumers iterate through [`TraceCursor`] (usually via the
 //! [`EventSource`] trait, which `Core::run` and the analysis passes are
-//! generic over), decoding each event from the columns on the fly instead
-//! of materializing a `Vec<TraceEvent>`.
+//! generic over). The cursor refills in 256-event batches: one pass over
+//! the tag chunk counts each lane's contribution, then every operand lane
+//! is batch-decoded ([`crate::varint::decode_batch`]) into a flat `u64`
+//! scratch column, and events are emitted from those columns — the hot
+//! loop never decodes varints one event at a time.
 
 use crate::addr::{Addr, BlockId, Pc};
 use crate::event::{BranchRecord, Dependence, MemAccess, MemKind, TraceEvent};
+use crate::varint;
 use crate::{Trace, TraceStats};
 use std::error::Error;
 use std::fmt;
@@ -148,9 +161,12 @@ const FLAG_STORE: u8 = 1 << 3; // mem only
 const FLAG_DEP_PREV_LOAD: u8 = 1 << 4; // mem only
 const FLAG_TAKEN: u8 = 1 << 5; // branch only
 
-/// Bytes of the payload's count header: five little-endian `u64`s
-/// (events, PC entries, memory accesses, ALU events, block markers).
-const HEADER_BYTES: usize = 5 * 8;
+/// Bytes of the payload's count header: nine little-endian `u64`s — five
+/// entry counts (events, PC entries, memory accesses, ALU events, block
+/// markers) followed by the byte lengths of the four varint operand lanes
+/// (pcs, addr_deltas, alu_counts, block_ids).
+const HEADER_BYTES: usize = 9 * 8;
+const HEADER_WORDS: usize = HEADER_BYTES / 8;
 
 /// Why a byte buffer failed to parse as a packed-trace payload.
 ///
@@ -172,14 +188,22 @@ pub enum PackedError {
         /// The raw tag byte.
         tag: u8,
     },
-    /// The per-column counts disagree with the tag stream.
+    /// The per-column counts disagree with the tag stream or with the
+    /// entries actually present in a varint lane.
     CountMismatch {
         /// Which column disagreed.
         column: &'static str,
         /// Count declared in the header.
         declared: u64,
-        /// Count derived from the tags.
+        /// Count derived from the tags (or counted in the lane).
         derived: u64,
+    },
+    /// A varint operand lane is malformed: it ends inside an entry
+    /// (dangling continuation bit) or an entry exceeds
+    /// [`varint::MAX_LEN`] bytes.
+    MalformedLane {
+        /// Which lane is malformed.
+        column: &'static str,
     },
 }
 
@@ -198,8 +222,11 @@ impl fmt::Display for PackedError {
                 derived,
             } => write!(
                 f,
-                "column `{column}` declares {declared} entries but the tags imply {derived}"
+                "column `{column}` declares {declared} entries but the payload implies {derived}"
             ),
+            PackedError::MalformedLane { column } => {
+                write!(f, "varint lane `{column}` is malformed")
+            }
         }
     }
 }
@@ -237,7 +264,8 @@ impl fmt::Debug for Payload {
     }
 }
 
-/// Byte offsets of each column within a payload, derived from the counts.
+/// Byte offsets of each column within a payload, derived from the header:
+/// entry counts plus the byte length of each varint lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Layout {
     n_events: usize,
@@ -254,19 +282,17 @@ struct Layout {
 }
 
 impl Layout {
-    fn from_counts(
-        n_events: usize,
-        n_pcs: usize,
-        n_mems: usize,
-        n_alus: usize,
-        n_blocks: usize,
-    ) -> Layout {
+    /// Offsets from the nine header words: `[n_events, n_pcs, n_mems,
+    /// n_alus, n_blocks, pcs_bytes, deltas_bytes, alus_bytes,
+    /// blocks_bytes]`.
+    fn from_header(h: [usize; HEADER_WORDS]) -> Layout {
+        let [n_events, n_pcs, n_mems, n_alus, n_blocks, pcs_b, deltas_b, alus_b, blocks_b] = h;
         let tags = HEADER_BYTES;
         let pcs = tags + n_events;
-        let addr_deltas = pcs + n_pcs * 8;
-        let alu_counts = addr_deltas + n_mems * 8;
-        let block_ids = alu_counts + n_alus * 4;
-        let total = block_ids + n_blocks * 4;
+        let addr_deltas = pcs + pcs_b;
+        let alu_counts = addr_deltas + deltas_b;
+        let block_ids = alu_counts + alus_b;
+        let total = block_ids + blocks_b;
         Layout {
             n_events,
             n_pcs,
@@ -310,79 +336,56 @@ pub struct PackedTrace {
 }
 
 impl PackedTrace {
-    /// Packs a materialized trace into columns.
+    /// Packs a materialized trace into columns, varint-encoding each
+    /// operand lane.
     pub fn from_trace(trace: &Trace) -> PackedTrace {
         let events = trace.events();
         let mut n_pcs = 0usize;
         let mut n_mems = 0usize;
         let mut n_alus = 0usize;
         let mut n_blocks = 0usize;
-        for e in events {
-            match e {
-                TraceEvent::Alu { .. } => {
-                    n_pcs += 1;
-                    n_alus += 1;
-                }
-                TraceEvent::Mem(_) => {
-                    n_pcs += 1;
-                    n_mems += 1;
-                }
-                TraceEvent::Branch(_) => n_pcs += 1,
-                TraceEvent::BlockBegin { .. } | TraceEvent::BlockEnd { .. } => n_blocks += 1,
-            }
-        }
-        let layout = Layout::from_counts(events.len(), n_pcs, n_mems, n_alus, n_blocks);
-        let mut buf = vec![0u8; layout.total];
-        for (i, n) in [
-            events.len() as u64,
-            n_pcs as u64,
-            n_mems as u64,
-            n_alus as u64,
-            n_blocks as u64,
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            buf[i * 8..i * 8 + 8].copy_from_slice(&n.to_le_bytes());
-        }
-        let mut pc_i = 0usize;
-        let mut mem_i = 0usize;
-        let mut alu_i = 0usize;
-        let mut blk_i = 0usize;
+        let mut tags = Vec::with_capacity(events.len());
+        // Most entries are one byte (small PCs after the first, unit
+        // deltas, short run lengths); reserve optimistically.
+        let mut pcs = Vec::with_capacity(events.len() * 2);
+        let mut deltas = Vec::new();
+        let mut alus = Vec::new();
+        let mut blocks = Vec::new();
         let mut prev_addr = 0u64;
-        let put_pc = |buf: &mut [u8], pc_i: &mut usize, pc: Pc| {
-            let at = layout.pcs + *pc_i * 8;
-            buf[at..at + 8].copy_from_slice(&pc.0.to_le_bytes());
-            *pc_i += 1;
+        // One PC predictor per variant (ALU / mem / branch): see the
+        // module docs for why per-variant deltas stay short.
+        let mut prev_pc = [0u64; 3];
+        let mut push_pc = |slot: usize, pc: Pc, pcs: &mut Vec<u8>| {
+            let delta = pc.0.wrapping_sub(prev_pc[slot]) as i64;
+            prev_pc[slot] = pc.0;
+            varint::encode(varint::zigzag(delta), pcs);
         };
-        for (i, e) in events.iter().enumerate() {
+        for e in events {
             let tag = match e {
                 TraceEvent::BlockBegin { id } => {
-                    let at = layout.block_ids + blk_i * 4;
-                    buf[at..at + 4].copy_from_slice(&id.0.to_le_bytes());
-                    blk_i += 1;
+                    n_blocks += 1;
+                    varint::encode(u64::from(id.0), &mut blocks);
                     TAG_BLOCK_BEGIN
                 }
                 TraceEvent::BlockEnd { id } => {
-                    let at = layout.block_ids + blk_i * 4;
-                    buf[at..at + 4].copy_from_slice(&id.0.to_le_bytes());
-                    blk_i += 1;
+                    n_blocks += 1;
+                    varint::encode(u64::from(id.0), &mut blocks);
                     TAG_BLOCK_END
                 }
                 TraceEvent::Alu { pc, count } => {
-                    put_pc(&mut buf, &mut pc_i, *pc);
-                    let at = layout.alu_counts + alu_i * 4;
-                    buf[at..at + 4].copy_from_slice(&count.to_le_bytes());
-                    alu_i += 1;
+                    n_pcs += 1;
+                    n_alus += 1;
+                    push_pc(0, *pc, &mut pcs);
+                    varint::encode(u64::from(*count), &mut alus);
                     TAG_ALU
                 }
                 TraceEvent::Mem(m) => {
-                    put_pc(&mut buf, &mut pc_i, m.pc);
+                    n_pcs += 1;
+                    n_mems += 1;
+                    push_pc(1, m.pc, &mut pcs);
                     let delta = m.addr.0.wrapping_sub(prev_addr) as i64;
                     prev_addr = m.addr.0;
-                    let at = layout.addr_deltas + mem_i * 8;
-                    buf[at..at + 8].copy_from_slice(&delta.to_le_bytes());
-                    mem_i += 1;
+                    varint::encode(varint::zigzag(delta), &mut deltas);
                     let mut t = TAG_MEM;
                     if m.kind.is_store() {
                         t |= FLAG_STORE;
@@ -393,7 +396,8 @@ impl PackedTrace {
                     t
                 }
                 TraceEvent::Branch(br) => {
-                    put_pc(&mut buf, &mut pc_i, br.pc);
+                    n_pcs += 1;
+                    push_pc(2, br.pc, &mut pcs);
                     if br.taken {
                         TAG_BRANCH | FLAG_TAKEN
                     } else {
@@ -401,8 +405,39 @@ impl PackedTrace {
                     }
                 }
             };
-            buf[layout.tags + i] = tag;
+            tags.push(tag);
         }
+        let layout = Layout::from_header([
+            events.len(),
+            n_pcs,
+            n_mems,
+            n_alus,
+            n_blocks,
+            pcs.len(),
+            deltas.len(),
+            alus.len(),
+            blocks.len(),
+        ]);
+        let mut buf = Vec::with_capacity(layout.total);
+        for n in [
+            events.len(),
+            n_pcs,
+            n_mems,
+            n_alus,
+            n_blocks,
+            pcs.len(),
+            deltas.len(),
+            alus.len(),
+            blocks.len(),
+        ] {
+            buf.extend_from_slice(&(n as u64).to_le_bytes());
+        }
+        buf.extend_from_slice(&tags);
+        buf.extend_from_slice(&pcs);
+        buf.extend_from_slice(&deltas);
+        buf.extend_from_slice(&alus);
+        buf.extend_from_slice(&blocks);
+        debug_assert_eq!(buf.len(), layout.total);
         PackedTrace {
             payload: Payload::Owned(buf.into_boxed_slice()),
             layout,
@@ -450,20 +485,21 @@ impl PackedTrace {
                 actual: bytes.len(),
             });
         }
-        let counts: Vec<usize> = (0..5)
-            .map(|i| {
-                usize::try_from(u64_at(bytes, i)).map_err(|_| PackedError::Truncated {
-                    expected: usize::MAX,
-                    actual: bytes.len(),
-                })
-            })
-            .collect::<Result<_, _>>()?;
-        // Guard the offset arithmetic against overflow on absurd counts.
-        let promised = counts[0]
-            .checked_add(counts[1].saturating_mul(8))
-            .and_then(|n| n.checked_add(counts[2].checked_mul(8)?))
-            .and_then(|n| n.checked_add(counts[3].checked_mul(4)?))
-            .and_then(|n| n.checked_add(counts[4].checked_mul(4)?))
+        let mut header = [0usize; HEADER_WORDS];
+        for (i, slot) in header.iter_mut().enumerate() {
+            *slot = usize::try_from(u64_at(bytes, i)).map_err(|_| PackedError::Truncated {
+                expected: usize::MAX,
+                actual: bytes.len(),
+            })?;
+        }
+        // Guard the offset arithmetic against overflow on absurd counts:
+        // the tag lane is one byte per event, the operand lanes contribute
+        // their declared byte lengths directly.
+        let promised = header[0]
+            .checked_add(header[5])
+            .and_then(|n| n.checked_add(header[6]))
+            .and_then(|n| n.checked_add(header[7]))
+            .and_then(|n| n.checked_add(header[8]))
             .and_then(|n| n.checked_add(HEADER_BYTES))
             .unwrap_or(usize::MAX);
         if promised != bytes.len() {
@@ -472,7 +508,7 @@ impl PackedTrace {
                 actual: bytes.len(),
             });
         }
-        let layout = Layout::from_counts(counts[0], counts[1], counts[2], counts[3], counts[4]);
+        let layout = Layout::from_header(header);
         // The tag stream must be internally valid and agree with the counts,
         // so every later cursor walk is in bounds by construction.
         let mut derived = [0u64; 4]; // pcs, mems, alus, blocks
@@ -506,10 +542,10 @@ impl PackedTrace {
             }
         }
         for (column, declared, derived) in [
-            ("pcs", counts[1] as u64, derived[0]),
-            ("addr_deltas", counts[2] as u64, derived[1]),
-            ("alu_counts", counts[3] as u64, derived[2]),
-            ("block_ids", counts[4] as u64, derived[3]),
+            ("pcs", header[1] as u64, derived[0]),
+            ("addr_deltas", header[2] as u64, derived[1]),
+            ("alu_counts", header[3] as u64, derived[2]),
+            ("block_ids", header[4] as u64, derived[3]),
         ] {
             if declared != derived {
                 return Err(PackedError::CountMismatch {
@@ -517,6 +553,31 @@ impl PackedTrace {
                     declared,
                     derived,
                 });
+            }
+        }
+        // Each varint lane must be well-formed (no dangling continuation
+        // byte, no over-long entry) and hold exactly as many entries as
+        // the tags demand, so batch decoding never runs out of bytes.
+        for (column, range, declared) in [
+            ("pcs", layout.pcs..layout.addr_deltas, header[1]),
+            (
+                "addr_deltas",
+                layout.addr_deltas..layout.alu_counts,
+                header[2],
+            ),
+            ("alu_counts", layout.alu_counts..layout.block_ids, header[3]),
+            ("block_ids", layout.block_ids..layout.total, header[4]),
+        ] {
+            match varint::count_entries(&bytes[range]) {
+                None => return Err(PackedError::MalformedLane { column }),
+                Some(n) if n != declared => {
+                    return Err(PackedError::CountMismatch {
+                        column,
+                        declared: declared as u64,
+                        derived: n as u64,
+                    })
+                }
+                Some(_) => {}
             }
         }
         Ok(layout)
@@ -562,15 +623,30 @@ impl PackedTrace {
     pub fn cursor(&self) -> TraceCursor<'_> {
         let p = self.payload.as_slice();
         let l = &self.layout;
+        // Per-lane kernel choice, made once from the header: the 8-wide
+        // word kernel only pays off when its all-terminator fast path
+        // fires on nearly every probe, i.e. when the lane averages ≤ 9/8
+        // bytes per entry (ALU run lengths, block ids, unit-stride
+        // deltas). Wider lanes (PC deltas, irregular address deltas)
+        // decode faster through the well-predicted scalar byte loop.
+        let dense = |bytes: usize, entries: usize| bytes * 8 <= entries * 9;
         TraceCursor {
             tags: &p[l.tags..l.pcs],
             pcs: &p[l.pcs..l.addr_deltas],
             addr_deltas: &p[l.addr_deltas..l.alu_counts],
             alu_counts: &p[l.alu_counts..l.block_ids],
             block_ids: &p[l.block_ids..l.total],
+            dense: [
+                dense(l.addr_deltas - l.pcs, l.n_pcs),
+                dense(l.alu_counts - l.addr_deltas, l.n_mems),
+                dense(l.block_ids - l.alu_counts, l.n_alus),
+                dense(l.total - l.block_ids, l.n_blocks),
+            ],
             prev_addr: 0,
+            prev_pc: [0; 3],
             buf: Vec::with_capacity(CURSOR_BATCH),
             buf_i: 0,
+            scratch: Box::new(LaneScratch::new()),
         }
     }
 
@@ -603,8 +679,11 @@ impl From<&Trace> for PackedTrace {
 /// Sequential decoder over a [`PackedTrace`]'s columns.
 ///
 /// Construction is only possible from a validated payload, so every column
-/// read is in bounds; the per-event work is one tag load plus the column
-/// reads that variant needs.
+/// read is in bounds. Refills happen in [`CURSOR_BATCH`]-event batches:
+/// one pass over the tag chunk tallies each lane's contribution, each
+/// varint lane is batch-decoded into a flat scratch column, and events are
+/// then emitted straight from those columns — the per-event work is a tag
+/// dispatch plus indexed `u64` reads, never per-event varint decoding.
 #[derive(Debug, Clone)]
 pub struct TraceCursor<'a> {
     tags: &'a [u8],
@@ -612,90 +691,209 @@ pub struct TraceCursor<'a> {
     addr_deltas: &'a [u8],
     alu_counts: &'a [u8],
     block_ids: &'a [u8],
+    /// Per-lane decoder choice (pcs, deltas, alus, blocks), fixed at
+    /// construction from each lane's bytes-per-entry — see
+    /// [`PackedTrace::cursor`].
+    dense: [bool; 4],
     prev_addr: u64,
+    /// Per-variant PC predictors (ALU / mem / branch), mirroring
+    /// [`PackedTrace::from_trace`]'s encoders.
+    prev_pc: [u64; 3],
     /// Decoded-ahead events. Decoding in batches keeps the column state in
     /// registers for a whole tight decode loop instead of spilling it
     /// between every event of the (register-hungry) replay loop; `next()`
     /// is then a plain buffer read, as cheap as slice iteration.
     buf: Vec<EventRef>,
     buf_i: usize,
+    /// Per-lane decode targets, boxed so the cursor stays cheap to move.
+    scratch: Box<LaneScratch>,
 }
 
-/// Events decoded per [`TraceCursor`] refill. 256 × ~32 B ≈ 8 KB — hot in
-/// L1 next to the replay loop's own state.
+/// Events decoded per [`TraceCursor`] refill. 256 × ~32 B ≈ 8 KB of
+/// decoded events plus 4 × 2 KB of scratch columns — hot in L1/L2 next to
+/// the replay loop's own state.
 const CURSOR_BATCH: usize = 256;
 
-/// Consumes the next little-endian `u64` from the front of a column.
-/// [`PackedTrace::validate`] proved every column holds exactly as many
-/// entries as the tag stream demands, so the split never fails on a
-/// validated trace.
-#[inline]
-fn take_u64(col: &mut &[u8]) -> u64 {
-    let (head, tail) = col.split_at(8);
-    *col = tail;
-    u64::from_le_bytes(head.try_into().unwrap())
+/// Flat decode targets for one refill: each operand lane lands in its own
+/// `u64` column before events are assembled.
+#[derive(Debug, Clone)]
+struct LaneScratch {
+    pcs: [u64; CURSOR_BATCH],
+    deltas: [u64; CURSOR_BATCH],
+    alus: [u64; CURSOR_BATCH],
+    blocks: [u64; CURSOR_BATCH],
 }
 
-/// Consumes the next little-endian `u32` from the front of a column.
-#[inline]
-fn take_u32(col: &mut &[u8]) -> u32 {
-    let (head, tail) = col.split_at(4);
-    *col = tail;
-    u32::from_le_bytes(head.try_into().unwrap())
+impl LaneScratch {
+    fn new() -> LaneScratch {
+        LaneScratch {
+            pcs: [0; CURSOR_BATCH],
+            deltas: [0; CURSOR_BATCH],
+            alus: [0; CURSOR_BATCH],
+            blocks: [0; CURSOR_BATCH],
+        }
+    }
 }
 
-impl TraceCursor<'_> {
+/// Per-tag lane contributions for the refill tally, packed as four 16-bit
+/// counters in one `u64` (pc | mem << 16 | alu << 32 | blk << 48). Summing
+/// one table word per tag replaces a 4-way branch per event with a single
+/// add, and a 256-tag batch can't overflow a 16-bit field.
+static TAG_TALLY: [u64; 256] = {
+    let mut t = [0u64; 256];
+    let mut tag = 0usize;
+    while tag < 256 {
+        t[tag] = match tag as u8 & VARIANT_MASK {
+            TAG_ALU => 1 | 1 << 32,
+            TAG_MEM => 1 | 1 << 16,
+            TAG_BRANCH => 1,
+            _ => 1 << 48,
+        };
+        tag += 1;
+    }
+    t
+};
+
+/// Register-resident event assembly over one decoded batch: per-lane read
+/// positions plus the running resolution registers (per-variant PC
+/// predictors, address accumulator).
+struct Assembler<'s> {
+    s: &'s LaneScratch,
+    pc_i: usize,
+    mem_i: usize,
+    alu_i: usize,
+    blk_i: usize,
+    prev_addr: u64,
+    prev_pc: [u64; 3],
+}
+
+impl<'s> Assembler<'s> {
+    #[inline]
+    fn new(s: &'s LaneScratch, prev_addr: u64, prev_pc: [u64; 3]) -> Assembler<'s> {
+        Assembler {
+            s,
+            pc_i: 0,
+            mem_i: 0,
+            alu_i: 0,
+            blk_i: 0,
+            prev_addr,
+            prev_pc,
+        }
+    }
+
+    #[inline]
+    fn next_pc(&mut self, slot: usize) -> Pc {
+        self.prev_pc[slot] =
+            self.prev_pc[slot].wrapping_add(varint::unzigzag(self.s.pcs[self.pc_i]) as u64);
+        self.pc_i += 1;
+        Pc(self.prev_pc[slot])
+    }
+
+    /// Builds the event for `tag` from the scratch columns, entirely in
+    /// registers.
+    #[inline]
+    fn event(&mut self, tag: u8) -> TraceEvent {
+        let s = self.s;
+        match tag & VARIANT_MASK {
+            TAG_ALU => {
+                let e = TraceEvent::Alu {
+                    pc: self.next_pc(0),
+                    count: s.alus[self.alu_i] as u32,
+                };
+                self.alu_i += 1;
+                e
+            }
+            TAG_MEM => {
+                let pc = self.next_pc(1);
+                let delta = varint::unzigzag(s.deltas[self.mem_i]);
+                self.mem_i += 1;
+                self.prev_addr = self.prev_addr.wrapping_add(delta as u64);
+                TraceEvent::Mem(MemAccess {
+                    pc,
+                    addr: Addr(self.prev_addr),
+                    kind: if tag & FLAG_STORE != 0 {
+                        MemKind::Store
+                    } else {
+                        MemKind::Load
+                    },
+                    dep: if tag & FLAG_DEP_PREV_LOAD != 0 {
+                        Dependence::PrevLoad
+                    } else {
+                        Dependence::None
+                    },
+                })
+            }
+            TAG_BRANCH => TraceEvent::Branch(BranchRecord {
+                pc: self.next_pc(2),
+                taken: tag & FLAG_TAKEN != 0,
+            }),
+            TAG_BLOCK_BEGIN => {
+                let e = TraceEvent::BlockBegin {
+                    id: BlockId(s.blocks[self.blk_i] as u32),
+                };
+                self.blk_i += 1;
+                e
+            }
+            // Validation admits exactly five variants; BlockEnd is last.
+            _ => {
+                let e = TraceEvent::BlockEnd {
+                    id: BlockId(s.blocks[self.blk_i] as u32),
+                };
+                self.blk_i += 1;
+                e
+            }
+        }
+    }
+}
+
+impl<'a> TraceCursor<'a> {
+    /// Takes the next ≤[`CURSOR_BATCH`] tags off the stream and
+    /// batch-decodes every lane's contribution into the scratch columns,
+    /// returning the tag chunk.
+    fn decode_lanes(&mut self) -> &'a [u8] {
+        let (batch, rest) = self.tags.split_at(self.tags.len().min(CURSOR_BATCH));
+        self.tags = rest;
+        // Pass 1: how many entries each operand lane contributes here —
+        // one packed-counter add per tag, no branches.
+        let mut tally = 0u64;
+        for &tag in batch {
+            tally += TAG_TALLY[tag as usize];
+        }
+        let n_pc = (tally & 0xffff) as usize;
+        let n_mem = (tally >> 16 & 0xffff) as usize;
+        let n_alu = (tally >> 32 & 0xffff) as usize;
+        let n_blk = (tally >> 48) as usize;
+        // Batch-decode each lane into its flat scratch column through the
+        // kernel its density picked at construction. Validation proved
+        // the lanes hold exactly the entries the tags demand.
+        #[inline]
+        fn lane(dense: bool, lane: &mut &[u8], out: &mut [u64]) {
+            if dense {
+                varint::decode_batch(lane, out);
+            } else {
+                varint::decode_batch_scalar(lane, out);
+            }
+        }
+        let s = &mut *self.scratch;
+        lane(self.dense[0], &mut self.pcs, &mut s.pcs[..n_pc]);
+        lane(self.dense[1], &mut self.addr_deltas, &mut s.deltas[..n_mem]);
+        lane(self.dense[2], &mut self.alu_counts, &mut s.alus[..n_alu]);
+        lane(self.dense[3], &mut self.block_ids, &mut s.blocks[..n_blk]);
+        batch
+    }
+
     /// Decodes the next batch of events into the read-ahead buffer.
     fn refill(&mut self) {
         self.buf.clear();
         self.buf_i = 0;
-        let (batch, rest) = self.tags.split_at(self.tags.len().min(CURSOR_BATCH));
-        self.tags = rest;
-        // Local copies so the decode loop's state lives in registers.
-        let (mut pcs, mut deltas) = (self.pcs, self.addr_deltas);
-        let (mut alus, mut blocks) = (self.alu_counts, self.block_ids);
-        let mut prev_addr = self.prev_addr;
-        for &tag in batch {
-            self.buf.push(match tag & VARIANT_MASK {
-                TAG_ALU => TraceEvent::Alu {
-                    pc: Pc(take_u64(&mut pcs)),
-                    count: take_u32(&mut alus),
-                },
-                TAG_MEM => {
-                    let pc = Pc(take_u64(&mut pcs));
-                    let delta = take_u64(&mut deltas);
-                    prev_addr = prev_addr.wrapping_add(delta);
-                    TraceEvent::Mem(MemAccess {
-                        pc,
-                        addr: Addr(prev_addr),
-                        kind: if tag & FLAG_STORE != 0 {
-                            MemKind::Store
-                        } else {
-                            MemKind::Load
-                        },
-                        dep: if tag & FLAG_DEP_PREV_LOAD != 0 {
-                            Dependence::PrevLoad
-                        } else {
-                            Dependence::None
-                        },
-                    })
-                }
-                TAG_BRANCH => TraceEvent::Branch(BranchRecord {
-                    pc: Pc(take_u64(&mut pcs)),
-                    taken: tag & FLAG_TAKEN != 0,
-                }),
-                TAG_BLOCK_BEGIN => TraceEvent::BlockBegin {
-                    id: BlockId(take_u32(&mut blocks)),
-                },
-                // Validation admits exactly five variants; BlockEnd is last.
-                _ => TraceEvent::BlockEnd {
-                    id: BlockId(take_u32(&mut blocks)),
-                },
-            });
-        }
-        (self.pcs, self.addr_deltas) = (pcs, deltas);
-        (self.alu_counts, self.block_ids) = (alus, blocks);
-        self.prev_addr = prev_addr;
+        let batch = self.decode_lanes();
+        let mut a = Assembler::new(&self.scratch, self.prev_addr, self.prev_pc);
+        // Pass 2: assemble events from the scratch columns. `extend` over
+        // an exact-size map writes each event once with no per-event
+        // capacity or length bookkeeping.
+        self.buf.extend(batch.iter().map(|&tag| a.event(tag)));
+        self.prev_addr = a.prev_addr;
+        self.prev_pc = a.prev_pc;
     }
 }
 
@@ -906,6 +1104,35 @@ mod tests {
         bytes[HEADER_BYTES] = TAG_MEM;
         let r = PackedTrace::from_payload(bytes.into_boxed_slice());
         assert!(matches!(r, Err(PackedError::CountMismatch { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn malformed_lane_is_rejected() {
+        // Setting the continuation bit on the last byte of the last lane
+        // leaves the payload length and tag stream intact but the lane
+        // dangling mid-entry.
+        let packed = PackedTrace::from_trace(&sample());
+        let mut bytes: Vec<u8> = packed.payload().to_vec();
+        *bytes.last_mut().unwrap() |= 0x80;
+        assert!(matches!(
+            PackedTrace::from_payload(bytes.into_boxed_slice()),
+            Err(PackedError::MalformedLane { .. })
+        ));
+    }
+
+    #[test]
+    fn varint_lanes_shrink_the_payload() {
+        // Loop-local PCs, unit-stride line deltas, and small run lengths
+        // are the common case; they must encode in one byte each, so the
+        // payload lands well under the old 8-byte-per-operand layout.
+        let trace = sample();
+        let packed = PackedTrace::from_trace(&trace);
+        let aos_bytes = trace.len() * std::mem::size_of::<TraceEvent>();
+        assert!(
+            packed.payload().len() * 3 < aos_bytes,
+            "packed {} vs AoS {aos_bytes}",
+            packed.payload().len()
+        );
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! LEB128 varint coding for the packed-trace operand lanes, with a
+//! batch-oriented decoder the replay cursor uses.
+//!
+//! Each operand lane of a [`crate::PackedTrace`] is a stream of
+//! little-endian base-128 varints: 7 value bits per byte, high bit set on
+//! every byte except the last. Signed values (memory-address deltas) are
+//! [zigzag]-folded first so small magnitudes of either sign stay short.
+//!
+//! The decoder comes in two shapes with identical output:
+//!
+//! * [`decode_batch_scalar`] — the obvious one-entry-at-a-time loop, kept
+//!   as the reference kernel for property tests and the
+//!   `decode_throughput` A/B bench;
+//! * [`decode_batch`] — the batched kernel the cursor refill uses. It
+//!   loads 8 lane bytes at a time and, when none of them carries a
+//!   continuation bit (`word & 0x8080…80 == 0`, the common case: PCs,
+//!   ALU run lengths, block ids, and unit-stride deltas are almost always
+//!   < 128 after folding), emits eight decoded entries from that single
+//!   word with shifts and masks — no per-entry branching. Mixed runs fall
+//!   back to the scalar loop one entry at a time and re-probe.
+//!
+//! [zigzag]: https://protobuf.dev/programming-guides/encoding/#signed-ints
+
+/// Longest legal encoding of a `u64`: ⌈64 / 7⌉ bytes.
+pub const MAX_LEN: usize = 10;
+
+/// A `u64` whose every byte has only the continuation bit set; one AND
+/// against a lane word tells whether all 8 bytes terminate an entry.
+const CONT_BITS: u64 = 0x8080_8080_8080_8080;
+
+/// Appends the LEB128 encoding of `v` to `out`.
+#[inline]
+pub fn encode(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Folds a signed value so small magnitudes of either sign encode short:
+/// 0, -1, 1, -2, … ↦ 0, 1, 2, 3, …
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    (v >> 1) as i64 ^ -((v & 1) as i64)
+}
+
+/// Decodes one varint from the front of `bytes`, consuming it.
+///
+/// Panics if the entry runs past the end of `bytes`; packed-trace lanes
+/// are validated (see [`count_entries`]) before any decoder touches them,
+/// so the panic is a can't-happen guard, not a parse path.
+#[inline]
+pub fn decode_one(bytes: &mut &[u8]) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&b, rest) = bytes.split_first().expect("truncated varint lane");
+        *bytes = rest;
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Reference decoder: fills `out` one entry at a time, consuming the
+/// decoded bytes from the front of `lane`.
+pub fn decode_batch_scalar(lane: &mut &[u8], out: &mut [u64]) {
+    for slot in out.iter_mut() {
+        *slot = decode_one(lane);
+    }
+}
+
+/// Alternating 7-bit masks for the [`gather7`] fold steps.
+const M1: u64 = 0x007f_007f_007f_007f;
+const M2: u64 = 0x0000_3fff_0000_3fff;
+const M3: u64 = 0x0000_0000_0fff_ffff;
+
+/// Packs the low 7 bits of each byte of `x` into one contiguous value
+/// (byte `k` contributes bits `7k..7k+7`) with three shift-mask folds —
+/// the branch-free core of the variable-length fast path. `x` must
+/// already be masked to its continuation-stripped payload bytes.
+#[inline]
+fn gather7(x: u64) -> u64 {
+    let x = (x & M1) | ((x & !M1 & 0x7f00_7f00_7f00_7f00) >> 1);
+    let x = (x & M2) | ((x & !M2) >> 2);
+    (x & M3) | ((x & !M3) >> 4)
+}
+
+/// Batched decoder: fills `out` from the front of `lane`. Two fast paths
+/// over an 8-byte unaligned load:
+///
+/// * no continuation bit anywhere in the word (dense one-byte lanes:
+///   ALU run lengths, block ids) — eight entries from one load;
+/// * otherwise the first clear continuation bit gives the entry length
+///   with `trailing_zeros`, and [`gather7`] packs the payload bits — one
+///   entry per load with no per-byte loop or data-dependent branching.
+///
+/// Entries longer than 8 bytes (values ≥ 2^56, absent from real lanes)
+/// and the last <8 bytes of the lane fall back to [`decode_one`]. Output
+/// is identical to [`decode_batch_scalar`] (property-tested in
+/// `tests/varint_properties.rs`).
+pub fn decode_batch(lane: &mut &[u8], out: &mut [u64]) {
+    let mut bytes = *lane;
+    let n = out.len();
+    let mut i = 0;
+    while i < n && bytes.len() >= 8 {
+        let word = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        let cont = word & CONT_BITS;
+        if cont == 0 && i + 8 <= n {
+            out[i] = word & 0x7f;
+            out[i + 1] = (word >> 8) & 0x7f;
+            out[i + 2] = (word >> 16) & 0x7f;
+            out[i + 3] = (word >> 24) & 0x7f;
+            out[i + 4] = (word >> 32) & 0x7f;
+            out[i + 5] = (word >> 40) & 0x7f;
+            out[i + 6] = (word >> 48) & 0x7f;
+            out[i + 7] = (word >> 56) & 0x7f;
+            bytes = &bytes[8..];
+            i += 8;
+        } else if cont != CONT_BITS {
+            // First byte with a clear high bit ends the entry; trailing
+            // zeros of the inverted continuation mask find it without a
+            // byte-by-byte scan.
+            let len = ((!word & CONT_BITS).trailing_zeros() / 8 + 1) as usize;
+            let masked = word & (u64::MAX >> (64 - 8 * len));
+            out[i] = gather7(masked & !CONT_BITS);
+            bytes = &bytes[len..];
+            i += 1;
+        } else {
+            // All 8 continuation bits set: a 9–10 byte entry.
+            out[i] = decode_one(&mut bytes);
+            i += 1;
+        }
+    }
+    for slot in &mut out[i..] {
+        *slot = decode_one(&mut bytes);
+    }
+    *lane = bytes;
+}
+
+/// Counts the entries of a varint lane, or `None` if the lane is
+/// malformed: it ends inside an entry (dangling continuation bit) or an
+/// entry exceeds [`MAX_LEN`] bytes.
+///
+/// A lane this function accepts can be decoded to its end without running
+/// out of bytes and without any shift reaching 64, which is what lets the
+/// decoders above assume well-formed input.
+pub fn count_entries(lane: &[u8]) -> Option<usize> {
+    let mut n = 0usize;
+    let mut run = 0usize; // continuation bytes since the last terminator
+    for &b in lane {
+        if b & 0x80 == 0 {
+            if run >= MAX_LEN {
+                return None;
+            }
+            n += 1;
+            run = 0;
+        } else {
+            run += 1;
+            if run >= MAX_LEN {
+                return None;
+            }
+        }
+    }
+    if run != 0 {
+        return None;
+    }
+    Some(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane_of(values: &[u64]) -> Vec<u8> {
+        let mut lane = Vec::new();
+        for &v in values {
+            encode(v, &mut lane);
+        }
+        lane
+    }
+
+    fn decode_all(lane: &[u8], n: usize, batched: bool) -> Vec<u64> {
+        let mut out = vec![0u64; n];
+        let mut rest = lane;
+        if batched {
+            decode_batch(&mut rest, &mut out);
+        } else {
+            decode_batch_scalar(&mut rest, &mut out);
+        }
+        assert!(rest.is_empty(), "undrained lane bytes: {}", rest.len());
+        out
+    }
+
+    #[test]
+    fn round_trips_boundary_values() {
+        let values: Vec<u64> = (0..11)
+            .flat_map(|s| {
+                let edge = 1u64 << (7 * s).min(63);
+                [edge.wrapping_sub(1), edge, edge.wrapping_add(1)]
+            })
+            .chain([0, 1, 127, 128, u64::MAX])
+            .collect();
+        let lane = lane_of(&values);
+        assert_eq!(count_entries(&lane), Some(values.len()));
+        assert_eq!(decode_all(&lane, values.len(), false), values);
+        assert_eq!(decode_all(&lane, values.len(), true), values);
+    }
+
+    #[test]
+    fn batched_matches_scalar_on_mixed_widths() {
+        // Alternating short/long entries defeat the 8-wide fast path at
+        // every probe; interspersed all-short runs re-enable it.
+        let mut values = Vec::new();
+        for i in 0..100u64 {
+            values.push(i % 128);
+            if i % 9 == 0 {
+                values.push(u64::MAX - i);
+            }
+        }
+        let lane = lane_of(&values);
+        assert_eq!(
+            decode_all(&lane, values.len(), true),
+            decode_all(&lane, values.len(), false)
+        );
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 42, -4096] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes stay one byte after folding.
+        for v in [-63i64, 63] {
+            let mut lane = Vec::new();
+            encode(zigzag(v), &mut lane);
+            assert_eq!(lane.len(), 1);
+        }
+    }
+
+    #[test]
+    fn malformed_lanes_are_rejected() {
+        assert_eq!(count_entries(&[0x80]), None); // dangling continuation
+        assert_eq!(count_entries(&[0x80; 16]), None);
+        let overlong = [0x80u8; 10]
+            .iter()
+            .copied()
+            .chain([0x01])
+            .collect::<Vec<_>>();
+        assert_eq!(count_entries(&overlong), None); // 11-byte entry
+        assert_eq!(count_entries(&[]), Some(0));
+        let max = lane_of(&[u64::MAX]);
+        assert_eq!(max.len(), MAX_LEN);
+        assert_eq!(count_entries(&max), Some(1));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the varint lane coder: the batched decoder must be
+//! indistinguishable from the scalar reference on arbitrary lanes,
+//! including the all-one-byte case (every word takes the 8-wide fast
+//! path) and the all-max-width case (every entry is 10 bytes and the
+//! fast path never fires).
+
+use cbws_trace::varint;
+use proptest::prelude::*;
+
+fn lane_of(values: &[u64]) -> Vec<u8> {
+    let mut lane = Vec::new();
+    for &v in values {
+        varint::encode(v, &mut lane);
+    }
+    lane
+}
+
+fn decode_with(lane: &[u8], n: usize, batched: bool) -> Vec<u64> {
+    let mut out = vec![0u64; n];
+    let mut rest = lane;
+    if batched {
+        varint::decode_batch(&mut rest, &mut out);
+    } else {
+        varint::decode_batch_scalar(&mut rest, &mut out);
+    }
+    assert!(rest.is_empty(), "lane not fully consumed");
+    out
+}
+
+/// Mixed-width values: bias toward the one-byte range the trace lanes
+/// mostly hold, with full-range outliers mixed in.
+fn values_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..128,
+            0u64..128, // one-byte range weighted up, as in real lanes
+            0u64..65536,
+            any::<u64>(),
+        ],
+        0..600,
+    )
+}
+
+proptest! {
+    /// encode → decode is the identity through both kernels, and both
+    /// kernels agree byte for byte.
+    #[test]
+    fn batched_decode_matches_scalar(values in values_strategy()) {
+        let lane = lane_of(&values);
+        prop_assert_eq!(varint::count_entries(&lane), Some(values.len()));
+        prop_assert_eq!(decode_with(&lane, values.len(), false), values.clone());
+        prop_assert_eq!(decode_with(&lane, values.len(), true), values);
+    }
+
+    /// All-one-byte lanes: every 8-entry group takes the word-at-a-time
+    /// fast path, and partial decodes leave the lane positioned exactly
+    /// where the scalar decoder would.
+    #[test]
+    fn all_one_byte_lanes_agree(values in proptest::collection::vec(0u64..128, 0..600),
+                                 split in 0usize..600) {
+        let lane = lane_of(&values);
+        let split = split.min(values.len());
+        // Decode in two batches of arbitrary split, as the cursor does.
+        let mut out = vec![0u64; values.len()];
+        let mut rest: &[u8] = &lane;
+        varint::decode_batch(&mut rest, &mut out[..split]);
+        varint::decode_batch(&mut rest, &mut out[split..]);
+        prop_assert!(rest.is_empty());
+        prop_assert_eq!(out, values);
+    }
+
+    /// All-max-width lanes (10 bytes per entry): the fast path never
+    /// fires and the scalar fallback must still agree.
+    #[test]
+    fn all_max_width_lanes_agree(values in proptest::collection::vec(
+        any::<u64>().prop_map(|v| v | 1 << 63), 0..64))
+    {
+        let lane = lane_of(&values);
+        prop_assert_eq!(lane.len(), values.len() * varint::MAX_LEN);
+        prop_assert_eq!(decode_with(&lane, values.len(), true),
+                        decode_with(&lane, values.len(), false));
+    }
+
+    /// Zigzag folding round-trips every i64.
+    #[test]
+    fn zigzag_round_trips(v in any::<i64>()) {
+        prop_assert_eq!(varint::unzigzag(varint::zigzag(v)), v);
+    }
+
+    /// `count_entries` accepts exactly the lanes `encode` produces and
+    /// counts them correctly even after arbitrary concatenation.
+    #[test]
+    fn count_entries_matches_encoder(values in values_strategy()) {
+        let lane = lane_of(&values);
+        prop_assert_eq!(varint::count_entries(&lane), Some(values.len()));
+        // Truncating inside a multi-byte entry must be rejected.
+        if let Some(&last) = lane.last() {
+            let _ = last;
+            let mut cut = lane.clone();
+            cut.push(0x80); // dangling continuation byte
+            prop_assert_eq!(varint::count_entries(&cut), None);
+        }
+    }
+}

@@ -9,12 +9,12 @@
 //! regenerations, and CI runs skip DSL generation entirely and replay the
 //! file zero-copy through a memory map.
 //!
-//! # File format (version 2, little-endian)
+//! # File format (version 3, little-endian)
 //!
 //! | field | size | contents |
 //! |---|---|---|
 //! | magic | 8 | `b"CBWSTRCE"` |
-//! | format version | 4 | `u32`, currently 2 |
+//! | format version | 4 | `u32`, currently 3 |
 //! | workload hash | 8 | FNV-1a over the sources this workload's trace depends on ([`workload_hash`]) |
 //! | scale | 1 | 0 = tiny, 1 = small, 2 = full |
 //! | name length | 2 | `u16` |
@@ -59,8 +59,10 @@ use std::time::Instant;
 pub const MAGIC: &[u8; 8] = b"CBWSTRCE";
 
 /// Current file-format version. Version 2 replaced the whole-binary DSL
-/// hash with the per-workload [`workload_hash`].
-pub const FORMAT_VERSION: u32 = 2;
+/// hash with the per-workload [`workload_hash`]; version 3 switched the
+/// payload's operand lanes to LEB128 varints (`cbws_trace::varint`), so
+/// v2 payloads no longer parse and must be regenerated.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Environment variable selecting the store directory.
 pub const DIR_ENV: &str = "CBWS_TRACE_STORE_DIR";
