@@ -15,16 +15,22 @@
 //! replays packed columnar traces from the store, the identity assertion
 //! also cross-validates the two trace representations end to end.
 //!
-//! Three competitors are timed: the serial sweep (AoS traces, cold trace
+//! Four competitors are timed: the serial sweep (AoS traces, cold trace
 //! cache each run), the engine with a **cold** trace store (pays DSL
-//! generation plus encode/write), and the engine with a **warm** store
+//! generation plus encode/write), the engine with a **warm** store
 //! (checksum-verified loads only — the steady state of repeated sweeps and
-//! CI runs). Unless `CBWS_TRACE_STORE_DIR` is already set, the store is
-//! pointed at a bench-owned scratch directory so cold runs can wipe it
-//! safely.
+//! CI runs), and the engine with a **cached** result store (every job
+//! served from a persisted `RunRecord`, skipping trace loads and
+//! simulation entirely — the steady state of resumed or repeated
+//! experiment sweeps). The first three legs run with the result cache off
+//! so their timings keep the meaning they had before the result store
+//! existed. Unless `CBWS_TRACE_STORE_DIR` / `CBWS_RESULT_STORE_DIR` are
+//! already set, both stores are pointed at bench-owned scratch
+//! directories so cold runs can wipe them safely.
 
 use cbws_harness::engine::detect_parallelism;
-use cbws_harness::experiments::{sweep, sweep_engine};
+use cbws_harness::experiments::{sweep, sweep_engine_with};
+use cbws_harness::{result_store, ResultCache};
 use cbws_workloads::{trace_cache, trace_store, Scale, WorkloadSpec, ALL};
 use std::time::Instant;
 
@@ -41,6 +47,15 @@ fn main() {
             concat!(
                 env!("CARGO_MANIFEST_DIR"),
                 "/../../target/trace-store-bench"
+            ),
+        );
+    }
+    if std::env::var_os("CBWS_RESULT_STORE_DIR").is_none() {
+        std::env::set_var(
+            "CBWS_RESULT_STORE_DIR",
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../target/result-store-bench"
             ),
         );
     }
@@ -90,7 +105,7 @@ fn main() {
     for _ in 0..iters {
         let _ = std::fs::remove_dir_all(store.dir());
         store.drop_memory();
-        let run = sweep_engine(scale, &workloads, jobs);
+        let run = sweep_engine_with(scale, &workloads, jobs, ResultCache::Off);
         engine_secs = engine_secs.min(run.wall_seconds);
         workers = run.workers;
         engine_records = run.records;
@@ -105,7 +120,7 @@ fn main() {
     let mut warm_workers = Vec::new();
     for _ in 0..iters {
         store.drop_memory();
-        let run = sweep_engine(scale, &workloads, jobs);
+        let run = sweep_engine_with(scale, &workloads, jobs, ResultCache::Off);
         if run.wall_seconds < warm_secs {
             warm_secs = run.wall_seconds;
             warm_workers = run.worker_stats;
@@ -113,6 +128,36 @@ fn main() {
         warm_records = run.records;
     }
     eprintln!("[sweep_e2e] engine (warm store): {warm_secs:.3} s on {workers} workers");
+
+    // Engine competitor, cached result store: one populate run persists
+    // every job's RunRecord, then each measured run serves the full matrix
+    // from the store — no trace loads, no simulation. This is the steady
+    // state of `--resume` and of re-running an already-finished sweep.
+    let rstore = result_store::shared();
+    let _ = std::fs::remove_dir_all(rstore.dir());
+    let populate = sweep_engine_with(scale, &workloads, jobs, ResultCache::Shared);
+    assert_eq!(
+        populate.store_misses(),
+        populate.job_count,
+        "populate run must simulate and persist every job"
+    );
+    let mut cached_secs = f64::INFINITY;
+    let mut cached_records = Vec::new();
+    let mut cached_hits = 0;
+    let mut cached_misses = 0;
+    for _ in 0..iters {
+        let run = sweep_engine_with(scale, &workloads, jobs, ResultCache::Shared);
+        assert_eq!(
+            run.store_hits(),
+            run.job_count,
+            "cached run must serve every job from the result store"
+        );
+        cached_secs = cached_secs.min(run.wall_seconds);
+        cached_hits = run.store_hits();
+        cached_misses = run.store_misses();
+        cached_records = run.records;
+    }
+    eprintln!("[sweep_e2e] engine (cached results): {cached_secs:.3} s on {workers} workers");
 
     // Determinism gate: byte-identical records, valid classification.
     assert_eq!(
@@ -122,6 +167,10 @@ fn main() {
     assert_eq!(
         engine_records, warm_records,
         "warm-store records diverged from the cold-store run"
+    );
+    assert_eq!(
+        warm_records, cached_records,
+        "result-store records diverged from fresh simulation"
     );
     assert!(
         engine_records
@@ -136,7 +185,11 @@ fn main() {
 
     let speedup = serial_secs / engine_secs;
     let warm_speedup = serial_secs / warm_secs;
-    eprintln!("[sweep_e2e] speedup: {speedup:.2}x cold, {warm_speedup:.2}x warm");
+    let cached_speedup = warm_secs / cached_secs;
+    eprintln!(
+        "[sweep_e2e] speedup: {speedup:.2}x cold, {warm_speedup:.2}x warm, \
+         {cached_speedup:.2}x cached-over-warm"
+    );
 
     // Record the measurement at the repository root. `workers_detail` is
     // the per-worker busy/idle split of the best warm run (the gated
@@ -146,8 +199,8 @@ fn main() {
         .map(|w| {
             format!(
                 "    {{\"worker\": {}, \"jobs\": {}, \"busy_seconds\": {:.4}, \
-                 \"idle_seconds\": {:.4}}}",
-                w.worker, w.jobs, w.busy_seconds, w.idle_seconds
+                 \"idle_seconds\": {:.4}, \"store_hits\": {}, \"store_misses\": {}}}",
+                w.worker, w.jobs, w.busy_seconds, w.idle_seconds, w.store_hits, w.store_misses
             )
         })
         .collect();
@@ -157,7 +210,11 @@ fn main() {
          \"workers\": {workers},\n  \"iterations\": {iters},\n  \
          \"serial_seconds\": {serial_secs:.4},\n  \"engine_seconds\": {engine_secs:.4},\n  \
          \"engine_warm_seconds\": {warm_secs:.4},\n  \
+         \"engine_cached_seconds\": {cached_secs:.4},\n  \
          \"speedup\": {speedup:.3},\n  \"warm_speedup\": {warm_speedup:.3},\n  \
+         \"cached_speedup\": {cached_speedup:.3},\n  \
+         \"result_store_hits\": {cached_hits},\n  \
+         \"result_store_misses\": {cached_misses},\n  \
          \"identical_records\": true,\n  \"workers_detail\": [\n{}\n  ]\n}}\n",
         workloads.len(),
         workers_detail.join(",\n")

@@ -7,22 +7,23 @@
 //! perf-history check  [--dir results/perf-history] [--k 3.0] [--warn-only]
 //! ```
 //!
-//! `record` appends each `BENCH_*.json` snapshot (default: `BENCH_sweep.json`,
-//! `BENCH_trace.json`, and `BENCH_decode.json` at the repository root) to
+//! `record` appends each `BENCH_*.json` snapshot (default: every
+//! `perf_history::SNAPSHOT_FILES` entry present at the repository root) to
 //! `results/perf-history/<bench>.jsonl`, stamped with the current git
 //! revision and timestamp. `trends` prints the rolling mean/stddev of every
 //! metric against the latest run. `check` exits non-zero when a hard-gated
 //! wall-clock metric (see `perf_history::HARD_METRICS`) regresses beyond
 //! `k` stddevs of its prior runs, or when an absolute gate on the latest
 //! record fails (`replay_speedup >= 1.0`; single-worker
-//! `engine_warm_seconds <= 1.02 x serial_seconds` — see
+//! `engine_warm_seconds <= 1.02 x serial_seconds`; cached sweep
+//! `engine_warm_seconds / engine_cached_seconds >= 3.0` — see
 //! `perf_history::check_gates`); `--warn-only` downgrades failures to
 //! warnings for hosts whose timings are known-noisy (e.g. single-core CI
 //! runners). `--check` is accepted as an alias for the `check` subcommand.
 
 use cbws_bench::perf_history::{
-    self, append, benches_in, check, check_gates, git_rev, load, trends, unix_time_now, PerfRecord,
-    DEFAULT_K,
+    self, append, benches_in, check, check_gates, git_rev, load, load_snapshot, snapshot_paths,
+    trends, unix_time_now, DEFAULT_K,
 };
 use std::path::{Path, PathBuf};
 
@@ -82,12 +83,7 @@ fn main() {
     match mode.unwrap_or_else(|| fail("missing subcommand")) {
         "record" => {
             if files.is_empty() {
-                for name in ["BENCH_sweep.json", "BENCH_trace.json", "BENCH_decode.json"] {
-                    let p = repo_root().join(name);
-                    if p.exists() {
-                        files.push(p);
-                    }
-                }
+                files = snapshot_paths(repo_root());
                 if files.is_empty() {
                     fail("no BENCH_*.json snapshots at the repository root and no FILE given");
                 }
@@ -95,10 +91,7 @@ fn main() {
             let rev = git_rev(repo_root());
             let now = unix_time_now();
             for file in &files {
-                let json = std::fs::read_to_string(file)
-                    .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", file.display())));
-                let record = PerfRecord::from_bench_json(&json, &rev, now)
-                    .unwrap_or_else(|e| fail(&format!("{}: {e}", file.display())));
+                let record = load_snapshot(file, &rev, now).unwrap_or_else(|e| fail(&e));
                 append(&dir, &record).unwrap_or_else(|e| fail(&e));
                 println!(
                     "[perf-history] appended {} @ {rev} to {}",

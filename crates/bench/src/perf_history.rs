@@ -26,19 +26,24 @@
 //! the least noisy of the recorded clocks (no DSL generation, no file
 //! writes).
 //!
-//! On top of the rolling gate, [`check_gates`] pins two absolute
+//! On top of the rolling gate, [`check_gates`] pins three absolute
 //! invariants on the *latest* record regardless of history: replaying
 //! straight from the stored packed trace must stay at least as fast as
 //! materializing the AoS vector and replaying that
-//! (`replay_speedup >=` [`REPLAY_SPEEDUP_FLOOR`]), and a single-worker
+//! (`replay_speedup >=` [`REPLAY_SPEEDUP_FLOOR`]); a single-worker
 //! engine sweep must stay within
-//! [`SINGLE_WORKER_OVERHEAD_CEILING`]` * serial_seconds` — the batched
-//! lane decoder and the engine fast path established those bounds, and a
-//! ratio gate holds across hosts where a wall-clock mean would not.
+//! [`SINGLE_WORKER_OVERHEAD_CEILING`]` * serial_seconds`; and a sweep
+//! served from the persistent result store must beat the warm engine
+//! sweep by [`CACHED_SWEEP_SPEEDUP_FLOOR`]`x`. The batched lane decoder,
+//! the engine fast path, and the content-addressed result store
+//! established those bounds, and ratio gates hold across hosts where a
+//! wall-clock mean would not.
 //!
 //! The driver is the `perf-history` binary; see its module docs for the
-//! CLI. The generated book's "Performance trends" page renders the same
-//! history via [`trends`].
+//! CLI. Snapshot parsing is shared through [`load_snapshot`] /
+//! [`snapshot_paths`] so the CLI's `record` mode and docgen's book pages
+//! read `BENCH_*.json` identically. The generated book's "Performance
+//! trends" page renders the same history via [`trends`].
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -76,6 +81,19 @@ pub const REPLAY_SPEEDUP_FLOOR: f64 = 1.0;
 /// this gate — their ratio measures parallel speedup, which is
 /// host-dependent.
 pub const SINGLE_WORKER_OVERHEAD_CEILING: f64 = 1.02;
+
+/// Floor on `engine_warm_seconds / engine_cached_seconds` for sweep
+/// records that publish both: a full-matrix sweep served entirely from
+/// the persistent result store skips trace loading *and* simulation per
+/// job, so it must beat the warm engine sweep (which still simulates
+/// every job from stored traces) by at least this factor. A miss means
+/// the store's verify-and-load path got slower than simulating — the
+/// cache stopped paying for itself.
+pub const CACHED_SWEEP_SPEEDUP_FLOOR: f64 = 3.0;
+
+/// The benchmark snapshot files committed at the repository root, in
+/// recording order.
+pub const SNAPSHOT_FILES: &[&str] = &["BENCH_sweep.json", "BENCH_trace.json", "BENCH_decode.json"];
 
 /// One recorded benchmark run: the numeric metrics of a `BENCH_*.json`
 /// snapshot plus the provenance that makes the line auditable.
@@ -138,6 +156,26 @@ impl PerfRecord {
     pub fn path_in(&self, dir: &Path) -> PathBuf {
         dir.join(format!("{}.jsonl", self.bench))
     }
+}
+
+/// The [`SNAPSHOT_FILES`] that exist under `root`.
+pub fn snapshot_paths(root: &Path) -> Vec<PathBuf> {
+    SNAPSHOT_FILES
+        .iter()
+        .map(|name| root.join(name))
+        .filter(|p| p.exists())
+        .collect()
+}
+
+/// Reads and parses one `BENCH_*.json` snapshot file into a
+/// [`PerfRecord`] — the one loader shared by the `perf-history record`
+/// CLI and docgen's generated book pages, so snapshot parsing cannot
+/// drift between them.
+pub fn load_snapshot(path: &Path, git_rev: &str, unix_time: u64) -> Result<PerfRecord, String> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    PerfRecord::from_bench_json(&json, git_rev, unix_time)
+        .map_err(|e| format!("{}: {e}", path.display()))
 }
 
 /// Appends `record` as one JSON line to `dir/<bench>.jsonl`, creating the
@@ -359,6 +397,22 @@ pub fn check_gates(dir: &Path) -> Result<Vec<GateViolation>, String> {
                 });
             }
         }
+        if let (Some(warm), Some(cached)) = (
+            metric("engine_warm_seconds"),
+            metric("engine_cached_seconds"),
+        ) {
+            if cached > 0.0 && warm / cached < CACHED_SWEEP_SPEEDUP_FLOOR {
+                out.push(GateViolation {
+                    bench: bench.clone(),
+                    message: format!(
+                        "engine_warm_seconds {warm:.4} / engine_cached_seconds {cached:.4} = \
+                         {:.2} < floor {CACHED_SWEEP_SPEEDUP_FLOOR} \
+                         (result-store sweep no longer beats re-simulation)",
+                        warm / cached
+                    ),
+                });
+            }
+        }
     }
     Ok(out)
 }
@@ -554,8 +608,57 @@ mod tests {
         append(&dir, &record("decode_throughput", 0.5, 1.0)).unwrap();
         // `record` has engine_warm_seconds/serial_seconds but no `workers`
         // metric, so the ratio gate cannot apply; neither can the replay
-        // floor. Empty dirs are clean too.
+        // floor or the cached-sweep floor (no engine_cached_seconds).
+        // Empty dirs are clean too.
         assert!(check_gates(&dir).unwrap().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn cached_sweep_record(warm: f64, cached: f64) -> PerfRecord {
+        let mut r = record("sweep_e2e", warm, warm);
+        r.metrics.insert("engine_cached_seconds".into(), cached);
+        r.metrics.insert("cached_speedup".into(), warm / cached);
+        r
+    }
+
+    #[test]
+    fn cached_sweep_floor_gates_only_the_latest_record() {
+        let dir = std::env::temp_dir().join(format!("cbws-gate-cached-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // 5x over the warm sweep: clean (and the old sub-floor record
+        // below does not resurrect once superseded).
+        append(&dir, &cached_sweep_record(1.0, 0.4)).unwrap();
+        append(&dir, &cached_sweep_record(1.0, 0.2)).unwrap();
+        assert!(check_gates(&dir).unwrap().is_empty());
+        // Latest record at 2.5x — under the 3x floor — trips the gate.
+        append(&dir, &cached_sweep_record(1.0, 0.4)).unwrap();
+        let found = check_gates(&dir).unwrap();
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].bench, "sweep_e2e");
+        assert!(found[0].message.contains("engine_cached_seconds"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_loader_reads_bench_json_and_skips_missing_files() {
+        let root = std::env::temp_dir().join(format!("cbws-snapshot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        assert!(snapshot_paths(&root).is_empty(), "no snapshots yet");
+        std::fs::write(
+            root.join("BENCH_sweep.json"),
+            r#"{"bench":"sweep_e2e","scale":"small","cores":2,
+                "engine_warm_seconds":0.5,"engine_cached_seconds":0.1}"#,
+        )
+        .unwrap();
+        let paths = snapshot_paths(&root);
+        assert_eq!(paths, vec![root.join("BENCH_sweep.json")]);
+        let r = load_snapshot(&paths[0], "deadbee", 42).unwrap();
+        assert_eq!(r.bench, "sweep_e2e");
+        assert_eq!(r.cores, 2);
+        assert!((r.metrics["engine_cached_seconds"] - 0.1).abs() < 1e-12);
+        let err = load_snapshot(&root.join("BENCH_trace.json"), "deadbee", 42).unwrap_err();
+        assert!(err.contains("BENCH_trace.json"), "{err}");
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

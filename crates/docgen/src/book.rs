@@ -59,6 +59,10 @@ pub fn build_book(root: &Path, registry: &[ComponentDescription]) -> Result<Book
     files.insert("src/introduction.md".into(), introduction().into_bytes());
     files.insert("src/reproducing.md".into(), reproducing().into_bytes());
     files.insert("src/trace-store.md".into(), trace_store().into_bytes());
+    files.insert(
+        "src/result-store.md".into(),
+        result_store(root)?.into_bytes(),
+    );
     files.insert("src/observability.md".into(), observability().into_bytes());
     files.insert("src/perf-trends.md".into(), perf_trends(root)?.into_bytes());
     files.insert(
@@ -220,6 +224,8 @@ fn reproducing() -> String {
          | `--jobs N` | worker threads for the work-stealing sweep engine; `0` or absent = all cores |\n\
          | `--quiet` | suppress console tables (CSVs, SVGs, and manifests are still written) |\n\
          | `--progress` | verbose per-phase and heartbeat logging |\n\
+         | `--resume` | report how many jobs an interrupted sweep left behind; only those are simulated (the rest come from the [result store](result-store.md)) |\n\
+         | `--no-result-cache` | turn the persistent result store off for this run (every job simulates) |\n\
          | `--trace-out F` / `--metrics-out F` | JSONL event trace / JSON metrics dump (see below) |\n\n\
          ## Environment\n\n\
          | variable | effect |\n|---|---|\n\
@@ -231,7 +237,14 @@ fn reproducing() -> String {
          [trace store](trace-store.md) (default `target/trace-store/`). The \
          sweep engine and figure regenerators read packed traces from here \
          and skip DSL generation on warm runs; delete the directory to \
-         force regeneration. |\n\n\
+         force regeneration. |\n\
+         | `CBWS_RESULT_STORE_DIR` | directory of the persistent \
+         [result store](result-store.md) (default `target/result-store/`). \
+         Finished jobs' records are served from here, skipping trace \
+         loading and simulation entirely. |\n\
+         | `CBWS_RESULT_CACHE_BYTES` | byte budget of the result store on \
+         disk (default 64 MiB); oldest-used entries are evicted first when \
+         a write exceeds it. |\n\n\
          ## Observability\n\n\
          Telemetry is off by default and costs one branch per hook when \
          disabled. `--trace-out` captures the structured event trace \
@@ -318,6 +331,79 @@ fn trace_store() -> String {
     )
 }
 
+fn result_store(root: &Path) -> Result<String, String> {
+    use cbws_bench::perf_history::{load_snapshot, CACHED_SWEEP_SPEEDUP_FLOOR};
+    let mut md = format!(
+        "{}# The result store\n\n\
+         Simulation results are deterministic functions of the trace, the \
+         prefetcher configuration, and the simulator code, so the harness \
+         persists each job's `RunRecord` the same way the \
+         [trace store](trace-store.md) persists traces. Every binary keeps \
+         the store on by default; re-running a sweep whose inputs have not \
+         changed serves every job from disk and skips both trace loading \
+         and simulation. An interrupted sweep resumes with `--resume`, \
+         simulating only the jobs the killed run never finished.\n\n\
+         ## Keying and the file format (version 1)\n\n\
+         One little-endian file per `(workload, scale, prefetcher)`, named \
+         `<workload>-<scale>-<prefetcher>.cbwsresult` under \
+         `CBWS_RESULT_STORE_DIR` (default `target/result-store/`). The \
+         header stores magic `CBWSRSLT`, the format version, and an FNV-1a \
+         key hash folding together:\n\n\
+         | component | invalidates when |\n|---|---|\n\
+         | workload trace hash | the workload's DSL sources change (the \
+         trace store's per-suite scheme) |\n\
+         | prefetcher kind + `SystemConfig` hash | any cache, latency, or \
+         prefetcher parameter changes (each sensitivity point keys \
+         separately) |\n\
+         | simulator version hash | any simulation source file changes |\n\
+         | scale | the trace length changes |\n\n\
+         The payload is the JSON-serialized `RunRecord` guarded by an \
+         FNV-1a checksum. A mismatch on any field — including a single \
+         flipped bit anywhere in the file — rejects the entry with a \
+         `warn!`, removes it, and re-simulates; property tests in \
+         `result_store_properties.rs` exercise exactly this. Writes are \
+         atomic (temp file + rename), so a killed run never leaves a torn \
+         entry.\n\n\
+         ## Byte budget\n\n\
+         `CBWS_RESULT_CACHE_BYTES` bounds the store on disk (default \
+         64 MiB). When a write pushes past the budget, oldest-modified \
+         entries are evicted first; hits bump an entry's mtime, so the \
+         order is LRU. The entry just written is never evicted.\n\n\
+         ## Telemetry\n\n\
+         With telemetry enabled the store counts `result_store.hit`, \
+         `.miss`, `.write`, `.invalidate`, and `.evict`; the cached CI leg \
+         asserts `result_store.hit > 0`. Each `results/*.manifest.json` \
+         records per-worker `store_hits` / `store_misses`, so a committed \
+         artifact says whether its records were simulated or served from \
+         the store. Determinism is gated in `sweep_e2e`: records served \
+         from the store must be byte-identical to fresh simulation.\n",
+        pages::GENERATED_BANNER
+    );
+    let snap = root.join("BENCH_sweep.json");
+    if snap.exists() {
+        let r = load_snapshot(&snap, "committed", 0)?;
+        if let (Some(&warm), Some(&cached)) = (
+            r.metrics.get("engine_warm_seconds"),
+            r.metrics.get("engine_cached_seconds"),
+        ) {
+            md.push_str(&format!(
+                "\n> On the committed `BENCH_sweep.json` snapshot (scale \
+                 {}, {} core(s)), the warm engine sweep took {:.4} s and \
+                 the fully cached sweep {:.4} s — {:.1}x faster. \
+                 `perf-history check` gates this ratio at \
+                 {CACHED_SWEEP_SPEEDUP_FLOOR}x; see \
+                 [Performance trends](perf-trends.md).\n",
+                r.scale,
+                r.cores,
+                warm,
+                cached,
+                warm / cached
+            ));
+        }
+    }
+    Ok(md)
+}
+
 fn observability() -> String {
     format!(
         "{}# Observability\n\n\
@@ -383,11 +469,14 @@ fn perf_trends(root: &Path) -> Result<String, String> {
          `perf-history check` fails CI when a **hard-gated** metric ({}) \
          exceeds the prior mean by 3 stddevs (with a 2%-of-mean noise \
          floor); other `*_seconds` metrics only warn. Gating starts once a \
-         metric has {} prior runs. Two absolute gates apply to the latest \
+         metric has {} prior runs. Three absolute gates apply to the latest \
          record regardless of history: `replay_speedup >= 1.0` (direct \
-         packed replay must beat materialize-then-replay AoS) and \
+         packed replay must beat materialize-then-replay AoS), \
          `engine_warm_seconds <= 1.02 x serial_seconds` on single-worker \
-         sweep records (the engine fast path's overhead bound).\n",
+         sweep records (the engine fast path's overhead bound), and \
+         `engine_warm_seconds / engine_cached_seconds >= 3.0` (a sweep \
+         served from the [result store](result-store.md) must beat \
+         re-simulation).\n",
         pages::GENERATED_BANNER,
         HARD_METRICS.join(", "),
         MIN_HISTORY
@@ -445,6 +534,7 @@ fn summary(registry: &[ComponentDescription], figures: &[pages::FigureSpec]) -> 
     let mut md = String::from("# Summary\n\n[Introduction](introduction.md)\n\n");
     md.push_str("- [Reproducing the figures](reproducing.md)\n");
     md.push_str("- [The trace store](trace-store.md)\n");
+    md.push_str("- [The result store](result-store.md)\n");
     md.push_str("- [Observability](observability.md)\n");
     md.push_str("- [Performance trends](perf-trends.md)\n");
     md.push_str("- [Component reference](registry/index.md)\n");

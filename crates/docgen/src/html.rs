@@ -3,8 +3,9 @@
 //! The container has no `mdbook` binary, so `docgen --html` renders the
 //! same `book/src` tree to static HTML with a deliberately small markdown
 //! subset: exactly what the generated pages use (headings, paragraphs,
-//! fenced code, tables, lists, emphasis, links, images). Where mdBook is
-//! available, `mdbook build book` works on the identical sources.
+//! fenced code, tables, lists, blockquotes, emphasis, links, images).
+//! Where mdBook is available, `mdbook build book` works on the identical
+//! sources.
 
 use std::path::Path;
 
@@ -167,6 +168,26 @@ pub fn markdown_to_html(md: &str) -> String {
             html.push_str(&h);
             continue;
         }
+        if let Some(quoted) = trimmed.strip_prefix('>') {
+            close_list(&mut html, &mut in_list, &mut in_ordered);
+            let mut quote = quoted.trim_start().to_string();
+            while lines
+                .peek()
+                .is_some_and(|l| l.trim_start().starts_with('>'))
+            {
+                let cont = lines.next().unwrap();
+                let t = cont.trim_start().trim_start_matches('>').trim_start();
+                if !quote.is_empty() && !t.is_empty() {
+                    quote.push(' ');
+                }
+                quote.push_str(t);
+            }
+            html.push_str(&format!(
+                "<blockquote><p>{}</p></blockquote>\n",
+                inline(&quote)
+            ));
+            continue;
+        }
         if trimmed.starts_with('|') {
             close_list(&mut html, &mut in_list, &mut in_ordered);
             let mut rows = vec![trimmed.to_string()];
@@ -215,6 +236,7 @@ pub fn markdown_to_html(md: &str) -> String {
             !t.is_empty()
                 && !t.starts_with('|')
                 && !t.starts_with('#')
+                && !t.starts_with('>')
                 && !t.starts_with("```")
                 && !t.starts_with("* ")
                 && !t.starts_with("- ")
@@ -407,5 +429,14 @@ mod tests {
     fn images_render() {
         let html = markdown_to_html("![plot](fig.svg)\n");
         assert!(html.contains("<img src=\"fig.svg\" alt=\"plot\">"));
+    }
+
+    #[test]
+    fn blockquotes_render_and_merge_continuation_lines() {
+        let html = markdown_to_html("before\n\n> quoted `code`\n> continues here\n\nafter\n");
+        assert!(html
+            .contains("<blockquote><p>quoted <code>code</code> continues here</p></blockquote>"));
+        assert!(html.contains("<p>before</p>"));
+        assert!(html.contains("<p>after</p>"));
     }
 }

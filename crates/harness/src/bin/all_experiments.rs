@@ -4,7 +4,8 @@
 //! run that produced it.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin all_experiments
-//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--resume] [--no-result-cache]
+//! [--quiet|--progress]`
 
 use cbws_harness::experiments::{
     fig01_loop_fraction, fig03_stencil_cbws, fig05_differential_skew, fig05_svg, fig12_mpki,

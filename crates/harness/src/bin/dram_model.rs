@@ -6,10 +6,12 @@
 //! one — a stress test for the CBWS+SMS result.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin dram_model
-//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--resume] [--no-result-cache]
+//! [--quiet|--progress]`
 
 use cbws_harness::experiments::{
-    get, jobs_from_args, save_csv, scale_from_args, session_spans, write_session_spans,
+    get, jobs_from_args, result_cache_from_args, save_csv, scale_from_args, session_spans,
+    write_session_spans,
 };
 use cbws_harness::{Engine, EngineConfig, EngineRun, PrefetcherKind, RunManifest, SystemConfig};
 use cbws_sim_mem::DramConfig;
@@ -29,6 +31,7 @@ fn run_suite(scale: cbws_workloads::Scale, cfg: SystemConfig, jobs: usize) -> En
         system: cfg,
         telemetry: Telemetry::disabled(),
         spans: session_spans().clone(),
+        result_cache: result_cache_from_args(),
     })
     .run(scale, &mi_suite(), &KINDS)
 }

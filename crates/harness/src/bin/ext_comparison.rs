@@ -12,10 +12,12 @@
 //! * Markov (Joseph & Grunwald), pair-correlation prefetching.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin ext_comparison
-//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--resume] [--no-result-cache]
+//! [--quiet|--progress]`
 
 use cbws_harness::experiments::{
-    get, jobs_from_args, save_csv, scale_from_args, session_spans, write_session_spans,
+    get, jobs_from_args, result_cache_from_args, save_csv, scale_from_args, session_spans,
+    write_session_spans,
 };
 use cbws_harness::{Engine, EngineConfig, PrefetcherKind, RunManifest, SystemConfig};
 use cbws_stats::{geomean, TextTable};
@@ -36,6 +38,7 @@ fn main() {
     let engine = Engine::new(EngineConfig {
         jobs: jobs_from_args(),
         spans: session_spans().clone(),
+        result_cache: result_cache_from_args(),
         ..EngineConfig::default()
     });
     let run = engine.run(scale, &suite, &kinds);

@@ -2,11 +2,12 @@
 //! innermost loops for the memory-intensive benchmarks.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin fig01_loop_fraction
-//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--resume] [--no-result-cache]
+//! [--quiet|--progress]`
 
 use cbws_harness::experiments::{
-    fig01_from_records, jobs_from_args, save_csv, scale_from_args, session_spans,
-    write_session_spans,
+    fig01_from_records, jobs_from_args, result_cache_from_args, save_csv, scale_from_args,
+    session_spans, write_session_spans,
 };
 use cbws_harness::{Engine, EngineConfig, PrefetcherKind, RunManifest, SystemConfig};
 use cbws_telemetry::{result, status};
@@ -20,6 +21,7 @@ fn main() {
     let engine = Engine::new(EngineConfig {
         jobs: jobs_from_args(),
         spans: session_spans().clone(),
+        result_cache: result_cache_from_args(),
         ..EngineConfig::default()
     });
     let run = engine.run(scale, &suite, &[PrefetcherKind::None]);

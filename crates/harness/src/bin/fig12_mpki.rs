@@ -2,7 +2,8 @@
 //! the memory-intensive suite (lower is better).
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin fig12_mpki
-//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--resume] [--no-result-cache]
+//! [--quiet|--progress]`
 
 use cbws_harness::experiments::{
     fig12_mpki, jobs_from_args, save_csv, scale_from_args, sweep_engine,

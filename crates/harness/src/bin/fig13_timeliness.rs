@@ -3,7 +3,8 @@
 //! prefetcher on the memory-intensive suite.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin fig13_timeliness
-//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--resume] [--no-result-cache]
+//! [--quiet|--progress]`
 
 use cbws_harness::experiments::{
     fig13_timeliness, jobs_from_args, save_csv, scale_from_args, sweep_engine,

@@ -2,7 +2,8 @@
 //! (higher is better) — the paper's headline result.
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin fig14_speedup
-//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--resume] [--no-result-cache]
+//! [--quiet|--progress]`
 
 use cbws_harness::experiments::{
     fig14_speedup, jobs_from_args, save_csv, scale_from_args, sweep_engine,

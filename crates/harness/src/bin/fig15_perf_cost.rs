@@ -2,7 +2,8 @@
 //! memory, normalized to the no-prefetch configuration (higher is better).
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin fig15_perf_cost
-//! [--scale tiny|small|full] [--jobs N] [--quiet|--progress]`
+//! [--scale tiny|small|full] [--jobs N] [--resume] [--no-result-cache]
+//! [--quiet|--progress]`
 
 use cbws_harness::experiments::{
     fig15_perf_cost, jobs_from_args, save_csv, scale_from_args, sweep_engine,

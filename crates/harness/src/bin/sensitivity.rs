@@ -5,10 +5,11 @@
 //!
 //! Usage: `cargo run --release -p cbws-harness --bin sensitivity
 //! [--scale tiny|small|full] [--jobs N] [--spans-out F]
-//! [--quiet|--progress]`
+//! [--resume] [--no-result-cache] [--quiet|--progress]`
 
 use cbws_harness::experiments::{
-    jobs_from_args, save_csv, scale_from_args, session_spans, write_session_spans,
+    jobs_from_args, result_cache_from_args, save_csv, scale_from_args, session_spans,
+    write_session_spans,
 };
 use cbws_harness::{
     Engine, EngineConfig, EngineRun, PrefetcherKind, RunManifest, SystemConfig, WorkerStats,
@@ -25,6 +26,9 @@ fn geomean_speedup(scale: Scale, cfg: SystemConfig, jobs: usize) -> (f64, Engine
         system: cfg,
         telemetry: Telemetry::disabled(),
         spans: session_spans().clone(),
+        // Each sensitivity point's config is part of the result key, so
+        // cached entries from other points can never be served here.
+        result_cache: result_cache_from_args(),
     });
     let run = engine.run(
         scale,

@@ -7,7 +7,8 @@
 //! simulate --workload stencil-default [--scale small] [--jobs N] \
 //!          [--prefetcher SMS] [--dram] [--export trace.json] \
 //!          [--trace-out events.jsonl] [--metrics-out metrics.json] \
-//!          [--spans-out spans.json] [--quiet | --progress]
+//!          [--spans-out spans.json] [--resume] [--no-result-cache] \
+//!          [--quiet | --progress]
 //! simulate --trace mytrace.json --prefetcher CBWS+SMS
 //! ```
 //!
@@ -27,7 +28,7 @@
 //! for shared per-run telemetry, which requires serial execution.
 
 use cbws_harness::experiments::{
-    jobs_from_args, scale_from_args, session_spans, write_session_spans,
+    jobs_from_args, result_cache_from_args, scale_from_args, session_spans, write_session_spans,
 };
 use cbws_harness::{Engine, EngineConfig, PrefetcherKind, RunManifest, Simulator, SystemConfig};
 use cbws_sim_mem::DramConfig;
@@ -129,6 +130,7 @@ fn main() {
                 system: cfg,
                 telemetry: Telemetry::disabled(),
                 spans: session_spans().clone(),
+                result_cache: result_cache_from_args(),
             });
             let run = engine.run(scale, &[w], &kinds);
             manifest = manifest

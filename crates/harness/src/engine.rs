@@ -34,6 +34,15 @@
 //! (`engine_warm_seconds` vs `serial_seconds` in BENCH_sweep.json). Jobs
 //! on that path carry a `fast_path=true` span attribute.
 //!
+//! Results can come from the persistent [`crate::result_store`] when the
+//! configured [`ResultCache`] attaches one: each job is content-addressed
+//! by (trace hash, prefetcher kind + config hash, scale, simulator-version
+//! hash), and a verified hit skips the trace load and the simulation
+//! entirely — the stored record is byte-identical to a fresh run (asserted
+//! by determinism tests), so resumed or repeated sweeps pay only for the
+//! jobs whose inputs changed. Hits and misses are tallied per worker in
+//! [`WorkerStats`] and surface in every manifest.
+//!
 //! Telemetry: the engine records `engine.*` metrics into its configured
 //! sink — `engine.workers`, `engine.jobs.total`, `engine.jobs.completed`,
 //! `engine.queue.depth`, `engine.jobs_per_sec`, `engine.utilization`,
@@ -42,6 +51,7 @@
 //! concurrent runs would interleave their `run.*` gauges, and telemetry is
 //! observationally transparent to results, so nothing is lost.
 
+use crate::result_store::{self, ResultKey, ResultStore};
 use crate::runner::{PrefetcherKind, Simulator, SystemConfig};
 use cbws_stats::RunRecord;
 use cbws_telemetry::{
@@ -49,7 +59,7 @@ use cbws_telemetry::{
 };
 use cbws_workloads::{trace_store, Group, Scale, WorkloadSpec};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Number of workers the engine will use for `jobs = 0` (all cores).
@@ -72,6 +82,26 @@ pub fn detect_parallelism() -> usize {
     }
 }
 
+/// Where the engine looks for previously computed simulation results
+/// ([`crate::result_store`]).
+#[derive(Debug, Clone, Default)]
+pub enum ResultCache {
+    /// No reads, no writes — every job simulates from its trace. The
+    /// library default: unit tests and callers that measure simulation
+    /// itself stay unaffected by whatever the store happens to hold.
+    /// Binaries opt in via
+    /// [`crate::experiments::result_cache_from_args`], which returns
+    /// [`ResultCache::Shared`] unless `--no-result-cache` is given.
+    #[default]
+    Off,
+    /// The process-wide [`result_store::shared`] store
+    /// (`CBWS_RESULT_STORE_DIR`).
+    Shared,
+    /// A specific store instance (benches and tests with scratch
+    /// directories).
+    At(Arc<ResultStore>),
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -87,6 +117,11 @@ pub struct EngineConfig {
     /// idle gaps between claims; the trace store and `Core::run` nest
     /// their spans underneath.
     pub spans: Spans,
+    /// Result-store policy: with a store attached, each job first consults
+    /// it by content key — a hit skips the trace load and the simulation
+    /// entirely and returns the stored (checksummed, key-verified) record;
+    /// a miss simulates and persists. Off by default.
+    pub result_cache: ResultCache,
 }
 
 impl Default for EngineConfig {
@@ -96,6 +131,7 @@ impl Default for EngineConfig {
             system: SystemConfig::default(),
             telemetry: Telemetry::disabled(),
             spans: Spans::disabled(),
+            result_cache: ResultCache::Off,
         }
     }
 }
@@ -116,11 +152,30 @@ pub struct WorkerStats {
     /// Seconds inside the worker loop not spent on a job (claim overhead
     /// and the tail after the queue drained).
     pub idle_seconds: f64,
+    /// Jobs served from the result store (zero when the run's
+    /// [`ResultCache`] is `Off`).
+    pub store_hits: usize,
+    /// Jobs simulated because the result store had no valid entry (zero
+    /// when the run's [`ResultCache`] is `Off`).
+    pub store_misses: usize,
     /// Distribution of per-job durations in microseconds.
     pub job_us: Log2Histogram,
 }
 
 impl WorkerStats {
+    /// Fresh zeroed stats for worker `worker`.
+    fn new(worker: usize) -> WorkerStats {
+        WorkerStats {
+            worker,
+            jobs: 0,
+            busy_seconds: 0.0,
+            idle_seconds: 0.0,
+            store_hits: 0,
+            store_misses: 0,
+            job_us: Log2Histogram::new(),
+        }
+    }
+
     /// Folds another run's stats for the same worker index into `self`
     /// (used by binaries that drive several engine runs and report one
     /// aggregate manifest).
@@ -128,6 +183,8 @@ impl WorkerStats {
         self.jobs += other.jobs;
         self.busy_seconds += other.busy_seconds;
         self.idle_seconds += other.idle_seconds;
+        self.store_hits += other.store_hits;
+        self.store_misses += other.store_misses;
         self.job_us.merge(&other.job_us);
     }
 }
@@ -162,6 +219,58 @@ impl EngineRun {
             0.0
         }
     }
+
+    /// Jobs served from the result store, summed across workers.
+    pub fn store_hits(&self) -> usize {
+        self.worker_stats.iter().map(|s| s.store_hits).sum()
+    }
+
+    /// Jobs simulated because the result store had no valid entry, summed
+    /// across workers.
+    pub fn store_misses(&self) -> usize {
+        self.worker_stats.iter().map(|s| s.store_misses).sum()
+    }
+}
+
+/// Runs one `(workload, prefetcher)` job. With a result store attached it
+/// is consulted first — a verified hit skips the trace load and the
+/// simulation and is accounted under the `cached` phase; a miss (or no
+/// store) loads the trace, simulates, and persists the fresh record.
+/// Returns the record and whether it was served from the store.
+#[allow(clippy::too_many_arguments)]
+fn run_job(
+    store: Option<&ResultStore>,
+    sim: &Simulator,
+    spans: &Spans,
+    system: &SystemConfig,
+    w: &'static WorkloadSpec,
+    kind: PrefetcherKind,
+    scale: Scale,
+    prof: &mut Profiler,
+    stats: &mut WorkerStats,
+) -> (RunRecord, bool) {
+    let key = store.map(|_| ResultKey::new(w, scale, kind, system));
+    if let (Some(st), Some(key)) = (store, key.as_ref()) {
+        let lookup_start = Instant::now();
+        if let Some(record) = st.get(key) {
+            prof.record("cached", lookup_start.elapsed());
+            stats.store_hits += 1;
+            return (record, true);
+        }
+    }
+    let gen_start = Instant::now();
+    let gen_span = spans.begin("generate");
+    let trace = trace_store::shared().get(w, scale);
+    drop(gen_span);
+    prof.record("generate", gen_start.elapsed());
+    let sim_start = Instant::now();
+    let record = sim.run(w.name, w.group == Group::MemoryIntensive, &*trace, kind);
+    prof.record("simulate", sim_start.elapsed());
+    if let (Some(st), Some(key)) = (store, key.as_ref()) {
+        st.put(key, &record);
+        stats.store_misses += 1;
+    }
+    (record, false)
 }
 
 /// Schedules `(workload, prefetcher, scale)` simulation jobs across worker
@@ -180,6 +289,15 @@ impl Engine {
     /// The configuration in use.
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
+    }
+
+    /// The result store this run consults, if any.
+    fn store(&self) -> Option<&ResultStore> {
+        match &self.cfg.result_cache {
+            ResultCache::Off => None,
+            ResultCache::Shared => Some(result_store::shared()),
+            ResultCache::At(store) => Some(store),
+        }
     }
 
     /// Runs the full `workloads × kinds` matrix at `scale` and returns the
@@ -218,6 +336,11 @@ impl Engine {
         // and on the worker timelines.
         trace_store::shared().set_telemetry(telemetry.clone());
         trace_store::shared().set_spans(spans.clone());
+        let store = self.store();
+        if let Some(st) = store {
+            st.set_telemetry(telemetry.clone());
+            st.set_spans(spans.clone());
+        }
         telemetry.set_gauge("engine.workers", workers as f64);
         telemetry.set_gauge("engine.jobs.total", job_count as f64);
         telemetry.set_gauge("engine.queue.depth", job_count as f64);
@@ -258,13 +381,7 @@ impl Engine {
                     );
                     let mut local: Vec<(usize, RunRecord)> = Vec::new();
                     let mut prof = Profiler::new();
-                    let mut stats = WorkerStats {
-                        worker,
-                        jobs: 0,
-                        busy_seconds: 0.0,
-                        idle_seconds: 0.0,
-                        job_us: Log2Histogram::new(),
-                    };
+                    let mut stats = WorkerStats::new(worker);
                     let loop_start = Instant::now();
                     loop {
                         // The idle span covers the gap from the previous
@@ -287,14 +404,14 @@ impl Engine {
                             None
                         };
                         let job_start = Instant::now();
-                        let gen_span = spans.begin("generate");
-                        let trace = trace_store::shared().get(w, scale);
-                        drop(gen_span);
-                        prof.record("generate", job_start.elapsed());
-                        let sim_start = Instant::now();
-                        let record =
-                            sim.run(w.name, w.group == Group::MemoryIntensive, &*trace, kind);
-                        prof.record("simulate", sim_start.elapsed());
+                        let (record, cached) = run_job(
+                            store, &sim, &spans, &system, w, kind, scale, &mut prof, &mut stats,
+                        );
+                        if store.is_some() {
+                            if let Some(g) = &job_span {
+                                g.attr("cached", cached);
+                            }
+                        }
                         drop(job_span);
                         let job_elapsed = job_start.elapsed();
                         stats.jobs += 1;
@@ -384,6 +501,7 @@ impl Engine {
         let job_count = workloads.len() * kinds.len();
         let telemetry = &self.cfg.telemetry;
         let spans = &self.cfg.spans;
+        let store = self.store();
         let engine_span = spans.begin("engine.run");
         engine_span
             .attr("jobs", job_count)
@@ -401,13 +519,7 @@ impl Engine {
         );
         let mut records: Vec<RunRecord> = Vec::with_capacity(job_count);
         let mut prof = Profiler::new();
-        let mut stats = WorkerStats {
-            worker: 0,
-            jobs: 0,
-            busy_seconds: 0.0,
-            idle_seconds: 0.0,
-            job_us: Log2Histogram::new(),
-        };
+        let mut stats = WorkerStats::new(0);
         let mut heartbeat = Heartbeat::new(Duration::from_secs(1));
         let mut i = 0usize;
         for &w in workloads {
@@ -423,13 +535,22 @@ impl Engine {
                     None
                 };
                 let job_start = Instant::now();
-                let gen_span = spans.begin("generate");
-                let trace = trace_store::shared().get(w, scale);
-                drop(gen_span);
-                prof.record("generate", job_start.elapsed());
-                let sim_start = Instant::now();
-                let record = sim.run(w.name, w.group == Group::MemoryIntensive, &*trace, kind);
-                prof.record("simulate", sim_start.elapsed());
+                let (record, cached) = run_job(
+                    store,
+                    &sim,
+                    spans,
+                    &self.cfg.system,
+                    w,
+                    kind,
+                    scale,
+                    &mut prof,
+                    &mut stats,
+                );
+                if store.is_some() {
+                    if let Some(g) = &job_span {
+                        g.attr("cached", cached);
+                    }
+                }
                 drop(job_span);
                 let job_elapsed = job_start.elapsed();
                 stats.jobs += 1;
@@ -480,9 +601,23 @@ impl Engine {
 mod tests {
     use super::*;
     use cbws_workloads::by_name;
+    use std::path::PathBuf;
 
     fn picks(names: &[&str]) -> Vec<&'static WorkloadSpec> {
         names.iter().map(|n| by_name(n).unwrap()).collect()
+    }
+
+    /// A unique per-test scratch directory for result-store tests.
+    fn scratch_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cbws-engine-store-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     fn serial_reference(
@@ -639,6 +774,88 @@ mod tests {
             );
         }
         assert!(records.iter().all(|r| r.dur_us.is_some()));
+    }
+
+    #[test]
+    fn cached_run_matches_fresh_and_counts_hits() {
+        let dir = scratch_dir("cached");
+        let store = Arc::new(ResultStore::at(&dir));
+        let workloads = picks(&["stencil-default", "nw"]);
+        let kinds = [PrefetcherKind::None, PrefetcherKind::Sms];
+        let serial = serial_reference(Scale::Tiny, &workloads, &kinds);
+
+        let cfg = |jobs| EngineConfig {
+            jobs,
+            result_cache: ResultCache::At(store.clone()),
+            ..EngineConfig::default()
+        };
+        // First run: empty store, every job simulates and persists.
+        let fresh = Engine::new(cfg(1)).run(Scale::Tiny, &workloads, &kinds);
+        assert_eq!(fresh.store_hits(), 0);
+        assert_eq!(fresh.store_misses(), fresh.job_count);
+        assert_eq!(fresh.records, serial, "fresh cached run must equal serial");
+
+        // Second run (threaded path): every job served from the store,
+        // byte-identical records, no simulate phase at all.
+        let cached = Engine::new(cfg(2)).run(Scale::Tiny, &workloads, &kinds);
+        assert_eq!(cached.store_hits(), cached.job_count);
+        assert_eq!(cached.store_misses(), 0);
+        assert_eq!(cached.records, serial, "stored records must round-trip");
+        let phases: Vec<String> = cached
+            .profiler
+            .phases()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        assert!(phases.contains(&"cached".to_string()), "{phases:?}");
+        assert!(!phases.contains(&"simulate".to_string()), "{phases:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_executes_only_remaining_jobs() {
+        let dir = scratch_dir("resume");
+        let store = Arc::new(ResultStore::at(&dir));
+        let workloads = picks(&["stencil-default", "histo-large", "nw"]);
+        let all = [
+            PrefetcherKind::None,
+            PrefetcherKind::Stride,
+            PrefetcherKind::Sms,
+            PrefetcherKind::CbwsSms,
+        ];
+        let cfg = |jobs| EngineConfig {
+            jobs,
+            result_cache: ResultCache::At(store.clone()),
+            ..EngineConfig::default()
+        };
+        // Simulate an interrupted sweep: only part of the matrix landed in
+        // the store before the kill.
+        let partial = Engine::new(cfg(1)).run(Scale::Tiny, &workloads, &all[..2]);
+        assert_eq!(partial.store_misses(), 6);
+
+        // The restarted full sweep serves the finished jobs from the store
+        // and simulates exactly the remaining ones.
+        let resumed = Engine::new(cfg(2)).run(Scale::Tiny, &workloads, &all);
+        assert_eq!(resumed.job_count, 12);
+        assert_eq!(resumed.store_hits(), 6, "finished jobs must not re-run");
+        assert_eq!(resumed.store_misses(), 6, "only remaining jobs simulate");
+        assert_eq!(
+            resumed.records,
+            serial_reference(Scale::Tiny, &workloads, &all)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_off_never_touches_the_store() {
+        let workloads = picks(&["stencil-default"]);
+        let run = Engine::new(EngineConfig::default()).run(
+            Scale::Tiny,
+            &workloads,
+            &[PrefetcherKind::Sms],
+        );
+        assert_eq!(run.store_hits(), 0);
+        assert_eq!(run.store_misses(), 0);
     }
 
     #[test]

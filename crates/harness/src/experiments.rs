@@ -2,7 +2,7 @@
 //! experiment index). Each `figNN_*` function turns raw [`RunRecord`]s (or
 //! traces) into the paper's table/figure data rendered as a [`TextTable`].
 
-use crate::engine::{Engine, EngineConfig, EngineRun};
+use crate::engine::{Engine, EngineConfig, EngineRun, ResultCache};
 use crate::runner::{PrefetcherKind, Simulator, SystemConfig};
 use cbws_core::analysis::{collect_block_histories, DifferentialSkew};
 use cbws_core::{CbwsConfig, CbwsVec};
@@ -114,6 +114,44 @@ pub fn jobs_from_args() -> usize {
         },
         None => 0,
     }
+}
+
+/// Decides the engine's [`ResultCache`] policy from a CLI argument list
+/// (separated from [`result_cache_from_args`] so the conflict handling is
+/// unit-testable):
+///
+/// - default: the persistent result store is **on**
+///   ([`ResultCache::Shared`]) — repeated or resumed sweeps serve already
+///   computed `(workload, prefetcher, config)` jobs from
+///   `CBWS_RESULT_STORE_DIR`;
+/// - `--resume` makes that explicit when restarting an interrupted sweep
+///   (same policy, plus a resumption report of how many jobs were already
+///   done);
+/// - `--no-result-cache` turns the store off — every job simulates.
+///   Combining it with `--resume` warns and the store stays off.
+pub fn result_cache_mode(args: &[String]) -> ResultCache {
+    let no_cache = args.iter().any(|a| a == "--no-result-cache");
+    if no_cache {
+        if args.iter().any(|a| a == "--resume") {
+            warn!("--resume has no effect with --no-result-cache; the result store stays off");
+        }
+        ResultCache::Off
+    } else {
+        ResultCache::Shared
+    }
+}
+
+/// Reads `--resume` / `--no-result-cache` from the process arguments (see
+/// [`result_cache_mode`] for the policy).
+pub fn result_cache_from_args() -> ResultCache {
+    let args: Vec<String> = std::env::args().collect();
+    result_cache_mode(&args)
+}
+
+/// True when `--resume` is on the command line — callers then report the
+/// already-done/remaining job split prominently.
+pub fn resume_requested() -> bool {
+    std::env::args().any(|a| a == "--resume")
 }
 
 /// Writes a table to `results/<name>.csv`, creating the directory if
@@ -306,20 +344,39 @@ pub fn fig05_svg(scale: Scale) -> String {
 /// `jobs = 0` uses every available core; the run reports worker count,
 /// wall-clock and per-phase timings for the manifest. With `--metrics-out
 /// F` on the command line, the engine's telemetry (scheduling metrics and
-/// the trace store's hit/miss/invalidate counters) is dumped to `F`. With
-/// `--spans-out F`, the per-worker span timeline ([`session_spans`]) is
-/// exported to `F` as Chrome trace-event JSON.
+/// the trace and result stores' hit/miss/invalidate counters) is dumped to
+/// `F`. With `--spans-out F`, the per-worker span timeline
+/// ([`session_spans`]) is exported to `F` as Chrome trace-event JSON.
+///
+/// The persistent result store is consulted per the command line
+/// ([`result_cache_from_args`]): on by default, `--resume` reports the
+/// already-done/remaining split, `--no-result-cache` simulates everything.
 pub fn sweep_engine(scale: Scale, workloads: &[&'static WorkloadSpec], jobs: usize) -> EngineRun {
+    sweep_engine_with(scale, workloads, jobs, result_cache_from_args())
+}
+
+/// [`sweep_engine`] with an explicit [`ResultCache`] policy instead of the
+/// command-line one (benches and tests pin `Off` or a scratch store so
+/// their timings and phase assertions are independent of whatever the
+/// shared store holds).
+pub fn sweep_engine_with(
+    scale: Scale,
+    workloads: &[&'static WorkloadSpec],
+    jobs: usize,
+    result_cache: ResultCache,
+) -> EngineRun {
     let metrics_out = metrics_out_from_args();
     let telemetry = if metrics_out.is_some() {
         Telemetry::enabled_default()
     } else {
         Telemetry::disabled()
     };
+    let cache_on = !matches!(result_cache, ResultCache::Off);
     let engine = Engine::new(EngineConfig {
         jobs,
         telemetry: telemetry.clone(),
         spans: session_spans().clone(),
+        result_cache,
         ..EngineConfig::default()
     });
     let run = engine.run(scale, workloads, &PrefetcherKind::ALL);
@@ -331,6 +388,21 @@ pub fn sweep_engine(scale: Scale, workloads: &[&'static WorkloadSpec], jobs: usi
         run.jobs_per_sec(),
         run.utilization * 100.0
     );
+    if cache_on {
+        let hits = run.store_hits();
+        if resume_requested() {
+            status!(
+                "[engine] resume: {hits} of {} jobs already in the result store, {} simulated",
+                run.job_count,
+                run.store_misses()
+            );
+        } else {
+            status!(
+                "[engine] result store: {hits} hits, {} misses",
+                run.store_misses()
+            );
+        }
+    }
     detail!("[engine] phase timings:\n{}", run.profiler.report());
     if let Some(path) = metrics_out {
         let write = std::fs::File::create(&path)
@@ -733,11 +805,33 @@ mod tests {
     fn sweep_engine_reports_timing() {
         let picks: Vec<&'static WorkloadSpec> =
             ["nw"].iter().map(|n| by_name(n).unwrap()).collect();
-        let run = sweep_engine(Scale::Tiny, &picks, 2);
+        // Cache pinned off so the phase assertion below holds regardless
+        // of what the shared result store contains.
+        let run = sweep_engine_with(Scale::Tiny, &picks, 2, ResultCache::Off);
         assert_eq!(run.records.len(), PrefetcherKind::ALL.len());
         assert_eq!(run.workers, 2);
         assert!(run.wall_seconds > 0.0);
         assert!(run.profiler.phases().iter().any(|(n, _)| n == "simulate"));
+        assert_eq!(run.store_hits() + run.store_misses(), 0);
+    }
+
+    #[test]
+    fn result_cache_mode_parses_flags() {
+        let args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert!(matches!(result_cache_mode(&args(&[])), ResultCache::Shared));
+        assert!(matches!(
+            result_cache_mode(&args(&["--scale", "tiny", "--resume"])),
+            ResultCache::Shared
+        ));
+        assert!(matches!(
+            result_cache_mode(&args(&["--no-result-cache"])),
+            ResultCache::Off
+        ));
+        // Conflicting flags: no-cache wins (a warning is emitted).
+        assert!(matches!(
+            result_cache_mode(&args(&["--resume", "--no-result-cache"])),
+            ResultCache::Off
+        ));
     }
 
     #[test]

@@ -23,10 +23,11 @@ pub mod engine;
 pub mod experiments;
 mod manifest;
 mod prefetched;
+pub mod result_store;
 mod runner;
 
 pub use dispatch::AnyPrefetcher;
-pub use engine::{Engine, EngineConfig, EngineRun, WorkerStats};
+pub use engine::{Engine, EngineConfig, EngineRun, ResultCache, WorkerStats};
 pub use manifest::{ManifestWorker, RunManifest};
 pub use prefetched::PrefetchedMemory;
 pub use runner::{component_registry, PrefetcherKind, Simulator, SystemConfig};

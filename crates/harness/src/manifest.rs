@@ -28,6 +28,12 @@ pub struct ManifestWorker {
     pub busy_seconds: f64,
     /// Seconds inside the worker loop not spent on a job.
     pub idle_seconds: f64,
+    /// Jobs this worker served from the persistent result store (zero when
+    /// the run's result cache was off).
+    pub store_hits: usize,
+    /// Jobs this worker simulated because the result store had no valid
+    /// entry (zero when the run's result cache was off).
+    pub store_misses: usize,
     /// Median per-job duration (µs, log2-bucket upper bound).
     pub job_us_p50: u64,
     /// 90th-percentile per-job duration (µs, log2-bucket upper bound).
@@ -44,6 +50,8 @@ impl ManifestWorker {
             jobs: s.jobs,
             busy_seconds: s.busy_seconds,
             idle_seconds: s.idle_seconds,
+            store_hits: s.store_hits,
+            store_misses: s.store_misses,
             job_us_p50: s.job_us.percentile(0.50),
             job_us_p90: s.job_us.percentile(0.90),
             job_us_max: s.job_us.max(),
@@ -135,15 +143,13 @@ impl RunManifest {
 
     /// Writes the manifest to `results/<name>.manifest.json` next to the
     /// CSV of the same name (best-effort, like `save_csv`: errors go to
-    /// stderr but are not fatal).
+    /// stderr but are not fatal). The write is atomic (unique temporary
+    /// file + rename), so a sweep killed mid-save can never leave a torn
+    /// manifest behind — a prerequisite for trusting `--resume` runs.
     pub fn save(&self, name: &str) {
-        let dir = Path::new("results");
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            cbws_telemetry::warn!("cannot create results/: {e}");
-            return;
-        }
-        let path = dir.join(format!("{name}.manifest.json"));
-        if let Err(e) = std::fs::write(&path, self.to_json() + "\n") {
+        let path = Path::new("results").join(format!("{name}.manifest.json"));
+        let bytes = self.to_json() + "\n";
+        if let Err(e) = crate::result_store::write_atomic(&path, bytes.as_bytes()) {
             cbws_telemetry::warn!("cannot write {}: {e}", path.display());
         }
     }
@@ -175,6 +181,8 @@ mod tests {
             jobs: 2,
             busy_seconds: 0.002,
             idle_seconds: 0.001,
+            store_hits: 1,
+            store_misses: 1,
             job_us,
         }];
         let m = RunManifest::new(

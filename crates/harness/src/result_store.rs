@@ -1,0 +1,873 @@
+//! Persistent on-disk simulation **result** store.
+//!
+//! The [`cbws_workloads::trace_store`] made trace *generation* incremental;
+//! this module does the same for the simulations themselves. Every
+//! `(workload, prefetcher, scale)` job the engine runs is a deterministic
+//! pure function of (a) the workload's trace, (b) the prefetcher kind and
+//! the full [`SystemConfig`], and (c) the simulator code — so its
+//! [`RunRecord`] can be stored once and served forever, as long as the key
+//! captures exactly those inputs. A hit skips the trace load *and* the
+//! simulation; a miss simulates and persists. Repeated sweeps, interrupted
+//! sweeps restarted with `--resume`, and CI reruns then pay only for the
+//! jobs whose inputs actually changed.
+//!
+//! # Key
+//!
+//! The 64-bit key hash folds, in order:
+//!
+//! - the per-workload trace hash ([`cbws_workloads::trace_store::workload_hash`],
+//!   the PR that introduced format v2's per-suite FNV scheme) — covers the
+//!   DSL sources the trace is generated from,
+//! - the scale code and workload name,
+//! - the prefetcher kind name and the config hash ([`config_hash`], FNV
+//!   over the serialized [`SystemConfig`]),
+//! - the simulator-code version hash ([`sim_version_hash`], FNV over every
+//!   source file of the replay + simulation stack, embedded at compile
+//!   time via `include_str!`).
+//!
+//! Any edit to a kernel, a prefetcher, the core, the memory hierarchy, the
+//! replay path, or the config in force changes the key hash; the stored
+//! entry is then invalidated and regenerated on next access. Entries are
+//! **content-addressed** by that key, not trusted by mtime or file name.
+//!
+//! # File format (version 1, little-endian)
+//!
+//! | field | size | contents |
+//! |---|---|---|
+//! | magic | 8 | `b"CBWSRSLT"` |
+//! | format version | 4 | `u32`, currently 1 |
+//! | key hash | 8 | FNV-1a key described above |
+//! | payload checksum | 8 | FNV-1a of the payload bytes |
+//! | payload length | 8 | `u64` |
+//! | payload | var | the [`RunRecord`] as JSON |
+//!
+//! One file per `(workload, scale, prefetcher)` under
+//! `CBWS_RESULT_STORE_DIR` (default: `target/result-store/` of the
+//! workspace). Files are written atomically (unique temporary file +
+//! rename), so a sweep killed mid-write can never leave a torn entry —
+//! the property `--resume` relies on.
+//!
+//! # Byte budget and eviction
+//!
+//! `CBWS_RESULT_CACHE_BYTES` caps the store's total size (default 64 MiB).
+//! After each write the store evicts oldest-modified entries first until it
+//! is back under budget; a hit bumps the entry's mtime, so the order is
+//! LRU. The entry just written is never evicted by its own write.
+//!
+//! # Telemetry
+//!
+//! `result_store.hit` / `.miss` / `.write` / `.invalidate` / `.evict`
+//! counters plus `result_store.load_us` and `result_store.store_us`, and
+//! `result.load` / `result.write` spans when a collector is attached.
+
+use crate::runner::{PrefetcherKind, SystemConfig};
+use cbws_stats::RunRecord;
+use cbws_telemetry::{warn, Spans, Telemetry};
+use cbws_workloads::trace_store::{fnv1a, workload_hash};
+use cbws_workloads::{Scale, WorkloadSpec};
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Magic bytes opening every result-store file.
+pub const MAGIC: &[u8; 8] = b"CBWSRSLT";
+
+/// Current file-format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Environment variable selecting the store directory.
+pub const DIR_ENV: &str = "CBWS_RESULT_STORE_DIR";
+
+/// Environment variable capping the store's total size in bytes.
+pub const BUDGET_ENV: &str = "CBWS_RESULT_CACHE_BYTES";
+
+/// Default byte budget when [`BUDGET_ENV`] is unset: far above a full
+/// sweep's footprint (a record is ~1 KB, the full matrix is ~210 entries
+/// per scale), so eviction only engages when someone sweeps many configs.
+pub const DEFAULT_BUDGET_BYTES: u64 = 64 * 1024 * 1024;
+
+/// File extension of store entries.
+const EXT: &str = "cbwsresult";
+
+/// Folds `bytes` into an FNV-1a state.
+fn fnv_fold_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Every source file whose edit can change a simulation result given the
+/// same packed trace: the replay path (`cbws-trace`), the simulated core
+/// and memory system, every prefetcher, the CBWS predictor stack, and the
+/// harness glue that drives them. Embedded at compile time so version skew
+/// between a store and a binary is detected by content, not by guesswork.
+const SIM_SOURCES: &[(&str, &str)] = &[
+    ("harness/runner.rs", include_str!("runner.rs")),
+    ("harness/dispatch.rs", include_str!("dispatch.rs")),
+    ("harness/prefetched.rs", include_str!("prefetched.rs")),
+    ("core/lib.rs", include_str!("../../core/src/lib.rs")),
+    (
+        "core/analysis.rs",
+        include_str!("../../core/src/analysis.rs"),
+    ),
+    ("core/hybrid.rs", include_str!("../../core/src/hybrid.rs")),
+    ("core/multi.rs", include_str!("../../core/src/multi.rs")),
+    (
+        "core/predictor.rs",
+        include_str!("../../core/src/predictor.rs"),
+    ),
+    ("core/vector.rs", include_str!("../../core/src/vector.rs")),
+    (
+        "prefetchers/lib.rs",
+        include_str!("../../prefetchers/src/lib.rs"),
+    ),
+    (
+        "prefetchers/ampm.rs",
+        include_str!("../../prefetchers/src/ampm.rs"),
+    ),
+    (
+        "prefetchers/fdp.rs",
+        include_str!("../../prefetchers/src/fdp.rs"),
+    ),
+    (
+        "prefetchers/ghb.rs",
+        include_str!("../../prefetchers/src/ghb.rs"),
+    ),
+    (
+        "prefetchers/instrumented.rs",
+        include_str!("../../prefetchers/src/instrumented.rs"),
+    ),
+    (
+        "prefetchers/markov.rs",
+        include_str!("../../prefetchers/src/markov.rs"),
+    ),
+    (
+        "prefetchers/sms.rs",
+        include_str!("../../prefetchers/src/sms.rs"),
+    ),
+    (
+        "prefetchers/stems.rs",
+        include_str!("../../prefetchers/src/stems.rs"),
+    ),
+    (
+        "prefetchers/stride.rs",
+        include_str!("../../prefetchers/src/stride.rs"),
+    ),
+    ("sim-cpu/lib.rs", include_str!("../../sim-cpu/src/lib.rs")),
+    (
+        "sim-cpu/branch.rs",
+        include_str!("../../sim-cpu/src/branch.rs"),
+    ),
+    (
+        "sim-cpu/config.rs",
+        include_str!("../../sim-cpu/src/config.rs"),
+    ),
+    ("sim-cpu/core.rs", include_str!("../../sim-cpu/src/core.rs")),
+    ("sim-mem/lib.rs", include_str!("../../sim-mem/src/lib.rs")),
+    (
+        "sim-mem/cache.rs",
+        include_str!("../../sim-mem/src/cache.rs"),
+    ),
+    (
+        "sim-mem/config.rs",
+        include_str!("../../sim-mem/src/config.rs"),
+    ),
+    ("sim-mem/dram.rs", include_str!("../../sim-mem/src/dram.rs")),
+    (
+        "sim-mem/hierarchy.rs",
+        include_str!("../../sim-mem/src/hierarchy.rs"),
+    ),
+    (
+        "sim-mem/stats.rs",
+        include_str!("../../sim-mem/src/stats.rs"),
+    ),
+    ("trace/lib.rs", include_str!("../../trace/src/lib.rs")),
+    ("trace/addr.rs", include_str!("../../trace/src/addr.rs")),
+    (
+        "trace/builder.rs",
+        include_str!("../../trace/src/builder.rs"),
+    ),
+    ("trace/event.rs", include_str!("../../trace/src/event.rs")),
+    ("trace/packed.rs", include_str!("../../trace/src/packed.rs")),
+    ("trace/stats.rs", include_str!("../../trace/src/stats.rs")),
+    ("trace/varint.rs", include_str!("../../trace/src/varint.rs")),
+    ("stats/lib.rs", include_str!("../../stats/src/lib.rs")),
+];
+
+/// FNV-1a hash over every simulator source file (framed by name, like
+/// [`cbws_workloads::trace_store::workload_hash`]), folded once per
+/// process. Two binaries agree on this hash exactly when they were built
+/// from identical simulation sources.
+pub fn sim_version_hash() -> u64 {
+    static HASH: OnceLock<u64> = OnceLock::new();
+    *HASH.get_or_init(|| {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (name, body) in SIM_SOURCES {
+            h = fnv_fold_bytes(h, name.as_bytes());
+            h = fnv_fold_bytes(h, &[0u8]);
+            h = fnv_fold_bytes(h, body.as_bytes());
+        }
+        h
+    })
+}
+
+/// FNV-1a hash of a prefetcher kind + system configuration pair: the name
+/// of the kind and the JSON form of the full [`SystemConfig`]. Sensitivity
+/// sweeps that vary cache sizes or latencies therefore key their results
+/// apart from the default configuration's.
+pub fn config_hash(kind: PrefetcherKind, system: &SystemConfig) -> u64 {
+    let json = serde_json::to_string(system).expect("SystemConfig serialization is infallible");
+    let mut h = fnv1a(kind.name().as_bytes());
+    h = fnv_fold_bytes(h, &[0u8]);
+    fnv_fold_bytes(h, json.as_bytes())
+}
+
+fn scale_code(scale: Scale) -> u8 {
+    match scale {
+        Scale::Tiny => 0,
+        Scale::Small => 1,
+        Scale::Full => 2,
+    }
+}
+
+/// The complete content address of one simulation result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultKey {
+    /// The workload simulated.
+    pub workload: &'static str,
+    /// The scale it ran at.
+    pub scale: Scale,
+    /// The prefetcher kind simulated.
+    pub kind: PrefetcherKind,
+    trace_hash: u64,
+    config_hash: u64,
+}
+
+impl ResultKey {
+    /// The key for simulating `workload` at `scale` with `kind` under
+    /// `system`.
+    pub fn new(
+        workload: &'static WorkloadSpec,
+        scale: Scale,
+        kind: PrefetcherKind,
+        system: &SystemConfig,
+    ) -> ResultKey {
+        ResultKey {
+            workload: workload.name,
+            scale,
+            kind,
+            trace_hash: workload_hash(workload),
+            config_hash: config_hash(kind, system),
+        }
+    }
+
+    /// The 64-bit content hash stored in (and verified against) the entry
+    /// header. `salt` is XORed into the simulator-version component;
+    /// always 0 outside tests.
+    fn hash(&self, salt: u64) -> u64 {
+        let mut h = self.trace_hash;
+        h = fnv_fold_bytes(h, &[scale_code(self.scale)]);
+        h = fnv_fold_bytes(h, self.workload.as_bytes());
+        h = fnv_fold_bytes(h, &[0u8]);
+        h = fnv_fold_bytes(h, self.kind.name().as_bytes());
+        h = fnv_fold_bytes(h, &self.config_hash.to_le_bytes());
+        fnv_fold_bytes(h, &(sim_version_hash() ^ salt).to_le_bytes())
+    }
+
+    /// Filesystem-safe file stem (`"CBWS+SMS"` → `cbws-sms`).
+    fn file_stem(&self) -> String {
+        let slug: String = self
+            .kind
+            .name()
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        format!("{}-{}-{}", self.workload, self.scale, slug)
+    }
+}
+
+/// Writes `bytes` to `path` via a uniquely named temporary file + rename
+/// (creating the parent directory first), so readers never observe a
+/// half-written file — even when several workers or processes write the
+/// same path concurrently.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Why a stored entry could not be served.
+enum LoadError {
+    /// No file yet — a plain miss.
+    Missing,
+    /// The file exists but is invalid for this key and binary (corruption,
+    /// version skew, key-hash skew — simulator sources, config, or trace
+    /// sources changed). The reason is human-readable.
+    Invalid(String),
+}
+
+fn invalid<T>(reason: impl Into<String>) -> Result<T, LoadError> {
+    Err(LoadError::Invalid(reason.into()))
+}
+
+/// Parses and fully verifies a store file into the record it holds.
+fn load_file(path: &Path, want_hash: u64, key: &ResultKey) -> Result<RunRecord, LoadError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(LoadError::Missing),
+        Err(e) => return invalid(format!("unreadable: {e}")),
+    };
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> Result<&[u8], LoadError> {
+        let end = at.checked_add(n).filter(|&e| e <= bytes.len());
+        match end {
+            Some(end) => {
+                let s = &bytes[*at..end];
+                *at = end;
+                Ok(s)
+            }
+            None => invalid(format!("truncated header at byte {at}")),
+        }
+    };
+    if take(&mut at, MAGIC.len())? != MAGIC {
+        return invalid("bad magic");
+    }
+    let version = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return invalid(format!(
+            "format version {version}, this binary writes {FORMAT_VERSION}"
+        ));
+    }
+    let file_hash = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+    if file_hash != want_hash {
+        return invalid(format!(
+            "key hash {file_hash:#018x} does not match this binary's {want_hash:#018x} \
+             (trace sources, simulator sources, or the config changed)"
+        ));
+    }
+    let checksum = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+    let payload_len = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+    let payload = match usize::try_from(payload_len) {
+        Ok(n) if at + n == bytes.len() => &bytes[at..],
+        _ => return invalid("payload length disagrees with file size"),
+    };
+    let got = fnv1a(payload);
+    if got != checksum {
+        return invalid(format!(
+            "payload checksum {got:#018x} != stored {checksum:#018x}"
+        ));
+    }
+    let json = match std::str::from_utf8(payload) {
+        Ok(s) => s,
+        Err(e) => return invalid(format!("payload is not UTF-8: {e}")),
+    };
+    let record: RunRecord = match serde_json::from_str(json) {
+        Ok(r) => r,
+        Err(e) => return invalid(format!("payload rejected: {e}")),
+    };
+    if record.workload != key.workload || record.prefetcher != key.kind.name() {
+        return invalid("stored record does not match its key");
+    }
+    Ok(record)
+}
+
+/// Serializes a record into the version-1 file bytes for `key_hash`.
+fn encode_file(key_hash: u64, record: &RunRecord) -> Vec<u8> {
+    let payload = serde_json::to_string(record)
+        .expect("RunRecord serialization is infallible")
+        .into_bytes();
+    let mut out = Vec::with_capacity(36 + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&key_hash.to_le_bytes());
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// A persistent, content-addressed store of simulation results. See the
+/// module docs for the key, format, and eviction policy.
+///
+/// Unlike the trace store there is **no in-process memoization**: a hit
+/// always reads and re-verifies the file, so cached-sweep timings measure
+/// the store, not a `HashMap`, and a concurrent writer's eviction can
+/// never leave a stale record pinned in memory.
+pub struct ResultStore {
+    dir: PathBuf,
+    /// Total-size cap in bytes; `None` disables eviction.
+    budget: Option<u64>,
+    /// XORed into the simulator-version component of every key hash;
+    /// always 0 outside tests, which use it to simulate a binary built
+    /// from different simulator sources.
+    hash_salt: u64,
+    telemetry: Mutex<Telemetry>,
+    spans: Mutex<Spans>,
+}
+
+impl std::fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("dir", &self.dir)
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResultStore {
+    /// A store over `dir` with the byte budget from [`BUDGET_ENV`]
+    /// (default [`DEFAULT_BUDGET_BYTES`]; `0` disables eviction).
+    pub fn at(dir: impl Into<PathBuf>) -> ResultStore {
+        let budget = match std::env::var(BUDGET_ENV) {
+            Ok(v) => match v.trim().parse::<u64>() {
+                Ok(0) => None,
+                Ok(n) => Some(n),
+                Err(_) => {
+                    warn!("[result-store] invalid {BUDGET_ENV}={v:?}; using default budget");
+                    Some(DEFAULT_BUDGET_BYTES)
+                }
+            },
+            Err(_) => Some(DEFAULT_BUDGET_BYTES),
+        };
+        ResultStore::with_budget(dir, budget)
+    }
+
+    /// A store over `dir` with an explicit byte budget (`None` disables
+    /// eviction).
+    pub fn with_budget(dir: impl Into<PathBuf>, budget: Option<u64>) -> ResultStore {
+        ResultStore {
+            dir: dir.into(),
+            budget,
+            hash_salt: 0,
+            telemetry: Mutex::new(Telemetry::disabled()),
+            spans: Mutex::new(Spans::disabled()),
+        }
+    }
+
+    /// Test-only: a store whose key hashes simulate a binary built from
+    /// different simulator sources (used by the property tests to exercise
+    /// version-skew invalidation without editing source files).
+    #[doc(hidden)]
+    pub fn with_hash_salt(dir: impl Into<PathBuf>, salt: u64) -> ResultStore {
+        let mut store = ResultStore::at(dir);
+        store.hash_salt = salt;
+        store
+    }
+
+    /// The directory this store reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The byte budget in force (`None` = unlimited).
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Routes the store's counters (`result_store.*`) to `telemetry`.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        *self.telemetry.lock().unwrap_or_else(|e| e.into_inner()) = telemetry;
+    }
+
+    /// Routes the store's `result.*` spans to `spans`.
+    pub fn set_spans(&self, spans: Spans) {
+        *self.spans.lock().unwrap_or_else(|e| e.into_inner()) = spans;
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        self.telemetry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn spans(&self) -> Spans {
+        self.spans.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// The file an entry for `key` lives in.
+    pub fn path_for(&self, key: &ResultKey) -> PathBuf {
+        self.dir.join(format!("{}.{EXT}", key.file_stem()))
+    }
+
+    /// The stored record for `key`, fully verified, or `None` on a miss.
+    /// An invalid entry (corruption, version/key skew) is removed, counted
+    /// as `result_store.invalidate`, and reported as a miss so the caller
+    /// regenerates it.
+    pub fn get(&self, key: &ResultKey) -> Option<RunRecord> {
+        let telemetry = self.telemetry();
+        let spans = self.spans();
+        let path = self.path_for(key);
+        let started = Instant::now();
+        let load_span = spans.begin("result.load");
+        load_span
+            .attr("workload", key.workload)
+            .attr("prefetcher", key.kind.name());
+        let loaded = load_file(&path, key.hash(self.hash_salt), key);
+        drop(load_span);
+        match loaded {
+            Ok(record) => {
+                telemetry.count("result_store.hit", 1);
+                telemetry.count("result_store.load_us", started.elapsed().as_micros() as u64);
+                // LRU touch: a served entry becomes the newest, so the
+                // byte-budget eviction removes cold entries first.
+                if let Ok(f) = File::options().append(true).open(&path) {
+                    let _ = f.set_modified(std::time::SystemTime::now());
+                }
+                Some(record)
+            }
+            Err(LoadError::Missing) => {
+                telemetry.count("result_store.miss", 1);
+                None
+            }
+            Err(LoadError::Invalid(reason)) => {
+                telemetry.count("result_store.invalidate", 1);
+                warn!(
+                    "[result-store] discarding {}: {reason}; re-simulating",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Persists `record` under `key` (atomic write), then enforces the
+    /// byte budget. Failure to write is reported but not fatal — the sweep
+    /// just loses persistence for this entry.
+    pub fn put(&self, key: &ResultKey, record: &RunRecord) {
+        let telemetry = self.telemetry();
+        let spans = self.spans();
+        let path = self.path_for(key);
+        let started = Instant::now();
+        let write_span = spans.begin("result.write");
+        write_span.attr("workload", key.workload);
+        let bytes = encode_file(key.hash(self.hash_salt), record);
+        match write_atomic(&path, &bytes) {
+            Ok(()) => {
+                telemetry.count("result_store.write", 1);
+                telemetry.count(
+                    "result_store.store_us",
+                    started.elapsed().as_micros() as u64,
+                );
+            }
+            Err(e) => warn!(
+                "[result-store] cannot write {}: {e}; continuing without persistence",
+                path.display()
+            ),
+        }
+        drop(write_span);
+        self.enforce_budget(&path);
+    }
+
+    /// Evicts oldest-modified entries until the store is back under its
+    /// byte budget. `just_wrote` is exempt so a write can never evict its
+    /// own entry.
+    fn enforce_budget(&self, just_wrote: &Path) {
+        let Some(budget) = self.budget else {
+            return;
+        };
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == EXT))
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((mtime, e.path(), meta.len()))
+            })
+            .collect();
+        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+        if total <= budget {
+            return;
+        }
+        let telemetry = self.telemetry();
+        files.sort();
+        for (_, path, len) in files {
+            if total <= budget {
+                break;
+            }
+            if path == just_wrote {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                telemetry.count("result_store.evict", 1);
+                total = total.saturating_sub(len);
+            }
+        }
+    }
+}
+
+/// The process-wide store. Directory comes from `CBWS_RESULT_STORE_DIR`;
+/// unset falls back to the workspace's `target/result-store/`.
+pub fn shared() -> &'static ResultStore {
+    static SHARED: OnceLock<ResultStore> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let dir = std::env::var_os(DIR_ENV)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/result-store")
+            });
+        ResultStore::at(dir)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Simulator;
+    use cbws_workloads::by_name;
+
+    /// A unique per-test scratch directory (no tempfile dependency).
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cbws-result-store-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn counter(t: &Telemetry, path: &str) -> u64 {
+        t.with_metrics(|m| m.counter(path).unwrap_or(0)).unwrap()
+    }
+
+    fn simulate(workload: &'static WorkloadSpec, kind: PrefetcherKind) -> RunRecord {
+        let sim = Simulator::new(SystemConfig::default());
+        let trace = cbws_workloads::trace_store::shared().get(workload, Scale::Tiny);
+        sim.run(workload.name, true, &*trace, kind)
+    }
+
+    #[test]
+    fn miss_then_hit_round_trips() {
+        let dir = scratch_dir("hit");
+        let w = by_name("stencil-default").unwrap();
+        let key = ResultKey::new(
+            w,
+            Scale::Tiny,
+            PrefetcherKind::Sms,
+            &SystemConfig::default(),
+        );
+        let telemetry = Telemetry::enabled_default();
+        let store = ResultStore::at(&dir);
+        store.set_telemetry(telemetry.clone());
+
+        assert!(store.get(&key).is_none());
+        assert_eq!(counter(&telemetry, "result_store.miss"), 1);
+
+        let record = simulate(w, PrefetcherKind::Sms);
+        store.put(&key, &record);
+        assert_eq!(counter(&telemetry, "result_store.write"), 1);
+
+        let loaded = store.get(&key).expect("stored entry must hit");
+        assert_eq!(counter(&telemetry, "result_store.hit"), 1);
+        assert_eq!(loaded, record, "stored record must round-trip identically");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sim_version_skew_invalidates() {
+        let dir = scratch_dir("simskew");
+        let w = by_name("nw").unwrap();
+        let key = ResultKey::new(
+            w,
+            Scale::Tiny,
+            PrefetcherKind::None,
+            &SystemConfig::default(),
+        );
+        let record = simulate(w, PrefetcherKind::None);
+        ResultStore::at(&dir).put(&key, &record);
+
+        let telemetry = Telemetry::enabled_default();
+        let skewed = ResultStore::with_hash_salt(&dir, 1);
+        skewed.set_telemetry(telemetry.clone());
+        assert!(skewed.get(&key).is_none());
+        assert_eq!(counter(&telemetry, "result_store.invalidate"), 1);
+        // The invalid file was removed: the next access is a plain miss.
+        assert!(skewed.get(&key).is_none());
+        assert_eq!(counter(&telemetry, "result_store.miss"), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_change_misses_separately() {
+        let dir = scratch_dir("config");
+        let w = by_name("nw").unwrap();
+        let kind = PrefetcherKind::Stride;
+        let default_key = ResultKey::new(w, Scale::Tiny, kind, &SystemConfig::default());
+        let mut bigger = SystemConfig::default();
+        bigger.mem.l2.size_bytes *= 2;
+        let bigger_key = ResultKey::new(w, Scale::Tiny, kind, &bigger);
+        assert_ne!(
+            default_key.hash(0),
+            bigger_key.hash(0),
+            "config must be part of the key"
+        );
+
+        let store = ResultStore::at(&dir);
+        store.put(&default_key, &simulate(w, kind));
+        // Same file path, different key hash: the stored default-config
+        // entry must not be served for the bigger-L2 config.
+        let telemetry = Telemetry::enabled_default();
+        store.set_telemetry(telemetry.clone());
+        assert!(store.get(&bigger_key).is_none());
+        assert_eq!(counter(&telemetry, "result_store.invalidate"), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_invalidates() {
+        let dir = scratch_dir("corrupt");
+        let w = by_name("nw").unwrap();
+        let key = ResultKey::new(
+            w,
+            Scale::Tiny,
+            PrefetcherKind::FdpSms,
+            &SystemConfig::default(),
+        );
+        let store = ResultStore::at(&dir);
+        store.put(&key, &simulate(w, PrefetcherKind::FdpSms));
+        let path = store.path_for(&key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01; // flip one payload bit
+        std::fs::write(&path, &bytes).unwrap();
+
+        let telemetry = Telemetry::enabled_default();
+        store.set_telemetry(telemetry.clone());
+        assert!(store.get(&key).is_none());
+        assert_eq!(counter(&telemetry, "result_store.invalidate"), 1);
+        assert!(!path.exists(), "invalid entry must be removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_evicts_oldest_first_and_spares_fresh_write() {
+        let dir = scratch_dir("budget");
+        let w = by_name("stencil-default").unwrap();
+        let kinds = [
+            PrefetcherKind::None,
+            PrefetcherKind::Stride,
+            PrefetcherKind::Sms,
+            PrefetcherKind::GhbPcDc,
+        ];
+        let records: Vec<RunRecord> = kinds.iter().map(|&k| simulate(w, k)).collect();
+        let keys: Vec<ResultKey> = kinds
+            .iter()
+            .map(|&k| ResultKey::new(w, Scale::Tiny, k, &SystemConfig::default()))
+            .collect();
+        let entry_len = encode_file(keys[0].hash(0), &records[0]).len() as u64;
+
+        // Budget for roughly two entries.
+        let telemetry = Telemetry::enabled_default();
+        let store = ResultStore::with_budget(&dir, Some(entry_len * 5 / 2));
+        store.set_telemetry(telemetry.clone());
+        for (i, (key, record)) in keys.iter().zip(&records).enumerate() {
+            store.put(key, record);
+            // Deterministic LRU order regardless of filesystem timestamp
+            // granularity: backdate each entry by its write order.
+            let f = File::options()
+                .append(true)
+                .open(store.path_for(key))
+                .unwrap();
+            f.set_modified(std::time::UNIX_EPOCH + std::time::Duration::from_secs(i as u64 + 1))
+                .unwrap();
+        }
+        // Re-run eviction with a fresh write: oldest entries go first, the
+        // newest (and the just-written file) survive.
+        store.put(&keys[3], &records[3]);
+        assert!(counter(&telemetry, "result_store.evict") >= 1);
+        assert!(
+            !store.path_for(&keys[0]).exists(),
+            "oldest entry must be evicted first"
+        );
+        assert!(
+            store.path_for(&keys[3]).exists(),
+            "the just-written entry must survive its own write"
+        );
+        let total: u64 = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.metadata().unwrap().len())
+            .sum();
+        assert!(total <= entry_len * 5 / 2, "store must end under budget");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        let a = by_name("stencil-default").unwrap();
+        let b = by_name("nw").unwrap();
+        let cfg = SystemConfig::default();
+        let ka = ResultKey::new(a, Scale::Tiny, PrefetcherKind::Sms, &cfg);
+        assert_eq!(ka.hash(0), ka.hash(0));
+        assert_ne!(
+            ka.hash(0),
+            ResultKey::new(b, Scale::Tiny, PrefetcherKind::Sms, &cfg).hash(0)
+        );
+        assert_ne!(
+            ka.hash(0),
+            ResultKey::new(a, Scale::Small, PrefetcherKind::Sms, &cfg).hash(0)
+        );
+        assert_ne!(
+            ka.hash(0),
+            ResultKey::new(a, Scale::Tiny, PrefetcherKind::Cbws, &cfg).hash(0)
+        );
+        assert_ne!(sim_version_hash(), 0);
+    }
+
+    #[test]
+    fn store_accesses_emit_spans() {
+        let dir = scratch_dir("spans");
+        let w = by_name("nw").unwrap();
+        let key = ResultKey::new(
+            w,
+            Scale::Tiny,
+            PrefetcherKind::Ampm,
+            &SystemConfig::default(),
+        );
+        let spans = Spans::enabled();
+        let store = ResultStore::at(&dir);
+        store.set_spans(spans.clone());
+        store.get(&key); // miss
+        store.put(&key, &simulate(w, PrefetcherKind::Ampm));
+        store.get(&key); // hit
+        let records = spans.records();
+        let count = |name: &str| records.iter().filter(|r| r.name == name).count();
+        assert_eq!(count("result.load"), 2);
+        assert_eq!(count("result.write"), 1);
+        assert!(records.iter().all(|r| r.dur_us.is_some()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the persistent result store, mirroring the trace
+//! store's `trace_store_properties.rs`:
+//!
+//! * any single-bit corruption of a stored entry is caught (header checks
+//!   or payload checksum), counted as an invalidation, and survived — the
+//!   caller re-simulates and the regenerated entry round-trips;
+//! * byte-budget eviction removes oldest-modified entries first and never
+//!   the entry just written;
+//! * a simulator-version or prefetcher-config hash change invalidates the
+//!   stored entry instead of serving it.
+
+use cbws_harness::result_store::{ResultKey, ResultStore};
+use cbws_harness::{PrefetcherKind, Simulator, SystemConfig};
+use cbws_stats::RunRecord;
+use cbws_telemetry::Telemetry;
+use cbws_workloads::{by_name, Scale, WorkloadSpec};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+fn scratch_dir() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "cbws-result-prop-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn counter(t: &Telemetry, path: &str) -> u64 {
+    t.with_metrics(|m| m.counter(path).unwrap_or(0)).unwrap()
+}
+
+/// The reference record, simulated once per process (each proptest case
+/// only exercises the store, not the simulator).
+fn reference(w: &'static WorkloadSpec, kind: PrefetcherKind) -> RunRecord {
+    static RECORD: OnceLock<RunRecord> = OnceLock::new();
+    RECORD
+        .get_or_init(|| {
+            let sim = Simulator::new(SystemConfig::default());
+            let trace = cbws_workloads::trace_store::shared().get(w, Scale::Tiny);
+            sim.run(w.name, true, &*trace, kind)
+        })
+        .clone()
+}
+
+proptest! {
+    #[test]
+    fn single_bit_flip_is_detected_and_survived(pos in any::<usize>(), bit in 0u8..8) {
+        let dir = scratch_dir();
+        let w = by_name("nw").unwrap();
+        let kind = PrefetcherKind::Sms;
+        let key = ResultKey::new(w, Scale::Tiny, kind, &SystemConfig::default());
+        let pristine = reference(w, kind);
+
+        // Seed the store file, then corrupt exactly one bit anywhere.
+        let store = ResultStore::at(&dir);
+        store.put(&key, &pristine);
+        let path = store.path_for(&key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = pos % bytes.len();
+        bytes[at] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // A fresh store (= fresh process) must reject the file, count the
+        // invalidation, remove it, and accept a regenerated entry.
+        let telemetry = Telemetry::enabled_default();
+        let fresh = ResultStore::at(&dir);
+        fresh.set_telemetry(telemetry.clone());
+        let served = fresh.get(&key);
+        let invalidations = counter(&telemetry, "result_store.invalidate");
+        let hits = counter(&telemetry, "result_store.hit");
+        // Invalidate-and-regenerate: the caller re-simulates and persists.
+        fresh.put(&key, &pristine);
+        let recovered = fresh.get(&key);
+
+        let _ = std::fs::remove_dir_all(&dir);
+
+        prop_assert!(served.is_none(), "flip at byte {} bit {} served a corrupt entry", at, bit);
+        prop_assert_eq!(invalidations, 1, "flip at byte {} bit {} not detected", at, bit);
+        prop_assert_eq!(hits, 0);
+        prop_assert!(!path.exists() || recovered.is_some());
+        prop_assert_eq!(recovered, Some(pristine));
+    }
+
+    #[test]
+    fn eviction_removes_oldest_first(keep in 1usize..4) {
+        let dir = scratch_dir();
+        let w = by_name("nw").unwrap();
+        let record = reference(w, PrefetcherKind::Sms);
+        let kinds = [
+            PrefetcherKind::None,
+            PrefetcherKind::Stride,
+            PrefetcherKind::GhbPcDc,
+            PrefetcherKind::Sms,
+        ];
+        let keys: Vec<ResultKey> = kinds
+            .iter()
+            .map(|&k| ResultKey::new(w, Scale::Tiny, k, &SystemConfig::default()))
+            .collect();
+
+        // Write all entries unbudgeted with mtimes backdated by write
+        // order, so LRU age is deterministic.
+        let seed = ResultStore::with_budget(&dir, None);
+        let mut entry_len = 0u64;
+        for (i, key) in keys.iter().enumerate() {
+            seed.put(key, &record);
+            let path = seed.path_for(key);
+            entry_len = std::fs::metadata(&path).unwrap().len();
+            let f = std::fs::File::options().append(true).open(&path).unwrap();
+            f.set_modified(std::time::UNIX_EPOCH + std::time::Duration::from_secs(i as u64 + 1))
+                .unwrap();
+        }
+
+        // A budget of `keep` entries (+ slack below one entry) must evict
+        // exactly the oldest `4 - keep`, keeping the newest ones.
+        let telemetry = Telemetry::enabled_default();
+        let budgeted = ResultStore::with_budget(&dir, Some(entry_len * keep as u64 + entry_len / 2));
+        budgeted.set_telemetry(telemetry.clone());
+        // Re-write the newest entry: its fresh mtime keeps it newest, and
+        // the write triggers budget enforcement.
+        budgeted.put(&keys[3], &record);
+        let evictions = counter(&telemetry, "result_store.evict");
+        let survivors: Vec<bool> = keys.iter().map(|k| budgeted.path_for(k).exists()).collect();
+
+        let _ = std::fs::remove_dir_all(&dir);
+
+        prop_assert_eq!(evictions as usize, 4 - keep, "survivors: {:?}", survivors);
+        for (i, alive) in survivors.iter().enumerate() {
+            // Entries 0..4-keep are the oldest and must be gone; the rest
+            // (including the just-rewritten newest) must survive.
+            prop_assert_eq!(*alive, i >= 4 - keep, "entry {} (survivors {:?})", i, survivors);
+        }
+    }
+
+    #[test]
+    fn version_or_config_skew_invalidates(salt in 1u64..u64::MAX) {
+        let dir = scratch_dir();
+        let w = by_name("nw").unwrap();
+        let kind = PrefetcherKind::Sms;
+        let key = ResultKey::new(w, Scale::Tiny, kind, &SystemConfig::default());
+        let record = reference(w, kind);
+        ResultStore::at(&dir).put(&key, &record);
+
+        // Simulator-version skew: any non-zero salt models a binary built
+        // from different simulation sources. The entry must be rejected.
+        let telemetry = Telemetry::enabled_default();
+        let skewed = ResultStore::with_hash_salt(&dir, salt);
+        skewed.set_telemetry(telemetry.clone());
+        let served = skewed.get(&key);
+        let invalidations = counter(&telemetry, "result_store.invalidate");
+
+        // Prefetcher-config skew: same store and binary, different
+        // SystemConfig — the key hash differs, so the (re-seeded) default
+        // entry must not be served for the changed config.
+        let reseeded = ResultStore::at(&dir);
+        reseeded.put(&key, &record);
+        let mut bigger = SystemConfig::default();
+        bigger.mem.l2.size_bytes *= 2;
+        let bigger_key = ResultKey::new(w, Scale::Tiny, kind, &bigger);
+        let cross = reseeded.get(&bigger_key);
+
+        let _ = std::fs::remove_dir_all(&dir);
+
+        prop_assert!(served.is_none(), "version-skewed entry was served (salt {})", salt);
+        prop_assert_eq!(invalidations, 1);
+        prop_assert!(cross.is_none(), "config-skewed entry was served");
+    }
+}
