@@ -1,5 +1,11 @@
 //! Assembles the complete `book/` tree (an mdBook source layout) and
 //! diffs it against what is committed.
+//!
+//! Almost every page is generated; the one exception is the
+//! hand-authored service chapter (`src/service.md`), which
+//! [`build_book`] passes through from the committed file verbatim so the
+//! orphan check still accounts for it. Its route table is held in sync
+//! with the server by a dedicated gate in [`crate::check`].
 
 use crate::pages;
 use cbws_describe::ComponentDescription;
@@ -63,6 +69,21 @@ pub fn build_book(root: &Path, registry: &[ComponentDescription]) -> Result<Book
         "src/result-store.md".into(),
         result_store(root)?.into_bytes(),
     );
+    // The service chapter is hand-authored prose, not generated: pass
+    // the committed file through byte-for-byte. Regeneration can then
+    // never clobber it, and diff_book never flags it (generated ==
+    // committed by construction) — but a deleted file still fails the
+    // build here, and a drifted route table fails the check gate.
+    let service = root.join("book/src/service.md");
+    let bytes = std::fs::read(&service).map_err(|e| {
+        format!(
+            "cannot read {} (the service chapter is hand-authored — \
+             restore it from version control, docgen cannot regenerate \
+             it): {e}",
+            service.display()
+        )
+    })?;
+    files.insert("src/service.md".into(), bytes);
     files.insert("src/observability.md".into(), observability().into_bytes());
     files.insert("src/perf-trends.md".into(), perf_trends(root)?.into_bytes());
     files.insert(
@@ -344,9 +365,14 @@ fn result_store(root: &Path) -> Result<String, String> {
          and simulation. An interrupted sweep resumes with `--resume`, \
          simulating only the jobs the killed run never finished.\n\n\
          ## Keying and the file format (version 1)\n\n\
-         One little-endian file per `(workload, scale, prefetcher)`, named \
-         `<workload>-<scale>-<prefetcher>.cbwsresult` under \
+         One little-endian file per `(workload, scale, prefetcher, \
+         config)`, named \
+         `<workload>-<scale>-<prefetcher>-<config hash>.cbwsresult` under \
          `CBWS_RESULT_STORE_DIR` (default `target/result-store/`). The \
+         config hash in the file name lets sensitivity sweeps that revisit \
+         one `(workload, scale, prefetcher)` triple under many \
+         configurations keep every point on disk at once — without it each \
+         config overwrote the previous one's entry. The \
          header stores magic `CBWSRSLT`, the format version, and an FNV-1a \
          key hash folding together:\n\n\
          | component | invalidates when |\n|---|---|\n\
@@ -371,8 +397,10 @@ fn result_store(root: &Path) -> Result<String, String> {
          order is LRU. The entry just written is never evicted.\n\n\
          ## Telemetry\n\n\
          With telemetry enabled the store counts `result_store.hit`, \
-         `.miss`, `.write`, `.invalidate`, and `.evict`; the cached CI leg \
-         asserts `result_store.hit > 0`. Each `results/*.manifest.json` \
+         `.miss`, `.write`, `.invalidate`, and `.evict`, plus \
+         `result_store.write_bytes` — the bytes each write adds, which the \
+         [sweep service](service.md) charges against per-client quotas; \
+         the cached CI leg asserts `result_store.hit > 0`. Each `results/*.manifest.json` \
          records per-worker `store_hits` / `store_misses`, so a committed \
          artifact says whether its records were simulated or served from \
          the store. Determinism is gated in `sweep_e2e`: records served \
@@ -535,6 +563,7 @@ fn summary(registry: &[ComponentDescription], figures: &[pages::FigureSpec]) -> 
     md.push_str("- [Reproducing the figures](reproducing.md)\n");
     md.push_str("- [The trace store](trace-store.md)\n");
     md.push_str("- [The result store](result-store.md)\n");
+    md.push_str("- [The sweep service](service.md)\n");
     md.push_str("- [Observability](observability.md)\n");
     md.push_str("- [Performance trends](perf-trends.md)\n");
     md.push_str("- [Component reference](registry/index.md)\n");

@@ -1,6 +1,6 @@
 //! The doc-drift check behind `docgen --check`.
 //!
-//! Four independent gates, all offline:
+//! Five independent gates, all offline:
 //!
 //! 1. **Book drift** — the committed `book/` tree must equal a fresh
 //!    regeneration byte-for-byte (stale, missing, and orphaned files all
@@ -13,6 +13,8 @@
 //!    paper constants (16-entry DHT, sub-1 KB CBWS) must hold.
 //! 4. **Links** — no broken relative link in the book or the narrative
 //!    docs.
+//! 5. **Service routes** — the hand-authored service chapter's route
+//!    table must agree, row for row, with `cbws_server::ROUTES`.
 
 use crate::claims::{claims, measure, quote_matches, quoted_number};
 use crate::{book, linkcheck};
@@ -43,6 +45,7 @@ pub fn run(root: &Path, registry: &[ComponentDescription]) -> Vec<String> {
 
     problems.extend(check_quotes(root, registry));
     problems.extend(check_describe_consistency(root, registry));
+    problems.extend(check_service_routes(root));
 
     let narrative: Vec<String> = NARRATIVE_DOCS.iter().map(|s| s.to_string()).collect();
     problems.extend(linkcheck::check_files(root, &narrative));
@@ -88,6 +91,97 @@ pub fn check_quotes(root: &Path, registry: &[ComponentDescription]) -> Vec<Strin
         }
     }
     problems
+}
+
+/// Gate 5: the hand-authored service chapter cannot fall behind the
+/// server. Parses the markdown table under its `## Routes` heading and
+/// demands each row match `cbws_server::ROUTES` — same order, same
+/// method, same path, same summary text.
+pub fn check_service_routes(root: &Path) -> Vec<String> {
+    const PAGE: &str = "book/src/service.md";
+    let text = match std::fs::read_to_string(root.join(PAGE)) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("service routes: cannot read {PAGE}: {e}")],
+    };
+    let mut problems = Vec::new();
+    let rows = service_route_rows(&text);
+    if rows.is_empty() {
+        return vec![format!(
+            "service routes: {PAGE} has no table under a `## Routes` heading"
+        )];
+    }
+    for (i, route) in cbws_server::ROUTES.iter().enumerate() {
+        let want = (
+            route.method.to_string(),
+            format!("`{}`", route.path),
+            route.summary.to_string(),
+        );
+        match rows.get(i) {
+            Some(row) if *row == want => {}
+            Some(row) => problems.push(format!(
+                "service routes: {PAGE} row {} documents `{} {} — {}` but the \
+                 server serves `{} {} — {}`",
+                i + 1,
+                row.0,
+                row.1,
+                row.2,
+                route.method,
+                route.path,
+                route.summary
+            )),
+            None => problems.push(format!(
+                "service routes: {PAGE} is missing a row for `{} {}`",
+                route.method, route.path
+            )),
+        }
+    }
+    for row in rows.iter().skip(cbws_server::ROUTES.len()) {
+        problems.push(format!(
+            "service routes: {PAGE} documents `{} {}` but the server has no \
+             such route",
+            row.0, row.1
+        ));
+    }
+    problems
+}
+
+/// The (method, path, summary) cells of the first table after the
+/// `## Routes` heading, header and separator rows dropped.
+fn service_route_rows(text: &str) -> Vec<(String, String, String)> {
+    let mut rows = Vec::new();
+    let mut in_section = false;
+    let mut in_table = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if let Some(heading) = t.strip_prefix("## ") {
+            if in_section {
+                break;
+            }
+            in_section = heading.trim() == "Routes";
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        if t.starts_with('|') && t.ends_with('|') {
+            in_table = true;
+            let cells: Vec<&str> = t[1..t.len() - 1].split('|').map(str::trim).collect();
+            // Skip the header and the |---|---|---| separator.
+            if cells.first() == Some(&"method")
+                || cells
+                    .iter()
+                    .all(|c| !c.is_empty() && c.chars().all(|ch| ch == '-'))
+            {
+                continue;
+            }
+            if cells.len() == 3 {
+                rows.push((cells[0].into(), cells[1].into(), cells[2].into()));
+            }
+        } else if in_table {
+            break;
+        }
+    }
+    rows
 }
 
 /// Gate 3: `Describe` output vs the committed Table III artifact, plus the
@@ -152,4 +246,89 @@ pub fn check_describe_consistency(root: &Path, registry: &[ComponentDescription]
         problems.push("no CBWS component in the registry".to_string());
     }
     problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_route_table_is_parsed_from_the_routes_section_only() {
+        let page = "# Title\n\n| a | b | c |\n|---|---|---|\n| x | y | z |\n\n\
+                    ## Routes\n\n| method | path | summary |\n|---|---|---|\n\
+                    | GET | `/healthz` | alive |\n| POST | `/v1/sweep` | run |\n\n\
+                    prose after\n\n| q | r | s |\n|---|---|---|\n| 1 | 2 | 3 |\n";
+        let rows = service_route_rows(page);
+        assert_eq!(
+            rows,
+            vec![
+                ("GET".into(), "`/healthz`".into(), "alive".into()),
+                ("POST".into(), "`/v1/sweep`".into(), "run".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn committed_service_page_matches_the_server_routes() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap();
+        assert_eq!(check_service_routes(root), Vec::<String>::new());
+    }
+
+    /// Writes `rows` as the service page of a scratch root and returns
+    /// what the gate reports about it.
+    fn gate_on(tag: &str, rows: &str) -> Vec<String> {
+        let dir = std::env::temp_dir().join(format!("docgen-routes-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("book/src")).unwrap();
+        let page = format!("## Routes\n\n| method | path | summary |\n|---|---|---|\n{rows}");
+        std::fs::write(dir.join("book/src/service.md"), page).unwrap();
+        let problems = check_service_routes(&dir);
+        std::fs::remove_dir_all(&dir).ok();
+        problems
+    }
+
+    #[test]
+    fn drifted_summary_missing_row_and_extra_row_are_all_reported() {
+        let routes = cbws_server::ROUTES;
+        let verbatim =
+            |r: &cbws_server::Route| format!("| {} | `{}` | {} |\n", r.method, r.path, r.summary);
+
+        // Every route present, but the first row's summary has drifted.
+        let mut drifted = format!(
+            "| {} | `{}` | something else entirely |\n",
+            routes[0].method, routes[0].path
+        );
+        routes[1..]
+            .iter()
+            .for_each(|r| drifted.push_str(&verbatim(r)));
+        let problems = gate_on("drift", &drifted);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("row 1"), "{}", problems[0]);
+        assert!(
+            problems[0].contains("something else entirely"),
+            "{}",
+            problems[0]
+        );
+
+        // The last route's row is missing.
+        let truncated: String = routes[..routes.len() - 1].iter().map(verbatim).collect();
+        let problems = gate_on("missing", &truncated);
+        let last = routes.last().unwrap();
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(
+            problems[0].contains(&format!("`{} {}`", last.method, last.path)),
+            "{}",
+            problems[0]
+        );
+
+        // An invented route is documented past the real ones.
+        let mut extended: String = routes.iter().map(verbatim).collect();
+        extended.push_str("| GET | `/v1/made-up` | not a route |\n");
+        let problems = gate_on("extra", &extended);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("/v1/made-up"), "{}", problems[0]);
+    }
 }

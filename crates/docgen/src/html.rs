@@ -2,10 +2,10 @@
 //!
 //! The container has no `mdbook` binary, so `docgen --html` renders the
 //! same `book/src` tree to static HTML with a deliberately small markdown
-//! subset: exactly what the generated pages use (headings, paragraphs,
-//! fenced code, tables, lists, blockquotes, emphasis, links, images).
-//! Where mdBook is available, `mdbook build book` works on the identical
-//! sources.
+//! subset: exactly what the book's pages use (headings, paragraphs,
+//! fenced code, tables with escaped pipes, nested lists, horizontal
+//! rules, blockquotes, emphasis, links, images). Where mdBook is
+//! available, `mdbook build book` works on the identical sources.
 
 use std::path::Path;
 
@@ -131,12 +131,26 @@ table{border-collapse:collapse}td,th{border:1px solid #ccc;padding:.3em .6em;\
 text-align:left}pre{background:#f5f5f5;padding:1em;overflow-x:auto}\
 code{background:#f0f0f0;padding:0 .2em}img{max-width:100%}";
 
-/// Renders the markdown subset the generated pages use.
+/// One open list on the nesting stack.
+struct ListLevel {
+    /// Leading-space count of this level's items.
+    indent: usize,
+    /// `<ol>` vs `<ul>`.
+    ordered: bool,
+    /// Whether the level was opened inside the parent's `<li>` (nested
+    /// lists close that item when they close).
+    in_item: bool,
+}
+
+/// Renders the markdown subset the book's pages use. Generated pages
+/// exercise headings, paragraphs, fenced code, tables, flat lists,
+/// blockquotes, emphasis, links, and images; the hand-authored
+/// [service chapter](../../book/src/service.md) adds horizontal rules,
+/// nested lists, and escaped pipes inside table cells.
 pub fn markdown_to_html(md: &str) -> String {
     let mut html = String::new();
     let mut lines = md.lines().peekable();
-    let mut in_list = false;
-    let mut in_ordered = false;
+    let mut lists: Vec<ListLevel> = Vec::new();
     while let Some(line) = lines.next() {
         let trimmed = line.trim_start();
         if trimmed.starts_with("<!--") {
@@ -151,7 +165,7 @@ pub fn markdown_to_html(md: &str) -> String {
                 code.push_str(&escape(code_line));
                 code.push('\n');
             }
-            close_list(&mut html, &mut in_list, &mut in_ordered);
+            close_lists(&mut html, &mut lists);
             html.push_str(&format!(
                 "<pre><code class=\"language-{}\">{}</code></pre>\n",
                 escape(lang.trim()),
@@ -160,16 +174,21 @@ pub fn markdown_to_html(md: &str) -> String {
             continue;
         }
         if trimmed.is_empty() {
-            close_list(&mut html, &mut in_list, &mut in_ordered);
+            close_lists(&mut html, &mut lists);
+            continue;
+        }
+        if is_rule(trimmed) {
+            close_lists(&mut html, &mut lists);
+            html.push_str("<hr>\n");
             continue;
         }
         if let Some(h) = heading(trimmed) {
-            close_list(&mut html, &mut in_list, &mut in_ordered);
+            close_lists(&mut html, &mut lists);
             html.push_str(&h);
             continue;
         }
         if let Some(quoted) = trimmed.strip_prefix('>') {
-            close_list(&mut html, &mut in_list, &mut in_ordered);
+            close_lists(&mut html, &mut lists);
             let mut quote = quoted.trim_start().to_string();
             while lines
                 .peek()
@@ -189,7 +208,7 @@ pub fn markdown_to_html(md: &str) -> String {
             continue;
         }
         if trimmed.starts_with('|') {
-            close_list(&mut html, &mut in_list, &mut in_ordered);
+            close_lists(&mut html, &mut lists);
             let mut rows = vec![trimmed.to_string()];
             while lines
                 .peek()
@@ -200,30 +219,17 @@ pub fn markdown_to_html(md: &str) -> String {
             html.push_str(&table_html(&rows));
             continue;
         }
-        if let Some(item) = trimmed
+        let unordered = trimmed
             .strip_prefix("* ")
-            .or_else(|| trimmed.strip_prefix("- "))
-        {
-            if !in_list {
-                close_list(&mut html, &mut in_list, &mut in_ordered);
-                html.push_str("<ul>\n");
-                in_list = true;
-                in_ordered = false;
-            }
+            .or_else(|| trimmed.strip_prefix("- "));
+        if let Some(item) = unordered.or_else(|| ordered_item(trimmed)) {
+            let ordered = unordered.is_none();
+            let indent = line.len() - trimmed.len();
+            open_list_level(&mut html, &mut lists, indent, ordered);
             html.push_str(&format!("<li>{}</li>\n", inline(item)));
             continue;
         }
-        if let Some(item) = ordered_item(trimmed) {
-            if !in_list || !in_ordered {
-                close_list(&mut html, &mut in_list, &mut in_ordered);
-                html.push_str("<ol>\n");
-                in_list = true;
-                in_ordered = true;
-            }
-            html.push_str(&format!("<li>{}</li>\n", inline(item)));
-            continue;
-        }
-        if in_list && html.ends_with("</li>\n") {
+        if !lists.is_empty() && html.ends_with("</li>\n") {
             // Continuation line of the previous list item.
             html.truncate(html.len() - "</li>\n".len());
             html.push_str(&format!(" {}</li>\n", inline(trimmed)));
@@ -240,23 +246,62 @@ pub fn markdown_to_html(md: &str) -> String {
                 && !t.starts_with("```")
                 && !t.starts_with("* ")
                 && !t.starts_with("- ")
+                && !is_rule(t)
                 && ordered_item(t).is_none()
         }) {
             para.push(' ');
             para.push_str(lines.next().unwrap().trim());
         }
-        close_list(&mut html, &mut in_list, &mut in_ordered);
+        close_lists(&mut html, &mut lists);
         html.push_str(&format!("<p>{}</p>\n", inline(&para)));
     }
-    let mut dummy_ordered = in_ordered;
-    close_list(&mut html, &mut in_list, &mut dummy_ordered);
+    close_lists(&mut html, &mut lists);
     html
 }
 
-fn close_list(html: &mut String, in_list: &mut bool, in_ordered: &mut bool) {
-    if *in_list {
-        html.push_str(if *in_ordered { "</ol>\n" } else { "</ul>\n" });
-        *in_list = false;
+/// A thematic break: three or more `-` or `*` alone on the line (but not
+/// a table separator, which starts with `|` and never reaches here).
+fn is_rule(line: &str) -> bool {
+    line.len() >= 3 && (line.bytes().all(|b| b == b'-') || line.bytes().all(|b| b == b'*'))
+}
+
+/// Adjusts the list stack for an item at `indent`: closes deeper levels,
+/// reuses a matching one, or opens a new (possibly nested) level.
+fn open_list_level(html: &mut String, lists: &mut Vec<ListLevel>, indent: usize, ordered: bool) {
+    while lists
+        .last()
+        .is_some_and(|l| l.indent > indent || (l.indent == indent && l.ordered != ordered))
+    {
+        close_one_list(html, lists);
+    }
+    if lists.last().is_some_and(|l| l.indent == indent) {
+        return; // continue the open level
+    }
+    // Deeper than the current level: nest inside the item just emitted.
+    let in_item = !lists.is_empty() && html.ends_with("</li>\n");
+    if in_item {
+        html.truncate(html.len() - "</li>\n".len());
+        html.push('\n');
+    }
+    html.push_str(if ordered { "<ol>\n" } else { "<ul>\n" });
+    lists.push(ListLevel {
+        indent,
+        ordered,
+        in_item,
+    });
+}
+
+/// Closes the innermost open list.
+fn close_one_list(html: &mut String, lists: &mut Vec<ListLevel>) {
+    let Some(level) = lists.pop() else { return };
+    html.push_str(if level.ordered { "</ol>" } else { "</ul>" });
+    html.push_str(if level.in_item { "</li>\n" } else { "\n" });
+}
+
+/// Closes every open list.
+fn close_lists(html: &mut String, lists: &mut Vec<ListLevel>) {
+    while !lists.is_empty() {
+        close_one_list(html, lists);
     }
 }
 
@@ -282,8 +327,12 @@ fn ordered_item(line: &str) -> Option<&str> {
 }
 
 fn table_html(rows: &[String]) -> String {
+    // `\|` is a literal pipe inside a cell, not a column break: hide it
+    // behind a sentinel before splitting, restore it after.
+    const PIPE: char = '\u{1}';
     let mut html = String::from("<table>\n");
     for (i, row) in rows.iter().enumerate() {
+        let row = row.replace("\\|", &PIPE.to_string());
         let cells: Vec<&str> = row.trim_matches('|').split('|').collect();
         if cells.iter().all(|c| {
             let t = c.trim();
@@ -294,7 +343,8 @@ fn table_html(rows: &[String]) -> String {
         let tag = if i == 0 { "th" } else { "td" };
         html.push_str("<tr>");
         for cell in cells {
-            html.push_str(&format!("<{tag}>{}</{tag}>", inline(cell.trim())));
+            let cell = cell.trim().replace(PIPE, "|");
+            html.push_str(&format!("<{tag}>{}</{tag}>", inline(&cell)));
         }
         html.push_str("</tr>\n");
     }
@@ -429,6 +479,45 @@ mod tests {
     fn images_render() {
         let html = markdown_to_html("![plot](fig.svg)\n");
         assert!(html.contains("<img src=\"fig.svg\" alt=\"plot\">"));
+    }
+
+    #[test]
+    fn horizontal_rules_render_but_short_dashes_stay_prose() {
+        let html = markdown_to_html("before\n\n---\n\nafter\n");
+        assert!(html.contains("<p>before</p>\n<hr>\n<p>after</p>"), "{html}");
+        // `--` is prose; a rule glued to a paragraph still breaks it.
+        let html = markdown_to_html("a -- b\n---\n");
+        assert!(html.contains("<p>a -- b</p>\n<hr>"), "{html}");
+    }
+
+    #[test]
+    fn nested_lists_nest_and_close_back_out() {
+        let html = markdown_to_html("- outer one\n  - inner a\n  - inner b\n- outer two\n\ntail\n");
+        assert!(
+            html.contains(
+                "<ul>\n<li>outer one\n<ul>\n<li>inner a</li>\n<li>inner b</li>\n\
+                 </ul></li>\n<li>outer two</li>\n</ul>\n"
+            ),
+            "{html}"
+        );
+        assert!(html.contains("<p>tail</p>"));
+    }
+
+    #[test]
+    fn nested_ordered_inside_unordered() {
+        let html = markdown_to_html("- outer\n  1. first\n  2. second\n");
+        assert!(
+            html.contains("<li>outer\n<ol>\n<li>first</li>\n<li>second</li>\n</ol></li>"),
+            "{html}"
+        );
+    }
+
+    #[test]
+    fn escaped_pipes_stay_inside_table_cells() {
+        let html =
+            markdown_to_html("| flag | effect |\n|---|---|\n| `a\\|b` | either \\| both |\n");
+        assert!(html.contains("<td><code>a|b</code></td>"), "{html}");
+        assert!(html.contains("<td>either | both</td>"), "{html}");
     }
 
     #[test]

@@ -36,8 +36,8 @@ fn main() -> ExitCode {
         let problems = docgen::check::run(&root, &registry);
         return if problems.is_empty() {
             println!(
-                "docgen --check: book, quoted numbers, Describe output, and \
-                 links are all in sync"
+                "docgen --check: book, quoted numbers, Describe output, \
+                 links, and service routes are all in sync"
             );
             ExitCode::SUCCESS
         } else {

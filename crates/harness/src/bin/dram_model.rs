@@ -32,6 +32,7 @@ fn run_suite(scale: cbws_workloads::Scale, cfg: SystemConfig, jobs: usize) -> En
         telemetry: Telemetry::disabled(),
         spans: session_spans().clone(),
         result_cache: result_cache_from_args(),
+        ..EngineConfig::default()
     })
     .run(scale, &mi_suite(), &KINDS)
 }

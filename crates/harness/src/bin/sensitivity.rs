@@ -29,6 +29,7 @@ fn geomean_speedup(scale: Scale, cfg: SystemConfig, jobs: usize) -> (f64, Engine
         // Each sensitivity point's config is part of the result key, so
         // cached entries from other points can never be served here.
         result_cache: result_cache_from_args(),
+        ..EngineConfig::default()
     });
     let run = engine.run(
         scale,

@@ -131,6 +131,7 @@ fn main() {
                 telemetry: Telemetry::disabled(),
                 spans: session_spans().clone(),
                 result_cache: result_cache_from_args(),
+                ..EngineConfig::default()
             });
             let run = engine.run(scale, &[w], &kinds);
             manifest = manifest

@@ -58,7 +58,7 @@ use cbws_telemetry::{
     detail, log, warn, Heartbeat, Log2Histogram, Profiler, Spans, Telemetry, Verbosity,
 };
 use cbws_workloads::{trace_store, Group, Scale, WorkloadSpec};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -102,8 +102,33 @@ pub enum ResultCache {
     At(Arc<ResultStore>),
 }
 
+/// Everything an [`EngineConfig::observer`] learns about one completed
+/// job. Borrowed — observers that keep the record clone it.
+#[derive(Debug)]
+pub struct JobUpdate<'a> {
+    /// Job index in the serial (workload-major, prefetcher-minor) order.
+    pub job: usize,
+    /// Total jobs of the run's matrix.
+    pub job_count: usize,
+    /// The workload simulated.
+    pub workload: &'static str,
+    /// Display name of the prefetcher simulated.
+    pub prefetcher: &'static str,
+    /// Whether the record was served from the result store.
+    pub cached: bool,
+    /// The job's record, byte-identical to a serial sweep's.
+    pub record: &'a RunRecord,
+}
+
+/// Per-job completion callback (the sweep server's streaming hook). Called
+/// from whichever worker thread finished the job, in completion (not
+/// serial) order; returning `false` requests cooperative cancellation —
+/// workers stop claiming new jobs and the run returns with
+/// [`EngineRun::cancelled`] set.
+pub type JobObserver = Arc<dyn Fn(&JobUpdate<'_>) -> bool + Send + Sync>;
+
 /// Engine configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct EngineConfig {
     /// Worker count; `0` means [`detect_parallelism`] (all cores). The
     /// effective count is additionally clamped to the number of jobs.
@@ -122,6 +147,25 @@ pub struct EngineConfig {
     /// entirely and returns the stored (checksummed, key-verified) record;
     /// a miss simulates and persists. Off by default.
     pub result_cache: ResultCache,
+    /// When `false`, jobs still consult the result store but fresh records
+    /// are **not** persisted — reads stay warm, the store grows by nothing.
+    /// The sweep server runs over-quota clients in this mode; `true` (the
+    /// default) everywhere else.
+    pub store_writes: bool,
+    /// Per-job completion callback; `None` (the default) costs nothing.
+    /// See [`JobObserver`] for the calling convention and cancellation.
+    pub observer: Option<JobObserver>,
+}
+
+impl std::fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("jobs", &self.jobs)
+            .field("result_cache", &self.result_cache)
+            .field("store_writes", &self.store_writes)
+            .field("observer", &self.observer.as_ref().map(|_| ".."))
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for EngineConfig {
@@ -132,6 +176,8 @@ impl Default for EngineConfig {
             telemetry: Telemetry::disabled(),
             spans: Spans::disabled(),
             result_cache: ResultCache::Off,
+            store_writes: true,
+            observer: None,
         }
     }
 }
@@ -208,6 +254,11 @@ pub struct EngineRun {
     pub utilization: f64,
     /// Per-worker scheduling stats, ordered by worker index.
     pub worker_stats: Vec<WorkerStats>,
+    /// `true` when an [`JobObserver`] requested cancellation mid-run:
+    /// `records` then holds only the jobs that completed (still sorted by
+    /// serial index, but with gaps) and must not be treated as a full
+    /// matrix.
+    pub cancelled: bool,
 }
 
 impl EngineRun {
@@ -240,6 +291,7 @@ impl EngineRun {
 #[allow(clippy::too_many_arguments)]
 fn run_job(
     store: Option<&ResultStore>,
+    store_writes: bool,
     sim: &Simulator,
     spans: &Spans,
     system: &SystemConfig,
@@ -267,7 +319,9 @@ fn run_job(
     let record = sim.run(w.name, w.group == Group::MemoryIntensive, &*trace, kind);
     prof.record("simulate", sim_start.elapsed());
     if let (Some(st), Some(key)) = (store, key.as_ref()) {
-        st.put(key, &record);
+        if store_writes {
+            st.put(key, &record);
+        }
         stats.store_misses += 1;
     }
     (record, false)
@@ -351,6 +405,8 @@ impl Engine {
 
         let next = AtomicUsize::new(0);
         let completed = AtomicUsize::new(0);
+        // Set by an observer returning `false`: workers stop claiming.
+        let cancel = AtomicBool::new(false);
         // Done/total progress lines under `--progress`, shared across
         // workers so the rate limit is global.
         let heartbeat = Mutex::new(Heartbeat::new(Duration::from_secs(1)));
@@ -364,9 +420,12 @@ impl Engine {
         std::thread::scope(|s| {
             let next = &next;
             let completed = &completed;
+            let cancel = &cancel;
             let heartbeat = &heartbeat;
             let shared = &shared;
             let system = self.cfg.system;
+            let observer = self.cfg.observer.as_ref();
+            let store_writes = self.cfg.store_writes;
             for worker in 0..workers {
                 let spans = spans.clone();
                 s.spawn(move || {
@@ -387,6 +446,9 @@ impl Engine {
                         // The idle span covers the gap from the previous
                         // job's end (or thread start) to the next claim.
                         let idle = spans.begin("idle");
+                        if cancel.load(Ordering::Relaxed) {
+                            break; // cooperative cancellation between jobs
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= job_count {
                             break; // `idle` drops here, closing the gap
@@ -405,7 +467,16 @@ impl Engine {
                         };
                         let job_start = Instant::now();
                         let (record, cached) = run_job(
-                            store, &sim, &spans, &system, w, kind, scale, &mut prof, &mut stats,
+                            store,
+                            store_writes,
+                            &sim,
+                            &spans,
+                            &system,
+                            w,
+                            kind,
+                            scale,
+                            &mut prof,
+                            &mut stats,
                         );
                         if store.is_some() {
                             if let Some(g) = &job_span {
@@ -417,6 +488,19 @@ impl Engine {
                         stats.jobs += 1;
                         stats.busy_seconds += job_elapsed.as_secs_f64();
                         stats.job_us.record(job_elapsed.as_micros() as u64);
+                        if let Some(obs) = observer {
+                            let go = obs(&JobUpdate {
+                                job: i,
+                                job_count,
+                                workload: w.name,
+                                prefetcher: kind.name(),
+                                cached,
+                                record: &record,
+                            });
+                            if !go {
+                                cancel.store(true, Ordering::Relaxed);
+                            }
+                        }
                         local.push((i, record));
                         telemetry.count("engine.jobs.completed", 1);
                         telemetry.observe("engine.job.us", job_elapsed.as_micros() as u64);
@@ -447,10 +531,11 @@ impl Engine {
         let wall_seconds = start.elapsed().as_secs_f64();
         drop(engine_span);
 
+        let cancelled = cancel.load(Ordering::Relaxed);
         let (mut indexed, profiler, mut worker_stats) =
             shared.into_inner().unwrap_or_else(|e| e.into_inner());
         indexed.sort_unstable_by_key(|(i, _)| *i);
-        debug_assert!(indexed.iter().enumerate().all(|(pos, (i, _))| pos == *i));
+        debug_assert!(cancelled || indexed.iter().enumerate().all(|(pos, (i, _))| pos == *i));
         let records: Vec<RunRecord> = indexed.into_iter().map(|(_, r)| r).collect();
         worker_stats.sort_unstable_by_key(|s| s.worker);
 
@@ -474,6 +559,7 @@ impl Engine {
             profiler,
             utilization,
             worker_stats,
+            cancelled,
         };
         telemetry.set_gauge("engine.wall_seconds", wall_seconds);
         telemetry.set_gauge("engine.jobs_per_sec", run.jobs_per_sec());
@@ -522,7 +608,8 @@ impl Engine {
         let mut stats = WorkerStats::new(0);
         let mut heartbeat = Heartbeat::new(Duration::from_secs(1));
         let mut i = 0usize;
-        for &w in workloads {
+        let mut cancelled = false;
+        'outer: for &w in workloads {
             for &kind in kinds {
                 let job_span = if spans.is_enabled() {
                     let g = spans.begin(&format!("{}/{}", w.name, kind.name()));
@@ -537,6 +624,7 @@ impl Engine {
                 let job_start = Instant::now();
                 let (record, cached) = run_job(
                     store,
+                    self.cfg.store_writes,
                     &sim,
                     spans,
                     &self.cfg.system,
@@ -556,6 +644,22 @@ impl Engine {
                 stats.jobs += 1;
                 stats.busy_seconds += job_elapsed.as_secs_f64();
                 stats.job_us.record(job_elapsed.as_micros() as u64);
+                if let Some(obs) = &self.cfg.observer {
+                    let go = obs(&JobUpdate {
+                        job: i,
+                        job_count,
+                        workload: w.name,
+                        prefetcher: kind.name(),
+                        cached,
+                        record: &record,
+                    });
+                    if !go {
+                        records.push(record);
+                        telemetry.count("engine.jobs.completed", 1);
+                        cancelled = true;
+                        break 'outer;
+                    }
+                }
                 records.push(record);
                 telemetry.count("engine.jobs.completed", 1);
                 telemetry.observe("engine.job.us", job_elapsed.as_micros() as u64);
@@ -588,6 +692,7 @@ impl Engine {
             profiler: prof,
             utilization,
             worker_stats: vec![stats],
+            cancelled,
         };
         telemetry.set_gauge("engine.wall_seconds", wall_seconds);
         telemetry.set_gauge("engine.jobs_per_sec", run.jobs_per_sec());
@@ -856,6 +961,91 @@ mod tests {
         );
         assert_eq!(run.store_hits(), 0);
         assert_eq!(run.store_misses(), 0);
+    }
+
+    #[test]
+    fn observer_sees_every_job_with_serial_indices() {
+        let seen: Arc<Mutex<Vec<(usize, String, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let workloads = picks(&["stencil-default", "nw"]);
+        let kinds = [PrefetcherKind::None, PrefetcherKind::Sms];
+        let run = Engine::new(EngineConfig {
+            jobs: 2,
+            observer: Some(Arc::new(move |u: &JobUpdate<'_>| {
+                sink.lock().unwrap().push((
+                    u.job,
+                    u.workload.to_string(),
+                    u.record.prefetcher.clone(),
+                ));
+                true
+            })),
+            ..EngineConfig::default()
+        })
+        .run(Scale::Tiny, &workloads, &kinds);
+        assert!(!run.cancelled);
+        let mut seen = seen.lock().unwrap().clone();
+        seen.sort();
+        assert_eq!(seen.len(), run.job_count);
+        // Indices are the serial order; workload/prefetcher derive from them.
+        for (i, (job, workload, prefetcher)) in seen.iter().enumerate() {
+            assert_eq!(*job, i);
+            assert_eq!(*workload, workloads[i / kinds.len()].name);
+            assert_eq!(*prefetcher, kinds[i % kinds.len()].name());
+        }
+    }
+
+    #[test]
+    fn observer_cancel_stops_the_run() {
+        let workloads = picks(&["stencil-default", "histo-large", "nw"]);
+        let kinds = [PrefetcherKind::None, PrefetcherKind::Sms];
+        for jobs in [1, 2] {
+            let done = Arc::new(AtomicUsize::new(0));
+            let counter = done.clone();
+            let run = Engine::new(EngineConfig {
+                jobs,
+                observer: Some(Arc::new(move |_: &JobUpdate<'_>| {
+                    counter.fetch_add(1, Ordering::Relaxed) + 1 < 2
+                })),
+                ..EngineConfig::default()
+            })
+            .run(Scale::Tiny, &workloads, &kinds);
+            assert!(run.cancelled, "jobs = {jobs}");
+            assert!(
+                run.records.len() < run.job_count,
+                "jobs = {jobs}: cancellation must leave the matrix unfinished \
+                 ({} of {} records)",
+                run.records.len(),
+                run.job_count
+            );
+        }
+    }
+
+    #[test]
+    fn store_writes_off_reads_but_never_persists() {
+        let dir = scratch_dir("readonly");
+        let store = Arc::new(ResultStore::at(&dir));
+        let workloads = picks(&["stencil-default"]);
+        let kinds = [PrefetcherKind::None, PrefetcherKind::Sms];
+        let cfg = |store_writes| EngineConfig {
+            jobs: 1,
+            result_cache: ResultCache::At(store.clone()),
+            store_writes,
+            ..EngineConfig::default()
+        };
+        // Read-only against an empty store: every job misses, simulates,
+        // and leaves nothing on disk.
+        let first = Engine::new(cfg(false)).run(Scale::Tiny, &workloads, &kinds);
+        assert_eq!(first.store_misses(), first.job_count);
+        let entries = || std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        assert_eq!(entries(), 0, "read-only mode must not write the store");
+        // Populate normally, then read-only serves every job from disk.
+        Engine::new(cfg(true)).run(Scale::Tiny, &workloads, &kinds);
+        let populated = entries();
+        assert!(populated > 0);
+        let cached = Engine::new(cfg(false)).run(Scale::Tiny, &workloads, &kinds);
+        assert_eq!(cached.store_hits(), cached.job_count);
+        assert_eq!(entries(), populated);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

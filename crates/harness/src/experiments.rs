@@ -2,7 +2,7 @@
 //! experiment index). Each `figNN_*` function turns raw [`RunRecord`]s (or
 //! traces) into the paper's table/figure data rendered as a [`TextTable`].
 
-use crate::engine::{Engine, EngineConfig, EngineRun, ResultCache};
+use crate::engine::{EngineRun, ResultCache};
 use crate::runner::{PrefetcherKind, Simulator, SystemConfig};
 use cbws_core::analysis::{collect_block_histories, DifferentialSkew};
 use cbws_core::{CbwsConfig, CbwsVec};
@@ -372,14 +372,23 @@ pub fn sweep_engine_with(
         Telemetry::disabled()
     };
     let cache_on = !matches!(result_cache, ResultCache::Off);
-    let engine = Engine::new(EngineConfig {
-        jobs,
+    // The CLI and the sweep server share this orchestration path (see
+    // `crate::service`); only the flag parsing and reporting around it
+    // differ.
+    let session = crate::service::SweepSession {
         telemetry: telemetry.clone(),
         spans: session_spans().clone(),
         result_cache,
-        ..EngineConfig::default()
-    });
-    let run = engine.run(scale, workloads, &PrefetcherKind::ALL);
+        store_writes: true,
+    };
+    let spec = crate::service::SweepSpec {
+        workloads: workloads.to_vec(),
+        kinds: PrefetcherKind::ALL.to_vec(),
+        scale,
+        jobs,
+        system: SystemConfig::default(),
+    };
+    let run = session.run("sweep_engine", &spec, None).run;
     status!(
         "[engine] {} jobs on {} workers in {:.2} s ({:.1} jobs/s, {:.0}% utilization)",
         run.job_count,
@@ -696,6 +705,7 @@ pub fn fig15_perf_cost(records: &[RunRecord]) -> TextTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{Engine, EngineConfig};
 
     fn tiny_sweep() -> Vec<RunRecord> {
         let picks: Vec<&'static WorkloadSpec> = ["stencil-default", "histo-large", "mxm-linpack"]

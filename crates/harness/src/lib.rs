@@ -25,9 +25,13 @@ mod manifest;
 mod prefetched;
 pub mod result_store;
 mod runner;
+pub mod service;
 
 pub use dispatch::AnyPrefetcher;
-pub use engine::{Engine, EngineConfig, EngineRun, ResultCache, WorkerStats};
+pub use engine::{
+    Engine, EngineConfig, EngineRun, JobObserver, JobUpdate, ResultCache, WorkerStats,
+};
 pub use manifest::{ManifestWorker, RunManifest};
 pub use prefetched::PrefetchedMemory;
 pub use runner::{component_registry, PrefetcherKind, Simulator, SystemConfig};
+pub use service::{SweepOutcome, SweepSession, SweepSpec};

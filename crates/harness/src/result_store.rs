@@ -41,11 +41,14 @@
 //! | payload length | 8 | `u64` |
 //! | payload | var | the [`RunRecord`] as JSON |
 //!
-//! One file per `(workload, scale, prefetcher)` under
+//! One file per `(workload, scale, prefetcher, config hash)` under
 //! `CBWS_RESULT_STORE_DIR` (default: `target/result-store/` of the
-//! workspace). Files are written atomically (unique temporary file +
-//! rename), so a sweep killed mid-write can never leave a torn entry —
-//! the property `--resume` relies on.
+//! workspace) — the config hash in the name lets sensitivity sweeps that
+//! revisit one `(workload, scale, prefetcher)` triple under many
+//! configurations coexist instead of overwriting each other. Files are
+//! written atomically (unique temporary file + rename), so a sweep killed
+//! mid-write can never leave a torn entry — the property `--resume` relies
+//! on.
 //!
 //! # Byte budget and eviction
 //!
@@ -57,7 +60,9 @@
 //! # Telemetry
 //!
 //! `result_store.hit` / `.miss` / `.write` / `.invalidate` / `.evict`
-//! counters plus `result_store.load_us` and `result_store.store_us`, and
+//! counters plus `result_store.write_bytes` (the bytes each write adds,
+//! which the sweep server's per-client quotas charge against),
+//! `result_store.load_us` and `result_store.store_us`, and
 //! `result.load` / `result.write` spans when a collector is attached.
 
 use crate::runner::{PrefetcherKind, SystemConfig};
@@ -279,7 +284,10 @@ impl ResultKey {
         fnv_fold_bytes(h, &(sim_version_hash() ^ salt).to_le_bytes())
     }
 
-    /// Filesystem-safe file stem (`"CBWS+SMS"` → `cbws-sms`).
+    /// Filesystem-safe file stem (`"CBWS+SMS"` → `cbws-sms`), suffixed
+    /// with the config hash so entries for different [`SystemConfig`]s of
+    /// the same `(workload, scale, prefetcher)` triple live in different
+    /// files and can coexist under one store directory.
     fn file_stem(&self) -> String {
         let slug: String = self
             .kind
@@ -293,7 +301,10 @@ impl ResultKey {
                 }
             })
             .collect();
-        format!("{}-{}-{}", self.workload, self.scale, slug)
+        format!(
+            "{}-{}-{}-{:016x}",
+            self.workload, self.scale, slug, self.config_hash
+        )
     }
 }
 
@@ -573,6 +584,7 @@ impl ResultStore {
         match write_atomic(&path, &bytes) {
             Ok(()) => {
                 telemetry.count("result_store.write", 1);
+                telemetry.count("result_store.write_bytes", bytes.len() as u64);
                 telemetry.count(
                     "result_store.store_us",
                     started.elapsed().as_micros() as u64,
@@ -721,7 +733,7 @@ mod tests {
     }
 
     #[test]
-    fn config_change_misses_separately() {
+    fn configs_coexist_under_distinct_files() {
         let dir = scratch_dir("config");
         let w = by_name("nw").unwrap();
         let kind = PrefetcherKind::Stride;
@@ -736,13 +748,28 @@ mod tests {
         );
 
         let store = ResultStore::at(&dir);
-        store.put(&default_key, &simulate(w, kind));
-        // Same file path, different key hash: the stored default-config
-        // entry must not be served for the bigger-L2 config.
+        assert_ne!(
+            store.path_for(&default_key),
+            store.path_for(&bigger_key),
+            "the config hash must be part of the file name"
+        );
+        // A sensitivity sweep revisiting one (workload, scale, prefetcher)
+        // triple under two configs: both entries must survive side by side.
+        let default_record = simulate(w, kind);
+        store.put(&default_key, &default_record);
+        let bigger_record = {
+            let sim = Simulator::new(bigger);
+            let trace = cbws_workloads::trace_store::shared().get(w, Scale::Tiny);
+            sim.run(w.name, true, &*trace, kind)
+        };
+        store.put(&bigger_key, &bigger_record);
+
         let telemetry = Telemetry::enabled_default();
         store.set_telemetry(telemetry.clone());
-        assert!(store.get(&bigger_key).is_none());
-        assert_eq!(counter(&telemetry, "result_store.invalidate"), 1);
+        assert_eq!(store.get(&default_key), Some(default_record));
+        assert_eq!(store.get(&bigger_key), Some(bigger_record));
+        assert_eq!(counter(&telemetry, "result_store.hit"), 2);
+        assert_eq!(counter(&telemetry, "result_store.invalidate"), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,217 @@
+//! Bounded FIFO admission queue for simulation requests.
+//!
+//! Every request that will touch the engine first asks the queue for a
+//! [`Ticket`]. Admission is non-blocking: when `capacity` tickets are
+//! already outstanding the caller gets [`QueueFull`] back immediately and
+//! answers 429, so a burst of clients degrades into fast rejections
+//! instead of an unbounded pile of parked threads. Admitted callers then
+//! *block* until every earlier ticket has been served — the engine runs
+//! one sweep at a time, which keeps worker-pool contention away and, more
+//! subtly, makes the `result_store.write_bytes` delta observed around a
+//! run attributable to exactly one client (the basis of the
+//! [`crate::quota`] ledger).
+//!
+//! Dropping a [`Ticket`] marks it served and wakes the next waiter, so a
+//! handler that panics or errors out cannot wedge the queue.
+
+use std::collections::BTreeSet;
+use std::sync::{Condvar, Mutex};
+
+/// Returned when the queue already holds `capacity` outstanding tickets.
+#[derive(Debug, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The capacity that was exceeded.
+    pub capacity: usize,
+}
+
+#[derive(Debug)]
+struct State {
+    /// Tickets issued so far; the next ticket gets this number.
+    next: u64,
+    /// The ticket currently allowed to run; all earlier ones are done.
+    serving: u64,
+    /// Tickets ahead of their turn that already finished (a queued client
+    /// gave up before being served); `serving` skips straight over them.
+    abandoned: BTreeSet<u64>,
+}
+
+/// The queue itself. `capacity` counts every outstanding ticket,
+/// including the one currently being served.
+#[derive(Debug)]
+pub struct JobQueue {
+    state: Mutex<State>,
+    served: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `capacity` outstanding tickets
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            state: Mutex::new(State {
+                next: 0,
+                serving: 0,
+                abandoned: BTreeSet::new(),
+            }),
+            served: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Outstanding tickets right now (admitted, not yet done).
+    pub fn depth(&self) -> usize {
+        let st = self.state.lock().unwrap();
+        (st.next - st.serving) as usize - st.abandoned.len()
+    }
+
+    /// Admits the caller or rejects with [`QueueFull`]; admission never
+    /// blocks. The returned ticket must then be [`Ticket::wait_turn`]ed
+    /// before touching the engine.
+    pub fn admit(&self) -> Result<Ticket<'_>, QueueFull> {
+        let mut st = self.state.lock().unwrap();
+        if (st.next - st.serving) as usize - st.abandoned.len() >= self.capacity {
+            return Err(QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let number = st.next;
+        st.next += 1;
+        Ok(Ticket {
+            queue: self,
+            number,
+        })
+    }
+
+    /// Blocks until `number` is at the head of the queue.
+    fn wait_for(&self, number: u64) {
+        let mut st = self.state.lock().unwrap();
+        while st.serving != number {
+            st = self.served.wait(st).unwrap();
+        }
+    }
+
+    /// Marks `number` done and advances the head past every contiguous
+    /// finished ticket, waking the waiters.
+    fn done(&self, number: u64) {
+        let mut st = self.state.lock().unwrap();
+        st.abandoned.insert(number);
+        loop {
+            let head = st.serving;
+            if !st.abandoned.remove(&head) {
+                break;
+            }
+            st.serving += 1;
+        }
+        self.served.notify_all();
+    }
+}
+
+/// One admitted slot. Holding it keeps the queue depth charged; dropping
+/// it marks the slot served.
+#[derive(Debug)]
+pub struct Ticket<'a> {
+    queue: &'a JobQueue,
+    number: u64,
+}
+
+impl Ticket<'_> {
+    /// Blocks until every earlier ticket has been served; returns with
+    /// this ticket at the head of the queue, cleared to run.
+    pub fn wait_turn(&self) {
+        self.queue.wait_for(self.number);
+    }
+
+    /// Position behind the head at admission time (0 = runs immediately).
+    pub fn position(&self) -> u64 {
+        self.number - self.queue.state.lock().unwrap().serving
+    }
+}
+
+impl Drop for Ticket<'_> {
+    fn drop(&mut self) {
+        self.queue.done(self.number);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn admission_beyond_capacity_is_rejected_immediately() {
+        let q = JobQueue::new(2);
+        let a = q.admit().unwrap();
+        let b = q.admit().unwrap();
+        assert_eq!(q.depth(), 2);
+        let err = q.admit().unwrap_err();
+        assert_eq!(err.capacity, 2);
+        drop(a);
+        // One slot freed: admission works again.
+        let c = q.admit().unwrap();
+        assert_eq!(q.depth(), 2);
+        drop(b);
+        drop(c);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn tickets_serve_in_fifo_order() {
+        let q = Arc::new(JobQueue::new(4));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        // Admit all four up front so the serve order is fixed before any
+        // thread races to wait.
+        let tickets: Vec<_> = (0..4).map(|_| q.admit().unwrap()).collect();
+        std::thread::scope(|s| {
+            for t in tickets {
+                let order = Arc::clone(&order);
+                s.spawn(move || {
+                    t.wait_turn();
+                    order.lock().unwrap().push(t.number);
+                });
+            }
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn only_one_ticket_runs_at_a_time() {
+        let q = Arc::new(JobQueue::new(8));
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let (q, running, peak) = (Arc::clone(&q), Arc::clone(&running), Arc::clone(&peak));
+                s.spawn(move || {
+                    let t = q.admit().unwrap();
+                    t.wait_turn();
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::yield_now();
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(peak.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn dropping_an_unserved_ticket_does_not_wedge_the_queue() {
+        let q = JobQueue::new(3);
+        let a = q.admit().unwrap();
+        let b = q.admit().unwrap();
+        // `b` gives up while queued (client vanished before its turn).
+        drop(b);
+        drop(a);
+        let c = q.admit().unwrap();
+        c.wait_turn();
+        assert_eq!(q.depth(), 1);
+    }
+}

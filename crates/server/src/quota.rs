@@ -1,0 +1,107 @@
+//! Per-client result-store byte quotas.
+//!
+//! The persistent result store is a shared disk budget
+//! (`CBWS_RESULT_CACHE_BYTES` bounds the whole directory, with LRU
+//! eviction). A server adds a second, per-client layer on top: each
+//! client may *add* at most `per_client` bytes of fresh result files.
+//! The ledger charges the `result_store.write_bytes` counter delta
+//! observed around each run — exact because the [`crate::queue`] runs
+//! sweeps one at a time — and a client over its allowance keeps full
+//! read access (store hits still serve) but runs with
+//! [`cbws_harness::EngineConfig::store_writes`] off, so it can no longer
+//! grow the store or evict other clients' entries.
+//!
+//! Clients are identified by the `X-Client-Id` request header, falling
+//! back to the peer IP. That is cooperative, not cryptographic — the
+//! quota is a fairness mechanism among colleagues sharing a sweep box,
+//! not an authentication boundary.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The ledger: bytes of store writes charged per client id.
+#[derive(Debug)]
+pub struct QuotaLedger {
+    /// Byte allowance per client; `None` = unlimited (quotas off).
+    per_client: Option<u64>,
+    charged: Mutex<HashMap<String, u64>>,
+}
+
+impl QuotaLedger {
+    /// A ledger allowing each client `per_client` bytes of store writes
+    /// (`None` disables quota enforcement).
+    pub fn new(per_client: Option<u64>) -> QuotaLedger {
+        QuotaLedger {
+            per_client,
+            charged: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The per-client allowance.
+    pub fn per_client(&self) -> Option<u64> {
+        self.per_client
+    }
+
+    /// Whether `client` may still persist fresh results. Over-quota
+    /// clients read the store but stop writing it; the check happens at
+    /// admission, so the run that crosses the line completes its writes.
+    pub fn allows_writes(&self, client: &str) -> bool {
+        match self.per_client {
+            None => true,
+            Some(limit) => self
+                .charged
+                .lock()
+                .unwrap()
+                .get(client)
+                .is_none_or(|&spent| spent < limit),
+        }
+    }
+
+    /// Charges `bytes` of store writes to `client`.
+    pub fn charge(&self, client: &str, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        *self
+            .charged
+            .lock()
+            .unwrap()
+            .entry(client.to_string())
+            .or_insert(0) += bytes;
+    }
+
+    /// Bytes charged to `client` so far.
+    pub fn charged(&self, client: &str) -> u64 {
+        self.charged
+            .lock()
+            .unwrap()
+            .get(client)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_ledger_always_allows() {
+        let ledger = QuotaLedger::new(None);
+        ledger.charge("alice", u64::MAX / 2);
+        assert!(ledger.allows_writes("alice"));
+    }
+
+    #[test]
+    fn client_over_quota_loses_writes_others_keep_them() {
+        let ledger = QuotaLedger::new(Some(1000));
+        assert!(ledger.allows_writes("alice"));
+        ledger.charge("alice", 999);
+        assert!(ledger.allows_writes("alice"), "under the line");
+        ledger.charge("alice", 1);
+        assert!(!ledger.allows_writes("alice"), "at the line");
+        assert!(ledger.allows_writes("bob"), "quotas are per client");
+        assert_eq!(ledger.charged("alice"), 1000);
+        assert_eq!(ledger.charged("bob"), 0);
+    }
+}
