@@ -65,11 +65,7 @@ fn main() {
         Some("full") => Scale::Full,
         _ => Scale::Tiny,
     };
-    let scale_name = match scale {
-        Scale::Tiny => "tiny",
-        Scale::Small => "small",
-        Scale::Full => "full",
-    };
+    let scale_name = scale.to_string();
     let jobs: usize = arg_value(&args, "--jobs")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);

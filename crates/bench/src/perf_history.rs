@@ -26,18 +26,19 @@
 //! the least noisy of the recorded clocks (no DSL generation, no file
 //! writes).
 //!
-//! On top of the rolling gate, [`check_gates`] pins three absolute
+//! On top of the rolling gate, [`check_gates`] pins four absolute
 //! invariants on the *latest* record regardless of history: replaying
 //! straight from the stored packed trace must stay at least as fast as
 //! materializing the AoS vector and replaying that
-//! (`replay_speedup >=` [`REPLAY_SPEEDUP_FLOOR`]); a single-worker
-//! engine sweep must stay within
+//! (`replay_speedup >=` [`REPLAY_SPEEDUP_FLOOR`]); disk-backed streamed
+//! replay must hold [`STREAM_THROUGHPUT_FLOOR`] of warm in-memory replay
+//! throughput; a single-worker engine sweep must stay within
 //! [`SINGLE_WORKER_OVERHEAD_CEILING`]` * serial_seconds`; and a sweep
 //! served from the persistent result store must beat the warm engine
 //! sweep by [`CACHED_SWEEP_SPEEDUP_FLOOR`]`x`. The batched lane decoder,
-//! the engine fast path, and the content-addressed result store
-//! established those bounds, and ratio gates hold across hosts where a
-//! wall-clock mean would not.
+//! the read-ahead file cursor, the engine fast path, and the
+//! content-addressed result store established those bounds, and ratio
+//! gates hold across hosts where a wall-clock mean would not.
 //!
 //! The driver is the `perf-history` binary; see its module docs for the
 //! CLI. Snapshot parsing is shared through [`load_snapshot`] /
@@ -91,9 +92,23 @@ pub const SINGLE_WORKER_OVERHEAD_CEILING: f64 = 1.02;
 /// cache stopped paying for itself.
 pub const CACHED_SWEEP_SPEEDUP_FLOOR: f64 = 3.0;
 
+/// Floor on the `stream_replay` bench's `stream_throughput_ratio` (warm
+/// in-memory replay seconds / streamed replay seconds). The disk-backed
+/// cursor pays for open + validation + per-frame decode with no resident
+/// frames to lean on, but the read-ahead thread must keep it within 30%
+/// of the in-memory path — otherwise streaming is too slow to be the
+/// default above the byte threshold, and the bound that makes `huge`
+/// traces replayable has quietly rotted.
+pub const STREAM_THROUGHPUT_FLOOR: f64 = 0.7;
+
 /// The benchmark snapshot files committed at the repository root, in
 /// recording order.
-pub const SNAPSHOT_FILES: &[&str] = &["BENCH_sweep.json", "BENCH_trace.json", "BENCH_decode.json"];
+pub const SNAPSHOT_FILES: &[&str] = &[
+    "BENCH_sweep.json",
+    "BENCH_trace.json",
+    "BENCH_decode.json",
+    "BENCH_stream.json",
+];
 
 /// One recorded benchmark run: the numeric metrics of a `BENCH_*.json`
 /// snapshot plus the provenance that makes the line auditable.
@@ -356,6 +371,8 @@ pub struct GateViolation {
 /// `dir` (no prior runs needed, unlike [`check`]):
 ///
 /// - `trace_replay`: `replay_speedup >=` [`REPLAY_SPEEDUP_FLOOR`].
+/// - `stream_replay`: `stream_throughput_ratio >=`
+///   [`STREAM_THROUGHPUT_FLOOR`].
 /// - `sweep_e2e` recorded at `workers == 1`:
 ///   `engine_warm_seconds <=` [`SINGLE_WORKER_OVERHEAD_CEILING`]
 ///   `* serial_seconds`.
@@ -377,6 +394,17 @@ pub fn check_gates(dir: &Path) -> Result<Vec<GateViolation>, String> {
                     message: format!(
                         "replay_speedup {speedup:.3} < floor {REPLAY_SPEEDUP_FLOOR} \
                          (direct packed replay slower than materialize-then-replay AoS)"
+                    ),
+                });
+            }
+        }
+        if let Some(ratio) = metric("stream_throughput_ratio") {
+            if ratio < STREAM_THROUGHPUT_FLOOR {
+                out.push(GateViolation {
+                    bench: bench.clone(),
+                    message: format!(
+                        "stream_throughput_ratio {ratio:.3} < floor {STREAM_THROUGHPUT_FLOOR} \
+                         (disk-backed streamed replay fell behind warm in-memory replay)"
                     ),
                 });
             }
@@ -611,6 +639,37 @@ mod tests {
         // floor or the cached-sweep floor (no engine_cached_seconds).
         // Empty dirs are clean too.
         assert!(check_gates(&dir).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn stream_record(ratio: f64) -> PerfRecord {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("stream_throughput_ratio".into(), ratio);
+        metrics.insert("replay_stream_seconds".into(), 0.05 / ratio);
+        PerfRecord {
+            bench: "stream_replay".into(),
+            git_rev: "abc1234".into(),
+            cores: 1,
+            unix_time: 1_700_000_000,
+            scale: "small".into(),
+            metrics,
+        }
+    }
+
+    #[test]
+    fn stream_throughput_floor_gates_only_the_latest_record() {
+        let dir = std::env::temp_dir().join(format!("cbws-gate-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // An old below-floor record superseded by a passing one: clean.
+        append(&dir, &stream_record(0.55)).unwrap();
+        append(&dir, &stream_record(0.92)).unwrap();
+        assert!(check_gates(&dir).unwrap().is_empty());
+        // A fresh record under the 0.7 floor trips the gate immediately.
+        append(&dir, &stream_record(0.64)).unwrap();
+        let found = check_gates(&dir).unwrap();
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].bench, "stream_replay");
+        assert!(found[0].message.contains("stream_throughput_ratio 0.640"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -64,7 +64,7 @@ pub fn build_book(root: &Path, registry: &[ComponentDescription]) -> Result<Book
     );
     files.insert("src/introduction.md".into(), introduction().into_bytes());
     files.insert("src/reproducing.md".into(), reproducing().into_bytes());
-    files.insert("src/trace-store.md".into(), trace_store().into_bytes());
+    files.insert("src/trace-store.md".into(), trace_store(root)?.into_bytes());
     files.insert(
         "src/result-store.md".into(),
         result_store(root)?.into_bytes(),
@@ -241,7 +241,7 @@ fn reproducing() -> String {
          ```\n\n\
          ## Flags every binary accepts\n\n\
          | flag | effect |\n|---|---|\n\
-         | `--scale tiny\\|small\\|full` | trace length per workload (default `full`; the committed artifacts record their scale in `results/*.manifest.json`) |\n\
+         | `--scale tiny\\|small\\|full\\|huge` | trace length per workload (default `full`; `huge` is 12× full and replays through the [trace store](trace-store.md)'s streaming path; the committed artifacts record their scale in `results/*.manifest.json`) |\n\
          | `--jobs N` | worker threads for the work-stealing sweep engine; `0` or absent = all cores |\n\
          | `--quiet` | suppress console tables (CSVs, SVGs, and manifests are still written) |\n\
          | `--progress` | verbose per-phase and heartbeat logging |\n\
@@ -259,6 +259,14 @@ fn reproducing() -> String {
          sweep engine and figure regenerators read packed traces from here \
          and skip DSL generation on warm runs; delete the directory to \
          force regeneration. |\n\
+         | `CBWS_STREAM_THRESHOLD_BYTES` | store files larger than this \
+         replay through the disk-backed streaming cursor instead of a \
+         memory map (default 256 MiB; `0` streams everything). See \
+         [the trace store](trace-store.md). |\n\
+         | `CBWS_TRACE_FRAME_EVENTS` | events per frame the trace-store \
+         writer packs before flushing (default 64 Ki); smaller frames \
+         lower streaming memory, larger frames amortize per-frame decode \
+         setup better. |\n\
          | `CBWS_RESULT_STORE_DIR` | directory of the persistent \
          [result store](result-store.md) (default `target/result-store/`). \
          Finished jobs' records are served from here, skipping trace \
@@ -286,70 +294,126 @@ fn reproducing() -> String {
     )
 }
 
-fn trace_store() -> String {
-    format!(
+fn trace_store(root: &Path) -> Result<String, String> {
+    use cbws_bench::perf_history::{load_snapshot, STREAM_THROUGHPUT_FLOOR};
+    let mut md = format!(
         "{}# The trace store\n\n\
          Workload traces are deterministic functions of `(workload, scale, \
          DSL version)`, so the harness persists them instead of regenerating \
          them every run. Traces are packed into a columnar (structure-of-\
-         arrays) encoding — `cbws_trace::PackedTrace` — and written to a \
-         versioned, checksummed binary file per `(workload, scale)` under \
+         arrays) encoding — `cbws_trace::PackedTrace` — cut into \
+         independently decodable **frames**, and written to a versioned, \
+         checksummed binary file per `(workload, scale)` under \
          `CBWS_TRACE_STORE_DIR` (default `target/trace-store/`). The sweep \
-         engine and the figure regenerators load these files (mmap where \
-         available) and replay them through a cursor without materializing \
-         a `Vec<TraceEvent>`.\n\n\
-         ## File format (version 3)\n\n\
+         engine and the figure regenerators replay these files through a \
+         cursor without ever materializing a `Vec<TraceEvent>` — \
+         zero-copy from a memory map for ordinary files, or frame by frame \
+         from disk for files past the streaming threshold.\n\n\
+         ## File format (version 4)\n\n\
          All integers are little-endian. One file per `(workload, scale)`, \
          named `<workload>-<scale>.cbwstrace`.\n\n\
-         | field | size | meaning |\n|---|---|---|\n\
-         | magic | 8 | `CBWSTRCE` |\n\
-         | version | 4 | format version (currently 3) |\n\
-         | workload_hash | 8 | FNV-1a hash of the DSL sources that define \
+         | section | field | size | meaning |\n|---|---|---|---|\n\
+         | header | magic | 8 | `CBWSTRCE` |\n\
+         | | version | 4 | format version (currently 4) |\n\
+         | | workload_hash | 8 | FNV-1a hash of the DSL sources that define \
          *this* workload (shared kernels + its suite's file + its name) |\n\
-         | scale | 1 | 0 = tiny, 1 = small, 2 = full |\n\
-         | name_len + name | 2 + n | the workload name |\n\
-         | column checksums | 6 × 8 | FNV-1a per packed column (counts, \
-         tags, pcs, addr_deltas, alu_counts, block_ids) |\n\
-         | payload_len | 8 | byte length of the packed payload |\n\
-         | payload | payload_len | the `PackedTrace` columns |\n\n\
-         The payload is a 9-word header (event/lane entry counts and lane \
-         byte extents) followed by the tag lane (one byte per event: \
+         | | scale | 1 | 0 = tiny, 1 = small, 2 = full, 3 = huge |\n\
+         | | name_len + name | 2 + n | the workload name |\n\
+         | | frame_events | 4 | events per frame the writer used |\n\
+         | frames | payloads | var | N concatenated `PackedTrace` payloads, \
+         each decodable on its own (delta predictors reset per frame) |\n\
+         | footer | frame table | N × 24 | per frame: byte length, event \
+         count, FNV-1a checksum of the payload |\n\
+         | trailer | totals | 24 | total events, frame count, FNV-1a of \
+         the footer |\n\n\
+         Each frame payload is a 9-word header (event/lane entry counts and \
+         lane byte extents) followed by the tag lane (one byte per event: \
          variant + store/dep/taken flags) and four LEB128 varint operand \
          lanes: PC deltas (zigzag, against the previous PC *of the same \
          event variant*), address deltas (zigzag), ALU run lengths, and \
-         block ids. Version 3 introduced the per-variant PC prediction — \
-         loop back-edge branch PCs live in a different address region than \
-         body PCs, and a single global predictor ping-ponged by megabytes \
-         every iteration — which shrank the pcs lane from ~2.3 to \
-         ~1.5 B/entry. The cursor decodes lanes in 256-event batches into \
+         block ids. The cursor decodes lanes in 256-event batches into \
          flat scratch columns, routing each lane to a word-at-a-time or \
          scalar varint kernel by its bytes-per-entry (see \
          `cbws_trace::varint`); `BENCH_decode.json` tracks the decode \
-         throughput.\n\n\
-         ## Invalidation\n\n\
+         throughput. The fixed-size trailer at EOF locates the footer, so \
+         the writer never needs the frame count up front and readers find \
+         every frame with three bounded reads.\n\n\
+         ## Streaming: O(1) memory in trace length\n\n\
+         Framing (version 4) makes trace memory constant in trace length \
+         on both sides of the store, which is what makes the `huge` scale \
+         (12× full) usable at all:\n\n\
+         * **Writing streams.** A store miss feeds the kernel's emitter \
+         into a streaming `TraceBuilder`; every completed chunk of \
+         `frame_events` events (default 64 Ki, `CBWS_TRACE_FRAME_EVENTS`) \
+         is packed and flushed to disk immediately, so generating a huge \
+         trace never holds more than one frame of events in memory.\n\
+         * **Replaying streams past a threshold.** The engine asks the \
+         store for a replay source; files larger than \
+         `CBWS_STREAM_THRESHOLD_BYTES` (default 256 MiB; `0` streams \
+         everything) come back as a disk-backed cursor whose read-ahead \
+         thread fetches frame N+1 while the simulator drains frame N, \
+         instead of mapping the whole file. Smaller files load zero-copy \
+         through a memory map as before. Streamed and in-memory replay \
+         are record-identical — property tests and the `stream_replay` \
+         bench both assert it.\n\n\
+         A counting-allocator test (`bounded_memory.rs`) pins the claim: \
+         generating **and** replaying a huge ~10⁷-event trace stays under \
+         a constant live-heap bound far below the trace's packed size.\n",
+        pages::GENERATED_BANNER
+    );
+    let snap = root.join("BENCH_stream.json");
+    if snap.exists() {
+        let r = load_snapshot(&snap, "committed", 0)?;
+        if let (Some(&mem), Some(&stream), Some(&ratio)) = (
+            r.metrics.get("replay_memory_seconds"),
+            r.metrics.get("replay_stream_seconds"),
+            r.metrics.get("stream_throughput_ratio"),
+        ) {
+            md.push_str(&format!(
+                "\n> On the committed `BENCH_stream.json` snapshot (scale \
+                 {}, {} core(s)), warm in-memory replay took {mem:.4} s \
+                 and disk-backed streamed replay {stream:.4} s — a \
+                 throughput ratio of {ratio:.3}, including the streamed \
+                 side's open and validation cost. `perf-history check` \
+                 gates this ratio at {STREAM_THROUGHPUT_FLOOR}; see \
+                 [Performance trends](perf-trends.md).\n",
+                r.scale, r.cores,
+            ));
+        }
+    }
+    md.push_str(
+        "\n## Invalidation\n\n\
          A file is rejected — with a `warn!` and transparent regeneration, \
          never a panic — when the magic or version differs, the \
          `workload_hash` does not match the current sources, the key does \
-         not match the request, the payload fails structural validation, or \
-         any per-column checksum disagrees. Version 1 hashed the whole DSL \
+         not match the request, the footer checksum disagrees, or any \
+         per-frame checksum disagrees. Version 1 hashed the whole DSL \
          binary, so any kernel edit invalidated every stored trace; version \
          2 hashes per workload (the shared kernel helpers, the one suite \
          source file the workload lives in, and its name), so editing one \
          suite regenerates only that suite's traces; version 3 changed the \
-         PC lane encoding, so older stores regenerate wholesale on first \
-         use. Writes are atomic \
-         (temp file + rename), so a crashed run cannot leave a torn file \
-         that poisons the next one.\n\n\
+         PC lane encoding; version 4 framed the payload, so older stores \
+         regenerate wholesale on first use. Streamed opens run a bounded \
+         sequential validation pass (one frame resident at a time) before \
+         handing out a cursor, so a corrupt frame is caught at open — not \
+         mid-replay — and triggers the same regeneration path. Writes are \
+         atomic (temp file + rename), so a crashed run cannot leave a torn \
+         file that poisons the next one.\n\n\
          ## Telemetry\n\n\
          With telemetry enabled (`--trace-out`/`--metrics-out`), the store \
          counts `trace_store.hit`, `.miss`, `.write`, and `.invalidate`, \
          and accumulates `trace_store.load_us` / `.generate_us`; a warm CI \
-         run asserts `trace_store.hit > 0`. With span tracing enabled \
-         (`--spans-out`, see [Observability](observability.md)), every \
-         load, generate, validate, and write appears as a nested span on \
-         the worker's timeline lane.\n",
-        pages::GENERATED_BANNER
-    )
+         run asserts `trace_store.hit > 0`. Every drained streamed cursor \
+         additionally reports `trace.stream.replays` / `.frames` / \
+         `.bytes` / `.stalls` / `.stall_us` — the stall counters say how \
+         often the simulator outran the read-ahead thread. With span \
+         tracing enabled (`--spans-out`, see \
+         [Observability](observability.md)), every load, generate, \
+         validate, and write appears as a nested span on the worker's \
+         timeline lane, and each streamed replay emits a `trace.stream` \
+         span carrying the same numbers as attributes.\n",
+    );
+    Ok(md)
 }
 
 fn result_store(root: &Path) -> Result<String, String> {
@@ -497,9 +561,12 @@ fn perf_trends(root: &Path) -> Result<String, String> {
          `perf-history check` fails CI when a **hard-gated** metric ({}) \
          exceeds the prior mean by 3 stddevs (with a 2%-of-mean noise \
          floor); other `*_seconds` metrics only warn. Gating starts once a \
-         metric has {} prior runs. Three absolute gates apply to the latest \
+         metric has {} prior runs. Four absolute gates apply to the latest \
          record regardless of history: `replay_speedup >= 1.0` (direct \
          packed replay must beat materialize-then-replay AoS), \
+         `stream_throughput_ratio >= 0.7` (disk-backed streamed replay \
+         must hold 70% of warm in-memory replay throughput; see \
+         [the trace store](trace-store.md)), \
          `engine_warm_seconds <= 1.02 x serial_seconds` on single-worker \
          sweep records (the engine fast path's overhead bound), and \
          `engine_warm_seconds / engine_cached_seconds >= 3.0` (a sweep \

@@ -34,8 +34,8 @@ use cbws_harness::{Engine, EngineConfig, PrefetcherKind, RunManifest, Simulator,
 use cbws_sim_mem::DramConfig;
 use cbws_stats::{RunRecord, TextTable};
 use cbws_telemetry::{result, status, Telemetry};
-use cbws_trace::Trace;
-use cbws_workloads::{by_name, trace_cache, WorkloadSpec};
+use cbws_trace::{ReplaySource, Trace};
+use cbws_workloads::{by_name, trace_cache, trace_store, Scale, WorkloadSpec};
 use std::sync::Arc;
 
 const DEFAULT_WORKLOAD: &str = "stencil-default";
@@ -50,7 +50,7 @@ fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: simulate [--workload <name> | --trace <file.json>] \
-         [--scale tiny|small|full] [--prefetcher <name>] [--dram] \
+         [--scale tiny|small|full|huge] [--prefetcher <name>] [--dram] \
          [--export <file.json>] [--trace-out <file.jsonl>] \
          [--metrics-out <file.json>] [--spans-out <file.json>] \
          [--quiet | --progress]"
@@ -64,30 +64,44 @@ fn main() {
 
     let scale = scale_from_args();
     let mut spec: Option<&'static WorkloadSpec> = None;
-    let (label, trace): (String, Arc<Trace>) = if let Some(name) = arg_value(&args, "--workload") {
-        let Some(w) = by_name(&name) else {
-            fail(&format!(
-                "unknown workload `{name}` (see `trace_info --list`)"
-            ));
+    // External traces are materialized as a `Vec<TraceEvent>`; registered
+    // workloads replay through the trace store instead, so a huge trace is
+    // generated to disk frame by frame and never held resident.
+    let (label, external): (String, Option<Arc<Trace>>) =
+        if let Some(name) = arg_value(&args, "--workload") {
+            let Some(w) = by_name(&name) else {
+                fail(&format!(
+                    "unknown workload `{name}` (see `trace_info --list`)"
+                ));
+            };
+            spec = Some(w);
+            (name, None)
+        } else if let Some(path) = arg_value(&args, "--trace") {
+            let data = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+            let trace: Trace = serde_json::from_str(&data)
+                .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+            (path, Some(Arc::new(trace)))
+        } else {
+            let w = by_name(DEFAULT_WORKLOAD).expect("default workload is registered");
+            spec = Some(w);
+            (DEFAULT_WORKLOAD.to_string(), None)
         };
-        spec = Some(w);
-        (name, trace_cache::generate_shared(w, scale))
-    } else if let Some(path) = arg_value(&args, "--trace") {
-        let data = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-        let trace: Trace = serde_json::from_str(&data)
-            .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
-        (path, Arc::new(trace))
-    } else {
-        let w = by_name(DEFAULT_WORKLOAD).expect("default workload is registered");
-        spec = Some(w);
-        (
-            DEFAULT_WORKLOAD.to_string(),
-            trace_cache::generate_shared(w, scale),
-        )
-    };
 
     if let Some(out) = arg_value(&args, "--export") {
+        let trace: Arc<Trace> = match (&external, spec) {
+            (Some(t), _) => Arc::clone(t),
+            (None, Some(w)) => {
+                if scale == Scale::Huge {
+                    fail(
+                        "--export at huge scale would materialize the whole trace; \
+                         export a smaller scale, or read the framed store file directly",
+                    );
+                }
+                trace_cache::generate_shared(w, scale)
+            }
+            (None, None) => unreachable!("no spec and no external trace"),
+        };
         let json = serde_json::to_string(trace.as_ref()).expect("traces serialize");
         std::fs::write(&out, json).unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
         status!("[simulate] exported {} events to {out}", trace.len());
@@ -112,13 +126,42 @@ fn main() {
         Telemetry::disabled()
     };
 
-    let s = trace.stats();
-    result!(
-        "trace `{label}`: {} instructions, {} accesses, {} block instances\n",
-        s.instructions,
-        s.mem_accesses,
-        s.dynamic_blocks
-    );
+    // Registered workloads draw from the persistent trace store: resident
+    // frames below the streaming threshold, a disk-backed cursor above it.
+    let threshold = EngineConfig::default().resolved_stream_threshold();
+    let source: Option<ReplaySource> =
+        spec.map(|w| trace_store::shared().replay_source(w, scale, threshold));
+
+    match (&external, &source) {
+        (Some(t), _) => {
+            let s = t.stats();
+            result!(
+                "trace `{label}`: {} instructions, {} accesses, {} block instances\n",
+                s.instructions,
+                s.mem_accesses,
+                s.dynamic_blocks
+            );
+        }
+        (None, Some(ReplaySource::Memory(t))) => {
+            let s = t.stats();
+            result!(
+                "trace `{label}`: {} instructions, {} accesses, {} block instances\n",
+                s.instructions,
+                s.mem_accesses,
+                s.dynamic_blocks
+            );
+        }
+        (None, Some(ReplaySource::Streamed(t))) => {
+            // Walking the whole file just to print a stats line would cost
+            // a full replay; report what the frame table already knows.
+            result!(
+                "trace `{label}`: {} events, streaming {} bytes from disk\n",
+                t.event_count(),
+                t.file_bytes()
+            );
+        }
+        (None, None) => unreachable!("no spec and no external trace"),
+    }
 
     // Registered workloads with no shared-telemetry outputs go through the
     // engine; external traces and telemetry captures run serially.
@@ -141,10 +184,22 @@ fn main() {
         }
         _ => {
             let sim = Simulator::with_telemetry(cfg, telemetry.clone());
-            kinds
-                .iter()
-                .map(|&kind| sim.run(&label, true, &*trace, kind))
-                .collect()
+            match (&external, &source) {
+                (Some(t), _) => kinds
+                    .iter()
+                    .map(|&kind| sim.run(&label, true, &**t, kind))
+                    .collect(),
+                (None, Some(src)) => {
+                    // Route the store's `trace.stream.*` counters into the
+                    // same registry the `--metrics-out` dump captures.
+                    trace_store::shared().set_telemetry(telemetry.clone());
+                    kinds
+                        .iter()
+                        .map(|&kind| sim.run(&label, true, src, kind))
+                        .collect()
+                }
+                (None, None) => unreachable!("no spec and no external trace"),
+            }
         }
     };
 

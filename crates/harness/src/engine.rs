@@ -82,6 +82,16 @@ pub fn detect_parallelism() -> usize {
     }
 }
 
+/// Environment variable overriding the default streamed-replay threshold
+/// (bytes). Store files larger than this replay through the disk-backed
+/// read-ahead cursor instead of being loaded into memory.
+pub const STREAM_THRESHOLD_ENV: &str = "CBWS_STREAM_THRESHOLD_BYTES";
+
+/// Default streamed-replay threshold: 256 MiB. Every committed scale's
+/// store files sit far below this, so behaviour (and performance) of
+/// existing sweeps is unchanged; `Scale::Huge` traces cross it and stream.
+pub const DEFAULT_STREAM_THRESHOLD_BYTES: u64 = 256 * 1024 * 1024;
+
 /// Where the engine looks for previously computed simulation results
 /// ([`crate::result_store`]).
 #[derive(Debug, Clone, Default)]
@@ -155,6 +165,26 @@ pub struct EngineConfig {
     /// Per-job completion callback; `None` (the default) costs nothing.
     /// See [`JobObserver`] for the calling convention and cancellation.
     pub observer: Option<JobObserver>,
+    /// Streamed-replay threshold in bytes: trace-store files larger than
+    /// this replay through [`cbws_workloads::trace_store::TraceStore::replay_source`]'s
+    /// disk-backed cursor instead of being loaded into memory. `None` (the
+    /// default) resolves to [`STREAM_THRESHOLD_ENV`] when set, else
+    /// [`DEFAULT_STREAM_THRESHOLD_BYTES`]. `0` streams everything.
+    pub stream_threshold_bytes: Option<u64>,
+}
+
+impl EngineConfig {
+    /// The effective streamed-replay threshold for this run: the explicit
+    /// [`EngineConfig::stream_threshold_bytes`], else
+    /// [`STREAM_THRESHOLD_ENV`], else [`DEFAULT_STREAM_THRESHOLD_BYTES`].
+    pub fn resolved_stream_threshold(&self) -> u64 {
+        self.stream_threshold_bytes.unwrap_or_else(|| {
+            std::env::var(STREAM_THRESHOLD_ENV)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(DEFAULT_STREAM_THRESHOLD_BYTES)
+        })
+    }
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -164,6 +194,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("result_cache", &self.result_cache)
             .field("store_writes", &self.store_writes)
             .field("observer", &self.observer.as_ref().map(|_| ".."))
+            .field("stream_threshold_bytes", &self.stream_threshold_bytes)
             .finish_non_exhaustive()
     }
 }
@@ -178,6 +209,7 @@ impl Default for EngineConfig {
             result_cache: ResultCache::Off,
             store_writes: true,
             observer: None,
+            stream_threshold_bytes: None,
         }
     }
 }
@@ -298,6 +330,7 @@ fn run_job(
     w: &'static WorkloadSpec,
     kind: PrefetcherKind,
     scale: Scale,
+    stream_threshold: u64,
     prof: &mut Profiler,
     stats: &mut WorkerStats,
 ) -> (RunRecord, bool) {
@@ -312,11 +345,12 @@ fn run_job(
     }
     let gen_start = Instant::now();
     let gen_span = spans.begin("generate");
-    let trace = trace_store::shared().get(w, scale);
+    let trace = trace_store::shared().replay_source(w, scale, stream_threshold);
+    gen_span.attr("streamed", trace.is_streamed());
     drop(gen_span);
     prof.record("generate", gen_start.elapsed());
     let sim_start = Instant::now();
-    let record = sim.run(w.name, w.group == Group::MemoryIntensive, &*trace, kind);
+    let record = sim.run(w.name, w.group == Group::MemoryIntensive, &trace, kind);
     prof.record("simulate", sim_start.elapsed());
     if let (Some(st), Some(key)) = (store, key.as_ref()) {
         if store_writes {
@@ -426,6 +460,7 @@ impl Engine {
             let system = self.cfg.system;
             let observer = self.cfg.observer.as_ref();
             let store_writes = self.cfg.store_writes;
+            let stream_threshold = self.cfg.resolved_stream_threshold();
             for worker in 0..workers {
                 let spans = spans.clone();
                 s.spawn(move || {
@@ -475,6 +510,7 @@ impl Engine {
                             w,
                             kind,
                             scale,
+                            stream_threshold,
                             &mut prof,
                             &mut stats,
                         );
@@ -607,6 +643,7 @@ impl Engine {
         let mut prof = Profiler::new();
         let mut stats = WorkerStats::new(0);
         let mut heartbeat = Heartbeat::new(Duration::from_secs(1));
+        let stream_threshold = self.cfg.resolved_stream_threshold();
         let mut i = 0usize;
         let mut cancelled = false;
         'outer: for &w in workloads {
@@ -631,6 +668,7 @@ impl Engine {
                     w,
                     kind,
                     scale,
+                    stream_threshold,
                     &mut prof,
                     &mut stats,
                 );
@@ -759,6 +797,49 @@ mod tests {
             assert_eq!(run.job_count, serial.len());
             assert_eq!(run.records, serial, "jobs = {jobs}");
         }
+    }
+
+    #[test]
+    fn stream_threshold_resolution() {
+        let explicit = EngineConfig {
+            stream_threshold_bytes: Some(7),
+            ..EngineConfig::default()
+        };
+        assert_eq!(explicit.resolved_stream_threshold(), 7);
+        let default = EngineConfig::default();
+        match std::env::var(STREAM_THRESHOLD_ENV)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            Some(n) => assert_eq!(default.resolved_stream_threshold(), n),
+            None => assert_eq!(
+                default.resolved_stream_threshold(),
+                DEFAULT_STREAM_THRESHOLD_BYTES
+            ),
+        }
+    }
+
+    /// With the threshold forced to zero every job replays straight from
+    /// the store file through the read-ahead cursor; the records must be
+    /// byte-identical to the in-memory path.
+    #[test]
+    fn streamed_replay_matches_in_memory_records() {
+        // A workload no other test in this binary touches, so the store's
+        // memoized stream-vs-memory decision for the key is ours alone.
+        let workloads = picks(&["cholesky-tk29"]);
+        let kinds = [PrefetcherKind::None, PrefetcherKind::CbwsSms];
+        let serial = serial_reference(Scale::Tiny, &workloads, &kinds);
+        let run = Engine::new(EngineConfig {
+            jobs: 2,
+            stream_threshold_bytes: Some(0),
+            ..EngineConfig::default()
+        })
+        .run(Scale::Tiny, &workloads, &kinds);
+        assert_eq!(run.records, serial);
+        // The store decided to stream this key and remembers the decision:
+        // the jobs above replayed from disk, not from a resident trace.
+        let src = trace_store::shared().replay_source(workloads[0], Scale::Tiny, u64::MAX);
+        assert!(src.is_streamed());
     }
 
     #[test]

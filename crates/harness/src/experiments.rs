@@ -24,7 +24,7 @@ fn pct(v: f64) -> String {
     format!("{:.1}", v * 100.0)
 }
 
-/// Reads `--scale tiny|small|full` from the process arguments
+/// Reads `--scale tiny|small|full|huge` from the process arguments
 /// (default: full).
 pub fn scale_from_args() -> Scale {
     let args: Vec<String> = std::env::args().collect();
@@ -32,6 +32,7 @@ pub fn scale_from_args() -> Scale {
         Some(i) => match args.get(i + 1).map(String::as_str) {
             Some("tiny") => Scale::Tiny,
             Some("small") => Scale::Small,
+            Some("huge") => Scale::Huge,
             Some("full") | None => Scale::Full,
             Some(other) => {
                 warn!("unknown scale `{other}`, using full");
@@ -336,7 +337,8 @@ pub fn fig05_svg(scale: Scale) -> String {
 }
 
 /// Like [`sweep`], but schedules each (workload, prefetcher) job across
-/// worker threads via the work-stealing [`Engine`]. Results are identical
+/// worker threads via the work-stealing [`Engine`](crate::Engine). Results
+/// are identical
 /// to the serial sweep (each simulation is independent and deterministic);
 /// only wall-clock time changes. Records come back in the same
 /// (workload-major, prefetcher-minor) order.
@@ -387,6 +389,7 @@ pub fn sweep_engine_with(
         scale,
         jobs,
         system: SystemConfig::default(),
+        stream_threshold_bytes: None,
     };
     let run = session.run("sweep_engine", &spec, None).run;
     status!(

@@ -161,6 +161,7 @@ fn scale_name(scale: Scale) -> &'static str {
         Scale::Tiny => "tiny",
         Scale::Small => "small",
         Scale::Full => "full",
+        Scale::Huge => "huge",
     }
 }
 

@@ -237,6 +237,7 @@ fn scale_code(scale: Scale) -> u8 {
         Scale::Tiny => 0,
         Scale::Small => 1,
         Scale::Full => 2,
+        Scale::Huge => 3,
     }
 }
 
@@ -441,6 +442,12 @@ pub struct ResultStore {
     hash_salt: u64,
     telemetry: Mutex<Telemetry>,
     spans: Mutex<Spans>,
+    /// Running total of entry bytes on disk, so [`ResultStore::put`] can
+    /// skip the directory walk while the store is under budget. `None`
+    /// until first consulted; initialized from a scan, maintained
+    /// incrementally by writes and invalidations, and refreshed from an
+    /// authoritative re-scan whenever eviction engages.
+    cached_bytes: Mutex<Option<u64>>,
 }
 
 impl std::fmt::Debug for ResultStore {
@@ -479,6 +486,7 @@ impl ResultStore {
             hash_salt: 0,
             telemetry: Mutex::new(Telemetry::disabled()),
             spans: Mutex::new(Spans::disabled()),
+            cached_bytes: Mutex::new(None),
         }
     }
 
@@ -564,7 +572,10 @@ impl ResultStore {
                     "[result-store] discarding {}: {reason}; re-simulating",
                     path.display()
                 );
-                let _ = std::fs::remove_file(&path);
+                let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                if std::fs::remove_file(&path).is_ok() {
+                    self.note_disk_change(len, 0);
+                }
                 None
             }
         }
@@ -581,8 +592,12 @@ impl ResultStore {
         let write_span = spans.begin("result.write");
         write_span.attr("workload", key.workload);
         let bytes = encode_file(key.hash(self.hash_salt), record);
+        // Stat before the atomic rename: an overwrite replaces the old
+        // entry, so the running total changes by (new - old), not new.
+        let old_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
         match write_atomic(&path, &bytes) {
             Ok(()) => {
+                self.note_disk_change(old_len, bytes.len() as u64);
                 telemetry.count("result_store.write", 1);
                 telemetry.count("result_store.write_bytes", bytes.len() as u64);
                 telemetry.count(
@@ -599,13 +614,56 @@ impl ResultStore {
         self.enforce_budget(&path);
     }
 
+    /// Adjusts the cached byte total for one entry shrinking by `removed`
+    /// bytes and growing by `added` (an overwrite is both at once). A
+    /// no-op until the cache has been initialized by a scan.
+    fn note_disk_change(&self, removed: u64, added: u64) {
+        let mut cached = self.cached_bytes.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(total) = cached.as_mut() {
+            *total = total.saturating_sub(removed).saturating_add(added);
+        }
+    }
+
+    /// Sum of entry bytes currently on disk (a full directory scan).
+    fn scan_bytes(&self) -> u64 {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == EXT))
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    }
+
     /// Evicts oldest-modified entries until the store is back under its
     /// byte budget. `just_wrote` is exempt so a write can never evict its
     /// own entry.
+    ///
+    /// While the store is under budget this consults only the in-process
+    /// running total ([`ResultStore::note_disk_change`]) — no directory
+    /// walk per write. The total is initialized from a scan on the first
+    /// call, and whenever eviction engages the directory is re-scanned
+    /// authoritatively (a concurrent process may have added or removed
+    /// entries behind this one's back) and the cache refreshed from the
+    /// post-eviction state.
     fn enforce_budget(&self, just_wrote: &Path) {
         let Some(budget) = self.budget else {
             return;
         };
+        let mut cached = self.cached_bytes.lock().unwrap_or_else(|e| e.into_inner());
+        let running = match *cached {
+            Some(total) => total,
+            None => {
+                let total = self.scan_bytes();
+                *cached = Some(total);
+                total
+            }
+        };
+        if running <= budget {
+            return;
+        }
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
             return;
         };
@@ -619,23 +677,23 @@ impl ResultStore {
             })
             .collect();
         let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
-        if total <= budget {
-            return;
+        if total > budget {
+            let telemetry = self.telemetry();
+            files.sort();
+            for (_, path, len) in files {
+                if total <= budget {
+                    break;
+                }
+                if path == just_wrote {
+                    continue;
+                }
+                if std::fs::remove_file(&path).is_ok() {
+                    telemetry.count("result_store.evict", 1);
+                    total = total.saturating_sub(len);
+                }
+            }
         }
-        let telemetry = self.telemetry();
-        files.sort();
-        for (_, path, len) in files {
-            if total <= budget {
-                break;
-            }
-            if path == just_wrote {
-                continue;
-            }
-            if std::fs::remove_file(&path).is_ok() {
-                telemetry.count("result_store.evict", 1);
-                total = total.saturating_sub(len);
-            }
-        }
+        *cached = Some(total);
     }
 }
 
@@ -849,6 +907,49 @@ mod tests {
             .map(|e| e.metadata().unwrap().len())
             .sum();
         assert!(total <= entry_len * 5 / 2, "store must end under budget");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The in-process running byte total that lets `put` skip the per-write
+    /// directory walk must agree with an authoritative fresh scan after
+    /// every mutation: under-budget writes, an overwrite, eviction, and
+    /// invalidation-driven removal.
+    #[test]
+    fn cached_byte_total_matches_fresh_scan() {
+        let dir = scratch_dir("cachedbytes");
+        let w = by_name("stencil-default").unwrap();
+        let kinds = [
+            PrefetcherKind::None,
+            PrefetcherKind::Stride,
+            PrefetcherKind::Sms,
+            PrefetcherKind::GhbPcDc,
+        ];
+        let records: Vec<RunRecord> = kinds.iter().map(|&k| simulate(w, k)).collect();
+        let keys: Vec<ResultKey> = kinds
+            .iter()
+            .map(|&k| ResultKey::new(w, Scale::Tiny, k, &SystemConfig::default()))
+            .collect();
+        let entry_len = encode_file(keys[0].hash(0), &records[0]).len() as u64;
+        let store = ResultStore::with_budget(&dir, Some(entry_len * 5 / 2));
+        let cached = |s: &ResultStore| s.cached_bytes.lock().unwrap().expect("initialized");
+        for (key, record) in keys.iter().zip(&records) {
+            store.put(key, record);
+            assert_eq!(cached(&store), store.scan_bytes(), "after put {key:?}");
+        }
+        // Eviction engaged above (4 entries, budget ~2.5): the cache was
+        // refreshed from the post-eviction re-scan.
+        assert!(cached(&store) <= entry_len * 5 / 2);
+        // Overwriting an existing entry charges (new - old), not new.
+        store.put(&keys[3], &records[3]);
+        assert_eq!(cached(&store), store.scan_bytes(), "after overwrite");
+        // Invalidation-driven removal is subtracted too.
+        let path = store.path_for(&keys[3]);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(store.get(&keys[3]).is_none());
+        assert_eq!(cached(&store), store.scan_bytes(), "after invalidation");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

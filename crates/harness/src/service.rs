@@ -84,13 +84,16 @@ pub fn resolve_kinds(names: &[String]) -> Result<Vec<PrefetcherKind>, String> {
     Ok(out)
 }
 
-/// Parses a lowercase scale name (`tiny` / `small` / `full`).
+/// Parses a lowercase scale name (`tiny` / `small` / `full` / `huge`).
 pub fn parse_scale(name: &str) -> Result<Scale, String> {
     match name {
         "tiny" => Ok(Scale::Tiny),
         "small" => Ok(Scale::Small),
         "full" => Ok(Scale::Full),
-        other => Err(format!("unknown scale `{other}` (tiny, small, or full)")),
+        "huge" => Ok(Scale::Huge),
+        other => Err(format!(
+            "unknown scale `{other}` (tiny, small, full, or huge)"
+        )),
     }
 }
 
@@ -108,6 +111,11 @@ pub struct SweepSpec {
     pub jobs: usize,
     /// System configuration every simulation runs under.
     pub system: SystemConfig,
+    /// Streamed-replay threshold in bytes; `None` defers to the
+    /// `CBWS_STREAM_THRESHOLD_BYTES` environment variable, then to
+    /// [`crate::engine::DEFAULT_STREAM_THRESHOLD_BYTES`]. `Some(0)` streams
+    /// every trace from disk.
+    pub stream_threshold_bytes: Option<u64>,
 }
 
 impl SweepSpec {
@@ -120,6 +128,7 @@ impl SweepSpec {
             scale,
             jobs,
             system: SystemConfig::default(),
+            stream_threshold_bytes: None,
         }
     }
 
@@ -189,6 +198,7 @@ impl SweepSession {
             result_cache: self.result_cache.clone(),
             store_writes: self.store_writes,
             observer,
+            stream_threshold_bytes: spec.stream_threshold_bytes,
         });
         let run = engine.run(spec.scale, &spec.workloads, &spec.kinds);
         let manifest = RunManifest::new(
@@ -246,7 +256,8 @@ mod tests {
         assert_eq!(parse_scale("tiny").unwrap(), Scale::Tiny);
         assert_eq!(parse_scale("small").unwrap(), Scale::Small);
         assert_eq!(parse_scale("full").unwrap(), Scale::Full);
-        assert!(parse_scale("huge").is_err());
+        assert_eq!(parse_scale("huge").unwrap(), Scale::Huge);
+        assert!(parse_scale("gigantic").is_err());
     }
 
     #[test]
@@ -257,6 +268,7 @@ mod tests {
             scale: Scale::Tiny,
             jobs: 1,
             system: SystemConfig::default(),
+            stream_threshold_bytes: None,
         };
         let outcome = SweepSession::default().run("service-test", &spec, None);
         assert_eq!(outcome.run.records.len(), spec.job_count());

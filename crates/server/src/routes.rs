@@ -175,7 +175,7 @@ fn workloads(state: &ServerState, stream: &mut TcpStream) -> std::io::Result<()>
         (
             "scales".into(),
             Value::Array(
-                ["tiny", "small", "full"]
+                ["tiny", "small", "full", "huge"]
                     .iter()
                     .map(|s| Value::Str((*s).into()))
                     .collect(),
@@ -211,6 +211,7 @@ fn parse_run_request(state: &ServerState, req: &Request) -> Result<RunRequest, S
         Some(t) => return Err(format!("timeout_s must be >= 0, got {t}")),
         None => state.config.default_timeout_s,
     });
+    let stream_threshold_bytes = uint_field(&v, "stream_threshold_bytes")?;
     Ok(RunRequest {
         spec: SweepSpec {
             workloads,
@@ -218,6 +219,7 @@ fn parse_run_request(state: &ServerState, req: &Request) -> Result<RunRequest, S
             scale,
             jobs,
             system: SystemConfig::default(),
+            stream_threshold_bytes,
         },
         timeout,
     })

@@ -81,10 +81,34 @@ impl Error for BuildError {}
 /// let trace = b.finish();
 /// assert_eq!(trace.len(), 4);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Default)]
 pub struct TraceBuilder {
     events: Vec<TraceEvent>,
     open: Option<BlockId>,
+    /// Streaming mode: once `events` holds `chunk` entries they are drained
+    /// into `sink` and the builder keeps only the unfinished remainder.
+    /// `chunk == 0` (the default) keeps every event in memory.
+    chunk: usize,
+    sink: Option<ChunkSink>,
+    emitted: u64,
+}
+
+/// Callback receiving completed fixed-size event chunks from a
+/// [`TraceBuilder`] in streaming mode; see [`TraceBuilder::streaming`].
+/// Every call except possibly the final one (from
+/// [`TraceBuilder::try_finish_stream`]) delivers exactly `chunk` events.
+pub type ChunkSink = Box<dyn FnMut(&[TraceEvent]) + Send>;
+
+impl fmt::Debug for TraceBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceBuilder")
+            .field("buffered", &self.events.len())
+            .field("open", &self.open)
+            .field("chunk", &self.chunk)
+            .field("streaming", &self.sink.is_some())
+            .field("emitted", &self.emitted)
+            .finish()
+    }
 }
 
 impl TraceBuilder {
@@ -97,7 +121,44 @@ impl TraceBuilder {
     pub fn with_capacity(n: usize) -> Self {
         TraceBuilder {
             events: Vec::with_capacity(n),
+            ..Self::default()
+        }
+    }
+
+    /// Creates a builder in **streaming mode**: whenever `chunk` events have
+    /// accumulated they are handed to `sink` and dropped from memory, so the
+    /// builder's footprint stays O(`chunk`) regardless of trace length. Block
+    /// brackets may span chunk boundaries — the discipline is still enforced
+    /// over the whole event stream. Finish with
+    /// [`TraceBuilder::try_finish_stream`] (the in-memory finishers panic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn streaming(chunk: usize, sink: ChunkSink) -> Self {
+        assert!(chunk > 0, "streaming chunk size must be non-zero");
+        TraceBuilder {
+            events: Vec::with_capacity(chunk),
             open: None,
+            chunk,
+            sink: Some(sink),
+            emitted: 0,
+        }
+    }
+
+    fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+        if self.chunk != 0 && self.events.len() >= self.chunk {
+            self.flush_chunks();
+        }
+    }
+
+    fn flush_chunks(&mut self) {
+        let sink = self.sink.as_mut().expect("chunk size set without a sink");
+        while self.events.len() >= self.chunk {
+            sink(&self.events[..self.chunk]);
+            self.events.drain(..self.chunk);
+            self.emitted += self.chunk as u64;
         }
     }
 
@@ -114,7 +175,7 @@ impl TraceBuilder {
             });
         }
         self.open = Some(id);
-        self.events.push(TraceEvent::BlockBegin { id });
+        self.push(TraceEvent::BlockBegin { id });
         Ok(())
     }
 
@@ -133,7 +194,7 @@ impl TraceBuilder {
             }),
             Some(_) => {
                 self.open = None;
-                self.events.push(TraceEvent::BlockEnd { id });
+                self.push(TraceEvent::BlockEnd { id });
                 Ok(())
             }
         }
@@ -180,21 +241,20 @@ impl TraceBuilder {
 
     /// Emits an arbitrary memory access.
     pub fn mem(&mut self, access: MemAccess) {
-        self.events.push(TraceEvent::Mem(access));
+        self.push(TraceEvent::Mem(access));
     }
 
     /// Emits `count` back-to-back non-memory instructions starting at `pc`.
     /// Zero-count runs are dropped.
     pub fn alu(&mut self, pc: Pc, count: u32) {
         if count > 0 {
-            self.events.push(TraceEvent::Alu { pc, count });
+            self.push(TraceEvent::Alu { pc, count });
         }
     }
 
     /// Emits a committed branch.
     pub fn branch(&mut self, pc: Pc, taken: bool) {
-        self.events
-            .push(TraceEvent::Branch(BranchRecord { pc, taken }));
+        self.push(TraceEvent::Branch(BranchRecord { pc, taken }));
     }
 
     /// Runs `body` once per iteration inside `BLOCK_BEGIN`/`BLOCK_END`
@@ -224,14 +284,15 @@ impl TraceBuilder {
         }
     }
 
-    /// Number of events emitted so far.
+    /// Number of events emitted so far (including events already flushed to
+    /// a streaming sink).
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.emitted as usize + self.events.len()
     }
 
     /// Whether no events have been emitted yet.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.emitted == 0 && self.events.is_empty()
     }
 
     /// Finishes the trace.
@@ -239,11 +300,48 @@ impl TraceBuilder {
     /// # Errors
     ///
     /// [`BuildError::UnclosedBlock`] if a block is still open.
+    ///
+    /// # Panics
+    ///
+    /// Panics in streaming mode (flushed events are gone; use
+    /// [`TraceBuilder::try_finish_stream`]).
     pub fn try_finish(self) -> Result<Trace, BuildError> {
+        assert!(
+            self.sink.is_none(),
+            "streaming builders finish with try_finish_stream"
+        );
         if let Some(open) = self.open {
             return Err(BuildError::UnclosedBlock { open });
         }
         Ok(Trace::from_events(self.events))
+    }
+
+    /// Finishes a **streaming** build: enforces the block discipline, hands
+    /// the final partial chunk (possibly empty traces flush nothing) to the
+    /// sink, and returns the total number of events emitted.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::UnclosedBlock`] if a block is still open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder is not in streaming mode.
+    pub fn try_finish_stream(mut self) -> Result<u64, BuildError> {
+        assert!(
+            self.sink.is_some(),
+            "try_finish_stream requires a streaming builder"
+        );
+        if let Some(open) = self.open {
+            return Err(BuildError::UnclosedBlock { open });
+        }
+        if !self.events.is_empty() {
+            let sink = self.sink.as_mut().expect("checked above");
+            sink(&self.events);
+            self.emitted += self.events.len() as u64;
+            self.events.clear();
+        }
+        Ok(self.emitted)
     }
 
     /// Finishes the trace.
@@ -363,6 +461,62 @@ mod tests {
             TraceEvent::Mem(m) => assert_eq!(m.dep, Dependence::PrevLoad),
             _ => panic!("expected mem event"),
         }
+    }
+
+    #[test]
+    fn streaming_chunks_are_exact_and_ordered() {
+        use std::sync::{Arc, Mutex};
+        let chunks: Arc<Mutex<Vec<Vec<TraceEvent>>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_chunks = chunks.clone();
+        let mut b = TraceBuilder::streaming(
+            4,
+            Box::new(move |c: &[TraceEvent]| sink_chunks.lock().unwrap().push(c.to_vec())),
+        );
+        b.annotated_loop(BlockId(1), 5, |b, i| {
+            b.load(Pc(0x10), Addr(i * 64));
+            b.alu(Pc(0x14), 1);
+        });
+        // 5 iterations x 5 events (begin, load, alu, end, branch) = 25.
+        assert_eq!(b.len(), 25);
+        let total = b.try_finish_stream().unwrap();
+        assert_eq!(total, 25);
+        let chunks = chunks.lock().unwrap();
+        assert_eq!(chunks.len(), 7); // 6 full chunks of 4 + tail of 1
+        assert!(chunks[..6].iter().all(|c| c.len() == 4));
+        assert_eq!(chunks[6].len(), 1);
+        // The concatenation equals the same build done in memory.
+        let streamed: Vec<TraceEvent> = chunks.iter().flatten().copied().collect();
+        let mut whole = TraceBuilder::new();
+        whole.annotated_loop(BlockId(1), 5, |b, i| {
+            b.load(Pc(0x10), Addr(i * 64));
+            b.alu(Pc(0x14), 1);
+        });
+        assert_eq!(streamed, whole.finish().events());
+    }
+
+    #[test]
+    fn streaming_enforces_block_discipline_across_chunks() {
+        let mut b = TraceBuilder::streaming(1, Box::new(|_| {}));
+        b.begin_block(BlockId(3));
+        b.load(Pc(0), Addr(0));
+        let err = b.try_finish_stream().unwrap_err();
+        assert_eq!(err, BuildError::UnclosedBlock { open: BlockId(3) });
+    }
+
+    #[test]
+    fn empty_streaming_build_flushes_nothing() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let sink_calls = calls.clone();
+        let b = TraceBuilder::streaming(
+            8,
+            Box::new(move |_: &[TraceEvent]| {
+                sink_calls.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        assert_eq!(b.try_finish_stream().unwrap(), 0);
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
     }
 
     #[test]

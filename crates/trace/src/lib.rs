@@ -38,10 +38,12 @@ mod stats;
 pub mod varint;
 
 pub use addr::{Addr, BlockId, LineAddr, Pc, LINE_BYTES, LINE_SHIFT};
-pub use builder::{BuildError, TraceBuilder};
+pub use builder::{BuildError, ChunkSink, TraceBuilder};
 pub use event::{BranchRecord, Dependence, MemAccess, MemKind, TraceEvent};
 pub use packed::{
-    EventCursor, EventRef, EventSource, PackedError, PackedTrace, SliceCursor, TraceCursor,
+    fnv1a, EventCursor, EventRef, EventSource, FileCursor, FrameEntry, FramedCursor, FramedTrace,
+    PackedError, PackedTrace, ReplayCursor, ReplaySource, SliceCursor, StreamObserver, StreamStats,
+    StreamedTrace, TraceCursor,
 };
 pub use stats::TraceStats;
 

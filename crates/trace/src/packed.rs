@@ -44,7 +44,12 @@ use crate::varint;
 use crate::{Trace, TraceStats};
 use std::error::Error;
 use std::fmt;
-use std::sync::Arc;
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Instant;
 
 /// A decoded event as yielded by a [`TraceCursor`].
 ///
@@ -679,7 +684,7 @@ impl From<&Trace> for PackedTrace {
 /// Sequential decoder over a [`PackedTrace`]'s columns.
 ///
 /// Construction is only possible from a validated payload, so every column
-/// read is in bounds. Refills happen in [`CURSOR_BATCH`]-event batches:
+/// read is in bounds. Refills happen in `CURSOR_BATCH`-event batches:
 /// one pass over the tag chunk tallies each lane's contribution, each
 /// varint lane is batch-decoded into a flat scratch column, and events are
 /// then emitted straight from those columns — the per-event work is a tag
@@ -939,6 +944,552 @@ impl EventCursor for TraceCursor<'_> {
     }
 }
 
+/// FNV-1a over a byte slice — the per-frame checksum the trace store
+/// records in a framed file's footer and [`FileCursor`] re-verifies while
+/// replaying.
+///
+/// Lives here (rather than only in the store) so the writer and the
+/// disk-backed reader are guaranteed to agree on the algorithm.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One frame's location and integrity record inside a framed trace file
+/// (packed store format v4).
+///
+/// A frame is a standalone [`PackedTrace`] payload covering a contiguous
+/// event range, with the delta predictors reset at the frame boundary so
+/// it decodes without any bytes from neighbouring frames. The store's
+/// footer holds one entry per frame; offsets are absolute file offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameEntry {
+    /// Absolute file offset of the frame payload.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Events encoded in the frame.
+    pub events: u64,
+    /// [`fnv1a`] over the payload bytes.
+    pub checksum: u64,
+}
+
+/// A packed trace split into independently decodable frames, fully
+/// resident in memory (each frame typically a zero-copy view into one
+/// shared memory-mapped file).
+///
+/// Replay chains the frames' [`TraceCursor`]s in order; because every
+/// frame's payload resets the delta predictors, the concatenation decodes
+/// to exactly the event sequence of the unframed trace. A single-frame
+/// `FramedTrace` is the degenerate case and costs one extra branch per
+/// frame switch, i.e. nothing.
+#[derive(Debug)]
+pub struct FramedTrace {
+    frames: Vec<PackedTrace>,
+    total_events: usize,
+}
+
+impl FramedTrace {
+    /// Wraps an ordered frame sequence. The frames' event ranges are
+    /// assumed contiguous (frame N+1 starts where frame N ended).
+    pub fn from_frames(frames: Vec<PackedTrace>) -> FramedTrace {
+        let total_events = frames.iter().map(PackedTrace::event_count).sum();
+        FramedTrace {
+            frames,
+            total_events,
+        }
+    }
+
+    /// Wraps a single unframed trace — the shape every pre-v4 store file
+    /// loads into.
+    pub fn single(packed: PackedTrace) -> FramedTrace {
+        FramedTrace::from_frames(vec![packed])
+    }
+
+    /// The frames, in event order.
+    pub fn frames(&self) -> &[PackedTrace] {
+        &self.frames
+    }
+
+    /// Number of events (not instructions) across all frames.
+    pub fn event_count(&self) -> usize {
+        self.total_events
+    }
+
+    /// Whether the trace contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.total_events == 0
+    }
+
+    /// Resident bytes across all frame payloads.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.frames.iter().map(PackedTrace::footprint_bytes).sum()
+    }
+
+    /// A cursor positioned at the first event of the first frame.
+    pub fn cursor(&self) -> FramedCursor<'_> {
+        FramedCursor {
+            frames: self.frames.iter(),
+            cur: None,
+            remaining: self.total_events,
+        }
+    }
+
+    /// Decodes back into a materialized [`Trace`] (lossless).
+    pub fn to_trace(&self) -> Trace {
+        self.cursor().collect()
+    }
+
+    /// Summary statistics, computed through the cursor without
+    /// materializing the events.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_event_iter(self.cursor())
+    }
+}
+
+impl EventSource for FramedTrace {
+    type Cursor<'a> = FramedCursor<'a>;
+
+    fn cursor(&self) -> Self::Cursor<'_> {
+        FramedTrace::cursor(self)
+    }
+
+    fn event_count(&self) -> usize {
+        self.total_events
+    }
+}
+
+/// Cursor over a [`FramedTrace`]: the frames' [`TraceCursor`]s chained in
+/// order. Batch consumers see each frame's decode batches back to back.
+#[derive(Debug)]
+pub struct FramedCursor<'a> {
+    frames: std::slice::Iter<'a, PackedTrace>,
+    cur: Option<TraceCursor<'a>>,
+    remaining: usize,
+}
+
+impl Iterator for FramedCursor<'_> {
+    type Item = EventRef;
+
+    #[inline]
+    fn next(&mut self) -> Option<EventRef> {
+        loop {
+            if let Some(c) = &mut self.cur {
+                if let Some(e) = c.next() {
+                    self.remaining -= 1;
+                    return Some(e);
+                }
+            }
+            self.cur = Some(self.frames.next()?.cursor());
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for FramedCursor<'_> {}
+
+impl EventCursor for FramedCursor<'_> {
+    fn next_batch(&mut self) -> Option<&[EventRef]> {
+        // Advance to a frame cursor that still has events before taking a
+        // batch, so the returned borrow never blocks the frame switch.
+        while self.cur.as_ref().is_none_or(|c| c.len() == 0) {
+            self.cur = Some(self.frames.next()?.cursor());
+        }
+        let chunk = self.cur.as_mut().unwrap().next_batch()?;
+        self.remaining -= chunk.len();
+        Some(chunk)
+    }
+}
+
+/// Counters a [`FileCursor`] accumulates over one streamed replay and
+/// reports to the [`StreamedTrace`]'s observer when it is dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Frames read and decoded.
+    pub frames: u64,
+    /// Payload bytes read off disk.
+    pub bytes: u64,
+    /// Frame adoptions that had to block on the read-ahead thread.
+    pub stalls: u64,
+    /// Total microseconds spent blocked on the read-ahead thread.
+    pub stall_micros: u64,
+}
+
+/// Hook a [`StreamedTrace`] calls with the final [`StreamStats`] of each
+/// replay, installed by the trace store to bump `trace.stream.*`
+/// telemetry without this crate depending on the telemetry layer.
+pub type StreamObserver = Arc<dyn Fn(StreamStats) + Send + Sync>;
+
+/// Handle to an on-disk framed trace replayed with bounded memory.
+///
+/// Holds only the file path and the frame table — no payload bytes. Each
+/// [`cursor`](StreamedTrace::cursor) spawns a read-ahead thread that
+/// fetches frame N+1 from disk while the replay loop decodes frame N
+/// (double buffering via a rendezvous-plus-one channel), so peak resident
+/// memory is a few frames regardless of trace length.
+///
+/// The trace store validates every frame (checksum + payload parse) when
+/// it opens the file; the cursor re-verifies checksums during replay and
+/// **panics** on a mismatch, since at that point the file has been
+/// modified underneath a live replay — the same trust model as a mapped
+/// file changing under `mmap`.
+pub struct StreamedTrace {
+    path: PathBuf,
+    frames: Arc<[FrameEntry]>,
+    total_events: usize,
+    observer: Option<StreamObserver>,
+}
+
+impl fmt::Debug for StreamedTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamedTrace")
+            .field("path", &self.path)
+            .field("frames", &self.frames.len())
+            .field("total_events", &self.total_events)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl StreamedTrace {
+    /// Builds a handle from a validated frame table. `total_events` must
+    /// equal the sum of the entries' event counts.
+    pub fn new(path: PathBuf, frames: Vec<FrameEntry>, total_events: usize) -> StreamedTrace {
+        debug_assert_eq!(
+            frames.iter().map(|f| f.events).sum::<u64>(),
+            total_events as u64
+        );
+        StreamedTrace {
+            path,
+            frames: frames.into(),
+            total_events,
+            observer: None,
+        }
+    }
+
+    /// Installs the per-replay stats hook (see [`StreamObserver`]).
+    pub fn with_observer(mut self, observer: StreamObserver) -> StreamedTrace {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The framed file this handle replays from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The frame table (one entry per frame, in event order).
+    pub fn frames(&self) -> &[FrameEntry] {
+        &self.frames
+    }
+
+    /// Total payload bytes on disk across all frames.
+    pub fn file_bytes(&self) -> u64 {
+        self.frames.iter().map(|f| f.len).sum()
+    }
+
+    /// Number of events (not instructions) across all frames.
+    pub fn event_count(&self) -> usize {
+        self.total_events
+    }
+
+    /// A disk-backed cursor positioned at the first event. Spawns the
+    /// read-ahead thread; panics if the thread cannot be spawned or —
+    /// later, during replay — if the file no longer matches the frame
+    /// table it was opened with.
+    pub fn cursor(&self) -> FileCursor<'_> {
+        let (tx, rx) = mpsc::sync_channel::<io::Result<Vec<u8>>>(1);
+        let path = self.path.clone();
+        let frames = Arc::clone(&self.frames);
+        let reader = thread::Builder::new()
+            .name("cbws-trace-readahead".into())
+            .spawn(move || {
+                let mut file = match File::open(&path) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                };
+                for entry in frames.iter() {
+                    let mut buf = vec![0u8; entry.len as usize];
+                    let res = file
+                        .seek(SeekFrom::Start(entry.offset))
+                        .and_then(|_| file.read_exact(&mut buf));
+                    match res {
+                        // A full send queue means the replay loop is
+                        // still decoding earlier frames; blocking here
+                        // is the read-ahead working as intended. A send
+                        // error means the cursor was dropped — exit.
+                        Ok(()) => {
+                            if tx.send(Ok(buf)).is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            return;
+                        }
+                    }
+                }
+            })
+            .expect("spawn trace read-ahead thread");
+        FileCursor {
+            src: self,
+            rx: Some(rx),
+            reader: Some(reader),
+            frame_i: 0,
+            buf: Vec::new(),
+            buf_i: 0,
+            remaining: self.total_events,
+            stats: StreamStats::default(),
+        }
+    }
+}
+
+impl EventSource for StreamedTrace {
+    type Cursor<'a> = FileCursor<'a>;
+
+    fn cursor(&self) -> Self::Cursor<'_> {
+        StreamedTrace::cursor(self)
+    }
+
+    fn event_count(&self) -> usize {
+        self.total_events
+    }
+}
+
+/// Disk-backed [`EventCursor`] over a [`StreamedTrace`].
+///
+/// A dedicated reader thread fetches frame payloads sequentially and
+/// hands them over a bounded channel (capacity 1, so up to two frames are
+/// in flight beyond the one being decoded). The replay side verifies each
+/// frame's checksum against the frame table, parses it as a standalone
+/// [`PackedTrace`], decodes the whole frame into a reusable event buffer,
+/// and serves it through the usual cursor interface — `Core::run` sees
+/// the same batched slices it gets from an in-memory trace.
+#[derive(Debug)]
+pub struct FileCursor<'a> {
+    src: &'a StreamedTrace,
+    rx: Option<mpsc::Receiver<io::Result<Vec<u8>>>>,
+    reader: Option<thread::JoinHandle<()>>,
+    /// Next frame index to adopt from the reader.
+    frame_i: usize,
+    /// Decoded events of the current frame.
+    buf: Vec<EventRef>,
+    buf_i: usize,
+    remaining: usize,
+    stats: StreamStats,
+}
+
+impl FileCursor<'_> {
+    /// Stats accumulated so far (finalized totals are reported to the
+    /// observer on drop).
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Receives, verifies, and decodes the next frame into `buf`.
+    /// Returns `false` when every frame has been consumed.
+    fn adopt_next_frame(&mut self) -> bool {
+        if self.frame_i == self.src.frames.len() {
+            return false;
+        }
+        let rx = self.rx.as_ref().expect("read-ahead channel alive");
+        // Stall accounting: only a blocking wait counts — if the frame is
+        // already buffered, the read-ahead fully hid the disk latency.
+        let msg = match rx.try_recv() {
+            Ok(m) => m,
+            Err(mpsc::TryRecvError::Empty) => {
+                let t = Instant::now();
+                let m = rx
+                    .recv()
+                    .expect("trace read-ahead thread exited before the last frame");
+                self.stats.stalls += 1;
+                self.stats.stall_micros += t.elapsed().as_micros() as u64;
+                m
+            }
+            Err(mpsc::TryRecvError::Disconnected) => {
+                panic!("trace read-ahead thread exited before the last frame")
+            }
+        };
+        let entry = self.src.frames[self.frame_i];
+        let bytes = msg.unwrap_or_else(|e| {
+            panic!(
+                "streamed trace read failed at frame {} of {}: {e}",
+                self.frame_i,
+                self.src.path.display()
+            )
+        });
+        assert_eq!(
+            fnv1a(&bytes),
+            entry.checksum,
+            "frame {} of {} failed its checksum during replay (file modified?)",
+            self.frame_i,
+            self.src.path.display()
+        );
+        let frame = PackedTrace::from_payload(bytes.into_boxed_slice()).unwrap_or_else(|e| {
+            panic!(
+                "frame {} of {} no longer parses ({e}) — file modified during replay?",
+                self.frame_i,
+                self.src.path.display()
+            )
+        });
+        self.buf.clear();
+        self.buf.extend(frame.cursor());
+        self.buf_i = 0;
+        self.frame_i += 1;
+        self.stats.frames += 1;
+        self.stats.bytes += entry.len;
+        true
+    }
+}
+
+impl Iterator for FileCursor<'_> {
+    type Item = EventRef;
+
+    #[inline]
+    fn next(&mut self) -> Option<EventRef> {
+        while self.buf_i == self.buf.len() {
+            if !self.adopt_next_frame() {
+                return None;
+            }
+        }
+        let e = self.buf[self.buf_i];
+        self.buf_i += 1;
+        self.remaining -= 1;
+        Some(e)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for FileCursor<'_> {}
+
+impl EventCursor for FileCursor<'_> {
+    fn next_batch(&mut self) -> Option<&[EventRef]> {
+        if self.buf_i < self.buf.len() {
+            // Events already decoded but not yet taken via `next()`.
+            let i = self.buf_i;
+            self.buf_i = self.buf.len();
+            self.remaining -= self.buf.len() - i;
+            return Some(&self.buf[i..]);
+        }
+        loop {
+            if !self.adopt_next_frame() {
+                return None;
+            }
+            if !self.buf.is_empty() {
+                break;
+            }
+        }
+        self.buf_i = self.buf.len();
+        self.remaining -= self.buf.len();
+        Some(&self.buf[..])
+    }
+}
+
+impl Drop for FileCursor<'_> {
+    fn drop(&mut self) {
+        // Dropping the receiver makes the reader's next send fail, so it
+        // exits even when the replay stopped mid-trace.
+        drop(self.rx.take());
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+        if let Some(obs) = &self.src.observer {
+            obs(self.stats);
+        }
+    }
+}
+
+/// The engine's trace handle: either a fully resident framed trace or a
+/// disk-backed streamed one, chosen per job by the byte threshold
+/// (`CBWS_STREAM_THRESHOLD_BYTES`). Implements [`EventSource`], so
+/// `Simulator::run` takes either without caring which.
+#[derive(Debug, Clone)]
+pub enum ReplaySource {
+    /// Fully resident frames (zero-copy views of the mapped store file).
+    Memory(Arc<FramedTrace>),
+    /// Disk-backed frames replayed through a [`FileCursor`].
+    Streamed(Arc<StreamedTrace>),
+}
+
+impl ReplaySource {
+    /// Whether this handle replays from disk rather than memory.
+    pub fn is_streamed(&self) -> bool {
+        matches!(self, ReplaySource::Streamed(_))
+    }
+}
+
+impl EventSource for ReplaySource {
+    type Cursor<'a> = ReplayCursor<'a>;
+
+    fn cursor(&self) -> Self::Cursor<'_> {
+        match self {
+            ReplaySource::Memory(t) => ReplayCursor::Memory(t.cursor()),
+            ReplaySource::Streamed(t) => ReplayCursor::Streamed(t.cursor()),
+        }
+    }
+
+    fn event_count(&self) -> usize {
+        match self {
+            ReplaySource::Memory(t) => t.event_count(),
+            ReplaySource::Streamed(t) => t.event_count(),
+        }
+    }
+}
+
+/// Cursor over a [`ReplaySource`]: plain enum delegation to the
+/// underlying representation's cursor.
+#[derive(Debug)]
+pub enum ReplayCursor<'a> {
+    /// Chained in-memory frame cursors.
+    Memory(FramedCursor<'a>),
+    /// Disk-backed cursor with read-ahead.
+    Streamed(FileCursor<'a>),
+}
+
+impl Iterator for ReplayCursor<'_> {
+    type Item = EventRef;
+
+    #[inline]
+    fn next(&mut self) -> Option<EventRef> {
+        match self {
+            ReplayCursor::Memory(c) => c.next(),
+            ReplayCursor::Streamed(c) => c.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            ReplayCursor::Memory(c) => c.size_hint(),
+            ReplayCursor::Streamed(c) => c.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for ReplayCursor<'_> {}
+
+impl EventCursor for ReplayCursor<'_> {
+    #[inline]
+    fn next_batch(&mut self) -> Option<&[EventRef]> {
+        match self {
+            ReplayCursor::Memory(c) => c.next_batch(),
+            ReplayCursor::Streamed(c) => c.next_batch(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1144,5 +1695,179 @@ mod tests {
         b.store(Pc(12), Addr(u64::MAX));
         let trace = b.finish();
         assert_eq!(PackedTrace::from_trace(&trace).to_trace(), trace);
+    }
+
+    /// Splits a trace into standalone frames of at most `frame_events`
+    /// events each, the way the streaming writer does (predictors reset
+    /// per frame).
+    fn frames_of(trace: &Trace, frame_events: usize) -> Vec<PackedTrace> {
+        trace
+            .events()
+            .chunks(frame_events.max(1))
+            .map(|c| PackedTrace::from_trace(&Trace::from_events(c.to_vec())))
+            .collect()
+    }
+
+    /// A ~650-event trace: long enough to span several 256-event decode
+    /// batches and several small frames.
+    fn long_sample() -> Trace {
+        let mut b = TraceBuilder::new();
+        b.annotated_loop(BlockId(2), 130, |b, i| {
+            b.load(Pc(0x500), Addr(0x10_0000 + i * 64));
+            b.alu(Pc(0x504), (i % 7 + 1) as u32);
+            b.branch(Pc(0x508), i % 2 == 0);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn framed_cursor_matches_unframed() {
+        let trace = long_sample();
+        for frame_events in [1, 100, 255, 256, 257, trace.len(), trace.len() + 50] {
+            let framed = FramedTrace::from_frames(frames_of(&trace, frame_events));
+            assert_eq!(framed.event_count(), trace.len());
+            let via_next: Vec<TraceEvent> = framed.cursor().collect();
+            assert_eq!(via_next.as_slice(), trace.events(), "frame {frame_events}");
+
+            let mut cursor = framed.cursor();
+            let mut batched = Vec::new();
+            while let Some(chunk) = cursor.next_batch() {
+                assert!(!chunk.is_empty());
+                batched.extend_from_slice(chunk);
+            }
+            assert_eq!(batched.as_slice(), trace.events(), "frame {frame_events}");
+            assert_eq!(cursor.next_batch(), None);
+        }
+    }
+
+    #[test]
+    fn framed_trace_degenerate_shapes() {
+        let empty = FramedTrace::from_frames(Vec::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.cursor().next(), None);
+        assert_eq!(empty.cursor().next_batch(), None);
+
+        let trace = sample();
+        let single = FramedTrace::single(PackedTrace::from_trace(&trace));
+        assert_eq!(single.to_trace(), trace);
+        assert_eq!(single.stats(), trace.stats());
+        assert_eq!(
+            single.footprint_bytes(),
+            PackedTrace::from_trace(&trace).footprint_bytes()
+        );
+    }
+
+    /// Writes frames back to back in a temp file behind a junk prefix (so
+    /// absolute offsets are honored) and returns the frame table.
+    fn write_framed(frames: &[PackedTrace]) -> (PathBuf, Vec<FrameEntry>) {
+        use std::io::Write;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "cbws-packed-test-{}-{seq}.frames",
+            std::process::id()
+        ));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(&[0xEE; 7]).unwrap();
+        let mut offset = 7u64;
+        let mut entries = Vec::new();
+        for frame in frames {
+            let p = frame.payload();
+            f.write_all(p).unwrap();
+            entries.push(FrameEntry {
+                offset,
+                len: p.len() as u64,
+                events: frame.event_count() as u64,
+                checksum: fnv1a(p),
+            });
+            offset += p.len() as u64;
+        }
+        (path, entries)
+    }
+
+    fn streamed_of(trace: &Trace, frame_events: usize) -> (StreamedTrace, PathBuf) {
+        let (path, entries) = write_framed(&frames_of(trace, frame_events));
+        (StreamedTrace::new(path.clone(), entries, trace.len()), path)
+    }
+
+    #[test]
+    fn file_cursor_matches_slice_iteration() {
+        let trace = long_sample();
+        for frame_events in [1, 200, 256, 257, trace.len()] {
+            let (streamed, path) = streamed_of(&trace, frame_events);
+            let via_next: Vec<TraceEvent> = streamed.cursor().collect();
+            assert_eq!(via_next.as_slice(), trace.events(), "frame {frame_events}");
+
+            let mut cursor = streamed.cursor();
+            let mut batched = vec![cursor.next().unwrap()];
+            while let Some(chunk) = cursor.next_batch() {
+                batched.extend_from_slice(chunk);
+            }
+            assert_eq!(batched.as_slice(), trace.events(), "frame {frame_events}");
+            let stats = cursor.stats();
+            assert_eq!(stats.frames, streamed.frames().len() as u64);
+            assert_eq!(stats.bytes, streamed.file_bytes());
+            drop(cursor);
+            std::fs::remove_file(path).unwrap();
+        }
+    }
+
+    #[test]
+    fn file_cursor_reports_stats_to_observer() {
+        use std::sync::Mutex;
+        let trace = long_sample();
+        let (streamed, path) = streamed_of(&trace, 100);
+        let seen: Arc<Mutex<Vec<StreamStats>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let streamed = streamed.with_observer(Arc::new(move |s| sink.lock().unwrap().push(s)));
+        let n: usize = streamed.cursor().count();
+        assert_eq!(n, trace.len());
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].frames, streamed.frames().len() as u64);
+        assert_eq!(seen[0].bytes, streamed.file_bytes());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn file_cursor_detects_mid_replay_corruption() {
+        let trace = long_sample();
+        let (streamed, path) = streamed_of(&trace, 100);
+        // Flip one payload bit after the frame table was built: replay
+        // must refuse to decode silently-wrong events.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| streamed.cursor().count()));
+        assert!(outcome.is_err(), "corrupted frame must not replay");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn replay_source_dispatches_both_ways() {
+        let trace = long_sample();
+        let memory =
+            ReplaySource::Memory(Arc::new(FramedTrace::from_frames(frames_of(&trace, 200))));
+        let (streamed, path) = streamed_of(&trace, 200);
+        let disk = ReplaySource::Streamed(Arc::new(streamed));
+        assert!(!memory.is_streamed());
+        assert!(disk.is_streamed());
+        for src in [&memory, &disk] {
+            assert_eq!(EventSource::event_count(src), trace.len());
+            let events: Vec<TraceEvent> = EventSource::cursor(src).collect();
+            assert_eq!(events.as_slice(), trace.events());
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
     }
 }

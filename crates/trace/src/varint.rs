@@ -105,7 +105,7 @@ fn gather7(x: u64) -> u64 {
 /// * no continuation bit anywhere in the word (dense one-byte lanes:
 ///   ALU run lengths, block ids) — eight entries from one load;
 /// * otherwise the first clear continuation bit gives the entry length
-///   with `trailing_zeros`, and [`gather7`] packs the payload bits — one
+///   with `trailing_zeros`, and `gather7` packs the payload bits — one
 ///   entry per load with no per-byte loop or data-dependent branching.
 ///
 /// Entries longer than 8 bytes (values ≥ 2^56, absent from real lanes)

@@ -3,9 +3,12 @@
 //! the payload parser against arbitrary and mutated byte buffers.
 
 use cbws_trace::{
-    Addr, BlockId, BranchRecord, Dependence, MemAccess, MemKind, PackedTrace, Pc, Trace, TraceEvent,
+    fnv1a, Addr, BlockId, BranchRecord, Dependence, EventCursor, FrameEntry, MemAccess, MemKind,
+    PackedTrace, Pc, StreamedTrace, Trace, TraceEvent,
 };
 use proptest::prelude::*;
+use std::io::Write as _;
+use std::path::PathBuf;
 
 fn event_strategy() -> impl Strategy<Value = TraceEvent> {
     prop_oneof![
@@ -33,6 +36,67 @@ fn event_strategy() -> impl Strategy<Value = TraceEvent> {
 
 fn trace_strategy() -> impl Strategy<Value = Trace> {
     proptest::collection::vec(event_strategy(), 0..300).prop_map(Trace::from_events)
+}
+
+/// Event counts straddling the interesting boundaries of the streamed
+/// replay path: empty, single event, one less / exactly / one more than a
+/// whole number of frames (and, with `frame_events = 256`, the decode
+/// batch size ± 1 as well).
+fn boundary_lens(frame_events: usize) -> [usize; 8] {
+    [
+        0,
+        1,
+        frame_events - 1,
+        frame_events,
+        frame_events + 1,
+        3 * frame_events - 1,
+        3 * frame_events,
+        3 * frame_events + 1,
+    ]
+}
+
+/// A unique scratch path for one framed-file test case.
+fn scratch_file(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "cbws-packed-prop-{tag}-{}-{}.frames",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Packs `events` into frames of `frame_events`, writes the payloads back
+/// to back into a scratch file (with `lead` junk bytes first, mimicking the
+/// store header), and returns the streamed handle plus the file path.
+fn write_framed(
+    events: &[TraceEvent],
+    frame_events: usize,
+    lead: usize,
+    tag: &str,
+) -> (StreamedTrace, PathBuf) {
+    let path = scratch_file(tag);
+    let mut file = std::fs::File::create(&path).expect("create scratch frame file");
+    file.write_all(&vec![0xa5u8; lead]).expect("lead bytes");
+    let mut entries = Vec::new();
+    let mut offset = lead as u64;
+    for chunk in events.chunks(frame_events.max(1)) {
+        let packed = PackedTrace::from_trace(&Trace::from_events(chunk.to_vec()));
+        let payload = packed.payload();
+        file.write_all(payload).expect("frame payload");
+        entries.push(FrameEntry {
+            offset,
+            len: payload.len() as u64,
+            events: chunk.len() as u64,
+            checksum: fnv1a(payload),
+        });
+        offset += payload.len() as u64;
+    }
+    drop(file);
+    (
+        StreamedTrace::new(path.clone(), entries, events.len()),
+        path,
+    )
 }
 
 proptest! {
@@ -78,6 +142,66 @@ proptest! {
         if let Ok(packed) = PackedTrace::from_payload(bytes.into_boxed_slice()) {
             prop_assert_eq!(packed.cursor().count(), packed.event_count());
         }
+    }
+
+    /// The disk-backed `FileCursor` is record-identical to the in-memory
+    /// `TraceCursor` and `SliceCursor` at every interesting boundary:
+    /// empty traces, one event, frame size ± 1, and decode batch size ± 1
+    /// (`frame_events = 256` puts the 255/256/257 lengths right on the
+    /// cursor's internal batch boundary). Both the event-at-a-time and the
+    /// batch interfaces must agree.
+    #[test]
+    fn file_cursor_is_record_identical_at_boundaries(
+        pool in proptest::collection::vec(event_strategy(), 769..770),
+        pick in 0usize..16,
+    ) {
+        // 769 = 3 * 256 + 1, the largest boundary length below.
+        let frame_events = if pick < 8 { 16 } else { 256 };
+        let events = &pool[..boundary_lens(frame_events)[pick % 8]];
+        let (streamed, path) = write_framed(events, frame_events, 31, "ident");
+        // Event-at-a-time: identical to the source Vec (and therefore to
+        // SliceCursor, which yields exactly that Vec).
+        let via_next: Vec<TraceEvent> = streamed.cursor().collect();
+        prop_assert_eq!(&via_next[..], events);
+        // Batch interface: concatenation of batches is the same sequence
+        // the unframed TraceCursor produces.
+        let mut via_batch: Vec<TraceEvent> = Vec::new();
+        let mut cursor = streamed.cursor();
+        while let Some(batch) = cursor.next_batch() {
+            via_batch.extend_from_slice(batch);
+        }
+        drop(cursor);
+        let unframed = PackedTrace::from_trace(&Trace::from_events(events.to_vec()));
+        let reference: Vec<TraceEvent> = unframed.cursor().collect();
+        prop_assert_eq!(&via_batch, &reference);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Flipping any single bit of any frame payload on disk is caught
+    /// during streamed replay: the per-frame FNV-1a checksum changes under
+    /// any one-byte mutation (every fold step is bijective), so the cursor
+    /// panics instead of silently replaying corrupt events. The trace
+    /// store turns that detection into invalidate-and-regenerate; see the
+    /// `cbws-workloads` store tests.
+    #[test]
+    fn file_cursor_detects_single_bit_corruption(
+        events in proptest::collection::vec(event_strategy(), 1..120),
+        frame_events in 1usize..40,
+        pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let lead = 31usize;
+        let (streamed, path) = write_framed(&events, frame_events, lead, "corrupt");
+        let mut bytes = std::fs::read(&path).expect("read framed file");
+        // Flip a bit somewhere inside the frame payloads (past the lead).
+        let at = lead + pos % (bytes.len() - lead);
+        bytes[at] ^= 1 << bit;
+        std::fs::write(&path, &bytes).expect("write corrupted file");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            streamed.cursor().count()
+        }));
+        prop_assert!(outcome.is_err(), "corruption at byte {} must be detected", at);
+        let _ = std::fs::remove_file(&path);
     }
 
     /// Flipping a single bit of a valid payload never panics: either the

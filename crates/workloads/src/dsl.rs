@@ -509,10 +509,21 @@ impl Program {
     /// Panics if annotation markers are malformed (cannot happen for
     /// programs annotated by [`Program::annotate`]).
     pub fn execute(&self) -> Result<Trace, DslError> {
-        let mut env: BTreeMap<Var, i64> = BTreeMap::new();
         let mut tb = TraceBuilder::new();
-        Self::exec_stmts(&self.body, &mut env, &self.tables, &mut tb)?;
+        self.execute_into(&mut tb)?;
         Ok(tb.finish())
+    }
+
+    /// Interprets the program into an existing builder — the streaming
+    /// generation path: a [`TraceBuilder::streaming`] sink sees the same
+    /// event sequence [`Program::execute`] would materialize, flushed in
+    /// chunks.
+    ///
+    /// Returns [`DslError`] on unbound variables or unknown tables; the
+    /// caller finishes (or stream-finishes) the builder.
+    pub fn execute_into(&self, tb: &mut TraceBuilder) -> Result<(), DslError> {
+        let mut env: BTreeMap<Var, i64> = BTreeMap::new();
+        Self::exec_stmts(&self.body, &mut env, &self.tables, tb)
     }
 
     fn eval(

@@ -14,6 +14,18 @@ pub(crate) const fn base(i: u64) -> u64 {
     0x4000_0000 + (i << 26)
 }
 
+/// Runs an emitter-style kernel into a fresh in-memory builder — the
+/// test-side stand-in for `WorkloadSpec::generate`.
+#[cfg(test)]
+pub(crate) fn collect(
+    emit: fn(crate::Scale, &mut cbws_trace::TraceBuilder),
+    scale: crate::Scale,
+) -> cbws_trace::Trace {
+    let mut tb = cbws_trace::TraceBuilder::new();
+    emit(scale, &mut tb);
+    tb.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,17 +4,16 @@
 use super::helpers::{base, rng};
 use crate::dsl::{e, Program, Stmt};
 use crate::Scale;
-use cbws_trace::{Addr, BlockId, Pc, Trace, TraceBuilder};
+use cbws_trace::{Addr, BlockId, Pc, TraceBuilder};
 use rand::Rng;
 
 /// `md-linpack`: Lennard-Jones force loops — per-particle gathers from a
 /// spatially local neighbour list inside a hot position array.
-pub(crate) fn md(scale: Scale) -> Trace {
+pub(crate) fn md(scale: Scale, b: &mut TraceBuilder) {
     let particles = scale.pick(25, 620, 12000);
     let pos = base(0);
     let mut r = rng(0x6D64_0001);
 
-    let mut b = TraceBuilder::new();
     for p in 0..particles {
         // 64 KB hot position array: 2048 particles cycled.
         let me = p % 2048;
@@ -28,16 +27,16 @@ pub(crate) fn md(scale: Scale) -> Trace {
         });
         b.store(Pc(0x1C0C), Addr(pos + me * 32));
     }
-    b.finish()
 }
 
 /// `mvx-linpack`: dense matrix-vector product — unit-stride row sweeps of a
 /// ~128 KB matrix against a resident vector, repeated until hot.
-pub(crate) fn mvx(scale: Scale) -> Trace {
+pub(crate) fn mvx(scale: Scale, tb: &mut TraceBuilder) {
     let (epochs, rows) = match scale {
         Scale::Tiny => (1, 4),
         Scale::Small => (3, 32),
         Scale::Full => (24, 32),
+        Scale::Huge => (288, 32),
     };
     let a = base(0) as i64;
     let x = base(1) as i64;
@@ -79,16 +78,17 @@ pub(crate) fn mvx(scale: Scale) -> Trace {
         }],
     }]);
     p.annotate();
-    p.execute().expect("mvx program is closed")
+    p.execute_into(tb).expect("mvx program is closed")
 }
 
 /// `mxm-linpack`: small matrix-matrix multiply on 192x192 floats —
 /// everything stays L2-resident.
-pub(crate) fn mxm(scale: Scale) -> Trace {
+pub(crate) fn mxm(scale: Scale, tb: &mut TraceBuilder) {
     let (ni, nj) = match scale {
         Scale::Tiny => (2, 8),
         Scale::Small => (14, 24),
         Scale::Full => (40, 96),
+        Scale::Huge => (480, 96),
     };
     let a = base(0) as i64;
     let b = base(1) as i64;
@@ -135,16 +135,17 @@ pub(crate) fn mxm(scale: Scale) -> Trace {
         }],
     }]);
     p.annotate();
-    p.execute().expect("mxm program is closed")
+    p.execute_into(tb).expect("mxm program is closed")
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::helpers::collect;
     use super::*;
 
     #[test]
     fn md_stays_local() {
-        let t = md(Scale::Tiny);
+        let t = collect(md, Scale::Tiny);
         let max = t
             .iter()
             .filter_map(|e| e.mem())
@@ -158,7 +159,7 @@ mod tests {
     #[test]
     fn mvx_rows_are_unit_stride() {
         use cbws_core::analysis::{collect_block_histories, DifferentialSkew};
-        let t = mvx(Scale::Tiny);
+        let t = collect(mvx, Scale::Tiny);
         let h = collect_block_histories(&t, 16);
         let skew = DifferentialSkew::from_histories(h.values());
         assert!(skew.coverage_at(0.2) > 0.8);
@@ -166,7 +167,7 @@ mod tests {
 
     #[test]
     fn mxm_fits_in_l2() {
-        let t = mxm(Scale::Tiny);
+        let t = collect(mxm, Scale::Tiny);
         for m in t.iter().filter_map(|e| e.mem()) {
             let arr = (m.addr.0 - base(0)) / (64 << 20);
             let off = m.addr.0 - base(arr);

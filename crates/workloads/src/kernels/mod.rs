@@ -1,10 +1,14 @@
 //! The 30 benchmark kernels, grouped by suite of origin.
 //!
-//! Each kernel function takes a [`crate::Scale`] and returns an annotated
-//! [`cbws_trace::Trace`]. Regular, affine kernels are written in the
-//! [`crate::dsl`] loop-nest IR and annotated by the compiler pass; kernels
-//! whose addressing is driven by runtime data (pointer chasing, histograms,
-//! queues) are written directly against
+//! Each kernel function is an *emitter*: it takes a [`crate::Scale`] and a
+//! [`cbws_trace::TraceBuilder`] and writes annotated events into it. The
+//! builder may be a plain in-memory one (`WorkloadSpec::generate`) or a
+//! streaming sink that flushes fixed-size chunks to the framed trace store
+//! as they complete — which is how `Scale::Huge` traces are generated
+//! without the kernel ever holding its full event stream. Regular, affine
+//! kernels are written in the [`crate::dsl`] loop-nest IR and annotated by
+//! the compiler pass; kernels whose addressing is driven by runtime data
+//! (pointer chasing, histograms, queues) are written directly against
 //! [`cbws_trace::TraceBuilder::annotated_loop`], modelling pre-annotated
 //! sources.
 

@@ -4,7 +4,7 @@
 use super::helpers::{base, rng};
 use crate::dsl::{e, Program, Stmt};
 use crate::Scale;
-use cbws_trace::{Addr, BlockId, Pc, Trace, TraceBuilder};
+use cbws_trace::{Addr, BlockId, Pc, TraceBuilder};
 use rand::Rng;
 
 /// `stencil-default`: the paper's running example (Fig. 2-4). A 7-point
@@ -12,11 +12,12 @@ use rand::Rng;
 /// `IDX(x,y,z) = x + nx*(y + ny*z)`, so every access strides
 /// `nx*ny*4 = 64 KB = 1024 lines` per innermost iteration — the constant
 /// differential vector of Fig. 4, spanning far more than any SMS region.
-pub(crate) fn stencil(scale: Scale) -> Trace {
+pub(crate) fn stencil(scale: Scale, tb: &mut TraceBuilder) {
     let (ni, nj, nz) = match scale {
         Scale::Tiny => (1, 4, 18),
         Scale::Small => (2, 40, 34),
         Scale::Full => (8, 126, 34),
+        Scale::Huge => (96, 126, 34),
     };
     let a0 = base(0) as i64;
     let a = base(1) as i64;
@@ -79,18 +80,19 @@ pub(crate) fn stencil(scale: Scale) -> Trace {
         }],
     }]);
     p.annotate();
-    p.execute().expect("stencil program is closed")
+    p.execute_into(tb).expect("stencil program is closed")
 }
 
 /// `sgemm-medium`: triple-loop GEMM on 1024x1024 floats. The innermost `k`
 /// iteration streams `A[i][k]` at unit stride and walks `B[k][j]` down a
 /// column at a 4 KB (64-line) row stride — two interleaved streams whose
 /// CBWS differential alternates between just two vectors.
-pub(crate) fn sgemm(scale: Scale) -> Trace {
+pub(crate) fn sgemm(scale: Scale, tb: &mut TraceBuilder) {
     let (ni, nj, nk) = match scale {
         Scale::Tiny => (1, 2, 128),
         Scale::Small => (2, 10, 768),
         Scale::Full => (4, 24, 1024),
+        Scale::Huge => (48, 24, 1024),
     };
     let a = base(0) as i64;
     let b = base(1) as i64;
@@ -148,17 +150,18 @@ pub(crate) fn sgemm(scale: Scale) -> Trace {
         }],
     }]);
     p.annotate();
-    p.execute().expect("sgemm program is closed")
+    p.execute_into(tb).expect("sgemm program is closed")
 }
 
 /// `mri-q-large`: the Q-matrix accumulation — five unit-stride sample
 /// streams (`kx`, `ky`, `kz`, `phiR`, `phiI`) consumed by a trigonometric
 /// FMA tail, repeated per voxel.
-pub(crate) fn mri_q(scale: Scale) -> Trace {
+pub(crate) fn mri_q(scale: Scale, tb: &mut TraceBuilder) {
     let (voxels, samples) = match scale {
         Scale::Tiny => (2, 72),
         Scale::Small => (3, 2048),
         Scale::Full => (2, 24576),
+        Scale::Huge => (24, 24576),
     };
     let streams: Vec<i64> = (0..5).map(|s| base(s) as i64).collect();
     let body: Vec<Stmt> = streams
@@ -189,20 +192,19 @@ pub(crate) fn mri_q(scale: Scale) -> Trace {
         ],
     }]);
     p.annotate();
-    p.execute().expect("mri-q program is closed")
+    p.execute_into(tb).expect("mri-q program is closed")
 }
 
 /// `histo-large`: the paper's Fig. 16 loop verbatim — a unit-stride image
 /// scan whose *stores* scatter into a 4 MB histogram indexed by the loaded
 /// pixel value. The access pattern is input data, not induction arithmetic,
 /// so no differential scheme can capture it.
-pub(crate) fn histo(scale: Scale) -> Trace {
+pub(crate) fn histo(scale: Scale, b: &mut TraceBuilder) {
     let pixels = scale.pick(160, 4200, 108000);
     let img = base(0);
     let hist = base(1);
     let mut r = rng(0x6869_0001);
 
-    let mut b = TraceBuilder::with_capacity(pixels as usize * 9);
     b.annotated_loop(BlockId(0), pixels, |b, i| {
         b.load(Pc(0xB00), Addr(img + i * 4));
         let value = r.gen_range(0..1_048_576u64);
@@ -215,7 +217,6 @@ pub(crate) fn histo(scale: Scale) -> Trace {
             b.store(Pc(0xB10), Addr(hist + value * 4));
         }
     });
-    b.finish()
 }
 
 /// `lbm-long`: lattice-Boltzmann propagation over 160-byte AoS cells.
@@ -223,7 +224,7 @@ pub(crate) fn histo(scale: Scale) -> Trace {
 /// under a (random) obstacle bounce back locally instead — data-dependent
 /// control that flips the iteration's store pattern and working-set size,
 /// which is what defeats differential prediction here (§VII-C).
-pub(crate) fn lbm(scale: Scale) -> Trace {
+pub(crate) fn lbm(scale: Scale, b: &mut TraceBuilder) {
     let cells = scale.pick(70, 1800, 30000);
     let src = base(0);
     let dst = base(1);
@@ -232,7 +233,6 @@ pub(crate) fn lbm(scale: Scale) -> Trace {
     // Neighbour offsets in cells (a D3Q8 subset of D3Q19).
     let offs: [i64; 8] = [1, -1, nx, -nx, nx * nx, -nx * nx, nx + 1, -nx - 1];
 
-    let mut b = TraceBuilder::with_capacity(cells as usize * 26);
     b.annotated_loop(BlockId(0), cells, |b, i| {
         let cell = i as i64;
         let cbase = src + i * 160;
@@ -259,20 +259,18 @@ pub(crate) fn lbm(scale: Scale) -> Trace {
         b.load(Pc(0xC60), Addr(src + (k % 512) * 160));
         b.alu(Pc(0xC64), 24);
     }
-    b.finish()
 }
 
 /// `sad-base-large`: H.264 sum-of-absolute-differences block matching. Each
 /// macroblock row loads one line of the current frame and one of the
 /// (offset) reference frame; both frames stay L2-resident.
-pub(crate) fn sad(scale: Scale) -> Trace {
+pub(crate) fn sad(scale: Scale, b: &mut TraceBuilder) {
     let blocks = scale.pick(32, 760, 7800);
     let cur = base(0);
     let reff = base(1);
     let mut r = rng(0x7361_0001);
     const FRAME_W: u64 = 256; // bytes per pel row in a 256x256 frame
 
-    let mut b = TraceBuilder::with_capacity(blocks as usize * 16 * 7);
     for _ in 0..blocks {
         // 256x256 frames (64 KB each): resident block matching.
         let mbx = r.gen_range(0..15u64) * 16;
@@ -286,17 +284,17 @@ pub(crate) fn sad(scale: Scale) -> Trace {
         });
         b.alu(Pc(0xD0C), 3);
     }
-    b.finish()
 }
 
 /// `spmv-large`: CSR sparse matrix-vector product, re-multiplied over
 /// several iterations as solvers do: the ~128 KB matrix and the `x` vector
 /// are hot after the first pass.
-pub(crate) fn spmv(scale: Scale) -> Trace {
+pub(crate) fn spmv(scale: Scale, b: &mut TraceBuilder) {
     let (epochs, rows) = match scale {
         Scale::Tiny => (1, 20),
         Scale::Small => (3, 460),
         Scale::Full => (6, 1365),
+        Scale::Huge => (72, 1365),
     };
     let cols = base(0);
     let vals = base(1);
@@ -305,7 +303,6 @@ pub(crate) fn spmv(scale: Scale) -> Trace {
     let mut r = rng(0x7370_0001);
     let gathers: Vec<u64> = (0..rows * 8).map(|_| r.gen_range(0..8192u64)).collect();
 
-    let mut b = TraceBuilder::with_capacity((epochs * rows) as usize * 40);
     for _ in 0..epochs {
         let mut p: u64 = 0;
         for row in 0..rows {
@@ -320,17 +317,17 @@ pub(crate) fn spmv(scale: Scale) -> Trace {
             b.store(Pc(0xE10), Addr(yvec + row * 8));
         }
     }
-    b.finish()
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::helpers::collect;
     use super::*;
     use cbws_core::analysis::{collect_block_histories, DifferentialSkew};
 
     #[test]
     fn stencil_differentials_match_fig4() {
-        let t = stencil(Scale::Tiny);
+        let t = collect(stencil, Scale::Tiny);
         let h = collect_block_histories(&t, 16);
         let bh = h.values().next().unwrap();
         // Steady-state consecutive differentials are all-1024 vectors
@@ -353,7 +350,7 @@ mod tests {
 
     #[test]
     fn stencil_skew_is_extreme() {
-        let t = stencil(Scale::Small);
+        let t = collect(stencil, Scale::Small);
         let h = collect_block_histories(&t, 16);
         let skew = DifferentialSkew::from_histories(h.values());
         assert!(skew.coverage_at(0.05) > 0.8, "one vector dominates stencil");
@@ -361,7 +358,7 @@ mod tests {
 
     #[test]
     fn sgemm_has_two_dominant_differentials() {
-        let t = sgemm(Scale::Tiny);
+        let t = collect(sgemm, Scale::Tiny);
         let h = collect_block_histories(&t, 16);
         let skew = DifferentialSkew::from_histories(h.values());
         // (0,64) and (1,64) dominate.
@@ -370,7 +367,7 @@ mod tests {
 
     #[test]
     fn histo_differentials_are_unskewed() {
-        let t = histo(Scale::Small);
+        let t = collect(histo, Scale::Small);
         let h = collect_block_histories(&t, 16);
         let skew = DifferentialSkew::from_histories(h.values());
         // Data-dependent scatter: the top 5% of vectors cover little.
@@ -382,7 +379,7 @@ mod tests {
 
     #[test]
     fn lbm_working_set_size_diverges() {
-        let t = lbm(Scale::Tiny);
+        let t = collect(lbm, Scale::Tiny);
         let h = collect_block_histories(&t, 16);
         let sizes: std::collections::BTreeSet<usize> = h
             .values()
@@ -397,7 +394,7 @@ mod tests {
 
     #[test]
     fn mri_q_streams_are_unit_stride() {
-        let t = mri_q(Scale::Tiny);
+        let t = collect(mri_q, Scale::Tiny);
         let h = collect_block_histories(&t, 16);
         let diffs = h.values().next().unwrap().consecutive_differentials();
         // Samples advance 4 bytes per iteration: line deltas in {0, 1}.
@@ -410,7 +407,10 @@ mod tests {
 
     #[test]
     fn spmv_and_sad_fit_modest_footprints() {
-        for (t, limit_mb) in [(spmv(Scale::Tiny), 70), (sad(Scale::Tiny), 70)] {
+        for (t, limit_mb) in [
+            (collect(spmv, Scale::Tiny), 70),
+            (collect(sad, Scale::Tiny), 70),
+        ] {
             let max = t
                 .iter()
                 .filter_map(|e| e.mem())

@@ -3,7 +3,7 @@
 
 use super::helpers::{base, rng};
 use crate::Scale;
-use cbws_trace::{Addr, BlockId, Pc, Trace, TraceBuilder};
+use cbws_trace::{Addr, BlockId, Pc, TraceBuilder};
 use rand::Rng;
 
 /// `streamcluster-simlarge`: vectorized point-to-centre distance loops.
@@ -12,13 +12,12 @@ use rand::Rng;
 /// block-boundary differentials are drawn from a huge alphabet — the second
 /// §VII-A case where the 16-entry history table cannot hold a meaningful
 /// history and standalone CBWS loses to SMS.
-pub(crate) fn streamcluster(scale: Scale) -> Trace {
+pub(crate) fn streamcluster(scale: Scale, b: &mut TraceBuilder) {
     let pairs = scale.pick(20, 450, 13500);
     let points = base(0);
     let centers = base(1);
     let mut r = rng(0x7363_0001);
 
-    let mut b = TraceBuilder::new();
     for _ in 0..pairs {
         let p = r.gen_range(0..8192u64);
         let c = r.gen_range(0..64u64);
@@ -34,17 +33,15 @@ pub(crate) fn streamcluster(scale: Scale) -> Trace {
         b.alu(Pc(0x1510), 22);
         b.branch(Pc(0x1514), r.gen_bool(0.4));
     }
-    b.finish()
 }
 
 /// `canneal-simlarge`: simulated-annealing element swaps — two random
 /// touches of a hot netlist per move, with a rejection branch.
-pub(crate) fn canneal(scale: Scale) -> Trace {
+pub(crate) fn canneal(scale: Scale, b: &mut TraceBuilder) {
     let moves = scale.pick(70, 1700, 38000);
     let netlist = base(0);
     let mut r = rng(0x636E_0001);
 
-    let mut b = TraceBuilder::with_capacity(moves as usize * 12);
     b.annotated_loop(BlockId(0), moves, |b, _| {
         // ~96 KB hot netlist: random but cache-resident, hence low-MPKI.
         let x = r.gen_range(0..1536u64);
@@ -59,17 +56,15 @@ pub(crate) fn canneal(scale: Scale) -> Trace {
             b.store(Pc(0x1614), Addr(netlist + y * 64));
         }
     });
-    b.finish()
 }
 
 /// `freqmine-simlarge`: FP-growth tree walks — short parent-pointer chains
 /// through a hot tree followed by a support-counter update.
-pub(crate) fn freqmine(scale: Scale) -> Trace {
+pub(crate) fn freqmine(scale: Scale, b: &mut TraceBuilder) {
     let walks = scale.pick(55, 1300, 28000);
     let tree = base(0);
     let mut r = rng(0x6672_0001);
 
-    let mut b = TraceBuilder::with_capacity(walks as usize * 16);
     b.annotated_loop(BlockId(0), walks, |b, _| {
         // 64 KB hot tree (upper levels are touched constantly).
         let mut node = r.gen_range(0..1024u64);
@@ -81,17 +76,17 @@ pub(crate) fn freqmine(scale: Scale) -> Trace {
         }
         b.store(Pc(0x1718), Addr(tree + node * 64));
     });
-    b.finish()
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::helpers::collect;
     use super::*;
     use cbws_core::analysis::{collect_block_histories, DifferentialSkew};
 
     #[test]
     fn streamcluster_junctions_inflate_alphabet() {
-        let t = streamcluster(Scale::Small);
+        let t = collect(streamcluster, Scale::Small);
         let h = collect_block_histories(&t, 16);
         let skew = DifferentialSkew::from_histories(h.values());
         assert!(
@@ -105,7 +100,7 @@ mod tests {
 
     #[test]
     fn canneal_is_random_but_resident() {
-        let t = canneal(Scale::Tiny);
+        let t = collect(canneal, Scale::Tiny);
         let max = t
             .iter()
             .filter_map(|e| e.mem())
@@ -119,7 +114,7 @@ mod tests {
 
     #[test]
     fn freqmine_chains_are_dependent() {
-        let t = freqmine(Scale::Tiny);
+        let t = collect(freqmine, Scale::Tiny);
         let deps = t
             .iter()
             .filter_map(|e| e.mem())

@@ -4,7 +4,7 @@
 use super::helpers::{base, rng};
 use crate::dsl::{e, Program, Stmt};
 use crate::Scale;
-use cbws_trace::{Addr, BlockId, Pc, Trace, TraceBuilder};
+use cbws_trace::{Addr, BlockId, Pc, TraceBuilder};
 use rand::Rng;
 
 /// `nw` (Needleman-Wunsch): *anti-diagonal wavefront* dynamic programming,
@@ -14,11 +14,12 @@ use rand::Rng;
 /// reference matrix) shifts by a constant large differential: CBWS's best
 /// case, and hostile to 2 KB-region SMS tracking. The paper finds CBWS
 /// best on `nw` across every metric.
-pub(crate) fn nw(scale: Scale) -> Trace {
+pub(crate) fn nw(scale: Scale, tb: &mut TraceBuilder) {
     let (diags, dlen) = match scale {
         Scale::Tiny => (4, 48),
         Scale::Small => (24, 420),
         Scale::Full => (110, 850),
+        Scale::Huge => (1320, 850),
     };
     const COLS: i64 = 1024;
     let m = base(0) as i64;
@@ -74,20 +75,19 @@ pub(crate) fn nw(scale: Scale) -> Trace {
         }],
     }]);
     p.annotate();
-    p.execute().expect("nw program is closed")
+    p.execute_into(tb).expect("nw program is closed")
 }
 
 /// `bfs-1m`: level-synchronous breadth-first search — a unit-stride
 /// frontier queue, a dependent adjacency fetch, and visited-flag probes
 /// scattered over a ~1.5 MB bitmap.
-pub(crate) fn bfs(scale: Scale) -> Trace {
+pub(crate) fn bfs(scale: Scale, b: &mut TraceBuilder) {
     let frontier = scale.pick(55, 1300, 26000);
     let queue = base(0);
     let adj = base(1);
     let visited = base(2);
     let mut r = rng(0x6266_0001);
 
-    let mut b = TraceBuilder::with_capacity(frontier as usize * 20);
     b.annotated_loop(BlockId(0), frontier, |b, i| {
         // The frontier queue is recycled memory (wraps at 32 KB), and the
         // graph metadata stays hot: bfs-1m sits in the paper's low-MPKI
@@ -106,17 +106,17 @@ pub(crate) fn bfs(scale: Scale) -> Trace {
         }
         b.alu(Pc(0x1920), 3);
     });
-    b.finish()
 }
 
 /// `backprop`: feed-forward weight sweeps — a 128 KB weight matrix swept
 /// repeatedly against resident activations; after the first epoch the
 /// weights are L2-hot.
-pub(crate) fn backprop(scale: Scale) -> Trace {
+pub(crate) fn backprop(scale: Scale, tb: &mut TraceBuilder) {
     let (epochs, per_epoch) = match scale {
         Scale::Tiny => (2, 64),
         Scale::Small => (3, 1000),
         Scale::Full => (8, 8192),
+        Scale::Huge => (96, 8192),
     };
     let weights = base(0) as i64;
     let input = base(1) as i64;
@@ -143,7 +143,7 @@ pub(crate) fn backprop(scale: Scale) -> Trace {
         }],
     }]);
     p.annotate();
-    p.execute().expect("backprop program is closed")
+    p.execute_into(tb).expect("backprop program is closed")
 }
 
 /// Tiny helper for a readable `w % 256` in the backprop kernel.
@@ -156,11 +156,12 @@ impl Expr4 {
 
 /// `srad-v1`: speckle-reducing anisotropic diffusion — repeated 4-neighbour
 /// stencil sweeps over a ~144 KB f32 image (hot after the first sweep).
-pub(crate) fn srad_v1(scale: Scale) -> Trace {
+pub(crate) fn srad_v1(scale: Scale, tb: &mut TraceBuilder) {
     let (sweeps, rows, cols) = match scale {
         Scale::Tiny => (1, 2, 64),
         Scale::Small => (2, 16, 190),
         Scale::Full => (4, 94, 190),
+        Scale::Huge => (48, 94, 190),
     };
     let img = base(0) as i64;
     let out = base(1) as i64;
@@ -208,17 +209,18 @@ pub(crate) fn srad_v1(scale: Scale) -> Trace {
         }],
     }]);
     p.annotate();
-    p.execute().expect("srad program is closed")
+    p.execute_into(tb).expect("srad program is closed")
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::helpers::collect;
     use super::*;
     use cbws_core::analysis::{collect_block_histories, DifferentialSkew};
 
     #[test]
     fn nw_differentials_dominated_by_lockstep_vector() {
-        let t = nw(Scale::Small);
+        let t = collect(nw, Scale::Small);
         let h = collect_block_histories(&t, 16);
         let skew = DifferentialSkew::from_histories(h.values());
         // A tiny alphabet dominated by the lock-step vectors.
@@ -235,7 +237,7 @@ mod tests {
 
     #[test]
     fn bfs_probes_are_dependent_and_scattered() {
-        let t = bfs(Scale::Tiny);
+        let t = collect(bfs, Scale::Tiny);
         let deps = t
             .iter()
             .filter_map(|e| e.mem())
@@ -249,7 +251,7 @@ mod tests {
 
     #[test]
     fn backprop_second_epoch_repeats_addresses() {
-        let t = backprop(Scale::Tiny);
+        let t = collect(backprop, Scale::Tiny);
         let addrs: Vec<u64> = t.iter().filter_map(|e| e.mem()).map(|m| m.addr.0).collect();
         let half = addrs.len() / 2;
         assert_eq!(
@@ -261,7 +263,7 @@ mod tests {
 
     #[test]
     fn srad_is_resident_stencil() {
-        let t = srad_v1(Scale::Tiny);
+        let t = collect(srad_v1, Scale::Tiny);
         let h = collect_block_histories(&t, 16);
         let skew = DifferentialSkew::from_histories(h.values());
         assert!(skew.coverage_at(0.2) > 0.8);

@@ -4,20 +4,19 @@
 use super::helpers::{base, rng};
 use crate::dsl::{e, Program, Stmt};
 use crate::Scale;
-use cbws_trace::{Addr, BlockId, Pc, Trace, TraceBuilder};
+use cbws_trace::{Addr, BlockId, Pc, TraceBuilder};
 use rand::Rng;
 
 /// `401.bzip2-source`: the annotated inner loop of the file-buffer reader
 /// copies an 8 KB chunk — 256 memory accesses across ~256 distinct lines —
 /// per iteration. The CBWS vector (16 lines) overflows on every instance,
 /// which is why the paper measures CBWS ~5% *behind* SMS here (§VII-C).
-pub(crate) fn bzip2(scale: Scale) -> Trace {
+pub(crate) fn bzip2(scale: Scale, b: &mut TraceBuilder) {
     let chunks = scale.pick(6, 55, 2800);
     let src = base(0);
     let dst = base(1);
     let work = base(2);
     let mut r = rng(0x627A_0001);
-    let mut b = TraceBuilder::with_capacity(chunks as usize * 560);
     for i in 0..chunks {
         b.annotated_loop(BlockId(0), 1, |b, _| {
             let chunk = i * 8192;
@@ -41,14 +40,13 @@ pub(crate) fn bzip2(scale: Scale) -> Trace {
             b.branch(Pc(0x140), r.gen_bool(0.6));
         }
     }
-    b.finish()
 }
 
 /// `429.mcf-ref`: network-simplex arc scanning. The arc array streams at a
 /// fixed 80-byte stride while each arc dereferences its tail node — a
 /// pointer chase into a 16 MB node pool. The regular arc backbone is
 /// predictable; the node dereferences are not, so the hybrid scheme wins.
-pub(crate) fn mcf(scale: Scale) -> Trace {
+pub(crate) fn mcf(scale: Scale, b: &mut TraceBuilder) {
     let arcs = scale.pick(90, 2200, 72000);
     let arc_base = base(0);
     let node_base = base(1);
@@ -56,7 +54,6 @@ pub(crate) fn mcf(scale: Scale) -> Trace {
     let node_of: Vec<u64> = (0..8192).map(|_| r.gen_range(0..65536u64)).collect();
     let take: Vec<bool> = (0..8192).map(|_| r.gen_bool(0.7)).collect();
 
-    let mut b = TraceBuilder::with_capacity(arcs as usize * 10);
     b.annotated_loop(BlockId(0), arcs, |b, i| {
         let arc = arc_base + i * 80;
         b.load(Pc(0x200), Addr(arc));
@@ -71,30 +68,26 @@ pub(crate) fn mcf(scale: Scale) -> Trace {
             b.store(Pc(0x218), Addr(node + 32));
         }
     });
-    b.finish()
 }
 
 /// `462.libquantum-ref`: a quantum-gate sweep over the state-vector array —
 /// one long unit-stride stream (16 B records) with a data-dependent
 /// conditional amplitude flip (~50% taken, poorly predictable).
-pub(crate) fn libquantum(scale: Scale) -> Trace {
+pub(crate) fn libquantum(scale: Scale, b: &mut TraceBuilder) {
     let n = scale.pick(180, 5500, 190000);
     let reg = base(0);
     let mut r = rng(0x6C71_0001);
-    let flip: Vec<bool> = (0..n).map(|_| r.gen_bool(0.5)).collect();
 
-    let mut b = TraceBuilder::with_capacity(n as usize * 6);
     b.annotated_loop(BlockId(0), n, |b, i| {
         let addr = reg + i * 16;
         b.load(Pc(0x300), Addr(addr));
         b.alu(Pc(0x304), 1);
-        let taken = flip[i as usize];
+        let taken = r.gen_bool(0.5);
         b.branch(Pc(0x308), taken);
         if taken {
             b.store(Pc(0x30c), Addr(addr + 8));
         }
     });
-    b.finish()
 }
 
 /// `450.soplex-ref`: sparse column updates during simplex pricing. The
@@ -103,7 +96,7 @@ pub(crate) fn libquantum(scale: Scale) -> Trace {
 /// alphabet (the Fig. 5 skew), and diverges on a data-dependent branch that
 /// changes the iteration's working-set size — the §VII-A explanation for
 /// why skew alone does not make soplex predictable.
-pub(crate) fn soplex(scale: Scale) -> Trace {
+pub(crate) fn soplex(scale: Scale, b: &mut TraceBuilder) {
     let columns = scale.pick(14, 380, 8800);
     let idx_base = base(0);
     let y_base = base(1);
@@ -112,7 +105,6 @@ pub(crate) fn soplex(scale: Scale) -> Trace {
     // Gather deltas drawn from a small alphabet, applied in random order.
     const DELTAS: [i64; 5] = [1, 2, 16, -8, 128];
 
-    let mut b = TraceBuilder::new();
     let mut p: u64 = 0; // nonzero cursor (unit index stream)
     let mut y_row: i64 = 1 << 14; // wandering row index into y
     for _col in 0..columns {
@@ -137,14 +129,13 @@ pub(crate) fn soplex(scale: Scale) -> Trace {
         b.alu(Pc(0x41c), 26);
         b.branch(Pc(0x420), r.gen_bool(0.5));
     }
-    b.finish()
 }
 
 /// `433.milc-su3imp`: SU(3) gauge-field loops. Each site multiplies 3x3
 /// complex matrices from the link and source fields into the destination —
 /// three 128-byte-record streams (two lines each) advancing in lock-step,
 /// with a heavy FMA tail. A showcase for multi-stream lock-step prefetch.
-pub(crate) fn milc(scale: Scale) -> Trace {
+pub(crate) fn milc(scale: Scale, tb: &mut TraceBuilder) {
     let sites = scale.pick(130, 3200, 30000);
     let link = base(0) as i64;
     let src = base(1) as i64;
@@ -184,18 +175,17 @@ pub(crate) fn milc(scale: Scale) -> Trace {
         ],
     }]);
     p.annotate();
-    p.execute().expect("milc program is closed")
+    p.execute_into(tb).expect("milc program is closed")
 }
 
 /// `458.sjeng-ref`: transposition-table probes. Random lookups into a
 /// 512 KB hash table (L2-resident after warm-up) plus noisy search
 /// branches: high L1 miss rate, low L2 MPKI.
-pub(crate) fn sjeng(scale: Scale) -> Trace {
+pub(crate) fn sjeng(scale: Scale, b: &mut TraceBuilder) {
     let probes = scale.pick(110, 2800, 58000);
     let hash = base(0);
     let mut r = rng(0x736A_0001);
 
-    let mut b = TraceBuilder::with_capacity(probes as usize * 10);
     b.annotated_loop(BlockId(0), probes, |b, _| {
         // 64 KB hot table: warm after a few thousand probes, so the run is
         // genuinely low-MPKI like the paper's sjeng.
@@ -208,17 +198,15 @@ pub(crate) fn sjeng(scale: Scale) -> Trace {
             b.store(Pc(0x60c), Addr(hash + slot * 64 + 8));
         }
     });
-    b.finish()
 }
 
 /// `471.omnetpp-omnetpp`: event-queue sift. Each operation follows a short
 /// dependent chain through a ~1 MB binary heap and rewrites one node.
-pub(crate) fn omnetpp(scale: Scale) -> Trace {
+pub(crate) fn omnetpp(scale: Scale, b: &mut TraceBuilder) {
     let ops = scale.pick(70, 1700, 33000);
     let heap = base(0);
     let mut r = rng(0x6F6D_0001);
 
-    let mut b = TraceBuilder::with_capacity(ops as usize * 14);
     b.annotated_loop(BlockId(0), ops, |b, _| {
         // Sift from a random leaf towards the root: parent chain within a
         // 64 KB heap (hot after warm-up).
@@ -235,24 +223,24 @@ pub(crate) fn omnetpp(scale: Scale) -> Trace {
             b.store(Pc(0x718), Addr(heap + node * 64));
         }
     });
-    b.finish()
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::helpers::collect;
     use super::*;
     use cbws_core::analysis::collect_block_histories;
 
     #[test]
     fn bzip2_blocks_overflow_16_lines() {
-        let t = bzip2(Scale::Tiny);
+        let t = collect(bzip2, Scale::Tiny);
         // Every dynamic block touches ~256 lines: none fit in 16.
         assert_eq!(t.stats().block_ws_within(16), 0.0);
     }
 
     #[test]
     fn mcf_mixes_streaming_and_chasing() {
-        let t = mcf(Scale::Tiny);
+        let t = collect(mcf, Scale::Tiny);
         let deps = t
             .iter()
             .filter_map(|e| e.mem())
@@ -264,7 +252,7 @@ mod tests {
 
     #[test]
     fn libquantum_is_single_stream() {
-        let t = libquantum(Scale::Tiny);
+        let t = collect(libquantum, Scale::Tiny);
         let s = t.stats();
         // ~50% of iterations store (conditional flip).
         assert!(s.stores * 3 > s.loads && s.stores < s.loads);
@@ -272,7 +260,7 @@ mod tests {
 
     #[test]
     fn soplex_blocks_vary_in_size() {
-        let t = soplex(Scale::Small);
+        let t = collect(soplex, Scale::Small);
         let h = collect_block_histories(&t, 64);
         let sizes: std::collections::BTreeSet<usize> =
             h[&BlockId(0)].instances.iter().map(|w| w.len()).collect();
@@ -284,7 +272,7 @@ mod tests {
 
     #[test]
     fn milc_differentials_are_constant_two_lines() {
-        let t = milc(Scale::Tiny);
+        let t = collect(milc, Scale::Tiny);
         let h = collect_block_histories(&t, 16);
         let diffs = h.values().next().unwrap().consecutive_differentials();
         assert!(diffs.iter().all(|d| d.strides().iter().all(|&s| s == 2)));
@@ -292,7 +280,7 @@ mod tests {
 
     #[test]
     fn sjeng_and_omnetpp_footprints_are_resident() {
-        for t in [sjeng(Scale::Tiny), omnetpp(Scale::Tiny)] {
+        for t in [collect(sjeng, Scale::Tiny), collect(omnetpp, Scale::Tiny)] {
             let max_line = t
                 .iter()
                 .filter_map(|e| e.mem())

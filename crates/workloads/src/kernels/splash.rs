@@ -4,24 +4,24 @@
 use super::helpers::{base, rng};
 use crate::dsl::{e, Program, Stmt};
 use crate::Scale;
-use cbws_trace::{Addr, BlockId, Pc, Trace, TraceBuilder};
+use cbws_trace::{Addr, BlockId, Pc, TraceBuilder};
 use rand::Rng;
 
 /// `fft-simlarge`: radix-2 butterflies over a 4 MB complex array. Each
 /// stage uses a different pair distance (2^s), so the differential alphabet
 /// grows with the stage count, and the bit-reversal pass scatters — the
 /// combination that thrashes the 16-entry CBWS history table (§VII-A).
-pub(crate) fn fft(scale: Scale) -> Trace {
+pub(crate) fn fft(scale: Scale, b: &mut TraceBuilder) {
     let (rev, stages, butterflies) = match scale {
         Scale::Tiny => (64, 3, 40),
         Scale::Small => (1500, 8, 1200),
         Scale::Full => (8000, 16, 4000),
+        Scale::Huge => (96000, 16, 48000),
     };
     let data = base(0);
     let twiddle = base(1);
     const N_LOG: u32 = 18;
 
-    let mut b = TraceBuilder::new();
     // Phase 1: bit-reversal permutation (annotated tight loop, scattered).
     b.annotated_loop(BlockId(0), rev, |b, i| {
         b.load(Pc(0xF00), Addr(data + i * 16));
@@ -48,7 +48,6 @@ pub(crate) fn fft(scale: Scale) -> Trace {
             b.alu(Pc(0xF2C), 9);
         }
     }
-    b.finish()
 }
 
 /// `radix-simlarge`: per-digit passes over fresh key arrays — a digit
@@ -56,12 +55,11 @@ pub(crate) fn fft(scale: Scale) -> Trace {
 /// whose output streams advance smoothly because the keys arrive
 /// nearly-sorted by digit, the block-structured behaviour that lets CBWS
 /// all but eliminate misses (§VII-A).
-pub(crate) fn radix(scale: Scale) -> Trace {
+pub(crate) fn radix(scale: Scale, b: &mut TraceBuilder) {
     let keys = scale.pick(120, 3400, 48000);
     let counts = base(6);
     let mut r = rng(0x7261_0001);
 
-    let mut b = TraceBuilder::new();
     for pass in 0..2u64 {
         let key_arr = base(pass * 2);
         let out_arr = base(pass * 2 + 1);
@@ -82,19 +80,17 @@ pub(crate) fn radix(scale: Scale) -> Trace {
             b.alu(Pc(0x1018), 2);
         });
     }
-    b.finish()
 }
 
 /// `lu-ncb-simlarge`: LU with *non-contiguous* blocks. In-block daxpy rows
 /// stride 8 KB (128 lines) — constant differentials CBWS locks onto —
 /// while block base addresses jump pseudo-randomly across a 32 MB factor,
 /// defeating region-based (SMS) tracking.
-pub(crate) fn lu_ncb(scale: Scale) -> Trace {
+pub(crate) fn lu_ncb(scale: Scale, b: &mut TraceBuilder) {
     let blocks = scale.pick(5, 130, 4100);
     let factor = base(0);
     let mut r = rng(0x6C75_0001);
 
-    let mut b = TraceBuilder::new();
     for _ in 0..blocks {
         let dst_block = factor + r.gen_range(0..2048u64) * 16384;
         let piv_block = factor + r.gen_range(0..2048u64) * 16384;
@@ -111,17 +107,15 @@ pub(crate) fn lu_ncb(scale: Scale) -> Trace {
         });
         b.alu(Pc(0x111C), 4);
     }
-    b.finish()
 }
 
 /// `cholesky-tk29`: supernodal panel updates inside a ~768 KB resident
 /// factor: medium-stride column sweeps against a pivot panel.
-pub(crate) fn cholesky(scale: Scale) -> Trace {
+pub(crate) fn cholesky(scale: Scale, b: &mut TraceBuilder) {
     let panels = scale.pick(10, 260, 3900);
     let factor = base(0);
     let mut r = rng(0x6368_0001);
 
-    let mut b = TraceBuilder::new();
     for _ in 0..panels {
         let panel = factor + r.gen_range(0..96u64) * 8192;
         let pivot = factor + r.gen_range(0..96u64) * 8192;
@@ -132,16 +126,16 @@ pub(crate) fn cholesky(scale: Scale) -> Trace {
             b.store(Pc(0x120C), Addr(panel + row * 96));
         });
     }
-    b.finish()
 }
 
 /// `ocean-cp-simlarge`: red-black 5-point relaxation on a 128x128 f64 grid
 /// (two ~128 KB arrays, hot after the first sweep).
-pub(crate) fn ocean_cp(scale: Scale) -> Trace {
+pub(crate) fn ocean_cp(scale: Scale, tb: &mut TraceBuilder) {
     let (sweeps, rows, cols) = match scale {
         Scale::Tiny => (1, 2, 64),
         Scale::Small => (2, 24, 126),
         Scale::Full => (5, 126, 126),
+        Scale::Huge => (60, 126, 126),
     };
     let src = base(0) as i64;
     let dst = base(1) as i64;
@@ -193,17 +187,16 @@ pub(crate) fn ocean_cp(scale: Scale) -> Trace {
         }],
     }]);
     p.annotate();
-    p.execute().expect("ocean program is closed")
+    p.execute_into(tb).expect("ocean program is closed")
 }
 
 /// `water-spatial-native`: cell-list molecular dynamics — per-molecule
 /// gathers from own and neighbouring cells of a hot box, compute-heavy.
-pub(crate) fn water_spatial(scale: Scale) -> Trace {
+pub(crate) fn water_spatial(scale: Scale, b: &mut TraceBuilder) {
     let mols = scale.pick(45, 1100, 33000);
     let box_arr = base(0);
     let mut r = rng(0x7761_0001);
 
-    let mut b = TraceBuilder::with_capacity(mols as usize * 22);
     b.annotated_loop(BlockId(0), mols, |b, i| {
         // ~128 KB hot box of 1024 cells.
         let cell = (i * 7) % 1024;
@@ -216,17 +209,17 @@ pub(crate) fn water_spatial(scale: Scale) -> Trace {
         b.alu(Pc(0x1418), 12);
         b.store(Pc(0x141C), Addr(box_arr + cell * 128));
     });
-    b.finish()
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::helpers::collect;
     use super::*;
     use cbws_core::analysis::{collect_block_histories, DifferentialSkew};
 
     #[test]
     fn fft_has_many_distinct_differentials() {
-        let t = fft(Scale::Small);
+        let t = collect(fft, Scale::Small);
         let h = collect_block_histories(&t, 16);
         let skew = DifferentialSkew::from_histories(h.values());
         // Stage alphabet + scatter: far more vectors than stencil's one.
@@ -239,7 +232,7 @@ mod tests {
 
     #[test]
     fn lu_ncb_in_block_differentials_constant() {
-        let t = lu_ncb(Scale::Tiny);
+        let t = collect(lu_ncb, Scale::Tiny);
         let h = collect_block_histories(&t, 16);
         let diffs = h.values().next().unwrap().consecutive_differentials();
         let constant = diffs
@@ -257,7 +250,7 @@ mod tests {
 
     #[test]
     fn radix_output_advances_smoothly() {
-        let t = radix(Scale::Tiny);
+        let t = collect(radix, Scale::Tiny);
         let s = t.stats();
         assert!(s.dynamic_blocks > 0);
         assert!(s.stores > 0);
@@ -273,7 +266,10 @@ mod tests {
     fn ocean_and_cholesky_are_resident() {
         // Each array's touched footprint stays well under the 2 MB L2
         // (arrays themselves are spaced 64 MB apart).
-        for t in [ocean_cp(Scale::Tiny), cholesky(Scale::Tiny)] {
+        for t in [
+            collect(ocean_cp, Scale::Tiny),
+            collect(cholesky, Scale::Tiny),
+        ] {
             for m in t.iter().filter_map(|e| e.mem()) {
                 let off = (m.addr.0 - base(0)) % (64 << 20);
                 assert!(off < 1024 * 1024, "offset {off} exceeds residency budget");
@@ -283,7 +279,7 @@ mod tests {
 
     #[test]
     fn water_gathers_stay_semi_local() {
-        let t = water_spatial(Scale::Tiny);
+        let t = collect(water_spatial, Scale::Tiny);
         assert!(t.stats().block_ws_within(16) > 0.99);
     }
 }

@@ -33,10 +33,11 @@
 
 pub mod dsl;
 mod kernels;
+pub mod source_hash;
 pub mod trace_cache;
 pub mod trace_store;
 
-use cbws_trace::Trace;
+use cbws_trace::{Trace, TraceBuilder};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -50,15 +51,22 @@ pub enum Scale {
     /// Around 10⁶ instructions — the paper-reproduction experiments
     /// (a scaled-down stand-in for the paper's 10⁹-instruction windows).
     Full,
+    /// Roughly 12× [`Scale::Full`] (~10⁷ instructions) — streaming-replay
+    /// territory. Traces at this scale are generated frame by frame
+    /// through [`WorkloadSpec::emit`] and replayed from disk; nothing
+    /// should ever materialize one as a full in-memory `Trace`.
+    Huge,
 }
 
 impl Scale {
-    /// Picks the per-scale value of a size parameter.
+    /// Picks the per-scale value of a size parameter. `Huge` derives from
+    /// the `Full` value so every pick-style kernel scales up uniformly.
     pub(crate) fn pick(self, tiny: u64, small: u64, full: u64) -> u64 {
         match self {
             Scale::Tiny => tiny,
             Scale::Small => small,
             Scale::Full => full,
+            Scale::Huge => full.saturating_mul(12),
         }
     }
 }
@@ -69,6 +77,7 @@ impl fmt::Display for Scale {
             Scale::Tiny => f.write_str("tiny"),
             Scale::Small => f.write_str("small"),
             Scale::Full => f.write_str("full"),
+            Scale::Huge => f.write_str("huge"),
         }
     }
 }
@@ -123,13 +132,37 @@ pub struct WorkloadSpec {
     pub group: Group,
     /// One-line description of the modelled access pattern.
     pub pattern: &'static str,
-    generate: fn(Scale) -> Trace,
+    emit: fn(Scale, &mut TraceBuilder),
+    kernel_fn: &'static str,
 }
 
 impl WorkloadSpec {
-    /// Generates the kernel's trace at the given scale.
+    /// Emits the kernel's events at the given scale into `builder`.
+    ///
+    /// This is the primitive generation interface: the builder may be a
+    /// plain in-memory one (then [`generate`](WorkloadSpec::generate) is
+    /// the convenience wrapper) or a [`TraceBuilder::streaming`] sink that
+    /// flushes fixed-size chunks to disk as they complete, which is how
+    /// [`Scale::Huge`] traces are written without ever being resident.
+    pub fn emit(&self, scale: Scale, builder: &mut TraceBuilder) {
+        (self.emit)(scale, builder)
+    }
+
+    /// Generates the kernel's trace at the given scale, fully in memory.
     pub fn generate(&self, scale: Scale) -> Trace {
-        (self.generate)(scale)
+        let mut builder = TraceBuilder::new();
+        (self.emit)(scale, &mut builder);
+        builder.finish()
+    }
+
+    /// The bare name of the kernel function implementing this workload
+    /// (e.g. `"bzip2"`), used by the trace store to hash only the kernel
+    /// source a workload actually depends on.
+    pub fn kernel_fn(&self) -> &'static str {
+        self.kernel_fn
+            .rsplit(':')
+            .next()
+            .map_or(self.kernel_fn, str::trim)
     }
 }
 
@@ -151,7 +184,8 @@ macro_rules! spec {
             suite: Suite::$suite,
             group: Group::$group,
             pattern: $pattern,
-            generate: $f,
+            emit: $f,
+            kernel_fn: stringify!($f),
         }
     };
 }
@@ -458,6 +492,50 @@ mod tests {
             assert!(
                 t < s && s < f,
                 "{name}: scales not increasing ({t}, {s}, {f})"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_scale_extends_the_ladder() {
+        assert_eq!(Scale::Huge.pick(1, 2, 3), 36);
+        assert_eq!(Scale::Huge.to_string(), "huge");
+        assert_eq!(Scale::Huge.pick(0, 0, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn kernel_fn_names_are_bare_identifiers() {
+        for w in ALL {
+            let f = w.kernel_fn();
+            assert!(
+                !f.is_empty() && f.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "{}: kernel_fn {f:?} is not a bare identifier",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_emission_matches_in_memory_generation() {
+        use cbws_trace::TraceBuilder;
+        // The streaming writer path (chunked sink) must observe exactly
+        // the event sequence the in-memory path materializes.
+        for w in ALL.iter().take(4) {
+            let whole = w.generate(Scale::Tiny);
+            let streamed = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+            let sink = std::sync::Arc::clone(&streamed);
+            let mut tb = TraceBuilder::streaming(
+                1000,
+                Box::new(move |chunk| sink.lock().unwrap().extend_from_slice(chunk)),
+            );
+            w.emit(Scale::Tiny, &mut tb);
+            let total = tb.try_finish_stream().unwrap();
+            assert_eq!(total as usize, whole.len(), "{}", w.name);
+            assert_eq!(
+                streamed.lock().unwrap().as_slice(),
+                whole.events(),
+                "{} streamed emission diverged",
+                w.name
             );
         }
     }

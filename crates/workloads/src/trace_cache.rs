@@ -19,6 +19,14 @@
 //!   a byte budget (`CBWS_TRACE_CACHE_BYTES`, default 1 GiB). Eviction only
 //!   drops the cache's own reference: outstanding `Arc`s stay valid, and a
 //!   later request simply regenerates. Timing changes, results never do.
+//!
+//! This cache materializes whole `Vec<TraceEvent>` traces, so it is the
+//! wrong tool for [`Scale::Huge`]: a single huge trace can dwarf the whole
+//! byte budget before eviction can help. Huge traces belong to the
+//! persistent [`trace_store`](crate::trace_store), whose streamed replay
+//! path keeps memory bounded regardless of trace length;
+//! [`TraceCache::get`] debug-asserts against huge requests to catch the
+//! mistake early.
 
 use crate::{Scale, WorkloadSpec};
 use cbws_trace::Trace;
@@ -62,7 +70,17 @@ impl TraceCache {
     /// Returns the shared trace for `(workload, scale)`, generating it on
     /// first request. Concurrent callers for the same key block on a single
     /// generation; all receive clones of the same `Arc`.
+    ///
+    /// Debug-asserts that `scale` is not [`Scale::Huge`]: huge traces must
+    /// never be materialized in memory — replay them through the trace
+    /// store's streaming path instead (see the module docs).
     pub fn get(&self, workload: &'static WorkloadSpec, scale: Scale) -> Arc<Trace> {
+        debug_assert!(
+            scale != Scale::Huge,
+            "huge traces must stream through trace_store, not materialize in trace_cache \
+             (workload {})",
+            workload.name
+        );
         let slot = {
             let mut state = self.map.lock().unwrap_or_else(|e| e.into_inner());
             state.tick += 1;

@@ -1,161 +1,125 @@
-//! Persistent on-disk trace store.
+//! Persistent on-disk trace store with framed payloads and streamed replay.
 //!
 //! The in-process [`crate::trace_cache`] amortizes trace generation *within*
 //! one binary; every new process still regenerates all 30 kernels from the
 //! DSL before it can simulate anything. This module persists each generated
-//! trace — in the packed columnar layout of [`cbws_trace::PackedTrace`] — to
-//! a versioned, checksummed file under `CBWS_TRACE_STORE_DIR` (default:
-//! `target/trace-store/` of the workspace), so repeated sweeps, figure
-//! regenerations, and CI runs skip DSL generation entirely and replay the
-//! file zero-copy through a memory map.
+//! trace — as a sequence of independently decodable
+//! [`cbws_trace::PackedTrace`] **frames** — to a versioned, checksummed file
+//! under `CBWS_TRACE_STORE_DIR` (default: `target/trace-store/` of the
+//! workspace), so repeated sweeps, figure regenerations, and CI runs skip
+//! DSL generation entirely.
 //!
-//! # File format (version 3, little-endian)
+//! Framing is what makes trace memory O(1) in trace length end to end:
 //!
-//! | field | size | contents |
-//! |---|---|---|
-//! | magic | 8 | `b"CBWSTRCE"` |
-//! | format version | 4 | `u32`, currently 3 |
-//! | workload hash | 8 | FNV-1a over the sources this workload's trace depends on ([`workload_hash`]) |
-//! | scale | 1 | 0 = tiny, 1 = small, 2 = full |
-//! | name length | 2 | `u16` |
-//! | name | var | workload name, UTF-8 |
-//! | column checksums | 6 × 8 | FNV-1a of each payload column (`counts`, `tags`, `pcs`, `addr_deltas`, `alu_counts`, `block_ids`) |
-//! | payload length | 8 | `u64` |
-//! | payload | var | the exact [`PackedTrace::payload`] bytes |
+//! * **Writing** streams. [`TraceStore::get`] misses feed the kernel's
+//!   emitter into a [`cbws_trace::TraceBuilder`] in streaming mode; every
+//!   completed chunk of `frame_events` events is packed and flushed to disk
+//!   immediately, so generating a `Scale::Huge` trace never holds more than
+//!   one frame of events in memory.
+//! * **Replaying** can stream too. [`TraceStore::replay_source`] serves
+//!   files larger than a caller-chosen byte threshold as a
+//!   [`cbws_trace::StreamedTrace`] whose cursor reads frames through a
+//!   double-buffered read-ahead thread, instead of mapping the whole file.
+//!   Smaller files load zero-copy through a memory map as before.
+//!
+//! # File format (version 4, little-endian)
+//!
+//! | section | field | size | contents |
+//! |---|---|---|---|
+//! | header | magic | 8 | `b"CBWSTRCE"` |
+//! | | format version | 4 | `u32`, currently 4 |
+//! | | workload hash | 8 | FNV-1a over the sources this workload's trace depends on ([`workload_hash`]) |
+//! | | scale | 1 | 0 = tiny, 1 = small, 2 = full, 3 = huge |
+//! | | name length | 2 | `u16` |
+//! | | name | var | workload name, UTF-8 |
+//! | | frame events | 4 | `u32`, events per frame the writer used (informational) |
+//! | frames | payloads | var | N concatenated [`PackedTrace::payload`] blobs, each decodable on its own (delta predictors reset per frame) |
+//! | footer | per frame | N × 24 | `len: u64`, `events: u64`, FNV-1a checksum of the frame payload |
+//! | trailer | total events | 8 | `u64` |
+//! | | frame count | 8 | `u64` |
+//! | | footer checksum | 8 | FNV-1a of the footer bytes |
+//!
+//! The fixed-size trailer at EOF locates the footer, so the writer never
+//! needs to know the frame count up front and readers find every frame
+//! with three bounded reads (header, trailer, footer).
 //!
 //! # Invalidation and fallback
 //!
 //! A file is only served when the magic, version, key (workload + scale),
-//! workload hash, **and every column checksum** match. The workload hash
-//! covers the DSL core plus the workload's own suite source file
-//! ([`workload_hash`]), so editing one suite's kernels invalidates only
-//! that suite's traces — the rest of the store stays warm. (Version 1
-//! hashed *all* kernel sources into every file, so any kernel edit nuked
-//! the whole store.) Any mismatch — corruption, version skew, hash skew —
-//! is counted as `trace_store.invalidate`, reported with a `warn!`, and
-//! falls back to regeneration (which rewrites the file); it never panics
-//! and never changes simulation results.
+//! workload hash, footer checksum, **and every frame checksum** match.
+//! The workload hash has per-workload granularity ([`workload_hash`]):
+//! editing one kernel's `fn` body invalidates only the workloads emitting
+//! through it — the rest of the store stays warm. Any mismatch —
+//! corruption, version skew, hash skew — is counted as
+//! `trace_store.invalidate`, reported with a `warn!`, and falls back to
+//! regeneration (which rewrites the file); it never panics and never
+//! changes simulation results. Streamed opens run a bounded sequential
+//! validation pass (one frame resident at a time) before handing out a
+//! cursor, so a corrupt frame is caught at open — not mid-replay — and
+//! triggers the same regeneration path.
 //!
 //! # Telemetry
 //!
 //! `trace_store.hit` / `.miss` / `.write` / `.invalidate` counters, plus
-//! `trace_store.load_us` (time to map + verify + adopt a stored trace) and
-//! `trace_store.generate_us` (time to generate + pack on a miss). With a
-//! span collector attached ([`TraceStore::set_spans`]), each store access
-//! additionally emits `trace.load` / `trace.validate` / `trace.generate` /
-//! `trace.write` spans on the calling thread's timeline lane.
+//! `trace_store.load_us` (time to adopt a stored trace) and
+//! `trace_store.generate_us` (time to stream-generate on a miss). Each
+//! drained streamed cursor reports `trace.stream.replays` / `.frames` /
+//! `.bytes` / `.stalls` / `.stall_us` counters and a `trace.stream` span
+//! carrying the same numbers as attributes. With a span collector attached
+//! ([`TraceStore::set_spans`]), store accesses additionally emit
+//! `trace.load` / `trace.validate` / `trace.generate` / `trace.write`
+//! spans on the calling thread's timeline lane.
 
-use crate::{Scale, Suite, WorkloadSpec};
+use crate::{Scale, WorkloadSpec};
 use cbws_telemetry::{warn, Spans, Telemetry};
-use cbws_trace::PackedTrace;
+use cbws_trace::{
+    FrameEntry, FramedTrace, PackedTrace, ReplaySource, StreamObserver, StreamedTrace, Trace,
+    TraceBuilder, TraceEvent,
+};
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::Write as _;
+use std::io::{Read, Seek, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+pub use crate::source_hash::workload_hash;
+pub use cbws_trace::fnv1a;
+
 /// Magic bytes opening every trace-store file.
 pub const MAGIC: &[u8; 8] = b"CBWSTRCE";
 
-/// Current file-format version. Version 2 replaced the whole-binary DSL
-/// hash with the per-workload [`workload_hash`]; version 3 switched the
-/// payload's operand lanes to LEB128 varints (`cbws_trace::varint`), so
-/// v2 payloads no longer parse and must be regenerated.
-pub const FORMAT_VERSION: u32 = 3;
+/// Current file-format version. Version 4 replaced the single monolithic
+/// payload (+ per-column checksums) with framed payloads, a frame footer,
+/// and a fixed trailer, enabling streamed writes and streamed replay; v3
+/// files no longer parse and are regenerated.
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Environment variable selecting the store directory.
 pub const DIR_ENV: &str = "CBWS_TRACE_STORE_DIR";
 
-/// Number of per-column checksums in the header (mirrors
-/// [`PackedTrace::columns`]).
-const N_COLUMNS: usize = 6;
+/// Environment variable overriding the events-per-frame the writer uses.
+pub const FRAME_EVENTS_ENV: &str = "CBWS_TRACE_FRAME_EVENTS";
 
-/// FNV-1a 64-bit hash — the store's checksum function. Not cryptographic;
-/// it detects corruption and version skew, like the xxhash family used by
-/// columnar formats, with no dependency.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// Default events per frame. At the packed format's ~6 bytes/event this
+/// keeps frames in the hundreds of kilobytes: big enough to amortize
+/// per-frame decode setup, small enough that one in-flight frame plus one
+/// being replayed bound streamed memory to a few megabytes.
+pub const DEFAULT_FRAME_EVENTS: usize = 65_536;
 
-/// Sources every workload's trace depends on: the DSL core and the kernel
-/// plumbing shared by all suites.
-const COMMON_SOURCES: &[(&str, &str)] = &[
-    ("lib.rs", include_str!("lib.rs")),
-    ("dsl.rs", include_str!("dsl.rs")),
-    ("kernels/mod.rs", include_str!("kernels/mod.rs")),
-    ("kernels/helpers.rs", include_str!("kernels/helpers.rs")),
-];
+/// Bytes per footer entry (`len`, `events`, `checksum`).
+const FOOTER_ENTRY_LEN: u64 = 24;
 
-/// The source file holding `suite`'s kernel definitions.
-fn suite_source(suite: Suite) -> (&'static str, &'static str) {
-    match suite {
-        Suite::Spec2006 => ("kernels/spec.rs", include_str!("kernels/spec.rs")),
-        Suite::Parboil => ("kernels/parboil.rs", include_str!("kernels/parboil.rs")),
-        Suite::Splash => ("kernels/splash.rs", include_str!("kernels/splash.rs")),
-        Suite::Parsec => ("kernels/parsec.rs", include_str!("kernels/parsec.rs")),
-        Suite::Rodinia => ("kernels/rodinia.rs", include_str!("kernels/rodinia.rs")),
-        Suite::Linpack => ("kernels/linpack.rs", include_str!("kernels/linpack.rs")),
-    }
-}
-
-/// Folds one source file into an FNV-1a state. The file is framed with its
-/// name (NUL-separated) so content moving between files still changes the
-/// hash.
-fn fnv_fold(mut h: u64, name: &str, body: &str) -> u64 {
-    for &b in name.as_bytes().iter().chain(&[0u8]).chain(body.as_bytes()) {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Hash of the sources `workload`'s trace depends on, embedded at compile
-/// time: the shared DSL core, the workload's own suite source file, and the
-/// workload name. Stored traces carry this hash and are invalidated when it
-/// changes — so editing `kernels/rodinia.rs` regenerates only the Rodinia
-/// traces while every other suite's files keep hitting. The per-suite hash
-/// states are folded once per process and cached.
-pub fn workload_hash(workload: &WorkloadSpec) -> u64 {
-    fn suite_state(suite: Suite) -> u64 {
-        const SUITES: [Suite; 6] = [
-            Suite::Spec2006,
-            Suite::Parboil,
-            Suite::Splash,
-            Suite::Parsec,
-            Suite::Rodinia,
-            Suite::Linpack,
-        ];
-        static STATES: OnceLock<[u64; 6]> = OnceLock::new();
-        let states = STATES.get_or_init(|| {
-            let mut common: u64 = 0xcbf2_9ce4_8422_2325;
-            for (name, body) in COMMON_SOURCES {
-                common = fnv_fold(common, name, body);
-            }
-            SUITES.map(|s| {
-                let (name, body) = suite_source(s);
-                fnv_fold(common, name, body)
-            })
-        });
-        let idx = SUITES
-            .iter()
-            .position(|&s| s == suite)
-            .expect("every suite is enumerated");
-        states[idx]
-    }
-    fnv_fold(suite_state(workload.suite), "workload", workload.name)
-}
+/// Bytes in the fixed EOF trailer (`total_events`, `frame_count`,
+/// `footer_checksum`).
+const TRAILER_LEN: u64 = 24;
 
 fn scale_code(scale: Scale) -> u8 {
     match scale {
         Scale::Tiny => 0,
         Scale::Small => 1,
         Scale::Full => 2,
+        Scale::Huge => 3,
     }
 }
 
@@ -260,127 +224,344 @@ fn invalid<T>(reason: impl Into<String>) -> Result<T, LoadError> {
     Err(LoadError::Invalid(reason.into()))
 }
 
-/// Parses and fully verifies a store file, returning the packed trace
-/// backed by the (usually memory-mapped) file bytes.
-fn load_file(
+/// Everything the header, footer, and trailer say about a store file,
+/// gathered with three bounded reads — no frame data touched.
+struct FileMeta {
+    /// Absolute byte offset of the first frame.
+    header_len: u64,
+    /// Frame table with absolute file offsets.
+    entries: Vec<FrameEntry>,
+    /// Events across all frames.
+    total_events: usize,
+    /// Whole-file size the metadata was validated against.
+    file_len: u64,
+}
+
+/// Parses and verifies a store file's header, footer, and trailer against
+/// the expected key. Frame payloads are *not* read — callers verify them
+/// while adopting the frames ([`load_memory`]) or in the streamed
+/// validation pass ([`validate_frames`]).
+fn read_meta(
     path: &Path,
     want_hash: u64,
     want_name: &str,
     want_scale: Scale,
-    spans: &Spans,
-) -> Result<PackedTrace, LoadError> {
-    let data = match read_file_shared(path) {
-        Ok(d) => d,
+) -> Result<FileMeta, LoadError> {
+    let mut f = match File::open(path) {
+        Ok(f) => f,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(LoadError::Missing),
         Err(e) => return invalid(format!("unreadable: {e}")),
     };
-    let bytes: &[u8] = (*data).as_ref();
-    let mut at = 0usize;
-    let take = |at: &mut usize, n: usize| -> Result<&[u8], LoadError> {
-        let end = at.checked_add(n).filter(|&e| e <= bytes.len());
-        match end {
-            Some(end) => {
-                let s = &bytes[*at..end];
-                *at = end;
-                Ok(s)
-            }
-            None => invalid(format!("truncated header at byte {at}")),
-        }
+    let file_len = match f.metadata() {
+        Ok(m) => m.len(),
+        Err(e) => return invalid(format!("unreadable: {e}")),
     };
-    if take(&mut at, MAGIC.len())? != MAGIC {
+    let mut fixed = [0u8; 23];
+    if f.read_exact(&mut fixed).is_err() {
+        return invalid("truncated header");
+    }
+    if &fixed[0..8] != MAGIC {
         return invalid("bad magic");
     }
-    let version = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap());
+    let version = u32::from_le_bytes(fixed[8..12].try_into().unwrap());
     if version != FORMAT_VERSION {
         return invalid(format!(
             "format version {version}, this binary writes {FORMAT_VERSION}"
         ));
     }
-    let file_hash = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+    let file_hash = u64::from_le_bytes(fixed[12..20].try_into().unwrap());
     if file_hash != want_hash {
         return invalid(format!(
             "workload hash {file_hash:#018x} does not match this binary's {want_hash:#018x} \
              (this workload's sources changed)"
         ));
     }
-    let scale = take(&mut at, 1)?[0];
-    let name_len = usize::from(u16::from_le_bytes(take(&mut at, 2)?.try_into().unwrap()));
-    let name = take(&mut at, name_len)?;
+    let scale = fixed[20];
+    let name_len = usize::from(u16::from_le_bytes(fixed[21..23].try_into().unwrap()));
+    let mut name = vec![0u8; name_len];
+    if f.read_exact(&mut name).is_err() {
+        return invalid("truncated header (name)");
+    }
     if scale != scale_code(want_scale) || name != want_name.as_bytes() {
         return invalid("file key does not match its path");
     }
-    let mut checksums = [0u64; N_COLUMNS];
-    for c in &mut checksums {
-        *c = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
+    let mut frame_events = [0u8; 4];
+    if f.read_exact(&mut frame_events).is_err() {
+        return invalid("truncated header (frame events)");
     }
-    let payload_len = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
-    let payload_len = match usize::try_from(payload_len) {
-        Ok(n) if at + n == bytes.len() => n,
-        _ => return invalid("payload length disagrees with file size"),
-    };
-    let packed = match PackedTrace::from_shared_payload(data.clone(), at, payload_len) {
-        Ok(p) => p,
-        Err(e) => return invalid(format!("payload rejected: {e}")),
-    };
-    let _validate = spans.begin("trace.validate");
-    for ((column, col_bytes), &want) in packed.columns().iter().zip(&checksums) {
-        let got = fnv1a(col_bytes);
-        if got != want {
+    let header_len = 23 + name_len as u64 + 4;
+
+    // Trailer at EOF locates the footer.
+    if file_len < header_len + TRAILER_LEN {
+        return invalid("truncated: no room for trailer");
+    }
+    let mut trailer = [0u8; TRAILER_LEN as usize];
+    if f.seek(SeekFrom::End(-(TRAILER_LEN as i64))).is_err() || f.read_exact(&mut trailer).is_err()
+    {
+        return invalid("unreadable trailer");
+    }
+    let total_events = u64::from_le_bytes(trailer[0..8].try_into().unwrap());
+    let frame_count = u64::from_le_bytes(trailer[8..16].try_into().unwrap());
+    let footer_fnv = u64::from_le_bytes(trailer[16..24].try_into().unwrap());
+    let footer_len = match frame_count.checked_mul(FOOTER_ENTRY_LEN) {
+        Some(n) if n + TRAILER_LEN <= file_len - header_len => n,
+        _ => {
             return invalid(format!(
-                "column `{column}` checksum {got:#018x} != stored {want:#018x}"
+                "frame count {frame_count} disagrees with file size"
+            ))
+        }
+    };
+    let footer_start = file_len - TRAILER_LEN - footer_len;
+
+    let mut footer = vec![0u8; footer_len as usize];
+    if f.seek(SeekFrom::Start(footer_start)).is_err() || f.read_exact(&mut footer).is_err() {
+        return invalid("unreadable footer");
+    }
+    if fnv1a(&footer) != footer_fnv {
+        return invalid("footer checksum mismatch");
+    }
+    let mut entries = Vec::with_capacity(frame_count as usize);
+    let mut offset = header_len;
+    let mut events_sum: u64 = 0;
+    for (i, chunk) in footer.chunks_exact(FOOTER_ENTRY_LEN as usize).enumerate() {
+        let len = u64::from_le_bytes(chunk[0..8].try_into().unwrap());
+        let events = u64::from_le_bytes(chunk[8..16].try_into().unwrap());
+        let checksum = u64::from_le_bytes(chunk[16..24].try_into().unwrap());
+        let end = match offset.checked_add(len) {
+            Some(e) if e <= footer_start => e,
+            _ => return invalid(format!("frame {i} overruns the footer")),
+        };
+        entries.push(FrameEntry {
+            offset,
+            len,
+            events,
+            checksum,
+        });
+        offset = end;
+        events_sum = events_sum.saturating_add(events);
+    }
+    if offset != footer_start {
+        return invalid("frame lengths disagree with file size");
+    }
+    if events_sum != total_events {
+        return invalid("frame event counts disagree with the trailer total");
+    }
+    let total_events = match usize::try_from(total_events) {
+        Ok(n) => n,
+        Err(_) => return invalid("event count too large for this platform"),
+    };
+    Ok(FileMeta {
+        header_len,
+        entries,
+        total_events,
+        file_len,
+    })
+}
+
+/// Fully loads and verifies a store file into memory, returning the framed
+/// trace backed by the (usually memory-mapped) file bytes.
+fn load_memory(
+    path: &Path,
+    want_hash: u64,
+    want_name: &str,
+    want_scale: Scale,
+    spans: &Spans,
+) -> Result<FramedTrace, LoadError> {
+    let meta = read_meta(path, want_hash, want_name, want_scale)?;
+    let data = match read_file_shared(path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(LoadError::Missing),
+        Err(e) => return invalid(format!("unreadable: {e}")),
+    };
+    if (*data).as_ref().len() as u64 != meta.file_len {
+        return invalid("file changed while loading");
+    }
+    let _validate = spans.begin("trace.validate");
+    let mut frames = Vec::with_capacity(meta.entries.len());
+    for (i, e) in meta.entries.iter().enumerate() {
+        let (off, len) = (e.offset as usize, e.len as usize);
+        let payload = &(*data).as_ref()[off..off + len];
+        let got = fnv1a(payload);
+        if got != e.checksum {
+            return invalid(format!(
+                "frame {i} checksum {got:#018x} != stored {:#018x}",
+                e.checksum
             ));
         }
+        let packed = match PackedTrace::from_shared_payload(data.clone(), off, len) {
+            Ok(p) => p,
+            Err(err) => return invalid(format!("frame {i} rejected: {err}")),
+        };
+        if packed.event_count() as u64 != e.events {
+            return invalid(format!("frame {i} event count disagrees with the footer"));
+        }
+        frames.push(packed);
     }
-    Ok(packed)
+    let framed = FramedTrace::from_frames(frames);
+    debug_assert_eq!(framed.event_count(), meta.total_events);
+    Ok(framed)
 }
 
-/// Serializes a packed trace into the version-2 file bytes.
-fn encode_file(hash: u64, name: &str, scale: Scale, packed: &PackedTrace) -> Vec<u8> {
-    let payload = packed.payload();
-    let mut out = Vec::with_capacity(64 + name.len() + payload.len());
-    out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-    out.extend_from_slice(&hash.to_le_bytes());
-    out.push(scale_code(scale));
-    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
-    out.extend_from_slice(name.as_bytes());
-    for (_, col) in packed.columns() {
-        out.extend_from_slice(&fnv1a(col).to_le_bytes());
+/// The bounded sequential validation pass a streamed open runs before
+/// handing out cursors: one frame resident at a time, checksum + full
+/// parse + event-count check. `Err` carries a human-readable reason.
+fn validate_frames(path: &Path, meta: &FileMeta) -> Result<(), String> {
+    let mut f = File::open(path).map_err(|e| format!("unreadable: {e}"))?;
+    let len = f.metadata().map_err(|e| format!("unreadable: {e}"))?.len();
+    if len != meta.file_len {
+        return Err("file changed while validating".into());
     }
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    out.extend_from_slice(payload);
-    out
+    f.seek(SeekFrom::Start(meta.header_len))
+        .map_err(|e| format!("unseekable: {e}"))?;
+    for (i, e) in meta.entries.iter().enumerate() {
+        let mut buf = vec![0u8; e.len as usize];
+        f.read_exact(&mut buf)
+            .map_err(|err| format!("frame {i} unreadable: {err}"))?;
+        let got = fnv1a(&buf);
+        if got != e.checksum {
+            return Err(format!(
+                "frame {i} checksum {got:#018x} != stored {:#018x}",
+                e.checksum
+            ));
+        }
+        let packed = PackedTrace::from_payload(buf.into_boxed_slice())
+            .map_err(|err| format!("frame {i} rejected: {err}"))?;
+        if packed.event_count() as u64 != e.events {
+            return Err(format!("frame {i} event count disagrees with the footer"));
+        }
+    }
+    Ok(())
 }
 
-type Slot = Arc<OnceLock<Arc<PackedTrace>>>;
+/// Packs one chunk of generator output as a standalone frame.
+fn pack_frame(chunk: &[TraceEvent]) -> PackedTrace {
+    PackedTrace::from_trace(&Trace::from_events(chunk.to_vec()))
+}
 
-/// A persistent, keyed store of packed traces. See the module docs.
+/// Streaming-write state shared with the builder's chunk sink: frames are
+/// packed and flushed as they complete, and only their footer entries are
+/// retained in memory.
+struct FrameSink {
+    file: File,
+    entries: Vec<FrameEntry>,
+    offset: u64,
+    error: Option<std::io::Error>,
+}
+
+impl FrameSink {
+    fn push_frame(&mut self, chunk: &[TraceEvent]) {
+        if self.error.is_some() || chunk.is_empty() {
+            return;
+        }
+        let packed = pack_frame(chunk);
+        let payload = packed.payload();
+        if let Err(e) = self.file.write_all(payload) {
+            self.error = Some(e);
+            return;
+        }
+        self.entries.push(FrameEntry {
+            offset: self.offset,
+            len: payload.len() as u64,
+            events: packed.event_count() as u64,
+            checksum: fnv1a(payload),
+        });
+        self.offset += payload.len() as u64;
+    }
+}
+
+/// Generates frames in memory through the same streaming chunker the
+/// on-disk writer uses — the fallback when the store directory is not
+/// writable, so `get` still serves a framed trace without persistence.
+fn generate_frames_in_memory(
+    workload: &WorkloadSpec,
+    scale: Scale,
+    frame_events: usize,
+) -> FramedTrace {
+    let frames: Arc<Mutex<Vec<PackedTrace>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&frames);
+    let mut tb = TraceBuilder::streaming(
+        frame_events,
+        Box::new(move |chunk| {
+            if !chunk.is_empty() {
+                sink.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(pack_frame(chunk));
+            }
+        }),
+    );
+    workload.emit(scale, &mut tb);
+    tb.try_finish_stream()
+        .expect("kernel emitters produce well-formed traces");
+    let frames = Arc::try_unwrap(frames)
+        .expect("builder dropped its sink")
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    FramedTrace::from_frames(frames)
+}
+
+type Slot = Arc<OnceLock<Arc<FramedTrace>>>;
+
+/// A memoized streamed-open decision: `Some` holds the shared streamed
+/// handle, `None` means the in-memory path serves this key.
+type StreamDecision = Option<Arc<StreamedTrace>>;
+
+/// A persistent, keyed store of framed packed traces. See the module docs.
 ///
 /// One instance fronts one directory. Within the process it also memoizes
 /// loaded traces per `(workload, scale)` (packed traces are ~4× smaller
 /// than the `Vec<TraceEvent>` they replace, and memory-mapped files are
-/// reclaimable clean pages, so no eviction budget is needed).
+/// reclaimable clean pages, so no eviction budget is needed), and memoizes
+/// the streamed-or-resident decision [`TraceStore::replay_source`] makes.
 pub struct TraceStore {
     dir: PathBuf,
     /// XORed into every [`workload_hash`]; always 0 outside tests, which
     /// use it to simulate a binary built from different sources.
     hash_salt: u64,
-    telemetry: Mutex<Telemetry>,
-    spans: Mutex<Spans>,
+    /// Events per frame the writer flushes; from [`FRAME_EVENTS_ENV`] or
+    /// [`DEFAULT_FRAME_EVENTS`], overridable per store for tests.
+    frame_events: usize,
+    telemetry: Arc<Mutex<Telemetry>>,
+    spans: Arc<Mutex<Spans>>,
     map: Mutex<HashMap<(&'static str, Scale), Slot>>,
+    /// Memoized streamed-open decisions: `Some` holds the shared streamed
+    /// handle, `None` records that the file was below the caller's
+    /// threshold (or streaming failed) and the in-memory path serves it.
+    streamed: Mutex<HashMap<(&'static str, Scale), StreamDecision>>,
+    /// Serializes streamed opens so concurrent workers validate or
+    /// regenerate a file once, mirroring what the `OnceLock` slots do for
+    /// in-memory loads.
+    stream_gate: Mutex<()>,
 }
 
 impl TraceStore {
     /// A store over `dir` keyed by this binary's per-workload
-    /// [`workload_hash`].
+    /// [`workload_hash`]. Frame size comes from [`FRAME_EVENTS_ENV`] when
+    /// set (and positive), else [`DEFAULT_FRAME_EVENTS`].
     pub fn at(dir: impl Into<PathBuf>) -> TraceStore {
+        let frame_events = std::env::var(FRAME_EVENTS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_FRAME_EVENTS);
         TraceStore {
             dir: dir.into(),
             hash_salt: 0,
-            telemetry: Mutex::new(Telemetry::disabled()),
-            spans: Mutex::new(Spans::disabled()),
+            frame_events,
+            telemetry: Arc::new(Mutex::new(Telemetry::disabled())),
+            spans: Arc::new(Mutex::new(Spans::disabled())),
             map: Mutex::new(HashMap::new()),
+            streamed: Mutex::new(HashMap::new()),
+            stream_gate: Mutex::new(()),
         }
+    }
+
+    /// Overrides the events-per-frame the writer flushes (must be > 0).
+    /// Tests use tiny frames to exercise multi-frame files at `Scale::Tiny`
+    /// without env-var races.
+    pub fn with_frame_events(mut self, frame_events: usize) -> TraceStore {
+        assert!(frame_events > 0, "frame_events must be positive");
+        self.frame_events = frame_events;
+        self
     }
 
     /// The directory this store reads and writes.
@@ -388,7 +569,14 @@ impl TraceStore {
         &self.dir
     }
 
-    /// Routes the store's counters (`trace_store.*`) to `telemetry`.
+    /// Events per frame newly written files will use.
+    pub fn frame_events(&self) -> usize {
+        self.frame_events
+    }
+
+    /// Routes the store's counters (`trace_store.*`, `trace.stream.*`) to
+    /// `telemetry`. Streamed cursors created before this call report to the
+    /// new sink too — the observer reads the current handle at drop time.
     pub fn set_telemetry(&self, telemetry: Telemetry) {
         *self.telemetry.lock().unwrap_or_else(|e| e.into_inner()) = telemetry;
     }
@@ -414,10 +602,11 @@ impl TraceStore {
         self.dir.join(format!("{name}-{scale}.cbwstrace"))
     }
 
-    /// The packed trace for `(workload, scale)`: from process memory, else
-    /// from a verified store file, else generated (and written back).
-    /// Concurrent callers for one key block on a single load/generation.
-    pub fn get(&self, workload: &'static WorkloadSpec, scale: Scale) -> Arc<PackedTrace> {
+    /// The in-memory framed trace for `(workload, scale)`: from process
+    /// memory, else from a verified store file, else stream-generated to
+    /// disk and adopted. Concurrent callers for one key block on a single
+    /// load/generation.
+    pub fn get(&self, workload: &'static WorkloadSpec, scale: Scale) -> Arc<FramedTrace> {
         let slot = {
             let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
             map.entry((workload.name, scale))
@@ -428,28 +617,101 @@ impl TraceStore {
             .clone()
     }
 
+    /// Picks how `(workload, scale)` should be replayed: resident in memory
+    /// (small traces, or already loaded) or streamed from disk through a
+    /// read-ahead cursor (store files larger than `stream_threshold_bytes`).
+    ///
+    /// The streamed path never materializes the trace: a missing or invalid
+    /// file is stream-regenerated frame by frame, an existing file passes a
+    /// bounded validation pass, and the returned
+    /// [`cbws_trace::StreamedTrace`] reads one frame at a time during
+    /// replay. Either way the replayed events are identical to the
+    /// in-memory path. The decision is memoized per key for the life of the
+    /// process (first caller's threshold wins).
+    pub fn replay_source(
+        &self,
+        workload: &'static WorkloadSpec,
+        scale: Scale,
+        stream_threshold_bytes: u64,
+    ) -> ReplaySource {
+        // Already resident: replaying from memory is free.
+        if let Some(t) = self.memoized(workload.name, scale) {
+            return ReplaySource::Memory(t);
+        }
+        if let Some(decision) = self.streamed_decision(workload.name, scale) {
+            return self.decided(workload, scale, decision);
+        }
+        let gate = self.stream_gate.lock().unwrap_or_else(|e| e.into_inner());
+        // Double-check: another worker may have decided while we waited.
+        if let Some(decision) = self.streamed_decision(workload.name, scale) {
+            drop(gate);
+            return self.decided(workload, scale, decision);
+        }
+        let decision = self.open_streamed_or_generate(workload, scale, stream_threshold_bytes);
+        self.streamed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert((workload.name, scale), decision.clone());
+        drop(gate);
+        self.decided(workload, scale, decision)
+    }
+
+    fn decided(
+        &self,
+        workload: &'static WorkloadSpec,
+        scale: Scale,
+        decision: Option<Arc<StreamedTrace>>,
+    ) -> ReplaySource {
+        match decision {
+            Some(s) => ReplaySource::Streamed(s),
+            None => ReplaySource::Memory(self.get(workload, scale)),
+        }
+    }
+
+    fn memoized(&self, name: &'static str, scale: Scale) -> Option<Arc<FramedTrace>> {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        map.get(&(name, scale)).and_then(|s| s.get().cloned())
+    }
+
+    fn streamed_decision(
+        &self,
+        name: &'static str,
+        scale: Scale,
+    ) -> Option<Option<Arc<StreamedTrace>>> {
+        self.streamed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&(name, scale))
+            .cloned()
+    }
+
     /// Drops the in-process memoization (files stay). Subsequent `get`s
     /// reload from disk — used by benches to measure warm-disk loads and by
     /// tests to simulate a fresh process.
     pub fn drop_memory(&self) {
         self.map.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.streamed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
     }
 
-    fn load_or_generate(&self, workload: &'static WorkloadSpec, scale: Scale) -> PackedTrace {
+    fn load_or_generate(&self, workload: &'static WorkloadSpec, scale: Scale) -> FramedTrace {
         let telemetry = self.telemetry();
         let spans = self.spans();
         let hash = workload_hash(workload) ^ self.hash_salt;
         let path = self.path_for(workload.name, scale);
         let started = Instant::now();
-        let load_span = spans.begin("trace.load");
-        load_span.attr("workload", workload.name);
-        let loaded = load_file(&path, hash, workload.name, scale, &spans);
-        drop(load_span);
+        let loaded = {
+            let load_span = spans.begin("trace.load");
+            load_span.attr("workload", workload.name);
+            load_memory(&path, hash, workload.name, scale, &spans)
+        };
         match loaded {
-            Ok(packed) => {
+            Ok(framed) => {
                 telemetry.count("trace_store.hit", 1);
                 telemetry.count("trace_store.load_us", started.elapsed().as_micros() as u64);
-                return packed;
+                return framed;
             }
             Err(LoadError::Missing) => {
                 telemetry.count("trace_store.miss", 1);
@@ -463,42 +725,239 @@ impl TraceStore {
                 let _ = std::fs::remove_file(&path);
             }
         }
-        let started = Instant::now();
-        let gen_span = spans.begin("trace.generate");
-        gen_span.attr("workload", workload.name);
-        let packed = PackedTrace::from_trace(&workload.generate(scale));
-        drop(gen_span);
-        telemetry.count(
-            "trace_store.generate_us",
-            started.elapsed().as_micros() as u64,
-        );
-        let write_span = spans.begin("trace.write");
-        match self.write_atomic(&path, &encode_file(hash, workload.name, scale, &packed)) {
-            Ok(()) => telemetry.count("trace_store.write", 1),
-            Err(e) => warn!(
-                "[trace-store] cannot write {}: {e}; continuing without persistence",
-                path.display()
-            ),
+        match self.generate_file(workload, scale, hash, &path) {
+            Ok(_) => {
+                let adopted = {
+                    let load_span = spans.begin("trace.load");
+                    load_span.attr("workload", workload.name);
+                    load_memory(&path, hash, workload.name, scale, &spans)
+                };
+                match adopted {
+                    Ok(framed) => framed,
+                    Err(_) => {
+                        warn!(
+                            "[trace-store] just-written {} failed to load back; \
+                             serving from memory",
+                            path.display()
+                        );
+                        generate_frames_in_memory(workload, scale, self.frame_events)
+                    }
+                }
+            }
+            Err(e) => {
+                warn!(
+                    "[trace-store] cannot write {}: {e}; continuing without persistence",
+                    path.display()
+                );
+                generate_frames_in_memory(workload, scale, self.frame_events)
+            }
         }
-        drop(write_span);
-        packed
     }
 
-    /// Writes `bytes` to `path` via a temporary file + rename, so readers
-    /// never observe a half-written store file.
-    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    /// Stream-generates `(workload, scale)` straight to its store file:
+    /// header first, frames flushed as the kernel emits them, footer +
+    /// trailer on completion, then an atomic rename into place. Peak memory
+    /// is one frame regardless of trace length.
+    fn generate_file(
+        &self,
+        workload: &'static WorkloadSpec,
+        scale: Scale,
+        hash: u64,
+        path: &Path,
+    ) -> std::io::Result<FileMeta> {
+        let telemetry = self.telemetry();
+        let spans = self.spans();
         std::fs::create_dir_all(&self.dir)?;
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        let result = (|| {
-            let mut f = File::create(&tmp)?;
-            f.write_all(bytes)?;
-            f.sync_all()?;
-            std::fs::rename(&tmp, path)
+        let started = Instant::now();
+        let result = (|| -> std::io::Result<FileMeta> {
+            let mut header = Vec::with_capacity(32 + workload.name.len());
+            header.extend_from_slice(MAGIC);
+            header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+            header.extend_from_slice(&hash.to_le_bytes());
+            header.push(scale_code(scale));
+            header.extend_from_slice(&(workload.name.len() as u16).to_le_bytes());
+            header.extend_from_slice(workload.name.as_bytes());
+            header.extend_from_slice(&(self.frame_events as u32).to_le_bytes());
+            let header_len = header.len() as u64;
+
+            let mut file = File::create(&tmp)?;
+            file.write_all(&header)?;
+            let sink = Arc::new(Mutex::new(FrameSink {
+                file,
+                entries: Vec::new(),
+                offset: header_len,
+                error: None,
+            }));
+
+            let gen_span = spans.begin("trace.generate");
+            gen_span.attr("workload", workload.name);
+            let chunk_sink = Arc::clone(&sink);
+            let mut tb = TraceBuilder::streaming(
+                self.frame_events,
+                Box::new(move |chunk| {
+                    chunk_sink
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push_frame(chunk);
+                }),
+            );
+            workload.emit(scale, &mut tb);
+            let total = tb.try_finish_stream().map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("kernel emitted a malformed trace: {e}"),
+                )
+            })?;
+            drop(gen_span);
+            telemetry.count(
+                "trace_store.generate_us",
+                started.elapsed().as_micros() as u64,
+            );
+
+            let sink = match Arc::try_unwrap(sink) {
+                Ok(s) => s.into_inner().unwrap_or_else(|e| e.into_inner()),
+                Err(_) => unreachable!("builder dropped its sink"),
+            };
+            if let Some(e) = sink.error {
+                return Err(e);
+            }
+            debug_assert_eq!(
+                sink.entries.iter().map(|e| e.events).sum::<u64>(),
+                total,
+                "flushed frames must account for every emitted event"
+            );
+
+            let write_span = spans.begin("trace.write");
+            let mut tail = Vec::with_capacity(sink.entries.len() * FOOTER_ENTRY_LEN as usize + 24);
+            for e in &sink.entries {
+                tail.extend_from_slice(&e.len.to_le_bytes());
+                tail.extend_from_slice(&e.events.to_le_bytes());
+                tail.extend_from_slice(&e.checksum.to_le_bytes());
+            }
+            let footer_fnv = fnv1a(&tail);
+            tail.extend_from_slice(&total.to_le_bytes());
+            tail.extend_from_slice(&(sink.entries.len() as u64).to_le_bytes());
+            tail.extend_from_slice(&footer_fnv.to_le_bytes());
+            let mut file = sink.file;
+            file.write_all(&tail)?;
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&tmp, path)?;
+            drop(write_span);
+            telemetry.count("trace_store.write", 1);
+
+            Ok(FileMeta {
+                header_len,
+                entries: sink.entries,
+                total_events: total as usize,
+                file_len: sink.offset + tail.len() as u64,
+            })
         })();
         if result.is_err() {
             let _ = std::fs::remove_file(&tmp);
         }
         result
+    }
+
+    /// The slow path of [`TraceStore::replay_source`]: ensure a valid store
+    /// file exists (stream-generating if needed), then decide by size.
+    /// `Some` is a validated streamed handle; `None` means "serve from
+    /// memory" (below threshold, or streaming infrastructure failed).
+    fn open_streamed_or_generate(
+        &self,
+        workload: &'static WorkloadSpec,
+        scale: Scale,
+        stream_threshold_bytes: u64,
+    ) -> Option<Arc<StreamedTrace>> {
+        let telemetry = self.telemetry();
+        let spans = self.spans();
+        let hash = workload_hash(workload) ^ self.hash_salt;
+        let path = self.path_for(workload.name, scale);
+        let started = Instant::now();
+        let generate = |why: Option<&str>| -> Option<FileMeta> {
+            if let Some(reason) = why {
+                telemetry.count("trace_store.invalidate", 1);
+                warn!(
+                    "[trace-store] discarding {}: {reason}; regenerating",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(&path);
+            }
+            match self.generate_file(workload, scale, hash, &path) {
+                Ok(meta) => Some(meta),
+                Err(e) => {
+                    warn!(
+                        "[trace-store] cannot write {}: {e}; replaying from memory",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        };
+        let (meta, fresh) = match read_meta(&path, hash, workload.name, scale) {
+            Ok(m) => (m, false),
+            Err(LoadError::Missing) => {
+                telemetry.count("trace_store.miss", 1);
+                (generate(None)?, true)
+            }
+            Err(LoadError::Invalid(reason)) => (generate(Some(&reason))?, true),
+        };
+        if meta.file_len <= stream_threshold_bytes {
+            return None;
+        }
+        let meta = if fresh {
+            // Just written by this process: the footer entries came from
+            // the writer itself, no re-read needed.
+            meta
+        } else {
+            let verdict = {
+                let vspan = spans.begin("trace.validate");
+                vspan.attr("workload", workload.name);
+                validate_frames(&path, &meta)
+            };
+            match verdict {
+                Ok(()) => {
+                    telemetry.count("trace_store.hit", 1);
+                    telemetry.count("trace_store.load_us", started.elapsed().as_micros() as u64);
+                    meta
+                }
+                Err(reason) => {
+                    let meta = generate(Some(&reason))?;
+                    if meta.file_len <= stream_threshold_bytes {
+                        return None;
+                    }
+                    meta
+                }
+            }
+        };
+        Some(Arc::new(
+            StreamedTrace::new(path, meta.entries, meta.total_events)
+                .with_observer(self.stream_observer(workload.name)),
+        ))
+    }
+
+    /// The per-cursor-drop reporter wired into streamed traces: forwards
+    /// [`cbws_trace::StreamStats`] to the store's *current* telemetry and
+    /// span sinks as `trace.stream.*` counters and a `trace.stream` span.
+    fn stream_observer(&self, workload: &'static str) -> StreamObserver {
+        let telemetry = Arc::clone(&self.telemetry);
+        let spans = Arc::clone(&self.spans);
+        Arc::new(move |stats| {
+            let t = telemetry.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            t.count("trace.stream.replays", 1);
+            t.count("trace.stream.frames", stats.frames);
+            t.count("trace.stream.bytes", stats.bytes);
+            t.count("trace.stream.stalls", stats.stalls);
+            t.count("trace.stream.stall_us", stats.stall_micros);
+            let s = spans.lock().unwrap_or_else(|e| e.into_inner()).clone();
+            let span = s.begin("trace.stream");
+            span.attr("workload", workload)
+                .attr("frames", stats.frames)
+                .attr("bytes", stats.bytes)
+                .attr("stalls", stats.stalls)
+                .attr("stall_us", stats.stall_micros);
+        })
     }
 }
 
@@ -520,6 +979,7 @@ pub fn shared() -> &'static TraceStore {
 mod tests {
     use super::*;
     use crate::by_name;
+    use cbws_trace::{EventCursor, EventRef, EventSource};
     use std::sync::atomic::{AtomicU64, Ordering};
 
     /// A unique per-test scratch directory (no tempfile dependency).
@@ -536,6 +996,15 @@ mod tests {
 
     fn counter(t: &Telemetry, path: &str) -> u64 {
         t.with_metrics(|m| m.counter(path).unwrap_or(0)).unwrap()
+    }
+
+    fn drain<S: EventSource + ?Sized>(src: &S) -> Vec<EventRef> {
+        let mut cursor = src.cursor();
+        let mut out = Vec::new();
+        while let Some(batch) = cursor.next_batch() {
+            out.extend_from_slice(batch);
+        }
+        out
     }
 
     #[test]
@@ -614,7 +1083,7 @@ mod tests {
         store.get(b, Scale::Tiny);
 
         // Corrupt only B's stored hash (bytes 12..20: after magic+version),
-        // simulating an edit to B's suite sources.
+        // simulating an edit to B's kernel sources.
         let path = store.path_for(b.name, Scale::Tiny);
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[MAGIC.len() + 4] ^= 0xFF;
@@ -685,17 +1154,113 @@ mod tests {
     }
 
     #[test]
-    fn workload_hash_is_stable_and_distinct() {
-        let a = by_name("stencil-default").unwrap();
-        let b = by_name("nw").unwrap();
-        let c = by_name("histo-large").unwrap();
-        assert_eq!(workload_hash(a), workload_hash(a));
-        assert_ne!(workload_hash(a), 0);
-        // Different suites hash apart, and so do different workloads of the
-        // same suite (the name is folded in).
-        assert_ne!(workload_hash(a), workload_hash(b));
-        assert_eq!(a.suite, c.suite);
-        assert_ne!(workload_hash(a), workload_hash(c));
+    fn small_frames_split_and_round_trip() {
+        let dir = scratch_dir("frames");
+        let w = by_name("stencil-default").unwrap();
+        let store = TraceStore::at(&dir).with_frame_events(64);
+        let framed = store.get(w, Scale::Tiny);
+        assert!(
+            framed.frames().len() > 1,
+            "a tiny trace over 64-event frames must span multiple frames"
+        );
+        assert_eq!(framed.to_trace(), w.generate(Scale::Tiny));
+
+        // The frame table in the file agrees with what was served.
+        let meta = read_meta(
+            &store.path_for(w.name, Scale::Tiny),
+            workload_hash(w),
+            w.name,
+            Scale::Tiny,
+        )
+        .unwrap_or_else(|_| panic!("fresh file must parse"));
+        assert_eq!(meta.entries.len(), framed.frames().len());
+        assert_eq!(meta.total_events, framed.event_count());
+
+        // A store with a different frame size still serves the same file:
+        // frame geometry is not part of the key.
+        let telemetry = Telemetry::enabled_default();
+        let other = TraceStore::at(&dir);
+        other.set_telemetry(telemetry.clone());
+        let reloaded = other.get(w, Scale::Tiny);
+        assert_eq!(counter(&telemetry, "trace_store.hit"), 1);
+        assert_eq!(reloaded.to_trace(), w.generate(Scale::Tiny));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_source_streams_above_threshold() {
+        let dir = scratch_dir("stream");
+        let w = by_name("stencil-default").unwrap();
+        let telemetry = Telemetry::enabled_default();
+        let store = TraceStore::at(&dir).with_frame_events(64);
+        store.set_telemetry(telemetry.clone());
+
+        let source = store.replay_source(w, Scale::Tiny, 0);
+        assert!(source.is_streamed(), "threshold 0 must stream");
+        let streamed = drain(&source);
+        assert_eq!(source.event_count(), streamed.len());
+
+        // The drained cursor reported its stats.
+        assert_eq!(counter(&telemetry, "trace.stream.replays"), 1);
+        assert!(counter(&telemetry, "trace.stream.frames") > 1);
+        assert!(counter(&telemetry, "trace.stream.bytes") > 0);
+
+        // The decision is memoized: same handle next time.
+        let again = store.replay_source(w, Scale::Tiny, 0);
+        assert!(again.is_streamed());
+
+        // Identical event stream vs the in-memory path — which, once
+        // resident, wins over streaming on later calls.
+        let memory = store.get(w, Scale::Tiny);
+        assert_eq!(streamed, drain(&*memory));
+        assert!(!store.replay_source(w, Scale::Tiny, 0).is_streamed());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_source_prefers_memory_below_threshold() {
+        let dir = scratch_dir("nostream");
+        let w = by_name("nw").unwrap();
+        let store = TraceStore::at(&dir);
+        let source = store.replay_source(w, Scale::Tiny, u64::MAX);
+        assert!(!source.is_streamed());
+        assert_eq!(
+            drain(&source),
+            drain(&*store.get(w, Scale::Tiny)),
+            "memory replay source must match the stored trace"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_frame_is_caught_at_streamed_open_and_regenerated() {
+        let dir = scratch_dir("streamcorrupt");
+        let w = by_name("nw").unwrap();
+        let expect = {
+            let store = TraceStore::at(&dir).with_frame_events(64);
+            store.get(w, Scale::Tiny);
+            let path = store.path_for(w.name, Scale::Tiny);
+            // Flip one bit in the middle of the frame region: header,
+            // footer, and trailer all still parse, so only the streamed
+            // validation pass (or an in-memory load) can catch it.
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x01;
+            std::fs::write(&path, &bytes).unwrap();
+            w.generate(Scale::Tiny)
+        };
+
+        let telemetry = Telemetry::enabled_default();
+        let store2 = TraceStore::at(&dir).with_frame_events(64);
+        store2.set_telemetry(telemetry.clone());
+        let source = store2.replay_source(w, Scale::Tiny, 0);
+        assert_eq!(counter(&telemetry, "trace_store.invalidate"), 1);
+        assert_eq!(counter(&telemetry, "trace_store.write"), 1);
+        assert!(source.is_streamed(), "regenerated file streams again");
+        let drained = drain(&source);
+        let reference = PackedTrace::from_trace(&expect);
+        assert_eq!(drained, drain(&reference));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -705,16 +1270,18 @@ mod tests {
         let spans = Spans::enabled();
         let store = TraceStore::at(&dir);
         store.set_spans(spans.clone());
-        store.get(w, Scale::Tiny); // miss: load attempt, generate, write
+        store.get(w, Scale::Tiny); // miss: load attempt, generate, write, adopt
         store.drop_memory();
         store.get(w, Scale::Tiny); // hit: load + validate
         let records = spans.records();
         let count = |name: &str| records.iter().filter(|r| r.name == name).count();
-        assert_eq!(count("trace.load"), 2);
+        // Miss: failed load, generate, write, adopt-load (with validate).
+        // Hit: one load with validate.
+        assert_eq!(count("trace.load"), 3);
         assert_eq!(count("trace.generate"), 1);
         assert_eq!(count("trace.write"), 1);
-        assert_eq!(count("trace.validate"), 1);
-        // The validate span nests inside the load span on the same lane.
+        assert_eq!(count("trace.validate"), 2);
+        // Validate spans nest inside their load span on the same lane.
         let validate = records.iter().find(|r| r.name == "trace.validate").unwrap();
         assert_eq!(validate.depth, 1);
         assert!(records.iter().all(|r| r.dur_us.is_some()));
